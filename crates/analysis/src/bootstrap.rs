@@ -1,0 +1,130 @@
+//! Bootstrap confidence intervals.
+//!
+//! The campaign's per-run loop labels are Bernoulli-ish samples; a
+//! percentile bootstrap puts honest uncertainty bands on the loop ratios
+//! and median cycle times the figures report. Deterministic: resampling is
+//! driven by a seed, not a global RNG.
+
+/// SplitMix64 step (local copy — this crate stays dependency-light).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A two-sided percentile-bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Percentile bootstrap for an arbitrary statistic. `None` on an empty
+/// sample. `resamples` is clamped to at least 50.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    statistic: F,
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if xs.is_empty() {
+        return None;
+    }
+    let resamples = resamples.max(50);
+    let estimate = statistic(xs);
+    let n = xs.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut state = seed;
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            state = splitmix64(state);
+            *slot = xs[(state % n as u64) as usize];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
+    let idx = |q: f64| -> f64 {
+        let pos = (q * (stats.len() - 1) as f64).clamp(0.0, (stats.len() - 1) as f64);
+        stats[pos.round() as usize]
+    };
+    Some(ConfidenceInterval { estimate, lo: idx(alpha), hi: idx(1.0 - alpha), level })
+}
+
+/// Bootstrap CI on a proportion given Bernoulli outcomes.
+pub fn proportion_ci(
+    outcomes: &[bool],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    let xs: Vec<f64> = outcomes.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    bootstrap_ci(
+        &xs,
+        |v| v.iter().sum::<f64>() / v.len() as f64,
+        level,
+        resamples,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::median;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(bootstrap_ci(&[], |v| v[0], 0.95, 200, 1).is_none());
+    }
+
+    #[test]
+    fn ci_brackets_the_estimate() {
+        let xs: Vec<f64> = (0..60).map(|i| 40.0 + (i % 10) as f64).collect();
+        let ci = bootstrap_ci(&xs, |v| median(v).unwrap(), 0.95, 400, 7).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{ci:?}");
+        assert!(ci.hi - ci.lo < 5.0, "median CI too wide: {ci:?}");
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_sample_size() {
+        let small: Vec<f64> = (0..12).map(|i| (i % 4) as f64).collect();
+        let big: Vec<f64> = (0..480).map(|i| (i % 4) as f64).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let ci_s = bootstrap_ci(&small, mean, 0.95, 500, 3).unwrap();
+        let ci_b = bootstrap_ci(&big, mean, 0.95, 500, 3).unwrap();
+        assert!(ci_b.hi - ci_b.lo < ci_s.hi - ci_s.lo);
+    }
+
+    #[test]
+    fn proportion_ci_on_loop_ratio() {
+        // ~half the runs loop, like the paper's Fig. 6.
+        let outcomes: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        let ci = proportion_ci(&outcomes, 0.95, 500, 11).unwrap();
+        assert!((ci.estimate - 0.5).abs() < 1e-12);
+        assert!(ci.lo > 0.35 && ci.hi < 0.65, "{ci:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs = [1.0, 5.0, 9.0, 2.0, 8.0, 4.0];
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let a = bootstrap_ci(&xs, mean, 0.9, 300, 99).unwrap();
+        let b = bootstrap_ci(&xs, mean, 0.9, 300, 99).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&xs, mean, 0.9, 300, 100).unwrap();
+        assert!(a != c || a.estimate == c.estimate);
+    }
+}

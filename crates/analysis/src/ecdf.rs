@@ -1,0 +1,130 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts once; evaluation is a binary search. Used for all the
+/// paper's CDF figures (download speed in Fig. 11, 10th-percentile RSRP in
+/// Fig. 17a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds from a sample. Returns `None` if the sample is empty or
+    /// contains NaN.
+    pub fn new(xs: &[f64]) -> Option<Ecdf> {
+        if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(Ecdf { sorted })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false — `new` rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// F(x) = fraction of samples ≤ x.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Generalised inverse: the smallest sample value v with F(v) ≥ p.
+    /// `p` is clamped to (0, 1].
+    pub fn inverse(&self, p: f64) -> f64 {
+        let p = p.clamp(f64::MIN_POSITIVE, 1.0);
+        let k = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[k - 1]
+    }
+
+    /// Evaluates the CDF at `n` evenly spaced points covering the sample
+    /// range, as `(x, F(x))` pairs — the series a CDF plot draws.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        let n = n.max(2);
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(&[]).is_none());
+        assert!(Ecdf::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn step_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn handles_ties() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(1.9), 0.0);
+    }
+
+    #[test]
+    fn inverse_is_generalised_quantile() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.inverse(0.25), 10.0);
+        assert_eq!(e.inverse(0.26), 20.0);
+        assert_eq!(e.inverse(0.5), 20.0);
+        assert_eq!(e.inverse(1.0), 40.0);
+        assert_eq!(e.inverse(0.0), 10.0); // clamped
+        assert_eq!(e.inverse(2.0), 40.0); // clamped
+    }
+
+    #[test]
+    fn inverse_eval_consistency() {
+        let e = Ecdf::new(&[1.0, 3.0, 3.0, 7.0, 9.0]).unwrap();
+        for p in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            assert!(e.eval(e.inverse(p)) >= p - 1e-12);
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new(&[5.0, 1.0, 3.0, 3.0, 8.0]).unwrap();
+        let c = e.curve(50);
+        assert_eq!(c.len(), 50);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be non-decreasing");
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn curve_on_constant_sample() {
+        let e = Ecdf::new(&[4.0, 4.0]).unwrap();
+        let c = e.curve(3);
+        assert!(c.iter().all(|&(x, f)| x == 4.0 && f == 1.0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Fixed-bin histograms and share breakdowns.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with `bins` equal-width bins over `[lo, hi)`; values outside
+/// the range are clamped into the first/last bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram. Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds a whole sample.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin fractions (each count / total); all zeros if empty.
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Bin centre x-values, for plotting.
+    pub fn centers(&self) -> Vec<f64> {
+        let n = self.counts.len();
+        let w = (self.hi - self.lo) / n as f64;
+        (0..n).map(|i| self.lo + w * (i as f64 + 0.5)).collect()
+    }
+}
+
+/// Splits probabilities into the paper's Fig. 9b likelihood buckets:
+/// `(>75%, >50%, >25%, >0%, =0%)` shares of a location population.
+pub fn likelihood_quartile_shares(probs: &[f64]) -> [f64; 5] {
+    if probs.is_empty() {
+        return [0.0; 5];
+    }
+    let mut buckets = [0usize; 5];
+    for &p in probs {
+        let b = if p > 0.75 {
+            0
+        } else if p > 0.50 {
+            1
+        } else if p > 0.25 {
+            2
+        } else if p > 0.0 {
+            3
+        } else {
+            4
+        };
+        buckets[b] += 1;
+    }
+    let n = probs.len() as f64;
+    [
+        buckets[0] as f64 / n,
+        buckets[1] as f64 / n,
+        buckets[2] as f64 / n,
+        buckets[3] as f64 / n,
+        buckets[4] as f64 / n,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend(&[0.0, 1.9, 2.0, 9.99, 10.0, -5.0, 100.0]);
+        // bins: [0,2) [2,4) [4,6) [6,8) [8,10)
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 3]); // -5 clamps low, 10 & 100 clamp high
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend(&[0.1, 0.3, 0.6, 0.9]);
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.fractions(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.centers(), vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn quartile_shares_match_fig9b_buckets() {
+        let probs = [1.0, 0.8, 0.6, 0.3, 0.1, 0.0, 0.0, 0.76, 0.75, 0.51];
+        let s = likelihood_quartile_shares(&probs);
+        // >75%: {1.0, 0.8, 0.76} — 0.75 itself falls in the >50% bucket.
+        assert!((s[0] - 0.3).abs() < 1e-12);
+        // >50%: {0.6, 0.75, 0.51}
+        assert!((s[1] - 0.3).abs() < 1e-12);
+        // >25%: {0.3}
+        assert!((s[2] - 0.1).abs() < 1e-12);
+        // >0%: {0.1}
+        assert!((s[3] - 0.1).abs() < 1e-12);
+        // =0%: two zeros
+        assert!((s[4] - 0.2).abs() < 1e-12);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartile_shares_empty() {
+        assert_eq!(likelihood_quartile_shares(&[]), [0.0; 5]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Quantiles and moment statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (n−1 denominator); `None` for fewer than two
+/// samples.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) with linear interpolation between order
+/// statistics (type-7 estimator, the numpy default). `None` for an empty
+/// slice or out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut s: Vec<f64> = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&s, q))
+}
+
+/// Quantile over an already-sorted slice (no allocation). Caller guarantees
+/// the slice is non-empty, sorted and NaN-free; `q` is clamped to [0, 1].
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median: the 0.5-quantile.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// A five-number-plus-moments summary of a sample, the unit the paper's
+/// violin plots and "median ± deviation" table cells are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation (0.0 when n < 2).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarises a sample; `None` if empty.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut s: Vec<f64> = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Some(Summary {
+            n: s.len(),
+            min: s[0],
+            q1: quantile_sorted(&s, 0.25),
+            median: quantile_sorted(&s, 0.5),
+            q3: quantile_sorted(&s, 0.75),
+            max: s[s.len() - 1],
+            mean: mean(&s).unwrap(),
+            stddev: stddev(&s).unwrap_or(0.0),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// "median ± σ" cell in the style of the paper's Table 2.
+    pub fn median_pm_stddev(&self) -> String {
+        format!("{:.0} ± {:.1}", self.median, self.stddev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(stddev(&[]), None);
+        assert_eq!(stddev(&[1.0]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(mean(&[3.0]), Some(3.0));
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(quantile(&[3.0], 0.0), Some(3.0));
+        assert_eq!(quantile(&[3.0], 1.0), Some(3.0));
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!((s.min, s.max, s.stddev), (3.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn known_quartiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 0.75), Some(4.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn interpolated_quantile() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        // 10th percentile of 4 points: pos = 0.3 → 1.3
+        assert!((quantile(&xs, 0.1).unwrap() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median(&xs), Some(3.0));
+    }
+
+    #[test]
+    fn out_of_range_q_rejected() {
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+    }
+
+    #[test]
+    fn moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        // Sample stddev with n-1: sqrt(32/7)
+        assert!((stddev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_shape() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.iqr(), 2.0);
+        assert_eq!(s.median_pm_stddev(), "3 ± 1.6");
+    }
+}

@@ -1,0 +1,119 @@
+//! Violin-plot summaries.
+//!
+//! A text-friendly stand-in for the paper's violin plots (Figs. 10, 19): the
+//! five-number summary plus a normalised density profile, enough to compare
+//! distribution *shape* (e.g. OP_V's bimodal 5G OFF time) without a plotting
+//! stack.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::Histogram;
+use crate::quantile::Summary;
+
+/// Quartiles plus a binned density profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolinSummary {
+    /// Five-number + moments summary.
+    pub summary: Summary,
+    /// Density per bin, normalised so the maximum bin is 1.0.
+    pub density: Vec<f64>,
+    /// Bin centre x-values matching `density`.
+    pub centers: Vec<f64>,
+}
+
+impl ViolinSummary {
+    /// Builds a violin summary with `bins` density bins spanning the sample
+    /// range. `None` if the sample is empty.
+    pub fn of(xs: &[f64], bins: usize) -> Option<ViolinSummary> {
+        let summary = Summary::of(xs)?;
+        let (lo, hi) = if summary.max > summary.min {
+            (summary.min, summary.max)
+        } else {
+            // Degenerate constant sample: widen artificially.
+            (summary.min - 0.5, summary.max + 0.5)
+        };
+        let mut hist = Histogram::new(lo, hi, bins.max(1));
+        hist.extend(xs);
+        let max = hist.counts().iter().copied().max().unwrap_or(0).max(1) as f64;
+        let density = hist.counts().iter().map(|&c| c as f64 / max).collect();
+        Some(ViolinSummary { summary, density, centers: hist.centers() })
+    }
+
+    /// Number of density modes: local maxima above `threshold` (0..=1).
+    /// Detects the bimodality the paper calls out for OP_V OFF times.
+    pub fn modes(&self, threshold: f64) -> usize {
+        let d = &self.density;
+        let mut count = 0;
+        for i in 0..d.len() {
+            if d[i] < threshold {
+                continue;
+            }
+            let left = if i == 0 { 0.0 } else { d[i - 1] };
+            let right = if i + 1 == d.len() { 0.0 } else { d[i + 1] };
+            if d[i] >= left && d[i] > right {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Renders a one-line ASCII sparkline of the density (for text tables).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        self.density
+            .iter()
+            .map(|&d| LEVELS[((d * 7.0).round() as usize).min(7)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(ViolinSummary::of(&[], 10).is_none());
+    }
+
+    #[test]
+    fn constant_sample_does_not_panic() {
+        let v = ViolinSummary::of(&[5.0; 20], 8).unwrap();
+        assert_eq!(v.summary.median, 5.0);
+        assert_eq!(v.density.len(), 8);
+        assert!((v.density.iter().cloned().fold(0.0, f64::max) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unimodal_sample_has_one_mode() {
+        // Triangular density peaking in the middle: one mode.
+        let mut xs = Vec::new();
+        for (value, count) in [(1.0, 1), (2.0, 3), (3.0, 6), (4.0, 3), (5.0, 1)] {
+            xs.extend(std::iter::repeat_n(value, count));
+        }
+        let v = ViolinSummary::of(&xs, 5).unwrap();
+        assert_eq!(v.modes(0.5), 1, "density: {:?}", v.density);
+    }
+
+    #[test]
+    fn bimodal_sample_has_two_modes() {
+        // Mimics OP_V 5G OFF time: a cluster below 5 s and one near 30 s.
+        let mut xs: Vec<f64> = (0..60).map(|i| 1.0 + (i % 10) as f64 * 0.3).collect();
+        xs.extend((0..40).map(|i| 29.0 + (i % 10) as f64 * 0.2));
+        let v = ViolinSummary::of(&xs, 16).unwrap();
+        assert_eq!(v.modes(0.3), 2, "density: {:?}", v.density);
+    }
+
+    #[test]
+    fn sparkline_width_matches_bins() {
+        let v = ViolinSummary::of(&[1.0, 2.0, 3.0], 6).unwrap();
+        assert_eq!(v.sparkline().chars().count(), 6);
+    }
+
+    #[test]
+    fn density_is_normalised() {
+        let v = ViolinSummary::of(&[1.0, 1.0, 1.0, 9.0], 4).unwrap();
+        assert_eq!(v.density[0], 1.0);
+        assert!(v.density.iter().all(|&d| (0.0..=1.0).contains(&d)));
+    }
+}

@@ -1,0 +1,119 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **interned vs structural** cell-set comparison in loop detection —
+//!   the detector compares small integer ids; the ablation compares the
+//!   full `ServingCellSet` structures instead;
+//! * **compressed vs raw** timeline replay — the extractor collapses
+//!   consecutive identical sets; the ablation re-canonicalises on every
+//!   message.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use onoff_campaign::areas::area_a1;
+use onoff_detect::cellset::extract_timeline;
+use onoff_policy::{op_t_policy, PhoneModel};
+use onoff_rrc::serving::ServingCellSet;
+use onoff_sim::{simulate, SimConfig};
+
+fn sample_events() -> Vec<onoff_rrc::trace::TraceEvent> {
+    let area = area_a1(0x050FF);
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        area.env.clone(),
+        area.locations[0],
+        42,
+    );
+    simulate(&cfg).events
+}
+
+/// Structural-comparison episode matching: the naive alternative to
+/// interning. Builds the same episode shapes but keyed by cloned
+/// `ServingCellSet` vectors compared by canonical key each time.
+fn detect_structural(tl: &onoff_detect::cellset::CsTimeline) -> usize {
+    let sets: Vec<&ServingCellSet> = tl.samples.iter().map(|s| &tl.sets[s.id]).collect();
+    // Split into ON-started episodes of cloned sets.
+    let mut episodes: Vec<Vec<ServingCellSet>> = Vec::new();
+    let mut cur: Option<Vec<ServingCellSet>> = None;
+    let mut prev_on = false;
+    for cs in sets {
+        let on = cs.uses_5g();
+        if on && !prev_on {
+            if let Some(e) = cur.take() {
+                episodes.push(e);
+            }
+            cur = Some(Vec::new());
+        }
+        if let Some(e) = &mut cur {
+            e.push(cs.clone());
+        }
+        prev_on = on;
+    }
+    if let Some(e) = cur {
+        episodes.push(e);
+    }
+    // Count repeated episodes by full structural comparison (canonical keys
+    // recomputed per comparison — the cost interning avoids).
+    let mut repeats = 0;
+    for i in 0..episodes.len() {
+        for j in i + 1..episodes.len() {
+            let eq = episodes[i].len() == episodes[j].len()
+                && episodes[i]
+                    .iter()
+                    .zip(&episodes[j])
+                    .all(|(a, b)| a.canonical_key() == b.canonical_key());
+            if eq {
+                repeats += 1;
+            }
+        }
+    }
+    repeats
+}
+
+fn bench_interned_vs_structural(c: &mut Criterion) {
+    let events = sample_events();
+    let tl = extract_timeline(&events);
+    let mut group = c.benchmark_group("ablation_loop_detection");
+    group.bench_function("interned_ids", |b| {
+        b.iter(|| black_box(onoff_detect::detect_loops(&tl)))
+    });
+    group.bench_function("structural_comparison", |b| {
+        b.iter(|| black_box(detect_structural(&tl)))
+    });
+    group.finish();
+}
+
+/// Raw (uncompressed) extraction: pushes a sample for every message rather
+/// than only on change — the memory/time cost compression avoids.
+fn extract_raw(events: &[onoff_rrc::trace::TraceEvent]) -> usize {
+    use onoff_rrc::messages::RrcMessage;
+    use onoff_rrc::trace::TraceEvent;
+    let mut sets: Vec<Vec<(onoff_rrc::serving::CellRole, onoff_rrc::CellId)>> = Vec::new();
+    let mut cs = ServingCellSet::idle();
+    for ev in events {
+        if let TraceEvent::Rrc(rec) = ev {
+            if let RrcMessage::SetupRequest { cell, .. } = &rec.msg {
+                cs = ServingCellSet::with_pcell(*cell);
+            }
+            if matches!(rec.msg, RrcMessage::Release) {
+                cs.release_all();
+            }
+            sets.push(cs.canonical_key());
+        }
+    }
+    sets.len()
+}
+
+fn bench_compressed_vs_raw(c: &mut Criterion) {
+    let events = sample_events();
+    let mut group = c.benchmark_group("ablation_timeline");
+    group.bench_function("compressed_interned", |b| {
+        b.iter(|| black_box(extract_timeline(&events)))
+    });
+    group.bench_function("raw_per_message", |b| b.iter(|| black_box(extract_raw(&events))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_interned_vs_structural, bench_compressed_vs_raw);
+criterion_main!(benches);

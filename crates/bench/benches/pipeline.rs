@@ -1,0 +1,78 @@
+//! Performance benches over the analysis pipeline: simulate → emit →
+//! parse → extract → detect → classify. These measure the *tooling* (the
+//! reproduction binaries measure the *science*).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use onoff_campaign::areas::area_a1;
+use onoff_detect::{analyze_trace, cellset::extract_timeline, detect_loops};
+use onoff_policy::{op_t_policy, PhoneModel};
+use onoff_sim::{simulate, SimConfig};
+
+/// One representative loop-rich 5-minute run at an A1 location.
+fn sample_run() -> onoff_sim::SimOutput {
+    let area = area_a1(0x050FF);
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        area.env.clone(),
+        area.locations[0],
+        42,
+    );
+    simulate(&cfg)
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let area = area_a1(0x050FF);
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(20);
+    group.bench_function("sa_5min_run", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::stationary(
+                op_t_policy(),
+                PhoneModel::OnePlus12R,
+                area.env.clone(),
+                area.locations[0],
+                black_box(42),
+            );
+            black_box(simulate(&cfg))
+        })
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let out = sample_run();
+    let text = out.to_log();
+    let mut group = c.benchmark_group("nsglog");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("emit", |b| b.iter(|| black_box(onoff_nsglog::emit(&out.events))));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(onoff_nsglog::parse_str(&text).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let out = sample_run();
+    let timeline = extract_timeline(&out.events);
+    let mut group = c.benchmark_group("detect");
+    group.bench_function("extract_timeline", |b| {
+        b.iter(|| black_box(extract_timeline(&out.events)))
+    });
+    group.bench_function("detect_loops", |b| {
+        b.iter_batched(
+            || timeline.clone(),
+            |tl| black_box(detect_loops(&tl)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("analyze_trace_full", |b| {
+        b.iter(|| black_box(analyze_trace(&out.events)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_codec, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Performance benches over the radio environment: per-sample RSRP/RSRQ
+//! cost drives the whole simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use onoff_campaign::areas::area_a1;
+use onoff_radio::Point;
+
+fn bench_sampling(c: &mut Criterion) {
+    let area = area_a1(0x050FF);
+    let env = &area.env;
+    let p = area.locations[0];
+    let site = &env.cells[0];
+
+    let mut group = c.benchmark_group("radio");
+    group.bench_function("rsrp_sample", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(env.rsrp_dbm(site, p, t))
+        })
+    });
+    group.bench_function("rsrq_sample", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(env.rsrq_db(site, p, t))
+        })
+    });
+    group.throughput(Throughput::Elements(env.cells.len() as u64));
+    group.bench_function("snapshot_all_cells", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(env.snapshot(p, t))
+        })
+    });
+    group.finish();
+}
+
+fn bench_shadowing(c: &mut Criterion) {
+    use onoff_radio::ShadowingField;
+    let mut group = c.benchmark_group("shadowing");
+    for corr in [10.0f64, 50.0, 200.0] {
+        let field = ShadowingField::new(7, 6.0, corr);
+        group.bench_function(format!("corr_{corr:.0}m"), |b| {
+            let mut x = 0.0f64;
+            b.iter(|| {
+                x += 1.7;
+                black_box(field.at(Point::new(x, x * 0.37)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_shadowing);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Reproduction driver: regenerates every table and figure of the paper's
+//! evaluation from the simulated campaign.
+//!
+//! ```text
+//! cargo run -p onoff-bench --release --bin repro -- all
+//! cargo run -p onoff-bench --release --bin repro -- fig10 table5
+//! cargo run -p onoff-bench --release --bin repro -- --quick all
+//! ```
+
+use onoff_bench::{figures, mitigation, predictions, showcase};
+use onoff_campaign::areas::{all_areas, Area};
+use onoff_campaign::fine::{fine_grained_study, FineStudy};
+use onoff_campaign::{run_campaign, CampaignConfig, Dataset};
+
+const ALL_IDS: &[&str] = &[
+    "table2", "table3", "table4", "table5", "fig1", "fig3", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13-15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+    "survey", "mitigation",
+];
+
+/// Lazily-built shared state so `all` only pays for the campaign once.
+struct Ctx {
+    cfg: CampaignConfig,
+    areas: Vec<Area>,
+    dataset: Option<Dataset>,
+    showcase_loc: Option<usize>,
+    fine: Option<(FineStudy, usize)>,
+    fine_side: usize,
+    fine_runs: usize,
+}
+
+impl Ctx {
+    fn new(quick: bool) -> Ctx {
+        let mut cfg = CampaignConfig::default();
+        if quick {
+            cfg.runs_a1 = 4;
+            cfg.runs_other = 3;
+            cfg.duration_ms = 180_000;
+        }
+        Ctx {
+            areas: all_areas(cfg.seed),
+            cfg,
+            dataset: None,
+            showcase_loc: None,
+            fine: None,
+            fine_side: if quick { 5 } else { 7 },
+            fine_runs: if quick { 4 } else { 6 },
+        }
+    }
+
+    fn dataset(&mut self) -> &Dataset {
+        if self.dataset.is_none() {
+            eprintln!("[repro] running the measurement campaign …");
+            self.dataset = Some(run_campaign(&self.cfg));
+        }
+        self.dataset.as_ref().unwrap()
+    }
+
+    fn a1(&self) -> &Area {
+        &self.areas[0]
+    }
+
+    fn showcase_loc(&mut self) -> usize {
+        if self.showcase_loc.is_none() {
+            eprintln!("[repro] probing A1 for the showcase (P16-like) location …");
+            self.showcase_loc = Some(showcase::showcase_location(self.a1()));
+        }
+        self.showcase_loc.unwrap()
+    }
+
+    fn fine(&mut self) -> &(FineStudy, usize) {
+        if self.fine.is_none() {
+            let loc = self.showcase_loc();
+            let center = self.a1().locations[loc];
+            eprintln!("[repro] running the fine-grained spatial study …");
+            let study = fine_grained_study(
+                self.a1(),
+                center,
+                150.0,
+                self.fine_side,
+                self.fine_runs,
+                1234,
+            );
+            self.fine = Some((study, self.fine_side));
+        }
+        self.fine.as_ref().unwrap()
+    }
+}
+
+fn run_one(ctx: &mut Ctx, id: &str) -> Option<String> {
+    Some(match id {
+        "table2" => {
+            let loc = ctx.showcase_loc();
+            showcase::table2(ctx.a1(), loc)
+        }
+        "table3" => figures::table3(ctx.dataset()),
+        "table4" => showcase::table4(),
+        "table5" => figures::table5(ctx.dataset()),
+        "fig1" => {
+            let loc = ctx.showcase_loc();
+            showcase::fig1(ctx.a1(), loc)
+        }
+        "fig3" => {
+            let loc = ctx.showcase_loc();
+            showcase::fig3(ctx.a1(), loc)
+        }
+        "fig6" => figures::fig6(ctx.dataset()),
+        "fig7" => {
+            let _ = ctx.dataset();
+            let ds = ctx.dataset.take().unwrap();
+            let s = figures::fig7(&ds, &ctx.areas[0]);
+            ctx.dataset = Some(ds);
+            s
+        }
+        "survey" => figures::survey(ctx.a1()),
+        "mitigation" => mitigation::mitigation(&ctx.areas),
+        "fig8" => figures::fig8(ctx.dataset()),
+        "fig9" => figures::fig9(ctx.dataset()),
+        "fig10" => figures::fig10(ctx.dataset()),
+        "fig11" => figures::fig11(ctx.dataset()),
+        "fig12" => {
+            let mut s = showcase::fig12(&ctx.areas);
+            let loc = ctx.showcase_loc();
+            s.push_str(&showcase::fig12_sa(ctx.a1(), loc));
+            s
+        }
+        "fig13-15" => showcase::fig13_15(),
+        "fig16" => figures::fig16(ctx.dataset()),
+        "fig17" => figures::fig17(ctx.dataset()),
+        "fig18" => figures::fig18(ctx.dataset()),
+        "fig19" => figures::fig19(ctx.dataset()),
+        "fig20" => {
+            let (study, side) = {
+                let f = ctx.fine();
+                (f.0.clone(), f.1)
+            };
+            predictions::fig20(&study, side)
+        }
+        "fig21" => {
+            let study = ctx.fine().0.clone();
+            predictions::fig21(&study)
+        }
+        "fig22" => {
+            let study = ctx.fine().0.clone();
+            let _ = ctx.dataset();
+            let ds = ctx.dataset.take().unwrap();
+            let s = predictions::fig22(&ds, &ctx.areas[0], &study);
+            ctx.dataset = Some(ds);
+            s
+        }
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+
+    let mut ctx = Ctx::new(quick);
+    for id in &ids {
+        match run_one(&mut ctx, id) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("unknown experiment id {id:?}; known: {}", ALL_IDS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Dataset-driven reproductions (Tables 3 & 5, Figs. 6, 8, 9, 10, 11, 16,
+//! 17, 18, 19).
+
+use onoff_analysis::{likelihood_quartile_shares, TextTable};
+use onoff_campaign::Dataset;
+use onoff_detect::channel::ChannelUsage;
+use onoff_detect::LoopType;
+use onoff_policy::Operator;
+use onoff_rrc::ids::Rat;
+
+use crate::output::{cdf_line, dist_line, header, pct};
+
+/// Table 3: dataset statistics per operator.
+pub fn table3(ds: &Dataset) -> String {
+    let mut out = header("table3", "Statistics of the basic dataset");
+    let mut t = TextTable::new([
+        "Operator", "Areas", "Area km2", "# Location", "Total min", "5G mode", "5G bands",
+        "4G bands", "# 5G/4G cell", "# meas", "# CS sample", "# CS uniq", "# loop runs",
+        "# cycles",
+    ]);
+    for op in Operator::ALL {
+        let row = ds.table3_row(op);
+        let policy = onoff_policy::policy_for(op);
+        let bands = |rat: Rat| {
+            policy
+                .bands(rat)
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        t.row([
+            op.label().to_string(),
+            format!("{}–{}", row.areas.first().cloned().unwrap_or_default(),
+                row.areas.last().cloned().unwrap_or_default()),
+            format!("{:.1}", row.size_km2),
+            row.locations.to_string(),
+            format!("{:.0}", row.total_minutes),
+            match policy.mode {
+                onoff_policy::FivegMode::Sa => "5G SA".into(),
+                onoff_policy::FivegMode::Nsa => "5G NSA".to_string(),
+            },
+            bands(Rat::Nr),
+            bands(Rat::Lte),
+            format!("{}/{}", row.cells_5g, row.cells_4g),
+            row.meas_results.to_string(),
+            row.cs_samples.to_string(),
+            row.unique_cs.to_string(),
+            row.loop_runs.to_string(),
+            row.loop_cycles.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 6: no-loop / persistent / semi-persistent run shares per operator.
+pub fn fig6(ds: &Dataset) -> String {
+    let mut out = header("fig6", "Loop ratio per operator (I / II-P / II-SP)");
+    let mut t = TextTable::new(["Operator", "No loop (I)", "Loop (II-P)", "Loop (II-SP)", "Any loop"]);
+    for op in Operator::ALL {
+        let r = ds.loop_ratio(op);
+        t.row([
+            op.label().to_string(),
+            pct(r.no_loop),
+            pct(r.persistent),
+            pct(r.semi_persistent),
+            pct(r.any_loop()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 8: loop likelihood per A1 test location.
+pub fn fig8(ds: &Dataset) -> String {
+    let mut out = header("fig8", "Likelihood of loops at all test locations in A1");
+    let likes = ds.location_likelihoods("A1");
+    let mut t = TextTable::new(["Location", "Likelihood", "Bar"]);
+    for (i, p) in likes.iter().enumerate() {
+        let bar = "#".repeat((p * 20.0).round() as usize);
+        t.row([format!("P{}", i + 1), pct(*p), bar]);
+    }
+    out.push_str(&t.render());
+    let always = likes.iter().filter(|&&p| p >= 0.999).count();
+    let majority = likes.iter().filter(|&&p| p > 0.5).count();
+    let any = likes.iter().filter(|&&p| p > 0.0).count();
+    out.push_str(&format!(
+        "loops at {any}/{} locations; >50% likelihood at {majority}; 100% at {always}\n",
+        likes.len()
+    ));
+    out
+}
+
+/// Fig. 9: per-area loop ratios and location-likelihood quartile shares.
+pub fn fig9(ds: &Dataset) -> String {
+    let mut out = header("fig9", "Loop ratios in all test areas");
+    let mut t = TextTable::new([
+        "Area", "Op", "Loop (II-P)", "Loop (II-SP)", ">75%", ">50%", ">25%", ">0%", "=0%",
+    ]);
+    for (name, op, _) in &ds.areas {
+        let r = ds.area_loop_ratio(name);
+        let shares = likelihood_quartile_shares(&ds.location_likelihoods(name));
+        t.row([
+            name.clone(),
+            op.label().to_string(),
+            pct(r.persistent),
+            pct(r.semi_persistent),
+            pct(shares[0]),
+            pct(shares[1]),
+            pct(shares[2]),
+            pct(shares[3]),
+            pct(shares[4]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 10: cycle time / OFF time / OFF ratio distributions per operator.
+pub fn fig10(ds: &Dataset) -> String {
+    let mut out = header("fig10", "5G OFF time impacts per operator");
+    for op in Operator::ALL {
+        let (cyc, off, ratio) = ds.cycle_stats(op);
+        out.push_str(&format!("{}\n", op.label()));
+        out.push_str(&format!("  cycle time : {}\n", dist_line(&cyc, "s")));
+        out.push_str(&format!("  OFF time   : {}\n", dist_line(&off, "s")));
+        let ratio_pct: Vec<f64> = ratio.iter().map(|r| r * 100.0).collect();
+        out.push_str(&format!("  OFF/(cycle): {}\n", dist_line(&ratio_pct, "%")));
+    }
+    out
+}
+
+/// Fig. 11: CDFs of ON/OFF download speed and speed loss.
+pub fn fig11(ds: &Dataset) -> String {
+    let mut out = header("fig11", "Download speed during 5G ON/OFF and speed loss");
+    for op in Operator::ALL {
+        let (on, off, loss) = ds.speed_stats(op);
+        out.push_str(&format!("{}\n", op.label()));
+        out.push_str(&format!("  5G ON  : {}\n", cdf_line(&on, " Mbps")));
+        out.push_str(&format!("  5G OFF : {}\n", cdf_line(&off, " Mbps")));
+        out.push_str(&format!("  loss   : {}\n", cdf_line(&loss, " Mbps")));
+    }
+    out
+}
+
+/// Fig. 16: loop sub-type breakdown per area and per operator.
+pub fn fig16(ds: &Dataset) -> String {
+    let mut out = header("fig16", "Loop breakdown in all areas");
+    let mut t = TextTable::new([
+        "Area", "Op", "S1E1", "S1E2", "S1E3", "N1E1", "N1E2", "N2E1", "N2E2", "?",
+    ]);
+    let cell = |b: &std::collections::BTreeMap<LoopType, usize>, k: LoopType| {
+        b.get(&k).copied().unwrap_or(0).to_string()
+    };
+    for (name, op, _) in &ds.areas {
+        let b = ds.subtype_breakdown(name);
+        t.row([
+            name.clone(),
+            op.label().to_string(),
+            cell(&b, LoopType::S1E1),
+            cell(&b, LoopType::S1E2),
+            cell(&b, LoopType::S1E3),
+            cell(&b, LoopType::N1E1),
+            cell(&b, LoopType::N1E2),
+            cell(&b, LoopType::N2E1),
+            cell(&b, LoopType::N2E2),
+            cell(&b, LoopType::Unknown),
+        ]);
+    }
+    out.push_str(&t.render());
+    for op in Operator::ALL {
+        let b = ds.subtype_breakdown_op(op);
+        let total: usize = b.values().sum();
+        if total == 0 {
+            continue;
+        }
+        let shares: Vec<String> = b
+            .iter()
+            .map(|(k, v)| format!("{k} {}", pct(*v as f64 / total as f64)))
+            .collect();
+        out.push_str(&format!("{}: {}\n", op.label(), shares.join(", ")));
+    }
+    out
+}
+
+/// Table 5: per-channel usage breakdown and SCell-modification failure
+/// ratio for OP_T.
+pub fn table5(ds: &Dataset) -> String {
+    let mut out = header("table5", "Usage and failure ratio per channel with OP_T");
+    let op = Operator::OpT;
+    let usage = ds.usage_nr.get(&op).cloned().unwrap_or_default();
+    let no_loop = ChannelUsage::shares(&usage.no_loop);
+    let loop_total = ChannelUsage::shares(&usage.loop_total());
+    let empty = Default::default();
+    let per_type = |t: LoopType| {
+        ChannelUsage::shares(usage.per_type.get(&t).unwrap_or(&empty))
+    };
+    let s1e1 = per_type(LoopType::S1E1);
+    let s1e2 = per_type(LoopType::S1E2);
+    let s1e3 = per_type(LoopType::S1E3);
+    let ratios = ds
+        .scell_mod
+        .get(&op)
+        .map(|s| s.failure_ratios())
+        .unwrap_or_default();
+
+    let mut channels: Vec<u32> = no_loop.keys().chain(loop_total.keys()).copied().collect();
+    channels.sort_unstable();
+    channels.dedup();
+
+    let mut t = TextTable::new([
+        "channel", "no-loop", "loop", "S1E1", "S1E2", "S1E3", "SCell-mod fail",
+    ]);
+    let g = |m: &std::collections::BTreeMap<u32, f64>, ch: u32| {
+        pct(m.get(&ch).copied().unwrap_or(0.0))
+    };
+    for ch in channels {
+        t.row([
+            ch.to_string(),
+            g(&no_loop, ch),
+            g(&loop_total, ch),
+            g(&s1e1, ch),
+            g(&s1e2, ch),
+            g(&s1e3, ch),
+            pct(ratios.get(&ch).copied().unwrap_or(0.0)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 17: RSRP structure of OP_T's channel 387410.
+pub fn fig17(ds: &Dataset) -> String {
+    let mut out = header("fig17", "RSRP measurements of cells on channel 387410 (OP_T)");
+    // 17a: distribution of per-run 10th-percentile RSRP, all areas.
+    let by_area = ds.problem_rsrp_p10_by_area(Operator::OpT);
+    let all: Vec<f64> = by_area.values().flatten().copied().collect();
+    out.push_str(&format!("(a) 10th-pct RSRP, all runs: {}\n", cdf_line(&all, " dBm")));
+    // 17b: per area.
+    out.push_str("(b) per area (median of run p10s):\n");
+    for (area, v) in &by_area {
+        out.push_str(&format!("  {area}: {}\n", dist_line(v, " dBm")));
+    }
+    // 17c: per run label.
+    out.push_str("(c) per loop sub-type (median RSRP per run):\n");
+    for (label, v) in ds.problem_rsrp_by_type(Operator::OpT) {
+        out.push_str(&format!("  {label}: {}\n", dist_line(&v, " dBm")));
+    }
+    out
+}
+
+/// Fig. 18: channel usage breakdown for the NSA loops.
+pub fn fig18(ds: &Dataset) -> String {
+    let mut out = header("fig18", "Usage breakdown per channel (OP_A, OP_V)");
+    for (op, which) in [(Operator::OpA, "a"), (Operator::OpV, "b")] {
+        let usage = ds.usage_lte.get(&op).cloned().unwrap_or_default();
+        let no_loop = ChannelUsage::shares(&usage.no_loop);
+        let empty = Default::default();
+        let n2e1 =
+            ChannelUsage::shares(usage.per_type.get(&LoopType::N2E1).unwrap_or(&empty));
+        out.push_str(&format!("({which}) N2E1 vs no-loop, 4G channels, {}:\n", op.label()));
+        let mut channels: Vec<u32> = no_loop.keys().chain(n2e1.keys()).copied().collect();
+        channels.sort_unstable();
+        channels.dedup();
+        for ch in channels {
+            out.push_str(&format!(
+                "  {ch:>6}: N2E1 {:>6}  no-loop {:>6}\n",
+                pct(n2e1.get(&ch).copied().unwrap_or(0.0)),
+                pct(no_loop.get(&ch).copied().unwrap_or(0.0)),
+            ));
+        }
+    }
+    // (c) N2E2 vs no-loop over 5G channels, both operators.
+    out.push_str("(c) N2E2 vs no-loop, 5G channels:\n");
+    for op in [Operator::OpA, Operator::OpV] {
+        let usage = ds.usage_nr.get(&op).cloned().unwrap_or_default();
+        let no_loop = ChannelUsage::shares(&usage.no_loop);
+        let empty = Default::default();
+        let n2e2 =
+            ChannelUsage::shares(usage.per_type.get(&LoopType::N2E2).unwrap_or(&empty));
+        let mut channels: Vec<u32> = no_loop.keys().chain(n2e2.keys()).copied().collect();
+        channels.sort_unstable();
+        channels.dedup();
+        out.push_str(&format!("  {}:\n", op.label()));
+        for ch in channels {
+            out.push_str(&format!(
+                "    {ch:>6}: N2E2 {:>6}  no-loop {:>6}\n",
+                pct(n2e2.get(&ch).copied().unwrap_or(0.0)),
+                pct(no_loop.get(&ch).copied().unwrap_or(0.0)),
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 19: 5G OFF time per loop sub-type and measurement-recovery delays.
+pub fn fig19(ds: &Dataset) -> String {
+    let mut out = header("fig19", "5G OFF time varies with loop types (OP_A and OP_V)");
+    for op in [Operator::OpA, Operator::OpV] {
+        out.push_str(&format!("{}\n", op.label()));
+        for (t, offs) in ds.off_times_by_type(op) {
+            out.push_str(&format!("  {t}: {}\n", dist_line(&offs, "s")));
+        }
+    }
+    out.push_str("(c) SCG-loss → 5G-measurement delay:\n");
+    for op in [Operator::OpA, Operator::OpV] {
+        let d = ds.scg_meas_delays(op);
+        out.push_str(&format!("  {}: {}\n", op.label(), dist_line(&d, "s")));
+    }
+    out
+}
+
+/// Fig. 7: the showcase-area map with per-location loop likelihood.
+pub fn fig7(ds: &Dataset, area: &onoff_campaign::Area) -> String {
+    let mut out = header("fig7", "Map of A1 (towers and loop likelihood per location)");
+    let likes = ds.location_likelihoods(&area.name);
+    out.push_str(&onoff_campaign::render_map(area, Some(&likes), 72, 26));
+    out
+}
+
+/// The §4.1 drive survey: the cell inventory behind Table 2/Table 3.
+pub fn survey(area: &onoff_campaign::Area) -> String {
+    let mut out = header("survey", "Drive survey of A1 (cell inventory)");
+    let sv = onoff_campaign::drive_survey(area, 120.0);
+    let (nr, lte) = sv.cell_counts();
+    out.push_str(&format!(
+        "{} drive points; {} cells audible ({} 5G / {} 4G)\n",
+        sv.points,
+        sv.cells.len(),
+        nr,
+        lte
+    ));
+    let mut t = TextTable::new(["Cell", "Band", "Width", "Median RSRP", "Best RSRP", "Samples"]);
+    let mut cells: Vec<_> = sv.cells.values().collect();
+    cells.sort_by(|a, b| {
+        b.median_rsrp().unwrap_or(f64::NEG_INFINITY).total_cmp(&a.median_rsrp().unwrap_or(f64::NEG_INFINITY))
+    });
+    for c in cells.iter().take(20) {
+        t.row([
+            c.cell.to_string(),
+            c.band.clone(),
+            format!("{:.0} MHz", c.bandwidth_mhz),
+            format!("{:.1} dBm", c.median_rsrp().unwrap_or(f64::NAN)),
+            format!("{:.1} dBm", c.best_rsrp().unwrap_or(f64::NAN)),
+            c.rsrp_samples.len().to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("(top 20 by median RSRP)\n");
+    out
+}

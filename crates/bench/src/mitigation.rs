@@ -1,0 +1,150 @@
+//! Mitigation experiments — the paper's Q3 ("What can be done to mitigate
+//! such loops?"), made executable. Each remedy flips exactly the policy
+//! the cause analysis blames and re-measures the loop ratio and service
+//! quality at the affected areas:
+//!
+//! * **M1** (S1, F9): release only the bad-apple SCell instead of the whole
+//!   MCG;
+//! * **M2** (S1E3/Table 5): fix the 387410 SCell-modification failure;
+//! * **M3** (N2E1, F15): stop treating 5815 as 5G-disabled (no blind
+//!   flip-flop);
+//! * **M4** (N2E2, F15): push the post-SCG-failure measurement
+//!   configuration promptly instead of every 30 s.
+
+use onoff_analysis::TextTable;
+use onoff_campaign::areas::Area;
+use onoff_campaign::run_location_with_policy;
+use onoff_policy::{op_a_policy, op_t_policy, op_v_policy, OperatorPolicy, PhoneModel};
+use onoff_radio::noise::hash_words;
+
+use crate::output::{header, pct};
+
+struct Outcome {
+    loop_ratio: f64,
+    median_on: Option<f64>,
+    median_off_s: Option<f64>,
+}
+
+/// Runs `runs` experiments per location over `locations` and aggregates.
+fn measure(area: &Area, policy: &OperatorPolicy, locations: usize, runs: usize) -> Outcome {
+    let mut loops = 0usize;
+    let mut total = 0usize;
+    let mut on: Vec<f64> = Vec::new();
+    let mut offs: Vec<f64> = Vec::new();
+    for loc in 0..locations.min(area.locations.len()) {
+        for r in 0..runs {
+            let seed = hash_words(&[4242, loc as u64, r as u64]);
+            let (rec, ..) = run_location_with_policy(
+                area,
+                loc,
+                PhoneModel::OnePlus12R,
+                seed,
+                180_000,
+                policy.clone(),
+            );
+            total += 1;
+            if rec.has_loop {
+                loops += 1;
+            }
+            if let Some(v) = rec.median_on_mbps {
+                on.push(v);
+            }
+            for c in &rec.cycles {
+                offs.push(c.off_ms as f64 / 1000.0);
+            }
+        }
+    }
+    Outcome {
+        loop_ratio: loops as f64 / total.max(1) as f64,
+        median_on: onoff_analysis::median(&on),
+        median_off_s: onoff_analysis::median(&offs),
+    }
+}
+
+fn row(t: &mut TextTable, label: &str, before: &Outcome, after: &Outcome) {
+    let fmt_on = |o: &Outcome| o.median_on.map_or("—".into(), |v| format!("{v:.0} Mbps"));
+    let fmt_off = |o: &Outcome| o.median_off_s.map_or("—".into(), |v| format!("{v:.1} s"));
+    t.row([
+        label.to_string(),
+        pct(before.loop_ratio),
+        pct(after.loop_ratio),
+        fmt_on(before),
+        fmt_on(after),
+        fmt_off(before),
+        fmt_off(after),
+    ]);
+}
+
+/// The mitigation table: baseline vs remedy per finding.
+pub fn mitigation(areas: &[Area]) -> String {
+    let mut out = header("mitigation", "Q3: policy remedies vs the loops they target");
+    let mut t = TextTable::new([
+        "Remedy",
+        "loops before",
+        "loops after",
+        "ON before",
+        "ON after",
+        "OFF before",
+        "OFF after",
+    ]);
+
+    let a1 = &areas[0];
+    let base_t = op_t_policy();
+
+    // M1: per-SCell release (F9's "don't ruin all for one bad apple").
+    let mut m1 = base_t.clone();
+    m1.remedy_scell_only_release = true;
+    row(
+        &mut t,
+        "M1 S1: release only the bad SCell",
+        &measure(a1, &base_t, 8, 3),
+        &measure(a1, &m1, 8, 3),
+    );
+
+    // M2: fix the 387410 modification failure.
+    let mut m2 = base_t.clone();
+    if let Some(rule) = m2.rules.get_mut(&387410) {
+        rule.scell_mod_failure_prob = 0.01;
+    }
+    row(
+        &mut t,
+        "M2 S1E3: fix 387410 modification",
+        &measure(a1, &base_t, 8, 3),
+        &measure(a1, &m2, 8, 3),
+    );
+
+    // M3: drop the 5815 5G-disabled policy (OP_A, area A6).
+    let a6 = areas.iter().find(|a| a.name == "A6").expect("A6 exists");
+    let base_a = op_a_policy();
+    let mut m3 = base_a.clone();
+    if let Some(rule) = m3.rules.get_mut(&5815) {
+        rule.allow_5g = true;
+        rule.release_scg_on_entry = false;
+        rule.switch_away_on_5g_report = None;
+    }
+    row(
+        &mut t,
+        "M3 N2E1: allow 5G on channel 5815",
+        &measure(a6, &base_a, 8, 3),
+        &measure(a6, &m3, 8, 3),
+    );
+
+    // M4: prompt SCG-recovery configuration (OP_V, area A11).
+    let a11 = areas.iter().find(|a| a.name == "A11").expect("A11 exists");
+    let base_v = op_v_policy();
+    let mut m4 = base_v.clone();
+    m4.scg_recovery_config_period_ms = 2_000;
+    row(
+        &mut t,
+        "M4 N2E2: prompt recovery config",
+        &measure(a11, &base_v, 8, 3),
+        &measure(a11, &m4, 8, 3),
+    );
+
+    out.push_str(&t.render());
+    out.push_str(
+        "(M1/M2 should erase the S1 loops and keep 5G ON; M3 removes the flip-flop; \
+         M4 does not remove N2E2 but collapses its OFF time)\n",
+    );
+    out
+}

@@ -1,0 +1,67 @@
+//! Output formatting helpers for the reproduction binaries.
+
+use onoff_analysis::{quantile, Summary, ViolinSummary};
+
+/// Formats a fraction as `48.8%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// One-line distribution summary: `median 41.0 [q1 28.0, q3 61.0] ▁▃█▅▂`.
+pub fn dist_line(xs: &[f64], unit: &str) -> String {
+    match ViolinSummary::of(xs, 12) {
+        Some(v) => format!(
+            "n={:<5} median {:>7.1}{unit} [q1 {:.1}, q3 {:.1}, max {:.1}] {}",
+            v.summary.n,
+            v.summary.median,
+            v.summary.q1,
+            v.summary.q3,
+            v.summary.max,
+            v.sparkline()
+        ),
+        None => "n=0".to_string(),
+    }
+}
+
+/// CDF landmark line: 10th/25th/50th/75th/90th percentiles.
+pub fn cdf_line(xs: &[f64], unit: &str) -> String {
+    if xs.is_empty() {
+        return "n=0".to_string();
+    }
+    let q = |p: f64| quantile(xs, p).unwrap_or(f64::NAN);
+    format!(
+        "n={:<5} p10 {:>6.1}{unit}  p25 {:>6.1}{unit}  p50 {:>6.1}{unit}  p75 {:>6.1}{unit}  p90 {:>6.1}{unit}",
+        xs.len(),
+        q(0.10),
+        q(0.25),
+        q(0.50),
+        q(0.75),
+        q(0.90),
+    )
+}
+
+/// `median ± σ` cell (Table 2 style).
+pub fn median_pm(xs: &[f64]) -> String {
+    Summary::of(xs).map_or("n/a".to_string(), |s| s.median_pm_stddev())
+}
+
+/// Section header for experiment output.
+pub fn header(id: &str, title: &str) -> String {
+    format!("\n=== {id}: {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_smoke() {
+        assert_eq!(pct(0.488), "48.8%");
+        assert!(dist_line(&[1.0, 2.0, 3.0], "s").contains("median"));
+        assert_eq!(dist_line(&[], "s"), "n=0");
+        assert!(cdf_line(&[1.0, 2.0], " Mbps").contains("p50"));
+        assert_eq!(cdf_line(&[], ""), "n=0");
+        assert!(header("fig6", "Loop ratios").contains("fig6"));
+        assert_eq!(median_pm(&[]), "n/a");
+    }
+}

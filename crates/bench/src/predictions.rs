@@ -1,0 +1,155 @@
+//! §6 reproductions: Fig. 20 (fine-grained spatial maps), Fig. 21
+//! (correlation factors), Fig. 22 (prediction vs ground truth).
+
+use onoff_analysis::spearman;
+use onoff_campaign::areas::Area;
+use onoff_campaign::fine::{location_features, FineStudy};
+use onoff_campaign::Dataset;
+use onoff_detect::LoopType;
+use onoff_policy::policy_for;
+use onoff_predict::{error_stats, train_s1, train_s1e3};
+
+use crate::output::{header, pct};
+
+/// Fig. 20: the dense-grid maps around the showcase location.
+pub fn fig20(study: &FineStudy, side: usize) -> String {
+    let mut out = header("fig20", "Fine-grained spatial maps around the showcase location");
+    out.push_str("(b) observed S1E3 loop probability per grid point:\n");
+    for row in study.observed.chunks(side) {
+        let line: Vec<String> = row.iter().map(|p| format!("{:>4.0}%", p * 100.0)).collect();
+        out.push_str(&format!("  {}\n", line.join(" ")));
+    }
+    out.push_str("(e) SCell RSRP gap (dB) per grid point:\n");
+    for row in study.scell_gaps.chunks(side) {
+        let line: Vec<String> = row.iter().map(|g| format!("{g:>5.1}")).collect();
+        out.push_str(&format!("  {}\n", line.join(" ")));
+    }
+    out
+}
+
+/// Fig. 21: the two impact factors with their Spearman coefficients.
+pub fn fig21(study: &FineStudy) -> String {
+    let mut out = header("fig21", "Impact factors of S1E3 loop probability");
+    // (a) loop probability vs SCell gap.
+    let gaps: Vec<f64> = study.scell_gaps.clone();
+    let probs: Vec<f64> = study.observed.clone();
+    let rho = spearman(&gaps, &probs);
+    out.push_str(&format!(
+        "(a) loop probability vs SCell RSRP gap — Spearman corr: {}\n",
+        rho.map_or("n/a".into(), |r| format!("{r:.2}")),
+    ));
+    for (lo, hi) in [(0.0, 3.0), (3.0, 6.0), (6.0, 10.0), (10.0, 15.0), (15.0, 90.0)] {
+        let bucket: Vec<f64> = gaps
+            .iter()
+            .zip(&probs)
+            .filter(|(g, _)| **g >= lo && **g < hi)
+            .map(|(_, p)| *p)
+            .collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let mean = bucket.iter().sum::<f64>() / bucket.len() as f64;
+        out.push_str(&format!(
+            "    gap {lo:>4.0}–{hi:<3.0} dB: mean probability {} (n={})\n",
+            pct(mean),
+            bucket.len()
+        ));
+    }
+    // (b) target-SCell usage vs PCell gap.
+    let (g2, used): (Vec<f64>, Vec<f64>) = study
+        .usage_observations
+        .iter()
+        .map(|&(g, u)| (g, if u { 1.0 } else { 0.0 }))
+        .unzip();
+    let rho2 = spearman(&g2, &used);
+    out.push_str(&format!(
+        "(b) target-SCell usage vs PCell RSRP gap — Spearman corr: {}\n",
+        rho2.map_or("n/a".into(), |r| format!("{r:.2}")),
+    ));
+    for (lo, hi) in [(-30.0, -6.0), (-6.0, 0.0), (0.0, 6.0), (6.0, 30.0)] {
+        let bucket: Vec<f64> = g2
+            .iter()
+            .zip(&used)
+            .filter(|(g, _)| **g >= lo && **g < hi)
+            .map(|(_, u)| *u)
+            .collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let mean = bucket.iter().sum::<f64>() / bucket.len() as f64;
+        out.push_str(&format!(
+            "    PCell gap {lo:>4.0}–{hi:<3.0} dB: usage ratio {} (n={})\n",
+            pct(mean),
+            bucket.len()
+        ));
+    }
+    out
+}
+
+/// Observed per-location probability of the given sub-types in the sparse
+/// dataset (area-filtered).
+fn observed_probs(ds: &Dataset, area: &str, types: &[LoopType]) -> Vec<(usize, f64)> {
+    let mut per_loc: std::collections::BTreeMap<usize, (usize, usize)> = Default::default();
+    for r in ds.by_area(area) {
+        let e = per_loc.entry(r.location).or_insert((0, 0));
+        e.1 += 1;
+        if r.has_loop && r.loop_type.is_some_and(|t| types.contains(&t)) {
+            e.0 += 1;
+        }
+    }
+    per_loc.into_iter().map(|(loc, (l, t))| (loc, l as f64 / t as f64)).collect()
+}
+
+/// Fig. 22: trains on the fine-grained study and predicts loop probability
+/// at every sparse A1 location.
+pub fn fig22(ds: &Dataset, area_a1: &Area, study: &FineStudy) -> String {
+    let mut out = header("fig22", "Predicted vs ground-truth loop probability (A1 locations)");
+    let policy = policy_for(area_a1.operator);
+
+    // --- S1E3 model ---
+    let model = train_s1e3(&study.samples);
+    out.push_str(&format!(
+        "trained S1E3 model: k={:.3}, t={:.1}, n={:.2}\n",
+        model.k, model.t, model.n
+    ));
+    let truth_e3 = observed_probs(ds, "A1", &[LoopType::S1E3]);
+    let mut pairs = Vec::new();
+    out.push_str("(a) S1E3: location, predicted, observed\n");
+    for &(loc, obs) in &truth_e3 {
+        let combos = location_features(&area_a1.env, &policy, area_a1.locations[loc]);
+        let pred = model.predict(&combos);
+        pairs.push((pred, obs));
+        out.push_str(&format!(
+            "  P{:<3} predicted {:>6}  observed {:>6}\n",
+            loc + 1,
+            pct(pred),
+            pct(obs)
+        ));
+    }
+    let stats = error_stats(&pairs);
+    out.push_str(&format!(
+        "  S1E3 accuracy: within ±10%: {}, within ±25%: {} (MAE {:.3})\n",
+        pct(stats.within_10),
+        pct(stats.within_25),
+        stats.mae
+    ));
+
+    // --- combined S1 model, trained on the all-S1 grid labels ---
+    let s1_model = train_s1(&study.samples_s1);
+    let truth_s1 =
+        observed_probs(ds, "A1", &[LoopType::S1E1, LoopType::S1E2, LoopType::S1E3]);
+    let mut s1_pairs = Vec::new();
+    for &(loc, obs) in &truth_s1 {
+        let combos = location_features(&area_a1.env, &policy, area_a1.locations[loc]);
+        s1_pairs.push((s1_model.predict(&combos), obs));
+    }
+    let s1_stats = error_stats(&s1_pairs);
+    out.push_str(&format!(
+        "(b) all S1: within ±25%: {}, within ±30%: {} (MAE {:.3}, n={})\n",
+        pct(s1_stats.within_25),
+        pct(s1_stats.within_30),
+        s1_stats.mae,
+        s1_stats.n
+    ));
+    out
+}

@@ -1,0 +1,399 @@
+//! The eleven test areas and their synthetic deployments.
+//!
+//! Each area gets a deterministic deployment derived from its operator's
+//! channel plan: towers on a jittered grid, each tower carrying one
+//! sectored cell per carrier (co-sited cells share the tower's PCI, the
+//! pattern behind the paper's `380@5815`/`380@5145` and `273@387410`/
+//! `273@398410` pairs). Per-area knobs reproduce the paper's area-level
+//! heterogeneity:
+//!
+//! * **A2** deploys n25 (387410/398410) weak → S1E2-heavy (Figs. 16a, 17b);
+//! * **A8** and **A11** deploy n77 sparse/weak → N2E2-heavy (Fig. 16b);
+//! * the remaining areas are loop-prone through the standard recipes
+//!   (387410 SCell-modification zone for OP_T, the 5815/5230 channel
+//!   policies for OP_A/OP_V).
+
+use serde::{Deserialize, Serialize};
+
+use onoff_policy::{policy_for, ChannelPlan, Operator, OperatorPolicy};
+use onoff_radio::noise::{hash_words, to_unit};
+use onoff_radio::{Antenna, CellSite, Point, RadioEnvironment};
+use onoff_rrc::ids::{CellId, Pci, Rat};
+
+/// One test area: deployment plus test locations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Area {
+    /// Paper name ("A1" … "A11").
+    pub name: String,
+    /// The operator measured in this area.
+    pub operator: Operator,
+    /// City label ("C1" / "C2").
+    pub city: &'static str,
+    /// Extent, metres (square areas of 1–2.9 km²).
+    pub extent_m: f64,
+    /// The radio deployment.
+    pub env: RadioEnvironment,
+    /// Sparse test locations (§4.1: ≥200 m apart, covering the area).
+    pub locations: Vec<Point>,
+}
+
+impl Area {
+    /// Area size in km².
+    pub fn size_km2(&self) -> f64 {
+        (self.extent_m / 1000.0).powi(2)
+    }
+}
+
+/// Per-area deployment knobs.
+struct AreaSpec {
+    name: &'static str,
+    operator: Operator,
+    city: &'static str,
+    extent_m: f64,
+    n_locations: usize,
+    /// Tower grid pitch, metres.
+    tower_pitch_m: f64,
+    /// Extra dB applied to every NR carrier's transmit power (negative in
+    /// the weak-5G areas A8/A11).
+    nr_power_trim_db: f64,
+    /// Extra dB applied to the n25 carriers (387410/398410); strongly
+    /// negative in A2.
+    n25_power_trim_db: f64,
+}
+
+/// PCI pool for towers — seeded with every PCI the paper names so traces
+/// read like the appendix instances.
+const PCI_POOL: [u16; 16] =
+    [393, 104, 273, 371, 540, 684, 309, 390, 380, 238, 191, 97, 53, 66, 62, 188];
+
+fn specs() -> Vec<AreaSpec> {
+    use Operator::*;
+    vec![
+        // OP_T: five areas, 9.7 km² total (Table 3).
+        AreaSpec { name: "A1", operator: OpT, city: "C1", extent_m: 1700.0, n_locations: 25, tower_pitch_m: 560.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
+        AreaSpec { name: "A2", operator: OpT, city: "C1", extent_m: 1400.0, n_locations: 6, tower_pitch_m: 610.0, nr_power_trim_db: 0.0, n25_power_trim_db: -14.0 },
+        AreaSpec { name: "A3", operator: OpT, city: "C1", extent_m: 1400.0, n_locations: 5, tower_pitch_m: 560.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
+        AreaSpec { name: "A4", operator: OpT, city: "C2", extent_m: 1300.0, n_locations: 5, tower_pitch_m: 540.0, nr_power_trim_db: 0.0, n25_power_trim_db: -2.0 },
+        AreaSpec { name: "A5", operator: OpT, city: "C2", extent_m: 1300.0, n_locations: 5, tower_pitch_m: 580.0, nr_power_trim_db: 0.0, n25_power_trim_db: -1.0 },
+        // OP_A: three areas, 4.4 km².
+        AreaSpec { name: "A6", operator: OpA, city: "C1", extent_m: 1200.0, n_locations: 10, tower_pitch_m: 560.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
+        AreaSpec { name: "A7", operator: OpA, city: "C1", extent_m: 1200.0, n_locations: 9, tower_pitch_m: 600.0, nr_power_trim_db: 1.0, n25_power_trim_db: 0.0 },
+        AreaSpec { name: "A8", operator: OpA, city: "C2", extent_m: 1300.0, n_locations: 9, tower_pitch_m: 650.0, nr_power_trim_db: -16.0, n25_power_trim_db: 0.0 },
+        // OP_V: three areas, 5 km².
+        AreaSpec { name: "A9", operator: OpV, city: "C1", extent_m: 1300.0, n_locations: 10, tower_pitch_m: 560.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
+        AreaSpec { name: "A10", operator: OpV, city: "C1", extent_m: 1300.0, n_locations: 9, tower_pitch_m: 580.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
+        AreaSpec { name: "A11", operator: OpV, city: "C2", extent_m: 1300.0, n_locations: 9, tower_pitch_m: 640.0, nr_power_trim_db: -16.0, n25_power_trim_db: 0.0 },
+    ]
+}
+
+/// Is this carrier one of OP_T's n25 channels?
+fn is_n25(plan: &ChannelPlan) -> bool {
+    plan.rat == Rat::Nr && (plan.arfcn == 387410 || plan.arfcn == 398410)
+}
+
+fn build_area(spec: &AreaSpec, seed: u64) -> Area {
+    let policy = policy_for(spec.operator);
+    let area_seed = hash_words(&[seed, spec.name.len() as u64, spec.name.as_bytes()[1] as u64,
+        *spec.name.as_bytes().last().unwrap() as u64, spec.operator as u64]);
+
+    let mut cells: Vec<CellSite> = Vec::new();
+    let n = (spec.extent_m / spec.tower_pitch_m).ceil() as i64 + 1;
+    let mut tower_idx = 0u64;
+    for gy in 0..n {
+        for gx in 0..n {
+            let jx = to_unit(hash_words(&[area_seed, 1, gx as u64, gy as u64])) - 0.5;
+            let jy = to_unit(hash_words(&[area_seed, 2, gx as u64, gy as u64])) - 0.5;
+            let tower = Point::new(
+                gx as f64 * spec.tower_pitch_m + jx * spec.tower_pitch_m * 0.5,
+                gy as f64 * spec.tower_pitch_m + jy * spec.tower_pitch_m * 0.5,
+            );
+            let pci = PCI_POOL[(tower_idx as usize) % PCI_POOL.len()];
+            for (ci, plan) in policy.channels.iter().enumerate() {
+                // n25 carriers ride on ~70 % of towers (sparser overlay),
+                // creating both co-sited and orphaned locations.
+                if is_n25(plan)
+                    && to_unit(hash_words(&[area_seed, 4, tower_idx, ci as u64])) > 0.7
+                {
+                    continue;
+                }
+                // OP_A's 5G-disabled channel 5815 is a partial overlay:
+                // deployed on under half the towers (sparser still in A8),
+                // so the flip-flop loop is location-dependent.
+                if plan.arfcn == 5815 && plan.rat == Rat::Lte {
+                    let share = if spec.name == "A8" { 0.25 } else { 0.45 };
+                    if to_unit(hash_words(&[area_seed, 5, tower_idx])) > share {
+                        continue;
+                    }
+                }
+                // In the weak-5G areas (A8, A11) the NR layer is a sparse
+                // overlay: the serving PSCell is a distant cell hovering in
+                // the random-access-failure zone — the N2E2 recipe. The
+                // low-band n5 blanket (OP_A's 174770) is absent in these
+                // markets: without it nothing shields the UE from the weak
+                // mid-band PSCells.
+                if plan.rat == Rat::Nr && spec.nr_power_trim_db < -5.0 {
+                    if plan.arfcn == 174770 {
+                        continue;
+                    }
+                    if to_unit(hash_words(&[area_seed, 9, tower_idx, ci as u64])) > 0.4 {
+                        continue;
+                    }
+                }
+                let mut tx = plan.tx_power_dbm;
+                if plan.rat == Rat::Nr {
+                    tx += spec.nr_power_trim_db;
+                }
+                // The band-12 target of OP_A's blind switch is a thin,
+                // unevenly-maintained overlay: some sectors are nearly
+                // dead. Landing on one of those (unmeasured!) is the
+                // paper's N1E1/N1E2 recipe.
+                if plan.arfcn == 5145 && plan.rat == Rat::Lte {
+                    let u = to_unit(hash_words(&[area_seed, 12, tower_idx]));
+                    tx -= 26.0 * u.powi(4); // a small tail of nearly-dead sectors
+                }
+                if is_n25(plan) {
+                    // Per-tower deployment jitter on the n25 overlay: some
+                    // sectors are much weaker than others (the paper's
+                    // Fig. 17b spread).
+                    tx += spec.n25_power_trim_db
+                        - 6.0 * to_unit(hash_words(&[area_seed, 6, tower_idx]));
+                    // ~12 % of n25 sectors are deep holes (obstructed or
+                    // down-tilted): the bad apples behind S1E1.
+                    if to_unit(hash_words(&[area_seed, 8, tower_idx, ci as u64])) < 0.12 {
+                        tx -= 22.0;
+                    }
+                }
+                // Anchor carriers share the tower's primary panel; only the
+                // n25 overlay rides its own panel (operators re-use legacy
+                // PCS antennas for it), so a tower's overlay carrier can be
+                // weak exactly where its anchor is strong — the geometry
+                // behind weak serving SCells with strong co-channel rivals,
+                // and the reason only devices that *use* those SCells (the
+                // OnePlus 12R) see the S1 loops.
+                let bearing_key: u64 = if is_n25(plan) { 100 + ci as u64 } else { 0 };
+                let bearing = to_unit(hash_words(&[area_seed, 3, tower_idx, bearing_key]))
+                    * std::f64::consts::TAU;
+                // Split-sector pairs (two same-carrier cells per tower):
+                // OP_V's band-13 anchor 5230 everywhere — comparable
+                // coverage at sector boundaries makes the SCG-dropping
+                // intra-channel handover ping-pong common — and, in the
+                // weak-5G areas (A8/A11), the NR overlay itself, where two
+                // comparable weak cells produce the frequent SCG changes
+                // (and random-access failures) behind N2E2.
+                let weak_5g = spec.nr_power_trim_db < -5.0;
+                let split_pair = (plan.arfcn == 5230 && plan.rat == Rat::Lte && !weak_5g)
+                    || (plan.rat == Rat::Nr && weak_5g);
+                let copies = if split_pair { 2 } else { 1 };
+                for copy in 0..copies {
+                    let pci_c = if copy == 0 { pci } else { pci.wrapping_add(3) % 504 };
+                    // 60° split: the pair's patterns stay within a few dB
+                    // of each other over a wide wedge, so handover
+                    // ping-pong zones are common.
+                    let bearing_c = bearing + copy as f64 * 45f64.to_radians();
+                    cells.push(CellSite {
+                        cell: CellId { rat: plan.rat, pci: Pci(pci_c), arfcn: plan.arfcn },
+                        tower,
+                        antenna: Antenna {
+                            bearing_rad: bearing_c,
+                            beamwidth_rad: 120f64.to_radians(),
+                            max_gain_dbi: 15.0,
+                            front_to_back_db: 18.0,
+                        },
+                        tx_power_dbm: tx,
+                        path_loss_exponent: if plan.arfcn == 5230 { 3.0 } else { 3.2 },
+                        shadow_sigma_db: if plan.arfcn == 5230 { 4.5 } else { 6.0 },
+                        bandwidth_mhz: plan.bandwidth_mhz,
+                    })
+                }
+            }
+            tower_idx += 1;
+        }
+    }
+
+    let mut env = RadioEnvironment::new(hash_words(&[area_seed, 7]), cells);
+    // Field measurements swing harder than a clean synthetic channel;
+    // 3 dB of fast fading matches the run-to-run variability the paper
+    // attributes to "runtime RSRP/RSRQ measurement dynamics".
+    env.fading_sigma_db = 3.0;
+    // Urban shadowing decorrelates over ~100 m; this is what makes the §6
+    // fine-grained maps contiguous patches rather than salt-and-pepper.
+    env.shadow_corr_m = 100.0;
+    // Day-to-day slow variation per run and cell: grades a location's loop
+    // likelihood between 0 and 100 % across repeated visits.
+    env.run_bias_sigma_db = 1.5;
+    let locations = pick_locations(&env, &policy, spec, area_seed);
+
+    Area {
+        name: spec.name.to_string(),
+        operator: spec.operator,
+        city: spec.city,
+        extent_m: spec.extent_m,
+        env,
+        locations,
+    }
+}
+
+/// Picks spread-out test locations with usable coverage: jittered grid
+/// points, ≥200 m apart, where the operator's master RAT has a serving-able
+/// cell (mean RSRP above the selection floor plus margin).
+fn pick_locations(
+    env: &RadioEnvironment,
+    policy: &OperatorPolicy,
+    spec: &AreaSpec,
+    area_seed: u64,
+) -> Vec<Point> {
+    let master_rat = match policy.mode {
+        onoff_policy::FivegMode::Sa => Rat::Nr,
+        onoff_policy::FivegMode::Nsa => Rat::Lte,
+    };
+    let floor = policy.q_rx_lev_min_deci as f64 / 10.0 + 6.0;
+    let mut out: Vec<Point> = Vec::new();
+    let side = (spec.n_locations as f64).sqrt().ceil() as i64 + 2;
+    let pitch = spec.extent_m / side as f64;
+    let mut attempts: Vec<Point> = Vec::new();
+    for gy in 0..side {
+        for gx in 0..side {
+            let jx = to_unit(hash_words(&[area_seed, 10, gx as u64, gy as u64])) - 0.5;
+            let jy = to_unit(hash_words(&[area_seed, 11, gx as u64, gy as u64])) - 0.5;
+            attempts.push(Point::new(
+                (gx as f64 + 0.5) * pitch + jx * pitch * 0.25,
+                (gy as f64 + 0.5) * pitch + jy * pitch * 0.25,
+            ));
+        }
+    }
+    for p in attempts {
+        if out.len() >= spec.n_locations {
+            break;
+        }
+        let covered = env
+            .cells
+            .iter()
+            .filter(|s| s.cell.rat == master_rat)
+            .any(|s| env.local_rsrp_dbm(s, p) > floor);
+        let spread = out.iter().all(|q| q.distance(p) >= 200.0);
+        if covered && spread {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Builds all eleven areas from a campaign seed.
+pub fn all_areas(seed: u64) -> Vec<Area> {
+    specs().iter().map(|s| build_area(s, seed)).collect()
+}
+
+/// Builds a single area by paper name ("A1" … "A11").
+pub fn area_by_name(name: &str, seed: u64) -> Option<Area> {
+    specs().iter().find(|s| s.name == name).map(|s| build_area(s, seed))
+}
+
+/// Convenience: the showcase campus area A1 (OP_T).
+pub fn area_a1(seed: u64) -> Area {
+    area_by_name("A1", seed).expect("A1 exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_eleven_areas_with_table3_operator_split() {
+        let areas = all_areas(42);
+        assert_eq!(areas.len(), 11);
+        let count = |op: Operator| areas.iter().filter(|a| a.operator == op).count();
+        assert_eq!(count(Operator::OpT), 5);
+        assert_eq!(count(Operator::OpA), 3);
+        assert_eq!(count(Operator::OpV), 3);
+        assert_eq!(areas[0].name, "A1");
+        assert_eq!(areas[10].name, "A11");
+    }
+
+    #[test]
+    fn a1_has_25_spread_locations() {
+        let a1 = area_a1(42);
+        assert_eq!(a1.locations.len(), 25);
+        for (i, p) in a1.locations.iter().enumerate() {
+            for q in &a1.locations[i + 1..] {
+                assert!(p.distance(*q) >= 200.0, "locations too close");
+            }
+        }
+    }
+
+    #[test]
+    fn deployments_are_deterministic() {
+        let a = area_a1(42);
+        let b = area_a1(42);
+        assert_eq!(a.env, b.env);
+        assert_eq!(a.locations, b.locations);
+        let c = area_a1(43);
+        assert_ne!(a.env, c.env);
+    }
+
+    #[test]
+    fn op_t_areas_carry_all_five_nr_channels() {
+        let a1 = area_a1(42);
+        for arfcn in [521310u32, 501390, 398410, 387410, 126270] {
+            assert!(
+                a1.env.on_channel(Rat::Nr, arfcn).count() > 0,
+                "missing channel {arfcn}"
+            );
+        }
+        // Co-sited PCI sharing: a tower's cells share the PCI.
+        let some = &a1.env.cells[0];
+        let siblings: Vec<_> =
+            a1.env.cells.iter().filter(|c| c.tower == some.tower).collect();
+        assert!(siblings.len() > 1);
+        assert!(siblings.iter().all(|c| c.cell.pci == some.cell.pci));
+    }
+
+    #[test]
+    fn a2_deploys_n25_weak() {
+        let areas = all_areas(42);
+        let a1 = &areas[0];
+        let a2 = &areas[1];
+        let avg_tx = |a: &Area, arfcn: u32| -> f64 {
+            let v: Vec<f64> =
+                a.env.on_channel(Rat::Nr, arfcn).map(|c| c.tx_power_dbm).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg_tx(a2, 387410) < avg_tx(a1, 387410) - 10.0);
+    }
+
+    #[test]
+    fn nsa_areas_have_problematic_lte_channels() {
+        let areas = all_areas(42);
+        let a6 = areas.iter().find(|a| a.name == "A6").unwrap();
+        assert!(a6.env.on_channel(Rat::Lte, 5815).count() > 0);
+        assert!(a6.env.on_channel(Rat::Lte, 5145).count() > 0);
+        let a9 = areas.iter().find(|a| a.name == "A9").unwrap();
+        assert!(a9.env.on_channel(Rat::Lte, 5230).count() > 1, "need co-channel 5230 cells");
+    }
+
+    #[test]
+    fn locations_have_master_rat_coverage() {
+        for area in all_areas(42) {
+            assert!(!area.locations.is_empty(), "{} has no locations", area.name);
+            let master = match area.operator {
+                Operator::OpT => Rat::Nr,
+                _ => Rat::Lte,
+            };
+            for p in &area.locations {
+                let best = area
+                    .env
+                    .cells
+                    .iter()
+                    .filter(|s| s.cell.rat == master)
+                    .map(|s| area.env.local_rsrp_dbm(s, *p))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert!(best > -114.0, "{}: uncovered location {:?} ({best})", area.name, p);
+            }
+        }
+    }
+
+    #[test]
+    fn size_km2() {
+        let a1 = area_a1(1);
+        assert!((a1.size_km2() - 2.89).abs() < 0.01);
+    }
+}

@@ -1,0 +1,318 @@
+//! The §6 fine-grained spatial study: dense grid around a loop site,
+//! observed loop probabilities, model features, training data and the
+//! Fig. 21 correlation series.
+
+use serde::{Deserialize, Serialize};
+
+use onoff_policy::{policy_for, OperatorPolicy, PhoneModel};
+use onoff_predict::{CellsetFeatures, LocationSample};
+use onoff_radio::noise::hash_words;
+use onoff_radio::{CellSite, Point, RadioEnvironment};
+use onoff_rrc::ids::{CellId, Rat};
+use onoff_rrc::serving::ServingCellSet;
+use onoff_sim::{simulate, SimConfig};
+
+use crate::areas::Area;
+
+/// OP_T's S1E3 channel under study.
+const PROBLEM_ARFCN: u32 = 387410;
+
+/// The outcome of a fine-grained study around one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FineStudy {
+    /// Grid points.
+    pub grid: Vec<Point>,
+    /// Observed S1E3 loop probability per point (Fig. 20b).
+    pub observed: Vec<f64>,
+    /// SCell RSRP gap per point, dB (Fig. 20e / 21a's x-axis).
+    pub scell_gaps: Vec<f64>,
+    /// Training samples (features + observed S1E3 probability).
+    pub samples: Vec<LocationSample>,
+    /// Training samples labelled with the overall S1 probability (any of
+    /// S1E1/S1E2/S1E3) — what the combined §6 model trains on.
+    pub samples_s1: Vec<LocationSample>,
+    /// Per-run `(PCell gap dB, target SCell used?)` observations (Fig. 21b).
+    pub usage_observations: Vec<(f64, bool)>,
+}
+
+/// Local mean RSRP (shadowed, time-free) of a site at a point.
+fn rsrp(env: &RadioEnvironment, site: &CellSite, p: Point) -> f64 {
+    env.local_rsrp_dbm(site, p)
+}
+
+/// The SCell the RAN would configure on a channel for a PCell at `tower`:
+/// the co-sited cell if one exists, else the channel's strongest (the
+/// simulator's intra-site carrier-aggregation rule).
+fn co_sited_or_strongest(
+    env: &RadioEnvironment,
+    tower: Point,
+    arfcn: u32,
+    p: Point,
+) -> Option<&CellSite> {
+    let on: Vec<&CellSite> = env
+        .cells
+        .iter()
+        .filter(|s| s.cell.rat == Rat::Nr && s.cell.arfcn == arfcn)
+        .collect();
+    on.iter()
+        .find(|s| s.tower == tower)
+        .copied()
+        .or_else(|| {
+            on.into_iter()
+                .max_by(|a, b| rsrp(env, a, p).total_cmp(&rsrp(env, b, p)))
+        })
+}
+
+/// Computes the §6 model features of every cell-set combination available
+/// at a point: one combination per viable PCell candidate.
+pub fn location_features(
+    env: &RadioEnvironment,
+    policy: &OperatorPolicy,
+    p: Point,
+) -> Vec<CellsetFeatures> {
+    // Mirror the UE's anchoring rule: SA PCells sit on the wide capacity
+    // carriers only.
+    let pcell_capable: Vec<u32> = policy
+        .nr_channels()
+        .filter(|c| c.bandwidth_mhz >= 40.0)
+        .map(|c| c.arfcn)
+        .collect();
+    let floor = policy.q_rx_lev_min_deci as f64 / 10.0;
+    let mut candidates: Vec<(&CellSite, f64)> = env
+        .cells
+        .iter()
+        .filter(|s| s.cell.rat == Rat::Nr && pcell_capable.contains(&s.cell.arfcn))
+        .map(|s| (s, rsrp(env, s, p)))
+        .filter(|(_, r)| *r > floor)
+        .collect();
+    // Only the handful of plausible anchors matter; distant also-rans would
+    // just smear the usage-weighted sum.
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+    candidates.truncate(4);
+
+    let scell_channels: Vec<u32> = policy.nr_channels().map(|c| c.arfcn).collect();
+    let mut out = Vec::new();
+    for &(pc, pc_rsrp) in &candidates {
+        let best_other = candidates
+            .iter()
+            .filter(|(s, _)| s.cell != pc.cell)
+            .map(|(_, r)| *r)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let pcell_gap_db = if best_other.is_finite() { pc_rsrp - best_other } else { 20.0 };
+
+        // Target SCell on the problematic channel and its best co-channel
+        // rival. The modification command is only issued when the serving
+        // SCell is still alive and the rival usable (§5's RAN behaviour),
+        // so combinations outside those gates can't produce S1E3 — encode
+        // that as an effectively-infinite gap.
+        let target = co_sited_or_strongest(env, pc.tower, PROBLEM_ARFCN, p);
+        let scell_gap_db = match target {
+            Some(t) => {
+                let serving = rsrp(env, t, p);
+                let rival = env
+                    .cells
+                    .iter()
+                    .filter(|s| {
+                        s.cell.rat == Rat::Nr
+                            && s.cell.arfcn == PROBLEM_ARFCN
+                            && s.cell != t.cell
+                    })
+                    .map(|s| rsrp(env, s, p))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                // The swap window the RAN applies (serving alive, rival
+                // usable, advantage below the no-command ceiling), widened
+                // by a fading margin: the run-time triggers act on
+                // instantaneous samples, so mean-field features just past a
+                // gate can still produce loops.
+                const FADE_DB: f64 = 4.0;
+                if rival.is_finite()
+                    && serving > -108.0 - FADE_DB
+                    && rival > -110.0 - FADE_DB
+                    && rival - serving <= 12.0 + FADE_DB
+                {
+                    (serving - rival).abs()
+                } else {
+                    99.0
+                }
+            }
+            None => 99.0,
+        };
+
+        // Worst SCell the combination would serve with.
+        let mut worst = f64::INFINITY;
+        for &ch in &scell_channels {
+            if ch == pc.cell.arfcn {
+                continue;
+            }
+            if let Some(s) = co_sited_or_strongest(env, pc.tower, ch, p) {
+                worst = worst.min(rsrp(env, s, p));
+            }
+        }
+        if !worst.is_finite() {
+            worst = pc_rsrp;
+        }
+
+        out.push(CellsetFeatures { pcell_gap_db, scell_gap_db, worst_scell_rsrp_dbm: worst });
+    }
+    out
+}
+
+/// Runs the fine-grained spatial study: a `side × side` grid spanning
+/// ±`half_extent_m` around `center`, `runs_per_point` stationary runs each.
+pub fn fine_grained_study(
+    area: &Area,
+    center: Point,
+    half_extent_m: f64,
+    side: usize,
+    runs_per_point: usize,
+    seed: u64,
+) -> FineStudy {
+    let policy = policy_for(area.operator);
+    let origin = center.offset(-half_extent_m, -half_extent_m);
+    let grid = onoff_radio::geometry::grid(
+        origin,
+        2.0 * half_extent_m,
+        2.0 * half_extent_m,
+        side,
+        side,
+    );
+
+    let mut observed = Vec::with_capacity(grid.len());
+    let mut scell_gaps = Vec::with_capacity(grid.len());
+    let mut samples = Vec::with_capacity(grid.len());
+    let mut samples_s1 = Vec::with_capacity(grid.len());
+    let mut usage_observations = Vec::new();
+
+    // Fig. 21b's fixed subject: the *target PCell* is the anchor serving
+    // the study's centre; across the grid we observe whether each run used
+    // it, against its RSRP gap to the best rival anchor at that point.
+    let target_pcell = area
+        .env
+        .cells
+        .iter()
+        .filter(|s| {
+            s.cell.rat == Rat::Nr
+                && policy
+                    .nr_channels()
+                    .any(|c| c.arfcn == s.cell.arfcn && c.bandwidth_mhz >= 40.0)
+        })
+        .max_by(|a, b| {
+            area.env
+                .local_rsrp_dbm(a, center)
+                .total_cmp(&area.env.local_rsrp_dbm(b, center))
+        })
+        .map(|s| s.cell);
+
+    for (gi, &p) in grid.iter().enumerate() {
+        let combos = location_features(&area.env, &policy, p);
+        // The point's headline SCell gap: the gap of the most-usable combo.
+        let headline = combos
+            .iter()
+            .max_by(|a, b| a.pcell_gap_db.total_cmp(&b.pcell_gap_db))
+            .map_or(99.0, |f| f.scell_gap_db);
+        scell_gaps.push(headline);
+
+        let mut loops = 0usize;
+        let mut s1_loops = 0usize;
+        for run in 0..runs_per_point {
+            let run_seed = hash_words(&[seed, gi as u64, run as u64]);
+            let mut cfg = SimConfig::stationary(
+                policy.clone(),
+                PhoneModel::OnePlus12R,
+                area.env.clone(),
+                p,
+                run_seed,
+            );
+            cfg.meas_period_ms = 1000;
+            let out = simulate(&cfg);
+            let analysis = onoff_detect::analyze_trace(&out.events);
+            let dominant = analysis.dominant_loop_type();
+            if analysis.has_loop() {
+                if dominant == Some(onoff_detect::LoopType::S1E3) {
+                    loops += 1;
+                }
+                if dominant.is_some_and(|t| t.is_s1()) {
+                    s1_loops += 1;
+                }
+            }
+            if let Some(target) = target_pcell {
+                usage_observations.extend(usage_observation(
+                    area,
+                    &policy,
+                    p,
+                    target,
+                    &analysis.timeline.sets,
+                ));
+            }
+        }
+        let prob = loops as f64 / runs_per_point as f64;
+        let prob_s1 = s1_loops as f64 / runs_per_point as f64;
+        observed.push(prob);
+        samples.push(LocationSample { combos: combos.clone(), observed: prob });
+        samples_s1.push(LocationSample { combos, observed: prob_s1 });
+    }
+
+    FineStudy { grid, observed, scell_gaps, samples, samples_s1, usage_observations }
+}
+
+/// Derives one Fig. 21b observation from a run: the fixed target PCell's
+/// RSRP gap over the best rival anchor at this point, and whether the run
+/// actually camped on that PCell (thereby using its target SCells).
+fn usage_observation(
+    area: &Area,
+    policy: &OperatorPolicy,
+    p: Point,
+    target: CellId,
+    sets: &[ServingCellSet],
+) -> Option<(f64, bool)> {
+    let env = &area.env;
+    let target_site = &env.cells[env.find(target)?];
+    let target_rsrp = env.local_rsrp_dbm(target_site, p);
+    let rival = env
+        .cells
+        .iter()
+        .filter(|s| {
+            s.cell != target
+                && s.cell.rat == Rat::Nr
+                && policy
+                    .nr_channels()
+                    .any(|c| c.arfcn == s.cell.arfcn && c.bandwidth_mhz >= 40.0)
+        })
+        .map(|s| env.local_rsrp_dbm(s, p))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !rival.is_finite() {
+        return None;
+    }
+    let used = sets.iter().any(|s| s.pcell() == Some(target));
+    Some((target_rsrp - rival, used))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::area_a1;
+
+    #[test]
+    fn features_are_finite_and_plausible() {
+        let a1 = area_a1(42);
+        let policy = policy_for(a1.operator);
+        let combos = location_features(&a1.env, &policy, a1.locations[0]);
+        assert!(!combos.is_empty(), "a covered location must have combos");
+        for f in &combos {
+            assert!(f.pcell_gap_db.is_finite());
+            assert!(f.scell_gap_db >= 0.0);
+            assert!(f.worst_scell_rsrp_dbm < -20.0);
+        }
+    }
+
+    #[test]
+    fn fine_study_smoke() {
+        let a1 = area_a1(42);
+        let study = fine_grained_study(&a1, a1.locations[0], 60.0, 2, 2, 5);
+        assert_eq!(study.grid.len(), 4);
+        assert_eq!(study.observed.len(), 4);
+        assert_eq!(study.samples.len(), 4);
+        assert!(study.observed.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(study.scell_gaps.len(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! ASCII area maps — the reproduction's stand-in for the paper's Fig. 5/7
+//! maps: tower positions, test locations and (optionally) a per-location
+//! loop-likelihood glyph.
+
+use crate::areas::Area;
+
+/// Renders the area as a `cols × rows` character grid: `^` towers, `o` test
+/// locations (letters a, b, c… when `likelihoods` is given: `#` ≥75 %,
+/// `+` ≥50 %, `-` ≥25 %, `.` >0 %, `o` = 0 %). Towers take precedence when
+/// glyphs collide.
+pub fn render_map(area: &Area, likelihoods: Option<&[f64]>, cols: usize, rows: usize) -> String {
+    let cols = cols.max(8);
+    let rows = rows.max(4);
+    let mut grid = vec![vec![' '; cols]; rows];
+    let scale_x = area.extent_m / cols as f64;
+    let scale_y = area.extent_m / rows as f64;
+    let place = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x / scale_x) as usize).min(cols - 1);
+        // Map north-up: row 0 is the top.
+        let cy = rows - 1 - ((y / scale_y) as usize).min(rows - 1);
+        (cx, cy)
+    };
+
+    for (i, p) in area.locations.iter().enumerate() {
+        let (cx, cy) = place(p.x, p.y);
+        let glyph = match likelihoods.and_then(|l| l.get(i)) {
+            Some(&p) if p >= 0.75 => '#',
+            Some(&p) if p >= 0.50 => '+',
+            Some(&p) if p >= 0.25 => '-',
+            Some(&p) if p > 0.0 => '.',
+            Some(_) => 'o',
+            None => 'o',
+        };
+        grid[cy][cx] = glyph;
+    }
+    // Towers drawn last (visual anchor, like the paper's tower glyphs).
+    let mut towers: Vec<(f64, f64)> =
+        area.env.cells.iter().map(|c| (c.tower.x, c.tower.y)).collect();
+    towers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    towers.dedup();
+    for (x, y) in towers {
+        if (0.0..=area.extent_m).contains(&x) && (0.0..=area.extent_m).contains(&y) {
+            let (cx, cy) = place(x, y);
+            grid[cy][cx] = '^';
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} ({}, {:.1} km²) — ^ tower, o/./-/+/# test location by loop likelihood\n",
+        area.name,
+        area.operator,
+        area.size_km2()
+    ));
+    let border: String = std::iter::repeat_n('-', cols + 2).collect();
+    out.push_str(&border);
+    out.push('\n');
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&border);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::area_a1;
+
+    #[test]
+    fn map_contains_all_glyph_kinds() {
+        let a1 = area_a1(42);
+        let likes: Vec<f64> = (0..a1.locations.len())
+            .map(|i| [0.0, 0.1, 0.3, 0.6, 0.9][i % 5])
+            .collect();
+        let map = render_map(&a1, Some(&likes), 60, 24);
+        assert!(map.contains('^'), "towers drawn");
+        for g in ['o', '.', '-', '+', '#'] {
+            assert!(map.contains(g), "missing glyph {g}\n{map}");
+        }
+        // Framed: every grid row bracketed by pipes.
+        let rows: Vec<&str> = map.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(rows.len(), 24);
+        assert!(rows.iter().all(|r| r.ends_with('|')));
+    }
+
+    #[test]
+    fn map_without_likelihoods_uses_circles() {
+        let a1 = area_a1(42);
+        let map = render_map(&a1, None, 40, 16);
+        let grid: String = map.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(grid.contains('o'));
+        assert!(!grid.contains('#'));
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped() {
+        let a1 = area_a1(42);
+        let map = render_map(&a1, None, 1, 1);
+        assert!(map.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,85 @@
+//! Dataset persistence: save/load the campaign dataset as JSON so
+//! EXPERIMENTS.md numbers can be regenerated without re-running the
+//! simulation, mirroring the paper's released-dataset workflow.
+
+use std::io;
+use std::path::Path;
+
+use crate::dataset::Dataset;
+
+/// Saves a dataset as pretty-printed JSON.
+pub fn save_json(ds: &Dataset, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(ds)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Loads a dataset saved by [`save_json`].
+pub fn load_json(path: &Path) -> io::Result<Dataset> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunRecord;
+    use onoff_policy::{Operator, PhoneModel};
+
+    fn tiny() -> Dataset {
+        Dataset {
+            records: vec![RunRecord {
+                operator: Operator::OpT,
+                area: "A1".into(),
+                location: 3,
+                device: PhoneModel::OnePlus12R,
+                seed: 42,
+                minutes: 5.0,
+                has_loop: true,
+                persistence: Some(onoff_detect::Persistence::Persistent),
+                loop_type: Some(onoff_detect::LoopType::S1E3),
+                cycles: Vec::new(),
+                off_by_type: vec![(onoff_detect::LoopType::S1E3, 11_000)],
+                median_on_mbps: Some(186.1),
+                median_off_mbps: Some(0.0),
+                unique_cs: 5,
+                cs_samples: 40,
+                meas_results: 1234,
+                problem_channel_rsrp: vec![-85.0, -90.5],
+                scg_meas_delays_ms: Vec::new(),
+            }],
+            areas: vec![("A1".into(), Operator::OpT, 2.89)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("onoff_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        let ds = tiny();
+        save_json(&ds, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].seed, 42);
+        assert_eq!(back.records[0].loop_type, Some(onoff_detect::LoopType::S1E3));
+        assert_eq!(back.areas, ds.areas);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_json(Path::new("/definitely/not/here.json")).is_err());
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let dir = std::env::temp_dir().join("onoff_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(load_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-run records — the dataset's unit.
+
+use serde::{Deserialize, Serialize};
+
+use onoff_detect::metrics::CycleStat;
+use onoff_detect::{LoopType, Persistence, RunAnalysis};
+use onoff_policy::{Operator, PhoneModel};
+use onoff_rrc::ids::Rat;
+use onoff_rrc::messages::RrcMessage;
+use onoff_rrc::trace::TraceEvent;
+use onoff_sim::SimOutput;
+
+/// The condensed outcome of one stationary run. The raw trace is dropped
+/// after analysis; everything any figure needs is summarised here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Operator of the run.
+    pub operator: Operator,
+    /// Area name ("A1" … "A11").
+    pub area: String,
+    /// Location index within the area.
+    pub location: usize,
+    /// Phone model used.
+    pub device: PhoneModel,
+    /// Run seed.
+    pub seed: u64,
+    /// Run length, minutes.
+    pub minutes: f64,
+    /// Whether an ON-OFF loop was detected (Fig. 4 label).
+    pub has_loop: bool,
+    /// Persistence of the (first) loop.
+    pub persistence: Option<Persistence>,
+    /// Dominant classified sub-type of the run's loops.
+    pub loop_type: Option<LoopType>,
+    /// Per-cycle impact stats of all loop cycles.
+    pub cycles: Vec<CycleStat>,
+    /// OFF durations per classified OFF transition (for Fig. 19).
+    pub off_by_type: Vec<(LoopType, u64)>,
+    /// Median download speed while 5G ON, Mbps.
+    pub median_on_mbps: Option<f64>,
+    /// Median download speed while 5G OFF, Mbps.
+    pub median_off_mbps: Option<f64>,
+    /// Distinct serving sets observed (Table 3's "# CS (unique)").
+    pub unique_cs: usize,
+    /// CS timeline samples (Table 3's "# CS sample").
+    pub cs_samples: usize,
+    /// RSRP/RSRQ measurement results seen in reports (Table 3's "# RSRP/RSRQ").
+    pub meas_results: u64,
+    /// RSRP samples (dBm) of cells on the operator's problematic channel,
+    /// harvested from measurement reports (Fig. 17).
+    pub problem_channel_rsrp: Vec<f64>,
+    /// N2E2 recovery delays: SCG release → next B1 report, ms (Fig. 19c).
+    pub scg_meas_delays_ms: Vec<u64>,
+}
+
+/// The "problematic channel" under study per operator (F14).
+pub fn problem_channel(op: Operator) -> u32 {
+    match op {
+        Operator::OpT => 387410,
+        Operator::OpA => 5815,
+        Operator::OpV => 5230,
+    }
+}
+
+/// For Fig. 17 the interesting RSRP samples are the NR 387410 ones; for the
+/// NSA operators the problematic channels are LTE so the RAT differs.
+pub fn problem_channel_rat(op: Operator) -> Rat {
+    match op {
+        Operator::OpT => Rat::Nr,
+        _ => Rat::Lte,
+    }
+}
+
+impl RunRecord {
+    /// Builds a record from a simulated run and its analysis.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_run(
+        operator: Operator,
+        area: &str,
+        location: usize,
+        device: PhoneModel,
+        seed: u64,
+        out: &SimOutput,
+        analysis: &RunAnalysis,
+    ) -> RunRecord {
+        let duration_ms = out.events.last().map_or(0, |e| e.t().millis());
+        let prob_ch = problem_channel(operator);
+        let prob_rat = problem_channel_rat(operator);
+
+        let mut meas_results = 0u64;
+        let mut problem_channel_rsrp = Vec::new();
+        let mut scg_meas_delays_ms = Vec::new();
+        let mut scg_released_at: Option<u64> = None;
+        for ev in &out.events {
+            if let TraceEvent::Rrc(rec) = ev {
+                match &rec.msg {
+                    RrcMessage::MeasurementReport(r) => {
+                        meas_results += r.results.len() as u64;
+                        for m in &r.results {
+                            if m.cell.arfcn == prob_ch && m.cell.rat == prob_rat {
+                                problem_channel_rsrp.push(m.meas.rsrp.db());
+                            }
+                        }
+                        if r.trigger.as_deref() == Some("B1") {
+                            if let Some(rel) = scg_released_at.take() {
+                                scg_meas_delays_ms.push(rec.t.millis().saturating_sub(rel));
+                            }
+                        }
+                    }
+                    RrcMessage::Reconfiguration(body) if body.scg_release => {
+                        scg_released_at = Some(rec.t.millis());
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Pair each classified OFF transition with its cycle's OFF time.
+        let mut off_by_type = Vec::new();
+        for tr in &analysis.off_transitions {
+            let cycle = analysis
+                .loops
+                .iter()
+                .flat_map(|l| l.cycles.iter())
+                .find(|c| c.off_at == tr.t);
+            if let Some(c) = cycle {
+                off_by_type.push((tr.loop_type, c.off_ms()));
+            }
+        }
+
+        RunRecord {
+            operator,
+            area: area.to_string(),
+            location,
+            device,
+            seed,
+            minutes: duration_ms as f64 / 60_000.0,
+            has_loop: analysis.has_loop(),
+            persistence: analysis.loops.first().map(|l| l.persistence),
+            loop_type: analysis.dominant_loop_type(),
+            cycles: analysis.metrics.cycle_stats.clone(),
+            off_by_type,
+            median_on_mbps: analysis.metrics.median_on_mbps,
+            median_off_mbps: analysis.metrics.median_off_mbps,
+            unique_cs: analysis.timeline.unique_sets(),
+            cs_samples: analysis.timeline.samples.len(),
+            meas_results,
+            problem_channel_rsrp,
+            scg_meas_delays_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_channels_match_f14() {
+        assert_eq!(problem_channel(Operator::OpT), 387410);
+        assert_eq!(problem_channel(Operator::OpA), 5815);
+        assert_eq!(problem_channel(Operator::OpV), 5230);
+        assert_eq!(problem_channel_rat(Operator::OpT), Rat::Nr);
+        assert_eq!(problem_channel_rat(Operator::OpV), Rat::Lte);
+    }
+}

@@ -1,0 +1,192 @@
+//! Run orchestration: locations × repeated runs × areas, in parallel.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use onoff_detect::channel::{ChannelUsage, ScellModStats};
+use onoff_detect::analyze_trace;
+use onoff_policy::{policy_for, Operator, PhoneModel};
+use onoff_radio::noise::hash_words;
+use onoff_rrc::ids::Rat;
+use onoff_sim::{simulate, SimConfig};
+
+use crate::areas::{all_areas, Area};
+use crate::dataset::Dataset;
+use crate::record::RunRecord;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed: deployments and every run derive from it.
+    pub seed: u64,
+    /// Stationary runs per location in the showcase area A1 (paper: ≥10).
+    pub runs_a1: usize,
+    /// Runs per location elsewhere (paper: ≥5, mostly 10).
+    pub runs_other: usize,
+    /// The phone model (the basic dataset uses the OnePlus 12R).
+    pub device: PhoneModel,
+    /// Run duration, ms (paper: 5-minute runs).
+    pub duration_ms: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0x050FF,
+            runs_a1: 10,
+            runs_other: 6,
+            device: PhoneModel::OnePlus12R,
+            duration_ms: 300_000,
+        }
+    }
+}
+
+/// Runs one stationary experiment and condenses it to a record.
+pub fn run_location(
+    area: &Area,
+    location: usize,
+    device: PhoneModel,
+    seed: u64,
+    duration_ms: u64,
+) -> (RunRecord, onoff_sim::SimOutput, onoff_detect::RunAnalysis) {
+    run_location_with_policy(area, location, device, seed, duration_ms, policy_for(area.operator))
+}
+
+/// [`run_location`] with an explicit (possibly modified) policy — the
+/// hook for mitigation/what-if experiments.
+pub fn run_location_with_policy(
+    area: &Area,
+    location: usize,
+    device: PhoneModel,
+    seed: u64,
+    duration_ms: u64,
+    policy: onoff_policy::OperatorPolicy,
+) -> (RunRecord, onoff_sim::SimOutput, onoff_detect::RunAnalysis) {
+    let mut cfg = SimConfig::stationary(
+        policy,
+        device,
+        area.env.clone(),
+        area.locations[location],
+        seed,
+    );
+    cfg.duration_ms = duration_ms;
+    cfg.meas_period_ms = 1000;
+    let out = simulate(&cfg);
+    let analysis = analyze_trace(&out.events);
+    let record = RunRecord::from_run(
+        area.operator,
+        &area.name,
+        location,
+        device,
+        seed,
+        &out,
+        &analysis,
+    );
+    (record, out, analysis)
+}
+
+/// Aggregates accumulated during a campaign.
+#[derive(Debug, Default)]
+struct Aggregates {
+    records: Vec<RunRecord>,
+    usage_nr: BTreeMap<Operator, ChannelUsage>,
+    usage_lte: BTreeMap<Operator, ChannelUsage>,
+    scell_mod: BTreeMap<Operator, ScellModStats>,
+}
+
+/// Runs every location of one area, in parallel across locations.
+fn run_area(area: &Area, cfg: &CampaignConfig, agg: &Mutex<Aggregates>) {
+    let runs = if area.name == "A1" { cfg.runs_a1 } else { cfg.runs_other };
+    crossbeam::scope(|scope| {
+        for loc in 0..area.locations.len() {
+            let agg = &agg;
+            scope.spawn(move |_| {
+                for r in 0..runs {
+                    let seed = hash_words(&[
+                        cfg.seed,
+                        area.operator as u64,
+                        area.name.as_bytes()[1] as u64,
+                        *area.name.as_bytes().last().unwrap() as u64,
+                        loc as u64,
+                        r as u64,
+                    ]);
+                    let (record, out, analysis) =
+                        run_location(area, loc, cfg.device, seed, cfg.duration_ms);
+                    let mut g = agg.lock();
+                    let usage_nr = g.usage_nr.entry(area.operator).or_default();
+                    if record.has_loop {
+                        usage_nr.add_loop_transitions(&analysis.off_transitions, Rat::Nr);
+                    } else {
+                        usage_nr.add_no_loop_run(&analysis.timeline, Rat::Nr);
+                    }
+                    let usage_lte = g.usage_lte.entry(area.operator).or_default();
+                    if record.has_loop {
+                        usage_lte.add_loop_transitions(&analysis.off_transitions, Rat::Lte);
+                    } else {
+                        usage_lte.add_no_loop_run(&analysis.timeline, Rat::Lte);
+                    }
+                    g.scell_mod.entry(area.operator).or_default().add_trace(&out.events);
+                    g.records.push(record);
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+}
+
+/// Runs the full eleven-area campaign and assembles the dataset.
+pub fn run_campaign(cfg: &CampaignConfig) -> Dataset {
+    let areas = all_areas(cfg.seed);
+    let agg = Mutex::new(Aggregates::default());
+    for area in &areas {
+        run_area(area, cfg, &agg);
+    }
+    let mut agg = agg.into_inner();
+    // Deterministic record order regardless of thread interleaving.
+    agg.records.sort_by(|a, b| {
+        (a.operator, &a.area, a.location, a.seed).cmp(&(b.operator, &b.area, b.location, b.seed))
+    });
+
+    let mut cell_counts = BTreeMap::new();
+    for area in &areas {
+        let e = cell_counts.entry(area.operator).or_insert((0usize, 0usize));
+        e.0 += area.env.cells.iter().filter(|c| c.cell.rat == Rat::Nr).count();
+        e.1 += area.env.cells.iter().filter(|c| c.cell.rat == Rat::Lte).count();
+    }
+
+    Dataset {
+        records: agg.records,
+        usage_nr: agg.usage_nr,
+        usage_lte: agg.usage_lte,
+        scell_mod: agg.scell_mod,
+        cell_counts,
+        areas: areas.iter().map(|a| (a.name.clone(), a.operator, a.size_km2())).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::area_a1;
+
+    #[test]
+    fn run_location_produces_a_record() {
+        let a1 = area_a1(42);
+        let (record, out, analysis) = run_location(&a1, 0, PhoneModel::OnePlus12R, 7, 120_000);
+        assert_eq!(record.area, "A1");
+        assert_eq!(record.operator, Operator::OpT);
+        assert!((record.minutes - 2.0).abs() < 0.1);
+        assert!(record.meas_results > 0);
+        assert!(!out.events.is_empty());
+        assert!(analysis.timeline.unique_sets() >= 1);
+    }
+
+    #[test]
+    fn run_location_is_deterministic() {
+        let a1 = area_a1(42);
+        let (r1, ..) = run_location(&a1, 3, PhoneModel::OnePlus12R, 9, 60_000);
+        let (r2, ..) = run_location(&a1, 3, PhoneModel::OnePlus12R, 9, 60_000);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Driving surveys (§4.1): "we conduct driving experiments along all main
+//! roads until no new 5G/4G cells are observed", collecting every cell's
+//! identity and RSRP footprint. The survey output backs Table 2-style cell
+//! inventories and the per-channel RSRP structure of Fig. 17.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use onoff_radio::Point;
+use onoff_rrc::band::BandTable;
+use onoff_rrc::ids::{CellId, Rat};
+
+use crate::areas::Area;
+
+/// One surveyed cell: identity plus its RSRP footprint along the drive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveyedCell {
+    /// The cell.
+    pub cell: CellId,
+    /// 3GPP band label ("n41", "17", …), when known.
+    pub band: String,
+    /// Channel width, MHz.
+    pub bandwidth_mhz: f64,
+    /// RSRP samples (dBm) at the drive points where the cell was audible.
+    pub rsrp_samples: Vec<f64>,
+}
+
+impl SurveyedCell {
+    /// Median RSRP over the footprint.
+    pub fn median_rsrp(&self) -> Option<f64> {
+        onoff_analysis::median(&self.rsrp_samples)
+    }
+
+    /// Best (maximum) RSRP seen.
+    pub fn best_rsrp(&self) -> Option<f64> {
+        self.rsrp_samples.iter().copied().max_by(f64::total_cmp)
+    }
+}
+
+/// A completed drive survey of an area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Survey {
+    /// Every cell heard above the audibility floor, keyed by identity.
+    pub cells: BTreeMap<CellId, SurveyedCell>,
+    /// How many drive points were sampled.
+    pub points: usize,
+}
+
+impl Survey {
+    /// Cells per RAT (Table 3's `# 5G/4G cell` row).
+    pub fn cell_counts(&self) -> (usize, usize) {
+        let nr = self.cells.keys().filter(|c| c.rat == Rat::Nr).count();
+        (nr, self.cells.len() - nr)
+    }
+
+    /// Distinct channels seen per RAT.
+    pub fn channels(&self, rat: Rat) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.cells.keys().filter(|c| c.rat == rat).map(|c| c.arfcn).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// All RSRP samples of cells on one channel — Fig. 17's raw input.
+    pub fn channel_rsrp(&self, rat: Rat, arfcn: u32) -> Vec<f64> {
+        self.cells
+            .values()
+            .filter(|c| c.cell.rat == rat && c.cell.arfcn == arfcn)
+            .flat_map(|c| c.rsrp_samples.iter().copied())
+            .collect()
+    }
+}
+
+/// RSRP below which a cell is inaudible to the survey rig.
+const AUDIBLE_FLOOR_DBM: f64 = -125.0;
+
+/// Drives a serpentine route across the area, sampling every cell's local
+/// mean RSRP every `step_m` metres. Deterministic per area.
+pub fn drive_survey(area: &Area, step_m: f64) -> Survey {
+    let mut cells: BTreeMap<CellId, SurveyedCell> = BTreeMap::new();
+    let extent = area.extent_m;
+    let lanes = 8usize;
+    let lane_gap = extent / lanes as f64;
+    let mut points = 0usize;
+
+    for lane in 0..lanes {
+        let y = lane_gap * (lane as f64 + 0.5);
+        let mut x = 0.0;
+        while x <= extent {
+            // Serpentine: alternate direction per lane (same sample set,
+            // reversed order — direction kept for realism of the route).
+            let px = if lane % 2 == 0 { x } else { extent - x };
+            let p = Point::new(px, y);
+            points += 1;
+            for site in &area.env.cells {
+                let rsrp = area.env.local_rsrp_dbm(site, p);
+                if rsrp < AUDIBLE_FLOOR_DBM {
+                    continue;
+                }
+                let entry = cells.entry(site.cell).or_insert_with(|| SurveyedCell {
+                    cell: site.cell,
+                    band: BandTable::band_for(site.cell.rat, site.cell.arfcn)
+                        .map(|b| b.to_string())
+                        .unwrap_or_default(),
+                    bandwidth_mhz: site.bandwidth_mhz,
+                    rsrp_samples: Vec::new(),
+                });
+                entry.rsrp_samples.push(rsrp);
+            }
+            x += step_m;
+        }
+    }
+    Survey { cells, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::area_a1;
+
+    #[test]
+    fn survey_hears_every_deployed_cell() {
+        let a1 = area_a1(42);
+        let survey = drive_survey(&a1, 100.0);
+        // A dense serpentine at 100 m steps hears the large majority of the
+        // deployment; edge towers' back lobes and the deliberately-dead n25
+        // holes stay below the audibility floor, exactly like a real drive.
+        assert!(
+            survey.cells.len() * 10 >= a1.env.cells.len() * 6,
+            "{}/{}",
+            survey.cells.len(),
+            a1.env.cells.len()
+        );
+        assert!(survey.points > 100);
+    }
+
+    #[test]
+    fn counts_and_channels_match_deployment() {
+        let a1 = area_a1(42);
+        let survey = drive_survey(&a1, 150.0);
+        let (nr, lte) = survey.cell_counts();
+        assert_eq!(nr + lte, survey.cells.len());
+        assert!(nr > lte, "an OP_T SA area deploys more 5G than 4G cells (Table 3)");
+        // OP_T's five NR channels all show up.
+        let ch = survey.channels(Rat::Nr);
+        for want in [126270u32, 387410, 398410, 501390, 521310] {
+            assert!(ch.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn footprints_have_plausible_levels() {
+        let a1 = area_a1(42);
+        let survey = drive_survey(&a1, 200.0);
+        for c in survey.cells.values() {
+            let med = c.median_rsrp().unwrap();
+            assert!((-126.0..=-40.0).contains(&med), "{}: {med}", c.cell);
+            assert!(c.best_rsrp().unwrap() >= med);
+        }
+        // The weak overlay (387410) is audibly weaker than the anchors.
+        let n41: Vec<f64> = survey.channel_rsrp(Rat::Nr, 521310);
+        let n25: Vec<f64> = survey.channel_rsrp(Rat::Nr, 387410);
+        let med = |v: &Vec<f64>| onoff_analysis::median(v).unwrap();
+        assert!(med(&n25) < med(&n41), "{} !< {}", med(&n25), med(&n41));
+    }
+
+    #[test]
+    fn determinism() {
+        let a1 = area_a1(42);
+        assert_eq!(drive_survey(&a1, 250.0), drive_survey(&a1, 250.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! `onoff-report` — analyze NSG-style signaling logs from the command line.
+//!
+//! ```text
+//! onoff-report capture.txt              # human-readable loop report
+//! onoff-report --csv timeline capture.txt
+//! onoff-report --csv transitions capture.txt
+//! onoff-report --csv cycles capture.txt
+//! onoff-report --stats capture.txt      # message/sample counters
+//! cat capture.txt | onoff-report -      # read from stdin
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: onoff-report [--csv timeline|transitions|cycles] [--stats] <log-file|->"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv: Option<String> = None;
+    let mut stats = false;
+    let mut path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => match it.next() {
+                Some(kind) => csv = Some(kind),
+                None => return usage(),
+            },
+            "--stats" => stats = true,
+            "-h" | "--help" => return usage(),
+            _ if path.is_none() => path = Some(a),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error: cannot read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let events = match onoff_nsglog::parse_str(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if stats {
+        let s = onoff_nsglog::stats::stats(&events);
+        println!(
+            "events: {} over {:.1} s; {} RRC messages kinds; {} meas results; {} cells; \
+             {} throughput samples; {} MM events",
+            s.events,
+            s.span_ms as f64 / 1000.0,
+            s.by_message.len(),
+            s.meas_results,
+            s.distinct_cells,
+            s.throughput_samples,
+            s.mm_events
+        );
+        for (name, n) in &s.by_message {
+            println!("  {name}: {n}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = onoff_core::analyze_events(&events);
+    match csv.as_deref() {
+        None => print!("{}", onoff_core::render_report(&report)),
+        Some("timeline") => print!("{}", onoff_detect::export::timeline_csv(&report.analysis)),
+        Some("transitions") => {
+            print!(
+                "{}",
+                onoff_detect::export::transitions_csv(&report.analysis.off_transitions)
+            )
+        }
+        Some("cycles") => {
+            print!("{}", onoff_detect::export::cycles_csv(&report.analysis.loops))
+        }
+        Some(other) => {
+            eprintln!("unknown CSV kind {other:?} (timeline|transitions|cycles)");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

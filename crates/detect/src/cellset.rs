@@ -1,0 +1,461 @@
+//! Serving-cell-set sequence extraction (the paper's Appendix B).
+//!
+//! Replays the RRC message stream and applies each procedure's effect on
+//! the [`ServingCellSet`]:
+//!
+//! * establishment / re-establishment → new MCG with the named PCell;
+//! * `RRCReconfiguration` → SCell add/release, PSCell change, SCG release,
+//!   handover — applied when the matching `Complete` arrives (a command the
+//!   UE never completes, e.g. a failed handover, changes nothing);
+//! * `RRCRelease` and MM `DEREGISTERED` → IDLE.
+//!
+//! NSA disambiguation: inside an LTE-RAT record, `sCellToAddModList`
+//! entries whose cells are NR belong to the SCG (EN-DC's
+//! `nr-SecondaryCellGroupConfig` carries them); LTE entries are MCG SCells.
+//!
+//! The output timeline is **compressed**: consecutive identical sets (by
+//! canonical key — membership + roles, not SCell indices) collapse into one
+//! sample, and each distinct set is interned to a small integer id so loop
+//! detection compares ids, not structures.
+
+use serde::{Deserialize, Serialize};
+
+use onoff_rrc::ids::Rat;
+use onoff_rrc::messages::{ReconfigBody, RrcMessage};
+use onoff_rrc::serving::{CellRole, ConnState, ServingCellSet};
+use onoff_rrc::trace::{MmState, Timestamp, TraceEvent};
+
+/// One timeline sample: the serving set changed to `id` at `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsSample {
+    /// When the set took effect.
+    pub t: Timestamp,
+    /// Interned id, indexing [`CsTimeline::sets`].
+    pub id: usize,
+}
+
+/// The compressed, interned serving-cell-set timeline of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsTimeline {
+    /// Distinct serving sets, in first-appearance order. `sets[0]` is
+    /// always the IDLE set.
+    pub sets: Vec<ServingCellSet>,
+    /// Compressed samples, time-ordered; consecutive samples always have
+    /// different ids.
+    pub samples: Vec<CsSample>,
+    /// When the trace ends (time of the last event).
+    pub end: Timestamp,
+}
+
+impl CsTimeline {
+    /// Connectivity state of an interned set.
+    pub fn state(&self, id: usize) -> ConnState {
+        self.sets[id].state()
+    }
+
+    /// 5G-ON predicate of an interned set.
+    pub fn uses_5g(&self, id: usize) -> bool {
+        self.sets[id].uses_5g()
+    }
+
+    /// Total number of distinct sets (the paper's "# CS (unique)").
+    pub fn unique_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Iterates `(start, end, id)` occupancy intervals.
+    pub fn intervals(&self) -> impl Iterator<Item = (Timestamp, Timestamp, usize)> + '_ {
+        self.samples.iter().enumerate().map(move |(i, s)| {
+            let end = self.samples.get(i + 1).map_or(self.end, |n| n.t);
+            (s.t, end, s.id)
+        })
+    }
+
+    /// The 5G ON/OFF boolean timeline as `(start, end, on)` intervals,
+    /// merging adjacent intervals with the same ON/OFF value.
+    pub fn on_off_intervals(&self) -> Vec<(Timestamp, Timestamp, bool)> {
+        let mut out: Vec<(Timestamp, Timestamp, bool)> = Vec::new();
+        for (s, e, id) in self.intervals() {
+            let on = self.uses_5g(id);
+            match out.last_mut() {
+                Some(last) if last.2 == on => last.1 = e,
+                _ => out.push((s, e, on)),
+            }
+        }
+        out
+    }
+}
+
+/// Builder that interns sets by canonical key.
+struct Interner {
+    sets: Vec<ServingCellSet>,
+    keys: Vec<Vec<(CellRole, onoff_rrc::ids::CellId)>>,
+}
+
+impl Interner {
+    fn new() -> Interner {
+        let idle = ServingCellSet::idle();
+        let key = idle.canonical_key();
+        Interner { sets: vec![idle], keys: vec![key] }
+    }
+
+    fn intern(&mut self, cs: &ServingCellSet) -> usize {
+        let key = cs.canonical_key();
+        if let Some(i) = self.keys.iter().position(|k| *k == key) {
+            return i;
+        }
+        self.sets.push(cs.clone());
+        self.keys.push(key);
+        self.sets.len() - 1
+    }
+}
+
+/// Extracts the serving-cell-set timeline from a trace.
+pub fn extract_timeline(events: &[TraceEvent]) -> CsTimeline {
+    let mut interner = Interner::new();
+    let mut samples: Vec<CsSample> = vec![CsSample { t: Timestamp(0), id: 0 }];
+    let mut cs = ServingCellSet::idle();
+    // Command awaiting its Complete: (record RAT, body).
+    let mut pending: Option<(Rat, ReconfigBody)> = None;
+    // PCell requested but not yet set up.
+    let mut pending_pcell: Option<onoff_rrc::ids::CellId> = None;
+    let mut end = Timestamp(0);
+
+    let push = |t: Timestamp, cs: &ServingCellSet, interner: &mut Interner,
+                    samples: &mut Vec<CsSample>| {
+        let id = interner.intern(cs);
+        if samples.last().map(|s| s.id) != Some(id) {
+            samples.push(CsSample { t, id });
+        }
+    };
+
+    for ev in events {
+        end = end.max(ev.t());
+        match ev {
+            TraceEvent::Rrc(rec) => match &rec.msg {
+                RrcMessage::SetupRequest { cell, .. } => {
+                    pending_pcell = Some(*cell);
+                    pending = None;
+                }
+                RrcMessage::SetupComplete => {
+                    if let Some(pcell) = pending_pcell.take() {
+                        cs = ServingCellSet::with_pcell(pcell);
+                        push(rec.t, &cs, &mut interner, &mut samples);
+                    }
+                }
+                RrcMessage::Reconfiguration(body) => {
+                    pending = Some((rec.rat, body.clone()));
+                }
+                RrcMessage::ReconfigurationComplete => {
+                    if let Some((rat, body)) = pending.take() {
+                        apply_reconfig(&mut cs, rat, &body);
+                        push(rec.t, &cs, &mut interner, &mut samples);
+                    }
+                }
+                RrcMessage::ReestablishmentRequest { .. } => {
+                    pending = None;
+                    cs.release_all();
+                    push(rec.t, &cs, &mut interner, &mut samples);
+                }
+                RrcMessage::ReestablishmentComplete { cell } => {
+                    cs = ServingCellSet::with_pcell(*cell);
+                    push(rec.t, &cs, &mut interner, &mut samples);
+                }
+                RrcMessage::Release => {
+                    pending = None;
+                    cs.release_all();
+                    push(rec.t, &cs, &mut interner, &mut samples);
+                }
+                _ => {}
+            },
+            TraceEvent::Mm { t, state: MmState::DeregisteredNoCellAvailable } => {
+                pending = None;
+                pending_pcell = None;
+                cs.release_all();
+                push(*t, &cs, &mut interner, &mut samples);
+            }
+            _ => {}
+        }
+    }
+
+    CsTimeline { sets: interner.sets, samples, end }
+}
+
+/// Applies a completed reconfiguration to the serving set.
+fn apply_reconfig(cs: &mut ServingCellSet, rat: Rat, body: &ReconfigBody) {
+    // Handover first: it resets the SCell configuration.
+    if let Some(target) = body.mobility_target {
+        let keep_scg = body.sp_cell.is_some();
+        cs.handover(target, keep_scg);
+        if let Some(sp) = body.sp_cell {
+            cs.set_pscell(sp);
+        }
+        return;
+    }
+    if body.scg_release {
+        cs.release_scg();
+    }
+    if let Some(sp) = body.sp_cell {
+        cs.set_pscell(sp);
+    }
+    for rel in &body.scell_to_release {
+        cs.release_mcg_scell(*rel);
+    }
+    for add in &body.scell_to_add_mod {
+        if rat == Rat::Lte && add.cell.rat == Rat::Nr {
+            cs.add_scg_scell(add.index, add.cell);
+        } else {
+            cs.add_mcg_scell(add.index, add.cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoff_rrc::ids::{CellId, GlobalCellId, Pci};
+    use onoff_rrc::messages::ScellAddMod;
+    use onoff_rrc::trace::{LogChannel, LogRecord};
+
+    fn rrc(t: u64, rat: Rat, msg: RrcMessage) -> TraceEvent {
+        TraceEvent::Rrc(LogRecord {
+            t: Timestamp(t),
+            rat,
+            channel: LogChannel::for_message(&msg),
+            context: None,
+            msg,
+        })
+    }
+
+    fn nr(pci: u16, arfcn: u32) -> CellId {
+        CellId::nr(Pci(pci), arfcn)
+    }
+    fn lte(pci: u16, arfcn: u32) -> CellId {
+        CellId::lte(Pci(pci), arfcn)
+    }
+
+    /// Replays the paper's Fig. 24–26 storyline and checks the CS sequence:
+    /// IDLE → SA1 (PCell) → SA2 (+3 SCells) → SA3 (SCell mod ok) → SA4
+    /// (SCell mod completed) → IDLE (exception).
+    #[test]
+    fn appendix_b_worked_example() {
+        let p = nr(393, 521310);
+        let events = vec![
+            rrc(0, Rat::Nr, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(100, Rat::Nr, RrcMessage::SetupComplete),
+            rrc(
+                3200,
+                Rat::Nr,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    scell_to_add_mod: vec![
+                        ScellAddMod { index: 1, cell: nr(273, 387410) },
+                        ScellAddMod { index: 2, cell: nr(273, 398410) },
+                        ScellAddMod { index: 3, cell: nr(393, 501390) },
+                    ],
+                    ..Default::default()
+                }),
+            ),
+            rrc(3215, Rat::Nr, RrcMessage::ReconfigurationComplete),
+            // SCell modification 393@501390 (idx 3) → 104@501390 (idx 4): ok.
+            rrc(
+                4900,
+                Rat::Nr,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    scell_to_add_mod: vec![ScellAddMod { index: 4, cell: nr(104, 501390) }],
+                    scell_to_release: vec![3],
+                    ..Default::default()
+                }),
+            ),
+            rrc(4915, Rat::Nr, RrcMessage::ReconfigurationComplete),
+            // SCell modification 273@387410 (idx 1) → 371@387410 (idx 3):
+            // completes, then the exception collapses everything.
+            rrc(
+                6900,
+                Rat::Nr,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    scell_to_add_mod: vec![ScellAddMod { index: 3, cell: nr(371, 387410) }],
+                    scell_to_release: vec![1],
+                    ..Default::default()
+                }),
+            ),
+            rrc(6915, Rat::Nr, RrcMessage::ReconfigurationComplete),
+            TraceEvent::Mm { t: Timestamp(6920), state: MmState::DeregisteredNoCellAvailable },
+        ];
+        let tl = extract_timeline(&events);
+        let seq: Vec<String> =
+            tl.samples.iter().map(|s| tl.sets[s.id].to_string()).collect();
+        assert_eq!(
+            seq,
+            vec![
+                "{}",
+                "{393@521310*}",
+                "{393@521310*, 273@387410, 273@398410, 393@501390}",
+                "{393@521310*, 273@387410, 273@398410, 104@501390}",
+                "{393@521310*, 273@398410, 371@387410, 104@501390}",
+                "{}",
+            ]
+        );
+        // The trailing IDLE is the same interned id as the leading one.
+        assert_eq!(tl.samples[0].id, tl.samples[5].id);
+        assert_eq!(tl.unique_sets(), 5);
+    }
+
+    #[test]
+    fn command_without_complete_changes_nothing() {
+        let p = lte(97, 5815);
+        let events = vec![
+            rrc(0, Rat::Lte, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(100, Rat::Lte, RrcMessage::SetupComplete),
+            // Handover command that fails (no Complete).
+            rrc(
+                1000,
+                Rat::Lte,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    mobility_target: Some(lte(97, 5145)),
+                    ..Default::default()
+                }),
+            ),
+            rrc(
+                1300,
+                Rat::Lte,
+                RrcMessage::ReestablishmentRequest {
+                    cause: onoff_rrc::messages::ReestablishmentCause::HandoverFailure,
+                },
+            ),
+            rrc(1400, Rat::Lte, RrcMessage::ReestablishmentComplete { cell: lte(310, 66486) }),
+        ];
+        let tl = extract_timeline(&events);
+        let seq: Vec<String> =
+            tl.samples.iter().map(|s| tl.sets[s.id].to_string()).collect();
+        // The failed handover never lands on the timeline; reestablishment
+        // passes through IDLE.
+        assert_eq!(seq, vec!["{}", "{97@5815*}", "{}", "{310@66486*}"]);
+    }
+
+    #[test]
+    fn nsa_scg_lifecycle() {
+        let p = lte(238, 5145);
+        let events = vec![
+            rrc(0, Rat::Lte, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(100, Rat::Lte, RrcMessage::SetupComplete),
+            // SCG addition: PSCell + one NR SCell in an LTE record.
+            rrc(
+                1000,
+                Rat::Lte,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    sp_cell: Some(nr(66, 632736)),
+                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr(66, 658080) }],
+                    ..Default::default()
+                }),
+            ),
+            rrc(1015, Rat::Lte, RrcMessage::ReconfigurationComplete),
+            // SCG release.
+            rrc(
+                9000,
+                Rat::Lte,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    scg_release: true,
+                    ..Default::default()
+                }),
+            ),
+            rrc(9015, Rat::Lte, RrcMessage::ReconfigurationComplete),
+        ];
+        let tl = extract_timeline(&events);
+        let states: Vec<ConnState> = tl.samples.iter().map(|s| tl.state(s.id)).collect();
+        assert_eq!(
+            states,
+            vec![ConnState::Idle, ConnState::LteOnly, ConnState::Nsa, ConnState::LteOnly]
+        );
+        assert_eq!(
+            tl.sets[tl.samples[2].id].to_string(),
+            "{238@5145* | SCG: 66@632736*, 66@658080}"
+        );
+    }
+
+    #[test]
+    fn handover_without_sp_cell_drops_scg() {
+        let p = lte(380, 5145);
+        let events = vec![
+            rrc(0, Rat::Lte, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(100, Rat::Lte, RrcMessage::SetupComplete),
+            rrc(
+                1000,
+                Rat::Lte,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    sp_cell: Some(nr(53, 632736)),
+                    ..Default::default()
+                }),
+            ),
+            rrc(1015, Rat::Lte, RrcMessage::ReconfigurationComplete),
+            rrc(
+                5000,
+                Rat::Lte,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    mobility_target: Some(lte(380, 5815)),
+                    ..Default::default()
+                }),
+            ),
+            rrc(5015, Rat::Lte, RrcMessage::ReconfigurationComplete),
+        ];
+        let tl = extract_timeline(&events);
+        let last = &tl.sets[tl.samples.last().unwrap().id];
+        assert_eq!(last.state(), ConnState::LteOnly);
+        assert_eq!(last.pcell(), Some(lte(380, 5815)));
+    }
+
+    #[test]
+    fn on_off_intervals_merge() {
+        let p = nr(393, 521310);
+        let events = vec![
+            rrc(0, Rat::Nr, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(100, Rat::Nr, RrcMessage::SetupComplete),
+            rrc(
+                2000,
+                Rat::Nr,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr(273, 387410) }],
+                    ..Default::default()
+                }),
+            ),
+            rrc(2015, Rat::Nr, RrcMessage::ReconfigurationComplete),
+            rrc(8000, Rat::Nr, RrcMessage::Release),
+            TraceEvent::Throughput { t: Timestamp(12_000), mbps: 0.0 },
+        ];
+        let tl = extract_timeline(&events);
+        let onoff = tl.on_off_intervals();
+        // OFF [0,100), ON [100, 8000) (two sets merged), OFF [8000, end].
+        assert_eq!(onoff.len(), 3);
+        assert!(!onoff[0].2 && onoff[1].2 && !onoff[2].2);
+        assert_eq!(onoff[1].0, Timestamp(100));
+        assert_eq!(onoff[1].1, Timestamp(8000));
+        assert_eq!(onoff[2].1, Timestamp(12_000));
+    }
+
+    #[test]
+    fn empty_trace_is_all_idle() {
+        let tl = extract_timeline(&[]);
+        assert_eq!(tl.samples.len(), 1);
+        assert_eq!(tl.state(0), ConnState::Idle);
+        assert_eq!(tl.on_off_intervals().len(), 1);
+    }
+
+    #[test]
+    fn interning_reuses_structurally_equal_sets() {
+        let p = nr(393, 521310);
+        let mut events = Vec::new();
+        for k in 0..3u64 {
+            let base = k * 10_000;
+            events.push(rrc(
+                base,
+                Rat::Nr,
+                RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) },
+            ));
+            events.push(rrc(base + 100, Rat::Nr, RrcMessage::SetupComplete));
+            events.push(rrc(base + 5000, Rat::Nr, RrcMessage::Release));
+        }
+        let tl = extract_timeline(&events);
+        // Only two unique sets: IDLE and {PCell}.
+        assert_eq!(tl.unique_sets(), 2);
+        assert_eq!(tl.samples.len(), 7); // idle, (on, off) ×3
+    }
+}

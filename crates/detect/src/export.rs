@@ -1,0 +1,137 @@
+//! CSV export of analysis results, for external plotting.
+//!
+//! Minimal RFC-4180-style emission (all values the pipeline produces are
+//! numeric or simple identifiers, so quoting only handles the comma case).
+
+use std::fmt::Write as _;
+
+use crate::{LoopInstance, OffTransition, RunAnalysis};
+
+/// Quotes a CSV field if needed.
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The serving-cell-set timeline as CSV: `t_s,set_id,state,cells`.
+pub fn timeline_csv(analysis: &RunAnalysis) -> String {
+    let mut out = String::from("t_s,set_id,state,cells\n");
+    for s in &analysis.timeline.samples {
+        let set = &analysis.timeline.sets[s.id];
+        let _ = writeln!(
+            out,
+            "{:.3},{},{},{}",
+            s.t.secs_f64(),
+            s.id,
+            set.state(),
+            field(&set.to_string())
+        );
+    }
+    out
+}
+
+/// The classified OFF transitions as CSV: `t_s,loop_type,problem_cell`.
+pub fn transitions_csv(transitions: &[OffTransition]) -> String {
+    let mut out = String::from("t_s,loop_type,problem_cell\n");
+    for tr in transitions {
+        let _ = writeln!(
+            out,
+            "{:.3},{},{}",
+            tr.t.secs_f64(),
+            tr.loop_type,
+            tr.problem_cell.map(|c| c.to_string()).unwrap_or_default()
+        );
+    }
+    out
+}
+
+/// Loop cycles as CSV: `loop_idx,on_at_s,off_at_s,end_s,on_s,off_s,off_ratio`.
+pub fn cycles_csv(loops: &[LoopInstance]) -> String {
+    let mut out = String::from("loop_idx,on_at_s,off_at_s,end_s,on_s,off_s,off_ratio\n");
+    for (i, lp) in loops.iter().enumerate() {
+        for c in &lp.cycles {
+            let _ = writeln!(
+                out,
+                "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4}",
+                i,
+                c.on_at.secs_f64(),
+                c.off_at.secs_f64(),
+                c.end_at.secs_f64(),
+                c.on_ms() as f64 / 1000.0,
+                c.off_ms() as f64 / 1000.0,
+                c.off_ratio()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_trace;
+    use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
+    use onoff_rrc::messages::RrcMessage;
+    use onoff_rrc::trace::{LogChannel, LogRecord, Timestamp, TraceEvent};
+
+    fn simple_analysis() -> RunAnalysis {
+        let cell = CellId::nr(Pci(393), 521310);
+        let events = vec![
+            TraceEvent::Rrc(LogRecord {
+                t: Timestamp(100),
+                rat: Rat::Nr,
+                channel: LogChannel::UlCcch,
+                context: Some(cell),
+                msg: RrcMessage::SetupRequest { cell, global_id: GlobalCellId(1) },
+            }),
+            TraceEvent::Rrc(LogRecord {
+                t: Timestamp(200),
+                rat: Rat::Nr,
+                channel: LogChannel::UlDcch,
+                context: Some(cell),
+                msg: RrcMessage::SetupComplete,
+            }),
+            TraceEvent::Rrc(LogRecord {
+                t: Timestamp(30_000),
+                rat: Rat::Nr,
+                channel: LogChannel::DlDcch,
+                context: Some(cell),
+                msg: RrcMessage::Release,
+            }),
+        ];
+        analyze_trace(&events)
+    }
+
+    #[test]
+    fn timeline_csv_shape() {
+        let csv = timeline_csv(&simple_analysis());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,set_id,state,cells");
+        assert_eq!(lines.len(), 4); // header + idle + connected + idle
+        assert!(lines[2].contains("5G SA"));
+        assert!(lines[2].contains("393@521310"));
+    }
+
+    #[test]
+    fn transitions_csv_shape() {
+        let a = simple_analysis();
+        let csv = transitions_csv(&a.off_transitions);
+        assert!(csv.starts_with("t_s,loop_type,problem_cell\n"));
+        assert_eq!(csv.lines().count(), 1 + a.off_transitions.len());
+    }
+
+    #[test]
+    fn cycles_csv_empty_loops() {
+        assert_eq!(cycles_csv(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

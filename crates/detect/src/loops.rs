@@ -1,0 +1,401 @@
+//! 5G ON-OFF loop detection (the paper's Fig. 4).
+//!
+//! The timeline is cut into **episodes**: each episode starts when 5G turns
+//! ON and runs until the next time 5G turns ON, so it contains one 5G-ON
+//! period and the 5G-OFF period that follows (if any). An episode is
+//! represented by its sequence of interned cell-set ids — exactly the
+//! `{CS_k, …, CS_{k+x}}` subsequence of Fig. 4 (starts 5G ON, ends 5G OFF).
+//!
+//! A **loop** is a maximal run of ≥ 2 repetitions of an episode block
+//! (period 1 or 2 episodes). The loop is **persistent** if the sequence
+//! ends inside it (the tail after the last full repetition is a prefix of
+//! the repeating block — "no new cell sets out of the loop subsequence");
+//! otherwise it is **semi-persistent**.
+
+use serde::{Deserialize, Serialize};
+
+use onoff_rrc::trace::Timestamp;
+
+use crate::cellset::CsTimeline;
+
+/// Persistence label of a loop (Fig. 4: II-P vs II-SP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Persistence {
+    /// The run ends inside the loop.
+    Persistent,
+    /// The UE eventually exits to cell sets outside the loop.
+    SemiPersistent,
+}
+
+/// One ON+OFF cycle inside a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cycle {
+    /// When 5G turned ON.
+    pub on_at: Timestamp,
+    /// When 5G turned OFF (the classification anchor).
+    pub off_at: Timestamp,
+    /// When the cycle ended (next ON, or trace end).
+    pub end_at: Timestamp,
+}
+
+impl Cycle {
+    /// 5G ON duration, ms.
+    pub fn on_ms(&self) -> u64 {
+        self.off_at.since(self.on_at)
+    }
+
+    /// 5G OFF duration, ms.
+    pub fn off_ms(&self) -> u64 {
+        self.end_at.since(self.off_at)
+    }
+
+    /// Full cycle duration, ms.
+    pub fn cycle_ms(&self) -> u64 {
+        self.end_at.since(self.on_at)
+    }
+
+    /// OFF share of the cycle (0 when the cycle is empty).
+    pub fn off_ratio(&self) -> f64 {
+        let c = self.cycle_ms();
+        if c == 0 {
+            0.0
+        } else {
+            self.off_ms() as f64 / c as f64
+        }
+    }
+}
+
+/// A detected ON-OFF loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopInstance {
+    /// The repeating block of interned cell-set ids.
+    pub block: Vec<usize>,
+    /// Episodes per repetition (1 or 2).
+    pub episode_period: usize,
+    /// Number of full repetitions observed.
+    pub repetitions: usize,
+    /// Persistence label.
+    pub persistence: Persistence,
+    /// When the loop span starts (first ON of the first repetition).
+    pub start: Timestamp,
+    /// When the loop span ends (end of trace for persistent loops).
+    pub end: Timestamp,
+    /// The ON+OFF cycles inside the span.
+    pub cycles: Vec<Cycle>,
+}
+
+/// An episode: one ON period plus the following OFF period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Episode {
+    ids: Vec<usize>,
+    start: Timestamp,
+    /// When 5G turned OFF within the episode (None: ON until episode end).
+    off_at: Option<Timestamp>,
+    end: Timestamp,
+}
+
+/// Splits the timeline into episodes (see module docs). Samples before the
+/// first 5G-ON are ignored — they can't start a loop.
+fn episodes(tl: &CsTimeline) -> Vec<Episode> {
+    let mut eps: Vec<Episode> = Vec::new();
+    let mut cur: Option<Episode> = None;
+    let mut prev_on = false;
+    for (start, _end, id) in tl.intervals() {
+        let on = tl.uses_5g(id);
+        if on && !prev_on {
+            if let Some(mut e) = cur.take() {
+                e.end = start;
+                eps.push(e);
+            }
+            cur = Some(Episode { ids: Vec::new(), start, off_at: None, end: start });
+        }
+        if let Some(e) = &mut cur {
+            e.ids.push(id);
+            if !on && prev_on && e.off_at.is_none() {
+                e.off_at = Some(start);
+            }
+        }
+        prev_on = on;
+    }
+    if let Some(mut e) = cur.take() {
+        e.end = tl.end;
+        eps.push(e);
+    }
+    eps
+}
+
+/// Detects the run's ON-OFF loop, if any.
+///
+/// Per Fig. 4, a loop exists when an episode — a `{CS_k, …, CS_{k+x}}`
+/// subsequence starting 5G-ON and ending 5G-OFF — "is repeatedly observed
+/// twice or more". Occurrences need not be consecutive: real loops often
+/// oscillate among a small *family* of cell sets (e.g. an NSA UE
+/// ping-ponging across several co-channel PCells), revisiting each member
+/// episode in irregular order.
+///
+/// The loop instance spans from the first to the last occurrence of any
+/// repeated episode. It is **persistent** when the trace ends inside the
+/// loop: everything after the span stays within the cell sets the span
+/// already visited ("no new cell sets out of the loop subsequence");
+/// otherwise it is semi-persistent.
+///
+/// Returns at most one instance (the paper labels whole runs).
+pub fn detect_loops(tl: &CsTimeline) -> Vec<LoopInstance> {
+    let eps = episodes(tl);
+    // Occurrence counts of each complete (OFF-reaching) episode shape.
+    let mut counts: Vec<(usize, usize)> = Vec::new(); // (first_idx, count) keyed below
+    let mut shapes: Vec<&[usize]> = Vec::new();
+    let mut occurrence: Vec<Option<usize>> = vec![None; eps.len()];
+    for (i, e) in eps.iter().enumerate() {
+        if e.off_at.is_none() {
+            continue;
+        }
+        match shapes.iter().position(|s| *s == e.ids.as_slice()) {
+            Some(k) => {
+                counts[k].1 += 1;
+                occurrence[i] = Some(k);
+            }
+            None => {
+                shapes.push(&e.ids);
+                counts.push((i, 1));
+                occurrence[i] = Some(shapes.len() - 1);
+            }
+        }
+    }
+    let repeated: Vec<usize> =
+        (0..shapes.len()).filter(|&k| counts[k].1 >= 2).collect();
+    if repeated.is_empty() {
+        return Vec::new();
+    }
+
+    let start_idx = repeated.iter().map(|&k| counts[k].0).min().unwrap();
+    let last_idx = (0..eps.len())
+        .rev()
+        .find(|&i| occurrence[i].is_some_and(|k| counts[k].1 >= 2))
+        .unwrap();
+
+    // Ids visited inside the span.
+    let mut span_ids: Vec<usize> = Vec::new();
+    for e in &eps[start_idx..=last_idx] {
+        for &id in &e.ids {
+            if !span_ids.contains(&id) {
+                span_ids.push(id);
+            }
+        }
+    }
+    // Tail: everything after the span.
+    let tail_ok = eps[last_idx + 1..]
+        .iter()
+        .flat_map(|e| e.ids.iter())
+        .all(|id| span_ids.contains(id));
+    let persistence =
+        if tail_ok { Persistence::Persistent } else { Persistence::SemiPersistent };
+
+    // Representative episode: the most-repeated shape.
+    let best = repeated
+        .iter()
+        .copied()
+        .max_by_key(|&k| counts[k].1)
+        .unwrap();
+    let repetitions = counts[best].1;
+    let block: Vec<usize> = shapes[best].to_vec();
+
+    let end = if persistence == Persistence::Persistent {
+        tl.end
+    } else {
+        eps[last_idx].end
+    };
+    // Every ON-OFF cycle inside the instance (span + in-loop tail).
+    let cycle_range = if persistence == Persistence::Persistent {
+        &eps[start_idx..]
+    } else {
+        &eps[start_idx..=last_idx]
+    };
+    let cycles: Vec<Cycle> = cycle_range
+        .iter()
+        .filter_map(|e| e.off_at.map(|off| Cycle { on_at: e.start, off_at: off, end_at: e.end }))
+        .collect();
+
+    vec![LoopInstance {
+        block,
+        episode_period: 1,
+        repetitions,
+        persistence,
+        start: eps[start_idx].start,
+        end,
+        cycles,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cellset::CsSample;
+    use onoff_rrc::ids::{CellId, Pci};
+    use onoff_rrc::serving::ServingCellSet;
+
+    /// Builds a timeline from (t_seconds, id) pairs over a fixed set table:
+    /// 0 = IDLE, 1 = SA {PCell}, 2 = SA {PCell + SCell}, 3 = LTE-only,
+    /// 4 = NSA.
+    fn tl(samples: &[(u64, usize)], end_s: u64) -> CsTimeline {
+        let pcell = CellId::nr(Pci(393), 521310);
+        let scell = CellId::nr(Pci(273), 387410);
+        let lte = CellId::lte(Pci(380), 5145);
+        let nr = CellId::nr(Pci(53), 632736);
+        let sa1 = ServingCellSet::with_pcell(pcell);
+        let mut sa2 = sa1.clone();
+        sa2.add_mcg_scell(1, scell);
+        let lte_only = ServingCellSet::with_pcell(lte);
+        let mut nsa = lte_only.clone();
+        nsa.set_pscell(nr);
+        CsTimeline {
+            sets: vec![ServingCellSet::idle(), sa1, sa2, lte_only, nsa],
+            samples: samples
+                .iter()
+                .map(|&(s, id)| CsSample { t: Timestamp::from_secs(s), id })
+                .collect(),
+            end: Timestamp::from_secs(end_s),
+        }
+    }
+
+    #[test]
+    fn no_loop_when_nothing_repeats() {
+        // I: CS1 → CS2 → stays ON.
+        let t = tl(&[(0, 0), (1, 1), (4, 2)], 300);
+        assert!(detect_loops(&t).is_empty());
+    }
+
+    #[test]
+    fn single_off_is_not_a_loop() {
+        let t = tl(&[(0, 0), (1, 1), (4, 2), (50, 0)], 300);
+        assert!(detect_loops(&t).is_empty());
+    }
+
+    #[test]
+    fn persistent_sa_loop() {
+        // (ON: 1→2, OFF: 0) × 3, ending in the loop.
+        let t = tl(
+            &[
+                (0, 0),
+                (1, 1),
+                (4, 2),
+                (30, 0),
+                (41, 1),
+                (44, 2),
+                (70, 0),
+                (81, 1),
+                (84, 2),
+                (110, 0),
+            ],
+            120,
+        );
+        let loops = detect_loops(&t);
+        assert_eq!(loops.len(), 1);
+        let lp = &loops[0];
+        assert_eq!(lp.episode_period, 1);
+        assert_eq!(lp.repetitions, 3);
+        assert_eq!(lp.persistence, Persistence::Persistent);
+        assert_eq!(lp.block, vec![1, 2, 0]);
+        assert_eq!(lp.cycles.len(), 3);
+        // First cycle: ON at 1 s, OFF at 30 s, ends at next ON (41 s).
+        assert_eq!(lp.cycles[0].on_ms(), 29_000);
+        assert_eq!(lp.cycles[0].off_ms(), 11_000);
+        assert_eq!(lp.cycles[0].cycle_ms(), 40_000);
+        // Last cycle's OFF runs to the trace end.
+        assert_eq!(lp.cycles[2].end_at, Timestamp::from_secs(120));
+    }
+
+    #[test]
+    fn semi_persistent_loop_exits() {
+        // Two repetitions, then the UE settles on a different set (2).
+        let t = tl(
+            &[(0, 0), (1, 1), (30, 0), (41, 1), (70, 0), (81, 2), (90, 0), (95, 2)],
+            300,
+        );
+        let loops = detect_loops(&t);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].persistence, Persistence::SemiPersistent);
+        assert_eq!(loops[0].repetitions, 2);
+    }
+
+    #[test]
+    fn persistent_with_partial_tail_cycle() {
+        // Two full repetitions plus a tail that is a prefix of the block.
+        let t = tl(
+            &[(0, 0), (1, 1), (4, 2), (30, 0), (41, 1), (44, 2), (70, 0), (81, 1)],
+            90,
+        );
+        let loops = detect_loops(&t);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].persistence, Persistence::Persistent);
+        assert_eq!(loops[0].repetitions, 2);
+        // Tail episode never turned OFF → only the 2 full cycles counted.
+        assert_eq!(loops[0].cycles.len(), 2);
+    }
+
+    #[test]
+    fn nsa_transient_off_loop() {
+        // NSA ↔ LTE-only flip-flop: ON 4, OFF 3, repeated (N2-style).
+        let t = tl(
+            &[(0, 0), (1, 3), (2, 4), (25, 3), (26, 4), (50, 3), (51, 4), (75, 3)],
+            76,
+        );
+        let loops = detect_loops(&t);
+        assert_eq!(loops.len(), 1);
+        let lp = &loops[0];
+        assert_eq!(lp.episode_period, 1);
+        assert!(lp.repetitions >= 2);
+        // Every cycle here has a ~24 s ON and ~1 s OFF.
+        for c in &lp.cycles {
+            assert!(c.on_ms() >= 23_000);
+            assert!(c.off_ms() <= 2_000);
+        }
+    }
+
+    #[test]
+    fn period_two_alternating_loop() {
+        // Alternating episodes: (1,0) (2,0) (1,0) (2,0) — an A/B/A/B loop.
+        let t = tl(
+            &[
+                (0, 0),
+                (1, 1),
+                (10, 0),
+                (21, 2),
+                (30, 0),
+                (41, 1),
+                (50, 0),
+                (61, 2),
+                (70, 0),
+            ],
+            80,
+        );
+        let loops = detect_loops(&t);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].repetitions, 2);
+        assert_eq!(loops[0].persistence, Persistence::Persistent);
+        // All four alternating episodes are cycles of the one loop.
+        assert_eq!(loops[0].cycles.len(), 4);
+    }
+
+    #[test]
+    fn off_ratio() {
+        let c = Cycle {
+            on_at: Timestamp::from_secs(0),
+            off_at: Timestamp::from_secs(30),
+            end_at: Timestamp::from_secs(40),
+        };
+        assert!((c.off_ratio() - 0.25).abs() < 1e-12);
+        let degenerate = Cycle {
+            on_at: Timestamp::from_secs(5),
+            off_at: Timestamp::from_secs(5),
+            end_at: Timestamp::from_secs(5),
+        };
+        assert_eq!(degenerate.off_ratio(), 0.0);
+    }
+
+    #[test]
+    fn empty_timeline_has_no_loops() {
+        let t = tl(&[(0, 0)], 300);
+        assert!(detect_loops(&t).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Human-readable rendering of cell-set sequences and loop spans — the
+//! textual counterpart of the paper's Fig. 4 sequence diagrams.
+
+use std::fmt::Write as _;
+
+use crate::{LoopInstance, Persistence, RunAnalysis};
+
+/// Renders the run's CS sequence as `CS0 → CS1 → …` with 5G-ON sets marked
+/// `*` and the loop span bracketed, plus a legend mapping ids to sets.
+pub fn render_sequence(analysis: &RunAnalysis) -> String {
+    let tl = &analysis.timeline;
+    let span = analysis.loops.first().map(|l| (l.start, l.end));
+
+    let mut seq = String::new();
+    let mut in_span = false;
+    for (i, s) in tl.samples.iter().enumerate() {
+        if i > 0 {
+            seq.push_str(" → ");
+        }
+        if let Some((start, end)) = span {
+            if !in_span && s.t >= start && s.t <= end {
+                seq.push('⟦');
+                in_span = true;
+            } else if in_span && s.t > end {
+                seq.push('⟧');
+                in_span = false;
+            }
+        }
+        let _ = write!(seq, "CS{}{}", s.id, if tl.uses_5g(s.id) { "*" } else { "" });
+    }
+    if in_span {
+        seq.push('⟧');
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{seq}");
+    match analysis.loops.first() {
+        Some(lp) => {
+            let _ = writeln!(
+                out,
+                "loop: {} ({} repetitions, {} cycles)",
+                match lp.persistence {
+                    Persistence::Persistent => "II-P (persistent)",
+                    Persistence::SemiPersistent => "II-SP (semi-persistent)",
+                },
+                lp.repetitions,
+                lp.cycles.len()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "no loop (type I)");
+        }
+    }
+    let _ = writeln!(out, "legend (* = 5G ON):");
+    for (id, set) in tl.sets.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  CS{id}{} = {set}",
+            if set.uses_5g() { "*" } else { "" }
+        );
+    }
+    out
+}
+
+/// One-line summary of a loop instance.
+pub fn loop_summary(lp: &LoopInstance) -> String {
+    let mut cyc: Vec<f64> = lp.cycles.iter().map(|c| c.cycle_ms() as f64 / 1000.0).collect();
+    let mut off: Vec<f64> = lp.cycles.iter().map(|c| c.off_ms() as f64 / 1000.0).collect();
+    cyc.sort_by(f64::total_cmp);
+    off.sort_by(f64::total_cmp);
+    let med = |v: &Vec<f64>| v.get(v.len() / 2).copied().unwrap_or(0.0);
+    format!(
+        "{} reps over {:.0}s, median cycle {:.1}s / OFF {:.1}s",
+        lp.repetitions,
+        lp.end.since(lp.start) as f64 / 1000.0,
+        med(&cyc),
+        med(&off)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_trace;
+    use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
+    use onoff_rrc::messages::RrcMessage;
+    use onoff_rrc::trace::{LogChannel, LogRecord, Timestamp, TraceEvent};
+
+    fn looping_events() -> Vec<TraceEvent> {
+        let cell = CellId::nr(Pci(393), 521310);
+        let mut events = Vec::new();
+        for k in 0..3u64 {
+            let base = k * 40_000;
+            let req = RrcMessage::SetupRequest { cell, global_id: GlobalCellId(1) };
+            for (dt, msg) in
+                [(0, req), (150, RrcMessage::SetupComplete), (30_000, RrcMessage::Release)]
+            {
+                events.push(TraceEvent::Rrc(LogRecord {
+                    t: Timestamp(base + dt),
+                    rat: Rat::Nr,
+                    channel: LogChannel::for_message(&msg),
+                    context: Some(cell),
+                    msg,
+                }));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn sequence_shows_loop_span_and_legend() {
+        let analysis = analyze_trace(&looping_events());
+        let text = render_sequence(&analysis);
+        assert!(text.contains('⟦') && text.contains('⟧'), "{text}");
+        assert!(text.contains("CS1*"), "{text}");
+        assert!(text.contains("II-P"), "{text}");
+        assert!(text.contains("393@521310"), "{text}");
+    }
+
+    #[test]
+    fn no_loop_renders_type_i() {
+        let analysis = analyze_trace(&looping_events()[..2]);
+        let text = render_sequence(&analysis);
+        assert!(text.contains("no loop (type I)"));
+        assert!(!text.contains('⟦'));
+    }
+
+    #[test]
+    fn loop_summary_formats() {
+        let analysis = analyze_trace(&looping_events());
+        let s = loop_summary(&analysis.loops[0]);
+        assert!(s.contains("reps"), "{s}");
+        assert!(s.contains("median cycle"), "{s}");
+    }
+}

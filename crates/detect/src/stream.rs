@@ -1,0 +1,225 @@
+//! Incremental analysis: feed trace events as they arrive (live capture,
+//! tailing a log) and query the current state at any point. Batch analysis
+//! ([`crate::analyze_trace`]) over the same events yields the same final
+//! answer — enforced by tests.
+
+use onoff_rrc::serving::ConnState;
+use onoff_rrc::trace::{Timestamp, TraceEvent};
+
+use crate::cellset::{extract_timeline, CsTimeline};
+use crate::classify::{classify_all, LoopType, OffTransition};
+use crate::loops::{detect_loops, LoopInstance};
+
+/// An incremental analyzer over a growing trace.
+///
+/// The implementation re-derives the timeline incrementally-cheaply: events
+/// are buffered, the cell-set replay state advances per event, and loop
+/// detection/classification run on demand (they are milliseconds even on
+/// full runs). The buffered events are the single source of truth, so
+/// streaming cannot drift from batch.
+#[derive(Debug, Default)]
+pub struct StreamingAnalyzer {
+    events: Vec<TraceEvent>,
+    /// Events seen since the last analysis (for cheap staleness checks).
+    dirty: bool,
+    cached_timeline: Option<CsTimeline>,
+}
+
+impl StreamingAnalyzer {
+    /// New, empty analyzer.
+    pub fn new() -> StreamingAnalyzer {
+        StreamingAnalyzer::default()
+    }
+
+    /// Feeds one event. Events may arrive slightly out of order; they are
+    /// kept sorted by timestamp.
+    pub fn feed(&mut self, ev: TraceEvent) {
+        let t = ev.t();
+        match self.events.last() {
+            Some(last) if last.t() > t => {
+                let pos = self.events.partition_point(|e| e.t() <= t);
+                self.events.insert(pos, ev);
+            }
+            _ => self.events.push(ev),
+        }
+        self.dirty = true;
+    }
+
+    /// Feeds many events.
+    pub fn feed_all<I: IntoIterator<Item = TraceEvent>>(&mut self, events: I) {
+        for ev in events {
+            self.feed(ev);
+        }
+    }
+
+    /// Number of events so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True before any event arrived.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn timeline(&mut self) -> &CsTimeline {
+        if self.dirty || self.cached_timeline.is_none() {
+            self.cached_timeline = Some(extract_timeline(&self.events));
+            self.dirty = false;
+        }
+        self.cached_timeline.as_ref().unwrap()
+    }
+
+    /// The current connectivity state.
+    pub fn current_state(&mut self) -> ConnState {
+        let tl = self.timeline();
+        tl.samples.last().map(|s| tl.state(s.id)).unwrap_or(ConnState::Idle)
+    }
+
+    /// Whether 5G is currently ON.
+    pub fn is_5g_on(&mut self) -> bool {
+        let tl = self.timeline();
+        tl.samples.last().map(|s| tl.uses_5g(s.id)).unwrap_or(false)
+    }
+
+    /// Loops detected so far.
+    pub fn loops(&mut self) -> Vec<LoopInstance> {
+        detect_loops(self.timeline())
+    }
+
+    /// Classified OFF transitions so far.
+    pub fn off_transitions(&mut self) -> Vec<OffTransition> {
+        let tl = self.timeline().clone();
+        classify_all(&self.events, &tl)
+    }
+
+    /// The most recent OFF transition, if any — the "what just happened"
+    /// a live dashboard would surface.
+    pub fn last_off(&mut self) -> Option<OffTransition> {
+        self.off_transitions().into_iter().next_back()
+    }
+
+    /// Fires when a loop is currently active: the last detected loop is
+    /// persistent and its span reaches the latest event.
+    pub fn loop_alarm(&mut self) -> Option<(LoopType, Timestamp)> {
+        let last_t = self.events.last()?.t();
+        let loops = self.loops();
+        let lp = loops.last()?;
+        if lp.end >= last_t {
+            let t = lp.start;
+            // Majority type over the loop's transitions.
+            let mut counts = std::collections::BTreeMap::new();
+            for tr in self.off_transitions() {
+                if tr.t >= lp.start {
+                    *counts.entry(tr.loop_type).or_insert(0usize) += 1;
+                }
+            }
+            let ty = counts.into_iter().max_by_key(|(_, n)| *n).map(|(t, _)| t)?;
+            return Some((ty, t));
+        }
+        None
+    }
+
+    /// Consumes the analyzer, returning the batch analysis of everything
+    /// seen.
+    pub fn finish(self) -> crate::RunAnalysis {
+        crate::analyze_trace(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
+    use onoff_rrc::messages::RrcMessage;
+    use onoff_rrc::trace::{LogChannel, LogRecord};
+
+    fn rec(t: u64, msg: RrcMessage) -> TraceEvent {
+        TraceEvent::Rrc(LogRecord {
+            t: Timestamp(t),
+            rat: Rat::Nr,
+            channel: LogChannel::for_message(&msg),
+            context: None,
+            msg,
+        })
+    }
+
+    fn cell() -> CellId {
+        CellId::nr(Pci(393), 521310)
+    }
+
+    fn looping_events() -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        for k in 0..3u64 {
+            let base = k * 40_000;
+            events.push(rec(
+                base,
+                RrcMessage::SetupRequest { cell: cell(), global_id: GlobalCellId(1) },
+            ));
+            events.push(rec(base + 150, RrcMessage::SetupComplete));
+            events.push(rec(base + 30_000, RrcMessage::Release));
+        }
+        events
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let events = looping_events();
+        let mut s = StreamingAnalyzer::new();
+        s.feed_all(events.clone());
+        let streamed = s.finish();
+        let batch = crate::analyze_trace(&events);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn state_tracks_as_events_arrive() {
+        let mut s = StreamingAnalyzer::new();
+        assert_eq!(s.current_state(), ConnState::Idle);
+        assert!(!s.is_5g_on());
+        s.feed(rec(0, RrcMessage::SetupRequest { cell: cell(), global_id: GlobalCellId(1) }));
+        s.feed(rec(150, RrcMessage::SetupComplete));
+        assert_eq!(s.current_state(), ConnState::Sa);
+        assert!(s.is_5g_on());
+        s.feed(rec(30_000, RrcMessage::Release));
+        assert_eq!(s.current_state(), ConnState::Idle);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn loop_alarm_fires_mid_loop() {
+        let mut s = StreamingAnalyzer::new();
+        // No alarm after one cycle…
+        for ev in looping_events().into_iter().take(3) {
+            s.feed(ev);
+        }
+        assert!(s.loop_alarm().is_none());
+        // …but after the second identical cycle the alarm is up.
+        for ev in looping_events().into_iter().skip(3).take(3) {
+            s.feed(ev);
+        }
+        assert!(s.loop_alarm().is_some());
+    }
+
+    #[test]
+    fn out_of_order_events_are_sorted_in() {
+        let events = looping_events();
+        let mut s = StreamingAnalyzer::new();
+        // Feed with a local swap.
+        s.feed(events[1].clone());
+        s.feed(events[0].clone());
+        for ev in &events[2..] {
+            s.feed(ev.clone());
+        }
+        assert_eq!(s.finish(), crate::analyze_trace(&events));
+    }
+
+    #[test]
+    fn last_off_reports_most_recent() {
+        let mut s = StreamingAnalyzer::new();
+        s.feed_all(looping_events());
+        let last = s.last_off().unwrap();
+        assert_eq!(last.t, Timestamp(2 * 40_000 + 30_000));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests over the detection pipeline's invariants.
+
+use onoff_detect::cellset::{extract_timeline, CsSample, CsTimeline};
+use onoff_detect::classify::classify_all;
+use onoff_detect::detect_loops;
+use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
+use onoff_rrc::messages::{ReconfigBody, RrcMessage, ScellAddMod};
+use onoff_rrc::serving::ServingCellSet;
+use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
+use proptest::prelude::*;
+
+/// A small universe of serving sets to build random timelines from:
+/// id 0 = IDLE, 1 = SA pcell-only, 2 = SA + SCell, 3 = LTE-only, 4 = NSA.
+fn set_universe() -> Vec<ServingCellSet> {
+    let nr1 = CellId::nr(Pci(393), 521310);
+    let nr2 = CellId::nr(Pci(273), 387410);
+    let lte1 = CellId::lte(Pci(380), 5145);
+    let scg = CellId::nr(Pci(53), 632736);
+    let sa1 = ServingCellSet::with_pcell(nr1);
+    let mut sa2 = sa1.clone();
+    sa2.add_mcg_scell(1, nr2);
+    let lte = ServingCellSet::with_pcell(lte1);
+    let mut nsa = lte.clone();
+    nsa.set_pscell(scg);
+    vec![ServingCellSet::idle(), sa1, sa2, lte, nsa]
+}
+
+/// Builds a compressed timeline from a random id walk.
+fn timeline_from_walk(ids: &[usize], step_ms: u64) -> CsTimeline {
+    let sets = set_universe();
+    let mut samples = vec![CsSample { t: Timestamp(0), id: 0 }];
+    let mut t = 0;
+    for &raw in ids {
+        let id = raw % sets.len();
+        t += step_ms;
+        if samples.last().unwrap().id != id {
+            samples.push(CsSample { t: Timestamp(t), id });
+        }
+    }
+    CsTimeline { sets, samples, end: Timestamp(t + step_ms) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The detector never panics and every reported loop satisfies its
+    /// structural invariants.
+    #[test]
+    fn loop_invariants(ids in prop::collection::vec(0usize..5, 0..120),
+                       step in 500u64..20_000) {
+        let tl = timeline_from_walk(&ids, step);
+        for lp in detect_loops(&tl) {
+            prop_assert!(lp.repetitions >= 2);
+            prop_assert!(!lp.block.is_empty());
+            prop_assert!(lp.start <= lp.end);
+            prop_assert!(!lp.cycles.is_empty());
+            for c in &lp.cycles {
+                prop_assert!(c.on_at <= c.off_at);
+                prop_assert!(c.off_at <= c.end_at);
+                prop_assert!(c.off_ms() <= c.cycle_ms());
+                let r = c.off_ratio();
+                prop_assert!((0.0..=1.0).contains(&r));
+                // Cycles live inside the loop span.
+                prop_assert!(c.on_at >= lp.start);
+                prop_assert!(c.end_at <= lp.end);
+            }
+            // The block starts 5G-ON and its ids are valid.
+            prop_assert!(tl.uses_5g(lp.block[0]));
+            prop_assert!(lp.block.iter().all(|&id| id < tl.sets.len()));
+        }
+    }
+
+    /// A timeline that never turns 5G on (or never off) has no loops.
+    #[test]
+    fn no_loop_without_both_states(on_only in any::<bool>(),
+                                   len in 1usize..60,
+                                   step in 500u64..5_000) {
+        // ids: either always-ON (1) or always-OFF (0/3 mix).
+        let ids: Vec<usize> = (0..len)
+            .map(|k| if on_only { 1 } else { [0usize, 3][k % 2] })
+            .collect();
+        let tl = timeline_from_walk(&ids, step);
+        prop_assert!(detect_loops(&tl).is_empty());
+    }
+
+    /// classify_all produces exactly one entry per ON→OFF boundary.
+    #[test]
+    fn one_classification_per_off_transition(
+        ids in prop::collection::vec(0usize..5, 0..120),
+        step in 500u64..10_000,
+    ) {
+        let tl = timeline_from_walk(&ids, step);
+        let onoff = tl.on_off_intervals();
+        let expected = onoff.windows(2).filter(|w| w[0].2 && !w[1].2).count();
+        let transitions = classify_all(&[], &tl);
+        prop_assert_eq!(transitions.len(), expected);
+    }
+
+    /// extract_timeline invariants over arbitrary message streams.
+    #[test]
+    fn timeline_extraction_invariants(ops in prop::collection::vec(0u8..6, 0..80)) {
+        let nr1 = CellId::nr(Pci(393), 521310);
+        let nr2 = CellId::nr(Pci(273), 387410);
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for op in ops {
+            t += 500;
+            let msg = match op {
+                0 => RrcMessage::SetupRequest { cell: nr1, global_id: GlobalCellId(1) },
+                1 => RrcMessage::SetupComplete,
+                2 => RrcMessage::Reconfiguration(ReconfigBody {
+                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr2 }],
+                    ..Default::default()
+                }),
+                3 => RrcMessage::ReconfigurationComplete,
+                4 => RrcMessage::Release,
+                _ => {
+                    events.push(TraceEvent::Mm {
+                        t: Timestamp(t),
+                        state: MmState::DeregisteredNoCellAvailable,
+                    });
+                    continue;
+                }
+            };
+            events.push(TraceEvent::Rrc(LogRecord {
+                t: Timestamp(t),
+                rat: Rat::Nr,
+                channel: LogChannel::for_message(&msg),
+                context: None,
+                msg,
+            }));
+        }
+        let tl = extract_timeline(&events);
+        // Non-empty, starts IDLE at t=0.
+        prop_assert!(!tl.samples.is_empty());
+        prop_assert_eq!(tl.samples[0].id, 0);
+        prop_assert!(tl.sets[0].state() == onoff_rrc::ConnState::Idle);
+        // Time-ordered, compressed, ids valid.
+        for w in tl.samples.windows(2) {
+            prop_assert!(w[0].t <= w[1].t);
+            prop_assert!(w[0].id != w[1].id);
+        }
+        prop_assert!(tl.samples.iter().all(|s| s.id < tl.sets.len()));
+        // Interning is injective on canonical keys.
+        for i in 0..tl.sets.len() {
+            for j in i + 1..tl.sets.len() {
+                prop_assert!(tl.sets[i].canonical_key() != tl.sets[j].canonical_key());
+            }
+        }
+    }
+}

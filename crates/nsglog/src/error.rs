@@ -1,0 +1,95 @@
+//! Parse errors with line positions.
+
+use std::fmt;
+
+/// Why a log line could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A record head line did not start with a valid `HH:MM:SS.mmm` stamp.
+    BadTimestamp,
+    /// The record head after the timestamp matched no known record type.
+    UnknownRecordHead,
+    /// The RAT label was neither `NR5G` nor `LTE`.
+    BadRat,
+    /// The logical-channel label was unknown.
+    BadChannel,
+    /// The message name was unknown for the record's RAT.
+    UnknownMessage,
+    /// A required continuation field was missing.
+    MissingField(&'static str),
+    /// A field value failed to parse.
+    BadField(&'static str),
+    /// A `{ ... }` block was opened but never closed.
+    UnterminatedBlock(&'static str),
+    /// A continuation line appeared before any record head.
+    OrphanContinuation,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::BadTimestamp => write!(f, "malformed HH:MM:SS.mmm timestamp"),
+            ParseErrorKind::UnknownRecordHead => write!(f, "unrecognized record head"),
+            ParseErrorKind::BadRat => write!(f, "unknown RAT label (expected NR5G or LTE)"),
+            ParseErrorKind::BadChannel => write!(f, "unknown logical channel label"),
+            ParseErrorKind::UnknownMessage => write!(f, "unknown RRC message name"),
+            ParseErrorKind::MissingField(name) => write!(f, "missing field {name}"),
+            ParseErrorKind::BadField(name) => write!(f, "malformed field {name}"),
+            ParseErrorKind::UnterminatedBlock(name) => {
+                write!(f, "unterminated {name} block")
+            }
+            ParseErrorKind::OrphanContinuation => {
+                write!(f, "continuation line before any record head")
+            }
+        }
+    }
+}
+
+/// A parse failure at a specific line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// The offending line's text (trimmed, truncated to 120 chars).
+    pub text: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, kind: ParseErrorKind, text: &str) -> Self {
+        let mut text = text.trim().to_string();
+        if text.len() > 120 {
+            text.truncate(text.floor_char_boundary(120));
+            text.push('…');
+        }
+        ParseError { line, kind, text }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}: {:?}", self.line, self.kind, self.text)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_text() {
+        let e = ParseError::new(7, ParseErrorKind::BadTimestamp, "not a time");
+        assert_eq!(e.to_string(), "line 7: malformed HH:MM:SS.mmm timestamp: \"not a time\"");
+    }
+
+    #[test]
+    fn long_lines_are_truncated() {
+        let long = "x".repeat(500);
+        let e = ParseError::new(1, ParseErrorKind::UnknownRecordHead, &long);
+        assert!(e.text.len() <= 121 + '…'.len_utf8());
+        assert!(e.text.ends_with('…'));
+    }
+}

@@ -1,0 +1,43 @@
+//! # onoff-nsglog
+//!
+//! Codec for a **Network-Signal-Guru-style textual signaling log** — the
+//! capture format the paper's measurement pipeline starts from (its Appendix
+//! B reproduces raw fragments of these logs; Figs. 24–33 are annotated
+//! excerpts).
+//!
+//! The paper's released artifacts consume NSG text exports; since there is
+//! no public Rust decoder for that format, this crate implements one: a full
+//! parser ([`parse_str`]) and emitter ([`emit`], [`emit_event`]) over the
+//! [`onoff_rrc::trace::TraceEvent`] model, with line-precise errors and a
+//! round-trip guarantee (`parse(emit(trace)) == trace`, enforced by property
+//! tests).
+//!
+//! ## Format by example
+//!
+//! ```text
+//! 19:43:31.635 NR5G RRC OTA Packet -- BCCH_BCH / MIB
+//!   Physical Cell ID = 393, NR Cell Global ID = 0, Freq = 521310
+//! 19:43:34.361 NR5G RRC OTA Packet -- DL_DCCH / RRCReconfiguration
+//!   Physical Cell ID = 393, NR Cell Global ID = 1, Freq = 521310
+//!   sCellToAddModList {
+//!     {sCellIndex 1, physCellId 273, absoluteFrequencySSB 387410}
+//!   }
+//!   sCellToReleaseList {3}
+//! 19:43:36.996 MM5G State = DEREGISTERED
+//!   Mm5g Deregistered Substate = NO_CELL_AVAILABLE
+//! 19:43:37.100 Throughput = 203.25 Mbps
+//! ```
+//!
+//! Records start at column 0 with a `HH:MM:SS.mmm` timestamp; continuation
+//! lines are indented. The three record heads are `<RAT> RRC OTA Packet`,
+//! `MM5G State = ...` and `Throughput = ...`.
+
+pub mod emit;
+pub mod error;
+pub mod parse;
+pub mod stats;
+
+pub use emit::{emit, emit_event};
+pub use error::{ParseError, ParseErrorKind};
+pub use parse::parse_str;
+pub use stats::{split_runs, stats, LogStats};

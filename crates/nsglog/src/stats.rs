@@ -1,0 +1,181 @@
+//! Log statistics and multi-run splitting.
+//!
+//! The paper's dataset tables count messages and samples per capture
+//! (Table 3's `# RSRP/RSRQ`, `# CS sample` rows); [`LogStats`] computes the
+//! per-capture equivalents. [`split_runs`] cuts a long capture into runs at
+//! large time gaps (the field workflow records several 5-minute runs into
+//! one file).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use onoff_rrc::messages::RrcMessage;
+use onoff_rrc::trace::TraceEvent;
+
+/// Per-capture counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogStats {
+    /// Total events.
+    pub events: usize,
+    /// RRC message counts by message name.
+    pub by_message: BTreeMap<String, usize>,
+    /// Total RSRP/RSRQ results across measurement reports.
+    pub meas_results: u64,
+    /// Distinct cells seen anywhere (context, lists, reports).
+    pub distinct_cells: usize,
+    /// Capture span, ms (first to last event).
+    pub span_ms: u64,
+    /// Throughput samples.
+    pub throughput_samples: usize,
+    /// MM state transitions.
+    pub mm_events: usize,
+}
+
+/// Computes statistics over a parsed trace.
+pub fn stats(events: &[TraceEvent]) -> LogStats {
+    let mut s = LogStats { events: events.len(), ..Default::default() };
+    let mut cells = std::collections::BTreeSet::new();
+    let mut first = None;
+    let mut last = 0u64;
+    for ev in events {
+        let t = ev.t().millis();
+        first.get_or_insert(t);
+        last = last.max(t);
+        match ev {
+            TraceEvent::Rrc(rec) => {
+                *s.by_message.entry(rec.msg.name().to_string()).or_insert(0) += 1;
+                if let Some(c) = rec.context {
+                    cells.insert(c);
+                }
+                match &rec.msg {
+                    RrcMessage::MeasurementReport(r) => {
+                        s.meas_results += r.results.len() as u64;
+                        for m in &r.results {
+                            cells.insert(m.cell);
+                        }
+                    }
+                    RrcMessage::Reconfiguration(body) => {
+                        for a in &body.scell_to_add_mod {
+                            cells.insert(a.cell);
+                        }
+                        if let Some(sp) = body.sp_cell {
+                            cells.insert(sp);
+                        }
+                        if let Some(t) = body.mobility_target {
+                            cells.insert(t);
+                        }
+                    }
+                    RrcMessage::Mib { cell, .. }
+                    | RrcMessage::Sib1 { cell, .. }
+                    | RrcMessage::SetupRequest { cell, .. }
+                    | RrcMessage::ReestablishmentComplete { cell } => {
+                        cells.insert(*cell);
+                    }
+                    _ => {}
+                }
+            }
+            TraceEvent::Throughput { .. } => s.throughput_samples += 1,
+            TraceEvent::Mm { .. } => s.mm_events += 1,
+        }
+    }
+    s.distinct_cells = cells.len();
+    s.span_ms = last.saturating_sub(first.unwrap_or(0));
+    s
+}
+
+/// Splits a capture into runs wherever consecutive events are more than
+/// `gap_ms` apart. Returns the runs in order; a single-run capture comes
+/// back whole.
+pub fn split_runs(events: &[TraceEvent], gap_ms: u64) -> Vec<Vec<TraceEvent>> {
+    let mut runs: Vec<Vec<TraceEvent>> = Vec::new();
+    let mut cur: Vec<TraceEvent> = Vec::new();
+    let mut prev: Option<u64> = None;
+    for ev in events {
+        let t = ev.t().millis();
+        if prev.is_some_and(|p| t.saturating_sub(p) > gap_ms) && !cur.is_empty() {
+            runs.push(std::mem::take(&mut cur));
+        }
+        cur.push(ev.clone());
+        prev = Some(t);
+    }
+    if !cur.is_empty() {
+        runs.push(cur);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
+    use onoff_rrc::trace::{LogChannel, LogRecord, Timestamp};
+
+    fn rec(t: u64, msg: RrcMessage) -> TraceEvent {
+        TraceEvent::Rrc(LogRecord {
+            t: Timestamp(t),
+            rat: Rat::Nr,
+            channel: LogChannel::for_message(&msg),
+            context: None,
+            msg,
+        })
+    }
+
+    fn setup(t: u64, pci: u16) -> TraceEvent {
+        rec(
+            t,
+            RrcMessage::SetupRequest {
+                cell: CellId::nr(Pci(pci), 521310),
+                global_id: GlobalCellId(1),
+            },
+        )
+    }
+
+    #[test]
+    fn counts_messages_cells_and_span() {
+        let events = vec![
+            setup(1000, 393),
+            rec(1100, RrcMessage::SetupComplete),
+            rec(
+                2000,
+                RrcMessage::MeasurementReport(onoff_rrc::messages::MeasurementReport {
+                    trigger: None,
+                    results: vec![onoff_rrc::messages::MeasResult {
+                        cell: CellId::nr(Pci(273), 387410),
+                        meas: onoff_rrc::meas::Measurement::new(-85.0, -12.0),
+                    }],
+                }),
+            ),
+            TraceEvent::Throughput { t: Timestamp(3000), mbps: 100.0 },
+        ];
+        let s = stats(&events);
+        assert_eq!(s.events, 4);
+        assert_eq!(s.by_message["RRC Setup Req"], 1);
+        assert_eq!(s.by_message["MeasurementReport"], 1);
+        assert_eq!(s.meas_results, 1);
+        assert_eq!(s.distinct_cells, 2);
+        assert_eq!(s.span_ms, 2000);
+        assert_eq!(s.throughput_samples, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = stats(&[]);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.span_ms, 0);
+        assert_eq!(s.distinct_cells, 0);
+    }
+
+    #[test]
+    fn splits_at_gaps() {
+        let events =
+            vec![setup(0, 1), setup(5_000, 2), setup(400_000, 3), setup(405_000, 4)];
+        let runs = split_runs(&events, 60_000);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].len(), 2);
+        assert_eq!(runs[1].len(), 2);
+        // No gaps → one run.
+        assert_eq!(split_runs(&events[..2], 60_000).len(), 1);
+        assert!(split_runs(&[], 60_000).is_empty());
+    }
+}

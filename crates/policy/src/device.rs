@@ -1,0 +1,246 @@
+//! Phone-model profiles (Table 4 and the §4.4 behavioural findings).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use onoff_rrc::band::Band;
+
+use crate::operator::Operator;
+
+/// The six phone models of the cross-device experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PhoneModel {
+    /// OnePlus 13R (Jan 2025) — does not use the problematic n25 SCells.
+    OnePlus13R,
+    /// OnePlus 13 (Oct 2024) — not supported by NSG.
+    OnePlus13,
+    /// OnePlus 12R (Feb 2024) — the study's primary device; the only model
+    /// that exhibits S1 loops.
+    OnePlus12R,
+    /// OnePlus 10 Pro (Jan 2022) — no SA carrier aggregation; 4G-only on
+    /// OP_A.
+    OnePlus10Pro,
+    /// Samsung Galaxy S23 Ultra (Feb 2023) — camps on an n71 PCell, not NSG
+    /// supported.
+    SamsungS23,
+    /// Google Pixel 5 (Sep 2020) — no SA carrier aggregation.
+    Pixel5,
+}
+
+impl PhoneModel {
+    /// All six models, in Table 4 order.
+    pub const ALL: [PhoneModel; 6] = [
+        PhoneModel::OnePlus13R,
+        PhoneModel::OnePlus13,
+        PhoneModel::OnePlus12R,
+        PhoneModel::OnePlus10Pro,
+        PhoneModel::SamsungS23,
+        PhoneModel::Pixel5,
+    ];
+
+    /// The full behavioural profile.
+    pub fn profile(self) -> DeviceProfile {
+        profile_of(self)
+    }
+}
+
+impl fmt::Display for PhoneModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.profile().name)
+    }
+}
+
+/// Static specs (Table 4) plus the behavioural flags §4.4 derives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Which model this is.
+    pub model: PhoneModel,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Release month (Table 4).
+    pub release: &'static str,
+    /// Chipset (all Qualcomm in the study).
+    pub chipset: &'static str,
+    /// Android version at test time.
+    pub android: &'static str,
+    /// 3GPP RRC release the device negotiates (None: unknown, not NSG-
+    /// readable).
+    pub rrc_release: Option<&'static str>,
+    /// Supports carrier aggregation over 5G SA (F6 case 1: early models
+    /// don't, so they never add the SCells whose failure causes S1 loops).
+    pub sa_carrier_aggregation: bool,
+    /// Uses the "problematic" n25 SCells on channel 387410 at the study
+    /// locations (F6 case 2: 13R receives UL+DL configuration and avoids
+    /// them; 12R receives DL-only and uses them).
+    pub uses_problematic_n25_scells: bool,
+    /// PCell band the device prefers on OP_T, when it differs from 12R's
+    /// n41 (F6 case 3: Samsung S23 camps on n71).
+    pub sa_pcell_band_preference: Option<Band>,
+    /// Whether Network Signal Guru can capture this model's RRC messages.
+    pub nsg_supported: bool,
+}
+
+impl DeviceProfile {
+    /// Whether the device gets any 5G service on the given operator.
+    /// OnePlus 10 Pro is 4G-only on OP_A (F5's exception, confirmed by
+    /// AT&T user reports the paper cites).
+    pub fn supports_5g_on(&self, op: Operator) -> bool {
+        !(self.model == PhoneModel::OnePlus10Pro && op == Operator::OpA)
+    }
+
+    /// Whether this device can exhibit the S1 loops on OP_T (5G SA): it
+    /// must do SA carrier aggregation *and* actually use the problematic
+    /// SCells (F6).
+    pub fn vulnerable_to_s1(&self) -> bool {
+        self.sa_carrier_aggregation
+            && self.uses_problematic_n25_scells
+            && self.sa_pcell_band_preference.is_none()
+    }
+}
+
+fn profile_of(model: PhoneModel) -> DeviceProfile {
+    match model {
+        PhoneModel::OnePlus13R => DeviceProfile {
+            model,
+            name: "OnePlus 13R",
+            release: "Jan 2025",
+            chipset: "SM8650-AB Snapdragon 8 Gen 3",
+            android: "Android 15",
+            rrc_release: Some("V17.4.0"),
+            sa_carrier_aggregation: true,
+            uses_problematic_n25_scells: false,
+            sa_pcell_band_preference: None,
+            nsg_supported: true,
+        },
+        PhoneModel::OnePlus13 => DeviceProfile {
+            model,
+            name: "OnePlus 13",
+            release: "Oct 2024",
+            chipset: "SM8750-AB Snapdragon 8 Elite",
+            android: "Android 15",
+            rrc_release: Some("V17.4.0"),
+            sa_carrier_aggregation: true,
+            uses_problematic_n25_scells: false,
+            sa_pcell_band_preference: None,
+            nsg_supported: false,
+        },
+        PhoneModel::OnePlus12R => DeviceProfile {
+            model,
+            name: "OnePlus 12R",
+            release: "Feb 2024",
+            chipset: "SM8550-AB Snapdragon 8 Gen 2",
+            android: "Android 14",
+            rrc_release: Some("V16.6.0"),
+            sa_carrier_aggregation: true,
+            uses_problematic_n25_scells: true,
+            sa_pcell_band_preference: None,
+            nsg_supported: true,
+        },
+        PhoneModel::OnePlus10Pro => DeviceProfile {
+            model,
+            name: "OnePlus 10 Pro",
+            release: "Jan 2022",
+            chipset: "SM8450 Snapdragon 8 Gen 1",
+            android: "Android 12",
+            rrc_release: Some("V16.3.1"),
+            sa_carrier_aggregation: false,
+            uses_problematic_n25_scells: false,
+            sa_pcell_band_preference: None,
+            nsg_supported: true,
+        },
+        PhoneModel::SamsungS23 => DeviceProfile {
+            model,
+            name: "Samsung S23",
+            release: "Feb 2023",
+            chipset: "SM8550-AC Snapdragon 8 Gen 2",
+            android: "Android 15",
+            rrc_release: None,
+            sa_carrier_aggregation: true,
+            uses_problematic_n25_scells: false,
+            sa_pcell_band_preference: Some(Band::Nr(71)),
+            nsg_supported: false,
+        },
+        PhoneModel::Pixel5 => DeviceProfile {
+            model,
+            name: "Google Pixel 5",
+            release: "Sep 2020",
+            chipset: "SM7250 Snapdragon 765G",
+            android: "Android 11",
+            rrc_release: Some("V15.9.0"),
+            sa_carrier_aggregation: false,
+            uses_problematic_n25_scells: false,
+            sa_pcell_band_preference: None,
+            nsg_supported: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_12r_is_s1_vulnerable() {
+        // F6: S1 loops are observed only with the OnePlus 12R.
+        for model in PhoneModel::ALL {
+            let p = model.profile();
+            assert_eq!(
+                p.vulnerable_to_s1(),
+                model == PhoneModel::OnePlus12R,
+                "{model:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ten_pro_is_4g_only_on_op_a() {
+        let p = PhoneModel::OnePlus10Pro.profile();
+        assert!(!p.supports_5g_on(Operator::OpA));
+        assert!(p.supports_5g_on(Operator::OpV));
+        assert!(p.supports_5g_on(Operator::OpT));
+        // Every other model supports 5G everywhere.
+        for model in PhoneModel::ALL {
+            if model != PhoneModel::OnePlus10Pro {
+                for op in Operator::ALL {
+                    assert!(model.profile().supports_5g_on(op), "{model:?} on {op}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_models_lack_sa_ca() {
+        assert!(!PhoneModel::OnePlus10Pro.profile().sa_carrier_aggregation);
+        assert!(!PhoneModel::Pixel5.profile().sa_carrier_aggregation);
+        assert!(PhoneModel::OnePlus12R.profile().sa_carrier_aggregation);
+    }
+
+    #[test]
+    fn rrc_release_versions_match_table4() {
+        assert_eq!(PhoneModel::OnePlus12R.profile().rrc_release, Some("V16.6.0"));
+        assert_eq!(PhoneModel::OnePlus13R.profile().rrc_release, Some("V17.4.0"));
+        assert_eq!(PhoneModel::SamsungS23.profile().rrc_release, None);
+    }
+
+    #[test]
+    fn s23_prefers_n71() {
+        assert_eq!(
+            PhoneModel::SamsungS23.profile().sa_pcell_band_preference,
+            Some(Band::Nr(71))
+        );
+    }
+
+    #[test]
+    fn nsg_support_matches_section_4_4() {
+        assert!(!PhoneModel::OnePlus13.profile().nsg_supported);
+        assert!(!PhoneModel::SamsungS23.profile().nsg_supported);
+        assert!(PhoneModel::OnePlus12R.profile().nsg_supported);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PhoneModel::OnePlus12R.to_string(), "OnePlus 12R");
+        assert_eq!(PhoneModel::Pixel5.to_string(), "Google Pixel 5");
+    }
+}

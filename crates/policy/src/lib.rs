@@ -1,0 +1,23 @@
+//! # onoff-policy
+//!
+//! The *configuration side* of the study: the three US operators' channel
+//! plans, the per-channel RRC policies the paper reverse-engineers (§5.2,
+//! F14/F15), the RRC event thresholds observed in the appendix logs, and the
+//! six phone models' behavioural profiles (Table 4, §4.4).
+//!
+//! This crate is pure data + lookup; the simulator (`onoff-sim`) interprets
+//! it. Keeping policy separate mirrors the paper's key insight: the loops
+//! are **policy artifacts** ("RRC policies and configurations are not
+//! cell-specific, but channel-specific"), so the reproduction encodes them
+//! as channel-keyed configuration rather than simulator special cases.
+
+pub mod device;
+pub mod operator;
+pub mod rules;
+
+pub use device::{DeviceProfile, PhoneModel};
+pub use operator::{
+    op_a_policy, op_t_policy, op_v_policy, policy_for, ChannelPlan, FivegMode, Operator,
+    OperatorPolicy,
+};
+pub use rules::ChannelRule;

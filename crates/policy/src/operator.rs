@@ -1,0 +1,410 @@
+//! Operator identities, channel plans and RRC policy bundles.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use onoff_rrc::band::{Band, BandTable};
+use onoff_rrc::ids::Rat;
+
+use crate::rules::ChannelRule;
+
+/// The three US operators of the study, anonymised as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Operator {
+    /// OP_T (T-Mobile): 5G SA in city C1, the S1 loops.
+    OpT,
+    /// OP_A (AT&T): 5G NSA, the 5815 channel policies, N1/N2 loops.
+    OpA,
+    /// OP_V (Verizon): 5G NSA, the 5230 channel policy and 30 s SCG
+    /// recovery cadence, N1/N2 loops.
+    OpV,
+}
+
+impl Operator {
+    /// All three operators.
+    pub const ALL: [Operator; 3] = [Operator::OpT, Operator::OpA, Operator::OpV];
+
+    /// Paper label ("OP_T" etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            Operator::OpT => "OP_T",
+            Operator::OpA => "OP_A",
+            Operator::OpV => "OP_V",
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Deployment option (Table 3 "5G mode" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FivegMode {
+    /// Standalone: NR is the master RAT.
+    Sa,
+    /// Non-standalone: LTE master, NR secondary.
+    Nsa,
+}
+
+/// One carrier in an operator's plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    /// RAT of the carrier.
+    pub rat: Rat,
+    /// Channel number (NR-ARFCN / EARFCN).
+    pub arfcn: u32,
+    /// Channel width, MHz.
+    pub bandwidth_mhz: f64,
+    /// Per-resource-element transmit power, dBm. The paper's weak channel
+    /// (387410) is modelled with a lower per-RE power, which is the
+    /// deployment-side knob that makes its coverage systematically worse
+    /// (Fig. 17) without any physics hacks.
+    pub tx_power_dbm: f64,
+}
+
+impl ChannelPlan {
+    /// The 3GPP band this carrier sits in, if known.
+    pub fn band(&self) -> Option<Band> {
+        BandTable::band_for(self.rat, self.arfcn)
+    }
+}
+
+/// An operator's full RRC policy bundle: channel plan + per-channel rules +
+/// the event thresholds observed in the study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorPolicy {
+    /// Who this is.
+    pub operator: Operator,
+    /// SA or NSA (per the cities of the study; OP_T runs NSA in C2 but the
+    /// dataset's OP_T areas are SA).
+    pub mode: FivegMode,
+    /// All carriers, NR and LTE.
+    pub channels: Vec<ChannelPlan>,
+    /// Channel-specific rules (keyed by ARFCN) — the F14/F15 policies.
+    pub rules: BTreeMap<u32, ChannelRule>,
+    /// A3 offset for SCell modification / handover, deci-dB (6 dB observed).
+    pub a3_offset_deci: i32,
+    /// A2 "serving worse than" threshold, deci-dBm.
+    pub a2_threshold_deci: i32,
+    /// B1 "NR neighbour better than" SCG-addition threshold, deci-dBm.
+    pub b1_threshold_deci: i32,
+    /// Cell-selection floor `q-RxLevMin`, deci-dBm (−108 dBm in §3).
+    pub q_rx_lev_min_deci: i32,
+    /// How often the network pushes the updated measurement configuration
+    /// that lets the UE start 5G measurements after losing the SCG, ms.
+    /// OP_V's 30 s cadence is the cause of its long N2E2 OFF times (F15).
+    pub scg_recovery_config_period_ms: u64,
+    /// Baseline probability that an intra-channel SCell modification fails,
+    /// keyed off the added cell's channel rule; channels without a rule use
+    /// this default (≈0.7–1.1% in Table 5).
+    pub default_scell_mod_failure: f64,
+    /// Remedy knob (the paper's F9 implication): when true, the RAN handles
+    /// a problematic SCell by releasing **that SCell only** instead of the
+    /// whole master cell group — "RRC should not handle one/few bad apples
+    /// … by releasing the whole group". Default false (field behaviour).
+    #[serde(default)]
+    pub remedy_scell_only_release: bool,
+    /// Legacy A2-driven SCG release threshold, deci-dBm (F12): when set, the
+    /// network releases the 5G SCG as soon as the PSCell's RSRP drops below
+    /// it. Prior work (Zhang et al.) observed loops whenever this A2
+    /// threshold sat *above* the B1 addition threshold — a cell measuring
+    /// between the two is added and released forever. The operators have
+    /// since corrected their thresholds, so every built-in policy leaves
+    /// this `None`; [`OperatorPolicy::with_legacy_a2_b1`] re-creates the
+    /// historical misconfiguration for study.
+    pub legacy_scg_a2_release_deci: Option<i32>,
+}
+
+impl OperatorPolicy {
+    /// Re-enables the pre-correction A2/B1 misconfiguration reported by
+    /// prior work (F12): SCG released below `a2_deci` while still added
+    /// above the (lower) B1 threshold.
+    pub fn with_legacy_a2_b1(mut self, a2_deci: i32) -> OperatorPolicy {
+        self.legacy_scg_a2_release_deci = Some(a2_deci);
+        self
+    }
+
+    /// Whether the legacy thresholds are actually inconsistent (Θ_B1 < Θ_A2
+    /// — the loop precondition prior work identified).
+    pub fn has_inconsistent_a2_b1(&self) -> bool {
+        self.legacy_scg_a2_release_deci
+            .is_some_and(|a2| self.b1_threshold_deci < a2)
+    }
+
+    /// Rule for a channel, if any.
+    pub fn rule(&self, arfcn: u32) -> Option<&ChannelRule> {
+        self.rules.get(&arfcn)
+    }
+
+    /// Whether a 4G PCell on `arfcn` may run a 5G SCG (F15: OP_A's 5815 may
+    /// not; OP_V's 5230 may, but drops the SCG on entry).
+    pub fn allows_5g_on(&self, arfcn: u32) -> bool {
+        self.rule(arfcn).is_none_or(|r| r.allow_5g)
+    }
+
+    /// SCell-modification failure probability for a modification that adds a
+    /// cell on `arfcn` (Table 5's per-channel failure ratios).
+    pub fn scell_mod_failure_prob(&self, arfcn: u32) -> f64 {
+        self.rule(arfcn)
+            .map_or(self.default_scell_mod_failure, |r| r.scell_mod_failure_prob)
+    }
+
+    /// NR carriers of the plan.
+    pub fn nr_channels(&self) -> impl Iterator<Item = &ChannelPlan> {
+        self.channels.iter().filter(|c| c.rat == Rat::Nr)
+    }
+
+    /// LTE carriers of the plan.
+    pub fn lte_channels(&self) -> impl Iterator<Item = &ChannelPlan> {
+        self.channels.iter().filter(|c| c.rat == Rat::Lte)
+    }
+
+    /// The distinct bands used, for Table-3-style reporting.
+    pub fn bands(&self, rat: Rat) -> Vec<Band> {
+        let mut bands: Vec<Band> = self
+            .channels
+            .iter()
+            .filter(|c| c.rat == rat)
+            .filter_map(ChannelPlan::band)
+            .collect();
+        bands.sort_by_key(|b| match b {
+            Band::Lte(n) | Band::Nr(n) => *n,
+        });
+        bands.dedup();
+        bands
+    }
+}
+
+/// OP_T's policy: 5G SA on n25/n41/n71 plus LTE 2/12/66, with channel
+/// 387410 deployed weak (low per-RE power, Fig. 17) and carrying a
+/// 12.3% SCell-modification failure ratio (Table 5).
+pub fn op_t_policy() -> OperatorPolicy {
+    let channels = vec![
+        // NR — Table 2/3 channels. 387410 is the "problematic" carrier:
+        // 10 MHz, deployed ~6 dB weaker per RE than the n41 carriers.
+        ChannelPlan { rat: Rat::Nr, arfcn: 521310, bandwidth_mhz: 90.0, tx_power_dbm: 18.0 },
+        ChannelPlan { rat: Rat::Nr, arfcn: 501390, bandwidth_mhz: 100.0, tx_power_dbm: 18.0 },
+        ChannelPlan { rat: Rat::Nr, arfcn: 398410, bandwidth_mhz: 10.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Nr, arfcn: 387410, bandwidth_mhz: 10.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Nr, arfcn: 126270, bandwidth_mhz: 20.0, tx_power_dbm: 18.0 },
+        // LTE fallback carriers (bands 2, 12, 66) — rarely serving.
+        ChannelPlan { rat: Rat::Lte, arfcn: 850, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 5035, bandwidth_mhz: 10.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 66786, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+    ];
+    let mut rules = BTreeMap::new();
+    rules.insert(
+        387410,
+        ChannelRule {
+            allow_5g: true,
+            release_scg_on_entry: false,
+            switch_away_on_5g_report: None,
+            scell_mod_failure_prob: 1.0, // every 273→371 modification fails (§3)
+            a3_offset_bonus_deci: 0,
+        },
+    );
+    OperatorPolicy {
+        operator: Operator::OpT,
+        mode: FivegMode::Sa,
+        channels,
+        rules,
+        a3_offset_deci: 60,
+        a2_threshold_deci: -1560,
+        b1_threshold_deci: -1150,
+        q_rx_lev_min_deci: -1080,
+        scg_recovery_config_period_ms: 1000,
+        default_scell_mod_failure: 0.01,
+        remedy_scell_only_release: false,
+        legacy_scg_a2_release_deci: None,
+    }
+}
+
+/// OP_A's policy: 5G NSA on n5/n77, LTE 2/12/17/30/66 with the 5815
+/// "5G-disabled" channel that flips to 5145 on any 5G report (F15).
+pub fn op_a_policy() -> OperatorPolicy {
+    let channels = vec![
+        ChannelPlan { rat: Rat::Nr, arfcn: 632736, bandwidth_mhz: 40.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Nr, arfcn: 658080, bandwidth_mhz: 40.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Nr, arfcn: 174770, bandwidth_mhz: 10.0, tx_power_dbm: 16.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 850, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 5145, bandwidth_mhz: 10.0, tx_power_dbm: 4.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 5815, bandwidth_mhz: 10.0, tx_power_dbm: 16.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 9820, bandwidth_mhz: 10.0, tx_power_dbm: 16.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 66936, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+    ];
+    let mut rules = BTreeMap::new();
+    // F15: 4G PCell on 5815 never works with 5G but still configures 5G
+    // measurement; on a 5G report it switches to the co-sited cell on 5145.
+    rules.insert(
+        5815,
+        ChannelRule {
+            allow_5g: false,
+            release_scg_on_entry: true,
+            switch_away_on_5g_report: Some(5145),
+            scell_mod_failure_prob: 0.01,
+            a3_offset_bonus_deci: 60,
+        },
+    );
+    OperatorPolicy {
+        operator: Operator::OpA,
+        mode: FivegMode::Nsa,
+        channels,
+        rules,
+        a3_offset_deci: 60,
+        a2_threshold_deci: -1160,
+        b1_threshold_deci: -1150,
+        q_rx_lev_min_deci: -1200,
+        // OP_A re-configures 5G measurement quickly: 90% of N2E2 instances
+        // report measurements within 3 s (§5.3).
+        scg_recovery_config_period_ms: 1500,
+        default_scell_mod_failure: 0.01,
+        remedy_scell_only_release: false,
+        legacy_scg_a2_release_deci: None,
+    }
+}
+
+/// OP_V's policy: 5G NSA on n77, LTE 2/5/13/66 with the 5230 channel that
+/// *does* allow 5G but drops the SCG on entry, and a 30 s SCG-recovery
+/// configuration cadence (F15).
+pub fn op_v_policy() -> OperatorPolicy {
+    let channels = vec![
+        ChannelPlan { rat: Rat::Nr, arfcn: 648672, bandwidth_mhz: 60.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Nr, arfcn: 653952, bandwidth_mhz: 60.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 1075, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 2560, bandwidth_mhz: 10.0, tx_power_dbm: 16.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 5230, bandwidth_mhz: 10.0, tx_power_dbm: 18.0 },
+        ChannelPlan { rat: Rat::Lte, arfcn: 66586, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+    ];
+    let mut rules = BTreeMap::new();
+    // F15: all 5G cells are released once the PCell switches to 5230, but
+    // the channel is allowed to re-add 5G — producing transient OFF (N2E1).
+    // The positive A3 bonus makes 5230 the preferred anchor (it is the
+    // operator's band-13 coverage layer), keeping the UE camped among the
+    // split-sector 5230 pair whose swaps drop the SCG.
+    rules.insert(
+        5230,
+        ChannelRule {
+            allow_5g: true,
+            release_scg_on_entry: true,
+            switch_away_on_5g_report: None,
+            scell_mod_failure_prob: 0.01,
+            a3_offset_bonus_deci: 0,
+        },
+    );
+    OperatorPolicy {
+        operator: Operator::OpV,
+        mode: FivegMode::Nsa,
+        channels,
+        rules,
+        a3_offset_deci: 60,
+        a2_threshold_deci: -1160,
+        b1_threshold_deci: -1150,
+        q_rx_lev_min_deci: -1200,
+        // F15: OP_V sends the post-SCG-loss measurement configuration every
+        // 30 s, so N2E2 OFF times cluster at multiples of 30 s.
+        scg_recovery_config_period_ms: 30_000,
+        default_scell_mod_failure: 0.01,
+        remedy_scell_only_release: false,
+        legacy_scg_a2_release_deci: None,
+    }
+}
+
+/// The policy for an operator.
+pub fn policy_for(op: Operator) -> OperatorPolicy {
+    match op {
+        Operator::OpT => op_t_policy(),
+        Operator::OpA => op_a_policy(),
+        Operator::OpV => op_v_policy(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Operator::OpT.to_string(), "OP_T");
+        assert_eq!(Operator::ALL.len(), 3);
+    }
+
+    #[test]
+    fn op_t_bands_match_table3() {
+        let p = op_t_policy();
+        assert_eq!(p.mode, FivegMode::Sa);
+        let nr: Vec<String> = p.bands(Rat::Nr).iter().map(|b| b.to_string()).collect();
+        assert_eq!(nr, vec!["n25", "n41", "n71"]);
+        let lte: Vec<String> = p.bands(Rat::Lte).iter().map(|b| b.to_string()).collect();
+        assert_eq!(lte, vec!["2", "12", "66"]);
+    }
+
+    #[test]
+    fn op_a_bands_match_table3() {
+        let p = op_a_policy();
+        assert_eq!(p.mode, FivegMode::Nsa);
+        let nr: Vec<String> = p.bands(Rat::Nr).iter().map(|b| b.to_string()).collect();
+        assert_eq!(nr, vec!["n5", "n77"]);
+        let lte: Vec<String> = p.bands(Rat::Lte).iter().map(|b| b.to_string()).collect();
+        assert_eq!(lte, vec!["2", "12", "17", "30", "66"]);
+    }
+
+    #[test]
+    fn op_v_bands_match_table3() {
+        let p = op_v_policy();
+        let nr: Vec<String> = p.bands(Rat::Nr).iter().map(|b| b.to_string()).collect();
+        assert_eq!(nr, vec!["n77"]);
+        let lte: Vec<String> = p.bands(Rat::Lte).iter().map(|b| b.to_string()).collect();
+        assert_eq!(lte, vec!["2", "5", "13", "66"]);
+    }
+
+    #[test]
+    fn problematic_channel_rules() {
+        let t = op_t_policy();
+        assert_eq!(t.scell_mod_failure_prob(387410), 1.0);
+        assert!(t.scell_mod_failure_prob(398410) < 0.05);
+        assert!(t.allows_5g_on(387410));
+
+        let a = op_a_policy();
+        assert!(!a.allows_5g_on(5815));
+        assert!(a.allows_5g_on(5145));
+        assert_eq!(a.rule(5815).unwrap().switch_away_on_5g_report, Some(5145));
+
+        let v = op_v_policy();
+        assert!(v.allows_5g_on(5230));
+        assert!(v.rule(5230).unwrap().release_scg_on_entry);
+    }
+
+    #[test]
+    fn scg_recovery_cadence_differs() {
+        assert!(op_v_policy().scg_recovery_config_period_ms >= 30_000);
+        assert!(op_a_policy().scg_recovery_config_period_ms <= 3_000);
+    }
+
+    #[test]
+    fn weak_channel_has_lower_power() {
+        let t = op_t_policy();
+        let p387 = t.channels.iter().find(|c| c.arfcn == 387410).unwrap();
+        let p521 = t.channels.iter().find(|c| c.arfcn == 521310).unwrap();
+        assert!(p387.tx_power_dbm < p521.tx_power_dbm);
+        assert_eq!(p387.bandwidth_mhz, 10.0);
+        assert_eq!(p521.bandwidth_mhz, 90.0);
+    }
+
+    #[test]
+    fn channel_plan_band_lookup() {
+        let c = ChannelPlan { rat: Rat::Nr, arfcn: 387410, bandwidth_mhz: 10.0, tx_power_dbm: 12.0 };
+        assert_eq!(c.band().unwrap().to_string(), "n25");
+    }
+
+    #[test]
+    fn policy_for_dispatch() {
+        for op in Operator::ALL {
+            assert_eq!(policy_for(op).operator, op);
+        }
+    }
+}

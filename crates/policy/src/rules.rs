@@ -1,0 +1,78 @@
+//! Per-channel RRC policy rules — the paper's F14/F15 findings as data.
+
+use serde::{Deserialize, Serialize};
+
+/// Channel-specific behaviour attached to an ARFCN.
+///
+/// The paper finds that "a network operator likely uses the same
+/// configuration for all the cells over the same channel" (§5.3), and that
+/// each operator has exactly one primary *problematic* channel: OP_T's
+/// 387410 (S1E3 failures), OP_A's 5815 (5G-disabled + flip-flop handover)
+/// and OP_V's 5230 (SCG released on entry).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelRule {
+    /// May a 4G PCell on this channel run a 5G SCG at all?
+    /// OP_A's 5815: **no** (while still configuring 5G measurement).
+    pub allow_5g: bool,
+    /// Is the current 5G SCG released when the PCell hands over *onto* this
+    /// channel? True for both 5815 (OP_A) and 5230 (OP_V).
+    pub release_scg_on_entry: bool,
+    /// If set, receiving any 5G measurement report while camped on this
+    /// channel makes the PCell immediately hand over to the co-sited cell
+    /// on the given channel — OP_A's 5815→5145 flip, "despite no RSRP/RSRQ
+    /// measurement of the new cell" (F15). That blind switch is what makes
+    /// N1E1/N1E2 possible: the target may be weak or failing.
+    pub switch_away_on_5g_report: Option<u32>,
+    /// Probability that an SCell modification *adding a cell on this
+    /// channel* fails (Table 5's per-channel failure ratio; 387410 ≈ 12.3%
+    /// overall and ~100% for the specific 273→371 pair of the showcase).
+    pub scell_mod_failure_prob: f64,
+    /// Cell-individual offset (3GPP `Ocn`) granted to handover candidates on
+    /// this channel during A3 evaluation, deci-dB. OP_A's 5815 carries a
+    /// large positive offset — this is how the operator makes the
+    /// "5G-disabled" channel *preferred* in handovers (§5.2: the 5815 cell
+    /// "is preferred in a handover procedure because its RSRQ is stronger"),
+    /// which is one half of the N2E1 inconsistency.
+    pub a3_offset_bonus_deci: i32,
+}
+
+impl Default for ChannelRule {
+    /// A permissive rule: 5G allowed, nothing released, ~1% failure.
+    fn default() -> Self {
+        ChannelRule {
+            allow_5g: true,
+            release_scg_on_entry: false,
+            switch_away_on_5g_report: None,
+            scell_mod_failure_prob: 0.01,
+            a3_offset_bonus_deci: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_permissive() {
+        let r = ChannelRule::default();
+        assert!(r.allow_5g);
+        assert!(!r.release_scg_on_entry);
+        assert!(r.switch_away_on_5g_report.is_none());
+        assert!(r.scell_mod_failure_prob < 0.05);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = ChannelRule {
+            allow_5g: false,
+            release_scg_on_entry: true,
+            switch_away_on_5g_report: Some(5145),
+            scell_mod_failure_prob: 0.123,
+            a3_offset_bonus_deci: 90,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ChannelRule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

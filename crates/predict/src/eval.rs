@@ -1,0 +1,73 @@
+//! Prediction-accuracy evaluation (Fig. 22's error bounds).
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy summary of predicted-vs-observed probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Number of evaluated locations.
+    pub n: usize,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Fraction of locations with |error| ≤ 0.10.
+    pub within_10: f64,
+    /// Fraction with |error| ≤ 0.25.
+    pub within_25: f64,
+    /// Fraction with |error| ≤ 0.30.
+    pub within_30: f64,
+}
+
+/// Computes accuracy stats over `(predicted, observed)` pairs.
+pub fn error_stats(pairs: &[(f64, f64)]) -> ErrorStats {
+    if pairs.is_empty() {
+        return ErrorStats { n: 0, mae: 0.0, rmse: 0.0, within_10: 0.0, within_25: 0.0, within_30: 0.0 };
+    }
+    let n = pairs.len() as f64;
+    let errs: Vec<f64> = pairs.iter().map(|(p, o)| (p - o).abs()).collect();
+    let mae = errs.iter().sum::<f64>() / n;
+    let rmse = (errs.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+    let frac = |bound: f64| errs.iter().filter(|&&e| e <= bound).count() as f64 / n;
+    ErrorStats {
+        n: pairs.len(),
+        mae,
+        rmse,
+        within_10: frac(0.10),
+        within_25: frac(0.25),
+        within_30: frac(0.30),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let s = error_stats(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.within_25, 0.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let pairs = [(0.5, 0.5), (0.5, 0.45), (0.5, 0.2), (0.0, 0.5)];
+        let s = error_stats(&pairs);
+        assert_eq!(s.n, 4);
+        // errors: 0, 0.05, 0.3, 0.5
+        assert!((s.mae - 0.2125).abs() < 1e-12);
+        assert_eq!(s.within_10, 0.5);
+        assert_eq!(s.within_25, 0.5);
+        assert_eq!(s.within_30, 0.75);
+        assert!(s.rmse > s.mae);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 / 10.0, i as f64 / 10.0)).collect();
+        let s = error_stats(&pairs);
+        assert_eq!(s.mae, 0.0);
+        assert_eq!(s.within_10, 1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # onoff-predict
+//!
+//! The paper's §6 loop-probability models:
+//!
+//! * **usage model** — whether a cell-set combination is used at a
+//!   location follows a logistic in the PCell RSRP gap:
+//!   `uᵢ = 1 / (1 + e^{−k·Δᵖᵢ})` (Fig. 21b's curve, Spearman ≈ +0.66);
+//! * **S1E3 failure model** — the loop probability of a combination decays
+//!   polynomially in the co-channel SCell RSRP gap:
+//!   `pᵢ = max(1 − Δˢᵢ/t, 0)ⁿ` (Fig. 21a, Spearman ≈ −0.65);
+//! * **location probability** — `P = Σᵢ uᵢ·pᵢ` over the location's
+//!   possible cell-set combinations;
+//! * **S1E1/S1E2 extension** — same usage model, failure feature swapped
+//!   to the worst SCell's RSRP with a logistic response;
+//! * **training** — MSE minimization over the fine-grained spatial samples
+//!   via cyclic coordinate descent with golden-section line search.
+
+pub mod eval;
+pub mod model;
+pub mod train;
+pub mod validate;
+
+pub use eval::{error_stats, ErrorStats};
+pub use model::{CellsetFeatures, LocationSample, S1Model, S1e3Model};
+pub use train::{train_s1, train_s1e3};
+pub use validate::{binned_curve, cross_validate_s1e3};

@@ -1,0 +1,206 @@
+//! The prediction models (§6 equations).
+
+use serde::{Deserialize, Serialize};
+
+/// Features of one candidate cell-set combination at a location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellsetFeatures {
+    /// `Δᵖ`: target-PCell RSRP minus the best other candidate PCell's RSRP,
+    /// dB. Positive ⇒ the combination's PCell wins.
+    pub pcell_gap_db: f64,
+    /// `Δˢ`: absolute RSRP gap between the two co-channel target SCells,
+    /// dB. Small ⇒ the S1E3 modification ping-pong zone.
+    pub scell_gap_db: f64,
+    /// RSRP of the worst serving SCell in the combination, dBm — the
+    /// S1E1/S1E2 feature.
+    pub worst_scell_rsrp_dbm: f64,
+}
+
+/// One training/evaluation sample: a location's combinations plus its
+/// observed loop probability (fraction of runs with a loop).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationSample {
+    /// Candidate cell-set combinations at the location.
+    pub combos: Vec<CellsetFeatures>,
+    /// Ground-truth loop probability in [0, 1].
+    pub observed: f64,
+}
+
+/// Logistic usage model `u = 1/(1+e^{−k·Δ})`.
+pub fn usage(k: f64, pcell_gap_db: f64) -> f64 {
+    1.0 / (1.0 + (-k * pcell_gap_db).exp())
+}
+
+/// Polynomial failure model `p = max(1 − Δ/t, 0)ⁿ`.
+pub fn failure(t: f64, n: f64, scell_gap_db: f64) -> f64 {
+    (1.0 - scell_gap_db / t).max(0.0).powf(n)
+}
+
+/// The S1E3 model with learnable `(k, t, n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct S1e3Model {
+    /// Usage-logistic steepness.
+    pub k: f64,
+    /// Failure-decay gap scale, dB.
+    pub t: f64,
+    /// Failure-decay exponent.
+    pub n: f64,
+}
+
+impl Default for S1e3Model {
+    /// A plausible untrained starting point: k tuned so ±6 dB is decisive,
+    /// failure vanishing beyond ~12 dB gaps.
+    fn default() -> Self {
+        S1e3Model { k: 0.4, t: 12.0, n: 2.0 }
+    }
+}
+
+impl S1e3Model {
+    /// Per-combination loop probability contribution `uᵢ·pᵢ`.
+    pub fn combo_probability(&self, f: &CellsetFeatures) -> f64 {
+        usage(self.k, f.pcell_gap_db) * failure(self.t, self.n, f.scell_gap_db)
+    }
+
+    /// Location loop probability `P = Σ uᵢ·pᵢ`, with the usage weights
+    /// normalised when they over-count (the uᵢ are usage *ratios*; at any
+    /// instant the UE runs exactly one combination, so they cannot sum past
+    /// one), clamped to [0, 1].
+    pub fn predict(&self, combos: &[CellsetFeatures]) -> f64 {
+        let total_u: f64 = combos.iter().map(|f| usage(self.k, f.pcell_gap_db)).sum();
+        let norm = total_u.max(1.0);
+        combos
+            .iter()
+            .map(|f| self.combo_probability(f) / norm)
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+/// The combined S1 model: S1E3 plus a logistic in the worst-SCell RSRP for
+/// S1E1/S1E2 ("replace one feature from the SCell RSRP gap ... to the RSRP
+/// of the worst SCell"). Sub-type probabilities combine as independent
+/// failure modes: `p = 1 − (1−p_e3)(1−p_e12)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct S1Model {
+    /// The S1E3 component.
+    pub e3: S1e3Model,
+    /// Logistic steepness of the poor-SCell response (per dB).
+    pub e12_k: f64,
+    /// RSRP midpoint of the poor-SCell response, dBm.
+    pub e12_mid_dbm: f64,
+}
+
+impl Default for S1Model {
+    /// Untrained starting point: poor-SCell response centred at −110 dBm.
+    fn default() -> Self {
+        S1Model { e3: S1e3Model::default(), e12_k: 0.5, e12_mid_dbm: -110.0 }
+    }
+}
+
+impl S1Model {
+    /// S1E1/S1E2 probability for one combination: rises as the worst SCell
+    /// weakens below the midpoint.
+    pub fn e12_probability(&self, f: &CellsetFeatures) -> f64 {
+        1.0 / (1.0 + ((f.worst_scell_rsrp_dbm - self.e12_mid_dbm) * self.e12_k).exp())
+    }
+
+    /// Location S1 loop probability (usage-normalised like
+    /// [`S1e3Model::predict`]).
+    pub fn predict(&self, combos: &[CellsetFeatures]) -> f64 {
+        let total_u: f64 =
+            combos.iter().map(|f| usage(self.e3.k, f.pcell_gap_db)).sum();
+        let norm = total_u.max(1.0);
+        combos
+            .iter()
+            .map(|f| {
+                let u = usage(self.e3.k, f.pcell_gap_db);
+                let p_e3 = failure(self.e3.t, self.e3.n, f.scell_gap_db);
+                let p_e12 = self.e12_probability(f);
+                u * (1.0 - (1.0 - p_e3) * (1.0 - p_e12)) / norm
+            })
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(pcell_gap: f64, scell_gap: f64, worst: f64) -> CellsetFeatures {
+        CellsetFeatures {
+            pcell_gap_db: pcell_gap,
+            scell_gap_db: scell_gap,
+            worst_scell_rsrp_dbm: worst,
+        }
+    }
+
+    #[test]
+    fn usage_is_logistic() {
+        assert!((usage(0.5, 0.0) - 0.5).abs() < 1e-12);
+        assert!(usage(0.5, 20.0) > 0.99);
+        assert!(usage(0.5, -20.0) < 0.01);
+        // Monotone increasing in the gap.
+        assert!(usage(0.5, 3.0) > usage(0.5, 2.0));
+    }
+
+    #[test]
+    fn failure_decays_and_clamps() {
+        assert_eq!(failure(12.0, 2.0, 0.0), 1.0);
+        assert!(failure(12.0, 2.0, 6.0) < 1.0);
+        assert_eq!(failure(12.0, 2.0, 12.0), 0.0);
+        assert_eq!(failure(12.0, 2.0, 40.0), 0.0); // clamped, not negative
+        assert!(failure(12.0, 2.0, 3.0) > failure(12.0, 2.0, 6.0));
+    }
+
+    #[test]
+    fn paper_shape_gap_under_6db_is_high_probability() {
+        // F16: probability exceeds 50% when the SCell gap is < 6 dB, for a
+        // decisively-used combination.
+        let m = S1e3Model::default();
+        let p = m.predict(&[f(15.0, 5.0, -85.0)]);
+        assert!(p > 0.3, "got {p}");
+        let p_far = m.predict(&[f(15.0, 20.0, -85.0)]);
+        assert!(p_far < 0.05, "got {p_far}");
+    }
+
+    #[test]
+    fn unused_combination_contributes_nothing() {
+        let m = S1e3Model::default();
+        // PCell gap −20 dB: the combination is essentially never used.
+        let p = m.predict(&[f(-20.0, 0.0, -85.0)]);
+        assert!(p < 0.01, "got {p}");
+    }
+
+    #[test]
+    fn prediction_is_clamped_to_unit_interval() {
+        let m = S1e3Model { k: 5.0, t: 50.0, n: 0.1 };
+        let combos: Vec<CellsetFeatures> = (0..10).map(|_| f(30.0, 0.0, -80.0)).collect();
+        assert!((m.predict(&combos) - 1.0).abs() < 1e-9);
+        assert_eq!(m.predict(&[]), 0.0);
+    }
+
+    #[test]
+    fn s1_model_adds_poor_scell_mode() {
+        let m = S1Model::default();
+        // Healthy SCells, small gap: S1E3 dominates.
+        let healthy = m.predict(&[f(15.0, 2.0, -85.0)]);
+        // Terrible worst SCell, big gap: S1E1/E2 dominates.
+        let poor = m.predict(&[f(15.0, 25.0, -120.0)]);
+        assert!(healthy > 0.4, "got {healthy}");
+        assert!(poor > 0.4, "got {poor}");
+        // Healthy and well-separated: low.
+        let quiet = m.predict(&[f(15.0, 25.0, -85.0)]);
+        assert!(quiet < 0.1, "got {quiet}");
+    }
+
+    #[test]
+    fn e12_probability_monotone_in_weakness() {
+        let m = S1Model::default();
+        let weak = m.e12_probability(&f(0.0, 0.0, -125.0));
+        let mid = m.e12_probability(&f(0.0, 0.0, -110.0));
+        let strong = m.e12_probability(&f(0.0, 0.0, -85.0));
+        assert!(weak > mid && mid > strong);
+        assert!((mid - 0.5).abs() < 1e-9);
+    }
+}

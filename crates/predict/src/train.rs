@@ -1,0 +1,232 @@
+//! Model training: MSE minimization by cyclic coordinate descent with
+//! golden-section line search ("The parameters k, t, and n are optimized by
+//! minimizing the mean squared error between the predicted and observed
+//! loop probabilities", §6).
+
+use crate::model::{LocationSample, S1Model, S1e3Model};
+
+/// Golden-section search for the minimum of `f` on `[lo, hi]`.
+fn golden_min<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, iters: usize) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut c = hi - (hi - lo) * INV_PHI;
+    let mut d = lo + (hi - lo) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..iters {
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - (hi - lo) * INV_PHI;
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + (hi - lo) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// Mean squared error of a predictor over the samples.
+fn mse<F: Fn(&LocationSample) -> f64>(samples: &[LocationSample], predict: F) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| (predict(s) - s.observed).powi(2)).sum::<f64>()
+        / samples.len() as f64
+}
+
+/// Parameter bounds for the S1E3 model.
+const K_RANGE: (f64, f64) = (0.10, 3.0);
+const T_RANGE: (f64, f64) = (2.0, 40.0);
+const N_RANGE: (f64, f64) = (0.2, 8.0);
+
+/// Trains the S1E3 model on fine-grained spatial samples.
+///
+/// Cyclic coordinate descent: each sweep optimizes `k`, then `t`, then `n`
+/// by golden-section search with the others fixed; several random-ish
+/// restarts guard against the (mild) non-convexity.
+pub fn train_s1e3(samples: &[LocationSample]) -> S1e3Model {
+    let starts = [
+        S1e3Model::default(),
+        S1e3Model { k: 0.1, t: 6.0, n: 1.0 },
+        S1e3Model { k: 1.0, t: 20.0, n: 4.0 },
+    ];
+    let mut best = S1e3Model::default();
+    let mut best_err = f64::INFINITY;
+    for start in starts {
+        let mut m = start;
+        for _ in 0..12 {
+            m.k = golden_min(
+                |k| mse(samples, |s| S1e3Model { k, ..m }.predict(&s.combos)),
+                K_RANGE.0,
+                K_RANGE.1,
+                40,
+            );
+            m.t = golden_min(
+                |t| mse(samples, |s| S1e3Model { t, ..m }.predict(&s.combos)),
+                T_RANGE.0,
+                T_RANGE.1,
+                40,
+            );
+            m.n = golden_min(
+                |n| mse(samples, |s| S1e3Model { n, ..m }.predict(&s.combos)),
+                N_RANGE.0,
+                N_RANGE.1,
+                40,
+            );
+        }
+        let err = mse(samples, |s| m.predict(&s.combos));
+        if err < best_err {
+            best_err = err;
+            best = m;
+        }
+    }
+    best
+}
+
+/// Trains the combined S1 model (S1E3 parameters plus the poor-SCell
+/// logistic) on samples whose `observed` is the overall S1 loop
+/// probability.
+pub fn train_s1(samples: &[LocationSample]) -> S1Model {
+    let e3 = train_s1e3(samples);
+    let mut m = S1Model { e3, ..S1Model::default() };
+    for _ in 0..12 {
+        m.e12_k = golden_min(
+            |k| mse(samples, |s| S1Model { e12_k: k, ..m }.predict(&s.combos)),
+            0.05,
+            2.0,
+            40,
+        );
+        m.e12_mid_dbm = golden_min(
+            |mid| mse(samples, |s| S1Model { e12_mid_dbm: mid, ..m }.predict(&s.combos)),
+            -130.0,
+            -90.0,
+            40,
+        );
+        // Re-tune the shared usage/failure parameters under the combined
+        // objective.
+        m.e3.k = golden_min(
+            |k| {
+                mse(samples, |s| {
+                    S1Model { e3: S1e3Model { k, ..m.e3 }, ..m }.predict(&s.combos)
+                })
+            },
+            K_RANGE.0,
+            K_RANGE.1,
+            40,
+        );
+        m.e3.t = golden_min(
+            |t| {
+                mse(samples, |s| {
+                    S1Model { e3: S1e3Model { t, ..m.e3 }, ..m }.predict(&s.combos)
+                })
+            },
+            T_RANGE.0,
+            T_RANGE.1,
+            40,
+        );
+        m.e3.n = golden_min(
+            |n| {
+                mse(samples, |s| {
+                    S1Model { e3: S1e3Model { n, ..m.e3 }, ..m }.predict(&s.combos)
+                })
+            },
+            N_RANGE.0,
+            N_RANGE.1,
+            40,
+        );
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CellsetFeatures;
+
+    fn f(pcell_gap: f64, scell_gap: f64, worst: f64) -> CellsetFeatures {
+        CellsetFeatures {
+            pcell_gap_db: pcell_gap,
+            scell_gap_db: scell_gap,
+            worst_scell_rsrp_dbm: worst,
+        }
+    }
+
+    /// Synthesize samples from a known model; training must recover a
+    /// predictor with near-zero error (parameter identifiability up to the
+    /// data's resolution is not required — predictive equivalence is).
+    #[test]
+    fn recovers_synthetic_s1e3_ground_truth() {
+        let truth = S1e3Model { k: 0.45, t: 14.0, n: 2.5 };
+        let mut samples = Vec::new();
+        for gp in [-12.0, -6.0, -2.0, 0.0, 2.0, 6.0, 12.0] {
+            for gs in [0.0, 2.0, 4.0, 6.0, 9.0, 12.0, 18.0] {
+                let combos = vec![f(gp, gs, -90.0)];
+                samples.push(LocationSample { observed: truth.predict(&combos), combos });
+            }
+        }
+        let m = train_s1e3(&samples);
+        let err = samples
+            .iter()
+            .map(|s| (m.predict(&s.combos) - s.observed).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(err < 1e-4, "trained {m:?}, mse {err}");
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let x = golden_min(|x| (x - 3.2).powi(2), 0.0, 10.0, 60);
+        assert!((x - 3.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_on_empty_samples_is_safe() {
+        let m = train_s1e3(&[]);
+        assert!(m.k.is_finite() && m.t.is_finite() && m.n.is_finite());
+    }
+
+    #[test]
+    fn s1_training_improves_over_default() {
+        let truth = S1Model {
+            e3: S1e3Model { k: 0.5, t: 10.0, n: 2.0 },
+            e12_k: 0.4,
+            e12_mid_dbm: -112.0,
+        };
+        let mut samples = Vec::new();
+        for gp in [-8.0, 0.0, 8.0] {
+            for gs in [1.0, 6.0, 15.0] {
+                for worst in [-125.0, -110.0, -90.0] {
+                    let combos = vec![f(gp, gs, worst)];
+                    samples.push(LocationSample { observed: truth.predict(&combos), combos });
+                }
+            }
+        }
+        let trained = train_s1(&samples);
+        let err_trained = samples
+            .iter()
+            .map(|s| (trained.predict(&s.combos) - s.observed).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        let err_default = samples
+            .iter()
+            .map(|s| (S1Model::default().predict(&s.combos) - s.observed).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(err_trained < err_default * 0.5, "{err_trained} vs {err_default}");
+        assert!(err_trained < 5e-3, "mse {err_trained}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let combos = vec![f(5.0, 3.0, -100.0)];
+        let samples = vec![LocationSample { observed: 0.6, combos }];
+        let a = train_s1e3(&samples);
+        let b = train_s1e3(&samples);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,113 @@
+//! Model validation: leave-one-out / k-fold cross-validation over the
+//! fine-grained spatial samples, and binned response curves (the Fig. 21
+//! scatter summaries).
+
+use crate::eval::{error_stats, ErrorStats};
+use crate::model::LocationSample;
+use crate::train::train_s1e3;
+
+/// k-fold cross-validation of the S1E3 model: trains on k−1 folds, predicts
+/// the held-out fold, and pools the (predicted, observed) pairs. Folds are
+/// assigned round-robin, so the result is deterministic.
+pub fn cross_validate_s1e3(samples: &[LocationSample], k: usize) -> ErrorStats {
+    let k = k.clamp(2, samples.len().max(2));
+    let mut pairs = Vec::with_capacity(samples.len());
+    for fold in 0..k {
+        let train: Vec<LocationSample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, s)| s.clone())
+            .collect();
+        if train.is_empty() {
+            continue;
+        }
+        let model = train_s1e3(&train);
+        for (_, s) in samples.iter().enumerate().filter(|(i, _)| i % k == fold) {
+            pairs.push((model.predict(&s.combos), s.observed));
+        }
+    }
+    error_stats(&pairs)
+}
+
+/// Bins `(x, y)` pairs into equal-width x-bins and returns
+/// `(bin_center, mean_y, n)` rows — the summarised scatter behind
+/// Fig. 21a/21b.
+pub fn binned_curve(pairs: &[(f64, f64)], bins: usize, lo: f64, hi: f64) -> Vec<(f64, f64, usize)> {
+    if pairs.is_empty() || bins == 0 || hi <= lo {
+        return Vec::new();
+    }
+    let width = (hi - lo) / bins as f64;
+    let mut sums = vec![(0.0f64, 0usize); bins];
+    for &(x, y) in pairs {
+        if x < lo || x >= hi {
+            continue;
+        }
+        let b = ((x - lo) / width) as usize;
+        let b = b.min(bins - 1);
+        sums[b].0 += y;
+        sums[b].1 += 1;
+    }
+    sums.into_iter()
+        .enumerate()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(i, (s, n))| (lo + width * (i as f64 + 0.5), s / n as f64, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CellsetFeatures, S1e3Model};
+
+    fn f(pcell_gap: f64, scell_gap: f64) -> CellsetFeatures {
+        CellsetFeatures { pcell_gap_db: pcell_gap, scell_gap_db: scell_gap, worst_scell_rsrp_dbm: -90.0 }
+    }
+
+    fn synthetic_samples() -> Vec<LocationSample> {
+        let truth = S1e3Model { k: 0.5, t: 12.0, n: 2.0 };
+        let mut out = Vec::new();
+        for gp in [-10.0, -4.0, 0.0, 4.0, 10.0] {
+            for gs in [0.0, 2.0, 5.0, 8.0, 11.0, 15.0] {
+                let combos = vec![f(gp, gs)];
+                out.push(LocationSample { observed: truth.predict(&combos), combos });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cross_validation_generalises_on_synthetic_data() {
+        let stats = cross_validate_s1e3(&synthetic_samples(), 5);
+        assert_eq!(stats.n, 30);
+        assert!(stats.mae < 0.08, "CV MAE {stats:?}");
+        assert!(stats.within_25 > 0.9);
+    }
+
+    #[test]
+    fn cross_validation_handles_tiny_inputs() {
+        let samples = synthetic_samples()[..3].to_vec();
+        let stats = cross_validate_s1e3(&samples, 10);
+        assert_eq!(stats.n, 3);
+    }
+
+    #[test]
+    fn binned_curve_means() {
+        let pairs = [(0.5, 1.0), (0.6, 0.0), (2.5, 1.0), (9.0, 0.4)];
+        let rows = binned_curve(&pairs, 5, 0.0, 10.0);
+        // Bins of width 2: [0,2) has two points (mean 0.5), [2,4) one, [8,10) one.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], (1.0, 0.5, 2));
+        assert_eq!(rows[1], (3.0, 1.0, 1));
+        assert_eq!(rows[2], (9.0, 0.4, 1));
+    }
+
+    #[test]
+    fn binned_curve_degenerate_inputs() {
+        assert!(binned_curve(&[], 5, 0.0, 1.0).is_empty());
+        assert!(binned_curve(&[(0.5, 1.0)], 0, 0.0, 1.0).is_empty());
+        assert!(binned_curve(&[(0.5, 1.0)], 5, 1.0, 0.0).is_empty());
+        // Out-of-range points are skipped.
+        assert!(binned_curve(&[(-1.0, 1.0), (99.0, 1.0)], 5, 0.0, 10.0).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! 2-D geometry in local metric coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in a local east/north frame, metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting, metres.
+    pub x: f64,
+    /// Northing, metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructor.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, metres.
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Bearing from `self` to `other`, radians in (−π, π], measured from
+    /// east counter-clockwise (standard atan2 convention).
+    pub fn bearing_to(self, other: Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x)
+    }
+
+    /// The point offset by `(dx, dy)` metres.
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point { x: self.x + dx, y: self.y + dy }
+    }
+
+    /// Linear interpolation towards `other` (`t` ∈ [0, 1] stays on segment).
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+    }
+}
+
+/// Generates an `nx × ny` grid of points covering the axis-aligned rectangle
+/// from `origin` spanning `(width, height)` metres — the dense-measurement
+/// lattice of the paper's §6 fine-grained spatial analysis.
+pub fn grid(origin: Point, width: f64, height: f64, nx: usize, ny: usize) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let fx = if nx > 1 { i as f64 / (nx - 1) as f64 } else { 0.5 };
+            let fy = if ny > 1 { j as f64 / (ny - 1) as f64 } else { 0.5 };
+            pts.push(origin.offset(width * fx, height * fy));
+        }
+    }
+    pts
+}
+
+/// Normalises an angle difference into [−π, π].
+pub fn wrap_angle(a: f64) -> f64 {
+    let mut a = a % std::f64::consts::TAU;
+    if a > std::f64::consts::PI {
+        a -= std::f64::consts::TAU;
+    } else if a < -std::f64::consts::PI {
+        a += std::f64::consts::TAU;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_and_bearing() {
+        let o = Point::new(0.0, 0.0);
+        assert_eq!(o.distance(Point::new(3.0, 4.0)), 5.0);
+        assert!((o.bearing_to(Point::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((o.bearing_to(Point::new(-1.0, 0.0)).abs() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn grid_shape_and_extent() {
+        let pts = grid(Point::new(100.0, 200.0), 90.0, 40.0, 4, 3);
+        assert_eq!(pts.len(), 12);
+        assert_eq!(pts[0], Point::new(100.0, 200.0));
+        assert_eq!(pts[11], Point::new(190.0, 240.0));
+        // Row-major: second point steps in x.
+        assert_eq!(pts[1], Point::new(130.0, 200.0));
+    }
+
+    #[test]
+    fn degenerate_grid_centres() {
+        let pts = grid(Point::new(0.0, 0.0), 10.0, 10.0, 1, 1);
+        assert_eq!(pts, vec![Point::new(5.0, 5.0)]);
+    }
+
+    #[test]
+    fn wrap_angle_range() {
+        for a in [-10.0, -PI, -1.0, 0.0, 1.0, PI, 10.0, 100.0] {
+            let w = wrap_angle(a);
+            assert!((-PI..=PI).contains(&w), "wrap({a}) = {w}");
+        }
+        assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # onoff-radio
+//!
+//! Deterministic geometric radio environment: towers carrying sectored
+//! cells, log-distance path loss, spatially-correlated log-normal shadowing
+//! and light fast fading, sampled as RSRP/RSRQ at any (position, time).
+//!
+//! This substitutes for the paper's real-world radio plant. The study's
+//! findings hinge on the *relative* RSRP structure over space — co-channel
+//! cells whose coverage gradients cross (Fig. 20c/20d), channels that are
+//! systematically weaker (387410 in Fig. 17) — all of which a standard
+//! propagation model reproduces. Absolute levels are calibrated so that good
+//! serving cells sit near the paper's −80…−86 dBm medians (Table 2).
+//!
+//! Everything is a pure function of `(seed, cell, position, time)`:
+//! re-sampling the same point in the same environment always returns the
+//! same value, which makes campaign runs bit-reproducible and lets the
+//! walking/dense-grid experiments (§6) see spatially smooth fields.
+
+pub mod environment;
+pub mod geometry;
+pub mod noise;
+pub mod propagation;
+pub mod shadowing;
+
+pub use environment::{CellSite, RadioEnvironment};
+pub use geometry::Point;
+pub use propagation::{path_loss_db, sector_gain_db, Antenna};
+pub use shadowing::ShadowingField;

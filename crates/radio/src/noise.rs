@@ -1,0 +1,87 @@
+//! Deterministic hash-based noise.
+//!
+//! The environment must be a pure function of `(seed, cell, position, time)`
+//! so that repeated sampling is bit-reproducible without threading RNG state
+//! through every caller. We derive white noise from a SplitMix64 hash of the
+//! inputs and shape it into standard Gaussians with Box–Muller.
+
+/// SplitMix64 mixing function — a strong 64-bit finalizer.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a sequence of 64-bit words into one.
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64; // π digits; arbitrary non-zero
+    for &w in words {
+        h = splitmix64(h ^ w);
+    }
+    h
+}
+
+/// Uniform in [0, 1) from a hash value.
+pub fn to_unit(h: u64) -> f64 {
+    // 53 bits of mantissa.
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A standard-normal sample derived from a hash value (Box–Muller, first
+/// component; the second hash is derived internally).
+pub fn gaussian(h: u64) -> f64 {
+    let u1 = to_unit(h).max(f64::MIN_POSITIVE);
+    let u2 = to_unit(splitmix64(h ^ 0xD1B5_4A32_D192_ED03));
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Standard normal keyed by arbitrary words: convenience over
+/// [`hash_words`] + [`gaussian`].
+pub fn gaussian_at(words: &[u64]) -> f64 {
+    gaussian(hash_words(words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        assert_eq!(hash_words(&[1, 2, 3]), hash_words(&[1, 2, 3]));
+        assert_eq!(gaussian_at(&[42, 7]), gaussian_at(&[42, 7]));
+    }
+
+    #[test]
+    fn sensitivity_to_each_word() {
+        assert_ne!(hash_words(&[1, 2, 3]), hash_words(&[1, 2, 4]));
+        assert_ne!(hash_words(&[1, 2, 3]), hash_words(&[0, 2, 3]));
+        assert_ne!(hash_words(&[1, 2]), hash_words(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn unit_range() {
+        for i in 0..10_000u64 {
+            let u = to_unit(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let n = 50_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| gaussian(splitmix64(i))).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_tails_exist_but_are_bounded() {
+        let n = 50_000u64;
+        let extreme = (0..n).filter(|&i| gaussian(splitmix64(i)).abs() > 3.0).count();
+        // P(|Z|>3) ≈ 0.27%; allow generous slack.
+        assert!(extreme > 20 && extreme < 400, "got {extreme}");
+    }
+}

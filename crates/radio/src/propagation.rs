@@ -1,0 +1,177 @@
+//! Path loss and antenna patterns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{wrap_angle, Point};
+
+/// Log-distance path loss, dB.
+///
+/// `PL(d) = FSPL(1 m, f) + 10·n·log10(max(d, 1 m))` where the free-space
+/// term at the 1 m reference is `20·log10(4π·f/c)`. With exponent `n ≈ 3`
+/// this tracks urban-macro behaviour well enough for the study's purposes
+/// (relative coverage structure; see crate docs).
+pub fn path_loss_db(distance_m: f64, freq_mhz: f64, exponent: f64) -> f64 {
+    debug_assert!(freq_mhz > 0.0);
+    let d = distance_m.max(1.0);
+    // 20 log10(4π f / c) with f in Hz, c = 3e8: constant form
+    // = 20 log10(f_MHz) + 20 log10(4π·1e6/3e8) = 20 log10(f_MHz) − 27.55 dB.
+    let fspl_1m = 20.0 * freq_mhz.log10() - 27.55;
+    fspl_1m + 10.0 * exponent * d.log10()
+}
+
+/// A sectored antenna: peak gain along `bearing_rad`, 3GPP parabolic
+/// roll-off with a front-to-back floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    /// Boresight direction, radians (atan2 convention).
+    pub bearing_rad: f64,
+    /// Half-power beamwidth, radians (3GPP macro default ≈ 65°).
+    pub beamwidth_rad: f64,
+    /// Peak gain, dBi.
+    pub max_gain_dbi: f64,
+    /// Maximum attenuation at the back lobe, dB (3GPP: 25–30 dB).
+    pub front_to_back_db: f64,
+}
+
+impl Antenna {
+    /// An omnidirectional antenna with the given gain.
+    pub fn omni(gain_dbi: f64) -> Antenna {
+        Antenna {
+            bearing_rad: 0.0,
+            beamwidth_rad: std::f64::consts::TAU,
+            max_gain_dbi: gain_dbi,
+            front_to_back_db: 0.0,
+        }
+    }
+
+    /// A standard 65°-beamwidth macro sector pointing at `bearing_rad`.
+    pub fn sector(bearing_rad: f64) -> Antenna {
+        Antenna {
+            bearing_rad,
+            beamwidth_rad: 65f64.to_radians(),
+            max_gain_dbi: 15.0,
+            front_to_back_db: 25.0,
+        }
+    }
+
+    /// Gain towards `angle_rad`, dBi.
+    pub fn gain_db(&self, angle_rad: f64) -> f64 {
+        sector_gain_db(
+            angle_rad,
+            self.bearing_rad,
+            self.beamwidth_rad,
+            self.max_gain_dbi,
+            self.front_to_back_db,
+        )
+    }
+}
+
+/// 3GPP TR 36.814-style horizontal pattern:
+/// `G(θ) = G_max − min(12·(Δθ/θ_3dB)², A_max)`.
+pub fn sector_gain_db(
+    angle_rad: f64,
+    bearing_rad: f64,
+    beamwidth_rad: f64,
+    max_gain_dbi: f64,
+    front_to_back_db: f64,
+) -> f64 {
+    let delta = wrap_angle(angle_rad - bearing_rad);
+    let atten = 12.0 * (delta / beamwidth_rad).powi(2);
+    max_gain_dbi - atten.min(front_to_back_db)
+}
+
+/// Received power at a UE, dBm, before shadowing/fading: transmit power plus
+/// antenna gain minus path loss.
+pub fn received_power_dbm(
+    tx_power_dbm: f64,
+    antenna: &Antenna,
+    tower: Point,
+    ue: Point,
+    freq_mhz: f64,
+    exponent: f64,
+) -> f64 {
+    let gain = antenna.gain_db(tower.bearing_to(ue));
+    tx_power_dbm + gain - path_loss_db(tower.distance(ue), freq_mhz, exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn free_space_reference_point() {
+        // FSPL at 1 m, 2400 MHz ≈ 40.05 dB; with n=2 at 1 m that's all.
+        let pl = path_loss_db(1.0, 2400.0, 2.0);
+        assert!((pl - 40.05).abs() < 0.1, "got {pl}");
+    }
+
+    #[test]
+    fn distance_monotonicity_and_clamp() {
+        let f = 1937.0;
+        assert!(path_loss_db(10.0, f, 3.0) < path_loss_db(100.0, f, 3.0));
+        assert!(path_loss_db(100.0, f, 3.0) < path_loss_db(1000.0, f, 3.0));
+        // Below 1 m, clamp: no negative-distance blowup.
+        assert_eq!(path_loss_db(0.0, f, 3.0), path_loss_db(1.0, f, 3.0));
+        assert_eq!(path_loss_db(0.5, f, 3.0), path_loss_db(1.0, f, 3.0));
+    }
+
+    #[test]
+    fn higher_frequency_loses_more() {
+        // The physical reason channel 387410 (1937 MHz) can be weaker than
+        // 632736 (3491 MHz) is reversed — higher frequency has MORE loss —
+        // so the study's weak-channel effect must come from deployment
+        // (power/antenna), not physics. Check the physics is right.
+        assert!(path_loss_db(300.0, 3491.0, 3.0) > path_loss_db(300.0, 1937.0, 3.0));
+        assert!(path_loss_db(300.0, 1937.0, 3.0) > path_loss_db(300.0, 742.5, 3.0));
+    }
+
+    #[test]
+    fn decade_slope_matches_exponent() {
+        let f = 2000.0;
+        let n = 3.0;
+        let slope = path_loss_db(1000.0, f, n) - path_loss_db(100.0, f, n);
+        assert!((slope - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_pattern_shape() {
+        let a = Antenna::sector(0.0);
+        // Boresight: full gain.
+        assert_eq!(a.gain_db(0.0), 15.0);
+        // At the half-power points the 3GPP pattern loses 3 dB.
+        let hp = a.beamwidth_rad / 2.0;
+        assert!((a.gain_db(hp) - 12.0).abs() < 1e-9);
+        assert!((a.gain_db(-hp) - 12.0).abs() < 1e-9);
+        // Behind: front-to-back floor.
+        assert_eq!(a.gain_db(std::f64::consts::PI), 15.0 - 25.0);
+    }
+
+    #[test]
+    fn omni_is_flat() {
+        let a = Antenna::omni(3.0);
+        for ang in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+            assert!((a.gain_db(ang) - 3.0).abs() < 0.2, "at {ang}");
+        }
+    }
+
+    #[test]
+    fn received_power_prefers_boresight() {
+        let tower = Point::new(0.0, 0.0);
+        let a = Antenna::sector(FRAC_PI_2); // pointing north
+        let north = received_power_dbm(40.0, &a, tower, Point::new(0.0, 300.0), 1937.0, 3.0);
+        let south = received_power_dbm(40.0, &a, tower, Point::new(0.0, -300.0), 1937.0, 3.0);
+        assert!(north > south + 20.0);
+    }
+
+    #[test]
+    fn calibration_sanity_for_table2() {
+        // A macro cell (43 dBm + 15 dBi sector) on n25 at ~350 m with n=3.2
+        // should land in the paper's −80 dBm neighbourhood before shadowing.
+        let tower = Point::new(0.0, 0.0);
+        let a = Antenna::sector(0.0);
+        let p = received_power_dbm(18.0, &a, tower, Point::new(350.0, 0.0), 1937.0, 3.2);
+        // Per-resource-element power 18 dBm is the RSRP-relevant quantity.
+        assert!((-95.0..=-70.0).contains(&p), "got {p}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Spatially-correlated log-normal shadowing.
+//!
+//! Shadowing (building/terrain blockage) is log-normal with a spatial
+//! correlation distance of tens of metres (Gudmundson's model). We realise
+//! it as a virtual infinite lattice of i.i.d. Gaussian nodes spaced at half
+//! the correlation distance, bilinearly interpolated — smooth over space,
+//! deterministic (node values are hashes of the node coordinates), and with
+//! no state to store.
+//!
+//! This is what gives the §6 results their structure: walking between two
+//! nearby locations changes RSRP gradually, so the S1E3 "RSRP gap < 6 dB"
+//! region (Fig. 20e) is a contiguous patch, not salt-and-pepper noise.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Point;
+use crate::noise::{gaussian_at, hash_words};
+
+/// A deterministic correlated shadowing field for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingField {
+    /// Field seed (combines environment seed and cell identity).
+    pub seed: u64,
+    /// Standard deviation of the field, dB (typ. 4–8).
+    pub sigma_db: f64,
+    /// Correlation distance, metres (typ. 50).
+    pub corr_distance_m: f64,
+}
+
+impl ShadowingField {
+    /// Creates a field.
+    pub fn new(seed: u64, sigma_db: f64, corr_distance_m: f64) -> ShadowingField {
+        ShadowingField { seed, sigma_db, corr_distance_m: corr_distance_m.max(1.0) }
+    }
+
+    /// Lattice node value (standard normal) at integer node coordinates.
+    fn node(&self, ix: i64, iy: i64) -> f64 {
+        gaussian_at(&[self.seed, ix as u64, iy as u64 ^ 0x5555_5555_5555_5555])
+    }
+
+    /// Shadowing value at a point, dB.
+    pub fn at(&self, p: Point) -> f64 {
+        let spacing = self.corr_distance_m / 2.0;
+        let gx = p.x / spacing;
+        let gy = p.y / spacing;
+        let ix = gx.floor() as i64;
+        let iy = gy.floor() as i64;
+        let fx = gx - ix as f64;
+        let fy = gy - iy as f64;
+        let v00 = self.node(ix, iy);
+        let v10 = self.node(ix + 1, iy);
+        let v01 = self.node(ix, iy + 1);
+        let v11 = self.node(ix + 1, iy + 1);
+        let v0 = v00 * (1.0 - fx) + v10 * fx;
+        let v1 = v01 * (1.0 - fx) + v11 * fx;
+        // Bilinear interpolation shrinks variance between nodes; rescale by
+        // the exact interpolation-weight norm so σ is position-independent.
+        let w00 = (1.0 - fx) * (1.0 - fy);
+        let w10 = fx * (1.0 - fy);
+        let w01 = (1.0 - fx) * fy;
+        let w11 = fx * fy;
+        let norm = (w00 * w00 + w10 * w10 + w01 * w01 + w11 * w11).sqrt();
+        let value = v0 * (1.0 - fy) + v1 * fy;
+        self.sigma_db * value / norm.max(1e-9)
+    }
+
+    /// Derives the conventional per-cell field seed.
+    pub fn seed_for(env_seed: u64, cell_key: u64) -> u64 {
+        hash_words(&[env_seed, cell_key, 0x5AD0_11FE])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let f = ShadowingField::new(7, 6.0, 50.0);
+        let p = Point::new(123.4, 567.8);
+        assert_eq!(f.at(p), f.at(p));
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = ShadowingField::new(1, 6.0, 50.0);
+        let b = ShadowingField::new(2, 6.0, 50.0);
+        let p = Point::new(10.0, 10.0);
+        assert_ne!(a.at(p), b.at(p));
+    }
+
+    #[test]
+    fn field_variance_close_to_sigma() {
+        let f = ShadowingField::new(99, 6.0, 50.0);
+        let mut vals = Vec::new();
+        // Sample far apart (≫ corr distance) for near-independence.
+        for i in 0..40 {
+            for j in 0..40 {
+                vals.push(f.at(Point::new(i as f64 * 500.0, j as f64 * 500.0)));
+            }
+        }
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let sd = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!((sd - 6.0).abs() < 0.5, "sd {sd}");
+    }
+
+    #[test]
+    fn nearby_points_are_correlated() {
+        let f = ShadowingField::new(5, 6.0, 50.0);
+        // 5 m apart (a tenth of the correlation distance) vs 500 m apart.
+        let mut near_diffs = Vec::new();
+        let mut far_diffs = Vec::new();
+        for i in 0..400 {
+            let base = Point::new(i as f64 * 377.7, i as f64 * 211.3);
+            near_diffs.push((f.at(base) - f.at(base.offset(5.0, 0.0))).abs());
+            far_diffs.push((f.at(base) - f.at(base.offset(500.0, 0.0))).abs());
+        }
+        let near: f64 = near_diffs.iter().sum::<f64>() / near_diffs.len() as f64;
+        let far: f64 = far_diffs.iter().sum::<f64>() / far_diffs.len() as f64;
+        assert!(
+            near < far / 2.0,
+            "5 m mean |Δ| = {near:.2} dB should be well below 500 m mean |Δ| = {far:.2} dB"
+        );
+    }
+
+    #[test]
+    fn continuity_across_node_boundaries() {
+        let f = ShadowingField::new(11, 8.0, 50.0);
+        // Walk across a lattice boundary in 1 cm steps; jumps must be tiny.
+        let mut prev = f.at(Point::new(24.99, 10.0));
+        for k in 1..=200 {
+            let v = f.at(Point::new(24.99 + k as f64 * 0.01, 10.0));
+            assert!((v - prev).abs() < 0.6, "discontinuity at step {k}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let f = ShadowingField::new(3, 6.0, 50.0);
+        let v = f.at(Point::new(-1234.5, -6789.0));
+        assert!(v.is_finite());
+        assert_eq!(v, f.at(Point::new(-1234.5, -6789.0)));
+    }
+
+    #[test]
+    fn tiny_corr_distance_is_clamped() {
+        let f = ShadowingField::new(3, 6.0, 0.0);
+        assert!(f.at(Point::new(1.0, 1.0)).is_finite());
+    }
+}

@@ -1,0 +1,202 @@
+//! ARFCN ↔ carrier-frequency conversion.
+//!
+//! * **NR-ARFCN** (5G): 3GPP TS 38.104 §5.4.2.1, the global frequency raster.
+//!   `F_REF = F_REF-Offs + ΔF_Global · (N_REF − N_REF-Offs)` over three
+//!   ranges (5 kHz / 15 kHz / 60 kHz granularity).
+//! * **EARFCN** (4G): 3GPP TS 36.101 §5.7.3,
+//!   `F_DL = F_DL_low + 0.1 MHz · (N_DL − N_Offs-DL)` with per-band offsets
+//!   (the band table lives in [`crate::band`]).
+//!
+//! All frequencies are in MHz, computed in kHz-exact integer arithmetic and
+//! exposed as `f64` only at the edge, so e.g. NR-ARFCN 521310 is exactly
+//! 2606.55 MHz (the paper rounds it to 2607 MHz in Table 2).
+
+use crate::band::BandTable;
+use crate::ids::Rat;
+
+/// A channel number tagged with its RAT, convertible to a carrier frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arfcn {
+    /// The RAT that interprets this channel number.
+    pub rat: Rat,
+    /// NR-ARFCN (for [`Rat::Nr`]) or downlink EARFCN (for [`Rat::Lte`]).
+    pub number: u32,
+}
+
+impl Arfcn {
+    /// NR-ARFCN constructor.
+    pub fn nr(number: u32) -> Self {
+        Arfcn { rat: Rat::Nr, number }
+    }
+
+    /// Downlink EARFCN constructor.
+    pub fn lte(number: u32) -> Self {
+        Arfcn { rat: Rat::Lte, number }
+    }
+
+    /// Carrier frequency in MHz, if the channel number is valid for its RAT.
+    pub fn freq_mhz(self) -> Option<f64> {
+        match self.rat {
+            Rat::Nr => nr_arfcn_to_freq_mhz(self.number),
+            Rat::Lte => earfcn_to_freq_mhz(self.number),
+        }
+    }
+}
+
+/// One row of the TS 38.104 global-raster table.
+struct NrRasterRange {
+    /// First N_REF of the range (inclusive).
+    n_lo: u32,
+    /// Last N_REF of the range (inclusive).
+    n_hi: u32,
+    /// ΔF_Global in kHz.
+    delta_khz: u32,
+    /// F_REF-Offs in kHz.
+    f_offs_khz: u64,
+}
+
+/// TS 38.104 Table 5.4.2.1-1.
+const NR_RASTER: [NrRasterRange; 3] = [
+    NrRasterRange { n_lo: 0, n_hi: 599_999, delta_khz: 5, f_offs_khz: 0 },
+    NrRasterRange { n_lo: 600_000, n_hi: 2_016_666, delta_khz: 15, f_offs_khz: 3_000_000 },
+    NrRasterRange { n_lo: 2_016_667, n_hi: 3_279_165, delta_khz: 60, f_offs_khz: 24_250_080 },
+];
+
+/// Converts an NR-ARFCN to its reference frequency in MHz.
+///
+/// Returns `None` for N_REF above the raster ceiling (3 279 165).
+///
+/// ```
+/// use onoff_rrc::arfcn::nr_arfcn_to_freq_mhz;
+/// // Channel 387410 (band n25) — the paper's "problematic" channel — sits
+/// // at 1937.05 MHz, which the paper rounds to 1937 MHz.
+/// assert_eq!(nr_arfcn_to_freq_mhz(387410), Some(1937.05));
+/// ```
+pub fn nr_arfcn_to_freq_mhz(n_ref: u32) -> Option<f64> {
+    let row = NR_RASTER.iter().find(|r| (r.n_lo..=r.n_hi).contains(&n_ref))?;
+    let khz = row.f_offs_khz + u64::from(row.delta_khz) * u64::from(n_ref - row.n_lo);
+    Some(khz as f64 / 1000.0)
+}
+
+/// Converts a reference frequency in MHz to the nearest NR-ARFCN.
+///
+/// Inverse of [`nr_arfcn_to_freq_mhz`] up to raster granularity; returns
+/// `None` for frequencies outside 0..=100 GHz coverage of the raster.
+pub fn freq_mhz_to_nr_arfcn(freq_mhz: f64) -> Option<u32> {
+    if !(0.0..=100_000.0).contains(&freq_mhz) {
+        return None;
+    }
+    let khz = (freq_mhz * 1000.0).round() as u64;
+    let row = NR_RASTER
+        .iter()
+        .rev()
+        .find(|r| khz >= r.f_offs_khz)
+        .unwrap_or(&NR_RASTER[0]);
+    let steps = (khz - row.f_offs_khz + u64::from(row.delta_khz) / 2) / u64::from(row.delta_khz);
+    let n = row.n_lo as u64 + steps;
+    if n > u64::from(row.n_hi) {
+        return None;
+    }
+    Some(n as u32)
+}
+
+/// Converts a downlink EARFCN to its carrier frequency in MHz.
+///
+/// Uses the LTE band table to find `F_DL_low` and `N_Offs-DL`; returns `None`
+/// for EARFCNs not covered by any band in [`BandTable::lte`].
+///
+/// ```
+/// use onoff_rrc::arfcn::earfcn_to_freq_mhz;
+/// // Channel 5815 (band 17) — AT&T's "5G-disabled" channel — is 742.5 MHz,
+/// // which the paper rounds to 742 MHz.
+/// assert_eq!(earfcn_to_freq_mhz(5815), Some(742.5));
+/// ```
+pub fn earfcn_to_freq_mhz(earfcn: u32) -> Option<f64> {
+    let band = BandTable::lte().band_of(earfcn)?;
+    let khz = band.f_dl_low_khz + 100 * u64::from(earfcn - band.n_offs_dl);
+    Some(khz as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every 5G channel the paper names, with the frequency it reports
+    /// (Table 2 and §5.3, rounded to whole MHz by the authors).
+    #[test]
+    fn nr_channels_from_the_paper() {
+        let cases: &[(u32, f64, f64)] = &[
+            // (arfcn, exact MHz, paper-reported MHz)
+            (521310, 2606.55, 2607.0),
+            (501390, 2506.95, 2507.0),
+            (398410, 1992.05, 1992.0),
+            (387410, 1937.05, 1937.0),
+            (126270, 631.35, 631.0),
+            (632736, 3491.04, 3491.0),
+            (658080, 3871.20, 3871.0),
+            (648672, 3730.08, 3730.0),
+            (653952, 3809.28, 3809.0),
+            (174770, 873.85, 874.0),
+        ];
+        for &(arfcn, exact, paper) in cases {
+            let f = nr_arfcn_to_freq_mhz(arfcn).unwrap();
+            assert!((f - exact).abs() < 1e-9, "arfcn {arfcn}: got {f}, want {exact}");
+            assert!((f - paper).abs() <= 0.55, "arfcn {arfcn} not within rounding of paper");
+        }
+    }
+
+    #[test]
+    fn lte_channels_from_the_paper() {
+        let cases: &[(u32, f64)] = &[
+            (5815, 742.5),  // band 17 (paper: 742 MHz, OP_A problematic channel)
+            (5230, 751.0),  // band 13 (paper: ~753 MHz, OP_V problematic channel)
+            (5145, 742.5),  // band 12 overlaps band 17 spectrum
+            (850, 1955.0),  // band 2
+            (1075, 1977.5), // band 2
+            (2000, 2115.0), // band 4
+            (66486, 2115.0),
+            (66936, 2160.0),
+            (9820, 2355.0), // band 30
+        ];
+        for &(earfcn, want) in cases {
+            let f = earfcn_to_freq_mhz(earfcn).unwrap();
+            assert!((f - want).abs() < 1e-9, "earfcn {earfcn}: got {f}, want {want}");
+        }
+    }
+
+    #[test]
+    fn nr_raster_boundaries() {
+        assert_eq!(nr_arfcn_to_freq_mhz(0), Some(0.0));
+        assert_eq!(nr_arfcn_to_freq_mhz(599_999), Some(2999.995));
+        assert_eq!(nr_arfcn_to_freq_mhz(600_000), Some(3000.0));
+        assert_eq!(nr_arfcn_to_freq_mhz(2_016_666), Some(24_249.99));
+        assert_eq!(nr_arfcn_to_freq_mhz(2_016_667), Some(24_250.08));
+        assert_eq!(nr_arfcn_to_freq_mhz(3_279_165), Some(99_999.96));
+        assert_eq!(nr_arfcn_to_freq_mhz(3_279_166), None);
+    }
+
+    #[test]
+    fn nr_arfcn_inverse() {
+        for arfcn in [0u32, 1, 387410, 521310, 600_000, 650_000, 2_016_667, 3_279_165] {
+            let f = nr_arfcn_to_freq_mhz(arfcn).unwrap();
+            assert_eq!(freq_mhz_to_nr_arfcn(f), Some(arfcn), "inverse failed at {arfcn}");
+        }
+        assert_eq!(freq_mhz_to_nr_arfcn(-1.0), None);
+        assert_eq!(freq_mhz_to_nr_arfcn(1e9), None);
+    }
+
+    #[test]
+    fn earfcn_outside_any_band_is_none() {
+        // 3850 appears once in the paper (Fig. 31) but matches no standard
+        // band; we treat it as unknown rather than inventing a band.
+        assert_eq!(earfcn_to_freq_mhz(3850), None);
+        assert_eq!(earfcn_to_freq_mhz(70_000), None);
+    }
+
+    #[test]
+    fn arfcn_wrapper_dispatches_by_rat() {
+        assert_eq!(Arfcn::nr(387410).freq_mhz(), Some(1937.05));
+        assert_eq!(Arfcn::lte(5815).freq_mhz(), Some(742.5));
+        assert_eq!(Arfcn::lte(3850).freq_mhz(), None);
+    }
+}

@@ -1,0 +1,365 @@
+//! RRC message model.
+//!
+//! A deliberately analysis-oriented subset of TS 38.331 / TS 36.331: every
+//! message carries exactly the fields the paper's pipeline reads when
+//! reconstructing serving-cell-set sequences (Appendix B) and classifying
+//! loop triggers (Appendix C). Messages are RAT-agnostic where the two
+//! specs coincide; NSA-specific fields (`sp_cell_config`,
+//! `mobility_control_info`, SCG release) live on [`ReconfigBody`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::MeasEvent;
+use crate::ids::{CellId, GlobalCellId};
+use crate::meas::Measurement;
+
+/// `sCellToAddModList` entry: an SCell to add (or replace at an index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScellAddMod {
+    /// `sCellIndex` — the slot this SCell occupies in the cell group.
+    pub index: u8,
+    /// The cell being added.
+    pub cell: CellId,
+}
+
+/// `RRCReconfiguration` body (TS 38.331 §5.3.5 / TS 36.331 §5.3.5).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReconfigBody {
+    /// SCells to add or modify (`sCellToAddModList`).
+    pub scell_to_add_mod: Vec<ScellAddMod>,
+    /// SCell indices to release (`sCellToReleaseList`).
+    pub scell_to_release: Vec<u8>,
+    /// Measurement-event configuration updates (`measConfig`).
+    pub meas_config: Vec<MeasEvent>,
+    /// NSA: PSCell configuration (`spCellConfig` of the SCG) — adding or
+    /// changing the 5G secondary cell group's primary cell.
+    pub sp_cell: Option<CellId>,
+    /// NSA: release the whole 5G SCG (`mrdc-ReleaseAndAdd` absent /
+    /// `scg-Release`). Set on the reconfiguration that strips 5G after an
+    /// SCG failure or a handover to a 5G-disabled channel.
+    pub scg_release: bool,
+    /// LTE handover: `mobilityControlInfo` with the target PCell.
+    pub mobility_target: Option<CellId>,
+}
+
+impl ReconfigBody {
+    /// True if this reconfiguration changes nothing we model.
+    pub fn is_empty(&self) -> bool {
+        self.scell_to_add_mod.is_empty()
+            && self.scell_to_release.is_empty()
+            && self.meas_config.is_empty()
+            && self.sp_cell.is_none()
+            && !self.scg_release
+            && self.mobility_target.is_none()
+    }
+
+    /// True if this is an SCell **modification**: it both adds and releases
+    /// SCells in the same message (e.g. `273@387410 → 371@387410`, Fig. 26).
+    pub fn is_scell_modification(&self) -> bool {
+        !self.scell_to_add_mod.is_empty() && !self.scell_to_release.is_empty()
+    }
+
+    /// True if this is an LTE handover command without SCG reconfiguration —
+    /// the shape that silently drops the 5G SCG (Appendix B: "including
+    /// `mobilityControlInfo` but without `spCellConfig`").
+    pub fn is_handover_dropping_scg(&self) -> bool {
+        self.mobility_target.is_some() && self.sp_cell.is_none()
+    }
+}
+
+/// One entry of a `MeasurementReport`: a cell and its joint sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MeasResult {
+    /// The measured cell.
+    pub cell: CellId,
+    /// Its RSRP/RSRQ sample.
+    pub meas: Measurement,
+}
+
+/// `MeasurementReport` (TS 38.331 §5.5.5).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MeasurementReport {
+    /// The event label that triggered the report (e.g. "A3", "B1"), if known.
+    pub trigger: Option<String>,
+    /// Measured serving and neighbour cells.
+    pub results: Vec<MeasResult>,
+}
+
+impl MeasurementReport {
+    /// Looks up the sample for a cell, if it was reported.
+    pub fn result_for(&self, cell: CellId) -> Option<Measurement> {
+        self.results.iter().find(|r| r.cell == cell).map(|r| r.meas)
+    }
+
+    /// Whether a given cell appears in the report at all. The *absence* of a
+    /// serving SCell from consecutive reports is the S1E1 trigger.
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.results.iter().any(|r| r.cell == cell)
+    }
+}
+
+/// `reestablishmentCause` of an `RRCReestablishmentRequest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReestablishmentCause {
+    /// Reconfiguration failure.
+    ReconfigurationFailure,
+    /// Handover failure — the N1E2 signature (Fig. 31).
+    HandoverFailure,
+    /// Anything else, including radio link failure — the N1E1 signature
+    /// (Fig. 30 reports `otherFailure`).
+    OtherFailure,
+}
+
+impl ReestablishmentCause {
+    /// ASN.1 enumerator name as it appears in logs.
+    pub fn asn1(self) -> &'static str {
+        match self {
+            ReestablishmentCause::ReconfigurationFailure => "reconfigurationFailure",
+            ReestablishmentCause::HandoverFailure => "handoverFailure",
+            ReestablishmentCause::OtherFailure => "otherFailure",
+        }
+    }
+
+    /// Parses the ASN.1 enumerator name.
+    pub fn from_asn1(s: &str) -> Option<Self> {
+        match s {
+            "reconfigurationFailure" => Some(ReestablishmentCause::ReconfigurationFailure),
+            "handoverFailure" => Some(ReestablishmentCause::HandoverFailure),
+            "otherFailure" => Some(ReestablishmentCause::OtherFailure),
+            _ => None,
+        }
+    }
+}
+
+/// `failureType` of `SCGFailureInformation` (TS 36.331 §5.6.13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScgFailureType {
+    /// Random-access problem on the SCG — the N2E2 signature (Fig. 33).
+    RandomAccessProblem,
+    /// Maximum RLC retransmissions reached.
+    RlcMaxNumRetx,
+    /// SCG change failure.
+    ScgChangeFailure,
+    /// SCG radio link failure (timer expiry / sync loss).
+    ScgRadioLinkFailure,
+}
+
+impl ScgFailureType {
+    /// ASN.1 enumerator name as it appears in logs.
+    pub fn asn1(self) -> &'static str {
+        match self {
+            ScgFailureType::RandomAccessProblem => "randomAccessProblem",
+            ScgFailureType::RlcMaxNumRetx => "rlc-MaxNumRetx",
+            ScgFailureType::ScgChangeFailure => "scg-ChangeFailure",
+            ScgFailureType::ScgRadioLinkFailure => "srb3-IntegrityFailure",
+        }
+    }
+
+    /// Parses the ASN.1 enumerator name.
+    pub fn from_asn1(s: &str) -> Option<Self> {
+        match s {
+            "randomAccessProblem" => Some(ScgFailureType::RandomAccessProblem),
+            "rlc-MaxNumRetx" => Some(ScgFailureType::RlcMaxNumRetx),
+            "scg-ChangeFailure" => Some(ScgFailureType::ScgChangeFailure),
+            "srb3-IntegrityFailure" => Some(ScgFailureType::ScgRadioLinkFailure),
+            _ => None,
+        }
+    }
+}
+
+/// The RRC messages (and log-visible state transitions) the pipeline models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RrcMessage {
+    /// Master Information Block broadcast by a candidate cell.
+    Mib {
+        /// The broadcasting cell.
+        cell: CellId,
+        /// Its global identity (0 = seen but not used).
+        global_id: GlobalCellId,
+    },
+    /// SIB1 with cell-(re)selection criteria.
+    Sib1 {
+        /// The broadcasting cell.
+        cell: CellId,
+        /// `q-RxLevMin`-derived selection floor: minimum RSRP, deci-dBm.
+        /// The paper's OP_T value is −108 dBm for band n41 (§3).
+        q_rx_lev_min_deci: i32,
+    },
+    /// `RRCSetupRequest` (5G) / `RRCConnectionRequest` (4G).
+    SetupRequest {
+        /// The cell the UE asks to connect through (becomes the PCell).
+        cell: CellId,
+        /// Its global identity.
+        global_id: GlobalCellId,
+    },
+    /// `RRCSetup` / `RRCConnectionSetup`.
+    Setup,
+    /// `RRCSetupComplete` / `RRCConnectionSetupComplete`.
+    SetupComplete,
+    /// `RRCReconfiguration` / `RRCConnectionReconfiguration`.
+    Reconfiguration(ReconfigBody),
+    /// `RRCReconfigurationComplete`.
+    ReconfigurationComplete,
+    /// `MeasurementReport`.
+    MeasurementReport(MeasurementReport),
+    /// `SCGFailureInformation` (NSA, UE → network).
+    ScgFailureInformation {
+        /// The reported failure type.
+        failure: ScgFailureType,
+    },
+    /// `RRCReestablishmentRequest` / `RRCConnectionReestablishmentRequest`.
+    ReestablishmentRequest {
+        /// Why the UE re-establishes.
+        cause: ReestablishmentCause,
+    },
+    /// `RRCReestablishment(Complete)` — network accepted; carries the PCell
+    /// the connection continues on.
+    ReestablishmentComplete {
+        /// The PCell after re-establishment.
+        cell: CellId,
+    },
+    /// `RRCRelease` / `RRCConnectionRelease` — orderly release to IDLE.
+    Release,
+}
+
+impl RrcMessage {
+    /// Short message name as NSG renders it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RrcMessage::Mib { .. } => "MIB",
+            RrcMessage::Sib1 { .. } => "SystemInformationBlockType1",
+            RrcMessage::SetupRequest { .. } => "RRC Setup Req",
+            RrcMessage::Setup => "RRC Setup",
+            RrcMessage::SetupComplete => "RRCSetup Complete",
+            RrcMessage::Reconfiguration(_) => "RRCReconfiguration",
+            RrcMessage::ReconfigurationComplete => "RRCReconfiguration Complete",
+            RrcMessage::MeasurementReport(_) => "MeasurementReport",
+            RrcMessage::ScgFailureInformation { .. } => "SCGFailureInformation",
+            RrcMessage::ReestablishmentRequest { .. } => "RRC Reestablishment Request",
+            RrcMessage::ReestablishmentComplete { .. } => "RRC Reestablishment Complete",
+            RrcMessage::Release => "RRC Release",
+        }
+    }
+
+    /// Whether the message travels uplink (UE → network).
+    pub fn is_uplink(&self) -> bool {
+        matches!(
+            self,
+            RrcMessage::SetupRequest { .. }
+                | RrcMessage::SetupComplete
+                | RrcMessage::ReconfigurationComplete
+                | RrcMessage::MeasurementReport(_)
+                | RrcMessage::ScgFailureInformation { .. }
+                | RrcMessage::ReestablishmentRequest { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Pci, Rat};
+
+    fn nr(pci: u16, arfcn: u32) -> CellId {
+        CellId { rat: Rat::Nr, pci: Pci(pci), arfcn }
+    }
+
+    #[test]
+    fn scell_modification_shape() {
+        // Fig. 26's failing message: add 371@387410 at index 3, release index 1.
+        let body = ReconfigBody {
+            scell_to_add_mod: vec![ScellAddMod { index: 3, cell: nr(371, 387410) }],
+            scell_to_release: vec![1],
+            ..Default::default()
+        };
+        assert!(body.is_scell_modification());
+        assert!(!body.is_empty());
+        assert!(!body.is_handover_dropping_scg());
+    }
+
+    #[test]
+    fn pure_addition_is_not_modification() {
+        let body = ReconfigBody {
+            scell_to_add_mod: vec![
+                ScellAddMod { index: 1, cell: nr(273, 387410) },
+                ScellAddMod { index: 2, cell: nr(273, 398410) },
+                ScellAddMod { index: 3, cell: nr(393, 501390) },
+            ],
+            ..Default::default()
+        };
+        assert!(!body.is_scell_modification());
+    }
+
+    #[test]
+    fn handover_without_scg_drops_5g() {
+        let body = ReconfigBody {
+            mobility_target: Some(CellId::lte(Pci(380), 5815)),
+            ..Default::default()
+        };
+        assert!(body.is_handover_dropping_scg());
+        let with_scg = ReconfigBody {
+            mobility_target: Some(CellId::lte(Pci(380), 5145)),
+            sp_cell: Some(nr(53, 632736)),
+            ..Default::default()
+        };
+        assert!(!with_scg.is_handover_dropping_scg());
+    }
+
+    #[test]
+    fn meas_report_lookup_and_absence() {
+        let report = MeasurementReport {
+            trigger: Some("A3".into()),
+            results: vec![
+                MeasResult { cell: nr(540, 501390), meas: Measurement::new(-80.0, -10.5) },
+                MeasResult { cell: nr(380, 398410), meas: Measurement::new(-78.0, -11.5) },
+            ],
+        };
+        assert!(report.contains(nr(540, 501390)));
+        assert_eq!(report.result_for(nr(380, 398410)), Some(Measurement::new(-78.0, -11.5)));
+        // 309@387410 never appears in the reports — the S1E1 "bad apple".
+        assert!(!report.contains(nr(309, 387410)));
+        assert_eq!(report.result_for(nr(309, 387410)), None);
+    }
+
+    #[test]
+    fn cause_asn1_roundtrip() {
+        for c in [
+            ReestablishmentCause::ReconfigurationFailure,
+            ReestablishmentCause::HandoverFailure,
+            ReestablishmentCause::OtherFailure,
+        ] {
+            assert_eq!(ReestablishmentCause::from_asn1(c.asn1()), Some(c));
+        }
+        assert_eq!(ReestablishmentCause::from_asn1("bogus"), None);
+    }
+
+    #[test]
+    fn scg_failure_asn1_roundtrip() {
+        for c in [
+            ScgFailureType::RandomAccessProblem,
+            ScgFailureType::RlcMaxNumRetx,
+            ScgFailureType::ScgChangeFailure,
+            ScgFailureType::ScgRadioLinkFailure,
+        ] {
+            assert_eq!(ScgFailureType::from_asn1(c.asn1()), Some(c));
+        }
+        assert_eq!(ScgFailureType::from_asn1(""), None);
+    }
+
+    #[test]
+    fn uplink_downlink_split() {
+        assert!(RrcMessage::MeasurementReport(MeasurementReport::default()).is_uplink());
+        assert!(RrcMessage::ReconfigurationComplete.is_uplink());
+        assert!(!RrcMessage::Reconfiguration(ReconfigBody::default()).is_uplink());
+        assert!(!RrcMessage::Release.is_uplink());
+    }
+
+    #[test]
+    fn message_names_match_nsg() {
+        assert_eq!(RrcMessage::Setup.name(), "RRC Setup");
+        assert_eq!(
+            RrcMessage::Reconfiguration(ReconfigBody::default()).name(),
+            "RRCReconfiguration"
+        );
+    }
+}

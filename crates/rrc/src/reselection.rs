@@ -1,0 +1,165 @@
+//! Cell selection and reselection criteria (3GPP TS 38.304 / TS 36.304).
+//!
+//! The paper's §3 shows this machinery in action: after an S1 collapse the
+//! UE reads SIB parameters and "checks whether there exists any candidate
+//! cell which meets the specified selection criteria (e.g., RSRP/RSRQ
+//! larger than a pre-configured threshold)". OP_T configures
+//! `Θ_infra = −108 dBm` for band n41, so cell 393@521310 at −82 dBm
+//! re-qualifies every cycle — one half of every S1 loop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::meas::{Measurement, Rsrp, Rsrq};
+
+/// SIB-derived cell-selection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionParams {
+    /// `q-RxLevMin`: minimum required RX level, deci-dBm (OP_T n41: −108 dBm).
+    pub q_rx_lev_min_deci: i32,
+    /// `q-QualMin`: minimum required quality, deci-dB (often disabled).
+    pub q_qual_min_deci: Option<i32>,
+    /// `q-RxLevMinOffset`: offset applied while camped on another PLMN.
+    pub q_rx_lev_min_offset_deci: i32,
+    /// Maximum UE TX power compensation `P_compensation`, deci-dB.
+    pub p_compensation_deci: i32,
+}
+
+impl SelectionParams {
+    /// OP_T's observed n41 configuration (§3): Θ_infra = −108 dBm.
+    pub fn op_t_n41() -> SelectionParams {
+        SelectionParams {
+            q_rx_lev_min_deci: -1080,
+            q_qual_min_deci: None,
+            q_rx_lev_min_offset_deci: 0,
+            p_compensation_deci: 0,
+        }
+    }
+
+    /// `Srxlev = Q_rxlevmeas − (Q_rxlevmin + Q_rxlevminoffset) − P_comp`,
+    /// deci-dB.
+    pub fn s_rx_lev_deci(&self, measured: Rsrp) -> i32 {
+        measured.deci()
+            - (self.q_rx_lev_min_deci + self.q_rx_lev_min_offset_deci)
+            - self.p_compensation_deci
+    }
+
+    /// `Squal = Q_qualmeas − Q_qualmin`, deci-dB; `None` when quality is
+    /// not configured (treated as always satisfied).
+    pub fn s_qual_deci(&self, measured: Rsrq) -> Option<i32> {
+        self.q_qual_min_deci.map(|q| measured.deci() - q)
+    }
+
+    /// The cell-selection criterion S: `Srxlev > 0` and `Squal > 0`.
+    pub fn is_suitable(&self, m: Measurement) -> bool {
+        self.s_rx_lev_deci(m.rsrp) > 0
+            && self.s_qual_deci(m.rsrq).is_none_or(|s| s > 0)
+    }
+}
+
+/// Reselection ranking parameters (the R-criterion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankingParams {
+    /// `q-Hyst`: hysteresis added to the serving cell's rank, deci-dB.
+    pub q_hyst_deci: i32,
+    /// `q-OffsetCell` applied to a neighbour's rank, deci-dB.
+    pub q_offset_deci: i32,
+}
+
+impl Default for RankingParams {
+    /// 2 dB hysteresis, no per-cell offset — common defaults.
+    fn default() -> Self {
+        RankingParams { q_hyst_deci: 20, q_offset_deci: 0 }
+    }
+}
+
+impl RankingParams {
+    /// Serving-cell rank `Rs = Q_meas,s + Q_hyst`.
+    pub fn rank_serving_deci(&self, serving: Rsrp) -> i32 {
+        serving.deci() + self.q_hyst_deci
+    }
+
+    /// Neighbour rank `Rn = Q_meas,n − Q_offset`.
+    pub fn rank_neighbour_deci(&self, neighbour: Rsrp) -> i32 {
+        neighbour.deci() - self.q_offset_deci
+    }
+
+    /// Whether the neighbour outranks the serving cell (reselection fires
+    /// after the ranking holds for `treselection`, which the caller times).
+    pub fn neighbour_wins(&self, serving: Rsrp, neighbour: Rsrp) -> bool {
+        self.rank_neighbour_deci(neighbour) > self.rank_serving_deci(serving)
+    }
+}
+
+/// Picks the best suitable cell from `(candidate id, measurement)` pairs:
+/// suitability by the S-criterion, ranking by RSRP. Returns the winning
+/// index into the input slice.
+pub fn select_cell(params: &SelectionParams, candidates: &[Measurement]) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| params.is_suitable(**m))
+        .max_by_key(|(_, m)| m.rsrp)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rsrp: f64, rsrq: f64) -> Measurement {
+        Measurement::new(rsrp, rsrq)
+    }
+
+    #[test]
+    fn op_t_threshold_from_the_paper() {
+        // §3: "As long as the RSRP of one 5G cell in band n41 exceeds
+        // −108 dBm ... the phone [can] establish a 5G connection".
+        let p = SelectionParams::op_t_n41();
+        assert!(p.is_suitable(m(-82.0, -10.5))); // 393@521310 at P16
+        assert!(p.is_suitable(m(-107.9, -15.0)));
+        assert!(!p.is_suitable(m(-108.0, -10.0))); // strict >
+        assert!(!p.is_suitable(m(-120.0, -10.0)));
+    }
+
+    #[test]
+    fn s_rx_lev_arithmetic() {
+        let p = SelectionParams {
+            q_rx_lev_min_deci: -1080,
+            q_qual_min_deci: None,
+            q_rx_lev_min_offset_deci: 20,
+            p_compensation_deci: 10,
+        };
+        // −90.0 − (−108 + 2) − 1 = 15 dB.
+        assert_eq!(p.s_rx_lev_deci(Rsrp::from_db(-90.0)), 150);
+    }
+
+    #[test]
+    fn quality_criterion_when_configured() {
+        let p = SelectionParams {
+            q_qual_min_deci: Some(-180),
+            ..SelectionParams::op_t_n41()
+        };
+        assert!(p.is_suitable(m(-90.0, -12.0)));
+        assert!(!p.is_suitable(m(-90.0, -19.0))); // fails Squal
+    }
+
+    #[test]
+    fn ranking_hysteresis_protects_serving() {
+        let r = RankingParams::default();
+        let serving = Rsrp::from_db(-95.0);
+        assert!(!r.neighbour_wins(serving, Rsrp::from_db(-94.0))); // +1 dB < hyst
+        assert!(!r.neighbour_wins(serving, Rsrp::from_db(-93.0))); // +2 dB == hyst
+        assert!(r.neighbour_wins(serving, Rsrp::from_db(-92.5))); // +2.5 dB
+    }
+
+    #[test]
+    fn select_best_suitable() {
+        let p = SelectionParams::op_t_n41();
+        let cands = [m(-120.0, -10.0), m(-85.0, -11.0), m(-82.0, -10.5), m(-90.0, -12.0)];
+        assert_eq!(select_cell(&p, &cands), Some(2));
+        // Nothing suitable → None.
+        let dead = [m(-120.0, -10.0), m(-130.0, -20.0)];
+        assert_eq!(select_cell(&p, &dead), None);
+        assert_eq!(select_cell(&p, &[]), None);
+    }
+}

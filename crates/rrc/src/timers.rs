@@ -1,0 +1,224 @@
+//! Radio-link-failure detection timers (TS 38.331 / TS 36.331 §5.3.10).
+//!
+//! RLF — the N1E1 trigger — is not a single bad sample: the UE counts `N310`
+//! consecutive out-of-sync indications, runs `T310`, and only declares RLF
+//! when the timer expires without `N311` in-sync indications. This module
+//! models that state machine; the simulator's coarse "3 bad rounds" constant
+//! approximates the common (N310=10 @ 10 ms, T310=1 s) configuration at its
+//! 1 s measurement cadence.
+
+use serde::{Deserialize, Serialize};
+
+/// RLF timer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RlfConfig {
+    /// Consecutive out-of-sync indications that start T310.
+    pub n310: u32,
+    /// Consecutive in-sync indications that stop T310.
+    pub n311: u32,
+    /// T310 duration, ms.
+    pub t310_ms: u64,
+}
+
+impl Default for RlfConfig {
+    /// A common field configuration: N310=10, N311=1, T310=1000 ms.
+    fn default() -> Self {
+        RlfConfig { n310: 10, n311: 1, t310_ms: 1000 }
+    }
+}
+
+/// The RLF detector's phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RlfPhase {
+    /// Radio link considered healthy.
+    InSync,
+    /// Counting out-of-sync indications towards N310.
+    Counting {
+        /// Out-of-sync indications so far.
+        oos: u32,
+    },
+    /// T310 running; counting in-sync indications towards N311.
+    T310Running {
+        /// When T310 started, ms.
+        started_ms: u64,
+        /// In-sync indications so far.
+        ins: u32,
+    },
+    /// Radio link failure declared.
+    Failed,
+}
+
+/// The RLF state machine. Feed it per-sample sync indications; it reports
+/// failure when the 3GPP conditions are met.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RlfDetector {
+    /// Configuration.
+    pub config: RlfConfig,
+    /// Current phase.
+    pub phase: RlfPhase,
+}
+
+impl RlfDetector {
+    /// New detector in sync.
+    pub fn new(config: RlfConfig) -> RlfDetector {
+        RlfDetector { config, phase: RlfPhase::InSync }
+    }
+
+    /// Feeds one physical-layer indication at time `t_ms`; `in_sync` is the
+    /// per-sample link verdict. Returns true exactly once, when RLF is
+    /// declared.
+    pub fn feed(&mut self, t_ms: u64, in_sync: bool) -> bool {
+        self.phase = match self.phase {
+            RlfPhase::InSync => {
+                if in_sync {
+                    RlfPhase::InSync
+                } else {
+                    RlfPhase::Counting { oos: 1 }
+                }
+            }
+            RlfPhase::Counting { oos } => {
+                if in_sync {
+                    RlfPhase::InSync
+                } else if oos + 1 >= self.config.n310 {
+                    RlfPhase::T310Running { started_ms: t_ms, ins: 0 }
+                } else {
+                    RlfPhase::Counting { oos: oos + 1 }
+                }
+            }
+            RlfPhase::T310Running { started_ms, ins } => {
+                if in_sync {
+                    if ins + 1 >= self.config.n311 {
+                        RlfPhase::InSync
+                    } else {
+                        RlfPhase::T310Running { started_ms, ins: ins + 1 }
+                    }
+                } else if t_ms.saturating_sub(started_ms) >= self.config.t310_ms {
+                    RlfPhase::Failed
+                } else {
+                    RlfPhase::T310Running { started_ms, ins: 0 }
+                }
+            }
+            RlfPhase::Failed => RlfPhase::Failed,
+        };
+        self.phase == RlfPhase::Failed
+    }
+
+    /// Resets after re-establishment.
+    pub fn reset(&mut self) {
+        self.phase = RlfPhase::InSync;
+    }
+}
+
+/// Handover supervision timer T304: started at the handover command,
+/// stopped by successful random access at the target. Expiry = handover
+/// failure (the N1E2 trigger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct T304 {
+    /// Duration, ms (typ. 100–2000).
+    pub duration_ms: u64,
+    /// When it was started (None: not running).
+    pub started_ms: Option<u64>,
+}
+
+impl T304 {
+    /// A stopped timer with the given duration.
+    pub fn new(duration_ms: u64) -> T304 {
+        T304 { duration_ms, started_ms: None }
+    }
+
+    /// Starts at the handover command.
+    pub fn start(&mut self, t_ms: u64) {
+        self.started_ms = Some(t_ms);
+    }
+
+    /// Stops on successful completion.
+    pub fn stop(&mut self) {
+        self.started_ms = None;
+    }
+
+    /// Whether the timer has expired by `t_ms` (handover failure).
+    pub fn expired(&self, t_ms: u64) -> bool {
+        self.started_ms
+            .is_some_and(|s| t_ms.saturating_sub(s) >= self.duration_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RlfConfig {
+        RlfConfig { n310: 3, n311: 2, t310_ms: 500 }
+    }
+
+    #[test]
+    fn healthy_link_never_fails() {
+        let mut d = RlfDetector::new(quick());
+        for t in 0..100u64 {
+            assert!(!d.feed(t * 10, true));
+        }
+        assert_eq!(d.phase, RlfPhase::InSync);
+    }
+
+    #[test]
+    fn rlf_requires_n310_then_t310_expiry() {
+        let mut d = RlfDetector::new(quick());
+        // Two out-of-sync then recovery: no T310.
+        assert!(!d.feed(0, false));
+        assert!(!d.feed(10, false));
+        assert!(!d.feed(20, true));
+        assert_eq!(d.phase, RlfPhase::InSync);
+        // Three consecutive: T310 starts at the third (t=50).
+        assert!(!d.feed(30, false));
+        assert!(!d.feed(40, false));
+        assert!(!d.feed(50, false));
+        assert!(matches!(d.phase, RlfPhase::T310Running { .. }));
+        // Still failing within T310: no RLF yet…
+        assert!(!d.feed(300, false));
+        // …but past 500 ms, RLF.
+        assert!(d.feed(560, false));
+        assert_eq!(d.phase, RlfPhase::Failed);
+        // Sticky until reset.
+        assert!(d.feed(570, true));
+        d.reset();
+        assert_eq!(d.phase, RlfPhase::InSync);
+    }
+
+    #[test]
+    fn t310_recovery_with_n311() {
+        let mut d = RlfDetector::new(quick());
+        for t in [0, 10, 20] {
+            d.feed(t, false);
+        }
+        assert!(matches!(d.phase, RlfPhase::T310Running { .. }));
+        // One in-sync is not enough (n311 = 2)…
+        assert!(!d.feed(30, true));
+        assert!(matches!(d.phase, RlfPhase::T310Running { ins: 1, .. }));
+        // …two stop the timer.
+        assert!(!d.feed(40, true));
+        assert_eq!(d.phase, RlfPhase::InSync);
+    }
+
+    #[test]
+    fn interleaved_out_of_sync_resets_n311_count() {
+        let mut d = RlfDetector::new(quick());
+        for t in [0, 10, 20] {
+            d.feed(t, false);
+        }
+        assert!(!d.feed(30, true)); // ins = 1
+        assert!(!d.feed(40, false)); // ins resets
+        assert!(!d.feed(50, true)); // ins = 1 again
+        assert!(matches!(d.phase, RlfPhase::T310Running { ins: 1, .. }));
+    }
+
+    #[test]
+    fn t304_lifecycle() {
+        let mut t = T304::new(200);
+        assert!(!t.expired(1_000_000));
+        t.start(1000);
+        assert!(!t.expired(1100));
+        assert!(t.expired(1200));
+        t.stop();
+        assert!(!t.expired(99_999));
+    }
+}

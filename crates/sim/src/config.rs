@@ -1,0 +1,210 @@
+//! Simulation configuration and timing constants.
+
+use serde::{Deserialize, Serialize};
+
+use onoff_policy::{DeviceProfile, OperatorPolicy, PhoneModel};
+use onoff_radio::{Point, RadioEnvironment};
+
+/// Everything one run needs: who, where, how long, and the dice.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The operator's channel plan and RRC policies.
+    pub policy: OperatorPolicy,
+    /// The phone under test.
+    pub device: DeviceProfile,
+    /// The radio plant.
+    pub env: RadioEnvironment,
+    /// UE position over time. Stationary runs use a single waypoint.
+    pub path: MovementPath,
+    /// Run length, ms (the paper's runs are 5-minute bulk downloads).
+    pub duration_ms: u64,
+    /// Measurement/reporting cadence, ms.
+    pub meas_period_ms: u64,
+    /// Run seed (independent of the environment seed: same place, new dice).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A stationary 5-minute run with 500 ms measurement cadence — the
+    /// paper's standard experiment.
+    pub fn stationary(
+        policy: OperatorPolicy,
+        device: PhoneModel,
+        env: RadioEnvironment,
+        position: Point,
+        seed: u64,
+    ) -> SimConfig {
+        SimConfig {
+            policy,
+            device: device.profile(),
+            env,
+            path: MovementPath::Stationary(position),
+            duration_ms: 300_000,
+            meas_period_ms: 500,
+            seed,
+        }
+    }
+}
+
+/// UE movement over the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MovementPath {
+    /// Fixed position.
+    Stationary(Point),
+    /// Constant-speed walk along a polyline, metres/second; the UE stops at
+    /// the final waypoint.
+    Walk {
+        /// Waypoints of the walk.
+        waypoints: Vec<Point>,
+        /// Speed, m/s (walking ≈ 1.4).
+        speed_mps: f64,
+    },
+}
+
+impl MovementPath {
+    /// Position at time `t_ms`.
+    pub fn at(&self, t_ms: u64) -> Point {
+        match self {
+            MovementPath::Stationary(p) => *p,
+            MovementPath::Walk { waypoints, speed_mps } => {
+                if waypoints.is_empty() {
+                    return Point::new(0.0, 0.0);
+                }
+                let mut remaining = speed_mps * t_ms as f64 / 1000.0;
+                for pair in waypoints.windows(2) {
+                    let leg = pair[0].distance(pair[1]);
+                    if remaining <= leg {
+                        let f = if leg > 0.0 { remaining / leg } else { 0.0 };
+                        return pair[0].lerp(pair[1], f);
+                    }
+                    remaining -= leg;
+                }
+                *waypoints.last().unwrap()
+            }
+        }
+    }
+}
+
+/// Procedure and detection timing constants, grouped for visibility.
+/// Values are drawn from the paper's appendix timelines.
+pub mod timing {
+    /// IDLE dwell before re-establishment after an SA collapse: Fig. 3 and
+    /// Fig. 26 show ~10–11 s between the exception and the next setup.
+    pub const SA_IDLE_DWELL_MS: (u64, u64) = (9_000, 12_000);
+
+    /// NSA IDLE* dwell after losing the 4G PCell: short — the UE quickly
+    /// re-establishes 4G ("the state quickly switches from IDLE to 4G").
+    pub const NSA_IDLE_DWELL_MS: (u64, u64) = (700, 2_000);
+
+    /// RRC connection-establishment exchange duration (request→complete).
+    pub const SETUP_MS: (u64, u64) = (120, 400);
+
+    /// Delay between setup completion and the SCell-addition
+    /// reconfiguration: "three SCells are later added ... within 3 seconds".
+    pub const SCELL_ADD_DELAY_MS: (u64, u64) = (2_500, 3_500);
+
+    /// Consecutive reports a serving SCell may miss before the network
+    /// releases everything (S1E1). Fig. 27 shows ~7 s of missing reports.
+    pub const S1E1_MISSING_REPORTS: u32 = 6;
+
+    /// How long a reported-but-terrible SCell is tolerated before the
+    /// collapse (S1E2). Fig. 28 shows ≈9.6 s between report and release.
+    pub const S1E2_TOLERANCE_MS: u64 = 9_500;
+
+    /// RSRQ below which a serving SCell counts as "terrible" (S1E2's bad
+    /// apple reports −25.5 dB).
+    pub const S1E2_RSRQ_FLOOR_DECI: i32 = -200;
+
+    /// RSRP below which a serving SCell also counts as "terrible" even with
+    /// clean RSRQ (deep-coverage-hole S1E2, the dominant flavour in the
+    /// paper's weak-coverage area A2).
+    pub const S1E2_RSRP_FLOOR_DECI: i32 = -1160;
+
+    /// Instantaneous RSRP below which a cell cannot be measured at all
+    /// (S1E1's bad apple never appears in reports).
+    pub const UNMEASURABLE_RSRP_DECI: i32 = -1280;
+
+    /// 4G radio-link-failure floor: sustained RSRP below this kills the
+    /// MCG (N1E1).
+    pub const LTE_RLF_RSRP_DECI: i32 = -1225;
+
+    /// Consecutive below-floor measurement rounds before RLF is declared.
+    pub const RLF_ROUNDS: u32 = 3;
+
+    /// Handover-failure floor: a blind handover onto a cell weaker than
+    /// this fails outright (N1E2).
+    pub const HO_FAIL_RSRP_DECI: i32 = -1260;
+
+    /// Post-handover / post-establishment holdoff before the next A3
+    /// handover evaluation (stands in for time-to-trigger + L3 filtering).
+    pub const HO_HOLDOFF_MS: (u64, u64) = (15_000, 35_000);
+
+    /// NR random-access failure floor for SCG changes: a PSCell change onto
+    /// a cell weaker than this fails random access (N2E2).
+    pub const SCG_RA_FAIL_RSRP_DECI: i32 = -1100;
+
+    /// A3 offset used for NR SCG-internal PSCell changes, deci-dB (Fig. 33
+    /// configures a 5 dB offset on 648672).
+    pub const SCG_A3_OFFSET_DECI: i32 = 50;
+
+    /// Minimum RSRP for the RAN to bother adding an NSA SCG SCell on a
+    /// second NR channel.
+    pub const SCG_SCELL_ADD_FLOOR_DECI: i32 = -1150;
+
+    /// Serving-SCell RSRP below which the RAN's SCell-modification logic
+    /// gives up on the channel and issues **no command** — the branch that
+    /// turns a poor bad apple into S1E2 instead of S1E3. Matches Fig. 17c:
+    /// S1E2 instances sit at much lower RSRP than S1E3 ones.
+    pub const SCELL_DEAD_RSRP_DECI: i32 = -1080;
+
+    /// Minimum candidate RSRP for an SCell modification command to be worth
+    /// issuing.
+    pub const SCELL_USABLE_RSRP_DECI: i32 = -1100;
+
+    /// Maximum candidate advantage for which the RAN still *swaps* SCells.
+    /// Beyond this the RAN issues no command at all — the paper's Fig. 28
+    /// shows a 21 dB-better candidate left unused while the serving SCell
+    /// rotted (S1E2), and F16 shows S1E3 concentrated where the co-channel
+    /// cells are comparable.
+    pub const SCELL_MOD_MAX_GAP_DECI: i32 = 120;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_path() {
+        let p = MovementPath::Stationary(Point::new(3.0, 4.0));
+        assert_eq!(p.at(0), Point::new(3.0, 4.0));
+        assert_eq!(p.at(1_000_000), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn walk_interpolates_and_stops() {
+        let p = MovementPath::Walk {
+            waypoints: vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)],
+            speed_mps: 1.0,
+        };
+        assert_eq!(p.at(0), Point::new(0.0, 0.0));
+        assert_eq!(p.at(5_000), Point::new(5.0, 0.0));
+        assert_eq!(p.at(10_000), Point::new(10.0, 0.0));
+        assert_eq!(p.at(15_000), Point::new(10.0, 5.0));
+        // Past the end: stays at the final waypoint.
+        assert_eq!(p.at(60_000), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn degenerate_walks() {
+        let empty = MovementPath::Walk { waypoints: vec![], speed_mps: 1.0 };
+        assert_eq!(empty.at(5_000), Point::new(0.0, 0.0));
+        let single = MovementPath::Walk { waypoints: vec![Point::new(7.0, 8.0)], speed_mps: 1.0 };
+        assert_eq!(single.at(5_000), Point::new(7.0, 8.0));
+        // Zero-length leg does not divide by zero.
+        let dup = MovementPath::Walk {
+            waypoints: vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)],
+            speed_mps: 1.0,
+        };
+        assert_eq!(dup.at(1_000), Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! # onoff-sim
+//!
+//! Discrete-event UE/RAN simulator: given a radio environment
+//! ([`onoff_radio`]), an operator policy and a device profile
+//! ([`onoff_policy`]), it replays the RRC lifecycle of a measurement run and
+//! emits the observable trace — signaling messages, MM-state transitions and
+//! per-second download throughput — exactly as the paper's capture stack
+//! (Network Signal Guru + tcpdump) would have seen it.
+//!
+//! The 5G ON-OFF loop dynamics are **emergent**: the engines implement the
+//! standard procedures (establishment, measurement/reporting, SCell
+//! modification, handover, SCG management) and the operators' channel
+//! policies; loops appear wherever the radio conditions and policies line up
+//! the way the paper describes — no loop is scripted. The simulator records
+//! the causes it injects as hidden ground truth ([`output::GroundTruth`]) so
+//! the classifier in `onoff-detect` can be scored honestly.
+//!
+//! * [`sa::run_sa`] — 5G SA engine (OP_T): S1E1/S1E2/S1E3 dynamics.
+//! * [`nsa::run_nsa`] — 5G NSA engine (OP_A/OP_V): N1E1/N1E2/N2E1/N2E2.
+//! * [`simulate`] — dispatch on the policy's deployment mode.
+
+pub mod config;
+pub mod nsa;
+pub mod output;
+pub mod recorder;
+pub mod sa;
+pub mod select;
+pub mod synth;
+pub mod throughput;
+
+pub use config::{MovementPath, SimConfig};
+pub use output::{GroundTruth, InjectedCause, SimOutput};
+pub use synth::TraceBuilder;
+
+use onoff_policy::FivegMode;
+
+/// Runs one simulated measurement run, dispatching on the operator's 5G
+/// deployment mode.
+pub fn simulate(cfg: &SimConfig) -> SimOutput {
+    match cfg.policy.mode {
+        FivegMode::Sa => sa::run_sa(cfg),
+        FivegMode::Nsa => nsa::run_nsa(cfg),
+    }
+}

@@ -1,0 +1,97 @@
+//! Simulation output: the trace plus hidden ground truth.
+
+use serde::{Deserialize, Serialize};
+
+use onoff_rrc::ids::CellId;
+use onoff_rrc::trace::{Timestamp, TraceEvent};
+
+/// The cause the simulator actually injected when it turned 5G off — kept
+/// *outside* the trace so the classifier can be scored against it without
+/// ever seeing it (DESIGN.md decision 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedCause {
+    /// An intra-channel SCell modification failed (S1E3's trigger).
+    ScellModFailure {
+        /// The cell whose addition failed.
+        target: CellId,
+    },
+    /// A serving SCell became unmeasurable and the MCG was released
+    /// (S1E1's trigger).
+    ScellUnmeasurable {
+        /// The bad apple.
+        cell: CellId,
+    },
+    /// A serving SCell reported terrible quality and the MCG was released
+    /// (S1E2's trigger).
+    ScellPoor {
+        /// The bad apple.
+        cell: CellId,
+    },
+    /// The 4G PCell suffered a radio link failure (N1E1's trigger).
+    PcellRlf {
+        /// The failing PCell.
+        cell: CellId,
+    },
+    /// A 4G handover failed to complete (N1E2's trigger).
+    HandoverFailure {
+        /// The handover target.
+        target: CellId,
+    },
+    /// A successful 4G handover dropped the SCG (N2E1's trigger).
+    HandoverDropScg {
+        /// The handover target (on a 5G-disabled / SCG-releasing channel).
+        target: CellId,
+    },
+    /// An SCG change hit a random-access failure and the SCG was released
+    /// (N2E2's trigger).
+    ScgRaFailure {
+        /// The PSCell-change target.
+        target: CellId,
+    },
+    /// The legacy A2-threshold SCG release (F12's corrected-away trigger):
+    /// the PSCell measured below Θ_A2 and the SCG was dropped even though
+    /// the B1 addition threshold would re-admit it.
+    LegacyA2Release {
+        /// The PSCell whose measurement crossed the inconsistent threshold.
+        cell: CellId,
+    },
+}
+
+/// One ground-truth entry: what the simulator did and when.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// When the 5G-OFF trigger fired.
+    pub t: Timestamp,
+    /// What it was.
+    pub cause: InjectedCause,
+}
+
+/// A complete simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// The observable trace (signaling + MM transitions + throughput).
+    pub events: Vec<TraceEvent>,
+    /// Hidden per-OFF-trigger ground truth, time-ordered.
+    pub truth: Vec<GroundTruth>,
+}
+
+impl SimOutput {
+    /// Events as an NSG-style log text.
+    pub fn to_log(&self) -> String {
+        onoff_nsglog::emit(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_log_renders_events() {
+        let out = SimOutput {
+            events: vec![TraceEvent::Throughput { t: Timestamp(1000), mbps: 5.0 }],
+            truth: vec![],
+        };
+        assert_eq!(out.to_log(), "00:00:01.000 Throughput = 5.0 Mbps\n");
+    }
+}

@@ -1,0 +1,87 @@
+//! Trace recorder shared by the SA and NSA engines.
+
+use onoff_rrc::ids::{CellId, Rat};
+use onoff_rrc::messages::RrcMessage;
+use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
+
+use crate::output::{GroundTruth, InjectedCause, SimOutput};
+
+/// Accumulates trace events and ground truth during a run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Vec<TraceEvent>,
+    truth: Vec<GroundTruth>,
+}
+
+impl Recorder {
+    /// Fresh recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Records an RRC message at `t_ms` under the given control-plane RAT
+    /// and serving context.
+    pub fn rrc(&mut self, t_ms: u64, rat: Rat, context: Option<CellId>, msg: RrcMessage) {
+        let channel = LogChannel::for_message(&msg);
+        self.events.push(TraceEvent::Rrc(LogRecord {
+            t: Timestamp(t_ms),
+            rat,
+            channel,
+            context,
+            msg,
+        }));
+    }
+
+    /// Records the MM collapse line NSG shows during an SA exception.
+    pub fn mm_deregistered(&mut self, t_ms: u64) {
+        self.events.push(TraceEvent::Mm {
+            t: Timestamp(t_ms),
+            state: MmState::DeregisteredNoCellAvailable,
+        });
+    }
+
+    /// Records a throughput sample.
+    pub fn throughput(&mut self, t_ms: u64, mbps: f64) {
+        self.events.push(TraceEvent::Throughput { t: Timestamp(t_ms), mbps });
+    }
+
+    /// Records a hidden ground-truth 5G-OFF trigger.
+    pub fn truth(&mut self, t_ms: u64, cause: InjectedCause) {
+        self.truth.push(GroundTruth { t: Timestamp(t_ms), cause });
+    }
+
+    /// Finishes the run; events are sorted by time (procedures emitted with
+    /// intra-step offsets can interleave with throughput samples).
+    pub fn finish(mut self) -> SimOutput {
+        self.events.sort_by_key(|e| e.t());
+        SimOutput { events: self.events, truth: self.truth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_sorts_by_time() {
+        let mut r = Recorder::new();
+        r.throughput(2000, 1.0);
+        r.rrc(1000, Rat::Nr, None, RrcMessage::Release);
+        r.mm_deregistered(1500);
+        let out = r.finish();
+        let ts: Vec<u64> = out.events.iter().map(|e| e.t().millis()).collect();
+        assert_eq!(ts, vec![1000, 1500, 2000]);
+    }
+
+    #[test]
+    fn truth_is_kept_separate() {
+        let mut r = Recorder::new();
+        r.truth(
+            500,
+            InjectedCause::PcellRlf { cell: CellId::lte(onoff_rrc::ids::Pci(1), 850) },
+        );
+        let out = r.finish();
+        assert!(out.events.is_empty());
+        assert_eq!(out.truth.len(), 1);
+    }
+}

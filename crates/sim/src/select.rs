@@ -1,0 +1,159 @@
+//! Cell-selection helpers shared by the SA and NSA engines.
+
+use onoff_radio::{Point, RadioEnvironment};
+use onoff_rrc::ids::{CellId, Rat};
+use onoff_rrc::meas::Measurement;
+
+/// Instantaneous measurement of a specific cell, if deployed.
+pub fn measure_cell(
+    env: &RadioEnvironment,
+    cell: CellId,
+    p: Point,
+    t_ms: u64,
+) -> Option<Measurement> {
+    let idx = env.find(cell)?;
+    Some(env.measure(&env.cells[idx], p, t_ms))
+}
+
+/// Strongest cell (by instantaneous RSRP) among those matching `filter`.
+pub fn strongest_cell<F>(
+    env: &RadioEnvironment,
+    p: Point,
+    t_ms: u64,
+    filter: F,
+) -> Option<(CellId, Measurement)>
+where
+    F: Fn(CellId) -> bool,
+{
+    env.cells
+        .iter()
+        .filter(|s| filter(s.cell))
+        .map(|s| (s.cell, env.measure(s, p, t_ms)))
+        .max_by_key(|(_, m)| m.rsrp)
+}
+
+/// Strongest cell by **local mean** RSRP (shadowing included, fading
+/// excluded) — deterministic over a run, used for configuration decisions
+/// that the network would make from filtered measurements.
+pub fn strongest_cell_mean<F>(
+    env: &RadioEnvironment,
+    p: Point,
+    filter: F,
+) -> Option<(CellId, f64)>
+where
+    F: Fn(CellId) -> bool,
+{
+    env.cells
+        .iter()
+        .filter(|s| filter(s.cell))
+        .map(|s| (s.cell, env.local_rsrp_dbm(s, p)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Strongest cell on one RAT+channel.
+pub fn best_on_channel(
+    env: &RadioEnvironment,
+    rat: Rat,
+    arfcn: u32,
+    p: Point,
+    t_ms: u64,
+) -> Option<(CellId, Measurement)> {
+    strongest_cell(env, p, t_ms, |c| c.rat == rat && c.arfcn == arfcn)
+}
+
+/// All cells on a RAT+channel except the listed ones, with measurements.
+pub fn co_channel_candidates(
+    env: &RadioEnvironment,
+    rat: Rat,
+    arfcn: u32,
+    exclude: &[CellId],
+    p: Point,
+    t_ms: u64,
+) -> Vec<(CellId, Measurement)> {
+    env.cells
+        .iter()
+        .filter(|s| s.cell.rat == rat && s.cell.arfcn == arfcn && !exclude.contains(&s.cell))
+        .map(|s| (s.cell, env.measure(s, p, t_ms)))
+        .collect()
+}
+
+/// The co-sited twin of `cell` on another channel: same PCI, given channel.
+/// Falls back to the strongest cell on that channel. This models the paper's
+/// observation that OP_A's 5815/5145 pair shares cell IDs ("switches to
+/// another cell over channel 5145 (with the same cell ID)").
+pub fn co_sited_on_channel(
+    env: &RadioEnvironment,
+    cell: CellId,
+    rat: Rat,
+    arfcn: u32,
+    p: Point,
+    t_ms: u64,
+) -> Option<(CellId, Measurement)> {
+    strongest_cell(env, p, t_ms, |c| c.rat == rat && c.arfcn == arfcn && c.pci == cell.pci)
+        .or_else(|| best_on_channel(env, rat, arfcn, p, t_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoff_radio::CellSite;
+    use onoff_rrc::ids::Pci;
+
+    fn env() -> RadioEnvironment {
+        RadioEnvironment::new(
+            9,
+            vec![
+                CellSite::macro_site(CellId::nr(Pci(393), 521310), Point::new(0.0, 0.0), 0.0, 90.0),
+                CellSite::macro_site(
+                    CellId::nr(Pci(104), 521310),
+                    Point::new(900.0, 0.0),
+                    std::f64::consts::PI,
+                    90.0,
+                ),
+                CellSite::macro_site(CellId::lte(Pci(380), 5815), Point::new(0.0, 0.0), 0.0, 10.0),
+                CellSite::macro_site(CellId::lte(Pci(380), 5145), Point::new(0.0, 0.0), 0.0, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn strongest_prefers_nearer_cell() {
+        let e = env();
+        let (c, _) = strongest_cell(&e, Point::new(100.0, 0.0), 0, |c| c.rat == Rat::Nr).unwrap();
+        assert_eq!(c, CellId::nr(Pci(393), 521310));
+        let (c, _) = strongest_cell(&e, Point::new(800.0, 0.0), 0, |c| c.rat == Rat::Nr).unwrap();
+        assert_eq!(c, CellId::nr(Pci(104), 521310));
+    }
+
+    #[test]
+    fn co_channel_excludes_serving() {
+        let e = env();
+        let serving = CellId::nr(Pci(393), 521310);
+        let cands =
+            co_channel_candidates(&e, Rat::Nr, 521310, &[serving], Point::new(100.0, 0.0), 0);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].0, CellId::nr(Pci(104), 521310));
+    }
+
+    #[test]
+    fn co_sited_prefers_same_pci() {
+        let e = env();
+        let from = CellId::lte(Pci(380), 5815);
+        let (twin, _) =
+            co_sited_on_channel(&e, from, Rat::Lte, 5145, Point::new(50.0, 0.0), 0).unwrap();
+        assert_eq!(twin, CellId::lte(Pci(380), 5145));
+    }
+
+    #[test]
+    fn missing_cell_measures_none() {
+        let e = env();
+        assert!(measure_cell(&e, CellId::nr(Pci(1), 1), Point::new(0.0, 0.0), 0).is_none());
+        assert!(measure_cell(&e, CellId::nr(Pci(393), 521310), Point::new(0.0, 0.0), 0).is_some());
+    }
+
+    #[test]
+    fn best_on_empty_channel_is_none() {
+        let e = env();
+        assert!(best_on_channel(&e, Rat::Nr, 999_999, Point::new(0.0, 0.0), 0).is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! Scripted trace synthesis.
+//!
+//! A fluent builder for hand-authoring signaling traces — the tool for
+//! writing tests and documentation examples that replay known storylines
+//! (like the paper's appendix instances) without running the full
+//! simulator. Timestamps advance explicitly; message shapes match what the
+//! engines emit, so the detector treats scripted and simulated traces
+//! identically.
+
+use onoff_rrc::ids::{CellId, GlobalCellId, Rat};
+use onoff_rrc::messages::{
+    MeasResult, MeasurementReport, ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod,
+    ScgFailureType,
+};
+use onoff_rrc::meas::Measurement;
+use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
+
+/// Fluent scripted-trace builder.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    events: Vec<TraceEvent>,
+    t_ms: u64,
+    rat: Rat,
+    context: Option<CellId>,
+    next_index: u8,
+}
+
+impl Default for TraceBuilder {
+    fn default() -> Self {
+        TraceBuilder::new()
+    }
+}
+
+impl TraceBuilder {
+    /// A new builder starting at t = 0.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder { events: Vec::new(), t_ms: 0, rat: Rat::Nr, context: None, next_index: 1 }
+    }
+
+    /// Jumps to an absolute time (ms).
+    pub fn at(mut self, t_ms: u64) -> Self {
+        self.t_ms = t_ms;
+        self
+    }
+
+    /// Advances time by `d_ms`.
+    pub fn after(mut self, d_ms: u64) -> Self {
+        self.t_ms += d_ms;
+        self
+    }
+
+    fn push(&mut self, msg: RrcMessage) {
+        let channel = LogChannel::for_message(&msg);
+        self.events.push(TraceEvent::Rrc(LogRecord {
+            t: Timestamp(self.t_ms),
+            rat: self.rat,
+            channel,
+            context: self.context,
+            msg,
+        }));
+    }
+
+    /// RRC connection establishment through `cell` (request → complete,
+    /// 150 ms apart); sets the builder's RAT and context from the cell.
+    pub fn establish(mut self, cell: CellId) -> Self {
+        self.rat = cell.rat;
+        self.context = Some(cell);
+        self.push(RrcMessage::SetupRequest { cell, global_id: GlobalCellId(1) });
+        self.t_ms += 150;
+        self.push(RrcMessage::SetupComplete);
+        self.next_index = 1;
+        self
+    }
+
+    /// Adds SCells (one reconfiguration, indices assigned sequentially).
+    pub fn add_scells(mut self, cells: &[CellId]) -> Self {
+        let adds: Vec<ScellAddMod> = cells
+            .iter()
+            .map(|&cell| {
+                let index = self.next_index;
+                self.next_index += 1;
+                ScellAddMod { index, cell }
+            })
+            .collect();
+        self.push(RrcMessage::Reconfiguration(ReconfigBody {
+            scell_to_add_mod: adds,
+            ..Default::default()
+        }));
+        self.t_ms += 15;
+        self.push(RrcMessage::ReconfigurationComplete);
+        self
+    }
+
+    /// SCell modification: release `old_index`, add `new` at a fresh index.
+    /// With `fails`, the completion is followed by the MM collapse (the
+    /// S1E3 exception).
+    pub fn scell_mod(mut self, old_index: u8, new: CellId, fails: bool) -> Self {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.push(RrcMessage::Reconfiguration(ReconfigBody {
+            scell_to_add_mod: vec![ScellAddMod { index, cell: new }],
+            scell_to_release: vec![old_index],
+            ..Default::default()
+        }));
+        self.t_ms += 15;
+        self.push(RrcMessage::ReconfigurationComplete);
+        if fails {
+            self.t_ms += 5;
+            self.events.push(TraceEvent::Mm {
+                t: Timestamp(self.t_ms),
+                state: MmState::DeregisteredNoCellAvailable,
+            });
+        }
+        self
+    }
+
+    /// A measurement report over `(cell, rsrp, rsrq)` rows.
+    pub fn report(mut self, trigger: Option<&str>, rows: &[(CellId, f64, f64)]) -> Self {
+        self.push(RrcMessage::MeasurementReport(MeasurementReport {
+            trigger: trigger.map(str::to_string),
+            results: rows
+                .iter()
+                .map(|&(cell, p, q)| MeasResult { cell, meas: Measurement::new(p, q) })
+                .collect(),
+        }));
+        self
+    }
+
+    /// Network release to IDLE.
+    pub fn release(mut self) -> Self {
+        self.push(RrcMessage::Release);
+        self
+    }
+
+    /// NSA: SCG (PSCell) configuration, optionally with one SCG SCell.
+    pub fn scg_add(mut self, pscell: CellId, scell: Option<CellId>) -> Self {
+        let adds = scell
+            .map(|c| vec![ScellAddMod { index: 1, cell: c }])
+            .unwrap_or_default();
+        self.push(RrcMessage::Reconfiguration(ReconfigBody {
+            sp_cell: Some(pscell),
+            scell_to_add_mod: adds,
+            ..Default::default()
+        }));
+        self.t_ms += 15;
+        self.push(RrcMessage::ReconfigurationComplete);
+        self
+    }
+
+    /// NSA: SCG failure indication followed by the SCG-releasing
+    /// reconfiguration (the N2E2 exchange).
+    pub fn scg_failure(mut self, failure: ScgFailureType) -> Self {
+        self.push(RrcMessage::ScgFailureInformation { failure });
+        self.t_ms += 40;
+        self.push(RrcMessage::Reconfiguration(ReconfigBody {
+            scg_release: true,
+            ..Default::default()
+        }));
+        self.t_ms += 15;
+        self.push(RrcMessage::ReconfigurationComplete);
+        self
+    }
+
+    /// LTE handover; `keep_scg` carries the current PSCell along (the
+    /// SCG-preserving shape), `fails` replaces the completion with a
+    /// handover-failure re-establishment onto `reest_on`.
+    pub fn handover(
+        mut self,
+        target: CellId,
+        keep_scg: Option<CellId>,
+        fails: Option<CellId>,
+    ) -> Self {
+        self.push(RrcMessage::Reconfiguration(ReconfigBody {
+            mobility_target: Some(target),
+            sp_cell: keep_scg,
+            ..Default::default()
+        }));
+        match fails {
+            None => {
+                self.t_ms += 15;
+                self.push(RrcMessage::ReconfigurationComplete);
+                self.context = Some(target);
+            }
+            Some(reest_on) => {
+                self.t_ms += 300;
+                self.push(RrcMessage::ReestablishmentRequest {
+                    cause: ReestablishmentCause::HandoverFailure,
+                });
+                self.t_ms += 100;
+                self.context = Some(reest_on);
+                self.push(RrcMessage::ReestablishmentComplete { cell: reest_on });
+            }
+        }
+        self
+    }
+
+    /// Radio link failure: re-establishment with `otherFailure` onto
+    /// `reest_on`.
+    pub fn rlf(mut self, reest_on: CellId) -> Self {
+        self.push(RrcMessage::ReestablishmentRequest {
+            cause: ReestablishmentCause::OtherFailure,
+        });
+        self.t_ms += 100;
+        self.context = Some(reest_on);
+        self.push(RrcMessage::ReestablishmentComplete { cell: reest_on });
+        self
+    }
+
+    /// A throughput sample.
+    pub fn throughput(mut self, mbps: f64) -> Self {
+        self.events.push(TraceEvent::Throughput { t: Timestamp(self.t_ms), mbps });
+        self
+    }
+
+    /// Finishes the script, returning the time-ordered events.
+    pub fn build(mut self) -> Vec<TraceEvent> {
+        self.events.sort_by_key(|e| e.t());
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoff_rrc::ids::Pci;
+
+    fn nr(pci: u16, arfcn: u32) -> CellId {
+        CellId::nr(Pci(pci), arfcn)
+    }
+    fn lte(pci: u16, arfcn: u32) -> CellId {
+        CellId::lte(Pci(pci), arfcn)
+    }
+
+    #[test]
+    fn scripted_s1e3_loop_is_detected() {
+        let mut b = TraceBuilder::new();
+        for k in 0..3u64 {
+            b = b
+                .at(k * 40_000)
+                .establish(nr(393, 521310))
+                .after(3000)
+                .add_scells(&[nr(273, 387410), nr(273, 398410), nr(393, 501390)])
+                .after(2000)
+                .scell_mod(1, nr(371, 387410), true);
+        }
+        let events = b.build();
+        let analysis = onoff_detect::analyze_trace(&events);
+        assert!(analysis.has_loop());
+        assert_eq!(
+            analysis.dominant_loop_type(),
+            Some(onoff_detect::LoopType::S1E3)
+        );
+        // Scripted traces survive the text codec too.
+        let text = onoff_nsglog::emit(&events);
+        assert_eq!(onoff_nsglog::parse_str(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn scripted_nsa_flip_flop() {
+        let mut b = TraceBuilder::new().establish(lte(380, 5145)).after(500).scg_add(
+            nr(53, 632736),
+            Some(nr(53, 658080)),
+        );
+        for _ in 0..2 {
+            b = b
+                .after(20_000)
+                .handover(lte(380, 5815), None, None)
+                .after(1_000)
+                .handover(lte(380, 5145), None, None)
+                .after(500)
+                .scg_add(nr(53, 632736), Some(nr(53, 658080)));
+        }
+        let analysis = onoff_detect::analyze_trace(&b.build());
+        assert!(analysis.has_loop());
+        assert_eq!(
+            analysis.dominant_loop_type(),
+            Some(onoff_detect::LoopType::N2E1)
+        );
+    }
+
+    #[test]
+    fn scripted_scg_failure_classifies_n2e2() {
+        let events = TraceBuilder::new()
+            .establish(lte(62, 1075))
+            .after(500)
+            .scg_add(nr(188, 648672), None)
+            .after(20_000)
+            .scg_add(nr(393, 648672), None) // PSCell change…
+            .after(300)
+            .scg_failure(ScgFailureType::RandomAccessProblem) // …fails
+            .build();
+        let analysis = onoff_detect::analyze_trace(&events);
+        let kinds: Vec<_> =
+            analysis.off_transitions.iter().map(|t| t.loop_type).collect();
+        assert_eq!(kinds, vec![onoff_detect::LoopType::N2E2]);
+    }
+
+    #[test]
+    fn handover_failure_classifies_n1e2() {
+        let events = TraceBuilder::new()
+            .establish(lte(97, 5815))
+            .after(500)
+            .scg_add(nr(53, 632736), None)
+            .after(10_000)
+            .handover(lte(97, 5145), None, Some(lte(310, 66486)))
+            .build();
+        let analysis = onoff_detect::analyze_trace(&events);
+        assert!(analysis
+            .off_transitions
+            .iter()
+            .any(|t| t.loop_type == onoff_detect::LoopType::N1E2));
+    }
+
+    #[test]
+    fn rlf_classifies_n1e1() {
+        let events = TraceBuilder::new()
+            .establish(lte(238, 5145))
+            .after(500)
+            .scg_add(nr(66, 632736), None)
+            .after(15_000)
+            .rlf(lte(238, 5815))
+            .build();
+        let analysis = onoff_detect::analyze_trace(&events);
+        assert!(analysis
+            .off_transitions
+            .iter()
+            .any(|t| t.loop_type == onoff_detect::LoopType::N1E1));
+    }
+
+    #[test]
+    fn time_control() {
+        let events = TraceBuilder::new()
+            .at(5_000)
+            .establish(nr(1, 521310))
+            .after(1_000)
+            .throughput(123.0)
+            .build();
+        assert_eq!(events[0].t().millis(), 5_000);
+        assert_eq!(events.last().unwrap().t().millis(), 6_150);
+    }
+}

@@ -1,0 +1,162 @@
+//! Download-throughput model.
+//!
+//! The paper measures bulk-download speed with tcpdump; we model achievable
+//! downlink rate as `Σ_serving-cells bandwidth × spectral-efficiency ×
+//! operator-load × link-quality`, with a small multiplicative jitter. The
+//! operator load factors are calibrated against Fig. 11a's medians
+//! (OP_T ≈ 186 Mbps, OP_A ≈ 25 Mbps, OP_V ≈ 97 Mbps); IDLE carries zero.
+
+use onoff_policy::Operator;
+use onoff_radio::noise::{gaussian_at, hash_words};
+use onoff_radio::{Point, RadioEnvironment};
+use onoff_rrc::ids::Rat;
+use onoff_rrc::serving::ServingCellSet;
+
+/// Spectral efficiency, bps/Hz, including MIMO and coding headroom.
+fn efficiency(rat: Rat) -> f64 {
+    match rat {
+        Rat::Nr => 1.9,
+        Rat::Lte => 1.1,
+    }
+}
+
+/// Fraction of a carrier's capacity available to our UE (cell load,
+/// scheduling share, backhaul) — the calibration knob per operator/RAT.
+fn load_factor(op: Operator, rat: Rat) -> f64 {
+    match (op, rat) {
+        (Operator::OpT, Rat::Nr) => 0.60,
+        (Operator::OpT, Rat::Lte) => 0.40,
+        (Operator::OpA, Rat::Nr) => 0.30,
+        (Operator::OpA, Rat::Lte) => 0.80,
+        (Operator::OpV, Rat::Nr) => 0.65,
+        (Operator::OpV, Rat::Lte) => 0.80,
+    }
+}
+
+/// Link quality in [0, 1] from RSRP: ≈1 above −85 dBm, 0.5 at −100 dBm,
+/// collapsing below −115 dBm.
+fn quality(rsrp_dbm: f64) -> f64 {
+    1.0 / (1.0 + (-(rsrp_dbm + 100.0) / 6.0).exp())
+}
+
+/// Instantaneous downlink capacity of the serving set, Mbps (before jitter).
+pub fn capacity_mbps(
+    env: &RadioEnvironment,
+    op: Operator,
+    cs: &ServingCellSet,
+    p: Point,
+    t_ms: u64,
+) -> f64 {
+    let mut mbps = 0.0;
+    for cell in cs.cells() {
+        let Some(idx) = env.find(cell) else { continue };
+        let site = &env.cells[idx];
+        let rsrp = env.rsrp_dbm(site, p, t_ms);
+        mbps += site.bandwidth_mhz * efficiency(cell.rat) * load_factor(op, cell.rat)
+            * quality(rsrp);
+    }
+    mbps
+}
+
+/// A throughput sample with deterministic ±10 % jitter (hash-keyed on the
+/// seed and sample time).
+pub fn sample_mbps(
+    env: &RadioEnvironment,
+    op: Operator,
+    cs: &ServingCellSet,
+    p: Point,
+    t_ms: u64,
+    seed: u64,
+) -> f64 {
+    let cap = capacity_mbps(env, op, cs, p, t_ms);
+    if cap <= 0.0 {
+        return 0.0;
+    }
+    let jitter = 1.0 + 0.1 * gaussian_at(&[hash_words(&[seed, 0x7410]), t_ms / 1000]);
+    (cap * jitter.clamp(0.5, 1.5)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoff_radio::CellSite;
+    use onoff_rrc::ids::{CellId, Pci};
+
+    fn env() -> RadioEnvironment {
+        RadioEnvironment::new(
+            1,
+            vec![
+                CellSite::macro_site(CellId::nr(Pci(393), 521310), Point::new(0.0, 0.0), 0.0, 90.0),
+                CellSite::macro_site(CellId::nr(Pci(393), 501390), Point::new(0.0, 0.0), 0.0, 100.0),
+                CellSite::macro_site(CellId::lte(Pci(238), 5145), Point::new(0.0, 0.0), 0.0, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn idle_is_zero() {
+        let e = env();
+        let cs = ServingCellSet::idle();
+        assert_eq!(capacity_mbps(&e, Operator::OpT, &cs, Point::new(100.0, 0.0), 0), 0.0);
+        assert_eq!(sample_mbps(&e, Operator::OpT, &cs, Point::new(100.0, 0.0), 0, 7), 0.0);
+    }
+
+    #[test]
+    fn sa_with_scells_beats_pcell_only() {
+        let e = env();
+        let p = Point::new(200.0, 0.0);
+        let pcell_only = ServingCellSet::with_pcell(CellId::nr(Pci(393), 521310));
+        let mut with_scell = pcell_only.clone();
+        with_scell.add_mcg_scell(1, CellId::nr(Pci(393), 501390));
+        let a = capacity_mbps(&e, Operator::OpT, &pcell_only, p, 0);
+        let b = capacity_mbps(&e, Operator::OpT, &with_scell, p, 0);
+        assert!(b > a * 1.5, "{b} should be well above {a}");
+    }
+
+    #[test]
+    fn op_t_on_speed_in_paper_ballpark() {
+        // A good OP_T SA set (two n41 carriers) at 200 m on boresight should
+        // land within a factor of two of the paper's 186 Mbps median.
+        let e = env();
+        let p = Point::new(200.0, 0.0);
+        let mut cs = ServingCellSet::with_pcell(CellId::nr(Pci(393), 521310));
+        cs.add_mcg_scell(1, CellId::nr(Pci(393), 501390));
+        let mbps = capacity_mbps(&e, Operator::OpT, &cs, p, 0);
+        assert!((100.0..350.0).contains(&mbps), "got {mbps}");
+    }
+
+    #[test]
+    fn lte_only_is_much_slower() {
+        let e = env();
+        let p = Point::new(200.0, 0.0);
+        let lte = ServingCellSet::with_pcell(CellId::lte(Pci(238), 5145));
+        let mbps = capacity_mbps(&e, Operator::OpA, &lte, p, 0);
+        assert!((1.0..25.0).contains(&mbps), "got {mbps}");
+    }
+
+    #[test]
+    fn unknown_cells_contribute_nothing() {
+        let e = env();
+        let cs = ServingCellSet::with_pcell(CellId::nr(Pci(999), 999_999));
+        assert_eq!(capacity_mbps(&e, Operator::OpT, &cs, Point::new(0.0, 0.0), 0), 0.0);
+    }
+
+    #[test]
+    fn quality_collapses_at_cell_edge() {
+        assert!(quality(-80.0) > 0.9);
+        assert!((quality(-100.0) - 0.5).abs() < 1e-9);
+        assert!(quality(-120.0) < 0.05);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let e = env();
+        let p = Point::new(200.0, 0.0);
+        let cs = ServingCellSet::with_pcell(CellId::nr(Pci(393), 521310));
+        let a = sample_mbps(&e, Operator::OpT, &cs, p, 5000, 42);
+        let b = sample_mbps(&e, Operator::OpT, &cs, p, 5000, 42);
+        assert_eq!(a, b);
+        let cap = capacity_mbps(&e, Operator::OpT, &cs, p, 5000);
+        assert!(a >= cap * 0.5 && a <= cap * 1.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests over the simulator: for arbitrary (bounded) deployments
+//! and seeds, traces are well-formed — time-ordered, codec-round-trippable,
+//! with sane throughput and truth timestamps inside the run.
+
+use onoff_policy::{op_a_policy, op_t_policy, op_v_policy, PhoneModel};
+use onoff_radio::{CellSite, Point, RadioEnvironment};
+use onoff_rrc::ids::{CellId, Pci, Rat};
+use onoff_rrc::trace::TraceEvent;
+use onoff_sim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+/// A small random deployment: 1–3 towers, each with an anchor LTE cell,
+/// one or two NR cells, and (for OP_T shapes) NR wide carriers.
+fn arb_env() -> impl Strategy<Value = RadioEnvironment> {
+    (
+        1u64..1000,
+        prop::collection::vec((-800.0f64..800.0, -800.0f64..800.0, -5.0f64..20.0), 1..4),
+    )
+        .prop_map(|(seed, towers)| {
+            let mut cells = Vec::new();
+            for (i, (x, y, tx)) in towers.iter().enumerate() {
+                let pci = (100 + i * 37) as u16;
+                let tower = Point::new(*x, *y);
+                let mk = |cell: CellId, bw: f64, tx: f64| {
+                    let mut s = CellSite::macro_site(cell, tower, 0.7 * i as f64, bw);
+                    s.tx_power_dbm = tx;
+                    s
+                };
+                cells.push(mk(CellId::lte(Pci(pci), 5145), 10.0, *tx));
+                cells.push(mk(CellId::nr(Pci(pci), 521310), 90.0, *tx));
+                cells.push(mk(CellId::nr(Pci(pci), 387410), 10.0, *tx - 4.0));
+                cells.push(mk(CellId::nr(Pci(pci), 632736), 40.0, *tx));
+            }
+            RadioEnvironment::new(seed, cells)
+        })
+}
+
+fn check_wellformed(events: &[TraceEvent], duration_ms: u64) -> Result<(), TestCaseError> {
+    // Time-ordered and within the run.
+    let mut last = 0;
+    for e in events {
+        let t = e.t().millis();
+        prop_assert!(t >= last, "events out of order");
+        prop_assert!(t <= duration_ms + 2_000, "event past run end: {t}");
+        last = t;
+        if let TraceEvent::Throughput { mbps, .. } = e {
+            prop_assert!(mbps.is_finite() && *mbps >= 0.0 && *mbps < 5_000.0);
+        }
+    }
+    // Codec round-trip.
+    let text = onoff_nsglog::emit(events);
+    let back = onoff_nsglog::parse_str(&text)
+        .map_err(|e| TestCaseError::fail(format!("parse: {e}")))?;
+    prop_assert_eq!(&back, events);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sa_runs_are_wellformed(env in arb_env(), seed in 0u64..500,
+                              x in -300.0f64..300.0, y in -300.0f64..300.0) {
+        let mut cfg = SimConfig::stationary(
+            op_t_policy(), PhoneModel::OnePlus12R, env, Point::new(x, y), seed,
+        );
+        cfg.duration_ms = 60_000;
+        cfg.meas_period_ms = 1000;
+        let out = simulate(&cfg);
+        check_wellformed(&out.events, cfg.duration_ms)?;
+        for g in &out.truth {
+            prop_assert!(g.t.millis() <= cfg.duration_ms + 2_000);
+        }
+        // Determinism.
+        prop_assert_eq!(simulate(&cfg), out);
+    }
+
+    #[test]
+    fn nsa_runs_are_wellformed(env in arb_env(), seed in 0u64..500, op_a in any::<bool>(),
+                               x in -300.0f64..300.0, y in -300.0f64..300.0) {
+        let policy = if op_a { op_a_policy() } else { op_v_policy() };
+        let mut cfg = SimConfig::stationary(
+            policy, PhoneModel::OnePlus12R, env, Point::new(x, y), seed,
+        );
+        cfg.duration_ms = 60_000;
+        cfg.meas_period_ms = 1000;
+        let out = simulate(&cfg);
+        check_wellformed(&out.events, cfg.duration_ms)?;
+        // The analyzer never panics on simulator output.
+        let analysis = onoff_detect::analyze_trace(&out.events);
+        prop_assert!(analysis.metrics.on_ms + analysis.metrics.off_ms <= cfg.duration_ms + 2_000);
+    }
+
+    #[test]
+    fn devices_never_crash_the_engines(env in arb_env(), model_idx in 0usize..6) {
+        let model = PhoneModel::ALL[model_idx];
+        for policy in [op_t_policy(), op_a_policy(), op_v_policy()] {
+            let mut cfg = SimConfig::stationary(
+                policy, model, env.clone(), Point::new(0.0, 0.0), 3,
+            );
+            cfg.duration_ms = 30_000;
+            cfg.meas_period_ms = 1000;
+            let out = simulate(&cfg);
+            check_wellformed(&out.events, cfg.duration_ms)?;
+        }
+    }
+}

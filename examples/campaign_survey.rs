@@ -1,0 +1,69 @@
+//! Campaign survey: run a reduced version of the paper's eleven-area
+//! measurement campaign and print the reality-check summary (Figs. 6 and 9
+//! in miniature).
+//!
+//! ```text
+//! cargo run --release --example campaign_survey
+//! ```
+
+use onoff_analysis::likelihood_quartile_shares;
+use onoff_campaign::{run_campaign, CampaignConfig};
+use onoff_policy::{Operator, PhoneModel};
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+fn main() {
+    let cfg = CampaignConfig {
+        seed: 0x050FF,
+        runs_a1: 4,
+        runs_other: 3,
+        device: PhoneModel::OnePlus12R,
+        duration_ms: 180_000,
+    };
+    println!("running the campaign (11 areas, 3 operators, reduced runs) …");
+    let ds = run_campaign(&cfg);
+
+    println!("\nper-operator loop ratios (Fig. 6):");
+    for op in Operator::ALL {
+        let r = ds.loop_ratio(op);
+        println!(
+            "  {}: no-loop {}, persistent {}, semi-persistent {}",
+            op,
+            pct(r.no_loop),
+            pct(r.persistent),
+            pct(r.semi_persistent)
+        );
+    }
+
+    println!("\nper-area likelihood quartiles (Fig. 9b):");
+    for (name, op, _) in &ds.areas {
+        let shares = likelihood_quartile_shares(&ds.location_likelihoods(name));
+        println!(
+            "  {name:>4} ({op}): >75% {}  >50% {}  >25% {}  >0% {}  =0% {}",
+            pct(shares[0]),
+            pct(shares[1]),
+            pct(shares[2]),
+            pct(shares[3]),
+            pct(shares[4]),
+        );
+    }
+
+    println!("\nloop sub-type breakdown per operator (Fig. 16):");
+    for op in Operator::ALL {
+        let b = ds.subtype_breakdown_op(op);
+        let total: usize = b.values().sum();
+        if total == 0 {
+            println!("  {op}: no loops");
+            continue;
+        }
+        let parts: Vec<String> =
+            b.iter().map(|(t, n)| format!("{t} {}", pct(*n as f64 / total as f64))).collect();
+        println!("  {op}: {}", parts.join(", "));
+    }
+
+    let total_runs = ds.records.len();
+    let total_cycles: usize = ds.records.iter().map(|r| r.cycles.len()).sum();
+    println!("\n{total_runs} runs, {total_cycles} ON-OFF cycles observed");
+}

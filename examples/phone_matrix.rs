@@ -1,0 +1,57 @@
+//! Cross-device experiments (§4.4 / Fig. 12): run the same stationary test
+//! with all six phone models on each operator and print the loop matrix —
+//! NSA loops on (almost) every model, SA loops only on the OnePlus 12R.
+//!
+//! ```text
+//! cargo run --release --example phone_matrix
+//! ```
+
+use onoff_campaign::areas::area_by_name;
+use onoff_campaign::run_location;
+use onoff_policy::PhoneModel;
+use onoff_radio::noise::hash_words;
+
+fn main() {
+    const RUNS: usize = 3;
+    for (area_name, label) in
+        [("A1", "OP_T (5G SA)"), ("A6", "OP_A (5G NSA)"), ("A9", "OP_V (5G NSA)")]
+    {
+        let area = area_by_name(area_name, 0x050FF).expect("area exists");
+        println!("\n{label} — area {area_name}, {RUNS} runs × 3 locations per model:");
+        println!("{:<16} {:>10} {:>14} {:>16}", "model", "loop runs", "median ON", "5G service");
+        for model in PhoneModel::ALL {
+            let mut loops = 0;
+            let mut total = 0;
+            let mut on_speeds: Vec<f64> = Vec::new();
+            let mut saw_5g = false;
+            for loc in 0..3.min(area.locations.len()) {
+                for r in 0..RUNS {
+                    let seed = hash_words(&[55, model as u64, loc as u64, r as u64]);
+                    let (rec, ..) = run_location(&area, loc, model, seed, 180_000);
+                    total += 1;
+                    if rec.has_loop {
+                        loops += 1;
+                    }
+                    if let Some(v) = rec.median_on_mbps {
+                        on_speeds.push(v);
+                        saw_5g = true;
+                    }
+                }
+            }
+            let on = onoff_analysis::median(&on_speeds)
+                .map_or("—".to_string(), |v| format!("{v:.0} Mbps"));
+            println!(
+                "{:<16} {:>7}/{:<2} {:>14} {:>16}",
+                model.profile().name,
+                loops,
+                total,
+                on,
+                if saw_5g { "5G used" } else { "4G only" }
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (F5/F6): every model loops over NSA except the OnePlus 10 Pro \
+         on OP_A (4G-only); over SA only the OnePlus 12R loops."
+    );
+}

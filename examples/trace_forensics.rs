@@ -1,0 +1,170 @@
+//! Trace forensics: decode an NSG-style log and read the RRC procedure
+//! timeline the way the paper's Appendix B/C walks its instances.
+//!
+//! Generates one example trace per loop family (S1 on OP_T, N2E1 on OP_A,
+//! N2E2 on OP_V), prints the annotated procedure timeline and the
+//! classified OFF transitions with their problematic cells.
+//!
+//! ```text
+//! cargo run --release --example trace_forensics
+//! ```
+
+use fiveg_onoff::prelude::*;
+use onoff_radio::CellSite;
+use onoff_rrc::proc::{ProcedureKind, ProcedureOutcome, ProcedureTracker};
+use onoff_rrc::trace::TraceEvent;
+
+fn site(cell: CellId, x: f64, y: f64, bw: f64, tx: f64) -> CellSite {
+    let mut s = CellSite::macro_site(
+        cell,
+        Point::new(x, y),
+        Point::new(x, y).bearing_to(Point::new(0.0, 0.0)),
+        bw,
+    );
+    s.tx_power_dbm = tx;
+    s.shadow_sigma_db = 2.0;
+    s
+}
+
+fn nr(pci: u16, arfcn: u32) -> CellId {
+    CellId::nr(Pci(pci), arfcn)
+}
+fn lte(pci: u16, arfcn: u32) -> CellId {
+    CellId::lte(Pci(pci), arfcn)
+}
+
+fn forensics(title: &str, cfg: &SimConfig, window_s: u64) {
+    println!("\n=== {title} ===");
+    let out = simulate(cfg);
+    let text = out.to_log();
+    let events = parse_str(&text).expect("round-trip");
+
+    // Procedure timeline of the first window (Fig. 3b style).
+    let head: Vec<TraceEvent> = events
+        .iter()
+        .filter(|e| {
+            e.t().millis() < window_s * 1000 && !matches!(e, TraceEvent::Throughput { .. })
+        })
+        .cloned()
+        .collect();
+    for p in ProcedureTracker::track(&head) {
+        if matches!(p.kind, ProcedureKind::MeasurementReport) {
+            continue;
+        }
+        let what = match &p.kind {
+            ProcedureKind::Establishment => "connection establishment".to_string(),
+            ProcedureKind::Reconfiguration(b) if b.is_scell_modification() => {
+                format!(
+                    "SCell modification → {}",
+                    b.scell_to_add_mod.first().map(|a| a.cell.to_string()).unwrap_or_default()
+                )
+            }
+            ProcedureKind::Reconfiguration(b) if b.scg_release => "SCG release".into(),
+            ProcedureKind::Reconfiguration(b) if b.mobility_target.is_some() => format!(
+                "handover → {}",
+                b.mobility_target.map(|c| c.to_string()).unwrap_or_default()
+            ),
+            ProcedureKind::Reconfiguration(b) if b.sp_cell.is_some() => format!(
+                "SCG (PSCell) configuration → {}",
+                b.sp_cell.map(|c| c.to_string()).unwrap_or_default()
+            ),
+            ProcedureKind::Reconfiguration(b) if !b.scell_to_add_mod.is_empty() => {
+                format!("add {} SCell(s)", b.scell_to_add_mod.len())
+            }
+            ProcedureKind::Reconfiguration(_) => "measurement configuration".into(),
+            ProcedureKind::Reestablishment => "re-establishment".into(),
+            ProcedureKind::ScgFailureInformation => "SCG failure information".into(),
+            ProcedureKind::Release => "release".into(),
+            ProcedureKind::MeasurementReport => unreachable!(),
+        };
+        let mark = match p.outcome {
+            ProcedureOutcome::Success => "",
+            ProcedureOutcome::CompletedThenFailed => "   ← completes, then EVERYTHING COLLAPSES",
+            ProcedureOutcome::Failed => "   ← fails",
+            ProcedureOutcome::Pending => "   (pending)",
+        };
+        println!("  t = {:>6.2}s  {what}{mark}", p.start.secs_f64());
+    }
+
+    // Classified OFF transitions.
+    let analysis = analyze_trace(&events);
+    println!("  --- classified 5G OFF transitions ---");
+    for tr in analysis.off_transitions.iter().take(8) {
+        println!(
+            "  t = {:>6.2}s  {}  problematic cell: {}",
+            tr.t.secs_f64(),
+            tr.loop_type,
+            tr.problem_cell.map(|c| c.to_string()).unwrap_or_else(|| "?".into())
+        );
+    }
+    if let Some(lp) = analysis.loops.first() {
+        println!(
+            "  loop: {:?}, {} repetitions, {} cycles",
+            lp.persistence,
+            lp.repetitions,
+            lp.cycles.len()
+        );
+    }
+}
+
+fn main() {
+    // S1E3 on OP_T: the P16 recipe (comparable co-channel n25 cells).
+    let s1 = RadioEnvironment::new(
+        7,
+        vec![
+            site(nr(393, 521310), -250.0, 80.0, 90.0, 18.0),
+            site(nr(393, 501390), -250.0, 80.0, 100.0, 18.0),
+            site(nr(273, 398410), -250.0, 80.0, 10.0, 16.0),
+            site(nr(273, 387410), -250.0, 80.0, 10.0, 16.0),
+            site(nr(371, 387410), 240.0, -100.0, 10.0, 20.0),
+        ],
+    );
+    forensics(
+        "S1E3: 5G SA ↔ IDLE via SCell-modification failure (OP_T)",
+        &SimConfig::stationary(op_t_policy(), PhoneModel::OnePlus12R, s1, Point::new(0.0, 0.0), 11),
+        60,
+    );
+
+    // N2E1 on OP_A: the 5815/5145 flip-flop.
+    let n2e1 = RadioEnvironment::new(
+        21,
+        vec![
+            site(lte(380, 5815), -300.0, 0.0, 10.0, 19.0),
+            site(lte(380, 5145), -300.0, 0.0, 10.0, 17.0),
+            site(nr(53, 632736), -300.0, 0.0, 40.0, 22.0),
+            site(nr(53, 658080), -300.0, 0.0, 40.0, 22.0),
+        ],
+    );
+    forensics(
+        "N2E1: 5G NSA ↔ 4G via the 5G-disabled channel 5815 (OP_A)",
+        &SimConfig::stationary(
+            op_a_policy(),
+            PhoneModel::OnePlus12R,
+            n2e1,
+            Point::new(0.0, 0.0),
+            3,
+        ),
+        90,
+    );
+
+    // N2E2 on OP_V: SCG failure handling with the 30 s recovery cadence.
+    let n2e2 = RadioEnvironment::new(
+        23,
+        vec![
+            site(lte(62, 1075), -200.0, 0.0, 20.0, 19.0),
+            site(nr(188, 648672), -2900.0, 0.0, 60.0, 21.0),
+            site(nr(393, 648672), 2600.0, 100.0, 60.0, 21.0),
+        ],
+    );
+    forensics(
+        "N2E2: SCG failure handling with 30 s recovery gating (OP_V)",
+        &SimConfig::stationary(
+            op_v_policy(),
+            PhoneModel::OnePlus12R,
+            n2e2,
+            Point::new(0.0, 0.0),
+            3,
+        ),
+        120,
+    );
+}

@@ -1,0 +1,326 @@
+//! Appendix-instance tests: replay the paper's Figs. 24–33 storylines as
+//! hand-written NSG-style logs, run the full pipeline, and assert the
+//! message-level reading the paper gives for each instance.
+
+use fiveg_onoff::prelude::*;
+use onoff_detect::RunAnalysis;
+
+fn analyze(log: &str) -> RunAnalysis {
+    let events = parse_str(log).expect("appendix log parses");
+    analyze_trace(&events)
+}
+
+/// Figs. 24–26: the full worked example — establishment, three SCell
+/// additions, one successful intra-channel modification (501390), one
+/// failing modification (387410) ending in the MM exception.
+#[test]
+fn fig24_to_26_worked_example() {
+    let log = "\
+19:43:31.635 NR5G RRC OTA Packet -- BCCH_BCH / MIB
+  Physical Cell ID = 393, NR Cell Global ID = 0, Freq = 521310
+19:43:31.690 NR5G RRC OTA Packet -- BCCH_DL_SCH / SystemInformationBlockType1
+  Physical Cell ID = 393, NR Cell Global ID = 0, Freq = 521310
+  q-RxLevMin = -1080
+19:43:31.708 NR5G RRC OTA Packet -- UL_CCCH / RRC Setup Req
+  Physical Cell ID = 393, NR Cell Global ID = 85575131757084985, Freq = 521310
+19:43:31.827 NR5G RRC OTA Packet -- DL_CCCH / RRC Setup
+19:43:31.834 NR5G RRC OTA Packet -- UL_DCCH / RRCSetup Complete
+19:43:34.361 NR5G RRC OTA Packet -- DL_DCCH / RRCReconfiguration
+  Physical Cell ID = 393, Freq = 521310
+  sCellToAddModList {
+    {sCellIndex 1, physCellId 273, absoluteFrequencySSB 387410}
+    {sCellIndex 2, physCellId 273, absoluteFrequencySSB 398410}
+    {sCellIndex 3, physCellId 393, absoluteFrequencySSB 501390}
+  }
+19:43:34.376 NR5G RRC OTA Packet -- UL_DCCH / RRCReconfiguration Complete
+19:43:34.977 NR5G RRC OTA Packet -- DL_DCCH / RRCReconfiguration
+  Physical Cell ID = 393, Freq = 521310
+  sCellToAddModList {
+    {sCellIndex 4, physCellId 104, absoluteFrequencySSB 501390}
+  }
+  sCellToReleaseList {3}
+19:43:34.992 NR5G RRC OTA Packet -- UL_DCCH / RRCReconfiguration Complete
+19:43:36.976 NR5G RRC OTA Packet -- DL_DCCH / RRCReconfiguration
+  Physical Cell ID = 393, Freq = 521310
+  sCellToAddModList {
+    {sCellIndex 3, physCellId 371, absoluteFrequencySSB 387410}
+  }
+  sCellToReleaseList {1}
+19:43:36.991 NR5G RRC OTA Packet -- UL_DCCH / RRCReconfiguration Complete
+19:43:36.996 MM5G State = DEREGISTERED
+  Mm5g Deregistered Substate = NO_CELL_AVAILABLE
+19:43:47.571 NR5G RRC OTA Packet -- UL_CCCH / RRC Setup Req
+  Physical Cell ID = 393, NR Cell Global ID = 85575131757084985, Freq = 521310
+19:43:47.690 NR5G RRC OTA Packet -- DL_CCCH / RRC Setup
+19:43:47.697 NR5G RRC OTA Packet -- UL_DCCH / RRCSetup Complete
+";
+    let analysis = analyze(log);
+    let tl = &analysis.timeline;
+    // CS sequence: IDLE → SA1 → SA2 → SA3 → SA4 → IDLE → SA1.
+    let seq: Vec<String> = tl.samples.iter().map(|s| tl.sets[s.id].to_string()).collect();
+    assert_eq!(seq[0], "{}");
+    assert_eq!(seq[1], "{393@521310*}");
+    assert!(seq[2].contains("273@387410") && seq[2].contains("393@501390"));
+    assert!(seq[3].contains("104@501390"), "{}", seq[3]);
+    assert!(seq[4].contains("371@387410"), "{}", seq[4]);
+    assert_eq!(seq[5], "{}");
+    assert_eq!(seq[6], "{393@521310*}"); // re-established with the same PCell
+    // The single OFF transition is S1E3 on the 387410 modification.
+    assert_eq!(analysis.off_transitions.len(), 1);
+    let tr = &analysis.off_transitions[0];
+    assert_eq!(tr.loop_type, LoopType::S1E3);
+    assert_eq!(tr.problem_cell.map(|c| c.to_string()).as_deref(), Some("371@387410"));
+    // IDLE gap is ~10.6 s, as the paper notes ("about 11 seconds").
+    let off_ms = tl.samples[6].t.since(tl.samples[5].t);
+    assert!((10_000..12_000).contains(&off_ms), "{off_ms}");
+}
+
+/// Fig. 27: S1E1 — serving SCell 309@387410 never appears in the reports;
+/// all serving cells are eventually released.
+#[test]
+fn fig27_s1e1_instance() {
+    let mut log = String::from(
+        "\
+17:47:47.741 NR5G RRC OTA Packet -- UL_CCCH / RRC Setup Req
+  Physical Cell ID = 540, NR Cell Global ID = 9, Freq = 501390
+17:47:47.850 NR5G RRC OTA Packet -- UL_DCCH / RRCSetup Complete
+17:47:50.256 NR5G RRC OTA Packet -- DL_DCCH / RRCReconfiguration
+  Physical Cell ID = 540, Freq = 501390
+  sCellToAddModList {
+    {sCellIndex 1, physCellId 309, absoluteFrequencySSB 387410}
+    {sCellIndex 2, physCellId 309, absoluteFrequencySSB 398410}
+    {sCellIndex 3, physCellId 540, absoluteFrequencySSB 521310}
+  }
+17:47:50.270 NR5G RRC OTA Packet -- UL_DCCH / RRCReconfiguration Complete
+",
+    );
+    // Reports flow for ~7 s; 309@387410 is never in them (Fig. 27's "45
+    // times ... never in the reported measurements").
+    for k in 0..8 {
+        log.push_str(&format!(
+            "17:47:5{}.313 NR5G RRC OTA Packet -- UL_DCCH / MeasurementReport\n  \
+             measResults {{\n    540@501390: -80.0dBm -10.5dB\n    380@398410: -78.0dBm -11.5dB\n    \
+             540@521310: -85.5dBm -10.5dB\n    309@398410: -83.0dBm -15.5dB\n  }}\n",
+            k
+        ));
+    }
+    log.push_str(
+        "17:47:57.380 NR5G RRC OTA Packet -- DL_DCCH / RRC Release\n  \
+         Physical Cell ID = 540, Freq = 501390\n",
+    );
+    let analysis = analyze(&log);
+    assert_eq!(analysis.off_transitions.len(), 1);
+    let tr = &analysis.off_transitions[0];
+    assert_eq!(tr.loop_type, LoopType::S1E1);
+    assert_eq!(tr.problem_cell.map(|c| c.to_string()).as_deref(), Some("309@387410"));
+}
+
+/// Fig. 28: S1E2 — serving SCell 390@387410 reports −108.5 dBm / −25.5 dB;
+/// no command arrives; everything is released ~9.5 s later.
+#[test]
+fn fig28_s1e2_instance() {
+    let mut log = String::from(
+        "\
+02:27:24.506 NR5G RRC OTA Packet -- UL_CCCH / RRC Setup Req
+  Physical Cell ID = 684, NR Cell Global ID = 11, Freq = 501390
+02:27:24.610 NR5G RRC OTA Packet -- UL_DCCH / RRCSetup Complete
+02:27:24.895 NR5G RRC OTA Packet -- DL_DCCH / RRCReconfiguration
+  Physical Cell ID = 684, Freq = 501390
+  sCellToAddModList {
+    {sCellIndex 1, physCellId 390, absoluteFrequencySSB 387410}
+    {sCellIndex 2, physCellId 390, absoluteFrequencySSB 398410}
+    {sCellIndex 3, physCellId 684, absoluteFrequencySSB 521310}
+  }
+02:27:24.910 NR5G RRC OTA Packet -- UL_DCCH / RRCReconfiguration Complete
+",
+    );
+    for k in 0..10 {
+        log.push_str(&format!(
+            "02:27:2{}.983 NR5G RRC OTA Packet -- UL_DCCH / MeasurementReport\n  \
+             measResults {{\n    684@501390: -81.0dBm -10.5dB\n    684@521310: -80.5dBm -10.5dB\n    \
+             390@387410: -108.5dBm -25.5dB\n    390@398410: -91.5dBm -15.0dB\n    \
+             371@387410: -87.5dBm -11.5dB\n  }}\n",
+            (5 + k).min(9)
+        ));
+    }
+    log.push_str(
+        "02:27:34.473 NR5G RRC OTA Packet -- DL_DCCH / RRC Release\n  \
+         Physical Cell ID = 684, Freq = 501390\n",
+    );
+    let analysis = analyze(&log);
+    assert_eq!(analysis.off_transitions.len(), 1);
+    let tr = &analysis.off_transitions[0];
+    assert_eq!(tr.loop_type, LoopType::S1E2);
+    assert_eq!(tr.problem_cell.map(|c| c.to_string()).as_deref(), Some("390@387410"));
+}
+
+/// Fig. 30: N1E1 — RLF on the 4G PCell releases 4G and 5G; re-established
+/// on 238@5815, then 5G is recovered via 5145.
+#[test]
+fn fig30_n1e1_instance() {
+    let log = "\
+18:09:07.797 LTE RRC OTA Packet -- UL_CCCH / RRC Connection Request
+  Physical Cell ID = 238, Cell Global ID = 5, Freq = 5145
+18:09:07.900 LTE RRC OTA Packet -- UL_DCCH / RRC Connection Setup Complete
+18:09:08.100 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration
+  Physical Cell ID = 238, Freq = 5145
+  sCellToAddModList {
+    {sCellIndex 1, physCellId 66, absoluteFrequencySSB 658080}
+  }
+  spCellConfig {physCellId 66, absoluteFrequencySSB 632736}
+18:09:08.115 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete
+18:09:11.303 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration
+  Physical Cell ID = 238, Freq = 5145
+  mobilityControlInfo {physCellId 191, targetFreq 66936}
+  spCellConfig {physCellId 66, absoluteFrequencySSB 632736}
+18:09:11.318 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete
+18:09:33.839 LTE RRC OTA Packet -- UL_CCCH / RRC Connection Reestablishment Request
+  reestablishmentCause = otherFailure
+18:09:33.907 LTE RRC OTA Packet -- DL_DCCH / RRC Connection Reestablishment Complete
+  reestablishmentCell = 238@5815
+18:09:35.383 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration
+  Physical Cell ID = 238, Freq = 5815
+  mobilityControlInfo {physCellId 238, targetFreq 5145}
+18:09:35.398 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete
+18:09:35.600 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration
+  Physical Cell ID = 238, Freq = 5145
+  spCellConfig {physCellId 66, absoluteFrequencySSB 632736}
+18:09:35.615 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete
+";
+    let analysis = analyze(log);
+    // One OFF transition (the RLF), classified N1E1 on the failing PCell.
+    let n1e1: Vec<_> = analysis
+        .off_transitions
+        .iter()
+        .filter(|t| t.loop_type == LoopType::N1E1)
+        .collect();
+    assert_eq!(n1e1.len(), 1, "{:?}", analysis.off_transitions);
+    assert_eq!(n1e1[0].problem_cell.map(|c| c.to_string()).as_deref(), Some("191@66936"));
+    // 5G comes back at the end (NSA state).
+    let last = &analysis.timeline.sets[analysis.timeline.samples.last().unwrap().id];
+    assert_eq!(last.state(), ConnState::Nsa);
+}
+
+/// Fig. 32: N2E1 — the PCell flip-flops between 380@5145 (with SCG) and
+/// 380@5815 (SCG released), a persistent transient-OFF loop.
+#[test]
+fn fig32_n2e1_instance() {
+    let mut log = String::from(
+        "\
+21:39:50.000 LTE RRC OTA Packet -- UL_CCCH / RRC Connection Request
+  Physical Cell ID = 380, Cell Global ID = 7, Freq = 5815
+21:39:50.110 LTE RRC OTA Packet -- UL_DCCH / RRC Connection Setup Complete
+",
+    );
+    // Three flip-flop cycles: 5815 → (report 5G) → 5145+SCG → (A3) → 5815.
+    for k in 0..3u64 {
+        let t0 = 59 + k * 20; // seconds offset within the minute-space below
+        let mm = 39 + (t0 + 1) / 60;
+        let ss = (t0 + 1) % 60;
+        log.push_str(&format!(
+            "21:{mm}:{ss:02}.322 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration\n  \
+             Physical Cell ID = 380, Freq = 5815\n  \
+             mobilityControlInfo {{physCellId 380, targetFreq 5145}}\n"
+        ));
+        log.push_str(&format!(
+            "21:{mm}:{ss:02}.340 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete\n"
+        ));
+        log.push_str(&format!(
+            "21:{mm}:{ss:02}.600 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration\n  \
+             Physical Cell ID = 380, Freq = 5145\n  \
+             sCellToAddModList {{\n    {{sCellIndex 1, physCellId 53, absoluteFrequencySSB 658080}}\n  }}\n  \
+             spCellConfig {{physCellId 53, absoluteFrequencySSB 632736}}\n"
+        ));
+        log.push_str(&format!(
+            "21:{mm}:{ss:02}.620 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete\n"
+        ));
+        let t1 = t0 + 15;
+        let mm = 39 + t1 / 60;
+        let ss = t1 % 60;
+        log.push_str(&format!(
+            "21:{mm}:{ss:02}.291 LTE RRC OTA Packet -- UL_DCCH / MeasurementReport\n  \
+             trigger = A3\n  measResults {{\n    380@5145: -111.0dBm -17.5dB\n    \
+             380@5815: -109.0dBm -15.0dB\n  }}\n"
+        ));
+        log.push_str(&format!(
+            "21:{mm}:{ss:02}.355 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration\n  \
+             Physical Cell ID = 380, Freq = 5145\n  \
+             mobilityControlInfo {{physCellId 380, targetFreq 5815}}\n"
+        ));
+        log.push_str(&format!(
+            "21:{mm}:{ss:02}.370 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete\n"
+        ));
+    }
+    let analysis = analyze(&log);
+    assert!(analysis.has_loop(), "transitions: {:?}", analysis.off_transitions);
+    assert_eq!(analysis.dominant_loop_type(), Some(LoopType::N2E1));
+    let n2e1_count = analysis
+        .off_transitions
+        .iter()
+        .filter(|t| t.loop_type == LoopType::N2E1)
+        .count();
+    assert!(n2e1_count >= 2);
+    // The problematic cell is the 5G-disabled channel's PCell.
+    let tr = analysis.off_transitions.iter().find(|t| t.loop_type == LoopType::N2E1).unwrap();
+    assert_eq!(tr.problem_cell.map(|c| c.to_string()).as_deref(), Some("380@5815"));
+}
+
+/// Fig. 33: N2E2 — an SCG change hits a random-access failure; the network
+/// releases the SCG; ~30 s later measurement resumes and the SCG returns.
+#[test]
+fn fig33_n2e2_instance() {
+    let log = "\
+16:06:32.247 LTE RRC OTA Packet -- UL_CCCH / RRC Connection Request
+  Physical Cell ID = 62, Cell Global ID = 3, Freq = 1075
+16:06:32.350 LTE RRC OTA Packet -- UL_DCCH / RRC Connection Setup Complete
+16:06:32.500 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration
+  Physical Cell ID = 62, Freq = 1075
+  sCellToAddModList {
+    {sCellIndex 1, physCellId 188, absoluteFrequencySSB 653952}
+  }
+  spCellConfig {physCellId 188, absoluteFrequencySSB 648672}
+16:06:32.515 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete
+16:06:55.610 LTE RRC OTA Packet -- UL_DCCH / MeasurementReport
+  trigger = A3
+  measResults {
+    188@648672: -115.5dBm -17.5dB
+    393@648672: -110.0dBm -14.0dB
+  }
+16:06:55.639 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration
+  Physical Cell ID = 62, Freq = 1075
+  spCellConfig {physCellId 393, absoluteFrequencySSB 648672}
+16:06:55.660 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete
+16:06:55.923 LTE RRC OTA Packet -- UL_DCCH / SCGFailureInformation
+  failureType = randomAccessProblem
+16:06:55.966 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration
+  Physical Cell ID = 62, Freq = 1075
+  scg-Release = true
+16:06:55.981 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete
+16:07:26.545 LTE RRC OTA Packet -- UL_DCCH / MeasurementReport
+  trigger = B1
+  measResults {
+    188@648672: -114.0dBm -15.5dB
+  }
+16:07:26.596 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionReconfiguration
+  Physical Cell ID = 62, Freq = 1075
+  sCellToAddModList {
+    {sCellIndex 1, physCellId 266, absoluteFrequencySSB 653952}
+  }
+  spCellConfig {physCellId 266, absoluteFrequencySSB 648672}
+16:07:26.650 LTE RRC OTA Packet -- UL_DCCH / RRCConnectionReconfiguration Complete
+";
+    let analysis = analyze(log);
+    let n2e2: Vec<_> = analysis
+        .off_transitions
+        .iter()
+        .filter(|t| t.loop_type == LoopType::N2E2)
+        .collect();
+    assert_eq!(n2e2.len(), 1, "{:?}", analysis.off_transitions);
+    // The problematic cell is the failed SCG-change target.
+    assert_eq!(n2e2[0].problem_cell.map(|c| c.to_string()).as_deref(), Some("393@648672"));
+    // The OFF period lasts ≈30 s (the recovery-cadence signature).
+    let onoff = analysis.timeline.on_off_intervals();
+    let off = onoff.iter().find(|(s, _, on)| !on && s.millis() > 0).unwrap();
+    let off_ms = off.1.since(off.0);
+    assert!((28_000..33_000).contains(&off_ms), "{off_ms}");
+}

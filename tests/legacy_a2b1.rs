@@ -1,0 +1,109 @@
+//! F12: the legacy A2/B1-inconsistency loop of prior work (Zhang et al.)
+//! appears when the historical thresholds are re-enabled, and never appears
+//! under the operators' corrected (current) policies.
+
+use fiveg_onoff::prelude::*;
+use onoff_radio::CellSite;
+use onoff_sim::InjectedCause;
+
+fn site(cell: CellId, x: f64, y: f64, bw: f64, tx: f64) -> CellSite {
+    let mut s = CellSite::macro_site(
+        cell,
+        Point::new(x, y),
+        Point::new(x, y).bearing_to(Point::new(0.0, 0.0)),
+        bw,
+    );
+    s.tx_power_dbm = tx;
+    s.shadow_sigma_db = 2.0;
+    s
+}
+
+/// An environment whose best NR cell hovers between the B1 addition
+/// threshold (−115 dBm) and a legacy A2 release threshold (−108 dBm): the
+/// fatal band.
+fn borderline_env() -> RadioEnvironment {
+    RadioEnvironment::new(
+        31,
+        vec![
+            site(CellId::lte(Pci(62), 1075), -200.0, 0.0, 20.0, 19.0),
+            // Mean ≈ −111 dBm at the origin: above B1, below the legacy A2.
+            site(CellId::nr(Pci(188), 648672), -1600.0, 0.0, 60.0, 21.0),
+        ],
+    )
+}
+
+#[test]
+fn misconfigured_thresholds_create_the_loop() {
+    let policy = op_v_policy().with_legacy_a2_b1(-1080); // Θ_A2 = −108 > Θ_B1 = −115
+    assert!(policy.has_inconsistent_a2_b1());
+    let cfg = SimConfig::stationary(
+        policy,
+        PhoneModel::OnePlus12R,
+        borderline_env(),
+        Point::new(0.0, 0.0),
+        5,
+    );
+    let out = simulate(&cfg);
+    let releases = out
+        .truth
+        .iter()
+        .filter(|g| matches!(g.cause, InjectedCause::LegacyA2Release { .. }))
+        .count();
+    assert!(releases >= 3, "expected a repeating A2/B1 loop, truth: {:?}", out.truth);
+
+    // The classifier reads the releases as the legacy sub-type.
+    let analysis = analyze_trace(&out.events);
+    let a2b1 = analysis
+        .off_transitions
+        .iter()
+        .filter(|t| t.loop_type == LoopType::A2B1)
+        .count();
+    assert!(a2b1 >= 3, "transitions: {:?}", analysis.off_transitions);
+    assert!(analysis.has_loop());
+    assert_eq!(analysis.dominant_loop_type(), Some(LoopType::A2B1));
+}
+
+#[test]
+fn corrected_thresholds_do_not_loop() {
+    // Same radio conditions, current policy (no legacy A2): F12's finding —
+    // the loop type "is not observed in this study".
+    let policy = op_v_policy();
+    assert!(!policy.has_inconsistent_a2_b1());
+    let cfg = SimConfig::stationary(
+        policy,
+        PhoneModel::OnePlus12R,
+        borderline_env(),
+        Point::new(0.0, 0.0),
+        5,
+    );
+    let out = simulate(&cfg);
+    assert!(out
+        .truth
+        .iter()
+        .all(|g| !matches!(g.cause, InjectedCause::LegacyA2Release { .. })));
+    let analysis = analyze_trace(&out.events);
+    assert!(analysis.off_transitions.iter().all(|t| t.loop_type != LoopType::A2B1));
+}
+
+#[test]
+fn consistent_legacy_thresholds_are_harmless() {
+    // A legacy A2 *below* B1 is consistent: the cell is only released once
+    // it is already inadmissible, so no flip-flop.
+    let policy = op_v_policy().with_legacy_a2_b1(-1250); // Θ_A2 = −125 < Θ_B1
+    assert!(!policy.has_inconsistent_a2_b1());
+    let cfg = SimConfig::stationary(
+        policy,
+        PhoneModel::OnePlus12R,
+        borderline_env(),
+        Point::new(0.0, 0.0),
+        5,
+    );
+    let out = simulate(&cfg);
+    let releases = out
+        .truth
+        .iter()
+        .filter(|g| matches!(g.cause, InjectedCause::LegacyA2Release { .. }))
+        .count();
+    // At −111 dBm mean the PSCell almost never dips below −125.
+    assert_eq!(releases, 0, "truth: {:?}", out.truth);
+}

@@ -1,0 +1,282 @@
+//! End-to-end pipeline tests: simulate → emit NSG log → re-parse → extract
+//! cell sets → detect loops → classify — and score the classifier against
+//! the simulator's hidden ground truth, one test per loop sub-type.
+
+use fiveg_onoff::prelude::*;
+use onoff_radio::CellSite;
+use onoff_sim::InjectedCause;
+
+fn site(cell: CellId, x: f64, y: f64, bw: f64, tx: f64) -> CellSite {
+    let mut s = CellSite::macro_site(
+        cell,
+        Point::new(x, y),
+        Point::new(x, y).bearing_to(Point::new(0.0, 0.0)),
+        bw,
+    );
+    s.tx_power_dbm = tx;
+    s.shadow_sigma_db = 2.0;
+    s
+}
+
+fn nr(pci: u16, arfcn: u32) -> CellId {
+    CellId::nr(Pci(pci), arfcn)
+}
+fn lte(pci: u16, arfcn: u32) -> CellId {
+    CellId::lte(Pci(pci), arfcn)
+}
+
+/// Simulate, round-trip the trace through the text codec, analyze.
+fn run_and_analyze(cfg: &SimConfig) -> (SimOutput, onoff_detect::RunAnalysis) {
+    let out = simulate(cfg);
+    let text = out.to_log();
+    let reparsed = parse_str(&text).expect("simulated log must parse");
+    assert_eq!(reparsed, out.events, "codec round-trip");
+    let analysis = analyze_trace(&reparsed);
+    (out, analysis)
+}
+
+/// Truth → expected label for scoring.
+fn expected_label(cause: &InjectedCause) -> LoopType {
+    match cause {
+        InjectedCause::ScellUnmeasurable { .. } => LoopType::S1E1,
+        InjectedCause::ScellPoor { .. } => LoopType::S1E2,
+        InjectedCause::ScellModFailure { .. } => LoopType::S1E3,
+        InjectedCause::PcellRlf { .. } => LoopType::N1E1,
+        InjectedCause::HandoverFailure { .. } => LoopType::N1E2,
+        InjectedCause::HandoverDropScg { .. } => LoopType::N2E1,
+        InjectedCause::ScgRaFailure { .. } => LoopType::N2E2,
+        InjectedCause::LegacyA2Release { .. } => LoopType::A2B1,
+    }
+}
+
+/// Asserts that the classifier recovered ≥ `min_frac` of the injected
+/// triggers with the right label (matching by nearest OFF transition).
+fn score_classifier(
+    out: &SimOutput,
+    analysis: &onoff_detect::RunAnalysis,
+    min_frac: f64,
+) {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for g in &out.truth {
+        total += 1;
+        let nearest = analysis
+            .off_transitions
+            .iter()
+            .min_by_key(|tr| tr.t.millis().abs_diff(g.t.millis()));
+        if let Some(tr) = nearest {
+            if tr.t.millis().abs_diff(g.t.millis()) <= 2000
+                && tr.loop_type == expected_label(&g.cause)
+            {
+                hits += 1;
+            }
+        }
+    }
+    assert!(total > 0, "scenario produced no ground truth");
+    let frac = hits as f64 / total as f64;
+    assert!(
+        frac >= min_frac,
+        "classifier recovered only {hits}/{total} triggers; transitions: {:?}",
+        analysis.off_transitions
+    );
+}
+
+fn p16_env() -> RadioEnvironment {
+    RadioEnvironment::new(
+        7,
+        vec![
+            site(nr(393, 521310), -250.0, 80.0, 90.0, 18.0),
+            site(nr(393, 501390), -250.0, 80.0, 100.0, 18.0),
+            site(nr(273, 398410), -250.0, 80.0, 10.0, 16.0),
+            site(nr(273, 387410), -250.0, 80.0, 10.0, 16.0),
+            site(nr(371, 387410), 240.0, -100.0, 10.0, 20.0),
+        ],
+    )
+}
+
+#[test]
+fn s1e3_loop_detected_and_classified() {
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        p16_env(),
+        Point::new(0.0, 0.0),
+        11,
+    );
+    let (out, analysis) = run_and_analyze(&cfg);
+    assert!(analysis.has_loop(), "expected a loop at the P16-like location");
+    assert_eq!(analysis.dominant_loop_type(), Some(LoopType::S1E3));
+    // The loop repeats and is persistent.
+    let lp = &analysis.loops[0];
+    assert!(lp.repetitions >= 2);
+    assert_eq!(lp.persistence, Persistence::Persistent);
+    score_classifier(&out, &analysis, 0.9);
+}
+
+#[test]
+fn s1e1_classified_from_log_evidence() {
+    // The whole 387410 overlay is a deep hole here: the co-sited SCell is
+    // below the measurability floor and its rival brings no rescue.
+    let mut env = p16_env();
+    for s in &mut env.cells {
+        if s.cell == nr(273, 387410) {
+            s.tx_power_dbm = -30.0;
+        }
+        if s.cell == nr(371, 387410) {
+            s.tx_power_dbm = -26.0;
+        }
+    }
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        env,
+        Point::new(0.0, 0.0),
+        11,
+    );
+    let (out, analysis) = run_and_analyze(&cfg);
+    assert!(out
+        .truth
+        .iter()
+        .any(|g| matches!(g.cause, InjectedCause::ScellUnmeasurable { .. })));
+    score_classifier(&out, &analysis, 0.8);
+    // The problematic cell is the bad apple on 387410.
+    let s1e1 = analysis
+        .off_transitions
+        .iter()
+        .find(|tr| tr.loop_type == LoopType::S1E1)
+        .expect("an S1E1 transition");
+    assert_eq!(s1e1.problem_cell, Some(nr(273, 387410)));
+}
+
+#[test]
+fn s1e2_classified_from_log_evidence() {
+    let mut env = p16_env();
+    for s in &mut env.cells {
+        if s.cell == nr(273, 387410) {
+            s.tx_power_dbm = -14.0;
+        }
+    }
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        env,
+        Point::new(0.0, 0.0),
+        11,
+    );
+    let (out, analysis) = run_and_analyze(&cfg);
+    assert!(out.truth.iter().any(|g| matches!(g.cause, InjectedCause::ScellPoor { .. })));
+    score_classifier(&out, &analysis, 0.8);
+}
+
+fn op_a_env(tx_5145: f64) -> RadioEnvironment {
+    RadioEnvironment::new(
+        21,
+        vec![
+            site(lte(380, 5815), -300.0, 0.0, 10.0, 19.0),
+            site(lte(380, 5145), -300.0, 0.0, 10.0, tx_5145),
+            // A healthy band-2 anchor: the UE camps here (with the SCG)
+            // whenever 5145 is weak, so the 5815 policies create visible
+            // ON→OFF transitions.
+            site(lte(310, 850), -300.0, 0.0, 20.0, 33.0),
+            site(nr(53, 632736), -300.0, 0.0, 40.0, 22.0),
+            site(nr(53, 658080), -300.0, 0.0, 40.0, 22.0),
+        ],
+    )
+}
+
+#[test]
+fn n2e1_flip_flop_detected_and_classified() {
+    let cfg = SimConfig::stationary(
+        op_a_policy(),
+        PhoneModel::OnePlus12R,
+        op_a_env(17.0),
+        Point::new(0.0, 0.0),
+        3,
+    );
+    let (out, analysis) = run_and_analyze(&cfg);
+    assert!(analysis.has_loop(), "expected the 5815/5145 flip-flop loop");
+    assert_eq!(analysis.dominant_loop_type(), Some(LoopType::N2E1));
+    score_classifier(&out, &analysis, 0.8);
+}
+
+#[test]
+fn n1e2_classified() {
+    let cfg = SimConfig::stationary(
+        op_a_policy(),
+        PhoneModel::OnePlus12R,
+        op_a_env(-40.0),
+        Point::new(0.0, 0.0),
+        3,
+    );
+    let (out, analysis) = run_and_analyze(&cfg);
+    assert!(out
+        .truth
+        .iter()
+        .any(|g| matches!(g.cause, InjectedCause::HandoverFailure { .. })));
+    let has_n1e2 =
+        analysis.off_transitions.iter().any(|tr| tr.loop_type == LoopType::N1E2);
+    assert!(has_n1e2, "transitions: {:?}", analysis.off_transitions);
+}
+
+#[test]
+fn n1e1_classified() {
+    let cfg = SimConfig::stationary(
+        op_a_policy(),
+        PhoneModel::OnePlus12R,
+        op_a_env(-30.0),
+        Point::new(0.0, 0.0),
+        3,
+    );
+    let (out, analysis) = run_and_analyze(&cfg);
+    assert!(out.truth.iter().any(|g| matches!(g.cause, InjectedCause::PcellRlf { .. })));
+    let has_n1e1 =
+        analysis.off_transitions.iter().any(|tr| tr.loop_type == LoopType::N1E1);
+    assert!(has_n1e1, "transitions: {:?}", analysis.off_transitions);
+}
+
+#[test]
+fn n2e2_classified_with_long_off_times() {
+    let env = RadioEnvironment::new(
+        23,
+        vec![
+            site(lte(62, 1075), -200.0, 0.0, 20.0, 19.0),
+            site(nr(188, 648672), -2900.0, 0.0, 60.0, 21.0),
+            site(nr(393, 648672), 2600.0, 100.0, 60.0, 21.0),
+        ],
+    );
+    let cfg = SimConfig::stationary(
+        op_v_policy(),
+        PhoneModel::OnePlus12R,
+        env,
+        Point::new(0.0, 0.0),
+        3,
+    );
+    let (out, analysis) = run_and_analyze(&cfg);
+    assert!(out.truth.iter().any(|g| matches!(g.cause, InjectedCause::ScgRaFailure { .. })));
+    let has_n2e2 =
+        analysis.off_transitions.iter().any(|tr| tr.loop_type == LoopType::N2E2);
+    assert!(has_n2e2, "transitions: {:?}", analysis.off_transitions);
+}
+
+#[test]
+fn quiet_location_has_no_loop() {
+    // One strong isolated cell per channel: nothing to flip between.
+    let env = RadioEnvironment::new(
+        1,
+        vec![
+            site(nr(393, 521310), -200.0, 0.0, 90.0, 18.0),
+            site(nr(393, 501390), -200.0, 0.0, 100.0, 18.0),
+        ],
+    );
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        env,
+        Point::new(0.0, 0.0),
+        2,
+    );
+    let (out, analysis) = run_and_analyze(&cfg);
+    assert!(out.truth.is_empty());
+    assert!(!analysis.has_loop());
+    assert!(analysis.metrics.median_on_mbps.unwrap_or(0.0) > 50.0);
+}
