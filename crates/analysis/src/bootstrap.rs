@@ -60,7 +60,12 @@ where
         let pos = (q * (stats.len() - 1) as f64).clamp(0.0, (stats.len() - 1) as f64);
         stats[pos.round() as usize]
     };
-    Some(ConfidenceInterval { estimate, lo: idx(alpha), hi: idx(1.0 - alpha), level })
+    Some(ConfidenceInterval {
+        estimate,
+        lo: idx(alpha),
+        hi: idx(1.0 - alpha),
+        level,
+    })
 }
 
 /// Bootstrap CI on a proportion given Bernoulli outcomes.
@@ -70,7 +75,10 @@ pub fn proportion_ci(
     resamples: usize,
     seed: u64,
 ) -> Option<ConfidenceInterval> {
-    let xs: Vec<f64> = outcomes.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let xs: Vec<f64> = outcomes
+        .iter()
+        .map(|&b| if b { 1.0 } else { 0.0 })
+        .collect();
     bootstrap_ci(
         &xs,
         |v| v.iter().sum::<f64>() / v.len() as f64,

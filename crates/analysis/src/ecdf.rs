@@ -20,7 +20,7 @@ impl Ecdf {
             return None;
         }
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Some(Ecdf { sorted })
     }
 

@@ -17,7 +17,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Adds one observation.
@@ -51,7 +56,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Bin centre x-values, for plotting.

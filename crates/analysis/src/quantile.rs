@@ -29,7 +29,8 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut s: Vec<f64> = xs.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    // total_cmp keeps NaN inputs from panicking the sort; NaNs order last.
+    s.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&s, q))
 }
 
@@ -83,7 +84,7 @@ impl Summary {
             return None;
         }
         let mut s: Vec<f64> = xs.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        s.sort_by(|a, b| a.total_cmp(b));
         Some(Summary {
             n: s.len(),
             min: s[0],
@@ -159,6 +160,18 @@ mod tests {
     fn out_of_range_q_rejected() {
         assert_eq!(quantile(&[1.0], -0.1), None);
         assert_eq!(quantile(&[1.0], 1.1), None);
+    }
+
+    #[test]
+    fn nan_input_never_panics() {
+        // total_cmp sorts NaNs last instead of panicking the comparator.
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(median(&xs[..3]).map(|m| m.is_nan()), Some(false));
+        assert!(quantile(&[f64::NAN], 0.5).is_some());
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert!(s.max.is_nan());
     }
 
     #[test]

@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded with empty cells, long rows are
@@ -35,8 +38,7 @@ impl TextTable {
     /// Renders with ` | ` separators and a dashed rule under the header.
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> =
-            self.header.iter().map(|h| h.chars().count()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate().take(cols) {
                 widths[i] = widths[i].max(cell.chars().count());

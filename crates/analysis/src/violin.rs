@@ -36,7 +36,11 @@ impl ViolinSummary {
         hist.extend(xs);
         let max = hist.counts().iter().copied().max().unwrap_or(0).max(1) as f64;
         let density = hist.counts().iter().map(|&c| c as f64 / max).collect();
-        Some(ViolinSummary { summary, density, centers: hist.centers() })
+        Some(ViolinSummary {
+            summary,
+            density,
+            centers: hist.centers(),
+        })
     }
 
     /// Number of density modes: local maxima above `threshold` (0..=1).

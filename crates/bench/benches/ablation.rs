@@ -111,9 +111,15 @@ fn bench_compressed_vs_raw(c: &mut Criterion) {
     group.bench_function("compressed_interned", |b| {
         b.iter(|| black_box(extract_timeline(&events)))
     });
-    group.bench_function("raw_per_message", |b| b.iter(|| black_box(extract_raw(&events))));
+    group.bench_function("raw_per_message", |b| {
+        b.iter(|| black_box(extract_raw(&events)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_interned_vs_structural, bench_compressed_vs_raw);
+criterion_group!(
+    benches,
+    bench_interned_vs_structural,
+    bench_compressed_vs_raw
+);
 criterion_main!(benches);

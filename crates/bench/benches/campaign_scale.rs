@@ -1,0 +1,43 @@
+//! Worker-count scaling of the campaign driver (PR acceptance: the
+//! flat-job scheduler must beat the single-worker baseline by ≥1.5× at
+//! full core count). Uses a reduced campaign so each sample stays cheap;
+//! the relative speedup, not the absolute time, is the signal.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use onoff_campaign::{run_campaign, CampaignConfig, ParallelismConfig};
+
+/// Reduced campaign: every area, few runs, short traces.
+fn scaled_config(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        runs_a1: 2,
+        runs_other: 1,
+        duration_ms: 20_000,
+        parallelism: ParallelismConfig::with_workers(workers),
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_campaign_scale(c: &mut Criterion) {
+    let all = ParallelismConfig::all_cores().workers;
+    let total_runs = run_campaign(&scaled_config(1)).records.len() as u64;
+
+    let mut counts = vec![1, 2, all];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut group = c.benchmark_group("campaign_scale");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_runs));
+    for workers in counts {
+        group.bench_function(format!("workers_{workers}"), |b| {
+            let cfg = scaled_config(workers);
+            b.iter(|| black_box(run_campaign(black_box(&cfg))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_scale);
+criterion_main!(benches);

@@ -47,7 +47,9 @@ fn bench_codec(c: &mut Criterion) {
     let text = out.to_log();
     let mut group = c.benchmark_group("nsglog");
     group.throughput(Throughput::Bytes(text.len() as u64));
-    group.bench_function("emit", |b| b.iter(|| black_box(onoff_nsglog::emit(&out.events))));
+    group.bench_function("emit", |b| {
+        b.iter(|| black_box(onoff_nsglog::emit(&out.events)))
+    });
     group.bench_function("parse", |b| {
         b.iter(|| black_box(onoff_nsglog::parse_str(&text).unwrap()))
     });

@@ -13,9 +13,29 @@ use onoff_campaign::fine::{fine_grained_study, FineStudy};
 use onoff_campaign::{run_campaign, CampaignConfig, Dataset};
 
 const ALL_IDS: &[&str] = &[
-    "table2", "table3", "table4", "table5", "fig1", "fig3", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig13-15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
-    "survey", "mitigation",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig1",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13-15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "survey",
+    "mitigation",
 ];
 
 /// Lazily-built shared state so `all` only pays for the campaign once.
@@ -167,7 +187,10 @@ fn main() {
         match run_one(&mut ctx, id) {
             Some(text) => print!("{text}"),
             None => {
-                eprintln!("unknown experiment id {id:?}; known: {}", ALL_IDS.join(", "));
+                eprintln!(
+                    "unknown experiment id {id:?}; known: {}",
+                    ALL_IDS.join(", ")
+                );
                 std::process::exit(2);
             }
         }

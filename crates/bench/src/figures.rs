@@ -14,8 +14,19 @@ use crate::output::{cdf_line, dist_line, header, pct};
 pub fn table3(ds: &Dataset) -> String {
     let mut out = header("table3", "Statistics of the basic dataset");
     let mut t = TextTable::new([
-        "Operator", "Areas", "Area km2", "# Location", "Total min", "5G mode", "5G bands",
-        "4G bands", "# 5G/4G cell", "# meas", "# CS sample", "# CS uniq", "# loop runs",
+        "Operator",
+        "Areas",
+        "Area km2",
+        "# Location",
+        "Total min",
+        "5G mode",
+        "5G bands",
+        "4G bands",
+        "# 5G/4G cell",
+        "# meas",
+        "# CS sample",
+        "# CS uniq",
+        "# loop runs",
         "# cycles",
     ]);
     for op in Operator::ALL {
@@ -31,8 +42,11 @@ pub fn table3(ds: &Dataset) -> String {
         };
         t.row([
             op.label().to_string(),
-            format!("{}–{}", row.areas.first().cloned().unwrap_or_default(),
-                row.areas.last().cloned().unwrap_or_default()),
+            format!(
+                "{}–{}",
+                row.areas.first().cloned().unwrap_or_default(),
+                row.areas.last().cloned().unwrap_or_default()
+            ),
             format!("{:.1}", row.size_km2),
             row.locations.to_string(),
             format!("{:.0}", row.total_minutes),
@@ -57,7 +71,13 @@ pub fn table3(ds: &Dataset) -> String {
 /// Fig. 6: no-loop / persistent / semi-persistent run shares per operator.
 pub fn fig6(ds: &Dataset) -> String {
     let mut out = header("fig6", "Loop ratio per operator (I / II-P / II-SP)");
-    let mut t = TextTable::new(["Operator", "No loop (I)", "Loop (II-P)", "Loop (II-SP)", "Any loop"]);
+    let mut t = TextTable::new([
+        "Operator",
+        "No loop (I)",
+        "Loop (II-P)",
+        "Loop (II-SP)",
+        "Any loop",
+    ]);
     for op in Operator::ALL {
         let r = ds.loop_ratio(op);
         t.row([
@@ -96,7 +116,15 @@ pub fn fig8(ds: &Dataset) -> String {
 pub fn fig9(ds: &Dataset) -> String {
     let mut out = header("fig9", "Loop ratios in all test areas");
     let mut t = TextTable::new([
-        "Area", "Op", "Loop (II-P)", "Loop (II-SP)", ">75%", ">50%", ">25%", ">0%", "=0%",
+        "Area",
+        "Op",
+        "Loop (II-P)",
+        "Loop (II-SP)",
+        ">75%",
+        ">50%",
+        ">25%",
+        ">0%",
+        "=0%",
     ]);
     for (name, op, _) in &ds.areas {
         let r = ds.area_loop_ratio(name);
@@ -193,9 +221,7 @@ pub fn table5(ds: &Dataset) -> String {
     let no_loop = ChannelUsage::shares(&usage.no_loop);
     let loop_total = ChannelUsage::shares(&usage.loop_total());
     let empty = Default::default();
-    let per_type = |t: LoopType| {
-        ChannelUsage::shares(usage.per_type.get(&t).unwrap_or(&empty))
-    };
+    let per_type = |t: LoopType| ChannelUsage::shares(usage.per_type.get(&t).unwrap_or(&empty));
     let s1e1 = per_type(LoopType::S1E1);
     let s1e2 = per_type(LoopType::S1E2);
     let s1e3 = per_type(LoopType::S1E3);
@@ -210,11 +236,16 @@ pub fn table5(ds: &Dataset) -> String {
     channels.dedup();
 
     let mut t = TextTable::new([
-        "channel", "no-loop", "loop", "S1E1", "S1E2", "S1E3", "SCell-mod fail",
+        "channel",
+        "no-loop",
+        "loop",
+        "S1E1",
+        "S1E2",
+        "S1E3",
+        "SCell-mod fail",
     ]);
-    let g = |m: &std::collections::BTreeMap<u32, f64>, ch: u32| {
-        pct(m.get(&ch).copied().unwrap_or(0.0))
-    };
+    let g =
+        |m: &std::collections::BTreeMap<u32, f64>, ch: u32| pct(m.get(&ch).copied().unwrap_or(0.0));
     for ch in channels {
         t.row([
             ch.to_string(),
@@ -232,11 +263,17 @@ pub fn table5(ds: &Dataset) -> String {
 
 /// Fig. 17: RSRP structure of OP_T's channel 387410.
 pub fn fig17(ds: &Dataset) -> String {
-    let mut out = header("fig17", "RSRP measurements of cells on channel 387410 (OP_T)");
+    let mut out = header(
+        "fig17",
+        "RSRP measurements of cells on channel 387410 (OP_T)",
+    );
     // 17a: distribution of per-run 10th-percentile RSRP, all areas.
     let by_area = ds.problem_rsrp_p10_by_area(Operator::OpT);
     let all: Vec<f64> = by_area.values().flatten().copied().collect();
-    out.push_str(&format!("(a) 10th-pct RSRP, all runs: {}\n", cdf_line(&all, " dBm")));
+    out.push_str(&format!(
+        "(a) 10th-pct RSRP, all runs: {}\n",
+        cdf_line(&all, " dBm")
+    ));
     // 17b: per area.
     out.push_str("(b) per area (median of run p10s):\n");
     for (area, v) in &by_area {
@@ -257,9 +294,11 @@ pub fn fig18(ds: &Dataset) -> String {
         let usage = ds.usage_lte.get(&op).cloned().unwrap_or_default();
         let no_loop = ChannelUsage::shares(&usage.no_loop);
         let empty = Default::default();
-        let n2e1 =
-            ChannelUsage::shares(usage.per_type.get(&LoopType::N2E1).unwrap_or(&empty));
-        out.push_str(&format!("({which}) N2E1 vs no-loop, 4G channels, {}:\n", op.label()));
+        let n2e1 = ChannelUsage::shares(usage.per_type.get(&LoopType::N2E1).unwrap_or(&empty));
+        out.push_str(&format!(
+            "({which}) N2E1 vs no-loop, 4G channels, {}:\n",
+            op.label()
+        ));
         let mut channels: Vec<u32> = no_loop.keys().chain(n2e1.keys()).copied().collect();
         channels.sort_unstable();
         channels.dedup();
@@ -277,8 +316,7 @@ pub fn fig18(ds: &Dataset) -> String {
         let usage = ds.usage_nr.get(&op).cloned().unwrap_or_default();
         let no_loop = ChannelUsage::shares(&usage.no_loop);
         let empty = Default::default();
-        let n2e2 =
-            ChannelUsage::shares(usage.per_type.get(&LoopType::N2E2).unwrap_or(&empty));
+        let n2e2 = ChannelUsage::shares(usage.per_type.get(&LoopType::N2E2).unwrap_or(&empty));
         let mut channels: Vec<u32> = no_loop.keys().chain(n2e2.keys()).copied().collect();
         channels.sort_unstable();
         channels.dedup();
@@ -296,7 +334,10 @@ pub fn fig18(ds: &Dataset) -> String {
 
 /// Fig. 19: 5G OFF time per loop sub-type and measurement-recovery delays.
 pub fn fig19(ds: &Dataset) -> String {
-    let mut out = header("fig19", "5G OFF time varies with loop types (OP_A and OP_V)");
+    let mut out = header(
+        "fig19",
+        "5G OFF time varies with loop types (OP_A and OP_V)",
+    );
     for op in [Operator::OpA, Operator::OpV] {
         out.push_str(&format!("{}\n", op.label()));
         for (t, offs) in ds.off_times_by_type(op) {
@@ -313,7 +354,10 @@ pub fn fig19(ds: &Dataset) -> String {
 
 /// Fig. 7: the showcase-area map with per-location loop likelihood.
 pub fn fig7(ds: &Dataset, area: &onoff_campaign::Area) -> String {
-    let mut out = header("fig7", "Map of A1 (towers and loop likelihood per location)");
+    let mut out = header(
+        "fig7",
+        "Map of A1 (towers and loop likelihood per location)",
+    );
     let likes = ds.location_likelihoods(&area.name);
     out.push_str(&onoff_campaign::render_map(area, Some(&likes), 72, 26));
     out
@@ -331,10 +375,19 @@ pub fn survey(area: &onoff_campaign::Area) -> String {
         nr,
         lte
     ));
-    let mut t = TextTable::new(["Cell", "Band", "Width", "Median RSRP", "Best RSRP", "Samples"]);
+    let mut t = TextTable::new([
+        "Cell",
+        "Band",
+        "Width",
+        "Median RSRP",
+        "Best RSRP",
+        "Samples",
+    ]);
     let mut cells: Vec<_> = sv.cells.values().collect();
     cells.sort_by(|a, b| {
-        b.median_rsrp().unwrap_or(f64::NEG_INFINITY).total_cmp(&a.median_rsrp().unwrap_or(f64::NEG_INFINITY))
+        b.median_rsrp()
+            .unwrap_or(f64::NEG_INFINITY)
+            .total_cmp(&a.median_rsrp().unwrap_or(f64::NEG_INFINITY))
     });
     for c in cells.iter().take(20) {
         t.row([

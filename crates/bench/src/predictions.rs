@@ -13,7 +13,10 @@ use crate::output::{header, pct};
 
 /// Fig. 20: the dense-grid maps around the showcase location.
 pub fn fig20(study: &FineStudy, side: usize) -> String {
-    let mut out = header("fig20", "Fine-grained spatial maps around the showcase location");
+    let mut out = header(
+        "fig20",
+        "Fine-grained spatial maps around the showcase location",
+    );
     out.push_str("(b) observed S1E3 loop probability per grid point:\n");
     for row in study.observed.chunks(side) {
         let line: Vec<String> = row.iter().map(|p| format!("{:>4.0}%", p * 100.0)).collect();
@@ -38,7 +41,13 @@ pub fn fig21(study: &FineStudy) -> String {
         "(a) loop probability vs SCell RSRP gap — Spearman corr: {}\n",
         rho.map_or("n/a".into(), |r| format!("{r:.2}")),
     ));
-    for (lo, hi) in [(0.0, 3.0), (3.0, 6.0), (6.0, 10.0), (10.0, 15.0), (15.0, 90.0)] {
+    for (lo, hi) in [
+        (0.0, 3.0),
+        (3.0, 6.0),
+        (6.0, 10.0),
+        (10.0, 15.0),
+        (15.0, 90.0),
+    ] {
         let bucket: Vec<f64> = gaps
             .iter()
             .zip(&probs)
@@ -97,13 +106,19 @@ fn observed_probs(ds: &Dataset, area: &str, types: &[LoopType]) -> Vec<(usize, f
             e.0 += 1;
         }
     }
-    per_loc.into_iter().map(|(loc, (l, t))| (loc, l as f64 / t as f64)).collect()
+    per_loc
+        .into_iter()
+        .map(|(loc, (l, t))| (loc, l as f64 / t as f64))
+        .collect()
 }
 
 /// Fig. 22: trains on the fine-grained study and predicts loop probability
 /// at every sparse A1 location.
 pub fn fig22(ds: &Dataset, area_a1: &Area, study: &FineStudy) -> String {
-    let mut out = header("fig22", "Predicted vs ground-truth loop probability (A1 locations)");
+    let mut out = header(
+        "fig22",
+        "Predicted vs ground-truth loop probability (A1 locations)",
+    );
     let policy = policy_for(area_a1.operator);
 
     // --- S1E3 model ---
@@ -136,8 +151,7 @@ pub fn fig22(ds: &Dataset, area_a1: &Area, study: &FineStudy) -> String {
 
     // --- combined S1 model, trained on the all-S1 grid labels ---
     let s1_model = train_s1(&study.samples_s1);
-    let truth_s1 =
-        observed_probs(ds, "A1", &[LoopType::S1E1, LoopType::S1E2, LoopType::S1E3]);
+    let truth_s1 = observed_probs(ds, "A1", &[LoopType::S1E1, LoopType::S1E2, LoopType::S1E3]);
     let mut s1_pairs = Vec::new();
     for &(loc, obs) in &truth_s1 {
         let combos = location_features(&area_a1.env, &policy, area_a1.locations[loc]);

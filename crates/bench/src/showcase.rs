@@ -23,7 +23,8 @@ pub fn showcase_location(area: &Area) -> usize {
         let mut hits = 0;
         const PROBES: usize = 3;
         for s in 0..PROBES {
-            let (rec, ..) = run_location(area, loc, PhoneModel::OnePlus12R, 9000 + s as u64, 120_000);
+            let (rec, ..) =
+                run_location(area, loc, PhoneModel::OnePlus12R, 9000 + s as u64, 120_000);
             if rec.has_loop && rec.loop_type == Some(onoff_detect::LoopType::S1E3) {
                 hits += 1;
             }
@@ -68,14 +69,20 @@ pub fn fig1(area: &Area, loc: usize) -> String {
         let bar = "#".repeat((mean / 12.0).round() as usize);
         out.push_str(&format!("{t0:>4}s {marks} {mean:>6.1} Mbps {bar}\n"));
     }
-    let dips = speeds.windows(2).filter(|w| w[0].1 >= 1.0 && w[1].1 < 1.0).count();
+    let dips = speeds
+        .windows(2)
+        .filter(|w| w[0].1 >= 1.0 && w[1].1 < 1.0)
+        .count();
     out.push_str(&format!("5G OFF dips in 420 s: {dips}\n"));
     out
 }
 
 /// Fig. 3b: the RRC procedure timeline of the showcase run's first minute.
 pub fn fig3(area: &Area, loc: usize) -> String {
-    let mut out = header("fig3", "RRC procedures over time (showcase run, first 60 s)");
+    let mut out = header(
+        "fig3",
+        "RRC procedures over time (showcase run, first 60 s)",
+    );
     let cfg = SimConfig::stationary(
         policy_for(area.operator),
         PhoneModel::OnePlus12R,
@@ -102,7 +109,10 @@ pub fn fig3(area: &Area, loc: usize) -> String {
                 format!("RRC reconfiguration: SCell modification → {add}")
             }
             ProcedureKind::Reconfiguration(body) if !body.scell_to_add_mod.is_empty() => {
-                format!("RRC reconfiguration: add {} SCell(s)", body.scell_to_add_mod.len())
+                format!(
+                    "RRC reconfiguration: add {} SCell(s)",
+                    body.scell_to_add_mod.len()
+                )
             }
             ProcedureKind::Reconfiguration(_) => "RRC reconfiguration (config)".to_string(),
             ProcedureKind::MeasurementReport => continue,
@@ -116,7 +126,10 @@ pub fn fig3(area: &Area, loc: usize) -> String {
             ProcedureOutcome::Failed => "  ← fails",
             ProcedureOutcome::Pending => "  (pending)",
         };
-        out.push_str(&format!("t = {:>5.1}s  {what}{outcome}\n", p.start.secs_f64()));
+        out.push_str(&format!(
+            "t = {:>5.1}s  {what}{outcome}\n",
+            p.start.secs_f64()
+        ));
     }
     out
 }
@@ -131,7 +144,10 @@ pub fn table2(area: &Area, loc: usize) -> String {
         .cells
         .iter()
         .filter(|s| s.cell.rat == Rat::Nr && s.bandwidth_mhz >= 20.0)
-        .max_by(|a, b| env.local_rsrp_dbm(a, p).total_cmp(&env.local_rsrp_dbm(b, p)))
+        .max_by(|a, b| {
+            env.local_rsrp_dbm(a, p)
+                .total_cmp(&env.local_rsrp_dbm(b, p))
+        })
         .expect("area has NR cells");
     let mut main: Vec<&onoff_radio::CellSite> = env
         .cells
@@ -143,15 +159,17 @@ pub fn table2(area: &Area, loc: usize) -> String {
         .cells
         .iter()
         .filter(|s| s.cell.arfcn == 387410 && s.tower != serving.tower)
-        .max_by(|a, b| env.local_rsrp_dbm(a, p).total_cmp(&env.local_rsrp_dbm(b, p)))
+        .max_by(|a, b| {
+            env.local_rsrp_dbm(a, p)
+                .total_cmp(&env.local_rsrp_dbm(b, p))
+        })
     {
         main.push(rival);
     }
     let mut t = TextTable::new(["5G Cell", "Band", "Ch.Freq", "Width", "RSRP (±σ)"]);
     for (i, site) in main.iter().enumerate() {
         // ≥500 RSRP samples per cell, like the paper.
-        let samples: Vec<f64> =
-            (0..520).map(|k| env.rsrp_dbm(site, p, k * 700)).collect();
+        let samples: Vec<f64> = (0..520).map(|k| env.rsrp_dbm(site, p, k * 700)).collect();
         let freq = onoff_radio::environment::site_freq_mhz(site);
         t.row([
             format!("5G{} {}", i + 1, site.cell),
@@ -188,10 +206,19 @@ pub fn table4() -> String {
 /// Fig. 12: loop ratios across the six phone models over 5G NSA, five
 /// locations per operator.
 pub fn fig12(areas: &[Area]) -> String {
-    let mut out = header("fig12", "5G ON-OFF loops across six phone models over 5G NSA");
+    let mut out = header(
+        "fig12",
+        "5G ON-OFF loops across six phone models over 5G NSA",
+    );
     const RUNS: usize = 5;
-    for (area_name, label) in [("A6", "OP_A (locations PA1–PA5)"), ("A9", "OP_V (locations PV1–PV5)")] {
-        let area = areas.iter().find(|a| a.name == area_name).expect("area exists");
+    for (area_name, label) in [
+        ("A6", "OP_A (locations PA1–PA5)"),
+        ("A9", "OP_V (locations PV1–PV5)"),
+    ] {
+        let area = areas
+            .iter()
+            .find(|a| a.name == area_name)
+            .expect("area exists");
         out.push_str(&format!("{label}:\n"));
         let mut t = TextTable::new(["Model", "L1", "L2", "L3", "L4", "L5"]);
         for model in PhoneModel::ALL {
@@ -211,14 +238,19 @@ pub fn fig12(areas: &[Area]) -> String {
         }
         out.push_str(&t.render());
     }
-    out.push_str("(F5: all models loop over NSA except the OnePlus 10 Pro on OP_A, which is 4G-only)\n");
+    out.push_str(
+        "(F5: all models loop over NSA except the OnePlus 10 Pro on OP_A, which is 4G-only)\n",
+    );
     out
 }
 
 /// F6 companion: the SA cross-device check — only the OnePlus 12R loops on
 /// OP_T.
 pub fn fig12_sa(area_a1: &Area, loc: usize) -> String {
-    let mut out = header("fig12-sa", "5G SA loops per phone model at the showcase location (OP_T)");
+    let mut out = header(
+        "fig12-sa",
+        "5G SA loops per phone model at the showcase location (OP_T)",
+    );
     let mut t = TextTable::new(["Model", "Loop ratio", "Median ON Mbps"]);
     for model in PhoneModel::ALL {
         let mut loops = 0;
@@ -248,15 +280,63 @@ pub fn fig12_sa(area_a1: &Area, loc: usize) -> String {
 /// the classification the pipeline implements.
 pub fn fig13_15() -> String {
     let mut out = header("fig13-15", "Loop types, sub-types and triggers");
-    let mut t = TextTable::new(["5G", "FSM", "Sub-type", "Trigger for 5G OFF", "Trigger for 5G ON"]);
+    let mut t = TextTable::new([
+        "5G",
+        "FSM",
+        "Sub-type",
+        "Trigger for 5G OFF",
+        "Trigger for 5G ON",
+    ]);
     let rows: [[&str; 5]; 7] = [
-        ["SA", "5G SA ↔ IDLE", "S1E1", "serving SCell never measured → whole MCG released", "good 5G candidate"],
-        ["SA", "5G SA ↔ IDLE", "S1E2", "serving SCell terrible, no command → MCG released", "cells available and"],
-        ["SA", "5G SA ↔ IDLE", "S1E3", "SCell modification commanded but fails", "found (RSRP/RSRQ"],
-        ["NSA", "NSA ↔ IDLE*", "N1E1", "4G PCell radio link failure → everything released", "criteria met);"],
-        ["NSA", "NSA ↔ IDLE*", "N1E2", "4G PCell handover failure → everything released", "NSA: B1-triggered"],
-        ["NSA", "NSA ↔ 4G", "N2E1", "successful 4G handover drops the SCG (channel policy)", "SCG addition"],
-        ["NSA", "NSA ↔ 4G", "N2E2", "SCG failure handling releases the SCG", ""],
+        [
+            "SA",
+            "5G SA ↔ IDLE",
+            "S1E1",
+            "serving SCell never measured → whole MCG released",
+            "good 5G candidate",
+        ],
+        [
+            "SA",
+            "5G SA ↔ IDLE",
+            "S1E2",
+            "serving SCell terrible, no command → MCG released",
+            "cells available and",
+        ],
+        [
+            "SA",
+            "5G SA ↔ IDLE",
+            "S1E3",
+            "SCell modification commanded but fails",
+            "found (RSRP/RSRQ",
+        ],
+        [
+            "NSA",
+            "NSA ↔ IDLE*",
+            "N1E1",
+            "4G PCell radio link failure → everything released",
+            "criteria met);",
+        ],
+        [
+            "NSA",
+            "NSA ↔ IDLE*",
+            "N1E2",
+            "4G PCell handover failure → everything released",
+            "NSA: B1-triggered",
+        ],
+        [
+            "NSA",
+            "NSA ↔ 4G",
+            "N2E1",
+            "successful 4G handover drops the SCG (channel policy)",
+            "SCG addition",
+        ],
+        [
+            "NSA",
+            "NSA ↔ 4G",
+            "N2E2",
+            "SCG failure handling releases the SCG",
+            "",
+        ],
     ];
     for r in rows {
         t.row(r);

@@ -63,26 +63,126 @@ struct AreaSpec {
 
 /// PCI pool for towers — seeded with every PCI the paper names so traces
 /// read like the appendix instances.
-const PCI_POOL: [u16; 16] =
-    [393, 104, 273, 371, 540, 684, 309, 390, 380, 238, 191, 97, 53, 66, 62, 188];
+const PCI_POOL: [u16; 16] = [
+    393, 104, 273, 371, 540, 684, 309, 390, 380, 238, 191, 97, 53, 66, 62, 188,
+];
 
 fn specs() -> Vec<AreaSpec> {
     use Operator::*;
     vec![
         // OP_T: five areas, 9.7 km² total (Table 3).
-        AreaSpec { name: "A1", operator: OpT, city: "C1", extent_m: 1700.0, n_locations: 25, tower_pitch_m: 560.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
-        AreaSpec { name: "A2", operator: OpT, city: "C1", extent_m: 1400.0, n_locations: 6, tower_pitch_m: 610.0, nr_power_trim_db: 0.0, n25_power_trim_db: -14.0 },
-        AreaSpec { name: "A3", operator: OpT, city: "C1", extent_m: 1400.0, n_locations: 5, tower_pitch_m: 560.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
-        AreaSpec { name: "A4", operator: OpT, city: "C2", extent_m: 1300.0, n_locations: 5, tower_pitch_m: 540.0, nr_power_trim_db: 0.0, n25_power_trim_db: -2.0 },
-        AreaSpec { name: "A5", operator: OpT, city: "C2", extent_m: 1300.0, n_locations: 5, tower_pitch_m: 580.0, nr_power_trim_db: 0.0, n25_power_trim_db: -1.0 },
+        AreaSpec {
+            name: "A1",
+            operator: OpT,
+            city: "C1",
+            extent_m: 1700.0,
+            n_locations: 25,
+            tower_pitch_m: 560.0,
+            nr_power_trim_db: 0.0,
+            n25_power_trim_db: 0.0,
+        },
+        AreaSpec {
+            name: "A2",
+            operator: OpT,
+            city: "C1",
+            extent_m: 1400.0,
+            n_locations: 6,
+            tower_pitch_m: 610.0,
+            nr_power_trim_db: 0.0,
+            n25_power_trim_db: -14.0,
+        },
+        AreaSpec {
+            name: "A3",
+            operator: OpT,
+            city: "C1",
+            extent_m: 1400.0,
+            n_locations: 5,
+            tower_pitch_m: 560.0,
+            nr_power_trim_db: 0.0,
+            n25_power_trim_db: 0.0,
+        },
+        AreaSpec {
+            name: "A4",
+            operator: OpT,
+            city: "C2",
+            extent_m: 1300.0,
+            n_locations: 5,
+            tower_pitch_m: 540.0,
+            nr_power_trim_db: 0.0,
+            n25_power_trim_db: -2.0,
+        },
+        AreaSpec {
+            name: "A5",
+            operator: OpT,
+            city: "C2",
+            extent_m: 1300.0,
+            n_locations: 5,
+            tower_pitch_m: 580.0,
+            nr_power_trim_db: 0.0,
+            n25_power_trim_db: -1.0,
+        },
         // OP_A: three areas, 4.4 km².
-        AreaSpec { name: "A6", operator: OpA, city: "C1", extent_m: 1200.0, n_locations: 10, tower_pitch_m: 560.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
-        AreaSpec { name: "A7", operator: OpA, city: "C1", extent_m: 1200.0, n_locations: 9, tower_pitch_m: 600.0, nr_power_trim_db: 1.0, n25_power_trim_db: 0.0 },
-        AreaSpec { name: "A8", operator: OpA, city: "C2", extent_m: 1300.0, n_locations: 9, tower_pitch_m: 650.0, nr_power_trim_db: -16.0, n25_power_trim_db: 0.0 },
+        AreaSpec {
+            name: "A6",
+            operator: OpA,
+            city: "C1",
+            extent_m: 1200.0,
+            n_locations: 10,
+            tower_pitch_m: 560.0,
+            nr_power_trim_db: 0.0,
+            n25_power_trim_db: 0.0,
+        },
+        AreaSpec {
+            name: "A7",
+            operator: OpA,
+            city: "C1",
+            extent_m: 1200.0,
+            n_locations: 9,
+            tower_pitch_m: 600.0,
+            nr_power_trim_db: 1.0,
+            n25_power_trim_db: 0.0,
+        },
+        AreaSpec {
+            name: "A8",
+            operator: OpA,
+            city: "C2",
+            extent_m: 1300.0,
+            n_locations: 9,
+            tower_pitch_m: 650.0,
+            nr_power_trim_db: -16.0,
+            n25_power_trim_db: 0.0,
+        },
         // OP_V: three areas, 5 km².
-        AreaSpec { name: "A9", operator: OpV, city: "C1", extent_m: 1300.0, n_locations: 10, tower_pitch_m: 560.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
-        AreaSpec { name: "A10", operator: OpV, city: "C1", extent_m: 1300.0, n_locations: 9, tower_pitch_m: 580.0, nr_power_trim_db: 0.0, n25_power_trim_db: 0.0 },
-        AreaSpec { name: "A11", operator: OpV, city: "C2", extent_m: 1300.0, n_locations: 9, tower_pitch_m: 640.0, nr_power_trim_db: -16.0, n25_power_trim_db: 0.0 },
+        AreaSpec {
+            name: "A9",
+            operator: OpV,
+            city: "C1",
+            extent_m: 1300.0,
+            n_locations: 10,
+            tower_pitch_m: 560.0,
+            nr_power_trim_db: 0.0,
+            n25_power_trim_db: 0.0,
+        },
+        AreaSpec {
+            name: "A10",
+            operator: OpV,
+            city: "C1",
+            extent_m: 1300.0,
+            n_locations: 9,
+            tower_pitch_m: 580.0,
+            nr_power_trim_db: 0.0,
+            n25_power_trim_db: 0.0,
+        },
+        AreaSpec {
+            name: "A11",
+            operator: OpV,
+            city: "C2",
+            extent_m: 1300.0,
+            n_locations: 9,
+            tower_pitch_m: 640.0,
+            nr_power_trim_db: -16.0,
+            n25_power_trim_db: 0.0,
+        },
     ]
 }
 
@@ -93,8 +193,13 @@ fn is_n25(plan: &ChannelPlan) -> bool {
 
 fn build_area(spec: &AreaSpec, seed: u64) -> Area {
     let policy = policy_for(spec.operator);
-    let area_seed = hash_words(&[seed, spec.name.len() as u64, spec.name.as_bytes()[1] as u64,
-        *spec.name.as_bytes().last().unwrap() as u64, spec.operator as u64]);
+    let area_seed = hash_words(&[
+        seed,
+        spec.name.len() as u64,
+        spec.name.as_bytes()[1] as u64,
+        *spec.name.as_bytes().last().unwrap() as u64,
+        spec.operator as u64,
+    ]);
 
     let mut cells: Vec<CellSite> = Vec::new();
     let n = (spec.extent_m / spec.tower_pitch_m).ceil() as i64 + 1;
@@ -111,8 +216,7 @@ fn build_area(spec: &AreaSpec, seed: u64) -> Area {
             for (ci, plan) in policy.channels.iter().enumerate() {
                 // n25 carriers ride on ~70 % of towers (sparser overlay),
                 // creating both co-sited and orphaned locations.
-                if is_n25(plan)
-                    && to_unit(hash_words(&[area_seed, 4, tower_idx, ci as u64])) > 0.7
+                if is_n25(plan) && to_unit(hash_words(&[area_seed, 4, tower_idx, ci as u64])) > 0.7
                 {
                     continue;
                 }
@@ -185,13 +289,21 @@ fn build_area(spec: &AreaSpec, seed: u64) -> Area {
                     || (plan.rat == Rat::Nr && weak_5g);
                 let copies = if split_pair { 2 } else { 1 };
                 for copy in 0..copies {
-                    let pci_c = if copy == 0 { pci } else { pci.wrapping_add(3) % 504 };
+                    let pci_c = if copy == 0 {
+                        pci
+                    } else {
+                        pci.wrapping_add(3) % 504
+                    };
                     // 60° split: the pair's patterns stay within a few dB
                     // of each other over a wide wedge, so handover
                     // ping-pong zones are common.
                     let bearing_c = bearing + copy as f64 * 45f64.to_radians();
                     cells.push(CellSite {
-                        cell: CellId { rat: plan.rat, pci: Pci(pci_c), arfcn: plan.arfcn },
+                        cell: CellId {
+                            rat: plan.rat,
+                            pci: Pci(pci_c),
+                            arfcn: plan.arfcn,
+                        },
                         tower,
                         antenna: Antenna {
                             bearing_rad: bearing_c,
@@ -285,7 +397,10 @@ pub fn all_areas(seed: u64) -> Vec<Area> {
 
 /// Builds a single area by paper name ("A1" … "A11").
 pub fn area_by_name(name: &str, seed: u64) -> Option<Area> {
-    specs().iter().find(|s| s.name == name).map(|s| build_area(s, seed))
+    specs()
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| build_area(s, seed))
 }
 
 /// Convenience: the showcase campus area A1 (OP_T).
@@ -341,8 +456,12 @@ mod tests {
         }
         // Co-sited PCI sharing: a tower's cells share the PCI.
         let some = &a1.env.cells[0];
-        let siblings: Vec<_> =
-            a1.env.cells.iter().filter(|c| c.tower == some.tower).collect();
+        let siblings: Vec<_> = a1
+            .env
+            .cells
+            .iter()
+            .filter(|c| c.tower == some.tower)
+            .collect();
         assert!(siblings.len() > 1);
         assert!(siblings.iter().all(|c| c.cell.pci == some.cell.pci));
     }
@@ -353,8 +472,11 @@ mod tests {
         let a1 = &areas[0];
         let a2 = &areas[1];
         let avg_tx = |a: &Area, arfcn: u32| -> f64 {
-            let v: Vec<f64> =
-                a.env.on_channel(Rat::Nr, arfcn).map(|c| c.tx_power_dbm).collect();
+            let v: Vec<f64> = a
+                .env
+                .on_channel(Rat::Nr, arfcn)
+                .map(|c| c.tx_power_dbm)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         assert!(avg_tx(a2, 387410) < avg_tx(a1, 387410) - 10.0);
@@ -367,7 +489,10 @@ mod tests {
         assert!(a6.env.on_channel(Rat::Lte, 5815).count() > 0);
         assert!(a6.env.on_channel(Rat::Lte, 5145).count() > 0);
         let a9 = areas.iter().find(|a| a.name == "A9").unwrap();
-        assert!(a9.env.on_channel(Rat::Lte, 5230).count() > 1, "need co-channel 5230 cells");
+        assert!(
+            a9.env.on_channel(Rat::Lte, 5230).count() > 1,
+            "need co-channel 5230 cells"
+        );
     }
 
     #[test]
@@ -386,7 +511,12 @@ mod tests {
                     .filter(|s| s.cell.rat == master)
                     .map(|s| area.env.local_rsrp_dbm(s, *p))
                     .fold(f64::NEG_INFINITY, f64::max);
-                assert!(best > -114.0, "{}: uncovered location {:?} ({best})", area.name, p);
+                assert!(
+                    best > -114.0,
+                    "{}: uncovered location {:?} ({best})",
+                    area.name,
+                    p
+                );
             }
         }
     }

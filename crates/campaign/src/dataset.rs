@@ -25,6 +25,32 @@ pub struct Dataset {
     pub cell_counts: BTreeMap<Operator, (usize, usize)>,
     /// (name, operator, km²) of every area.
     pub areas: Vec<(String, Operator, f64)>,
+    /// Throughput counters for the producing campaign run. Wall-clock
+    /// measurements, so excluded from persistence: the serialized dataset
+    /// stays bitwise-identical across machines and worker counts.
+    #[serde(skip)]
+    pub stats: CampaignStats,
+}
+
+/// Throughput counters from one [`run_campaign`](crate::run_campaign)
+/// invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Number of stationary runs executed.
+    pub runs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total trace events produced and analyzed.
+    pub events_processed: u64,
+    /// Total simulated time, ms.
+    pub simulated_ms: u64,
+    /// Wall-clock time of the campaign, ms.
+    pub wall_ms: u64,
+    /// Runs completed per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Simulated milliseconds per wall-clock second (the speed-up lens:
+    /// how much faster than real time the campaign replays).
+    pub simulated_ms_per_sec: f64,
 }
 
 /// Per-run loop label in Fig. 4/6 vocabulary.
@@ -78,7 +104,11 @@ impl LoopRatio {
             return LoopRatio::default();
         }
         let t = total as f64;
-        LoopRatio { no_loop: n as f64 / t, persistent: p as f64 / t, semi_persistent: sp as f64 / t }
+        LoopRatio {
+            no_loop: n as f64 / t,
+            persistent: p as f64 / t,
+            semi_persistent: sp as f64 / t,
+        }
     }
 
     /// Total loop share (II-P + II-SP).
@@ -148,7 +178,10 @@ impl Dataset {
                 e.0 += 1;
             }
         }
-        per_loc.values().map(|&(l, t)| l as f64 / t as f64).collect()
+        per_loc
+            .values()
+            .map(|&(l, t)| l as f64 / t as f64)
+            .collect()
     }
 
     /// Fig. 10 inputs: per-cycle (cycle s, off s, off ratio) per operator.
@@ -249,9 +282,12 @@ impl Dataset {
     pub fn problem_rsrp_by_type(&self, op: Operator) -> BTreeMap<String, Vec<f64>> {
         let mut out: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for r in self.by_operator(op) {
-            let Some(med) = onoff_analysis::median(&r.problem_channel_rsrp) else { continue };
+            let Some(med) = onoff_analysis::median(&r.problem_channel_rsrp) else {
+                continue;
+            };
             let key = if r.has_loop {
-                r.loop_type.map_or("?".to_string(), |t| t.label().to_string())
+                r.loop_type
+                    .map_or("?".to_string(), |t| t.label().to_string())
             } else {
                 "no-loop".to_string()
             };
@@ -268,8 +304,12 @@ impl Dataset {
             .filter(|(_, o, _)| *o == op)
             .map(|(n, _, _)| n.clone())
             .collect();
-        let size_km2: f64 =
-            self.areas.iter().filter(|(_, o, _)| *o == op).map(|(_, _, s)| s).sum();
+        let size_km2: f64 = self
+            .areas
+            .iter()
+            .filter(|(_, o, _)| *o == op)
+            .map(|(_, _, s)| s)
+            .sum();
         let mut locations: std::collections::BTreeSet<(String, usize)> = Default::default();
         let mut total_minutes = 0.0;
         let mut meas_results = 0u64;
@@ -360,11 +400,39 @@ mod tests {
     fn tiny_dataset() -> Dataset {
         Dataset {
             records: vec![
-                record(Operator::OpT, "A1", 0, true, Some(Persistence::Persistent), Some(LoopType::S1E3)),
+                record(
+                    Operator::OpT,
+                    "A1",
+                    0,
+                    true,
+                    Some(Persistence::Persistent),
+                    Some(LoopType::S1E3),
+                ),
                 record(Operator::OpT, "A1", 0, false, None, None),
-                record(Operator::OpT, "A1", 1, true, Some(Persistence::Persistent), Some(LoopType::S1E2)),
-                record(Operator::OpT, "A2", 0, true, Some(Persistence::SemiPersistent), Some(LoopType::S1E2)),
-                record(Operator::OpA, "A6", 0, true, Some(Persistence::Persistent), Some(LoopType::N2E1)),
+                record(
+                    Operator::OpT,
+                    "A1",
+                    1,
+                    true,
+                    Some(Persistence::Persistent),
+                    Some(LoopType::S1E2),
+                ),
+                record(
+                    Operator::OpT,
+                    "A2",
+                    0,
+                    true,
+                    Some(Persistence::SemiPersistent),
+                    Some(LoopType::S1E2),
+                ),
+                record(
+                    Operator::OpA,
+                    "A6",
+                    0,
+                    true,
+                    Some(Persistence::Persistent),
+                    Some(LoopType::N2E1),
+                ),
                 record(Operator::OpA, "A6", 1, false, None, None),
             ],
             areas: vec![

@@ -54,13 +54,10 @@ fn co_sited_or_strongest(
         .iter()
         .filter(|s| s.cell.rat == Rat::Nr && s.cell.arfcn == arfcn)
         .collect();
-    on.iter()
-        .find(|s| s.tower == tower)
-        .copied()
-        .or_else(|| {
-            on.into_iter()
-                .max_by(|a, b| rsrp(env, a, p).total_cmp(&rsrp(env, b, p)))
-        })
+    on.iter().find(|s| s.tower == tower).copied().or_else(|| {
+        on.into_iter()
+            .max_by(|a, b| rsrp(env, a, p).total_cmp(&rsrp(env, b, p)))
+    })
 }
 
 /// Computes the §6 model features of every cell-set combination available
@@ -98,7 +95,11 @@ pub fn location_features(
             .filter(|(s, _)| s.cell != pc.cell)
             .map(|(_, r)| *r)
             .fold(f64::NEG_INFINITY, f64::max);
-        let pcell_gap_db = if best_other.is_finite() { pc_rsrp - best_other } else { 20.0 };
+        let pcell_gap_db = if best_other.is_finite() {
+            pc_rsrp - best_other
+        } else {
+            20.0
+        };
 
         // Target SCell on the problematic channel and its best co-channel
         // rival. The modification command is only issued when the serving
@@ -113,9 +114,7 @@ pub fn location_features(
                     .cells
                     .iter()
                     .filter(|s| {
-                        s.cell.rat == Rat::Nr
-                            && s.cell.arfcn == PROBLEM_ARFCN
-                            && s.cell != t.cell
+                        s.cell.rat == Rat::Nr && s.cell.arfcn == PROBLEM_ARFCN && s.cell != t.cell
                     })
                     .map(|s| rsrp(env, s, p))
                     .fold(f64::NEG_INFINITY, f64::max);
@@ -152,7 +151,11 @@ pub fn location_features(
             worst = pc_rsrp;
         }
 
-        out.push(CellsetFeatures { pcell_gap_db, scell_gap_db, worst_scell_rsrp_dbm: worst });
+        out.push(CellsetFeatures {
+            pcell_gap_db,
+            scell_gap_db,
+            worst_scell_rsrp_dbm: worst,
+        });
     }
     out
 }
@@ -169,13 +172,8 @@ pub fn fine_grained_study(
 ) -> FineStudy {
     let policy = policy_for(area.operator);
     let origin = center.offset(-half_extent_m, -half_extent_m);
-    let grid = onoff_radio::geometry::grid(
-        origin,
-        2.0 * half_extent_m,
-        2.0 * half_extent_m,
-        side,
-        side,
-    );
+    let grid =
+        onoff_radio::geometry::grid(origin, 2.0 * half_extent_m, 2.0 * half_extent_m, side, side);
 
     let mut observed = Vec::with_capacity(grid.len());
     let mut scell_gaps = Vec::with_capacity(grid.len());
@@ -248,11 +246,24 @@ pub fn fine_grained_study(
         let prob = loops as f64 / runs_per_point as f64;
         let prob_s1 = s1_loops as f64 / runs_per_point as f64;
         observed.push(prob);
-        samples.push(LocationSample { combos: combos.clone(), observed: prob });
-        samples_s1.push(LocationSample { combos, observed: prob_s1 });
+        samples.push(LocationSample {
+            combos: combos.clone(),
+            observed: prob,
+        });
+        samples_s1.push(LocationSample {
+            combos,
+            observed: prob_s1,
+        });
     }
 
-    FineStudy { grid, observed, scell_gaps, samples, samples_s1, usage_observations }
+    FineStudy {
+        grid,
+        observed,
+        scell_gaps,
+        samples,
+        samples_s1,
+        usage_observations,
+    }
 }
 
 /// Derives one Fig. 21b observation from a run: the fixed target PCell's

@@ -22,10 +22,13 @@ pub mod runs;
 pub mod survey;
 
 pub use areas::{all_areas, Area};
-pub use dataset::Dataset;
+pub use dataset::{CampaignStats, Dataset};
 pub use fine::{fine_grained_study, location_features, FineStudy};
 pub use map::render_map;
+pub use onoff_detect::channel::Merge;
 pub use persist::{load_json, save_json};
 pub use record::RunRecord;
-pub use runs::{run_campaign, run_location, run_location_with_policy, CampaignConfig};
+pub use runs::{
+    run_campaign, run_location, run_location_with_policy, CampaignConfig, ParallelismConfig,
+};
 pub use survey::{drive_survey, Survey, SurveyedCell};

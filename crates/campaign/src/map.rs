@@ -34,9 +34,13 @@ pub fn render_map(area: &Area, likelihoods: Option<&[f64]>, cols: usize, rows: u
         grid[cy][cx] = glyph;
     }
     // Towers drawn last (visual anchor, like the paper's tower glyphs).
-    let mut towers: Vec<(f64, f64)> =
-        area.env.cells.iter().map(|c| (c.tower.x, c.tower.y)).collect();
-    towers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut towers: Vec<(f64, f64)> = area
+        .env
+        .cells
+        .iter()
+        .map(|c| (c.tower.x, c.tower.y))
+        .collect();
+    towers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     towers.dedup();
     for (x, y) in towers {
         if (0.0..=area.extent_m).contains(&x) && (0.0..=area.extent_m).contains(&y) {

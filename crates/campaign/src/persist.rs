@@ -63,7 +63,10 @@ mod tests {
         let back = load_json(&path).unwrap();
         assert_eq!(back.records.len(), 1);
         assert_eq!(back.records[0].seed, 42);
-        assert_eq!(back.records[0].loop_type, Some(onoff_detect::LoopType::S1E3));
+        assert_eq!(
+            back.records[0].loop_type,
+            Some(onoff_detect::LoopType::S1E3)
+        );
         assert_eq!(back.areas, ds.areas);
         std::fs::remove_file(&path).ok();
     }

@@ -1,19 +1,55 @@
-//! Run orchestration: locations × repeated runs × areas, in parallel.
+//! Run orchestration: a flat job list over locations × repeated runs ×
+//! areas, drained by a bounded work-stealing worker pool.
+//!
+//! Every (area, location, run) job is enumerated up front with its seed;
+//! workers claim jobs through a shared atomic cursor and accumulate into
+//! **private** [`Aggregates`] shards — no lock is held anywhere on the hot
+//! path. Shards are folded together once at the end through commutative
+//! [`Merge`] operations and a final deterministic record sort, so the
+//! resulting [`Dataset`] is bitwise-identical for any worker count.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
-
-use onoff_detect::channel::{ChannelUsage, ScellModStats};
 use onoff_detect::analyze_trace;
+use onoff_detect::channel::{ChannelUsage, Merge, ScellModStats};
 use onoff_policy::{policy_for, Operator, PhoneModel};
 use onoff_radio::noise::hash_words;
 use onoff_rrc::ids::Rat;
 use onoff_sim::{simulate, SimConfig};
 
 use crate::areas::{all_areas, Area};
-use crate::dataset::Dataset;
+use crate::dataset::{CampaignStats, Dataset};
 use crate::record::RunRecord;
+
+/// Worker-pool sizing for [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct ParallelismConfig {
+    /// Worker threads draining the job list. `1` reproduces a sequential
+    /// campaign; the default uses every available core.
+    pub workers: usize,
+}
+
+impl ParallelismConfig {
+    /// One worker per available core.
+    pub fn all_cores() -> ParallelismConfig {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ParallelismConfig { workers }
+    }
+
+    /// Exactly `workers` workers (minimum one).
+    pub fn with_workers(workers: usize) -> ParallelismConfig {
+        ParallelismConfig {
+            workers: workers.max(1),
+        }
+    }
+}
+
+impl Default for ParallelismConfig {
+    fn default() -> Self {
+        ParallelismConfig::all_cores()
+    }
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -28,6 +64,8 @@ pub struct CampaignConfig {
     pub device: PhoneModel,
     /// Run duration, ms (paper: 5-minute runs).
     pub duration_ms: u64,
+    /// Worker-pool sizing. Affects wall-clock only, never the dataset.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for CampaignConfig {
@@ -38,6 +76,7 @@ impl Default for CampaignConfig {
             runs_other: 6,
             device: PhoneModel::OnePlus12R,
             duration_ms: 300_000,
+            parallelism: ParallelismConfig::default(),
         }
     }
 }
@@ -50,7 +89,14 @@ pub fn run_location(
     seed: u64,
     duration_ms: u64,
 ) -> (RunRecord, onoff_sim::SimOutput, onoff_detect::RunAnalysis) {
-    run_location_with_policy(area, location, device, seed, duration_ms, policy_for(area.operator))
+    run_location_with_policy(
+        area,
+        location,
+        device,
+        seed,
+        duration_ms,
+        policy_for(area.operator),
+    )
 }
 
 /// [`run_location`] with an explicit (possibly modified) policy — the
@@ -86,63 +132,157 @@ pub fn run_location_with_policy(
     (record, out, analysis)
 }
 
-/// Aggregates accumulated during a campaign.
+/// Aggregates accumulated by one worker (and, after merging, the whole
+/// campaign).
 #[derive(Debug, Default)]
 struct Aggregates {
     records: Vec<RunRecord>,
     usage_nr: BTreeMap<Operator, ChannelUsage>,
     usage_lte: BTreeMap<Operator, ChannelUsage>,
     scell_mod: BTreeMap<Operator, ScellModStats>,
+    events_processed: u64,
+    simulated_ms: u64,
 }
 
-/// Runs every location of one area, in parallel across locations.
-fn run_area(area: &Area, cfg: &CampaignConfig, agg: &Mutex<Aggregates>) {
-    let runs = if area.name == "A1" { cfg.runs_a1 } else { cfg.runs_other };
-    crossbeam::scope(|scope| {
-        for loc in 0..area.locations.len() {
-            let agg = &agg;
-            scope.spawn(move |_| {
-                for r in 0..runs {
-                    let seed = hash_words(&[
-                        cfg.seed,
-                        area.operator as u64,
-                        area.name.as_bytes()[1] as u64,
-                        *area.name.as_bytes().last().unwrap() as u64,
-                        loc as u64,
-                        r as u64,
-                    ]);
-                    let (record, out, analysis) =
-                        run_location(area, loc, cfg.device, seed, cfg.duration_ms);
-                    let mut g = agg.lock();
-                    let usage_nr = g.usage_nr.entry(area.operator).or_default();
-                    if record.has_loop {
-                        usage_nr.add_loop_transitions(&analysis.off_transitions, Rat::Nr);
-                    } else {
-                        usage_nr.add_no_loop_run(&analysis.timeline, Rat::Nr);
-                    }
-                    let usage_lte = g.usage_lte.entry(area.operator).or_default();
-                    if record.has_loop {
-                        usage_lte.add_loop_transitions(&analysis.off_transitions, Rat::Lte);
-                    } else {
-                        usage_lte.add_no_loop_run(&analysis.timeline, Rat::Lte);
-                    }
-                    g.scell_mod.entry(area.operator).or_default().add_trace(&out.events);
-                    g.records.push(record);
-                }
-            });
+impl Merge for Aggregates {
+    fn merge(&mut self, other: Aggregates) {
+        self.records.extend(other.records);
+        // Fully qualified: `BTreeMap` may grow an inherent `merge` one day
+        // (unstable_name_collisions).
+        Merge::merge(&mut self.usage_nr, other.usage_nr);
+        Merge::merge(&mut self.usage_lte, other.usage_lte);
+        Merge::merge(&mut self.scell_mod, other.scell_mod);
+        self.events_processed += other.events_processed;
+        self.simulated_ms += other.simulated_ms;
+    }
+}
+
+impl Aggregates {
+    /// Executes one job and folds its outputs into this shard.
+    fn absorb(&mut self, area: &Area, job: &Job, cfg: &CampaignConfig) {
+        let (record, out, analysis) =
+            run_location(area, job.location, cfg.device, job.seed, cfg.duration_ms);
+        let usage_nr = self.usage_nr.entry(area.operator).or_default();
+        if record.has_loop {
+            usage_nr.add_loop_transitions(&analysis.off_transitions, Rat::Nr);
+        } else {
+            usage_nr.add_no_loop_run(&analysis.timeline, Rat::Nr);
         }
-    })
-    .expect("campaign worker panicked");
+        let usage_lte = self.usage_lte.entry(area.operator).or_default();
+        if record.has_loop {
+            usage_lte.add_loop_transitions(&analysis.off_transitions, Rat::Lte);
+        } else {
+            usage_lte.add_no_loop_run(&analysis.timeline, Rat::Lte);
+        }
+        self.scell_mod
+            .entry(area.operator)
+            .or_default()
+            .add_trace(&out.events);
+        self.events_processed += out.events.len() as u64;
+        self.simulated_ms += cfg.duration_ms;
+        self.records.push(record);
+    }
+}
+
+/// One unit of campaign work: a single stationary run.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    area_idx: usize,
+    location: usize,
+    seed: u64,
+}
+
+/// Injective encoding of an area name for seed derivation. All bytes of
+/// ASCII names are below the base, so names up to nine bytes map to
+/// distinct words — unlike hashing only two bytes, which collided for
+/// names sharing first-interior and last characters (e.g. "A1" vs "A10"
+/// vs a hypothetical "A100").
+fn area_name_word(name: &str) -> u64 {
+    name.bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
+}
+
+/// The per-run seed: master seed × operator × full area name × location ×
+/// run index.
+fn job_seed(cfg_seed: u64, area: &Area, location: usize, run: usize) -> u64 {
+    hash_words(&[
+        cfg_seed,
+        area.operator as u64,
+        area_name_word(&area.name),
+        location as u64,
+        run as u64,
+    ])
+}
+
+/// Enumerates every (area, location, run) job in deterministic order.
+fn enumerate_jobs(areas: &[Area], cfg: &CampaignConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (area_idx, area) in areas.iter().enumerate() {
+        let runs = if area.name == "A1" {
+            cfg.runs_a1
+        } else {
+            cfg.runs_other
+        };
+        for location in 0..area.locations.len() {
+            for r in 0..runs {
+                jobs.push(Job {
+                    area_idx,
+                    location,
+                    seed: job_seed(cfg.seed, area, location, r),
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Drains the job list with `workers` threads claiming jobs through a
+/// shared atomic cursor, then merges the per-worker shards.
+fn run_jobs(areas: &[Area], jobs: &[Job], cfg: &CampaignConfig) -> Aggregates {
+    let workers = cfg.parallelism.workers.max(1).min(jobs.len().max(1));
+    if workers == 1 {
+        let mut agg = Aggregates::default();
+        for job in jobs {
+            agg.absorb(&areas[job.area_idx], job, cfg);
+        }
+        return agg;
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut shards = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut shard = Aggregates::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        shard.absorb(&areas[job.area_idx], job, cfg);
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    // Merge in worker order; every Merge impl is commutative, so the
+    // result is independent of both worker count and job interleaving.
+    let mut agg = shards.remove(0);
+    for shard in shards {
+        agg.merge(shard);
+    }
+    agg
 }
 
 /// Runs the full eleven-area campaign and assembles the dataset.
 pub fn run_campaign(cfg: &CampaignConfig) -> Dataset {
+    let started = std::time::Instant::now();
     let areas = all_areas(cfg.seed);
-    let agg = Mutex::new(Aggregates::default());
-    for area in &areas {
-        run_area(area, cfg, &agg);
-    }
-    let mut agg = agg.into_inner();
+    let jobs = enumerate_jobs(&areas, cfg);
+    let mut agg = run_jobs(&areas, &jobs, cfg);
+
     // Deterministic record order regardless of thread interleaving.
     agg.records.sort_by(|a, b| {
         (a.operator, &a.area, a.location, a.seed).cmp(&(b.operator, &b.area, b.location, b.seed))
@@ -151,9 +291,31 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Dataset {
     let mut cell_counts = BTreeMap::new();
     for area in &areas {
         let e = cell_counts.entry(area.operator).or_insert((0usize, 0usize));
-        e.0 += area.env.cells.iter().filter(|c| c.cell.rat == Rat::Nr).count();
-        e.1 += area.env.cells.iter().filter(|c| c.cell.rat == Rat::Lte).count();
+        e.0 += area
+            .env
+            .cells
+            .iter()
+            .filter(|c| c.cell.rat == Rat::Nr)
+            .count();
+        e.1 += area
+            .env
+            .cells
+            .iter()
+            .filter(|c| c.cell.rat == Rat::Lte)
+            .count();
     }
+
+    let wall = started.elapsed();
+    let secs = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    let stats = CampaignStats {
+        runs: jobs.len(),
+        workers: cfg.parallelism.workers.max(1).min(jobs.len().max(1)),
+        events_processed: agg.events_processed,
+        simulated_ms: agg.simulated_ms,
+        wall_ms: wall.as_millis() as u64,
+        runs_per_sec: jobs.len() as f64 / secs,
+        simulated_ms_per_sec: agg.simulated_ms as f64 / secs,
+    };
 
     Dataset {
         records: agg.records,
@@ -161,7 +323,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Dataset {
         usage_lte: agg.usage_lte,
         scell_mod: agg.scell_mod,
         cell_counts,
-        areas: areas.iter().map(|a| (a.name.clone(), a.operator, a.size_km2())).collect(),
+        areas: areas
+            .iter()
+            .map(|a| (a.name.clone(), a.operator, a.size_km2()))
+            .collect(),
+        stats,
     }
 }
 
@@ -188,5 +354,31 @@ mod tests {
         let (r1, ..) = run_location(&a1, 3, PhoneModel::OnePlus12R, 9, 60_000);
         let (r2, ..) = run_location(&a1, 3, PhoneModel::OnePlus12R, 9, 60_000);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn area_name_word_is_injective_over_area_names() {
+        let names = [
+            "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11",
+        ];
+        let words: std::collections::BTreeSet<u64> =
+            names.iter().map(|n| area_name_word(n)).collect();
+        assert_eq!(words.len(), names.len());
+    }
+
+    #[test]
+    fn job_seeds_are_distinct_across_areas_sharing_name_shape() {
+        // The old derivation hashed name bytes [1] and [last] only, making
+        // "A1" at (loc, r) collide with "A10"/"A11" patterns under seed
+        // reuse; the full-name word keeps every job seed distinct.
+        let areas = all_areas(5);
+        let cfg = CampaignConfig {
+            runs_a1: 2,
+            runs_other: 2,
+            ..Default::default()
+        };
+        let jobs = enumerate_jobs(&areas, &cfg);
+        let seeds: std::collections::BTreeSet<u64> = jobs.iter().map(|j| j.seed).collect();
+        assert_eq!(seeds.len(), jobs.len());
     }
 }

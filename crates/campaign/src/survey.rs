@@ -56,8 +56,12 @@ impl Survey {
 
     /// Distinct channels seen per RAT.
     pub fn channels(&self, rat: Rat) -> Vec<u32> {
-        let mut v: Vec<u32> =
-            self.cells.keys().filter(|c| c.rat == rat).map(|c| c.arfcn).collect();
+        let mut v: Vec<u32> = self
+            .cells
+            .keys()
+            .filter(|c| c.rat == rat)
+            .map(|c| c.arfcn)
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -142,7 +146,10 @@ mod tests {
         let survey = drive_survey(&a1, 150.0);
         let (nr, lte) = survey.cell_counts();
         assert_eq!(nr + lte, survey.cells.len());
-        assert!(nr > lte, "an OP_T SA area deploys more 5G than 4G cells (Table 3)");
+        assert!(
+            nr > lte,
+            "an OP_T SA area deploys more 5G than 4G cells (Table 3)"
+        );
         // OP_T's five NR channels all show up.
         let ch = survey.channels(Rat::Nr);
         for want in [126270u32, 387410, 398410, 501390, 521310] {

@@ -13,9 +13,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: onoff-report [--csv timeline|transitions|cycles] [--stats] <log-file|->"
-    );
+    eprintln!("usage: onoff-report [--csv timeline|transitions|cycles] [--stats] <log-file|->");
     ExitCode::from(2)
 }
 
@@ -94,7 +92,10 @@ fn main() -> ExitCode {
             )
         }
         Some("cycles") => {
-            print!("{}", onoff_detect::export::cycles_csv(&report.analysis.loops))
+            print!(
+                "{}",
+                onoff_detect::export::cycles_csv(&report.analysis.loops)
+            )
         }
         Some(other) => {
             eprintln!("unknown CSV kind {other:?} (timeline|transitions|cycles)");

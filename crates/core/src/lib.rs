@@ -81,10 +81,16 @@ pub fn analyze_events(events: &[TraceEvent]) -> LoopReport {
         .loops
         .iter()
         .map(|lp| {
-            let cycles: Vec<f64> =
-                lp.cycles.iter().map(|c| c.cycle_ms() as f64 / 1000.0).collect();
-            let offs: Vec<f64> =
-                lp.cycles.iter().map(|c| c.off_ms() as f64 / 1000.0).collect();
+            let cycles: Vec<f64> = lp
+                .cycles
+                .iter()
+                .map(|c| c.cycle_ms() as f64 / 1000.0)
+                .collect();
+            let offs: Vec<f64> = lp
+                .cycles
+                .iter()
+                .map(|c| c.off_ms() as f64 / 1000.0)
+                .collect();
             let median_cycle_s = onoff_analysis::median(&cycles).unwrap_or(0.0);
             let median_off_s = onoff_analysis::median(&offs).unwrap_or(0.0);
             // Majority sub-type and its problem cell among this loop's
@@ -134,8 +140,10 @@ pub fn render_report(report: &LoopReport) -> String {
         "5G ON {:.1}s / OFF {:.1}s; median speed ON {} / OFF {}\n",
         m.on_ms as f64 / 1000.0,
         m.off_ms as f64 / 1000.0,
-        m.median_on_mbps.map_or("n/a".into(), |v| format!("{v:.1} Mbps")),
-        m.median_off_mbps.map_or("n/a".into(), |v| format!("{v:.1} Mbps")),
+        m.median_on_mbps
+            .map_or("n/a".into(), |v| format!("{v:.1} Mbps")),
+        m.median_off_mbps
+            .map_or("n/a".into(), |v| format!("{v:.1} Mbps")),
     ));
     out.push_str(&format!(
         "serving-cell sets: {} unique, {} transitions\n",

@@ -48,14 +48,16 @@ pub struct CsTimeline {
 }
 
 impl CsTimeline {
-    /// Connectivity state of an interned set.
+    /// Connectivity state of an interned set. Ids outside the intern table
+    /// (possible in hand-built or deserialized timelines) read as IDLE
+    /// rather than panicking.
     pub fn state(&self, id: usize) -> ConnState {
-        self.sets[id].state()
+        self.sets.get(id).map_or(ConnState::Idle, |s| s.state())
     }
 
-    /// 5G-ON predicate of an interned set.
+    /// 5G-ON predicate of an interned set; out-of-range ids read as OFF.
     pub fn uses_5g(&self, id: usize) -> bool {
-        self.sets[id].uses_5g()
+        self.sets.get(id).is_some_and(|s| s.uses_5g())
     }
 
     /// Total number of distinct sets (the paper's "# CS (unique)").
@@ -96,7 +98,10 @@ impl Interner {
     fn new() -> Interner {
         let idle = ServingCellSet::idle();
         let key = idle.canonical_key();
-        Interner { sets: vec![idle], keys: vec![key] }
+        Interner {
+            sets: vec![idle],
+            keys: vec![key],
+        }
     }
 
     fn intern(&mut self, cs: &ServingCellSet) -> usize {
@@ -113,7 +118,10 @@ impl Interner {
 /// Extracts the serving-cell-set timeline from a trace.
 pub fn extract_timeline(events: &[TraceEvent]) -> CsTimeline {
     let mut interner = Interner::new();
-    let mut samples: Vec<CsSample> = vec![CsSample { t: Timestamp(0), id: 0 }];
+    let mut samples: Vec<CsSample> = vec![CsSample {
+        t: Timestamp(0),
+        id: 0,
+    }];
     let mut cs = ServingCellSet::idle();
     // Command awaiting its Complete: (record RAT, body).
     let mut pending: Option<(Rat, ReconfigBody)> = None;
@@ -121,8 +129,10 @@ pub fn extract_timeline(events: &[TraceEvent]) -> CsTimeline {
     let mut pending_pcell: Option<onoff_rrc::ids::CellId> = None;
     let mut end = Timestamp(0);
 
-    let push = |t: Timestamp, cs: &ServingCellSet, interner: &mut Interner,
-                    samples: &mut Vec<CsSample>| {
+    let push = |t: Timestamp,
+                cs: &ServingCellSet,
+                interner: &mut Interner,
+                samples: &mut Vec<CsSample>| {
         let id = interner.intern(cs);
         if samples.last().map(|s| s.id) != Some(id) {
             samples.push(CsSample { t, id });
@@ -168,7 +178,10 @@ pub fn extract_timeline(events: &[TraceEvent]) -> CsTimeline {
                 }
                 _ => {}
             },
-            TraceEvent::Mm { t, state: MmState::DeregisteredNoCellAvailable } => {
+            TraceEvent::Mm {
+                t,
+                state: MmState::DeregisteredNoCellAvailable,
+            } => {
                 pending = None;
                 pending_pcell = None;
                 cs.release_all();
@@ -178,7 +191,11 @@ pub fn extract_timeline(events: &[TraceEvent]) -> CsTimeline {
         }
     }
 
-    CsTimeline { sets: interner.sets, samples, end }
+    CsTimeline {
+        sets: interner.sets,
+        samples,
+        end,
+    }
 }
 
 /// Applies a completed reconfiguration to the serving set.
@@ -234,6 +251,38 @@ mod tests {
         CellId::lte(Pci(pci), arfcn)
     }
 
+    #[test]
+    fn empty_trace_yields_idle_timeline() {
+        let tl = extract_timeline(&[]);
+        assert_eq!(tl.samples.len(), 1);
+        assert_eq!(tl.samples[0].id, 0);
+        assert_eq!(tl.state(0), ConnState::Idle);
+        assert!(tl.on_off_intervals().iter().all(|&(_, _, on)| !on));
+    }
+
+    #[test]
+    fn out_of_range_ids_read_as_idle() {
+        let tl = extract_timeline(&[]);
+        // Hand-built/deserialized timelines can reference ids the intern
+        // table doesn't have; accessors degrade instead of panicking.
+        assert_eq!(tl.state(99), ConnState::Idle);
+        assert!(!tl.uses_5g(99));
+    }
+
+    #[test]
+    fn single_sample_on_off_intervals() {
+        let tl = CsTimeline {
+            sets: vec![ServingCellSet::idle()],
+            samples: vec![CsSample {
+                t: Timestamp(0),
+                id: 0,
+            }],
+            end: Timestamp(5_000),
+        };
+        let onoff = tl.on_off_intervals();
+        assert_eq!(onoff, vec![(Timestamp(0), Timestamp(5_000), false)]);
+    }
+
     /// Replays the paper's Fig. 24–26 storyline and checks the CS sequence:
     /// IDLE → SA1 (PCell) → SA2 (+3 SCells) → SA3 (SCell mod ok) → SA4
     /// (SCell mod completed) → IDLE (exception).
@@ -241,16 +290,32 @@ mod tests {
     fn appendix_b_worked_example() {
         let p = nr(393, 521310);
         let events = vec![
-            rrc(0, Rat::Nr, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(
+                0,
+                Rat::Nr,
+                RrcMessage::SetupRequest {
+                    cell: p,
+                    global_id: GlobalCellId(1),
+                },
+            ),
             rrc(100, Rat::Nr, RrcMessage::SetupComplete),
             rrc(
                 3200,
                 Rat::Nr,
                 RrcMessage::Reconfiguration(ReconfigBody {
                     scell_to_add_mod: vec![
-                        ScellAddMod { index: 1, cell: nr(273, 387410) },
-                        ScellAddMod { index: 2, cell: nr(273, 398410) },
-                        ScellAddMod { index: 3, cell: nr(393, 501390) },
+                        ScellAddMod {
+                            index: 1,
+                            cell: nr(273, 387410),
+                        },
+                        ScellAddMod {
+                            index: 2,
+                            cell: nr(273, 398410),
+                        },
+                        ScellAddMod {
+                            index: 3,
+                            cell: nr(393, 501390),
+                        },
                     ],
                     ..Default::default()
                 }),
@@ -261,7 +326,10 @@ mod tests {
                 4900,
                 Rat::Nr,
                 RrcMessage::Reconfiguration(ReconfigBody {
-                    scell_to_add_mod: vec![ScellAddMod { index: 4, cell: nr(104, 501390) }],
+                    scell_to_add_mod: vec![ScellAddMod {
+                        index: 4,
+                        cell: nr(104, 501390),
+                    }],
                     scell_to_release: vec![3],
                     ..Default::default()
                 }),
@@ -273,17 +341,26 @@ mod tests {
                 6900,
                 Rat::Nr,
                 RrcMessage::Reconfiguration(ReconfigBody {
-                    scell_to_add_mod: vec![ScellAddMod { index: 3, cell: nr(371, 387410) }],
+                    scell_to_add_mod: vec![ScellAddMod {
+                        index: 3,
+                        cell: nr(371, 387410),
+                    }],
                     scell_to_release: vec![1],
                     ..Default::default()
                 }),
             ),
             rrc(6915, Rat::Nr, RrcMessage::ReconfigurationComplete),
-            TraceEvent::Mm { t: Timestamp(6920), state: MmState::DeregisteredNoCellAvailable },
+            TraceEvent::Mm {
+                t: Timestamp(6920),
+                state: MmState::DeregisteredNoCellAvailable,
+            },
         ];
         let tl = extract_timeline(&events);
-        let seq: Vec<String> =
-            tl.samples.iter().map(|s| tl.sets[s.id].to_string()).collect();
+        let seq: Vec<String> = tl
+            .samples
+            .iter()
+            .map(|s| tl.sets[s.id].to_string())
+            .collect();
         assert_eq!(
             seq,
             vec![
@@ -304,7 +381,14 @@ mod tests {
     fn command_without_complete_changes_nothing() {
         let p = lte(97, 5815);
         let events = vec![
-            rrc(0, Rat::Lte, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(
+                0,
+                Rat::Lte,
+                RrcMessage::SetupRequest {
+                    cell: p,
+                    global_id: GlobalCellId(1),
+                },
+            ),
             rrc(100, Rat::Lte, RrcMessage::SetupComplete),
             // Handover command that fails (no Complete).
             rrc(
@@ -322,11 +406,20 @@ mod tests {
                     cause: onoff_rrc::messages::ReestablishmentCause::HandoverFailure,
                 },
             ),
-            rrc(1400, Rat::Lte, RrcMessage::ReestablishmentComplete { cell: lte(310, 66486) }),
+            rrc(
+                1400,
+                Rat::Lte,
+                RrcMessage::ReestablishmentComplete {
+                    cell: lte(310, 66486),
+                },
+            ),
         ];
         let tl = extract_timeline(&events);
-        let seq: Vec<String> =
-            tl.samples.iter().map(|s| tl.sets[s.id].to_string()).collect();
+        let seq: Vec<String> = tl
+            .samples
+            .iter()
+            .map(|s| tl.sets[s.id].to_string())
+            .collect();
         // The failed handover never lands on the timeline; reestablishment
         // passes through IDLE.
         assert_eq!(seq, vec!["{}", "{97@5815*}", "{}", "{310@66486*}"]);
@@ -336,7 +429,14 @@ mod tests {
     fn nsa_scg_lifecycle() {
         let p = lte(238, 5145);
         let events = vec![
-            rrc(0, Rat::Lte, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(
+                0,
+                Rat::Lte,
+                RrcMessage::SetupRequest {
+                    cell: p,
+                    global_id: GlobalCellId(1),
+                },
+            ),
             rrc(100, Rat::Lte, RrcMessage::SetupComplete),
             // SCG addition: PSCell + one NR SCell in an LTE record.
             rrc(
@@ -344,7 +444,10 @@ mod tests {
                 Rat::Lte,
                 RrcMessage::Reconfiguration(ReconfigBody {
                     sp_cell: Some(nr(66, 632736)),
-                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr(66, 658080) }],
+                    scell_to_add_mod: vec![ScellAddMod {
+                        index: 1,
+                        cell: nr(66, 658080),
+                    }],
                     ..Default::default()
                 }),
             ),
@@ -364,7 +467,12 @@ mod tests {
         let states: Vec<ConnState> = tl.samples.iter().map(|s| tl.state(s.id)).collect();
         assert_eq!(
             states,
-            vec![ConnState::Idle, ConnState::LteOnly, ConnState::Nsa, ConnState::LteOnly]
+            vec![
+                ConnState::Idle,
+                ConnState::LteOnly,
+                ConnState::Nsa,
+                ConnState::LteOnly
+            ]
         );
         assert_eq!(
             tl.sets[tl.samples[2].id].to_string(),
@@ -376,7 +484,14 @@ mod tests {
     fn handover_without_sp_cell_drops_scg() {
         let p = lte(380, 5145);
         let events = vec![
-            rrc(0, Rat::Lte, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(
+                0,
+                Rat::Lte,
+                RrcMessage::SetupRequest {
+                    cell: p,
+                    global_id: GlobalCellId(1),
+                },
+            ),
             rrc(100, Rat::Lte, RrcMessage::SetupComplete),
             rrc(
                 1000,
@@ -407,19 +522,32 @@ mod tests {
     fn on_off_intervals_merge() {
         let p = nr(393, 521310);
         let events = vec![
-            rrc(0, Rat::Nr, RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) }),
+            rrc(
+                0,
+                Rat::Nr,
+                RrcMessage::SetupRequest {
+                    cell: p,
+                    global_id: GlobalCellId(1),
+                },
+            ),
             rrc(100, Rat::Nr, RrcMessage::SetupComplete),
             rrc(
                 2000,
                 Rat::Nr,
                 RrcMessage::Reconfiguration(ReconfigBody {
-                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr(273, 387410) }],
+                    scell_to_add_mod: vec![ScellAddMod {
+                        index: 1,
+                        cell: nr(273, 387410),
+                    }],
                     ..Default::default()
                 }),
             ),
             rrc(2015, Rat::Nr, RrcMessage::ReconfigurationComplete),
             rrc(8000, Rat::Nr, RrcMessage::Release),
-            TraceEvent::Throughput { t: Timestamp(12_000), mbps: 0.0 },
+            TraceEvent::Throughput {
+                t: Timestamp(12_000),
+                mbps: 0.0,
+            },
         ];
         let tl = extract_timeline(&events);
         let onoff = tl.on_off_intervals();
@@ -448,7 +576,10 @@ mod tests {
             events.push(rrc(
                 base,
                 Rat::Nr,
-                RrcMessage::SetupRequest { cell: p, global_id: GlobalCellId(1) },
+                RrcMessage::SetupRequest {
+                    cell: p,
+                    global_id: GlobalCellId(1),
+                },
             ));
             events.push(rrc(base + 100, Rat::Nr, RrcMessage::SetupComplete));
             events.push(rrc(base + 5000, Rat::Nr, RrcMessage::Release));

@@ -19,6 +19,17 @@ use onoff_rrc::trace::{MmState, TraceEvent};
 use crate::cellset::CsTimeline;
 use crate::classify::LoopType;
 
+/// Order-independent combination of two aggregates.
+///
+/// Campaign workers accumulate into private shards and fold them together
+/// once at the end; every implementation must be commutative and
+/// associative (plain counter addition) so the merged result is identical
+/// for any shard assignment and worker count.
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
 /// Per-channel usage counters.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ChannelUsage {
@@ -66,7 +77,16 @@ impl ChannelUsage {
         let total: u64 = bucket.values().sum();
         bucket
             .iter()
-            .map(|(&ch, &n)| (ch, if total == 0 { 0.0 } else { n as f64 / total as f64 }))
+            .map(|(&ch, &n)| {
+                (
+                    ch,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        n as f64 / total as f64
+                    },
+                )
+            })
             .collect()
     }
 
@@ -79,6 +99,20 @@ impl ChannelUsage {
             }
         }
         out
+    }
+}
+
+impl Merge for ChannelUsage {
+    fn merge(&mut self, other: ChannelUsage) {
+        for (ch, n) in other.no_loop {
+            *self.no_loop.entry(ch).or_insert(0) += n;
+        }
+        for (ty, bucket) in other.per_type {
+            let mine = self.per_type.entry(ty).or_default();
+            for (ch, n) in bucket {
+                *mine.entry(ch).or_insert(0) += n;
+            }
+        }
     }
 }
 
@@ -112,7 +146,10 @@ impl ScellModStats {
                     }
                     _ => {}
                 },
-                TraceEvent::Mm { t, state: MmState::DeregisteredNoCellAvailable } => {
+                TraceEvent::Mm {
+                    t,
+                    state: MmState::DeregisteredNoCellAvailable,
+                } => {
                     if let Some((ct, ch)) = completed.take() {
                         if t.since(ct) <= 1000 {
                             self.per_channel.get_mut(&ch).expect("attempt recorded").1 += 1;
@@ -129,9 +166,34 @@ impl ScellModStats {
         self.per_channel
             .iter()
             .map(|(&ch, &(att, fail))| {
-                (ch, if att == 0 { 0.0 } else { fail as f64 / att as f64 })
+                (
+                    ch,
+                    if att == 0 {
+                        0.0
+                    } else {
+                        fail as f64 / att as f64
+                    },
+                )
             })
             .collect()
+    }
+}
+
+impl Merge for ScellModStats {
+    fn merge(&mut self, other: ScellModStats) {
+        for (ch, (att, fail)) in other.per_channel {
+            let e = self.per_channel.entry(ch).or_insert((0, 0));
+            e.0 += att;
+            e.1 += fail;
+        }
+    }
+}
+
+impl<K: Ord, V: Merge + Default> Merge for BTreeMap<K, V> {
+    fn merge(&mut self, other: BTreeMap<K, V>) {
+        for (k, v) in other {
+            self.entry(k).or_default().merge(v);
+        }
     }
 }
 
@@ -159,12 +221,21 @@ mod tests {
 
     fn sa_trace(fail: bool) -> Vec<TraceEvent> {
         let mut ev = vec![
-            rrc(0, RrcMessage::SetupRequest { cell: nr(393, 521310), global_id: GlobalCellId(1) }),
+            rrc(
+                0,
+                RrcMessage::SetupRequest {
+                    cell: nr(393, 521310),
+                    global_id: GlobalCellId(1),
+                },
+            ),
             rrc(100, RrcMessage::SetupComplete),
             rrc(
                 3000,
                 RrcMessage::Reconfiguration(ReconfigBody {
-                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr(273, 387410) }],
+                    scell_to_add_mod: vec![ScellAddMod {
+                        index: 1,
+                        cell: nr(273, 387410),
+                    }],
                     ..Default::default()
                 }),
             ),
@@ -172,7 +243,10 @@ mod tests {
             rrc(
                 5000,
                 RrcMessage::Reconfiguration(ReconfigBody {
-                    scell_to_add_mod: vec![ScellAddMod { index: 2, cell: nr(371, 387410) }],
+                    scell_to_add_mod: vec![ScellAddMod {
+                        index: 2,
+                        cell: nr(371, 387410),
+                    }],
                     scell_to_release: vec![1],
                     ..Default::default()
                 }),
@@ -204,7 +278,10 @@ mod tests {
             rrc(
                 0,
                 RrcMessage::Reconfiguration(ReconfigBody {
-                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr(273, 387410) }],
+                    scell_to_add_mod: vec![ScellAddMod {
+                        index: 1,
+                        cell: nr(273, 387410),
+                    }],
                     ..Default::default()
                 }),
             ),

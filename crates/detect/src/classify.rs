@@ -29,9 +29,7 @@ use onoff_rrc::trace::{MmState, Timestamp, TraceEvent};
 use crate::cellset::CsTimeline;
 
 /// The seven loop sub-types of Fig. 13, plus an explicit unknown.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum LoopType {
     /// SA: SCell measurement configured but never reported.
     S1E1,
@@ -157,8 +155,10 @@ pub fn classify_off_transition(
     // seconds *after* 5G dropped (the SCG-releasing handover), during the
     // OFF period.
     let hi = Timestamp(t.millis() + 5000);
-    let window: Vec<&TraceEvent> =
-        events.iter().filter(|e| e.t() >= lo && e.t() <= hi).collect();
+    let window: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.t() >= lo && e.t() <= hi)
+        .collect();
 
     // Collect window facts.
     let mut scell_mods: Vec<(Timestamp, CellId)> = Vec::new(); // completed (t, target)
@@ -209,7 +209,10 @@ pub fn classify_off_transition(
                 RrcMessage::MeasurementReport(r) => reports.push((rec.t, r)),
                 _ => {}
             },
-            TraceEvent::Mm { t: mt, state: MmState::DeregisteredNoCellAvailable } => {
+            TraceEvent::Mm {
+                t: mt,
+                state: MmState::DeregisteredNoCellAvailable,
+            } => {
                 collapse_at = Some(*mt);
             }
             _ => {}
@@ -248,7 +251,8 @@ pub fn classify_off_transition(
                     // The failing handover: the last one initiated at or
                     // before the re-establishment.
                     problem_cell: handovers
-                        .iter().rfind(|(ht, ..)| *ht <= rt)
+                        .iter()
+                        .rfind(|(ht, ..)| *ht <= rt)
                         .map(|(_, target, _, _)| *target),
                 },
                 _ => OffTransition {
@@ -298,7 +302,11 @@ pub fn classify_off_transition(
                 && body.is_handover_dropping_scg()
         });
         if let Some((_, target, _, _)) = at_transition {
-            return OffTransition { t, loop_type: LoopType::N2E1, problem_cell: Some(*target) };
+            return OffTransition {
+                t,
+                loop_type: LoopType::N2E1,
+                problem_cell: Some(*target),
+            };
         }
     }
 
@@ -338,7 +346,11 @@ pub fn classify_off_transition(
         }
     }
 
-    OffTransition { t, loop_type: LoopType::Unknown, problem_cell: None }
+    OffTransition {
+        t,
+        loop_type: LoopType::Unknown,
+        problem_cell: None,
+    }
 }
 
 #[cfg(test)]
@@ -381,7 +393,10 @@ mod tests {
                 trigger: None,
                 results: cells
                     .iter()
-                    .map(|&(c, p, q)| MeasResult { cell: c, meas: Measurement::new(p, q) })
+                    .map(|&(c, p, q)| MeasResult {
+                        cell: c,
+                        meas: Measurement::new(p, q),
+                    })
                     .collect(),
             }),
         )
@@ -394,13 +409,19 @@ mod tests {
                 5000,
                 Rat::Nr,
                 RrcMessage::Reconfiguration(ReconfigBody {
-                    scell_to_add_mod: vec![ScellAddMod { index: 3, cell: nr(371, 387410) }],
+                    scell_to_add_mod: vec![ScellAddMod {
+                        index: 3,
+                        cell: nr(371, 387410),
+                    }],
                     scell_to_release: vec![1],
                     ..Default::default()
                 }),
             ),
             rrc(5015, Rat::Nr, RrcMessage::ReconfigurationComplete),
-            TraceEvent::Mm { t: Timestamp(5020), state: MmState::DeregisteredNoCellAvailable },
+            TraceEvent::Mm {
+                t: Timestamp(5020),
+                state: MmState::DeregisteredNoCellAvailable,
+            },
         ];
         let tr = classify_off_transition(&events, &sa_set(), Timestamp(5020));
         assert_eq!(tr.loop_type, LoopType::S1E3);
@@ -429,9 +450,18 @@ mod tests {
         let bad = nr(273, 387410);
         let ok = nr(273, 398410);
         let events = vec![
-            report(1000, &[(p, -82.0, -10.5), (bad, -108.5, -25.5), (ok, -82.0, -10.5)]),
-            report(2000, &[(p, -82.0, -10.5), (bad, -108.0, -25.0), (ok, -82.0, -10.5)]),
-            report(3000, &[(p, -82.0, -10.5), (bad, -109.0, -26.0), (ok, -82.0, -10.5)]),
+            report(
+                1000,
+                &[(p, -82.0, -10.5), (bad, -108.5, -25.5), (ok, -82.0, -10.5)],
+            ),
+            report(
+                2000,
+                &[(p, -82.0, -10.5), (bad, -108.0, -25.0), (ok, -82.0, -10.5)],
+            ),
+            report(
+                3000,
+                &[(p, -82.0, -10.5), (bad, -109.0, -26.0), (ok, -82.0, -10.5)],
+            ),
             rrc(3100, Rat::Nr, RrcMessage::Release),
         ];
         let tr = classify_off_transition(&events, &sa_set(), Timestamp(3100));
@@ -445,7 +475,9 @@ mod tests {
         let events = vec![rrc(
             7000,
             Rat::Lte,
-            RrcMessage::ReestablishmentRequest { cause: ReestablishmentCause::OtherFailure },
+            RrcMessage::ReestablishmentRequest {
+                cause: ReestablishmentCause::OtherFailure,
+            },
         )];
         let tr = classify_off_transition(&events, &serving, Timestamp(7000));
         assert_eq!(tr.loop_type, LoopType::N1E1);

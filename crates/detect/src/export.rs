@@ -85,7 +85,10 @@ mod tests {
                 rat: Rat::Nr,
                 channel: LogChannel::UlCcch,
                 context: Some(cell),
-                msg: RrcMessage::SetupRequest { cell, global_id: GlobalCellId(1) },
+                msg: RrcMessage::SetupRequest {
+                    cell,
+                    global_id: GlobalCellId(1),
+                },
             }),
             TraceEvent::Rrc(LogRecord {
                 t: Timestamp(200),

@@ -28,7 +28,7 @@ pub mod render;
 pub mod stream;
 
 pub use cellset::{CsSample, CsTimeline};
-pub use channel::{ChannelUsage, ScellModStats};
+pub use channel::{ChannelUsage, Merge, ScellModStats};
 pub use classify::{classify_off_transition, LoopType, OffTransition};
 pub use loops::{detect_loops, Cycle, LoopInstance, Persistence};
 pub use metrics::{run_metrics, RunMetrics};
@@ -78,5 +78,10 @@ pub fn analyze_trace(events: &[TraceEvent]) -> RunAnalysis {
     let loops = loops::detect_loops(&timeline);
     let off_transitions = classify::classify_all(events, &timeline);
     let metrics = metrics::run_metrics(events, &timeline, &loops);
-    RunAnalysis { timeline, loops, off_transitions, metrics }
+    RunAnalysis {
+        timeline,
+        loops,
+        off_transitions,
+        metrics,
+    }
 }

@@ -107,7 +107,12 @@ fn episodes(tl: &CsTimeline) -> Vec<Episode> {
                 e.end = start;
                 eps.push(e);
             }
-            cur = Some(Episode { ids: Vec::new(), start, off_at: None, end: start });
+            cur = Some(Episode {
+                ids: Vec::new(),
+                start,
+                off_at: None,
+                end: start,
+            });
         }
         if let Some(e) = &mut cur {
             e.ids.push(id);
@@ -162,17 +167,23 @@ pub fn detect_loops(tl: &CsTimeline) -> Vec<LoopInstance> {
             }
         }
     }
-    let repeated: Vec<usize> =
-        (0..shapes.len()).filter(|&k| counts[k].1 >= 2).collect();
+    let repeated: Vec<usize> = (0..shapes.len()).filter(|&k| counts[k].1 >= 2).collect();
     if repeated.is_empty() {
         return Vec::new();
     }
 
-    let start_idx = repeated.iter().map(|&k| counts[k].0).min().unwrap();
-    let last_idx = (0..eps.len())
+    // `repeated` is non-empty here, so these lookups always succeed on
+    // well-formed timelines; guard anyway so a malformed (e.g. hand-built
+    // or deserialized) timeline degrades to "no loop" instead of panicking.
+    let Some(start_idx) = repeated.iter().map(|&k| counts[k].0).min() else {
+        return Vec::new();
+    };
+    let Some(last_idx) = (0..eps.len())
         .rev()
         .find(|&i| occurrence[i].is_some_and(|k| counts[k].1 >= 2))
-        .unwrap();
+    else {
+        return Vec::new();
+    };
 
     // Ids visited inside the span.
     let mut span_ids: Vec<usize> = Vec::new();
@@ -188,15 +199,16 @@ pub fn detect_loops(tl: &CsTimeline) -> Vec<LoopInstance> {
         .iter()
         .flat_map(|e| e.ids.iter())
         .all(|id| span_ids.contains(id));
-    let persistence =
-        if tail_ok { Persistence::Persistent } else { Persistence::SemiPersistent };
+    let persistence = if tail_ok {
+        Persistence::Persistent
+    } else {
+        Persistence::SemiPersistent
+    };
 
     // Representative episode: the most-repeated shape.
-    let best = repeated
-        .iter()
-        .copied()
-        .max_by_key(|&k| counts[k].1)
-        .unwrap();
+    let Some(best) = repeated.iter().copied().max_by_key(|&k| counts[k].1) else {
+        return Vec::new();
+    };
     let repetitions = counts[best].1;
     let block: Vec<usize> = shapes[best].to_vec();
 
@@ -213,7 +225,13 @@ pub fn detect_loops(tl: &CsTimeline) -> Vec<LoopInstance> {
     };
     let cycles: Vec<Cycle> = cycle_range
         .iter()
-        .filter_map(|e| e.off_at.map(|off| Cycle { on_at: e.start, off_at: off, end_at: e.end }))
+        .filter_map(|e| {
+            e.off_at.map(|off| Cycle {
+                on_at: e.start,
+                off_at: off,
+                end_at: e.end,
+            })
+        })
         .collect();
 
     vec![LoopInstance {
@@ -252,10 +270,43 @@ mod tests {
             sets: vec![ServingCellSet::idle(), sa1, sa2, lte_only, nsa],
             samples: samples
                 .iter()
-                .map(|&(s, id)| CsSample { t: Timestamp::from_secs(s), id })
+                .map(|&(s, id)| CsSample {
+                    t: Timestamp::from_secs(s),
+                    id,
+                })
                 .collect(),
             end: Timestamp::from_secs(end_s),
         }
+    }
+
+    #[test]
+    fn empty_timeline_has_no_loops() {
+        let empty = CsTimeline {
+            sets: Vec::new(),
+            samples: Vec::new(),
+            end: Timestamp(0),
+        };
+        assert!(detect_loops(&empty).is_empty());
+    }
+
+    #[test]
+    fn single_sample_timeline_has_no_loops() {
+        // Idle forever.
+        assert!(detect_loops(&tl(&[(0, 0)], 300)).is_empty());
+        // 5G ON forever — one episode, never repeated.
+        assert!(detect_loops(&tl(&[(0, 1)], 300)).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_ids_degrade_to_no_loop() {
+        // A malformed (e.g. deserialized) timeline referencing unknown set
+        // ids must not panic; unknown ids read as idle.
+        let mut t = tl(&[(0, 0), (1, 1), (4, 0)], 300);
+        t.samples.push(CsSample {
+            t: Timestamp::from_secs(200),
+            id: 99,
+        });
+        assert!(detect_loops(&t).is_empty());
     }
 
     #[test]
@@ -309,7 +360,16 @@ mod tests {
     fn semi_persistent_loop_exits() {
         // Two repetitions, then the UE settles on a different set (2).
         let t = tl(
-            &[(0, 0), (1, 1), (30, 0), (41, 1), (70, 0), (81, 2), (90, 0), (95, 2)],
+            &[
+                (0, 0),
+                (1, 1),
+                (30, 0),
+                (41, 1),
+                (70, 0),
+                (81, 2),
+                (90, 0),
+                (95, 2),
+            ],
             300,
         );
         let loops = detect_loops(&t);
@@ -322,7 +382,16 @@ mod tests {
     fn persistent_with_partial_tail_cycle() {
         // Two full repetitions plus a tail that is a prefix of the block.
         let t = tl(
-            &[(0, 0), (1, 1), (4, 2), (30, 0), (41, 1), (44, 2), (70, 0), (81, 1)],
+            &[
+                (0, 0),
+                (1, 1),
+                (4, 2),
+                (30, 0),
+                (41, 1),
+                (44, 2),
+                (70, 0),
+                (81, 1),
+            ],
             90,
         );
         let loops = detect_loops(&t);
@@ -337,7 +406,16 @@ mod tests {
     fn nsa_transient_off_loop() {
         // NSA ↔ LTE-only flip-flop: ON 4, OFF 3, repeated (N2-style).
         let t = tl(
-            &[(0, 0), (1, 3), (2, 4), (25, 3), (26, 4), (50, 3), (51, 4), (75, 3)],
+            &[
+                (0, 0),
+                (1, 3),
+                (2, 4),
+                (25, 3),
+                (26, 4),
+                (50, 3),
+                (51, 4),
+                (75, 3),
+            ],
             76,
         );
         let loops = detect_loops(&t);
@@ -391,11 +469,5 @@ mod tests {
             end_at: Timestamp::from_secs(5),
         };
         assert_eq!(degenerate.off_ratio(), 0.0);
-    }
-
-    #[test]
-    fn empty_timeline_has_no_loops() {
-        let t = tl(&[(0, 0)], 300);
-        assert!(detect_loops(&t).is_empty());
     }
 }

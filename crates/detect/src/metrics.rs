@@ -44,17 +44,17 @@ fn median(xs: &mut [f64]) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len();
-    Some(if n % 2 == 1 { xs[n / 2] } else { (xs[n / 2 - 1] + xs[n / 2]) / 2.0 })
+    Some(if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    })
 }
 
 /// Computes run metrics from the trace, timeline and detected loops.
-pub fn run_metrics(
-    events: &[TraceEvent],
-    tl: &CsTimeline,
-    loops: &[LoopInstance],
-) -> RunMetrics {
+pub fn run_metrics(events: &[TraceEvent], tl: &CsTimeline, loops: &[LoopInstance]) -> RunMetrics {
     let onoff = tl.on_off_intervals();
     let is_on_at = |t: onoff_rrc::trace::Timestamp| -> bool {
         onoff
@@ -148,16 +148,28 @@ mod tests {
                 ServingCellSet::with_pcell(CellId::nr(Pci(1), 521310)),
             ],
             samples: vec![
-                CsSample { t: Timestamp(0), id: 0 },
-                CsSample { t: Timestamp::from_secs(10), id: 1 },
-                CsSample { t: Timestamp::from_secs(40), id: 0 },
+                CsSample {
+                    t: Timestamp(0),
+                    id: 0,
+                },
+                CsSample {
+                    t: Timestamp::from_secs(10),
+                    id: 1,
+                },
+                CsSample {
+                    t: Timestamp::from_secs(40),
+                    id: 0,
+                },
             ],
             end: Timestamp::from_secs(60),
         }
     }
 
     fn tp(t_s: u64, mbps: f64) -> TraceEvent {
-        TraceEvent::Throughput { t: Timestamp::from_secs(t_s), mbps }
+        TraceEvent::Throughput {
+            t: Timestamp::from_secs(t_s),
+            mbps,
+        }
     }
 
     #[test]
@@ -169,7 +181,13 @@ mod tests {
 
     #[test]
     fn speed_medians_split_by_state() {
-        let events = vec![tp(5, 0.0), tp(15, 100.0), tp(20, 200.0), tp(25, 300.0), tp(50, 1.0)];
+        let events = vec![
+            tp(5, 0.0),
+            tp(15, 100.0),
+            tp(20, 200.0),
+            tp(25, 300.0),
+            tp(50, 1.0),
+        ];
         let m = run_metrics(&events, &timeline(), &[]);
         assert_eq!(m.median_on_mbps, Some(200.0));
         assert_eq!(m.median_off_mbps, Some(0.5));
@@ -206,12 +224,25 @@ mod tests {
     fn empty_run() {
         let tl = CsTimeline {
             sets: vec![ServingCellSet::idle()],
-            samples: vec![CsSample { t: Timestamp(0), id: 0 }],
+            samples: vec![CsSample {
+                t: Timestamp(0),
+                id: 0,
+            }],
             end: Timestamp(0),
         };
         let m = run_metrics(&[], &tl, &[]);
         assert_eq!(m.on_ms, 0);
         assert_eq!(m.median_on_mbps, None);
         assert!(m.cycle_stats.is_empty());
+    }
+
+    #[test]
+    fn nan_throughput_does_not_panic_the_median() {
+        let mut xs = [2.0, f64::NAN, 1.0];
+        // total_cmp sorts the NaN last; the median over three samples is
+        // the middle finite value.
+        assert_eq!(median(&mut xs), Some(2.0));
+        let mut empty: [f64; 0] = [];
+        assert_eq!(median(&mut empty), None);
     }
 }

@@ -64,8 +64,16 @@ pub fn render_sequence(analysis: &RunAnalysis) -> String {
 
 /// One-line summary of a loop instance.
 pub fn loop_summary(lp: &LoopInstance) -> String {
-    let mut cyc: Vec<f64> = lp.cycles.iter().map(|c| c.cycle_ms() as f64 / 1000.0).collect();
-    let mut off: Vec<f64> = lp.cycles.iter().map(|c| c.off_ms() as f64 / 1000.0).collect();
+    let mut cyc: Vec<f64> = lp
+        .cycles
+        .iter()
+        .map(|c| c.cycle_ms() as f64 / 1000.0)
+        .collect();
+    let mut off: Vec<f64> = lp
+        .cycles
+        .iter()
+        .map(|c| c.off_ms() as f64 / 1000.0)
+        .collect();
     cyc.sort_by(f64::total_cmp);
     off.sort_by(f64::total_cmp);
     let med = |v: &Vec<f64>| v.get(v.len() / 2).copied().unwrap_or(0.0);
@@ -91,10 +99,15 @@ mod tests {
         let mut events = Vec::new();
         for k in 0..3u64 {
             let base = k * 40_000;
-            let req = RrcMessage::SetupRequest { cell, global_id: GlobalCellId(1) };
-            for (dt, msg) in
-                [(0, req), (150, RrcMessage::SetupComplete), (30_000, RrcMessage::Release)]
-            {
+            let req = RrcMessage::SetupRequest {
+                cell,
+                global_id: GlobalCellId(1),
+            };
+            for (dt, msg) in [
+                (0, req),
+                (150, RrcMessage::SetupComplete),
+                (30_000, RrcMessage::Release),
+            ] {
                 events.push(TraceEvent::Rrc(LogRecord {
                     t: Timestamp(base + dt),
                     rat: Rat::Nr,

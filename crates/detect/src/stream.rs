@@ -73,7 +73,10 @@ impl StreamingAnalyzer {
     /// The current connectivity state.
     pub fn current_state(&mut self) -> ConnState {
         let tl = self.timeline();
-        tl.samples.last().map(|s| tl.state(s.id)).unwrap_or(ConnState::Idle)
+        tl.samples
+            .last()
+            .map(|s| tl.state(s.id))
+            .unwrap_or(ConnState::Idle)
     }
 
     /// Whether 5G is currently ON.
@@ -154,7 +157,10 @@ mod tests {
             let base = k * 40_000;
             events.push(rec(
                 base,
-                RrcMessage::SetupRequest { cell: cell(), global_id: GlobalCellId(1) },
+                RrcMessage::SetupRequest {
+                    cell: cell(),
+                    global_id: GlobalCellId(1),
+                },
             ));
             events.push(rec(base + 150, RrcMessage::SetupComplete));
             events.push(rec(base + 30_000, RrcMessage::Release));
@@ -177,7 +183,13 @@ mod tests {
         let mut s = StreamingAnalyzer::new();
         assert_eq!(s.current_state(), ConnState::Idle);
         assert!(!s.is_5g_on());
-        s.feed(rec(0, RrcMessage::SetupRequest { cell: cell(), global_id: GlobalCellId(1) }));
+        s.feed(rec(
+            0,
+            RrcMessage::SetupRequest {
+                cell: cell(),
+                global_id: GlobalCellId(1),
+            },
+        ));
         s.feed(rec(150, RrcMessage::SetupComplete));
         assert_eq!(s.current_state(), ConnState::Sa);
         assert!(s.is_5g_on());

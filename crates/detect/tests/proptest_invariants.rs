@@ -28,16 +28,26 @@ fn set_universe() -> Vec<ServingCellSet> {
 /// Builds a compressed timeline from a random id walk.
 fn timeline_from_walk(ids: &[usize], step_ms: u64) -> CsTimeline {
     let sets = set_universe();
-    let mut samples = vec![CsSample { t: Timestamp(0), id: 0 }];
+    let mut samples = vec![CsSample {
+        t: Timestamp(0),
+        id: 0,
+    }];
     let mut t = 0;
     for &raw in ids {
         let id = raw % sets.len();
         t += step_ms;
         if samples.last().unwrap().id != id {
-            samples.push(CsSample { t: Timestamp(t), id });
+            samples.push(CsSample {
+                t: Timestamp(t),
+                id,
+            });
         }
     }
-    CsTimeline { sets, samples, end: Timestamp(t + step_ms) }
+    CsTimeline {
+        sets,
+        samples,
+        end: Timestamp(t + step_ms),
+    }
 }
 
 proptest! {

@@ -58,9 +58,7 @@ pub(crate) fn message_name(rat: Rat, msg: &RrcMessage) -> &'static str {
         (Rat::Nr, RrcMessage::Reconfiguration(_)) => "RRCReconfiguration",
         (Rat::Lte, RrcMessage::Reconfiguration(_)) => "RRCConnectionReconfiguration",
         (Rat::Nr, RrcMessage::ReconfigurationComplete) => "RRCReconfiguration Complete",
-        (Rat::Lte, RrcMessage::ReconfigurationComplete) => {
-            "RRCConnectionReconfiguration Complete"
-        }
+        (Rat::Lte, RrcMessage::ReconfigurationComplete) => "RRCConnectionReconfiguration Complete",
         (_, RrcMessage::MeasurementReport(_)) => "MeasurementReport",
         (_, RrcMessage::ScgFailureInformation { .. }) => "SCGFailureInformation",
         (Rat::Nr, RrcMessage::ReestablishmentRequest { .. }) => "RRC Reestablishment Request",
@@ -94,7 +92,11 @@ fn emit_rrc(rec: &LogRecord, out: &mut String) {
     // Context line. For MIB / SetupRequest the global identity rides along.
     match &rec.msg {
         RrcMessage::Mib { cell, global_id } | RrcMessage::SetupRequest { cell, global_id } => {
-            debug_assert_eq!(rec.context, Some(*cell), "context must mirror the message cell");
+            debug_assert_eq!(
+                rec.context,
+                Some(*cell),
+                "context must mirror the message cell"
+            );
             let _ = writeln!(
                 out,
                 "  Physical Cell ID = {}, {gid_label} = {}, Freq = {}",
@@ -104,14 +106,19 @@ fn emit_rrc(rec: &LogRecord, out: &mut String) {
         _ => {
             if let Some(ctx) = rec.context {
                 debug_assert_eq!(ctx.rat, rec.rat, "context cell RAT must match record RAT");
-                let _ =
-                    writeln!(out, "  Physical Cell ID = {}, Freq = {}", ctx.pci, ctx.arfcn);
+                let _ = writeln!(
+                    out,
+                    "  Physical Cell ID = {}, Freq = {}",
+                    ctx.pci, ctx.arfcn
+                );
             }
         }
     }
 
     match &rec.msg {
-        RrcMessage::Sib1 { q_rx_lev_min_deci, .. } => {
+        RrcMessage::Sib1 {
+            q_rx_lev_min_deci, ..
+        } => {
             let _ = writeln!(out, "  q-RxLevMin = {q_rx_lev_min_deci}");
         }
         RrcMessage::Reconfiguration(body) => emit_reconfig(body, out),
@@ -151,8 +158,12 @@ fn emit_reconfig(body: &ReconfigBody, out: &mut String) {
         let _ = writeln!(out, "  }}");
     }
     if !body.scell_to_release.is_empty() {
-        let list =
-            body.scell_to_release.iter().map(u8::to_string).collect::<Vec<_>>().join(", ");
+        let list = body
+            .scell_to_release
+            .iter()
+            .map(u8::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = writeln!(out, "  sCellToReleaseList {{{list}}}");
     }
     if !body.meas_config.is_empty() {
@@ -190,16 +201,32 @@ pub(crate) fn render_event(ev: &MeasEvent) -> String {
     };
     let mut s = match ev.kind {
         EventKind::A1 { threshold } => {
-            format!("A1 event on {}: {q} > {}{unit}", ev.arfcn, deci(threshold.0))
+            format!(
+                "A1 event on {}: {q} > {}{unit}",
+                ev.arfcn,
+                deci(threshold.0)
+            )
         }
         EventKind::A2 { threshold } => {
-            format!("A2 event on {}: {q} < {}{unit}", ev.arfcn, deci(threshold.0))
+            format!(
+                "A2 event on {}: {q} < {}{unit}",
+                ev.arfcn,
+                deci(threshold.0)
+            )
         }
         EventKind::A3 { offset } => {
-            format!("A3 event on {}: {q} offset > {}{unit}", ev.arfcn, deci(offset))
+            format!(
+                "A3 event on {}: {q} offset > {}{unit}",
+                ev.arfcn,
+                deci(offset)
+            )
         }
         EventKind::A4 { threshold } => {
-            format!("A4 event on {}: {q} > {}{unit}", ev.arfcn, deci(threshold.0))
+            format!(
+                "A4 event on {}: {q} > {}{unit}",
+                ev.arfcn,
+                deci(threshold.0)
+            )
         }
         EventKind::A5 { t1, t2 } => format!(
             "A5 event on {}: {q} < {}{unit} and {q} > {}{unit}",
@@ -208,7 +235,11 @@ pub(crate) fn render_event(ev: &MeasEvent) -> String {
             deci(t2.0)
         ),
         EventKind::B1 { threshold } => {
-            format!("B1 event on {}: {q} > {}{unit}", ev.arfcn, deci(threshold.0))
+            format!(
+                "B1 event on {}: {q} > {}{unit}",
+                ev.arfcn,
+                deci(threshold.0)
+            )
         }
         EventKind::B2 { t1, t2 } => format!(
             "B2 event on {}: {q} < {}{unit} and {q} > {}{unit}",
@@ -249,7 +280,10 @@ mod tests {
             rat: Rat::Nr,
             channel: LogChannel::BcchBch,
             context: Some(cell),
-            msg: RrcMessage::Mib { cell, global_id: onoff_rrc::ids::GlobalCellId(0) },
+            msg: RrcMessage::Mib {
+                cell,
+                global_id: onoff_rrc::ids::GlobalCellId(0),
+            },
         });
         let text = emit(&[ev]);
         assert_eq!(
@@ -263,8 +297,14 @@ mod tests {
     fn scell_add_mod_list_shape() {
         let body = ReconfigBody {
             scell_to_add_mod: vec![
-                ScellAddMod { index: 1, cell: CellId::nr(Pci(273), 387410) },
-                ScellAddMod { index: 2, cell: CellId::nr(Pci(273), 398410) },
+                ScellAddMod {
+                    index: 1,
+                    cell: CellId::nr(Pci(273), 387410),
+                },
+                ScellAddMod {
+                    index: 2,
+                    cell: CellId::nr(Pci(273), 398410),
+                },
             ],
             scell_to_release: vec![1, 3],
             ..Default::default()
@@ -313,7 +353,13 @@ mod tests {
             },
             &mut out,
         );
-        emit_event(&TraceEvent::Throughput { t: Timestamp(2000), mbps: 203.25 }, &mut out);
+        emit_event(
+            &TraceEvent::Throughput {
+                t: Timestamp(2000),
+                mbps: 203.25,
+            },
+            &mut out,
+        );
         assert_eq!(
             out,
             "00:00:01.000 MM5G State = DEREGISTERED\n  \
@@ -335,22 +381,33 @@ mod tests {
     #[test]
     fn event_rendering_with_hysteresis() {
         let mut ev = MeasEvent::new(
-            EventKind::A2 { threshold: Threshold::from_db(-116.0) },
+            EventKind::A2 {
+                threshold: Threshold::from_db(-116.0),
+            },
             TriggerQuantity::Rsrp,
             648672,
         );
         assert_eq!(render_event(&ev), "A2 event on 648672: RSRP < -116dBm");
         ev.hysteresis = 15;
-        assert_eq!(render_event(&ev), "A2 event on 648672: RSRP < -116dBm, hys 1.5dBm");
+        assert_eq!(
+            render_event(&ev),
+            "A2 event on 648672: RSRP < -116dBm, hys 1.5dBm"
+        );
     }
 
     #[test]
     fn lte_message_names() {
         assert_eq!(
-            message_name(Rat::Lte, &RrcMessage::Reconfiguration(ReconfigBody::default())),
+            message_name(
+                Rat::Lte,
+                &RrcMessage::Reconfiguration(ReconfigBody::default())
+            ),
             "RRCConnectionReconfiguration"
         );
         assert_eq!(message_name(Rat::Nr, &RrcMessage::Setup), "RRC Setup");
-        assert_eq!(message_name(Rat::Lte, &RrcMessage::Setup), "RRC Connection Setup");
+        assert_eq!(
+            message_name(Rat::Lte, &RrcMessage::Setup),
+            "RRC Connection Setup"
+        );
     }
 }

@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn display_includes_line_and_text() {
         let e = ParseError::new(7, ParseErrorKind::BadTimestamp, "not a time");
-        assert_eq!(e.to_string(), "line 7: malformed HH:MM:SS.mmm timestamp: \"not a time\"");
+        assert_eq!(
+            e.to_string(),
+            "line 7: malformed HH:MM:SS.mmm timestamp: \"not a time\""
+        );
     }
 
     #[test]

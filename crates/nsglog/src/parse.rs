@@ -33,7 +33,11 @@ pub fn parse_str(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
 
     while let Some((lineno, line)) = lines.next() {
         if line.starts_with(char::is_whitespace) {
-            return Err(ParseError::new(lineno, ParseErrorKind::OrphanContinuation, line));
+            return Err(ParseError::new(
+                lineno,
+                ParseErrorKind::OrphanContinuation,
+                line,
+            ));
         }
         // Collect this record's continuation lines.
         let mut body: Vec<(usize, &str)> = Vec::new();
@@ -65,7 +69,13 @@ fn parse_record(
         let state = match state.trim() {
             "REGISTERED" => MmState::Registered,
             "DEREGISTERED" => MmState::DeregisteredNoCellAvailable,
-            _ => return Err(ParseError::new(lineno, ParseErrorKind::BadField("MM5G State"), head)),
+            _ => {
+                return Err(ParseError::new(
+                    lineno,
+                    ParseErrorKind::BadField("MM5G State"),
+                    head,
+                ))
+            }
         };
         return Ok(TraceEvent::Mm { t, state });
     }
@@ -74,9 +84,9 @@ fn parse_record(
         let mbps_str = rest
             .strip_suffix(" Mbps")
             .ok_or_else(|| ParseError::new(lineno, ParseErrorKind::BadField("Throughput"), head))?;
-        let mbps: f64 = mbps_str.parse().map_err(|_| {
-            ParseError::new(lineno, ParseErrorKind::BadField("Throughput"), head)
-        })?;
+        let mbps: f64 = mbps_str
+            .parse()
+            .map_err(|_| ParseError::new(lineno, ParseErrorKind::BadField("Throughput"), head))?;
         return Ok(TraceEvent::Throughput { t, mbps });
     }
 
@@ -102,7 +112,13 @@ fn parse_record(
     let (context, msg) = parse_message(rat, name.trim(), &fields)
         .map_err(|kind| ParseError::new(lineno, kind, head))?;
 
-    Ok(TraceEvent::Rrc(LogRecord { t, rat, channel, context, msg }))
+    Ok(TraceEvent::Rrc(LogRecord {
+        t,
+        rat,
+        channel,
+        context,
+        msg,
+    }))
 }
 
 /// Access helper over a record's continuation lines.
@@ -147,10 +163,7 @@ impl<'a> Fields<'a> {
 }
 
 /// Parses `Physical Cell ID = P[, (NR )Cell Global ID = G], Freq = F`.
-fn parse_context(
-    rat: Rat,
-    line: &str,
-) -> Result<(CellId, Option<GlobalCellId>), ParseErrorKind> {
+fn parse_context(rat: Rat, line: &str) -> Result<(CellId, Option<GlobalCellId>), ParseErrorKind> {
     let mut pci = None;
     let mut gid = None;
     let mut freq = None;
@@ -160,32 +173,52 @@ fn parse_context(
             .ok_or(ParseErrorKind::BadField("Physical Cell ID"))?;
         match key.trim() {
             "Physical Cell ID" => {
-                pci = Some(value.trim().parse::<u16>().map_err(|_| {
-                    ParseErrorKind::BadField("Physical Cell ID")
-                })?)
+                pci = Some(
+                    value
+                        .trim()
+                        .parse::<u16>()
+                        .map_err(|_| ParseErrorKind::BadField("Physical Cell ID"))?,
+                )
             }
             "NR Cell Global ID" | "Cell Global ID" => {
-                gid = Some(GlobalCellId(value.trim().parse::<u64>().map_err(|_| {
-                    ParseErrorKind::BadField("Cell Global ID")
-                })?))
+                gid = Some(GlobalCellId(
+                    value
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| ParseErrorKind::BadField("Cell Global ID"))?,
+                ))
             }
             "Freq" => {
-                freq = Some(value.trim().parse::<u32>().map_err(|_| {
-                    ParseErrorKind::BadField("Freq")
-                })?)
+                freq = Some(
+                    value
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| ParseErrorKind::BadField("Freq"))?,
+                )
             }
             _ => {}
         }
     }
     let pci = pci.ok_or(ParseErrorKind::MissingField("Physical Cell ID"))?;
     let freq = freq.ok_or(ParseErrorKind::MissingField("Freq"))?;
-    Ok((CellId { rat, pci: Pci(pci), arfcn: freq }, gid))
+    Ok((
+        CellId {
+            rat,
+            pci: Pci(pci),
+            arfcn: freq,
+        },
+        gid,
+    ))
 }
 
 /// Infers a cell's RAT from its channel number (see module docs).
 fn cell_from_parts(pci: u16, arfcn: u32) -> CellId {
     let rat = if arfcn < 70_000 { Rat::Lte } else { Rat::Nr };
-    CellId { rat, pci: Pci(pci), arfcn }
+    CellId {
+        rat,
+        pci: Pci(pci),
+        arfcn,
+    }
 }
 
 fn parse_message(
@@ -204,7 +237,10 @@ fn parse_message(
             let (cell, gid) = ctx.ok_or(ParseErrorKind::MissingField("Physical Cell ID"))?;
             return Ok((
                 Some(cell),
-                RrcMessage::Mib { cell, global_id: gid.unwrap_or_default() },
+                RrcMessage::Mib {
+                    cell,
+                    global_id: gid.unwrap_or_default(),
+                },
             ));
         }
         "SystemInformationBlockType1" => {
@@ -212,15 +248,26 @@ fn parse_message(
             let (_, v) = fields
                 .get("q-RxLevMin = ")
                 .ok_or(ParseErrorKind::MissingField("q-RxLevMin"))?;
-            let q: i32 =
-                v.trim().parse().map_err(|_| ParseErrorKind::BadField("q-RxLevMin"))?;
-            return Ok((Some(cell), RrcMessage::Sib1 { cell, q_rx_lev_min_deci: q }));
+            let q: i32 = v
+                .trim()
+                .parse()
+                .map_err(|_| ParseErrorKind::BadField("q-RxLevMin"))?;
+            return Ok((
+                Some(cell),
+                RrcMessage::Sib1 {
+                    cell,
+                    q_rx_lev_min_deci: q,
+                },
+            ));
         }
         "RRC Setup Req" | "RRC Connection Request" => {
             let (cell, gid) = ctx.ok_or(ParseErrorKind::MissingField("Physical Cell ID"))?;
             return Ok((
                 Some(cell),
-                RrcMessage::SetupRequest { cell, global_id: gid.unwrap_or_default() },
+                RrcMessage::SetupRequest {
+                    cell,
+                    global_id: gid.unwrap_or_default(),
+                },
             ));
         }
         "RRC Setup" | "RRC Connection Setup" => RrcMessage::Setup,
@@ -238,18 +285,22 @@ fn parse_message(
                 let (cell, meas) = line
                     .split_once(": ")
                     .ok_or(ParseErrorKind::BadField("measResults"))?;
-                let cell: CellId =
-                    cell.trim().parse().map_err(|_| ParseErrorKind::BadField("measResults"))?;
+                let cell: CellId = cell
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseErrorKind::BadField("measResults"))?;
                 let (rsrp, rsrq) = meas
                     .trim()
                     .split_once(' ')
                     .ok_or(ParseErrorKind::BadField("measResults"))?;
                 let rsrp = parse_deci(
-                    rsrp.strip_suffix("dBm").ok_or(ParseErrorKind::BadField("measResults"))?,
+                    rsrp.strip_suffix("dBm")
+                        .ok_or(ParseErrorKind::BadField("measResults"))?,
                 )
                 .ok_or(ParseErrorKind::BadField("measResults"))?;
                 let rsrq = parse_deci(
-                    rsrq.strip_suffix("dB").ok_or(ParseErrorKind::BadField("measResults"))?,
+                    rsrq.strip_suffix("dB")
+                        .ok_or(ParseErrorKind::BadField("measResults"))?,
                 )
                 .ok_or(ParseErrorKind::BadField("measResults"))?;
                 results.push(MeasResult {
@@ -303,14 +354,17 @@ fn parse_reconfig(fields: &Fields<'_>) -> Result<ReconfigBody, ParseErrorKind> {
     }
 
     if let Some((_, rest)) = fields.get("sCellToReleaseList {") {
-        let inner = rest.strip_suffix('}').ok_or(ParseErrorKind::BadField("sCellToReleaseList"))?;
+        let inner = rest
+            .strip_suffix('}')
+            .ok_or(ParseErrorKind::BadField("sCellToReleaseList"))?;
         for part in inner.split(',') {
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
             body.scell_to_release.push(
-                part.parse::<u8>().map_err(|_| ParseErrorKind::BadField("sCellToReleaseList"))?,
+                part.parse::<u8>()
+                    .map_err(|_| ParseErrorKind::BadField("sCellToReleaseList"))?,
             );
         }
     }
@@ -320,7 +374,9 @@ fn parse_reconfig(fields: &Fields<'_>) -> Result<ReconfigBody, ParseErrorKind> {
     }
 
     if let Some((_, rest)) = fields.get("spCellConfig {") {
-        let inner = rest.strip_suffix('}').ok_or(ParseErrorKind::BadField("spCellConfig"))?;
+        let inner = rest
+            .strip_suffix('}')
+            .ok_or(ParseErrorKind::BadField("spCellConfig"))?;
         let (pci, arfcn) = parse_pci_freq(inner, "absoluteFrequencySSB")
             .ok_or(ParseErrorKind::BadField("spCellConfig"))?;
         body.sp_cell = Some(cell_from_parts(pci, arfcn));
@@ -331,8 +387,9 @@ fn parse_reconfig(fields: &Fields<'_>) -> Result<ReconfigBody, ParseErrorKind> {
     }
 
     if let Some((_, rest)) = fields.get("mobilityControlInfo {") {
-        let inner =
-            rest.strip_suffix('}').ok_or(ParseErrorKind::BadField("mobilityControlInfo"))?;
+        let inner = rest
+            .strip_suffix('}')
+            .ok_or(ParseErrorKind::BadField("mobilityControlInfo"))?;
         let (pci, arfcn) = parse_pci_freq(inner, "targetFreq")
             .ok_or(ParseErrorKind::BadField("mobilityControlInfo"))?;
         body.mobility_target = Some(cell_from_parts(pci, arfcn));
@@ -360,9 +417,10 @@ fn parse_scell_entry(line: &str) -> Result<ScellAddMod, ParseErrorKind> {
         }
     }
     match (index, pci, arfcn) {
-        (Some(index), Some(pci), Some(arfcn)) => {
-            Ok(ScellAddMod { index, cell: cell_from_parts(pci, arfcn) })
-        }
+        (Some(index), Some(pci), Some(arfcn)) => Ok(ScellAddMod {
+            index,
+            cell: cell_from_parts(pci, arfcn),
+        }),
         _ => Err(ParseErrorKind::BadField("sCellToAddModList")),
     }
 }
@@ -436,14 +494,22 @@ pub(crate) fn parse_event_line(line: &str) -> Result<MeasEvent, ParseErrorKind> 
         if label != "A3" {
             return Err(ERR);
         }
-        EventKind::A3 { offset: strip_val(rest)? }
+        EventKind::A3 {
+            offset: strip_val(rest)?,
+        }
     } else if let Some((lt, gt)) = cond.split_once(" and ") {
         let t1 = strip_val(lt.strip_prefix("< ").ok_or(ERR)?)?;
         let gt = gt.strip_prefix(q_str).map(str::trim_start).unwrap_or(gt);
         let t2 = strip_val(gt.strip_prefix("> ").ok_or(ERR)?)?;
         match label {
-            "A5" => EventKind::A5 { t1: Threshold(t1), t2: Threshold(t2) },
-            "B2" => EventKind::B2 { t1: Threshold(t1), t2: Threshold(t2) },
+            "A5" => EventKind::A5 {
+                t1: Threshold(t1),
+                t2: Threshold(t2),
+            },
+            "B2" => EventKind::B2 {
+                t1: Threshold(t1),
+                t2: Threshold(t2),
+            },
             _ => return Err(ERR),
         }
     } else if let Some(rest) = cond.strip_prefix("> ") {
@@ -458,7 +524,9 @@ pub(crate) fn parse_event_line(line: &str) -> Result<MeasEvent, ParseErrorKind> 
         if label != "A2" {
             return Err(ERR);
         }
-        EventKind::A2 { threshold: Threshold(strip_val(rest)?) }
+        EventKind::A2 {
+            threshold: Threshold(strip_val(rest)?),
+        }
     } else {
         return Err(ERR);
     };
@@ -468,7 +536,12 @@ pub(crate) fn parse_event_line(line: &str) -> Result<MeasEvent, ParseErrorKind> 
         None => 0,
     };
 
-    Ok(MeasEvent { kind, quantity, hysteresis, arfcn })
+    Ok(MeasEvent {
+        kind,
+        quantity,
+        hysteresis,
+        arfcn,
+    })
 }
 
 #[cfg(test)]
@@ -535,7 +608,13 @@ mod tests {
     #[test]
     fn parses_throughput() {
         let events = parse_str("00:00:07.000 Throughput = 186.125 Mbps\n").unwrap();
-        assert_eq!(events[0], TraceEvent::Throughput { t: Timestamp(7000), mbps: 186.125 });
+        assert_eq!(
+            events[0],
+            TraceEvent::Throughput {
+                t: Timestamp(7000),
+                mbps: 186.125
+            }
+        );
     }
 
     #[test]
@@ -600,8 +679,7 @@ mod tests {
     #[test]
     fn unknown_message_rejected() {
         let err =
-            parse_str("00:00:01.000 NR5G RRC OTA Packet -- DL_DCCH / MadeUpMessage\n")
-                .unwrap_err();
+            parse_str("00:00:01.000 NR5G RRC OTA Packet -- DL_DCCH / MadeUpMessage\n").unwrap_err();
         assert_eq!(err.kind, ParseErrorKind::UnknownMessage);
     }
 
@@ -613,7 +691,10 @@ mod tests {
     {sCellIndex 1, physCellId 1, absoluteFrequencySSB 387410}
 ";
         let err = parse_str(text).unwrap_err();
-        assert_eq!(err.kind, ParseErrorKind::UnterminatedBlock("sCellToAddModList"));
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::UnterminatedBlock("sCellToAddModList")
+        );
     }
 
     #[test]
@@ -626,7 +707,8 @@ mod tests {
 
     #[test]
     fn blank_lines_are_skipped() {
-        let text = "\n00:00:01.000 MM5G State = REGISTERED\n\n\n00:00:02.000 Throughput = 1.5 Mbps\n\n";
+        let text =
+            "\n00:00:01.000 MM5G State = REGISTERED\n\n\n00:00:02.000 Throughput = 1.5 Mbps\n\n";
         let events = parse_str(text).unwrap();
         assert_eq!(events.len(), 2);
     }
@@ -640,45 +722,85 @@ mod tests {
 
         let pcell = CellId::nr(Pci(393), 521310);
         let mk = |t: u64, channel, context, msg| {
-            TraceEvent::Rrc(LogRecord { t: Timestamp(t), rat: Rat::Nr, channel, context, msg })
+            TraceEvent::Rrc(LogRecord {
+                t: Timestamp(t),
+                rat: Rat::Nr,
+                channel,
+                context,
+                msg,
+            })
         };
         let events = vec![
             mk(
                 0,
                 LogChannel::BcchBch,
                 Some(pcell),
-                RrcMessage::Mib { cell: pcell, global_id: GlobalCellId(0) },
+                RrcMessage::Mib {
+                    cell: pcell,
+                    global_id: GlobalCellId(0),
+                },
             ),
             mk(
                 55,
                 LogChannel::BcchDlSch,
                 Some(pcell),
-                RrcMessage::Sib1 { cell: pcell, q_rx_lev_min_deci: -1080 },
+                RrcMessage::Sib1 {
+                    cell: pcell,
+                    q_rx_lev_min_deci: -1080,
+                },
             ),
             mk(
                 73,
                 LogChannel::UlCcch,
                 Some(pcell),
-                RrcMessage::SetupRequest { cell: pcell, global_id: GlobalCellId(42) },
+                RrcMessage::SetupRequest {
+                    cell: pcell,
+                    global_id: GlobalCellId(42),
+                },
             ),
             mk(192, LogChannel::DlCcch, Some(pcell), RrcMessage::Setup),
-            mk(199, LogChannel::UlDcch, Some(pcell), RrcMessage::SetupComplete),
+            mk(
+                199,
+                LogChannel::UlDcch,
+                Some(pcell),
+                RrcMessage::SetupComplete,
+            ),
             mk(
                 3200,
                 LogChannel::DlDcch,
                 Some(pcell),
                 RrcMessage::Reconfiguration(ReconfigBody {
                     scell_to_add_mod: vec![
-                        ScellAddMod { index: 1, cell: CellId::nr(Pci(273), 387410) },
-                        ScellAddMod { index: 2, cell: CellId::nr(Pci(273), 398410) },
-                        ScellAddMod { index: 3, cell: CellId::nr(Pci(393), 501390) },
+                        ScellAddMod {
+                            index: 1,
+                            cell: CellId::nr(Pci(273), 387410),
+                        },
+                        ScellAddMod {
+                            index: 2,
+                            cell: CellId::nr(Pci(273), 398410),
+                        },
+                        ScellAddMod {
+                            index: 3,
+                            cell: CellId::nr(Pci(393), 501390),
+                        },
                     ],
                     ..Default::default()
                 }),
             ),
-            mk(3215, LogChannel::UlDcch, Some(pcell), RrcMessage::ReconfigurationComplete),
-            TraceEvent::Mm { t: Timestamp(5200), state: MmState::DeregisteredNoCellAvailable },
-            TraceEvent::Throughput { t: Timestamp(6000), mbps: 0.0 },
+            mk(
+                3215,
+                LogChannel::UlDcch,
+                Some(pcell),
+                RrcMessage::ReconfigurationComplete,
+            ),
+            TraceEvent::Mm {
+                t: Timestamp(5200),
+                state: MmState::DeregisteredNoCellAvailable,
+            },
+            TraceEvent::Throughput {
+                t: Timestamp(6000),
+                mbps: 0.0,
+            },
         ];
         let text = emit(&events);
         let parsed = parse_str(&text).unwrap();

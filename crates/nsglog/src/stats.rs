@@ -34,7 +34,10 @@ pub struct LogStats {
 
 /// Computes statistics over a parsed trace.
 pub fn stats(events: &[TraceEvent]) -> LogStats {
-    let mut s = LogStats { events: events.len(), ..Default::default() };
+    let mut s = LogStats {
+        events: events.len(),
+        ..Default::default()
+    };
     let mut cells = std::collections::BTreeSet::new();
     let mut first = None;
     let mut last = 0u64;
@@ -146,7 +149,10 @@ mod tests {
                     }],
                 }),
             ),
-            TraceEvent::Throughput { t: Timestamp(3000), mbps: 100.0 },
+            TraceEvent::Throughput {
+                t: Timestamp(3000),
+                mbps: 100.0,
+            },
         ];
         let s = stats(&events);
         assert_eq!(s.events, 4);
@@ -168,8 +174,12 @@ mod tests {
 
     #[test]
     fn splits_at_gaps() {
-        let events =
-            vec![setup(0, 1), setup(5_000, 2), setup(400_000, 3), setup(405_000, 4)];
+        let events = vec![
+            setup(0, 1),
+            setup(5_000, 2),
+            setup(400_000, 3),
+            setup(405_000, 4),
+        ];
         let runs = split_runs(&events, 60_000);
         assert_eq!(runs.len(), 2);
         assert_eq!(runs[0].len(), 2);

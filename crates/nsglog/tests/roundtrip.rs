@@ -20,10 +20,18 @@ fn arb_rat() -> impl Strategy<Value = Rat> {
 
 /// A cell whose RAT follows the channel-number convention the codec uses.
 fn arb_cell() -> impl Strategy<Value = CellId> {
-    (any::<u16>(), prop_oneof![0u32..70_000, 70_000u32..3_000_000]).prop_map(|(pci, arfcn)| {
-        let rat = if arfcn < 70_000 { Rat::Lte } else { Rat::Nr };
-        CellId { rat, pci: Pci(pci), arfcn }
-    })
+    (
+        any::<u16>(),
+        prop_oneof![0u32..70_000, 70_000u32..3_000_000],
+    )
+        .prop_map(|(pci, arfcn)| {
+            let rat = if arfcn < 70_000 { Rat::Lte } else { Rat::Nr };
+            CellId {
+                rat,
+                pci: Pci(pci),
+                arfcn,
+            }
+        })
 }
 
 /// A cell of a specific RAT, channel number in that RAT's range.
@@ -32,7 +40,11 @@ fn arb_cell_of(rat: Rat) -> impl Strategy<Value = CellId> {
         Rat::Lte => 0u32..70_000,
         Rat::Nr => 70_000u32..3_000_000,
     };
-    (any::<u16>(), range).prop_map(move |(pci, arfcn)| CellId { rat, pci: Pci(pci), arfcn })
+    (any::<u16>(), range).prop_map(move |(pci, arfcn)| CellId {
+        rat,
+        pci: Pci(pci),
+        arfcn,
+    })
 }
 
 fn arb_deci() -> impl Strategy<Value = i32> {
@@ -45,18 +57,35 @@ fn arb_quantity() -> impl Strategy<Value = TriggerQuantity> {
 
 fn arb_event() -> impl Strategy<Value = MeasEvent> {
     let kind = prop_oneof![
-        arb_deci().prop_map(|t| EventKind::A1 { threshold: Threshold(t) }),
-        arb_deci().prop_map(|t| EventKind::A2 { threshold: Threshold(t) }),
+        arb_deci().prop_map(|t| EventKind::A1 {
+            threshold: Threshold(t)
+        }),
+        arb_deci().prop_map(|t| EventKind::A2 {
+            threshold: Threshold(t)
+        }),
         (-300i32..300).prop_map(|o| EventKind::A3 { offset: o }),
-        arb_deci().prop_map(|t| EventKind::A4 { threshold: Threshold(t) }),
-        (arb_deci(), arb_deci())
-            .prop_map(|(t1, t2)| EventKind::A5 { t1: Threshold(t1), t2: Threshold(t2) }),
-        arb_deci().prop_map(|t| EventKind::B1 { threshold: Threshold(t) }),
-        (arb_deci(), arb_deci())
-            .prop_map(|(t1, t2)| EventKind::B2 { t1: Threshold(t1), t2: Threshold(t2) }),
+        arb_deci().prop_map(|t| EventKind::A4 {
+            threshold: Threshold(t)
+        }),
+        (arb_deci(), arb_deci()).prop_map(|(t1, t2)| EventKind::A5 {
+            t1: Threshold(t1),
+            t2: Threshold(t2)
+        }),
+        arb_deci().prop_map(|t| EventKind::B1 {
+            threshold: Threshold(t)
+        }),
+        (arb_deci(), arb_deci()).prop_map(|(t1, t2)| EventKind::B2 {
+            t1: Threshold(t1),
+            t2: Threshold(t2)
+        }),
     ];
     (kind, arb_quantity(), 0i32..100, 1u32..3_000_000).prop_map(
-        |(kind, quantity, hysteresis, arfcn)| MeasEvent { kind, quantity, hysteresis, arfcn },
+        |(kind, quantity, hysteresis, arfcn)| MeasEvent {
+            kind,
+            quantity,
+            hysteresis,
+            arfcn,
+        },
     )
 }
 
@@ -119,7 +148,10 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
                     q_rx_lev_min_deci: q
                 }),
                 (arb_cell_of(rat), any::<u64>()).prop_map(|(cell, g)| {
-                    RrcMessage::SetupRequest { cell, global_id: GlobalCellId(g) }
+                    RrcMessage::SetupRequest {
+                        cell,
+                        global_id: GlobalCellId(g),
+                    }
                 }),
                 Just(RrcMessage::Setup),
                 Just(RrcMessage::SetupComplete),
@@ -153,20 +185,34 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
                 _ => ctx,
             };
             let channel = LogChannel::for_message(&msg);
-            LogRecord { t: Timestamp(u64::from(t)), rat, channel, context, msg }
+            LogRecord {
+                t: Timestamp(u64::from(t)),
+                rat,
+                channel,
+                context,
+                msg,
+            }
         })
 }
 
 fn arb_event_any() -> impl Strategy<Value = TraceEvent> {
     prop_oneof![
         arb_record().prop_map(TraceEvent::Rrc),
-        (any::<u32>(), prop_oneof![
-            Just(MmState::Registered),
-            Just(MmState::DeregisteredNoCellAvailable)
-        ])
-            .prop_map(|(t, state)| TraceEvent::Mm { t: Timestamp(u64::from(t)), state }),
-        (any::<u32>(), 0.0f64..10_000.0)
-            .prop_map(|(t, mbps)| TraceEvent::Throughput { t: Timestamp(u64::from(t)), mbps }),
+        (
+            any::<u32>(),
+            prop_oneof![
+                Just(MmState::Registered),
+                Just(MmState::DeregisteredNoCellAvailable)
+            ]
+        )
+            .prop_map(|(t, state)| TraceEvent::Mm {
+                t: Timestamp(u64::from(t)),
+                state
+            }),
+        (any::<u32>(), 0.0f64..10_000.0).prop_map(|(t, mbps)| TraceEvent::Throughput {
+            t: Timestamp(u64::from(t)),
+            mbps
+        }),
     ]
 }
 

@@ -218,8 +218,14 @@ mod tests {
 
     #[test]
     fn rrc_release_versions_match_table4() {
-        assert_eq!(PhoneModel::OnePlus12R.profile().rrc_release, Some("V16.6.0"));
-        assert_eq!(PhoneModel::OnePlus13R.profile().rrc_release, Some("V17.4.0"));
+        assert_eq!(
+            PhoneModel::OnePlus12R.profile().rrc_release,
+            Some("V16.6.0")
+        );
+        assert_eq!(
+            PhoneModel::OnePlus13R.profile().rrc_release,
+            Some("V17.4.0")
+        );
         assert_eq!(PhoneModel::SamsungS23.profile().rrc_release, None);
     }
 

@@ -187,15 +187,55 @@ pub fn op_t_policy() -> OperatorPolicy {
     let channels = vec![
         // NR — Table 2/3 channels. 387410 is the "problematic" carrier:
         // 10 MHz, deployed ~6 dB weaker per RE than the n41 carriers.
-        ChannelPlan { rat: Rat::Nr, arfcn: 521310, bandwidth_mhz: 90.0, tx_power_dbm: 18.0 },
-        ChannelPlan { rat: Rat::Nr, arfcn: 501390, bandwidth_mhz: 100.0, tx_power_dbm: 18.0 },
-        ChannelPlan { rat: Rat::Nr, arfcn: 398410, bandwidth_mhz: 10.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Nr, arfcn: 387410, bandwidth_mhz: 10.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Nr, arfcn: 126270, bandwidth_mhz: 20.0, tx_power_dbm: 18.0 },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 521310,
+            bandwidth_mhz: 90.0,
+            tx_power_dbm: 18.0,
+        },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 501390,
+            bandwidth_mhz: 100.0,
+            tx_power_dbm: 18.0,
+        },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 398410,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 387410,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 126270,
+            bandwidth_mhz: 20.0,
+            tx_power_dbm: 18.0,
+        },
         // LTE fallback carriers (bands 2, 12, 66) — rarely serving.
-        ChannelPlan { rat: Rat::Lte, arfcn: 850, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 5035, bandwidth_mhz: 10.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 66786, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 850,
+            bandwidth_mhz: 20.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 5035,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 66786,
+            bandwidth_mhz: 20.0,
+            tx_power_dbm: 17.0,
+        },
     ];
     let mut rules = BTreeMap::new();
     rules.insert(
@@ -228,14 +268,54 @@ pub fn op_t_policy() -> OperatorPolicy {
 /// "5G-disabled" channel that flips to 5145 on any 5G report (F15).
 pub fn op_a_policy() -> OperatorPolicy {
     let channels = vec![
-        ChannelPlan { rat: Rat::Nr, arfcn: 632736, bandwidth_mhz: 40.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Nr, arfcn: 658080, bandwidth_mhz: 40.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Nr, arfcn: 174770, bandwidth_mhz: 10.0, tx_power_dbm: 16.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 850, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 5145, bandwidth_mhz: 10.0, tx_power_dbm: 4.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 5815, bandwidth_mhz: 10.0, tx_power_dbm: 16.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 9820, bandwidth_mhz: 10.0, tx_power_dbm: 16.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 66936, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 632736,
+            bandwidth_mhz: 40.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 658080,
+            bandwidth_mhz: 40.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 174770,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 16.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 850,
+            bandwidth_mhz: 20.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 5145,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 4.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 5815,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 16.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 9820,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 16.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 66936,
+            bandwidth_mhz: 20.0,
+            tx_power_dbm: 17.0,
+        },
     ];
     let mut rules = BTreeMap::new();
     // F15: 4G PCell on 5815 never works with 5G but still configures 5G
@@ -273,12 +353,42 @@ pub fn op_a_policy() -> OperatorPolicy {
 /// configuration cadence (F15).
 pub fn op_v_policy() -> OperatorPolicy {
     let channels = vec![
-        ChannelPlan { rat: Rat::Nr, arfcn: 648672, bandwidth_mhz: 60.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Nr, arfcn: 653952, bandwidth_mhz: 60.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 1075, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 2560, bandwidth_mhz: 10.0, tx_power_dbm: 16.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 5230, bandwidth_mhz: 10.0, tx_power_dbm: 18.0 },
-        ChannelPlan { rat: Rat::Lte, arfcn: 66586, bandwidth_mhz: 20.0, tx_power_dbm: 17.0 },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 648672,
+            bandwidth_mhz: 60.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 653952,
+            bandwidth_mhz: 60.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 1075,
+            bandwidth_mhz: 20.0,
+            tx_power_dbm: 17.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 2560,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 16.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 5230,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 18.0,
+        },
+        ChannelPlan {
+            rat: Rat::Lte,
+            arfcn: 66586,
+            bandwidth_mhz: 20.0,
+            tx_power_dbm: 17.0,
+        },
     ];
     let mut rules = BTreeMap::new();
     // F15: all 5G cells are released once the PCell switches to 5230, but
@@ -397,7 +507,12 @@ mod tests {
 
     #[test]
     fn channel_plan_band_lookup() {
-        let c = ChannelPlan { rat: Rat::Nr, arfcn: 387410, bandwidth_mhz: 10.0, tx_power_dbm: 12.0 };
+        let c = ChannelPlan {
+            rat: Rat::Nr,
+            arfcn: 387410,
+            bandwidth_mhz: 10.0,
+            tx_power_dbm: 12.0,
+        };
         assert_eq!(c.band().unwrap().to_string(), "n25");
     }
 

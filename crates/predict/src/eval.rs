@@ -22,7 +22,14 @@ pub struct ErrorStats {
 /// Computes accuracy stats over `(predicted, observed)` pairs.
 pub fn error_stats(pairs: &[(f64, f64)]) -> ErrorStats {
     if pairs.is_empty() {
-        return ErrorStats { n: 0, mae: 0.0, rmse: 0.0, within_10: 0.0, within_25: 0.0, within_30: 0.0 };
+        return ErrorStats {
+            n: 0,
+            mae: 0.0,
+            rmse: 0.0,
+            within_10: 0.0,
+            within_25: 0.0,
+            within_30: 0.0,
+        };
     }
     let n = pairs.len() as f64;
     let errs: Vec<f64> = pairs.iter().map(|(p, o)| (p - o).abs()).collect();
@@ -65,7 +72,9 @@ mod tests {
 
     #[test]
     fn perfect_predictions() {
-        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 / 10.0, i as f64 / 10.0)).collect();
+        let pairs: Vec<(f64, f64)> = (0..10)
+            .map(|i| (i as f64 / 10.0, i as f64 / 10.0))
+            .collect();
         let s = error_stats(&pairs);
         assert_eq!(s.mae, 0.0);
         assert_eq!(s.within_10, 1.0);

@@ -51,7 +51,11 @@ impl Default for S1e3Model {
     /// A plausible untrained starting point: k tuned so ±6 dB is decisive,
     /// failure vanishing beyond ~12 dB gaps.
     fn default() -> Self {
-        S1e3Model { k: 0.4, t: 12.0, n: 2.0 }
+        S1e3Model {
+            k: 0.4,
+            t: 12.0,
+            n: 2.0,
+        }
     }
 }
 
@@ -93,7 +97,11 @@ pub struct S1Model {
 impl Default for S1Model {
     /// Untrained starting point: poor-SCell response centred at −110 dBm.
     fn default() -> Self {
-        S1Model { e3: S1e3Model::default(), e12_k: 0.5, e12_mid_dbm: -110.0 }
+        S1Model {
+            e3: S1e3Model::default(),
+            e12_k: 0.5,
+            e12_mid_dbm: -110.0,
+        }
     }
 }
 
@@ -107,8 +115,10 @@ impl S1Model {
     /// Location S1 loop probability (usage-normalised like
     /// [`S1e3Model::predict`]).
     pub fn predict(&self, combos: &[CellsetFeatures]) -> f64 {
-        let total_u: f64 =
-            combos.iter().map(|f| usage(self.e3.k, f.pcell_gap_db)).sum();
+        let total_u: f64 = combos
+            .iter()
+            .map(|f| usage(self.e3.k, f.pcell_gap_db))
+            .sum();
         let norm = total_u.max(1.0);
         combos
             .iter()
@@ -174,7 +184,11 @@ mod tests {
 
     #[test]
     fn prediction_is_clamped_to_unit_interval() {
-        let m = S1e3Model { k: 5.0, t: 50.0, n: 0.1 };
+        let m = S1e3Model {
+            k: 5.0,
+            t: 50.0,
+            n: 0.1,
+        };
         let combos: Vec<CellsetFeatures> = (0..10).map(|_| f(30.0, 0.0, -80.0)).collect();
         assert!((m.predict(&combos) - 1.0).abs() < 1e-9);
         assert_eq!(m.predict(&[]), 0.0);

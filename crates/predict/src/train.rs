@@ -35,7 +35,10 @@ fn mse<F: Fn(&LocationSample) -> f64>(samples: &[LocationSample], predict: F) ->
     if samples.is_empty() {
         return 0.0;
     }
-    samples.iter().map(|s| (predict(s) - s.observed).powi(2)).sum::<f64>()
+    samples
+        .iter()
+        .map(|s| (predict(s) - s.observed).powi(2))
+        .sum::<f64>()
         / samples.len() as f64
 }
 
@@ -52,8 +55,16 @@ const N_RANGE: (f64, f64) = (0.2, 8.0);
 pub fn train_s1e3(samples: &[LocationSample]) -> S1e3Model {
     let starts = [
         S1e3Model::default(),
-        S1e3Model { k: 0.1, t: 6.0, n: 1.0 },
-        S1e3Model { k: 1.0, t: 20.0, n: 4.0 },
+        S1e3Model {
+            k: 0.1,
+            t: 6.0,
+            n: 1.0,
+        },
+        S1e3Model {
+            k: 1.0,
+            t: 20.0,
+            n: 4.0,
+        },
     ];
     let mut best = S1e3Model::default();
     let mut best_err = f64::INFINITY;
@@ -93,7 +104,10 @@ pub fn train_s1e3(samples: &[LocationSample]) -> S1e3Model {
 /// probability.
 pub fn train_s1(samples: &[LocationSample]) -> S1Model {
     let e3 = train_s1e3(samples);
-    let mut m = S1Model { e3, ..S1Model::default() };
+    let mut m = S1Model {
+        e3,
+        ..S1Model::default()
+    };
     for _ in 0..12 {
         m.e12_k = golden_min(
             |k| mse(samples, |s| S1Model { e12_k: k, ..m }.predict(&s.combos)),
@@ -102,7 +116,15 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
             40,
         );
         m.e12_mid_dbm = golden_min(
-            |mid| mse(samples, |s| S1Model { e12_mid_dbm: mid, ..m }.predict(&s.combos)),
+            |mid| {
+                mse(samples, |s| {
+                    S1Model {
+                        e12_mid_dbm: mid,
+                        ..m
+                    }
+                    .predict(&s.combos)
+                })
+            },
             -130.0,
             -90.0,
             40,
@@ -112,7 +134,11 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
         m.e3.k = golden_min(
             |k| {
                 mse(samples, |s| {
-                    S1Model { e3: S1e3Model { k, ..m.e3 }, ..m }.predict(&s.combos)
+                    S1Model {
+                        e3: S1e3Model { k, ..m.e3 },
+                        ..m
+                    }
+                    .predict(&s.combos)
                 })
             },
             K_RANGE.0,
@@ -122,7 +148,11 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
         m.e3.t = golden_min(
             |t| {
                 mse(samples, |s| {
-                    S1Model { e3: S1e3Model { t, ..m.e3 }, ..m }.predict(&s.combos)
+                    S1Model {
+                        e3: S1e3Model { t, ..m.e3 },
+                        ..m
+                    }
+                    .predict(&s.combos)
                 })
             },
             T_RANGE.0,
@@ -132,7 +162,11 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
         m.e3.n = golden_min(
             |n| {
                 mse(samples, |s| {
-                    S1Model { e3: S1e3Model { n, ..m.e3 }, ..m }.predict(&s.combos)
+                    S1Model {
+                        e3: S1e3Model { n, ..m.e3 },
+                        ..m
+                    }
+                    .predict(&s.combos)
                 })
             },
             N_RANGE.0,
@@ -161,12 +195,19 @@ mod tests {
     /// data's resolution is not required — predictive equivalence is).
     #[test]
     fn recovers_synthetic_s1e3_ground_truth() {
-        let truth = S1e3Model { k: 0.45, t: 14.0, n: 2.5 };
+        let truth = S1e3Model {
+            k: 0.45,
+            t: 14.0,
+            n: 2.5,
+        };
         let mut samples = Vec::new();
         for gp in [-12.0, -6.0, -2.0, 0.0, 2.0, 6.0, 12.0] {
             for gs in [0.0, 2.0, 4.0, 6.0, 9.0, 12.0, 18.0] {
                 let combos = vec![f(gp, gs, -90.0)];
-                samples.push(LocationSample { observed: truth.predict(&combos), combos });
+                samples.push(LocationSample {
+                    observed: truth.predict(&combos),
+                    combos,
+                });
             }
         }
         let m = train_s1e3(&samples);
@@ -193,7 +234,11 @@ mod tests {
     #[test]
     fn s1_training_improves_over_default() {
         let truth = S1Model {
-            e3: S1e3Model { k: 0.5, t: 10.0, n: 2.0 },
+            e3: S1e3Model {
+                k: 0.5,
+                t: 10.0,
+                n: 2.0,
+            },
             e12_k: 0.4,
             e12_mid_dbm: -112.0,
         };
@@ -202,7 +247,10 @@ mod tests {
             for gs in [1.0, 6.0, 15.0] {
                 for worst in [-125.0, -110.0, -90.0] {
                     let combos = vec![f(gp, gs, worst)];
-                    samples.push(LocationSample { observed: truth.predict(&combos), combos });
+                    samples.push(LocationSample {
+                        observed: truth.predict(&combos),
+                        combos,
+                    });
                 }
             }
         }
@@ -217,14 +265,20 @@ mod tests {
             .map(|s| (S1Model::default().predict(&s.combos) - s.observed).powi(2))
             .sum::<f64>()
             / samples.len() as f64;
-        assert!(err_trained < err_default * 0.5, "{err_trained} vs {err_default}");
+        assert!(
+            err_trained < err_default * 0.5,
+            "{err_trained} vs {err_default}"
+        );
         assert!(err_trained < 5e-3, "mse {err_trained}");
     }
 
     #[test]
     fn training_is_deterministic() {
         let combos = vec![f(5.0, 3.0, -100.0)];
-        let samples = vec![LocationSample { observed: 0.6, combos }];
+        let samples = vec![LocationSample {
+            observed: 0.6,
+            combos,
+        }];
         let a = train_s1e3(&samples);
         let b = train_s1e3(&samples);
         assert_eq!(a, b);

@@ -61,16 +61,27 @@ mod tests {
     use crate::model::{CellsetFeatures, S1e3Model};
 
     fn f(pcell_gap: f64, scell_gap: f64) -> CellsetFeatures {
-        CellsetFeatures { pcell_gap_db: pcell_gap, scell_gap_db: scell_gap, worst_scell_rsrp_dbm: -90.0 }
+        CellsetFeatures {
+            pcell_gap_db: pcell_gap,
+            scell_gap_db: scell_gap,
+            worst_scell_rsrp_dbm: -90.0,
+        }
     }
 
     fn synthetic_samples() -> Vec<LocationSample> {
-        let truth = S1e3Model { k: 0.5, t: 12.0, n: 2.0 };
+        let truth = S1e3Model {
+            k: 0.5,
+            t: 12.0,
+            n: 2.0,
+        };
         let mut out = Vec::new();
         for gp in [-10.0, -4.0, 0.0, 4.0, 10.0] {
             for gs in [0.0, 2.0, 5.0, 8.0, 11.0, 15.0] {
                 let combos = vec![f(gp, gs)];
-                out.push(LocationSample { observed: truth.predict(&combos), combos });
+                out.push(LocationSample {
+                    observed: truth.predict(&combos),
+                    combos,
+                });
             }
         }
         out

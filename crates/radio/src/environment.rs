@@ -122,7 +122,9 @@ impl RadioEnvironment {
 
     /// All cells on a given RAT+channel.
     pub fn on_channel(&self, rat: Rat, arfcn: u32) -> impl Iterator<Item = &CellSite> {
-        self.cells.iter().filter(move |c| c.cell.rat == rat && c.cell.arfcn == arfcn)
+        self.cells
+            .iter()
+            .filter(move |c| c.cell.rat == rat && c.cell.arfcn == arfcn)
     }
 
     /// Long-term mean RSRP (path loss + antenna only), dBm.
@@ -147,8 +149,7 @@ impl RadioEnvironment {
             self.shadow_corr_m,
         );
         let bias = if self.run_bias_sigma_db > 0.0 {
-            self.run_bias_sigma_db
-                * gaussian_at(&[self.seed, self.fading_salt, site.key(), 0xB1A5])
+            self.run_bias_sigma_db * gaussian_at(&[self.seed, self.fading_salt, site.key(), 0xB1A5])
         } else {
             0.0
         };
@@ -193,16 +194,22 @@ impl RadioEnvironment {
     /// Samples every cell at `(p, t)`: the full measurement snapshot a UE
     /// measurement sweep would produce.
     pub fn snapshot(&self, p: Point, t_ms: u64) -> Vec<(CellId, Measurement)> {
-        self.cells.iter().map(|c| (c.cell, self.measure(c, p, t_ms))).collect()
+        self.cells
+            .iter()
+            .map(|c| (c.cell, self.measure(c, p, t_ms)))
+            .collect()
     }
 }
 
 /// Carrier frequency of a site's channel (falls back to 2 GHz for channel
 /// numbers outside the band tables, e.g. synthetic test channels).
 pub fn site_freq_mhz(site: &CellSite) -> f64 {
-    onoff_rrc::arfcn::Arfcn { rat: site.cell.rat, number: site.cell.arfcn }
-        .freq_mhz()
-        .unwrap_or(2000.0)
+    onoff_rrc::arfcn::Arfcn {
+        rat: site.cell.rat,
+        number: site.cell.arfcn,
+    }
+    .freq_mhz()
+    .unwrap_or(2000.0)
 }
 
 fn dbm_to_mw(dbm: f64) -> f64 {
@@ -215,7 +222,12 @@ mod tests {
     use onoff_rrc::ids::Pci;
 
     fn nr_site(pci: u16, arfcn: u32, x: f64, y: f64, bearing: f64) -> CellSite {
-        CellSite::macro_site(CellId::nr(Pci(pci), arfcn), Point::new(x, y), bearing, 100.0)
+        CellSite::macro_site(
+            CellId::nr(Pci(pci), arfcn),
+            Point::new(x, y),
+            bearing,
+            100.0,
+        )
     }
 
     fn env() -> RadioEnvironment {
@@ -246,8 +258,9 @@ mod tests {
         let s = &e.cells[0];
         assert_eq!(e.rsrp_dbm(s, p, 1000), e.rsrp_dbm(s, p, 1099));
         // Over many quanta the value must vary.
-        let distinct: std::collections::HashSet<i64> =
-            (0..20).map(|k| (e.rsrp_dbm(s, p, k * 100) * 10.0) as i64).collect();
+        let distinct: std::collections::HashSet<i64> = (0..20)
+            .map(|k| (e.rsrp_dbm(s, p, k * 100) * 10.0) as i64)
+            .collect();
         assert!(distinct.len() > 5);
     }
 
@@ -284,7 +297,10 @@ mod tests {
         };
         let rsrq_mid = avg(390.0);
         let rsrq_near = avg(40.0);
-        assert!(rsrq_mid < rsrq_near - 1.0, "mid {rsrq_mid} vs near {rsrq_near}");
+        assert!(
+            rsrq_mid < rsrq_near - 1.0,
+            "mid {rsrq_mid} vs near {rsrq_near}"
+        );
     }
 
     #[test]
@@ -327,7 +343,10 @@ mod tests {
         let a = RadioEnvironment::new(1, vec![nr_site(1, 387410, 0.0, 0.0, 0.0)]);
         let b = RadioEnvironment::new(2, vec![nr_site(1, 387410, 0.0, 0.0, 0.0)]);
         let p = Point::new(321.0, 123.0);
-        assert_ne!(a.local_rsrp_dbm(&a.cells[0], p), b.local_rsrp_dbm(&b.cells[0], p));
+        assert_ne!(
+            a.local_rsrp_dbm(&a.cells[0], p),
+            b.local_rsrp_dbm(&b.cells[0], p)
+        );
     }
 
     #[test]
@@ -337,18 +356,10 @@ mod tests {
         let c = nr_site(273, 398410, 0.0, 0.0, 0.0);
         assert_ne!(a.key(), b.key());
         assert_ne!(a.key(), c.key());
-        let lte = CellSite::macro_site(
-            CellId::lte(Pci(273), 5815),
-            Point::new(0.0, 0.0),
-            0.0,
-            10.0,
-        );
-        let nr_same_numbers = CellSite::macro_site(
-            CellId::nr(Pci(273), 5815),
-            Point::new(0.0, 0.0),
-            0.0,
-            10.0,
-        );
+        let lte =
+            CellSite::macro_site(CellId::lte(Pci(273), 5815), Point::new(0.0, 0.0), 0.0, 10.0);
+        let nr_same_numbers =
+            CellSite::macro_site(CellId::nr(Pci(273), 5815), Point::new(0.0, 0.0), 0.0, 10.0);
         assert_ne!(lte.key(), nr_same_numbers.key());
     }
 }

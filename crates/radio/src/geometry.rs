@@ -30,12 +30,18 @@ impl Point {
 
     /// The point offset by `(dx, dy)` metres.
     pub fn offset(self, dx: f64, dy: f64) -> Point {
-        Point { x: self.x + dx, y: self.y + dy }
+        Point {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
     }
 
     /// Linear interpolation towards `other` (`t` ∈ [0, 1] stays on segment).
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
     }
 }
 
@@ -46,8 +52,16 @@ pub fn grid(origin: Point, width: f64, height: f64, nx: usize, ny: usize) -> Vec
     let mut pts = Vec::with_capacity(nx * ny);
     for j in 0..ny {
         for i in 0..nx {
-            let fx = if nx > 1 { i as f64 / (nx - 1) as f64 } else { 0.5 };
-            let fy = if ny > 1 { j as f64 / (ny - 1) as f64 } else { 0.5 };
+            let fx = if nx > 1 {
+                i as f64 / (nx - 1) as f64
+            } else {
+                0.5
+            };
+            let fy = if ny > 1 {
+                j as f64 / (ny - 1) as f64
+            } else {
+                0.5
+            };
             pts.push(origin.offset(width * fx, height * fy));
         }
     }

@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn gaussian_tails_exist_but_are_bounded() {
         let n = 50_000u64;
-        let extreme = (0..n).filter(|&i| gaussian(splitmix64(i)).abs() > 3.0).count();
+        let extreme = (0..n)
+            .filter(|&i| gaussian(splitmix64(i)).abs() > 3.0)
+            .count();
         // P(|Z|>3) ≈ 0.27%; allow generous slack.
         assert!(extreme > 20 && extreme < 400, "got {extreme}");
     }

@@ -30,7 +30,11 @@ pub struct ShadowingField {
 impl ShadowingField {
     /// Creates a field.
     pub fn new(seed: u64, sigma_db: f64, corr_distance_m: f64) -> ShadowingField {
-        ShadowingField { seed, sigma_db, corr_distance_m: corr_distance_m.max(1.0) }
+        ShadowingField {
+            seed,
+            sigma_db,
+            corr_distance_m: corr_distance_m.max(1.0),
+        }
     }
 
     /// Lattice node value (standard normal) at integer node coordinates.

@@ -26,12 +26,18 @@ pub struct Arfcn {
 impl Arfcn {
     /// NR-ARFCN constructor.
     pub fn nr(number: u32) -> Self {
-        Arfcn { rat: Rat::Nr, number }
+        Arfcn {
+            rat: Rat::Nr,
+            number,
+        }
     }
 
     /// Downlink EARFCN constructor.
     pub fn lte(number: u32) -> Self {
-        Arfcn { rat: Rat::Lte, number }
+        Arfcn {
+            rat: Rat::Lte,
+            number,
+        }
     }
 
     /// Carrier frequency in MHz, if the channel number is valid for its RAT.
@@ -57,9 +63,24 @@ struct NrRasterRange {
 
 /// TS 38.104 Table 5.4.2.1-1.
 const NR_RASTER: [NrRasterRange; 3] = [
-    NrRasterRange { n_lo: 0, n_hi: 599_999, delta_khz: 5, f_offs_khz: 0 },
-    NrRasterRange { n_lo: 600_000, n_hi: 2_016_666, delta_khz: 15, f_offs_khz: 3_000_000 },
-    NrRasterRange { n_lo: 2_016_667, n_hi: 3_279_165, delta_khz: 60, f_offs_khz: 24_250_080 },
+    NrRasterRange {
+        n_lo: 0,
+        n_hi: 599_999,
+        delta_khz: 5,
+        f_offs_khz: 0,
+    },
+    NrRasterRange {
+        n_lo: 600_000,
+        n_hi: 2_016_666,
+        delta_khz: 15,
+        f_offs_khz: 3_000_000,
+    },
+    NrRasterRange {
+        n_lo: 2_016_667,
+        n_hi: 3_279_165,
+        delta_khz: 60,
+        f_offs_khz: 24_250_080,
+    },
 ];
 
 /// Converts an NR-ARFCN to its reference frequency in MHz.
@@ -73,7 +94,9 @@ const NR_RASTER: [NrRasterRange; 3] = [
 /// assert_eq!(nr_arfcn_to_freq_mhz(387410), Some(1937.05));
 /// ```
 pub fn nr_arfcn_to_freq_mhz(n_ref: u32) -> Option<f64> {
-    let row = NR_RASTER.iter().find(|r| (r.n_lo..=r.n_hi).contains(&n_ref))?;
+    let row = NR_RASTER
+        .iter()
+        .find(|r| (r.n_lo..=r.n_hi).contains(&n_ref))?;
     let khz = row.f_offs_khz + u64::from(row.delta_khz) * u64::from(n_ref - row.n_lo);
     Some(khz as f64 / 1000.0)
 }
@@ -140,8 +163,14 @@ mod tests {
         ];
         for &(arfcn, exact, paper) in cases {
             let f = nr_arfcn_to_freq_mhz(arfcn).unwrap();
-            assert!((f - exact).abs() < 1e-9, "arfcn {arfcn}: got {f}, want {exact}");
-            assert!((f - paper).abs() <= 0.55, "arfcn {arfcn} not within rounding of paper");
+            assert!(
+                (f - exact).abs() < 1e-9,
+                "arfcn {arfcn}: got {f}, want {exact}"
+            );
+            assert!(
+                (f - paper).abs() <= 0.55,
+                "arfcn {arfcn} not within rounding of paper"
+            );
         }
     }
 
@@ -160,7 +189,10 @@ mod tests {
         ];
         for &(earfcn, want) in cases {
             let f = earfcn_to_freq_mhz(earfcn).unwrap();
-            assert!((f - want).abs() < 1e-9, "earfcn {earfcn}: got {f}, want {want}");
+            assert!(
+                (f - want).abs() < 1e-9,
+                "earfcn {earfcn}: got {f}, want {want}"
+            );
         }
     }
 
@@ -177,9 +209,15 @@ mod tests {
 
     #[test]
     fn nr_arfcn_inverse() {
-        for arfcn in [0u32, 1, 387410, 521310, 600_000, 650_000, 2_016_667, 3_279_165] {
+        for arfcn in [
+            0u32, 1, 387410, 521310, 600_000, 650_000, 2_016_667, 3_279_165,
+        ] {
             let f = nr_arfcn_to_freq_mhz(arfcn).unwrap();
-            assert_eq!(freq_mhz_to_nr_arfcn(f), Some(arfcn), "inverse failed at {arfcn}");
+            assert_eq!(
+                freq_mhz_to_nr_arfcn(f),
+                Some(arfcn),
+                "inverse failed at {arfcn}"
+            );
         }
         assert_eq!(freq_mhz_to_nr_arfcn(-1.0), None);
         assert_eq!(freq_mhz_to_nr_arfcn(1e9), None);

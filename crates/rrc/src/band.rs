@@ -68,23 +68,108 @@ pub struct NrBandRow {
 
 /// TS 36.101 Table 5.7.3-1 (subset: US-deployed bands plus neighbours).
 const LTE_BANDS: &[LteBandRow] = &[
-    LteBandRow { band: 1, f_dl_low_khz: 2_110_000, n_offs_dl: 0, n_dl_max: 599 },
-    LteBandRow { band: 2, f_dl_low_khz: 1_930_000, n_offs_dl: 600, n_dl_max: 1199 },
-    LteBandRow { band: 3, f_dl_low_khz: 1_805_000, n_offs_dl: 1200, n_dl_max: 1949 },
-    LteBandRow { band: 4, f_dl_low_khz: 2_110_000, n_offs_dl: 1950, n_dl_max: 2399 },
-    LteBandRow { band: 5, f_dl_low_khz: 869_000, n_offs_dl: 2400, n_dl_max: 2649 },
-    LteBandRow { band: 7, f_dl_low_khz: 2_620_000, n_offs_dl: 2750, n_dl_max: 3449 },
-    LteBandRow { band: 12, f_dl_low_khz: 729_000, n_offs_dl: 5010, n_dl_max: 5179 },
-    LteBandRow { band: 13, f_dl_low_khz: 746_000, n_offs_dl: 5180, n_dl_max: 5279 },
-    LteBandRow { band: 14, f_dl_low_khz: 758_000, n_offs_dl: 5280, n_dl_max: 5379 },
-    LteBandRow { band: 17, f_dl_low_khz: 734_000, n_offs_dl: 5730, n_dl_max: 5849 },
-    LteBandRow { band: 25, f_dl_low_khz: 1_930_000, n_offs_dl: 8040, n_dl_max: 8689 },
-    LteBandRow { band: 26, f_dl_low_khz: 859_000, n_offs_dl: 8690, n_dl_max: 9039 },
-    LteBandRow { band: 29, f_dl_low_khz: 717_000, n_offs_dl: 9660, n_dl_max: 9769 },
-    LteBandRow { band: 30, f_dl_low_khz: 2_350_000, n_offs_dl: 9770, n_dl_max: 9869 },
-    LteBandRow { band: 41, f_dl_low_khz: 2_496_000, n_offs_dl: 39650, n_dl_max: 41589 },
-    LteBandRow { band: 66, f_dl_low_khz: 2_110_000, n_offs_dl: 66436, n_dl_max: 67335 },
-    LteBandRow { band: 71, f_dl_low_khz: 617_000, n_offs_dl: 68586, n_dl_max: 68935 },
+    LteBandRow {
+        band: 1,
+        f_dl_low_khz: 2_110_000,
+        n_offs_dl: 0,
+        n_dl_max: 599,
+    },
+    LteBandRow {
+        band: 2,
+        f_dl_low_khz: 1_930_000,
+        n_offs_dl: 600,
+        n_dl_max: 1199,
+    },
+    LteBandRow {
+        band: 3,
+        f_dl_low_khz: 1_805_000,
+        n_offs_dl: 1200,
+        n_dl_max: 1949,
+    },
+    LteBandRow {
+        band: 4,
+        f_dl_low_khz: 2_110_000,
+        n_offs_dl: 1950,
+        n_dl_max: 2399,
+    },
+    LteBandRow {
+        band: 5,
+        f_dl_low_khz: 869_000,
+        n_offs_dl: 2400,
+        n_dl_max: 2649,
+    },
+    LteBandRow {
+        band: 7,
+        f_dl_low_khz: 2_620_000,
+        n_offs_dl: 2750,
+        n_dl_max: 3449,
+    },
+    LteBandRow {
+        band: 12,
+        f_dl_low_khz: 729_000,
+        n_offs_dl: 5010,
+        n_dl_max: 5179,
+    },
+    LteBandRow {
+        band: 13,
+        f_dl_low_khz: 746_000,
+        n_offs_dl: 5180,
+        n_dl_max: 5279,
+    },
+    LteBandRow {
+        band: 14,
+        f_dl_low_khz: 758_000,
+        n_offs_dl: 5280,
+        n_dl_max: 5379,
+    },
+    LteBandRow {
+        band: 17,
+        f_dl_low_khz: 734_000,
+        n_offs_dl: 5730,
+        n_dl_max: 5849,
+    },
+    LteBandRow {
+        band: 25,
+        f_dl_low_khz: 1_930_000,
+        n_offs_dl: 8040,
+        n_dl_max: 8689,
+    },
+    LteBandRow {
+        band: 26,
+        f_dl_low_khz: 859_000,
+        n_offs_dl: 8690,
+        n_dl_max: 9039,
+    },
+    LteBandRow {
+        band: 29,
+        f_dl_low_khz: 717_000,
+        n_offs_dl: 9660,
+        n_dl_max: 9769,
+    },
+    LteBandRow {
+        band: 30,
+        f_dl_low_khz: 2_350_000,
+        n_offs_dl: 9770,
+        n_dl_max: 9869,
+    },
+    LteBandRow {
+        band: 41,
+        f_dl_low_khz: 2_496_000,
+        n_offs_dl: 39650,
+        n_dl_max: 41589,
+    },
+    LteBandRow {
+        band: 66,
+        f_dl_low_khz: 2_110_000,
+        n_offs_dl: 66436,
+        n_dl_max: 67335,
+    },
+    LteBandRow {
+        band: 71,
+        f_dl_low_khz: 617_000,
+        n_offs_dl: 68586,
+        n_dl_max: 68935,
+    },
 ];
 
 /// TS 38.104 Table 5.2-1 (subset), in **priority order** for lookup:
@@ -92,15 +177,51 @@ const LTE_BANDS: &[LteBandRow] = &[
 /// operators in the paper actually license comes first, so `nr_band_of`
 /// reports the band the paper reports.
 const NR_BANDS: &[NrBandRow] = &[
-    NrBandRow { band: 25, f_dl_low_khz: 1_930_000, f_dl_high_khz: 1_995_000 },
-    NrBandRow { band: 2, f_dl_low_khz: 1_930_000, f_dl_high_khz: 1_990_000 },
-    NrBandRow { band: 41, f_dl_low_khz: 2_496_000, f_dl_high_khz: 2_690_000 },
-    NrBandRow { band: 71, f_dl_low_khz: 617_000, f_dl_high_khz: 652_000 },
-    NrBandRow { band: 5, f_dl_low_khz: 869_000, f_dl_high_khz: 894_000 },
-    NrBandRow { band: 77, f_dl_low_khz: 3_300_000, f_dl_high_khz: 4_200_000 },
-    NrBandRow { band: 78, f_dl_low_khz: 3_300_000, f_dl_high_khz: 3_800_000 },
-    NrBandRow { band: 66, f_dl_low_khz: 2_110_000, f_dl_high_khz: 2_200_000 },
-    NrBandRow { band: 79, f_dl_low_khz: 4_400_000, f_dl_high_khz: 5_000_000 },
+    NrBandRow {
+        band: 25,
+        f_dl_low_khz: 1_930_000,
+        f_dl_high_khz: 1_995_000,
+    },
+    NrBandRow {
+        band: 2,
+        f_dl_low_khz: 1_930_000,
+        f_dl_high_khz: 1_990_000,
+    },
+    NrBandRow {
+        band: 41,
+        f_dl_low_khz: 2_496_000,
+        f_dl_high_khz: 2_690_000,
+    },
+    NrBandRow {
+        band: 71,
+        f_dl_low_khz: 617_000,
+        f_dl_high_khz: 652_000,
+    },
+    NrBandRow {
+        band: 5,
+        f_dl_low_khz: 869_000,
+        f_dl_high_khz: 894_000,
+    },
+    NrBandRow {
+        band: 77,
+        f_dl_low_khz: 3_300_000,
+        f_dl_high_khz: 4_200_000,
+    },
+    NrBandRow {
+        band: 78,
+        f_dl_low_khz: 3_300_000,
+        f_dl_high_khz: 3_800_000,
+    },
+    NrBandRow {
+        band: 66,
+        f_dl_low_khz: 2_110_000,
+        f_dl_high_khz: 2_200_000,
+    },
+    NrBandRow {
+        band: 79,
+        f_dl_low_khz: 4_400_000,
+        f_dl_high_khz: 5_000_000,
+    },
 ];
 
 /// Static accessors over the band tables.
@@ -115,7 +236,9 @@ impl BandTable {
 
     /// The LTE band row containing a downlink EARFCN, if any.
     pub fn band_of(&self, earfcn: u32) -> Option<&'static LteBandRow> {
-        LTE_BANDS.iter().find(|b| (b.n_offs_dl..=b.n_dl_max).contains(&earfcn))
+        LTE_BANDS
+            .iter()
+            .find(|b| (b.n_offs_dl..=b.n_dl_max).contains(&earfcn))
     }
 
     /// The LTE [`Band`] containing a downlink EARFCN.

@@ -123,7 +123,12 @@ pub struct MeasEvent {
 impl MeasEvent {
     /// A measurement-event config with zero hysteresis.
     pub fn new(kind: EventKind, quantity: TriggerQuantity, arfcn: u32) -> Self {
-        MeasEvent { kind, quantity, hysteresis: 0, arfcn }
+        MeasEvent {
+            kind,
+            quantity,
+            hysteresis: 0,
+            arfcn,
+        }
     }
 
     /// Extracts the compared quantity from a joint sample, deci-units.
@@ -193,16 +198,32 @@ pub fn render_event_config(ev: &MeasEvent) -> String {
     };
     match ev.kind {
         EventKind::A1 { threshold } => {
-            format!("A1 event on {}: {q} > {}{unit}", ev.arfcn, fmt_deci(threshold.0))
+            format!(
+                "A1 event on {}: {q} > {}{unit}",
+                ev.arfcn,
+                fmt_deci(threshold.0)
+            )
         }
         EventKind::A2 { threshold } => {
-            format!("A2 event on {}: {q} < {}{unit}", ev.arfcn, fmt_deci(threshold.0))
+            format!(
+                "A2 event on {}: {q} < {}{unit}",
+                ev.arfcn,
+                fmt_deci(threshold.0)
+            )
         }
         EventKind::A3 { offset } => {
-            format!("A3 event on {}: {q} offset > {}{unit}", ev.arfcn, fmt_deci(offset))
+            format!(
+                "A3 event on {}: {q} offset > {}{unit}",
+                ev.arfcn,
+                fmt_deci(offset)
+            )
         }
         EventKind::A4 { threshold } => {
-            format!("A4 event on {}: {q} > {}{unit}", ev.arfcn, fmt_deci(threshold.0))
+            format!(
+                "A4 event on {}: {q} > {}{unit}",
+                ev.arfcn,
+                fmt_deci(threshold.0)
+            )
         }
         EventKind::A5 { t1, t2 } => format!(
             "A5 event on {}: {q} < {}{unit} and {q} > {}{unit}",
@@ -211,7 +232,11 @@ pub fn render_event_config(ev: &MeasEvent) -> String {
             fmt_deci(t2.0)
         ),
         EventKind::B1 { threshold } => {
-            format!("B1 event on {}: {q} > {}{unit}", ev.arfcn, fmt_deci(threshold.0))
+            format!(
+                "B1 event on {}: {q} > {}{unit}",
+                ev.arfcn,
+                fmt_deci(threshold.0)
+            )
         }
         EventKind::B2 { t1, t2 } => format!(
             "B2 event on {}: {q} < {}{unit} and {q} > {}{unit}",
@@ -242,7 +267,9 @@ mod tests {
     fn a2_enters_below_threshold() {
         // OP_T's A2 config from Appendix C: RSRP < -156 dBm — the floor.
         let ev = MeasEvent::new(
-            EventKind::A2 { threshold: Threshold::from_db(-156.0) },
+            EventKind::A2 {
+                threshold: Threshold::from_db(-156.0),
+            },
             TriggerQuantity::Rsrp,
             387410,
         );
@@ -275,7 +302,10 @@ mod tests {
     fn a5_requires_both_conditions() {
         // N1E2's trigger (Fig. 31): serving < -118 dBm and candidate > -120 dBm.
         let ev = MeasEvent::new(
-            EventKind::A5 { t1: Threshold::from_db(-118.0), t2: Threshold::from_db(-120.0) },
+            EventKind::A5 {
+                t1: Threshold::from_db(-118.0),
+                t2: Threshold::from_db(-120.0),
+            },
             TriggerQuantity::Rsrp,
             5815,
         );
@@ -288,7 +318,9 @@ mod tests {
     fn b1_gates_scg_addition() {
         // N2E2's recovery trigger (Fig. 33): RSRP > -115 dBm.
         let ev = MeasEvent::new(
-            EventKind::B1 { threshold: Threshold::from_db(-115.0) },
+            EventKind::B1 {
+                threshold: Threshold::from_db(-115.0),
+            },
             TriggerQuantity::Rsrp,
             648672,
         );
@@ -299,12 +331,14 @@ mod tests {
     #[test]
     fn hysteresis_separates_enter_and_leave() {
         let mut ev = MeasEvent::new(
-            EventKind::A2 { threshold: Threshold::from_db(-100.0) },
+            EventKind::A2 {
+                threshold: Threshold::from_db(-100.0),
+            },
             TriggerQuantity::Rsrp,
             387410,
         );
         ev.hysteresis = 20; // 2 dB
-        // Entering needs to be 2 dB below; leaving needs 2 dB above.
+                            // Entering needs to be 2 dB below; leaving needs 2 dB above.
         assert!(!ev.entered(m(-101.0, -12.0), m(-101.0, -12.0)));
         assert!(ev.entered(m(-103.0, -12.0), m(-103.0, -12.0)));
         assert!(!ev.left(m(-99.0, -12.0), m(-99.0, -12.0)));
@@ -317,19 +351,32 @@ mod tests {
     #[test]
     fn render_matches_appendix_style() {
         let a2 = MeasEvent::new(
-            EventKind::A2 { threshold: Threshold::from_db(-156.0) },
+            EventKind::A2 {
+                threshold: Threshold::from_db(-156.0),
+            },
             TriggerQuantity::Rsrp,
             387410,
         );
-        assert_eq!(render_event_config(&a2), "A2 event on 387410: RSRP < -156dBm");
+        assert_eq!(
+            render_event_config(&a2),
+            "A2 event on 387410: RSRP < -156dBm"
+        );
         let a3 = MeasEvent::new(EventKind::A3 { offset: 60 }, TriggerQuantity::Rsrq, 5815);
-        assert_eq!(render_event_config(&a3), "A3 event on 5815: RSRQ offset > 6dB");
+        assert_eq!(
+            render_event_config(&a3),
+            "A3 event on 5815: RSRQ offset > 6dB"
+        );
         let b1 = MeasEvent::new(
-            EventKind::B1 { threshold: Threshold::from_db(-115.0) },
+            EventKind::B1 {
+                threshold: Threshold::from_db(-115.0),
+            },
             TriggerQuantity::Rsrp,
             648672,
         );
-        assert_eq!(render_event_config(&b1), "B1 event on 648672: RSRP > -115dBm");
+        assert_eq!(
+            render_event_config(&b1),
+            "B1 event on 648672: RSRP > -115dBm"
+        );
     }
 
     #[test]

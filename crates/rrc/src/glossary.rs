@@ -12,28 +12,82 @@ pub struct GlossaryEntry {
 
 /// Table 6: every abbreviation the paper (and this workspace) uses.
 pub const GLOSSARY: &[GlossaryEntry] = &[
-    GlossaryEntry { abbrev: "CS", meaning: "Cell Set" },
-    GlossaryEntry { abbrev: "MCG", meaning: "Master Cell Group" },
-    GlossaryEntry { abbrev: "NSA", meaning: "Non-StandAlone (one 5G deployment option)" },
-    GlossaryEntry { abbrev: "PCell", meaning: "Primary cell of the master cell group (MCG)" },
-    GlossaryEntry { abbrev: "PSCell", meaning: "Primary cell of the secondary cell group (SCG)" },
-    GlossaryEntry { abbrev: "RAN", meaning: "Radio Access Network" },
-    GlossaryEntry { abbrev: "RAT", meaning: "Radio Access Technology (here, 5G or 4G)" },
-    GlossaryEntry { abbrev: "RLF", meaning: "Radio Link Failure" },
-    GlossaryEntry { abbrev: "RRC", meaning: "Radio Resource Control" },
-    GlossaryEntry { abbrev: "RSRP", meaning: "Reference Signal Received Power" },
-    GlossaryEntry { abbrev: "RSRQ", meaning: "Reference Signal Received Quality" },
-    GlossaryEntry { abbrev: "SA", meaning: "StandAlone (one 5G deployment option)" },
-    GlossaryEntry { abbrev: "SCG", meaning: "Secondary Cell Group" },
-    GlossaryEntry { abbrev: "SCell", meaning: "Secondary Cell" },
-    GlossaryEntry { abbrev: "UE", meaning: "User Equipment" },
-    GlossaryEntry { abbrev: "ARFCN", meaning: "Absolute Radio Frequency Channel Number" },
-    GlossaryEntry { abbrev: "EARFCN", meaning: "E-UTRA Absolute Radio Frequency Channel Number" },
+    GlossaryEntry {
+        abbrev: "CS",
+        meaning: "Cell Set",
+    },
+    GlossaryEntry {
+        abbrev: "MCG",
+        meaning: "Master Cell Group",
+    },
+    GlossaryEntry {
+        abbrev: "NSA",
+        meaning: "Non-StandAlone (one 5G deployment option)",
+    },
+    GlossaryEntry {
+        abbrev: "PCell",
+        meaning: "Primary cell of the master cell group (MCG)",
+    },
+    GlossaryEntry {
+        abbrev: "PSCell",
+        meaning: "Primary cell of the secondary cell group (SCG)",
+    },
+    GlossaryEntry {
+        abbrev: "RAN",
+        meaning: "Radio Access Network",
+    },
+    GlossaryEntry {
+        abbrev: "RAT",
+        meaning: "Radio Access Technology (here, 5G or 4G)",
+    },
+    GlossaryEntry {
+        abbrev: "RLF",
+        meaning: "Radio Link Failure",
+    },
+    GlossaryEntry {
+        abbrev: "RRC",
+        meaning: "Radio Resource Control",
+    },
+    GlossaryEntry {
+        abbrev: "RSRP",
+        meaning: "Reference Signal Received Power",
+    },
+    GlossaryEntry {
+        abbrev: "RSRQ",
+        meaning: "Reference Signal Received Quality",
+    },
+    GlossaryEntry {
+        abbrev: "SA",
+        meaning: "StandAlone (one 5G deployment option)",
+    },
+    GlossaryEntry {
+        abbrev: "SCG",
+        meaning: "Secondary Cell Group",
+    },
+    GlossaryEntry {
+        abbrev: "SCell",
+        meaning: "Secondary Cell",
+    },
+    GlossaryEntry {
+        abbrev: "UE",
+        meaning: "User Equipment",
+    },
+    GlossaryEntry {
+        abbrev: "ARFCN",
+        meaning: "Absolute Radio Frequency Channel Number",
+    },
+    GlossaryEntry {
+        abbrev: "EARFCN",
+        meaning: "E-UTRA Absolute Radio Frequency Channel Number",
+    },
 ];
 
 /// Looks up an abbreviation (case-sensitive, as 3GPP writes them).
 pub fn lookup(abbrev: &str) -> Option<&'static str> {
-    GLOSSARY.iter().find(|e| e.abbrev == abbrev).map(|e| e.meaning)
+    GLOSSARY
+        .iter()
+        .find(|e| e.abbrev == abbrev)
+        .map(|e| e.meaning)
 }
 
 #[cfg(test)]
@@ -43,8 +97,8 @@ mod tests {
     #[test]
     fn paper_table6_entries_present() {
         for abbrev in [
-            "CS", "MCG", "NSA", "PCell", "PSCell", "RAN", "RAT", "RLF", "RRC", "RSRP",
-            "RSRQ", "SA", "SCG", "SCell", "UE",
+            "CS", "MCG", "NSA", "PCell", "PSCell", "RAN", "RAT", "RLF", "RRC", "RSRP", "RSRQ",
+            "SA", "SCG", "SCell", "UE",
         ] {
             assert!(lookup(abbrev).is_some(), "missing {abbrev}");
         }

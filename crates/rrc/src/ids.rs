@@ -88,12 +88,20 @@ pub struct CellId {
 impl CellId {
     /// A 5G NR cell.
     pub fn nr(pci: Pci, arfcn: u32) -> Self {
-        CellId { rat: Rat::Nr, pci, arfcn }
+        CellId {
+            rat: Rat::Nr,
+            pci,
+            arfcn,
+        }
     }
 
     /// A 4G LTE cell.
     pub fn lte(pci: Pci, arfcn: u32) -> Self {
-        CellId { rat: Rat::Lte, pci, arfcn }
+        CellId {
+            rat: Rat::Lte,
+            pci,
+            arfcn,
+        }
     }
 
     /// True if both cells share the same frequency channel (and RAT).
@@ -133,11 +141,23 @@ impl FromStr for CellId {
     /// downlink EARFCN ceiling (< 70000) as the discriminator, which holds
     /// for every channel in the study (4G: 850..66936, 5G: 126270..693952).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (pci, arfcn) = s.split_once('@').ok_or_else(|| ParseCellIdError(s.to_string()))?;
-        let pci: u16 = pci.trim().parse().map_err(|_| ParseCellIdError(s.to_string()))?;
-        let arfcn: u32 = arfcn.trim().parse().map_err(|_| ParseCellIdError(s.to_string()))?;
+        let (pci, arfcn) = s
+            .split_once('@')
+            .ok_or_else(|| ParseCellIdError(s.to_string()))?;
+        let pci: u16 = pci
+            .trim()
+            .parse()
+            .map_err(|_| ParseCellIdError(s.to_string()))?;
+        let arfcn: u32 = arfcn
+            .trim()
+            .parse()
+            .map_err(|_| ParseCellIdError(s.to_string()))?;
         let rat = if arfcn < 70_000 { Rat::Lte } else { Rat::Nr };
-        Ok(CellId { rat, pci: Pci(pci), arfcn })
+        Ok(CellId {
+            rat,
+            pci: Pci(pci),
+            arfcn,
+        })
     }
 }
 
@@ -204,7 +224,11 @@ mod tests {
         assert!(a.co_channel(b));
         assert!(!a.co_channel(c));
         // Same numeric channel on different RATs is not co-channel.
-        let d = CellId { rat: Rat::Lte, pci: Pci(371), arfcn: 387410 };
+        let d = CellId {
+            rat: Rat::Lte,
+            pci: Pci(371),
+            arfcn: 387410,
+        };
         assert!(!a.co_channel(d));
     }
 
@@ -226,14 +250,46 @@ mod tests {
     fn parse_roundtrip_all_paper_cells() {
         // Every cell named in the paper's tables/appendix figures.
         for s in [
-            "393@521310", "393@501390", "273@398410", "273@387410", "371@387410",
-            "104@501390", "540@501390", "309@387410", "309@398410", "540@521310",
-            "380@398410", "380@387410", "684@501390", "684@521310", "390@387410",
-            "390@398410", "238@5145", "66@632736", "66@658080", "191@66936",
-            "238@5815", "830@632736", "47@850", "62@174770", "97@5815", "97@5145",
-            "53@632736", "500@632736", "53@658080", "310@66486", "436@850",
-            "380@5815", "380@5145", "62@1075", "188@648672", "188@653952",
-            "393@648672", "393@653952", "266@648672", "266@653952",
+            "393@521310",
+            "393@501390",
+            "273@398410",
+            "273@387410",
+            "371@387410",
+            "104@501390",
+            "540@501390",
+            "309@387410",
+            "309@398410",
+            "540@521310",
+            "380@398410",
+            "380@387410",
+            "684@501390",
+            "684@521310",
+            "390@387410",
+            "390@398410",
+            "238@5145",
+            "66@632736",
+            "66@658080",
+            "191@66936",
+            "238@5815",
+            "830@632736",
+            "47@850",
+            "62@174770",
+            "97@5815",
+            "97@5145",
+            "53@632736",
+            "500@632736",
+            "53@658080",
+            "310@66486",
+            "436@850",
+            "380@5815",
+            "380@5145",
+            "62@1075",
+            "188@648672",
+            "188@653952",
+            "393@648672",
+            "393@653952",
+            "266@648672",
+            "266@653952",
         ] {
             let c: CellId = s.parse().unwrap();
             assert_eq!(c.to_string(), s, "roundtrip failed for {s}");

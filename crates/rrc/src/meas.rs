@@ -126,7 +126,10 @@ pub struct Measurement {
 impl Measurement {
     /// Convenience constructor from floating dB values.
     pub fn new(rsrp_dbm: f64, rsrq_db: f64) -> Self {
-        Measurement { rsrp: Rsrp::from_db(rsrp_dbm), rsrq: Rsrq::from_db(rsrq_db) }
+        Measurement {
+            rsrp: Rsrp::from_db(rsrp_dbm),
+            rsrq: Rsrq::from_db(rsrq_db),
+        }
     }
 }
 
@@ -176,7 +179,10 @@ mod tests {
     fn clamping_to_reportable_range() {
         assert_eq!(Rsrp::from_db(-200.0).clamp_reportable(), Rsrp::FLOOR);
         assert_eq!(Rsrp::from_db(0.0).clamp_reportable(), Rsrp::CEIL);
-        assert_eq!(Rsrp::from_db(-90.0).clamp_reportable(), Rsrp::from_db(-90.0));
+        assert_eq!(
+            Rsrp::from_db(-90.0).clamp_reportable(),
+            Rsrp::from_db(-90.0)
+        );
         assert_eq!(Rsrq::from_db(-99.0).clamp_reportable(), Rsrq::FLOOR);
     }
 

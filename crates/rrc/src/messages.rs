@@ -261,14 +261,21 @@ mod tests {
     use crate::ids::{Pci, Rat};
 
     fn nr(pci: u16, arfcn: u32) -> CellId {
-        CellId { rat: Rat::Nr, pci: Pci(pci), arfcn }
+        CellId {
+            rat: Rat::Nr,
+            pci: Pci(pci),
+            arfcn,
+        }
     }
 
     #[test]
     fn scell_modification_shape() {
         // Fig. 26's failing message: add 371@387410 at index 3, release index 1.
         let body = ReconfigBody {
-            scell_to_add_mod: vec![ScellAddMod { index: 3, cell: nr(371, 387410) }],
+            scell_to_add_mod: vec![ScellAddMod {
+                index: 3,
+                cell: nr(371, 387410),
+            }],
             scell_to_release: vec![1],
             ..Default::default()
         };
@@ -281,9 +288,18 @@ mod tests {
     fn pure_addition_is_not_modification() {
         let body = ReconfigBody {
             scell_to_add_mod: vec![
-                ScellAddMod { index: 1, cell: nr(273, 387410) },
-                ScellAddMod { index: 2, cell: nr(273, 398410) },
-                ScellAddMod { index: 3, cell: nr(393, 501390) },
+                ScellAddMod {
+                    index: 1,
+                    cell: nr(273, 387410),
+                },
+                ScellAddMod {
+                    index: 2,
+                    cell: nr(273, 398410),
+                },
+                ScellAddMod {
+                    index: 3,
+                    cell: nr(393, 501390),
+                },
             ],
             ..Default::default()
         };
@@ -310,12 +326,21 @@ mod tests {
         let report = MeasurementReport {
             trigger: Some("A3".into()),
             results: vec![
-                MeasResult { cell: nr(540, 501390), meas: Measurement::new(-80.0, -10.5) },
-                MeasResult { cell: nr(380, 398410), meas: Measurement::new(-78.0, -11.5) },
+                MeasResult {
+                    cell: nr(540, 501390),
+                    meas: Measurement::new(-80.0, -10.5),
+                },
+                MeasResult {
+                    cell: nr(380, 398410),
+                    meas: Measurement::new(-78.0, -11.5),
+                },
             ],
         };
         assert!(report.contains(nr(540, 501390)));
-        assert_eq!(report.result_for(nr(380, 398410)), Some(Measurement::new(-78.0, -11.5)));
+        assert_eq!(
+            report.result_for(nr(380, 398410)),
+            Some(Measurement::new(-78.0, -11.5))
+        );
         // 309@387410 never appears in the reports — the S1E1 "bad apple".
         assert!(!report.contains(nr(309, 387410)));
         assert_eq!(report.result_for(nr(309, 387410)), None);

@@ -85,7 +85,10 @@ impl ProcedureTracker {
     pub fn feed(&mut self, ev: &TraceEvent) {
         match ev {
             TraceEvent::Rrc(rec) => self.feed_rrc(rec),
-            TraceEvent::Mm { t, state: MmState::DeregisteredNoCellAvailable } => {
+            TraceEvent::Mm {
+                t,
+                state: MmState::DeregisteredNoCellAvailable,
+            } => {
                 self.on_collapse(*t);
             }
             _ => {}
@@ -121,9 +124,7 @@ impl ProcedureTracker {
             RrcMessage::ReestablishmentRequest { .. } => {
                 self.open(t, ProcedureKind::Reestablishment)
             }
-            RrcMessage::ReestablishmentComplete { .. } => {
-                self.close(t, ProcedureOutcome::Success)
-            }
+            RrcMessage::ReestablishmentComplete { .. } => self.close(t, ProcedureOutcome::Success),
             RrcMessage::Release => {
                 self.done.push(Procedure {
                     start: t,
@@ -139,7 +140,12 @@ impl ProcedureTracker {
     fn open(&mut self, t: Timestamp, kind: ProcedureKind) {
         // An unanswered previous command failed implicitly.
         if let Some((start, k)) = self.open.take() {
-            self.done.push(Procedure { start, end: t, kind: k, outcome: ProcedureOutcome::Failed });
+            self.done.push(Procedure {
+                start,
+                end: t,
+                kind: k,
+                outcome: ProcedureOutcome::Failed,
+            });
             self.last_completed = None;
         }
         self.open = Some((t, kind));
@@ -147,7 +153,12 @@ impl ProcedureTracker {
 
     fn close(&mut self, t: Timestamp, outcome: ProcedureOutcome) {
         if let Some((start, kind)) = self.open.take() {
-            self.done.push(Procedure { start, end: t, kind, outcome });
+            self.done.push(Procedure {
+                start,
+                end: t,
+                kind,
+                outcome,
+            });
             self.last_completed = Some(self.done.len() - 1);
         }
     }
@@ -156,7 +167,12 @@ impl ProcedureTracker {
     /// `t`: fails the open procedure, or retro-fails a just-completed one.
     pub fn on_collapse(&mut self, t: Timestamp) {
         if let Some((start, kind)) = self.open.take() {
-            self.done.push(Procedure { start, end: t, kind, outcome: ProcedureOutcome::Failed });
+            self.done.push(Procedure {
+                start,
+                end: t,
+                kind,
+                outcome: ProcedureOutcome::Failed,
+            });
             self.last_completed = None;
             return;
         }
@@ -220,7 +236,13 @@ mod tests {
     #[test]
     fn establishment_success() {
         let events = vec![
-            rec(0, RrcMessage::SetupRequest { cell: cell(), global_id: Default::default() }),
+            rec(
+                0,
+                RrcMessage::SetupRequest {
+                    cell: cell(),
+                    global_id: Default::default(),
+                },
+            ),
             rec(100, RrcMessage::Setup),
             rec(120, RrcMessage::SetupComplete),
         ];
@@ -236,14 +258,20 @@ mod tests {
     fn scell_modification_completed_then_failed() {
         // The S1E3 shape from Fig. 26: Complete at t, exception ~5 ms later.
         let body = ReconfigBody {
-            scell_to_add_mod: vec![ScellAddMod { index: 3, cell: CellId::nr(Pci(371), 387410) }],
+            scell_to_add_mod: vec![ScellAddMod {
+                index: 3,
+                cell: CellId::nr(Pci(371), 387410),
+            }],
             scell_to_release: vec![1],
             ..Default::default()
         };
         let events = vec![
             rec(1000, RrcMessage::Reconfiguration(body.clone())),
             rec(1015, RrcMessage::ReconfigurationComplete),
-            TraceEvent::Mm { t: Timestamp(1020), state: MmState::DeregisteredNoCellAvailable },
+            TraceEvent::Mm {
+                t: Timestamp(1020),
+                state: MmState::DeregisteredNoCellAvailable,
+            },
         ];
         let procs = ProcedureTracker::track(&events);
         assert_eq!(procs.len(), 1);
@@ -256,7 +284,10 @@ mod tests {
         let events = vec![
             rec(1000, RrcMessage::Reconfiguration(ReconfigBody::default())),
             rec(1015, RrcMessage::ReconfigurationComplete),
-            TraceEvent::Mm { t: Timestamp(5000), state: MmState::DeregisteredNoCellAvailable },
+            TraceEvent::Mm {
+                t: Timestamp(5000),
+                state: MmState::DeregisteredNoCellAvailable,
+            },
         ];
         let procs = ProcedureTracker::track(&events);
         assert_eq!(procs[0].outcome, ProcedureOutcome::Success);
@@ -279,7 +310,10 @@ mod tests {
     fn collapse_fails_open_command() {
         let events = vec![
             rec(0, RrcMessage::Reconfiguration(ReconfigBody::default())),
-            TraceEvent::Mm { t: Timestamp(50), state: MmState::DeregisteredNoCellAvailable },
+            TraceEvent::Mm {
+                t: Timestamp(50),
+                state: MmState::DeregisteredNoCellAvailable,
+            },
         ];
         let procs = ProcedureTracker::track(&events);
         assert_eq!(procs.len(), 1);
@@ -316,8 +350,20 @@ mod tests {
     #[test]
     fn broadcast_messages_are_not_procedures() {
         let events = vec![
-            rec(0, RrcMessage::Mib { cell: cell(), global_id: Default::default() }),
-            rec(5, RrcMessage::Sib1 { cell: cell(), q_rx_lev_min_deci: -1080 }),
+            rec(
+                0,
+                RrcMessage::Mib {
+                    cell: cell(),
+                    global_id: Default::default(),
+                },
+            ),
+            rec(
+                5,
+                RrcMessage::Sib1 {
+                    cell: cell(),
+                    q_rx_lev_min_deci: -1080,
+                },
+            ),
         ];
         assert!(ProcedureTracker::track(&events).is_empty());
     }

@@ -51,8 +51,7 @@ impl SelectionParams {
 
     /// The cell-selection criterion S: `Srxlev > 0` and `Squal > 0`.
     pub fn is_suitable(&self, m: Measurement) -> bool {
-        self.s_rx_lev_deci(m.rsrp) > 0
-            && self.s_qual_deci(m.rsrq).is_none_or(|s| s > 0)
+        self.s_rx_lev_deci(m.rsrp) > 0 && self.s_qual_deci(m.rsrq).is_none_or(|s| s > 0)
     }
 }
 
@@ -68,7 +67,10 @@ pub struct RankingParams {
 impl Default for RankingParams {
     /// 2 dB hysteresis, no per-cell offset — common defaults.
     fn default() -> Self {
-        RankingParams { q_hyst_deci: 20, q_offset_deci: 0 }
+        RankingParams {
+            q_hyst_deci: 20,
+            q_offset_deci: 0,
+        }
     }
 }
 
@@ -155,7 +157,12 @@ mod tests {
     #[test]
     fn select_best_suitable() {
         let p = SelectionParams::op_t_n41();
-        let cands = [m(-120.0, -10.0), m(-85.0, -11.0), m(-82.0, -10.5), m(-90.0, -12.0)];
+        let cands = [
+            m(-120.0, -10.0),
+            m(-85.0, -11.0),
+            m(-82.0, -10.5),
+            m(-90.0, -12.0),
+        ];
         assert_eq!(select_cell(&p, &cands), Some(2));
         // Nothing suitable → None.
         let dead = [m(-120.0, -10.0), m(-130.0, -20.0)];

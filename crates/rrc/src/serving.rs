@@ -41,12 +41,17 @@ pub struct CellGroup {
 impl CellGroup {
     /// A group with only a primary cell.
     pub fn with_primary(cell: CellId) -> Self {
-        CellGroup { primary: Some(cell), scells: BTreeMap::new() }
+        CellGroup {
+            primary: Some(cell),
+            scells: BTreeMap::new(),
+        }
     }
 
     /// All cells in the group: primary first, then SCells by index.
     pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
-        self.primary.into_iter().chain(self.scells.values().copied())
+        self.primary
+            .into_iter()
+            .chain(self.scells.values().copied())
     }
 
     /// Number of cells in the group.
@@ -112,7 +117,10 @@ impl ServingCellSet {
 
     /// A connected set with the given PCell and nothing else.
     pub fn with_pcell(cell: CellId) -> Self {
-        ServingCellSet { mcg: CellGroup::with_primary(cell), scg: None }
+        ServingCellSet {
+            mcg: CellGroup::with_primary(cell),
+            scg: None,
+        }
     }
 
     /// The MCG's primary cell.
@@ -184,7 +192,9 @@ impl ServingCellSet {
 
     /// ③ SCG SCell add at `index`.
     pub fn add_scg_scell(&mut self, index: u8, cell: CellId) {
-        self.scg.get_or_insert_with(CellGroup::default).add_scell(index, cell);
+        self.scg
+            .get_or_insert_with(CellGroup::default)
+            .add_scell(index, cell);
     }
 
     /// ③ SCG release — the "losing 5G only" transition of N2 loops.

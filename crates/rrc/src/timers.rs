@@ -23,7 +23,11 @@ pub struct RlfConfig {
 impl Default for RlfConfig {
     /// A common field configuration: N310=10, N311=1, T310=1000 ms.
     fn default() -> Self {
-        RlfConfig { n310: 10, n311: 1, t310_ms: 1000 }
+        RlfConfig {
+            n310: 10,
+            n311: 1,
+            t310_ms: 1000,
+        }
     }
 }
 
@@ -61,7 +65,10 @@ pub struct RlfDetector {
 impl RlfDetector {
     /// New detector in sync.
     pub fn new(config: RlfConfig) -> RlfDetector {
-        RlfDetector { config, phase: RlfPhase::InSync }
+        RlfDetector {
+            config,
+            phase: RlfPhase::InSync,
+        }
     }
 
     /// Feeds one physical-layer indication at time `t_ms`; `in_sync` is the
@@ -80,7 +87,10 @@ impl RlfDetector {
                 if in_sync {
                     RlfPhase::InSync
                 } else if oos + 1 >= self.config.n310 {
-                    RlfPhase::T310Running { started_ms: t_ms, ins: 0 }
+                    RlfPhase::T310Running {
+                        started_ms: t_ms,
+                        ins: 0,
+                    }
                 } else {
                     RlfPhase::Counting { oos: oos + 1 }
                 }
@@ -90,7 +100,10 @@ impl RlfDetector {
                     if ins + 1 >= self.config.n311 {
                         RlfPhase::InSync
                     } else {
-                        RlfPhase::T310Running { started_ms, ins: ins + 1 }
+                        RlfPhase::T310Running {
+                            started_ms,
+                            ins: ins + 1,
+                        }
                     }
                 } else if t_ms.saturating_sub(started_ms) >= self.config.t310_ms {
                     RlfPhase::Failed
@@ -123,7 +136,10 @@ pub struct T304 {
 impl T304 {
     /// A stopped timer with the given duration.
     pub fn new(duration_ms: u64) -> T304 {
-        T304 { duration_ms, started_ms: None }
+        T304 {
+            duration_ms,
+            started_ms: None,
+        }
     }
 
     /// Starts at the handover command.
@@ -148,7 +164,11 @@ mod tests {
     use super::*;
 
     fn quick() -> RlfConfig {
-        RlfConfig { n310: 3, n311: 2, t310_ms: 500 }
+        RlfConfig {
+            n310: 3,
+            n311: 2,
+            t310_ms: 500,
+        }
     }
 
     #[test]

@@ -217,7 +217,15 @@ mod tests {
 
     #[test]
     fn timestamp_hms_roundtrip() {
-        for ms in [0u64, 1, 999, 1000, 61_001, 3_600_000, 19 * 3_600_000 + 43 * 60_000 + 31_635] {
+        for ms in [
+            0u64,
+            1,
+            999,
+            1000,
+            61_001,
+            3_600_000,
+            19 * 3_600_000 + 43 * 60_000 + 31_635,
+        ] {
             let t = Timestamp(ms);
             assert_eq!(Timestamp::parse_hms(&t.hms()), Some(t), "failed at {ms}");
         }
@@ -232,8 +240,17 @@ mod tests {
 
     #[test]
     fn timestamp_parse_rejects_malformed() {
-        for bad in ["", "12:34", "12:34:56", "12:34:56.7", "12:34:56.7890", "xx:00:00.000",
-                    "00:61:00.000", "00:00:61.000", "1:2:3.4.5"] {
+        for bad in [
+            "",
+            "12:34",
+            "12:34:56",
+            "12:34:56.7",
+            "12:34:56.7890",
+            "xx:00:00.000",
+            "00:61:00.000",
+            "00:00:61.000",
+            "1:2:3.4.5",
+        ] {
             assert_eq!(Timestamp::parse_hms(bad), None, "should reject {bad:?}");
         }
     }
@@ -266,7 +283,10 @@ mod tests {
     fn natural_channels() {
         let cell = CellId::nr(Pci(393), 521310);
         assert_eq!(
-            LogChannel::for_message(&RrcMessage::Mib { cell, global_id: Default::default() }),
+            LogChannel::for_message(&RrcMessage::Mib {
+                cell,
+                global_id: Default::default()
+            }),
             LogChannel::BcchBch
         );
         assert_eq!(
@@ -276,7 +296,10 @@ mod tests {
             }),
             LogChannel::UlCcch
         );
-        assert_eq!(LogChannel::for_message(&RrcMessage::Setup), LogChannel::DlCcch);
+        assert_eq!(
+            LogChannel::for_message(&RrcMessage::Setup),
+            LogChannel::DlCcch
+        );
         assert_eq!(
             LogChannel::for_message(&RrcMessage::Reconfiguration(ReconfigBody::default())),
             LogChannel::DlDcch
@@ -289,7 +312,10 @@ mod tests {
 
     #[test]
     fn trace_event_timestamp_access() {
-        let e = TraceEvent::Throughput { t: Timestamp(1234), mbps: 200.0 };
+        let e = TraceEvent::Throughput {
+            t: Timestamp(1234),
+            mbps: 200.0,
+        };
         assert_eq!(e.t(), Timestamp(1234));
         assert!(e.as_rrc().is_none());
         let r = TraceEvent::Rrc(LogRecord {

@@ -66,7 +66,10 @@ impl MovementPath {
     pub fn at(&self, t_ms: u64) -> Point {
         match self {
             MovementPath::Stationary(p) => *p,
-            MovementPath::Walk { waypoints, speed_mps } => {
+            MovementPath::Walk {
+                waypoints,
+                speed_mps,
+            } => {
                 if waypoints.is_empty() {
                     return Point::new(0.0, 0.0);
                 }
@@ -183,7 +186,11 @@ mod tests {
     #[test]
     fn walk_interpolates_and_stops() {
         let p = MovementPath::Walk {
-            waypoints: vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)],
+            waypoints: vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(10.0, 10.0),
+            ],
             speed_mps: 1.0,
         };
         assert_eq!(p.at(0), Point::new(0.0, 0.0));
@@ -196,9 +203,15 @@ mod tests {
 
     #[test]
     fn degenerate_walks() {
-        let empty = MovementPath::Walk { waypoints: vec![], speed_mps: 1.0 };
+        let empty = MovementPath::Walk {
+            waypoints: vec![],
+            speed_mps: 1.0,
+        };
         assert_eq!(empty.at(5_000), Point::new(0.0, 0.0));
-        let single = MovementPath::Walk { waypoints: vec![Point::new(7.0, 8.0)], speed_mps: 1.0 };
+        let single = MovementPath::Walk {
+            waypoints: vec![Point::new(7.0, 8.0)],
+            speed_mps: 1.0,
+        };
         assert_eq!(single.at(5_000), Point::new(7.0, 8.0));
         // Zero-length leg does not divide by zero.
         let dup = MovementPath::Walk {

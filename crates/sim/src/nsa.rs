@@ -74,7 +74,10 @@ pub fn run_nsa(cfg: &SimConfig) -> SimOutput {
                 State::Conn(c) => c.cs.clone(),
                 State::Idle { .. } => ServingCellSet::idle(),
             };
-            rec.throughput(next_tp, sample_mbps(&cfg.env, op, &cs, p, next_tp, cfg.seed));
+            rec.throughput(
+                next_tp,
+                sample_mbps(&cfg.env, op, &cs, p, next_tp, cfg.seed),
+            );
             next_tp += 1000;
         }
 
@@ -119,36 +122,64 @@ fn try_establish(
     let _ = t;
 
     let gid = GlobalCellId(0x4000_0000u64 | u64::from(pcell.pci.0) << 20 | u64::from(pcell.arfcn));
-    rec.rrc(t, Rat::Lte, Some(pcell), RrcMessage::Mib { cell: pcell, global_id: GlobalCellId(0) });
+    rec.rrc(
+        t,
+        Rat::Lte,
+        Some(pcell),
+        RrcMessage::Mib {
+            cell: pcell,
+            global_id: GlobalCellId(0),
+        },
+    );
     rec.rrc(
         t + 40,
         Rat::Lte,
         Some(pcell),
-        RrcMessage::Sib1 { cell: pcell, q_rx_lev_min_deci: floor },
+        RrcMessage::Sib1 {
+            cell: pcell,
+            q_rx_lev_min_deci: floor,
+        },
     );
     let setup_len = rng.random_range(timing::SETUP_MS.0..=timing::SETUP_MS.1);
     rec.rrc(
         t + 60,
         Rat::Lte,
         Some(pcell),
-        RrcMessage::SetupRequest { cell: pcell, global_id: gid },
+        RrcMessage::SetupRequest {
+            cell: pcell,
+            global_id: gid,
+        },
     );
-    rec.rrc(t + 60 + setup_len - 10, Rat::Lte, Some(pcell), RrcMessage::Setup);
-    rec.rrc(t + 60 + setup_len, Rat::Lte, Some(pcell), RrcMessage::SetupComplete);
+    rec.rrc(
+        t + 60 + setup_len - 10,
+        Rat::Lte,
+        Some(pcell),
+        RrcMessage::Setup,
+    );
+    rec.rrc(
+        t + 60 + setup_len,
+        Rat::Lte,
+        Some(pcell),
+        RrcMessage::SetupComplete,
+    );
 
     // Initial measurement configuration: B1 per NR channel, A2/A3 per LTE
     // channel (the shapes in Figs. 30–33).
     let mut meas_config: Vec<MeasEvent> = Vec::new();
     for c in cfg.policy.nr_channels() {
         meas_config.push(MeasEvent::new(
-            EventKind::B1 { threshold: Threshold(cfg.policy.b1_threshold_deci) },
+            EventKind::B1 {
+                threshold: Threshold(cfg.policy.b1_threshold_deci),
+            },
             TriggerQuantity::Rsrp,
             c.arfcn,
         ));
     }
     for c in cfg.policy.lte_channels() {
         meas_config.push(MeasEvent::new(
-            EventKind::A3 { offset: cfg.policy.a3_offset_deci },
+            EventKind::A3 {
+                offset: cfg.policy.a3_offset_deci,
+            },
             TriggerQuantity::Rsrq,
             c.arfcn,
         ));
@@ -157,9 +188,17 @@ fn try_establish(
         t + 60 + setup_len + 30,
         Rat::Lte,
         Some(pcell),
-        RrcMessage::Reconfiguration(ReconfigBody { meas_config, ..Default::default() }),
+        RrcMessage::Reconfiguration(ReconfigBody {
+            meas_config,
+            ..Default::default()
+        }),
     );
-    rec.rrc(t + 60 + setup_len + 45, Rat::Lte, Some(pcell), RrcMessage::ReconfigurationComplete);
+    rec.rrc(
+        t + 60 + setup_len + 45,
+        Rat::Lte,
+        Some(pcell),
+        RrcMessage::ReconfigurationComplete,
+    );
 
     Some(Conn {
         cs: ServingCellSet::with_pcell(pcell),
@@ -178,7 +217,12 @@ fn reestablish(
     p: onoff_radio::Point,
     cause: ReestablishmentCause,
 ) -> State {
-    rec.rrc(t, Rat::Lte, None, RrcMessage::ReestablishmentRequest { cause });
+    rec.rrc(
+        t,
+        Rat::Lte,
+        None,
+        RrcMessage::ReestablishmentRequest { cause },
+    );
     match strongest_cell_mean(&cfg.env, p, |c| c.rat == Rat::Lte)
         .filter(|(_, mean)| *mean * 10.0 > cfg.policy.q_rx_lev_min_deci as f64)
     {
@@ -197,8 +241,7 @@ fn reestablish(
             })
         }
         None => {
-            let dwell =
-                rng.random_range(timing::NSA_IDLE_DWELL_MS.0..=timing::NSA_IDLE_DWELL_MS.1);
+            let dwell = rng.random_range(timing::NSA_IDLE_DWELL_MS.0..=timing::NSA_IDLE_DWELL_MS.1);
             State::Idle { until: t + dwell }
         }
     }
@@ -246,7 +289,10 @@ fn step_connected(
                 Some(pcell),
                 RrcMessage::MeasurementReport(MeasurementReport {
                     trigger: Some("B1".into()),
-                    results: vec![MeasResult { cell: nr_cell, meas: nr_meas }],
+                    results: vec![MeasResult {
+                        cell: nr_cell,
+                        meas: nr_meas,
+                    }],
                 }),
             );
             let rule = cfg.policy.rule(pcell.arfcn);
@@ -256,12 +302,24 @@ fn step_connected(
                 if let Some((target, tm)) =
                     co_sited_on_channel(&cfg.env, pcell, Rat::Lte, target_chan, p, t)
                 {
-                    return execute_handover(cfg, rec, rng, t + 80, p, conn, target, tm.rsrp.deci());
+                    return execute_handover(
+                        cfg,
+                        rec,
+                        rng,
+                        t + 80,
+                        p,
+                        conn,
+                        target,
+                        tm.rsrp.deci(),
+                    );
                 }
             } else if cfg.policy.allows_5g_on(pcell.arfcn) {
                 // SCG addition: PSCell plus the co-sited SCell on the other
                 // NR channel.
-                let mut body = ReconfigBody { sp_cell: Some(nr_cell), ..Default::default() };
+                let mut body = ReconfigBody {
+                    sp_cell: Some(nr_cell),
+                    ..Default::default()
+                };
                 // Gate the second SCell on the local-mean field so every
                 // SCG addition at this spot configures the same cells.
                 let second = cfg
@@ -279,10 +337,23 @@ fn step_connected(
                         )
                     });
                 if let Some((scell, _)) = second {
-                    body.scell_to_add_mod.push(ScellAddMod { index: 1, cell: scell });
+                    body.scell_to_add_mod.push(ScellAddMod {
+                        index: 1,
+                        cell: scell,
+                    });
                 }
-                rec.rrc(t + 60, Rat::Lte, Some(pcell), RrcMessage::Reconfiguration(body.clone()));
-                rec.rrc(t + 80, Rat::Lte, Some(pcell), RrcMessage::ReconfigurationComplete);
+                rec.rrc(
+                    t + 60,
+                    Rat::Lte,
+                    Some(pcell),
+                    RrcMessage::Reconfiguration(body.clone()),
+                );
+                rec.rrc(
+                    t + 80,
+                    Rat::Lte,
+                    Some(pcell),
+                    RrcMessage::ReconfigurationComplete,
+                );
                 conn.cs.set_pscell(nr_cell);
                 if let Some(s) = body.scell_to_add_mod.first() {
                     conn.cs.add_scg_scell(s.index, s.cell);
@@ -294,9 +365,8 @@ fn step_connected(
 
     // A3 handover between LTE cells (with per-channel candidate bonuses).
     if t >= conn.ho_holdoff_until {
-        let bonus = |arfcn: u32| -> i32 {
-            cfg.policy.rule(arfcn).map_or(0, |r| r.a3_offset_bonus_deci)
-        };
+        let bonus =
+            |arfcn: u32| -> i32 { cfg.policy.rule(arfcn).map_or(0, |r| r.a3_offset_bonus_deci) };
         // Handover scoring is RSRP-based with per-channel candidate offsets
         // (cell-individual Ocn); RSRP keeps the decision distance-sensitive
         // where an unloaded channel's RSRQ would saturate.
@@ -310,9 +380,7 @@ fn step_connected(
             .filter(|(_, m)| m.rsrp.deci() > -1250)
             .max_by_key(|(c, m)| m.rsrp.deci() + bonus(c.arfcn));
         if let Some((target, tm)) = cand {
-            if tm.rsrp.deci() + bonus(target.arfcn)
-                > serving_score + cfg.policy.a3_offset_deci
-            {
+            if tm.rsrp.deci() + bonus(target.arfcn) > serving_score + cfg.policy.a3_offset_deci {
                 rec.rrc(
                     t + 5,
                     Rat::Lte,
@@ -320,8 +388,14 @@ fn step_connected(
                     RrcMessage::MeasurementReport(MeasurementReport {
                         trigger: Some("A3".into()),
                         results: vec![
-                            MeasResult { cell: pcell, meas: pcell_meas },
-                            MeasResult { cell: target, meas: tm },
+                            MeasResult {
+                                cell: pcell,
+                                meas: pcell_meas,
+                            },
+                            MeasResult {
+                                cell: target,
+                                meas: tm,
+                            },
                         ],
                     }),
                 );
@@ -333,9 +407,7 @@ fn step_connected(
     // Legacy A2-driven SCG release (F12): with the historical
     // misconfigured thresholds, a borderline PSCell is dropped the moment
     // it measures below Θ_A2 — and re-added as soon as B1 re-admits it.
-    if let (Some(theta), Some(pscell)) =
-        (cfg.policy.legacy_scg_a2_release_deci, conn.cs.pscell())
-    {
+    if let (Some(theta), Some(pscell)) = (cfg.policy.legacy_scg_a2_release_deci, conn.cs.pscell()) {
         if let Some(m) = measure_cell(&cfg.env, pscell, p, t) {
             if m.rsrp.deci() < theta {
                 rec.rrc(
@@ -344,7 +416,10 @@ fn step_connected(
                     Some(pcell),
                     RrcMessage::MeasurementReport(MeasurementReport {
                         trigger: Some("A2".into()),
-                        results: vec![MeasResult { cell: pscell, meas: m }],
+                        results: vec![MeasResult {
+                            cell: pscell,
+                            meas: m,
+                        }],
                     }),
                 );
                 rec.rrc(
@@ -356,7 +431,12 @@ fn step_connected(
                         ..Default::default()
                     }),
                 );
-                rec.rrc(t + 45, Rat::Lte, Some(pcell), RrcMessage::ReconfigurationComplete);
+                rec.rrc(
+                    t + 45,
+                    Rat::Lte,
+                    Some(pcell),
+                    RrcMessage::ReconfigurationComplete,
+                );
                 rec.truth(t + 30, InjectedCause::LegacyA2Release { cell: pscell });
                 conn.cs.release_scg();
                 return State::Conn(conn);
@@ -372,9 +452,7 @@ fn step_connected(
                 .cells
                 .iter()
                 .filter(|s| {
-                    s.cell.rat == Rat::Nr
-                        && s.cell.arfcn == pscell.arfcn
-                        && s.cell != pscell
+                    s.cell.rat == Rat::Nr && s.cell.arfcn == pscell.arfcn && s.cell != pscell
                 })
                 .map(|s| (s.cell, cfg.env.measure(s, p, t)))
                 .max_by_key(|(_, m)| m.rsrp);
@@ -387,8 +465,14 @@ fn step_connected(
                         RrcMessage::MeasurementReport(MeasurementReport {
                             trigger: Some("A3".into()),
                             results: vec![
-                                MeasResult { cell: pscell, meas: ps_meas },
-                                MeasResult { cell: target, meas: tm },
+                                MeasResult {
+                                    cell: pscell,
+                                    meas: ps_meas,
+                                },
+                                MeasResult {
+                                    cell: target,
+                                    meas: tm,
+                                },
                             ],
                         }),
                     );
@@ -401,7 +485,12 @@ fn step_connected(
                             ..Default::default()
                         }),
                     );
-                    rec.rrc(t + 45, Rat::Lte, Some(pcell), RrcMessage::ReconfigurationComplete);
+                    rec.rrc(
+                        t + 45,
+                        Rat::Lte,
+                        Some(pcell),
+                        RrcMessage::ReconfigurationComplete,
+                    );
                     if tm.rsrp.deci() < timing::SCG_RA_FAIL_RSRP_DECI {
                         // N2E2: random access towards the new PSCell fails;
                         // the network reacts by releasing the whole SCG.
@@ -430,10 +519,8 @@ fn step_connected(
                         );
                         rec.truth(t + 380, InjectedCause::ScgRaFailure { target });
                         conn.cs.release_scg();
-                        conn.b1_gate_at = next_config_time(
-                            t,
-                            cfg.policy.scg_recovery_config_period_ms,
-                        );
+                        conn.b1_gate_at =
+                            next_config_time(t, cfg.policy.scg_recovery_config_period_ms);
                     } else {
                         conn.cs.set_pscell(target);
                     }
@@ -481,10 +568,22 @@ fn execute_handover(
         // N1E2: the handover cannot complete; everything is released and the
         // UE re-establishes.
         rec.truth(t + 300, InjectedCause::HandoverFailure { target });
-        return reestablish(cfg, rec, rng, t + 300, p, ReestablishmentCause::HandoverFailure);
+        return reestablish(
+            cfg,
+            rec,
+            rng,
+            t + 300,
+            p,
+            ReestablishmentCause::HandoverFailure,
+        );
     }
 
-    rec.rrc(t + 15, Rat::Lte, Some(target), RrcMessage::ReconfigurationComplete);
+    rec.rrc(
+        t + 15,
+        Rat::Lte,
+        Some(target),
+        RrcMessage::ReconfigurationComplete,
+    );
     if had_scg && !keep_scg {
         rec.truth(t + 15, InjectedCause::HandoverDropScg { target });
     }
@@ -652,7 +751,10 @@ mod tests {
                     }
                     _ => false,
                 });
-                assert!(!early_b1, "B1 report before the 30 s config grid after {fail_t}");
+                assert!(
+                    !early_b1,
+                    "B1 report before the 30 s config grid after {fail_t}"
+                );
             }
         }
     }

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn to_log_renders_events() {
         let out = SimOutput {
-            events: vec![TraceEvent::Throughput { t: Timestamp(1000), mbps: 5.0 }],
+            events: vec![TraceEvent::Throughput {
+                t: Timestamp(1000),
+                mbps: 5.0,
+            }],
             truth: vec![],
         };
         assert_eq!(out.to_log(), "00:00:01.000 Throughput = 5.0 Mbps\n");

@@ -42,19 +42,28 @@ impl Recorder {
 
     /// Records a throughput sample.
     pub fn throughput(&mut self, t_ms: u64, mbps: f64) {
-        self.events.push(TraceEvent::Throughput { t: Timestamp(t_ms), mbps });
+        self.events.push(TraceEvent::Throughput {
+            t: Timestamp(t_ms),
+            mbps,
+        });
     }
 
     /// Records a hidden ground-truth 5G-OFF trigger.
     pub fn truth(&mut self, t_ms: u64, cause: InjectedCause) {
-        self.truth.push(GroundTruth { t: Timestamp(t_ms), cause });
+        self.truth.push(GroundTruth {
+            t: Timestamp(t_ms),
+            cause,
+        });
     }
 
     /// Finishes the run; events are sorted by time (procedures emitted with
     /// intra-step offsets can interleave with throughput samples).
     pub fn finish(mut self) -> SimOutput {
         self.events.sort_by_key(|e| e.t());
-        SimOutput { events: self.events, truth: self.truth }
+        SimOutput {
+            events: self.events,
+            truth: self.truth,
+        }
     }
 }
 
@@ -78,7 +87,9 @@ mod tests {
         let mut r = Recorder::new();
         r.truth(
             500,
-            InjectedCause::PcellRlf { cell: CellId::lte(onoff_rrc::ids::Pci(1), 850) },
+            InjectedCause::PcellRlf {
+                cell: CellId::lte(onoff_rrc::ids::Pci(1), 850),
+            },
         );
         let out = r.finish();
         assert!(out.events.is_empty());

@@ -24,9 +24,7 @@ use onoff_rrc::band::{Band, BandTable};
 use onoff_rrc::events::{EventKind, MeasEvent, Threshold, TriggerQuantity};
 use onoff_rrc::ids::{CellId, GlobalCellId, Rat};
 use onoff_rrc::meas::Measurement;
-use onoff_rrc::messages::{
-    MeasResult, MeasurementReport, ReconfigBody, RrcMessage, ScellAddMod,
-};
+use onoff_rrc::messages::{MeasResult, MeasurementReport, ReconfigBody, RrcMessage, ScellAddMod};
 use onoff_rrc::serving::ServingCellSet;
 
 use crate::config::{timing, SimConfig};
@@ -86,7 +84,10 @@ pub fn run_sa(cfg: &SimConfig) -> SimOutput {
                 State::Conn(c) => c.cs.clone(),
                 State::Idle { .. } => ServingCellSet::idle(),
             };
-            rec.throughput(next_tp, sample_mbps(&cfg.env, op, &cs, p, next_tp, cfg.seed));
+            rec.throughput(
+                next_tp,
+                sample_mbps(&cfg.env, op, &cs, p, next_tp, cfg.seed),
+            );
             next_tp += 1000;
         }
 
@@ -155,22 +156,46 @@ fn try_establish(
     let (pcell, _) = pick;
 
     let gid = GlobalCellId(0x8000_0000u64 | u64::from(pcell.pci.0) << 20 | u64::from(pcell.arfcn));
-    rec.rrc(t, Rat::Nr, Some(pcell), RrcMessage::Mib { cell: pcell, global_id: GlobalCellId(0) });
+    rec.rrc(
+        t,
+        Rat::Nr,
+        Some(pcell),
+        RrcMessage::Mib {
+            cell: pcell,
+            global_id: GlobalCellId(0),
+        },
+    );
     rec.rrc(
         t + 40,
         Rat::Nr,
         Some(pcell),
-        RrcMessage::Sib1 { cell: pcell, q_rx_lev_min_deci: floor },
+        RrcMessage::Sib1 {
+            cell: pcell,
+            q_rx_lev_min_deci: floor,
+        },
     );
     let setup_len = rng.random_range(timing::SETUP_MS.0..=timing::SETUP_MS.1);
     rec.rrc(
         t + 60,
         Rat::Nr,
         Some(pcell),
-        RrcMessage::SetupRequest { cell: pcell, global_id: gid },
+        RrcMessage::SetupRequest {
+            cell: pcell,
+            global_id: gid,
+        },
     );
-    rec.rrc(t + 60 + setup_len - 10, Rat::Nr, Some(pcell), RrcMessage::Setup);
-    rec.rrc(t + 60 + setup_len, Rat::Nr, Some(pcell), RrcMessage::SetupComplete);
+    rec.rrc(
+        t + 60 + setup_len - 10,
+        Rat::Nr,
+        Some(pcell),
+        RrcMessage::Setup,
+    );
+    rec.rrc(
+        t + 60 + setup_len,
+        Rat::Nr,
+        Some(pcell),
+        RrcMessage::SetupComplete,
+    );
 
     // Measurement configuration: A2 (floor) and A3 (6 dB) per NR channel —
     // the shape of the config lines in Appendix C's instances.
@@ -180,12 +205,16 @@ fn try_establish(
         .flat_map(|c| {
             [
                 MeasEvent::new(
-                    EventKind::A2 { threshold: Threshold(cfg.policy.a2_threshold_deci) },
+                    EventKind::A2 {
+                        threshold: Threshold(cfg.policy.a2_threshold_deci),
+                    },
                     TriggerQuantity::Rsrp,
                     c.arfcn,
                 ),
                 MeasEvent::new(
-                    EventKind::A3 { offset: cfg.policy.a3_offset_deci },
+                    EventKind::A3 {
+                        offset: cfg.policy.a3_offset_deci,
+                    },
                     TriggerQuantity::Rsrp,
                     c.arfcn,
                 ),
@@ -196,9 +225,17 @@ fn try_establish(
         t + 60 + setup_len + 30,
         Rat::Nr,
         Some(pcell),
-        RrcMessage::Reconfiguration(ReconfigBody { meas_config, ..Default::default() }),
+        RrcMessage::Reconfiguration(ReconfigBody {
+            meas_config,
+            ..Default::default()
+        }),
     );
-    rec.rrc(t + 60 + setup_len + 45, Rat::Nr, Some(pcell), RrcMessage::ReconfigurationComplete);
+    rec.rrc(
+        t + 60 + setup_len + 45,
+        Rat::Nr,
+        Some(pcell),
+        RrcMessage::ReconfigurationComplete,
+    );
 
     let add_delay = rng.random_range(timing::SCELL_ADD_DELAY_MS.0..=timing::SCELL_ADD_DELAY_MS.1);
     Some(Conn {
@@ -238,7 +275,10 @@ fn step_connected(
                     strongest_cell_mean(&cfg.env, p, |c| {
                         c.rat == Rat::Nr
                             && c.arfcn == arfcn
-                            && cfg.env.find(c).is_some_and(|i| cfg.env.cells[i].tower == tw)
+                            && cfg
+                                .env
+                                .find(c)
+                                .is_some_and(|i| cfg.env.cells[i].tower == tw)
                     })
                 });
                 let pick = co_sited.or_else(|| {
@@ -247,7 +287,10 @@ fn step_connected(
                 if let Some((cell, mean_rsrp)) = pick {
                     // Only cells with some presence at this location.
                     if mean_rsrp > -135.0 {
-                        adds.push(ScellAddMod { index: conn.next_index, cell });
+                        adds.push(ScellAddMod {
+                            index: conn.next_index,
+                            cell,
+                        });
                         conn.next_index += 1;
                     }
                 }
@@ -262,7 +305,12 @@ fn step_connected(
                         ..Default::default()
                     }),
                 );
-                rec.rrc(t + 15, Rat::Nr, Some(pcell), RrcMessage::ReconfigurationComplete);
+                rec.rrc(
+                    t + 15,
+                    Rat::Nr,
+                    Some(pcell),
+                    RrcMessage::ReconfigurationComplete,
+                );
                 for a in adds {
                     conn.cs.add_mcg_scell(a.index, a.cell);
                 }
@@ -292,7 +340,10 @@ fn step_connected(
         scanned.push(cell.arfcn);
         for (cand, m) in co_channel_candidates(&cfg.env, Rat::Nr, cell.arfcn, &serving, p, t) {
             if m.rsrp.deci() > timing::UNMEASURABLE_RSRP_DECI {
-                results.push(MeasResult { cell: cand, meas: m });
+                results.push(MeasResult {
+                    cell: cand,
+                    meas: m,
+                });
                 candidates.push((cand, m));
             }
         }
@@ -301,11 +352,13 @@ fn step_connected(
         t + 2,
         Rat::Nr,
         Some(pcell),
-        RrcMessage::MeasurementReport(MeasurementReport { trigger: None, results }),
+        RrcMessage::MeasurementReport(MeasurementReport {
+            trigger: None,
+            results,
+        }),
     );
 
-    let scells: Vec<(u8, CellId)> =
-        conn.cs.mcg.scells.iter().map(|(i, c)| (*i, *c)).collect();
+    let scells: Vec<(u8, CellId)> = conn.cs.mcg.scells.iter().map(|(i, c)| (*i, *c)).collect();
 
     // S1E1: a serving SCell missing from consecutive reports.
     for &(_, cell) in &scells {
@@ -354,7 +407,9 @@ fn step_connected(
     // S1E3: a co-channel candidate beats a serving SCell by the A3 offset →
     // the PCell commands an SCell modification.
     for &(idx, scell) in &scells {
-        let Some(&sm) = serving_meas.get(&scell) else { continue };
+        let Some(&sm) = serving_meas.get(&scell) else {
+            continue;
+        };
         // No command for a channel the RAN has written off (S1E2's "reported
         // but not fixed") — the serving SCell must still be alive enough.
         if sm.rsrp.deci() < timing::SCELL_DEAD_RSRP_DECI {
@@ -382,13 +437,25 @@ fn step_connected(
             Rat::Nr,
             Some(pcell),
             RrcMessage::Reconfiguration(ReconfigBody {
-                scell_to_add_mod: vec![ScellAddMod { index: new_idx, cell: cand }],
+                scell_to_add_mod: vec![ScellAddMod {
+                    index: new_idx,
+                    cell: cand,
+                }],
                 scell_to_release: vec![idx],
                 ..Default::default()
             }),
         );
-        rec.rrc(t + 35, Rat::Nr, Some(pcell), RrcMessage::ReconfigurationComplete);
-        if rng.random_bool(cfg.policy.scell_mod_failure_prob(cand.arfcn).clamp(0.0, 1.0)) {
+        rec.rrc(
+            t + 35,
+            Rat::Nr,
+            Some(pcell),
+            RrcMessage::ReconfigurationComplete,
+        );
+        if rng.random_bool(
+            cfg.policy
+                .scell_mod_failure_prob(cand.arfcn)
+                .clamp(0.0, 1.0),
+        ) {
             if cfg.policy.remedy_scell_only_release {
                 // Remedy: the failed swap costs only the swapped SCell;
                 // the target is blacklisted so the RAN stops retrying.
@@ -414,14 +481,14 @@ fn step_connected(
 
 /// The remedy action: one reconfiguration releasing exactly the offending
 /// SCell, leaving the rest of the MCG serving.
-fn release_single_scell(
-    rec: &mut Recorder,
-    conn: &mut Conn,
-    pcell: CellId,
-    cell: CellId,
-    t: u64,
-) {
-    let idx = conn.cs.mcg.scells.iter().find(|(_, c)| **c == cell).map(|(i, _)| *i);
+fn release_single_scell(rec: &mut Recorder, conn: &mut Conn, pcell: CellId, cell: CellId, t: u64) {
+    let idx = conn
+        .cs
+        .mcg
+        .scells
+        .iter()
+        .find(|(_, c)| **c == cell)
+        .map(|(i, _)| *i);
     if let Some(idx) = idx {
         rec.rrc(
             t,
@@ -432,7 +499,12 @@ fn release_single_scell(
                 ..Default::default()
             }),
         );
-        rec.rrc(t + 15, Rat::Nr, Some(pcell), RrcMessage::ReconfigurationComplete);
+        rec.rrc(
+            t + 15,
+            Rat::Nr,
+            Some(pcell),
+            RrcMessage::ReconfigurationComplete,
+        );
         conn.cs.release_mcg_scell(idx);
     }
     conn.missing.remove(&cell);
@@ -561,7 +633,10 @@ mod tests {
         assert_eq!(tps.len(), 300, "one sample per second for 5 minutes");
         let zeros = tps.iter().filter(|&&x| x == 0.0).count();
         let fast = tps.iter().filter(|&&x| x > 50.0).count();
-        assert!(zeros >= 10, "expected OFF periods with zero speed, got {zeros}");
+        assert!(
+            zeros >= 10,
+            "expected OFF periods with zero speed, got {zeros}"
+        );
         assert!(fast >= 40, "expected fast 5G ON periods, got {fast}");
     }
 

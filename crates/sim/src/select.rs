@@ -35,11 +35,7 @@ where
 /// Strongest cell by **local mean** RSRP (shadowing included, fading
 /// excluded) — deterministic over a run, used for configuration decisions
 /// that the network would make from filtered measurements.
-pub fn strongest_cell_mean<F>(
-    env: &RadioEnvironment,
-    p: Point,
-    filter: F,
-) -> Option<(CellId, f64)>
+pub fn strongest_cell_mean<F>(env: &RadioEnvironment, p: Point, filter: F) -> Option<(CellId, f64)>
 where
     F: Fn(CellId) -> bool,
 {
@@ -89,8 +85,10 @@ pub fn co_sited_on_channel(
     p: Point,
     t_ms: u64,
 ) -> Option<(CellId, Measurement)> {
-    strongest_cell(env, p, t_ms, |c| c.rat == rat && c.arfcn == arfcn && c.pci == cell.pci)
-        .or_else(|| best_on_channel(env, rat, arfcn, p, t_ms))
+    strongest_cell(env, p, t_ms, |c| {
+        c.rat == rat && c.arfcn == arfcn && c.pci == cell.pci
+    })
+    .or_else(|| best_on_channel(env, rat, arfcn, p, t_ms))
 }
 
 #[cfg(test)]
@@ -103,7 +101,12 @@ mod tests {
         RadioEnvironment::new(
             9,
             vec![
-                CellSite::macro_site(CellId::nr(Pci(393), 521310), Point::new(0.0, 0.0), 0.0, 90.0),
+                CellSite::macro_site(
+                    CellId::nr(Pci(393), 521310),
+                    Point::new(0.0, 0.0),
+                    0.0,
+                    90.0,
+                ),
                 CellSite::macro_site(
                     CellId::nr(Pci(104), 521310),
                     Point::new(900.0, 0.0),

@@ -8,11 +8,11 @@
 //! identically.
 
 use onoff_rrc::ids::{CellId, GlobalCellId, Rat};
+use onoff_rrc::meas::Measurement;
 use onoff_rrc::messages::{
     MeasResult, MeasurementReport, ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod,
     ScgFailureType,
 };
-use onoff_rrc::meas::Measurement;
 use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
 
 /// Fluent scripted-trace builder.
@@ -34,7 +34,13 @@ impl Default for TraceBuilder {
 impl TraceBuilder {
     /// A new builder starting at t = 0.
     pub fn new() -> TraceBuilder {
-        TraceBuilder { events: Vec::new(), t_ms: 0, rat: Rat::Nr, context: None, next_index: 1 }
+        TraceBuilder {
+            events: Vec::new(),
+            t_ms: 0,
+            rat: Rat::Nr,
+            context: None,
+            next_index: 1,
+        }
     }
 
     /// Jumps to an absolute time (ms).
@@ -65,7 +71,10 @@ impl TraceBuilder {
     pub fn establish(mut self, cell: CellId) -> Self {
         self.rat = cell.rat;
         self.context = Some(cell);
-        self.push(RrcMessage::SetupRequest { cell, global_id: GlobalCellId(1) });
+        self.push(RrcMessage::SetupRequest {
+            cell,
+            global_id: GlobalCellId(1),
+        });
         self.t_ms += 150;
         self.push(RrcMessage::SetupComplete);
         self.next_index = 1;
@@ -120,7 +129,10 @@ impl TraceBuilder {
             trigger: trigger.map(str::to_string),
             results: rows
                 .iter()
-                .map(|&(cell, p, q)| MeasResult { cell, meas: Measurement::new(p, q) })
+                .map(|&(cell, p, q)| MeasResult {
+                    cell,
+                    meas: Measurement::new(p, q),
+                })
                 .collect(),
         }));
         self
@@ -208,7 +220,10 @@ impl TraceBuilder {
 
     /// A throughput sample.
     pub fn throughput(mut self, mbps: f64) -> Self {
-        self.events.push(TraceEvent::Throughput { t: Timestamp(self.t_ms), mbps });
+        self.events.push(TraceEvent::Throughput {
+            t: Timestamp(self.t_ms),
+            mbps,
+        });
         self
     }
 
@@ -257,10 +272,10 @@ mod tests {
 
     #[test]
     fn scripted_nsa_flip_flop() {
-        let mut b = TraceBuilder::new().establish(lte(380, 5145)).after(500).scg_add(
-            nr(53, 632736),
-            Some(nr(53, 658080)),
-        );
+        let mut b = TraceBuilder::new()
+            .establish(lte(380, 5145))
+            .after(500)
+            .scg_add(nr(53, 632736), Some(nr(53, 658080)));
         for _ in 0..2 {
             b = b
                 .after(20_000)
@@ -290,8 +305,11 @@ mod tests {
             .scg_failure(ScgFailureType::RandomAccessProblem) // …fails
             .build();
         let analysis = onoff_detect::analyze_trace(&events);
-        let kinds: Vec<_> =
-            analysis.off_transitions.iter().map(|t| t.loop_type).collect();
+        let kinds: Vec<_> = analysis
+            .off_transitions
+            .iter()
+            .map(|t| t.loop_type)
+            .collect();
         assert_eq!(kinds, vec![onoff_detect::LoopType::N2E2]);
     }
 

@@ -52,8 +52,8 @@ pub fn capacity_mbps(
         let Some(idx) = env.find(cell) else { continue };
         let site = &env.cells[idx];
         let rsrp = env.rsrp_dbm(site, p, t_ms);
-        mbps += site.bandwidth_mhz * efficiency(cell.rat) * load_factor(op, cell.rat)
-            * quality(rsrp);
+        mbps +=
+            site.bandwidth_mhz * efficiency(cell.rat) * load_factor(op, cell.rat) * quality(rsrp);
     }
     mbps
 }
@@ -86,8 +86,18 @@ mod tests {
         RadioEnvironment::new(
             1,
             vec![
-                CellSite::macro_site(CellId::nr(Pci(393), 521310), Point::new(0.0, 0.0), 0.0, 90.0),
-                CellSite::macro_site(CellId::nr(Pci(393), 501390), Point::new(0.0, 0.0), 0.0, 100.0),
+                CellSite::macro_site(
+                    CellId::nr(Pci(393), 521310),
+                    Point::new(0.0, 0.0),
+                    0.0,
+                    90.0,
+                ),
+                CellSite::macro_site(
+                    CellId::nr(Pci(393), 501390),
+                    Point::new(0.0, 0.0),
+                    0.0,
+                    100.0,
+                ),
                 CellSite::macro_site(CellId::lte(Pci(238), 5145), Point::new(0.0, 0.0), 0.0, 10.0),
             ],
         )
@@ -97,8 +107,14 @@ mod tests {
     fn idle_is_zero() {
         let e = env();
         let cs = ServingCellSet::idle();
-        assert_eq!(capacity_mbps(&e, Operator::OpT, &cs, Point::new(100.0, 0.0), 0), 0.0);
-        assert_eq!(sample_mbps(&e, Operator::OpT, &cs, Point::new(100.0, 0.0), 0, 7), 0.0);
+        assert_eq!(
+            capacity_mbps(&e, Operator::OpT, &cs, Point::new(100.0, 0.0), 0),
+            0.0
+        );
+        assert_eq!(
+            sample_mbps(&e, Operator::OpT, &cs, Point::new(100.0, 0.0), 0, 7),
+            0.0
+        );
     }
 
     #[test]
@@ -138,7 +154,10 @@ mod tests {
     fn unknown_cells_contribute_nothing() {
         let e = env();
         let cs = ServingCellSet::with_pcell(CellId::nr(Pci(999), 999_999));
-        assert_eq!(capacity_mbps(&e, Operator::OpT, &cs, Point::new(0.0, 0.0), 0), 0.0);
+        assert_eq!(
+            capacity_mbps(&e, Operator::OpT, &cs, Point::new(0.0, 0.0), 0),
+            0.0
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use onoff_policy::{op_a_policy, op_t_policy, op_v_policy, PhoneModel};
 use onoff_radio::{CellSite, Point, RadioEnvironment};
-use onoff_rrc::ids::{CellId, Pci, Rat};
+use onoff_rrc::ids::{CellId, Pci};
 use onoff_rrc::trace::TraceEvent;
 use onoff_sim::{simulate, SimConfig};
 use proptest::prelude::*;
@@ -49,8 +49,8 @@ fn check_wellformed(events: &[TraceEvent], duration_ms: u64) -> Result<(), TestC
     }
     // Codec round-trip.
     let text = onoff_nsglog::emit(events);
-    let back = onoff_nsglog::parse_str(&text)
-        .map_err(|e| TestCaseError::fail(format!("parse: {e}")))?;
+    let back =
+        onoff_nsglog::parse_str(&text).map_err(|e| TestCaseError::fail(format!("parse: {e}")))?;
     prop_assert_eq!(&back, events);
     Ok(())
 }

@@ -21,6 +21,7 @@ fn main() {
         runs_other: 3,
         device: PhoneModel::OnePlus12R,
         duration_ms: 180_000,
+        ..Default::default()
     };
     println!("running the campaign (11 areas, 3 operators, reduced runs) …");
     let ds = run_campaign(&cfg);
@@ -58,8 +59,10 @@ fn main() {
             println!("  {op}: no loops");
             continue;
         }
-        let parts: Vec<String> =
-            b.iter().map(|(t, n)| format!("{t} {}", pct(*n as f64 / total as f64))).collect();
+        let parts: Vec<String> = b
+            .iter()
+            .map(|(t, n)| format!("{t} {}", pct(*n as f64 / total as f64)))
+            .collect();
         println!("  {op}: {}", parts.join(", "));
     }
 

@@ -46,7 +46,10 @@ fn main() {
 
     // Train and evaluate at the sparse locations.
     let model = train_s1e3(&study.samples);
-    println!("\ntrained model: u = 1/(1+e^(-{:.2}·Δp)), p = max(1-Δs/{:.1}, 0)^{:.2}", model.k, model.t, model.n);
+    println!(
+        "\ntrained model: u = 1/(1+e^(-{:.2}·Δp)), p = max(1-Δs/{:.1}, 0)^{:.2}",
+        model.k, model.t, model.n
+    );
 
     let policy = op_t_policy();
     let mut pairs = Vec::new();
@@ -58,8 +61,7 @@ fn main() {
         let mut loops = 0;
         const RUNS: usize = 3;
         for s in 0..RUNS as u64 {
-            let (rec, ..) =
-                run_location(&area, loc, PhoneModel::OnePlus12R, 7000 + s, 180_000);
+            let (rec, ..) = run_location(&area, loc, PhoneModel::OnePlus12R, 7000 + s, 180_000);
             if rec.has_loop && rec.loop_type == Some(onoff_detect::LoopType::S1E3) {
                 loops += 1;
             }

@@ -13,12 +13,17 @@ use onoff_radio::noise::hash_words;
 
 fn main() {
     const RUNS: usize = 3;
-    for (area_name, label) in
-        [("A1", "OP_T (5G SA)"), ("A6", "OP_A (5G NSA)"), ("A9", "OP_V (5G NSA)")]
-    {
+    for (area_name, label) in [
+        ("A1", "OP_T (5G SA)"),
+        ("A6", "OP_A (5G NSA)"),
+        ("A9", "OP_V (5G NSA)"),
+    ] {
         let area = area_by_name(area_name, 0x050FF).expect("area exists");
         println!("\n{label} — area {area_name}, {RUNS} runs × 3 locations per model:");
-        println!("{:<16} {:>10} {:>14} {:>16}", "model", "loop runs", "median ON", "5G service");
+        println!(
+            "{:<16} {:>10} {:>14} {:>16}",
+            "model", "loop runs", "median ON", "5G service"
+        );
         for model in PhoneModel::ALL {
             let mut loops = 0;
             let mut total = 0;

@@ -42,9 +42,7 @@ fn forensics(title: &str, cfg: &SimConfig, window_s: u64) {
     // Procedure timeline of the first window (Fig. 3b style).
     let head: Vec<TraceEvent> = events
         .iter()
-        .filter(|e| {
-            e.t().millis() < window_s * 1000 && !matches!(e, TraceEvent::Throughput { .. })
-        })
+        .filter(|e| e.t().millis() < window_s * 1000 && !matches!(e, TraceEvent::Throughput { .. }))
         .cloned()
         .collect();
     for p in ProcedureTracker::track(&head) {
@@ -56,7 +54,10 @@ fn forensics(title: &str, cfg: &SimConfig, window_s: u64) {
             ProcedureKind::Reconfiguration(b) if b.is_scell_modification() => {
                 format!(
                     "SCell modification → {}",
-                    b.scell_to_add_mod.first().map(|a| a.cell.to_string()).unwrap_or_default()
+                    b.scell_to_add_mod
+                        .first()
+                        .map(|a| a.cell.to_string())
+                        .unwrap_or_default()
                 )
             }
             ProcedureKind::Reconfiguration(b) if b.scg_release => "SCG release".into(),
@@ -94,7 +95,9 @@ fn forensics(title: &str, cfg: &SimConfig, window_s: u64) {
             "  t = {:>6.2}s  {}  problematic cell: {}",
             tr.t.secs_f64(),
             tr.loop_type,
-            tr.problem_cell.map(|c| c.to_string()).unwrap_or_else(|| "?".into())
+            tr.problem_cell
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "?".into())
         );
     }
     if let Some(lp) = analysis.loops.first() {
@@ -121,7 +124,13 @@ fn main() {
     );
     forensics(
         "S1E3: 5G SA ↔ IDLE via SCell-modification failure (OP_T)",
-        &SimConfig::stationary(op_t_policy(), PhoneModel::OnePlus12R, s1, Point::new(0.0, 0.0), 11),
+        &SimConfig::stationary(
+            op_t_policy(),
+            PhoneModel::OnePlus12R,
+            s1,
+            Point::new(0.0, 0.0),
+            11,
+        ),
         60,
     );
 

@@ -12,8 +12,10 @@ use onoff_rrc::trace::TraceEvent;
 fn main() {
     let area = fiveg_onoff::campaign::areas::area_a1(0x050FF);
     // A walk across the area through several test locations.
-    let waypoints: Vec<Point> =
-        [0usize, 5, 12, 18, 24].iter().map(|&i| area.locations[i]).collect();
+    let waypoints: Vec<Point> = [0usize, 5, 12, 18, 24]
+        .iter()
+        .map(|&i| area.locations[i])
+        .collect();
     let total_m: f64 = waypoints.windows(2).map(|w| w[0].distance(w[1])).sum();
     println!(
         "walking {} waypoints, {:.0} m at 1.4 m/s (~{:.0} min)",
@@ -29,7 +31,10 @@ fn main() {
         waypoints[0],
         99,
     );
-    cfg.path = MovementPath::Walk { waypoints, speed_mps: 1.4 };
+    cfg.path = MovementPath::Walk {
+        waypoints,
+        speed_mps: 1.4,
+    };
     cfg.duration_ms = ((total_m / 1.4) * 1000.0) as u64;
     cfg.meas_period_ms = 1000;
 
@@ -65,7 +70,9 @@ fn main() {
             pos.x,
             pos.y,
             tr.loop_type,
-            tr.problem_cell.map(|c| c.to_string()).unwrap_or_else(|| "?".into())
+            tr.problem_cell
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "?".into())
         );
     }
 

@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion` covering the API the workspace's
+//! benches use: groups, `bench_function`, `iter`/`iter_batched`,
+//! throughput annotations, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Each group writes a `BENCH_<group>.json` summary into the current
+//! working directory (mean ns/iter per benchmark) so drivers can diff
+//! performance across runs without criterion's HTML machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a group (recorded in the summary).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` sizes batches. The shim times each routine call
+/// individually, so the variants only exist for API parity.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Medium per-iteration inputs.
+    MediumInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies CLI configuration (no-op in the shim; accepts and ignores
+    /// cargo-bench's extra args such as `--bench`).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// One benchmark's measured summary.
+#[derive(Debug)]
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total_ns: 0,
+            total_iters: 0,
+            budget: sample_budget(self.sample_size),
+        };
+        f(&mut b);
+        let mean_ns = if b.total_iters == 0 {
+            0.0
+        } else {
+            b.total_ns as f64 / b.total_iters as f64
+        };
+        eprintln!(
+            "bench {}/{}: {:.1} ns/iter ({} iters)",
+            self.name, id, mean_ns, b.total_iters
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns,
+            iters: b.total_iters,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    /// Writes the group's `BENCH_<name>.json` summary.
+    pub fn finish(self) {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let tp = match r.throughput {
+                Some(Throughput::Bytes(n)) => format!(", \"throughput_bytes\": {n}"),
+                Some(Throughput::Elements(n)) => format!(", \"throughput_elements\": {n}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}{}}}{}\n",
+                r.id,
+                r.mean_ns,
+                r.iters,
+                tp,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let path = format!("BENCH_{}.json", self.name.replace(['/', ' '], "_"));
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("bench {}: could not write {path}: {e}", self.name);
+        }
+    }
+}
+
+/// Per-benchmark wall-clock budget: enough samples to be stable, bounded
+/// so `cargo bench` over many benches stays fast.
+fn sample_budget(sample_size: usize) -> Duration {
+    Duration::from_millis((30 * sample_size as u64).clamp(200, 1_500))
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    total_ns: u128,
+    total_iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the sample budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate the per-batch iteration count on a short probe. The
+        // probe counts into the totals so a routine slower than the whole
+        // budget still yields one measured iteration instead of a 0-iter
+        // sample.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        self.total_ns += probe.as_nanos();
+        self.total_iters += 1;
+        let batch =
+            (Duration::from_millis(5).as_nanos() / probe.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let start = Instant::now();
+        while start.elapsed() + probe < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.total_ns += t0.elapsed().as_nanos();
+            self.total_iters += batch;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Do-while: always measure at least one iteration, even when a
+        // single routine call overruns the budget.
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t0.elapsed().as_nanos();
+            self.total_iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,28 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing vectors of `elem` values with a length in `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: std::ops::Range<usize>,
+}
+
+/// Vectors with lengths drawn from `size` (half-open, like proptest's).
+pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(
+        size.start < size.end,
+        "empty size range in prop::collection::vec"
+    );
+    VecStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.gen_value(rng)).collect()
+    }
+}

@@ -1,0 +1,59 @@
+//! String-pattern strategies: a `&str` used as a strategy generates strings.
+//!
+//! Upstream proptest interprets the string as a full regex. The workspace
+//! only uses character-class-with-repetition patterns like `"\\PC{0,400}"`
+//! (printable chars, length 0–400), so the shim honors a trailing `{m,n}`
+//! repetition for the length range and otherwise generates non-control
+//! characters — enough to fuzz parsers with arbitrary printable text.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let (min, max) = length_bounds(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(random_printable(rng));
+        }
+        out
+    }
+}
+
+/// Parses a trailing `{m,n}` repetition; defaults to `{0,32}`.
+fn length_bounds(pattern: &str) -> (usize, usize) {
+    if let Some(open) = pattern.rfind('{') {
+        if let Some(body) = pattern[open + 1..].strip_suffix('}') {
+            if let Some((m, n)) = body.split_once(',') {
+                if let (Ok(m), Ok(n)) = (m.trim().parse(), n.trim().parse()) {
+                    if m <= n {
+                        return (m, n);
+                    }
+                }
+            } else if let Ok(exact) = body.trim().parse() {
+                return (exact, exact);
+            }
+        }
+    }
+    (0, 32)
+}
+
+/// A non-control character: mostly ASCII, with some wider Unicode mixed in
+/// so multi-byte boundaries get exercised.
+fn random_printable(rng: &mut TestRng) -> char {
+    loop {
+        let c = match rng.below(10) {
+            0..=6 => char::from_u32(0x20 + rng.below(0x5F) as u32),
+            7 => char::from_u32(0xA1 + rng.below(0x4FF) as u32),
+            8 => char::from_u32(0x3041 + rng.below(0xFF) as u32),
+            _ => char::from_u32(0x1F300 + rng.below(0x2FF) as u32),
+        };
+        if let Some(c) = c {
+            if !c.is_control() {
+                return c;
+            }
+        }
+    }
+}

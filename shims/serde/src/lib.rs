@@ -1,0 +1,392 @@
+//! Offline stand-in for `serde` with the same public surface this
+//! workspace uses: the `Serialize` / `Deserialize` traits, the derive
+//! macros (via the sibling `serde_derive` shim), and blanket impls for the
+//! std types the repo serializes.
+//!
+//! Design: instead of serde's visitor architecture, both traits go through
+//! a concrete JSON-like [`value::Value`] tree. The only serializer in this
+//! workspace is JSON (`serde_json` shim), so the value tree *is* the data
+//! model, which keeps the derive macro and every impl small while
+//! preserving observable behavior (field names, enum variant encodings,
+//! integer-keyed maps as string keys — the serde_json conventions).
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error machinery, mirroring `serde::de`'s role.
+pub mod de {
+    use std::fmt;
+
+    /// A deserialization error: a plain message, like `serde_json`'s.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl Error {
+        /// An error with a custom message.
+        pub fn custom<T: fmt::Display>(msg: T) -> Error {
+            Error(msg.to_string())
+        }
+
+        /// A missing struct field.
+        pub fn missing_field(field: &str, ty: &str) -> Error {
+            Error(format!("missing field `{field}` while deserializing {ty}"))
+        }
+
+        /// A type mismatch.
+        pub fn invalid_type(expected: &str, got: &super::Value) -> Error {
+            Error(format!(
+                "invalid type: expected {expected}, got {}",
+                got.kind()
+            ))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+/// Serialization half: convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization half: rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+/// Owned-deserialization alias (everything here deserializes owned).
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// `ser` module alias so `serde::ser::Serialize` paths resolve.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .ok_or_else(|| de::Error::invalid_type(stringify!($t), v))?,
+                    // Map keys arrive as strings; accept the numeric text.
+                    Value::String(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| de::Error::invalid_type(stringify!($t), v))?,
+                    _ => return Err(de::Error::invalid_type(stringify!($t), v)),
+                };
+                <$t>::try_from(n).map_err(|_| de::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .ok_or_else(|| de::Error::invalid_type(stringify!($t), v))?,
+                    Value::String(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| de::Error::invalid_type(stringify!($t), v))?,
+                    _ => return Err(de::Error::invalid_type(stringify!($t), v)),
+                };
+                <$t>::try_from(n).map_err(|_| de::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(de::Error::invalid_type("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::Error::invalid_type("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(de::Error::invalid_type("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for &'static str {
+    /// Leaks the parsed string. Only static-table fields (device specs)
+    /// use `&'static str`, so the leak is a handful of short strings per
+    /// process — acceptable for the offline shim.
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(de::Error::invalid_type("string", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(de::Error::invalid_type("char", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::invalid_type("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Converts a serialized key value into a JSON object key, the way
+/// serde_json does it: strings pass through, integers stringify.
+fn key_to_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_json(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!(
+            "map key must serialize to a string or number, got {}",
+            other.kind()
+        ),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(key_to_string(k.to_value()), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, val)| {
+                    let key = K::from_value(&Value::String(k.clone()))?;
+                    Ok((key, V::from_value(val)?))
+                })
+                .collect(),
+            _ => Err(de::Error::invalid_type("object", v)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
+{
+    fn to_value(&self) -> Value {
+        // Sorted output via the BTree-backed Map keeps JSON deterministic.
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(key_to_string(k.to_value()), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, val)| {
+                    let key = K::from_value(&Value::String(k.clone()))?;
+                    Ok((key, V::from_value(val)?))
+                })
+                .collect(),
+            _ => Err(de::Error::invalid_type("object", v)),
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::invalid_type("array", v)),
+        }
+    }
+}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(de::Error::custom(format!(
+                                "expected a tuple of {expected}, got {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(de::Error::invalid_type("array (tuple)", v)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

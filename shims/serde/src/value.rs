@@ -1,0 +1,307 @@
+//! The JSON-shaped value tree both shim traits go through.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON object: sorted string keys, like serde_json's default `Map`.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number, preserving u64/i64 exactly (seeds exceed 2^53, so maps
+/// through f64 would corrupt them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// From an unsigned integer.
+    pub fn from_u64(n: u64) -> Number {
+        Number::U(n)
+    }
+
+    /// From a signed integer (normalizes non-negatives to `U`).
+    pub fn from_i64(n: i64) -> Number {
+        if n >= 0 {
+            Number::U(n as u64)
+        } else {
+            Number::I(n)
+        }
+    }
+
+    /// From a float.
+    pub fn from_f64(f: f64) -> Number {
+        Number::F(f)
+    }
+
+    /// As u64, when representable exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(n) => Some(n),
+            Number::I(n) => u64::try_from(n).ok(),
+            Number::F(f) if f.fract() == 0.0 && f >= 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// As i64, when representable exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(n) => i64::try_from(n).ok(),
+            Number::I(n) => Some(n),
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+
+    /// As f64 (lossy for huge integers, like serde_json's `as_f64`).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(n) => n as f64,
+            Number::I(n) => n as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// JSON text of the number. Floats use Rust's shortest round-trip
+    /// representation; non-finite floats become `null` (serde_json errors
+    /// there — a lenient `null` keeps campaign output serializable).
+    pub fn to_json(&self) -> String {
+        match *self {
+            Number::U(n) => n.to_string(),
+            Number::I(n) => n.to_string(),
+            Number::F(f) if f.is_finite() => {
+                // `{:?}` keeps a trailing `.0` on whole floats, so the
+                // value re-parses as a float, preserving the Number kind.
+                format!("{f:?}")
+            }
+            Number::F(_) => "null".to_string(),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Human name of the value's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object map, if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as u64, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`Value::Null` when absent or not an object),
+    /// mirroring serde_json's index-by-key behavior.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::value::to_compact(self))
+    }
+}
+
+/// Writes a JSON string literal (with escapes) into `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact JSON text of a value.
+pub fn to_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, v);
+    out
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_json()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty JSON text (two-space indent, serde_json style).
+pub fn to_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, v, 0);
+    out
+}
+
+fn write_pretty(out: &mut String, v: &Value, depth: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}

@@ -1,0 +1,498 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim, written against `proc_macro` directly (no syn/quote in this
+//! container). The derives target the shim's concrete value-tree traits:
+//!
+//! ```ignore
+//! trait Serialize   { fn to_value(&self) -> Value; }
+//! trait Deserialize { fn from_value(v: &Value) -> Result<Self, Error>; }
+//! ```
+//!
+//! Supported shapes (everything this workspace derives on): structs with
+//! named fields, tuple structs (newtype and wider), unit structs, and
+//! enums mixing unit / newtype / tuple / struct variants. Supported field
+//! attributes: `#[serde(default)]` and `#[serde(skip)]`. Generics are not
+//! supported — no derived type in the workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing input becomes `Default::default()`.
+    default: bool,
+    /// `#[serde(skip)]`: never serialized, always defaulted.
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Scans one attribute group's tokens for `serde(default)` / `serde(skip)`.
+fn scan_attr(group: &proc_macro::Group, default: &mut bool, skip: &mut bool) {
+    let mut toks = group.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(inner)) = toks.next() {
+        for t in inner.stream() {
+            if let TokenTree::Ident(id) = t {
+                match id.to_string().as_str() {
+                    "default" => *default = true,
+                    "skip" => *skip = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Consumes leading attributes from `iter`, reporting serde flags seen.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> (bool, bool) {
+    let (mut default, mut skip) = (false, false);
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    scan_attr(&g, &mut default, &mut skip);
+                }
+            }
+            _ => return (default, skip),
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_vis(&mut iter);
+
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type {name})");
+    }
+
+    match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde shim derive: malformed struct {name}: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde shim derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Parses `name: Type, ...` fields, tracking angle-bracket depth so commas
+/// inside generic types don't split fields.
+fn parse_named_fields(tokens: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = tokens.into_iter().peekable();
+    loop {
+        if iter.peek().is_none() {
+            return fields;
+        }
+        let (default, skip) = skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return fields,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after {name}, got {other:?}"),
+        }
+        // Swallow the type up to the next top-level comma.
+        let mut angle = 0i32;
+        for t in iter.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+}
+
+/// Counts comma-separated fields in a tuple-struct/variant body.
+fn count_tuple_fields(tokens: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut fields = 0usize;
+    let mut in_field = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    fields += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(tokens: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = tokens.into_iter().peekable();
+    loop {
+        if iter.peek().is_none() {
+            return variants;
+        }
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle = 0i32;
+        while let Some(t) = iter.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {}
+            }
+            iter.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+const VALUE: &str = "::serde::value::Value";
+const MAP: &str = "::serde::value::Map";
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!("let mut __m = {MAP}::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            body.push_str(&format!("{VALUE}::Object(__m)"));
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            impl_serialize(name, &format!("{VALUE}::Array(vec![{}])", items.join(", ")))
+        }
+        Item::UnitStruct { name } => impl_serialize(name, &format!("{VALUE}::Null")),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => {VALUE}::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n\
+                         let mut __m = {MAP}::new();\n\
+                         __m.insert(::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(__f0));\n\
+                         {VALUE}::Object(__m)\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __m = {MAP}::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             {VALUE}::Array(vec![{}]));\n\
+                             {VALUE}::Object(__m)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = format!("let mut __inner = {MAP}::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut __m = {MAP}::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             {VALUE}::Object(__inner));\n\
+                             {VALUE}::Object(__m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {VALUE} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// The `field: <expr>` initializer for one named field being deserialized
+/// from object map `__m`.
+fn named_field_init(f: &Field, ty_name: &str) -> String {
+    if f.skip {
+        return format!("{}: ::core::default::Default::default(),\n", f.name);
+    }
+    let fallback = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(\
+             ::serde::de::Error::missing_field(\"{}\", \"{ty_name}\"))",
+            f.name
+        )
+    };
+    format!(
+        "{0}: match __m.get(\"{0}\") {{\n\
+         ::core::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+         ::core::option::Option::None => {fallback},\n}},\n",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&named_field_init(f, name));
+            }
+            let body = format!(
+                "let __m = match __value {{\n\
+                 {VALUE}::Object(__m) => __m,\n\
+                 _ => return ::core::result::Result::Err(\
+                 ::serde::de::Error::invalid_type(\"object ({name})\", __value)),\n}};\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            let body = format!(
+                "let __a = match __value {{\n\
+                 {VALUE}::Array(__a) if __a.len() == {arity} => __a,\n\
+                 _ => return ::core::result::Result::Err(\
+                 ::serde::de::Error::invalid_type(\"array of {arity} ({name})\", __value)),\n}};\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::core::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as plain strings.
+            let mut unit_arms = String::new();
+            // Data variants arrive as single-key objects.
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = match __inner {{\n\
+                             {VALUE}::Array(__a) if __a.len() == {n} => __a,\n\
+                             _ => return ::core::result::Result::Err(\
+                             ::serde::de::Error::invalid_type(\
+                             \"array of {n} ({name}::{vn})\", __inner)),\n}};\n\
+                             ::core::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&named_field_init(f, name));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __m = match __inner {{\n\
+                             {VALUE}::Object(__m) => __m,\n\
+                             _ => return ::core::result::Result::Err(\
+                             ::serde::de::Error::invalid_type(\
+                             \"object ({name}::{vn})\", __inner)),\n}};\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __value {{\n\
+                 {VALUE}::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 {VALUE}::Object(__m) => {{\n\
+                 let (__k, __inner) = match __m.iter().next() {{\n\
+                 ::core::option::Option::Some(kv) if __m.len() == 1 => kv,\n\
+                 _ => return ::core::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected a single-variant object for {name}\")),\n}};\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}}\n\
+                 _ => ::core::result::Result::Err(\
+                 ::serde::de::Error::invalid_type(\"{name} variant\", __value)),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &{VALUE}) \
+         -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

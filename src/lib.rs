@@ -46,7 +46,10 @@ pub use onoff_sim as sim;
 
 /// Common imports for examples and quick scripts.
 pub mod prelude {
-    pub use onoff_detect::{analyze_trace, LoopType, Persistence};
+    pub use onoff_campaign::{
+        run_campaign, CampaignConfig, CampaignStats, Dataset, ParallelismConfig,
+    };
+    pub use onoff_detect::{analyze_trace, LoopType, Merge, Persistence};
     pub use onoff_nsglog::{emit, parse_str};
     pub use onoff_policy::{
         op_a_policy, op_t_policy, op_v_policy, policy_for, Operator, PhoneModel,

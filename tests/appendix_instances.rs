@@ -57,7 +57,11 @@ fn fig24_to_26_worked_example() {
     let analysis = analyze(log);
     let tl = &analysis.timeline;
     // CS sequence: IDLE → SA1 → SA2 → SA3 → SA4 → IDLE → SA1.
-    let seq: Vec<String> = tl.samples.iter().map(|s| tl.sets[s.id].to_string()).collect();
+    let seq: Vec<String> = tl
+        .samples
+        .iter()
+        .map(|s| tl.sets[s.id].to_string())
+        .collect();
     assert_eq!(seq[0], "{}");
     assert_eq!(seq[1], "{393@521310*}");
     assert!(seq[2].contains("273@387410") && seq[2].contains("393@501390"));
@@ -65,11 +69,14 @@ fn fig24_to_26_worked_example() {
     assert!(seq[4].contains("371@387410"), "{}", seq[4]);
     assert_eq!(seq[5], "{}");
     assert_eq!(seq[6], "{393@521310*}"); // re-established with the same PCell
-    // The single OFF transition is S1E3 on the 387410 modification.
+                                         // The single OFF transition is S1E3 on the 387410 modification.
     assert_eq!(analysis.off_transitions.len(), 1);
     let tr = &analysis.off_transitions[0];
     assert_eq!(tr.loop_type, LoopType::S1E3);
-    assert_eq!(tr.problem_cell.map(|c| c.to_string()).as_deref(), Some("371@387410"));
+    assert_eq!(
+        tr.problem_cell.map(|c| c.to_string()).as_deref(),
+        Some("371@387410")
+    );
     // IDLE gap is ~10.6 s, as the paper notes ("about 11 seconds").
     let off_ms = tl.samples[6].t.since(tl.samples[5].t);
     assert!((10_000..12_000).contains(&off_ms), "{off_ms}");
@@ -112,7 +119,10 @@ fn fig27_s1e1_instance() {
     assert_eq!(analysis.off_transitions.len(), 1);
     let tr = &analysis.off_transitions[0];
     assert_eq!(tr.loop_type, LoopType::S1E1);
-    assert_eq!(tr.problem_cell.map(|c| c.to_string()).as_deref(), Some("309@387410"));
+    assert_eq!(
+        tr.problem_cell.map(|c| c.to_string()).as_deref(),
+        Some("309@387410")
+    );
 }
 
 /// Fig. 28: S1E2 — serving SCell 390@387410 reports −108.5 dBm / −25.5 dB;
@@ -151,7 +161,10 @@ fn fig28_s1e2_instance() {
     assert_eq!(analysis.off_transitions.len(), 1);
     let tr = &analysis.off_transitions[0];
     assert_eq!(tr.loop_type, LoopType::S1E2);
-    assert_eq!(tr.problem_cell.map(|c| c.to_string()).as_deref(), Some("390@387410"));
+    assert_eq!(
+        tr.problem_cell.map(|c| c.to_string()).as_deref(),
+        Some("390@387410")
+    );
 }
 
 /// Fig. 30: N1E1 — RLF on the 4G PCell releases 4G and 5G; re-established
@@ -195,7 +208,10 @@ fn fig30_n1e1_instance() {
         .filter(|t| t.loop_type == LoopType::N1E1)
         .collect();
     assert_eq!(n1e1.len(), 1, "{:?}", analysis.off_transitions);
-    assert_eq!(n1e1[0].problem_cell.map(|c| c.to_string()).as_deref(), Some("191@66936"));
+    assert_eq!(
+        n1e1[0].problem_cell.map(|c| c.to_string()).as_deref(),
+        Some("191@66936")
+    );
     // 5G comes back at the end (NSA state).
     let last = &analysis.timeline.sets[analysis.timeline.samples.last().unwrap().id];
     assert_eq!(last.state(), ConnState::Nsa);
@@ -252,7 +268,11 @@ fn fig32_n2e1_instance() {
         ));
     }
     let analysis = analyze(&log);
-    assert!(analysis.has_loop(), "transitions: {:?}", analysis.off_transitions);
+    assert!(
+        analysis.has_loop(),
+        "transitions: {:?}",
+        analysis.off_transitions
+    );
     assert_eq!(analysis.dominant_loop_type(), Some(LoopType::N2E1));
     let n2e1_count = analysis
         .off_transitions
@@ -261,8 +281,15 @@ fn fig32_n2e1_instance() {
         .count();
     assert!(n2e1_count >= 2);
     // The problematic cell is the 5G-disabled channel's PCell.
-    let tr = analysis.off_transitions.iter().find(|t| t.loop_type == LoopType::N2E1).unwrap();
-    assert_eq!(tr.problem_cell.map(|c| c.to_string()).as_deref(), Some("380@5815"));
+    let tr = analysis
+        .off_transitions
+        .iter()
+        .find(|t| t.loop_type == LoopType::N2E1)
+        .unwrap();
+    assert_eq!(
+        tr.problem_cell.map(|c| c.to_string()).as_deref(),
+        Some("380@5815")
+    );
 }
 
 /// Fig. 33: N2E2 — an SCG change hits a random-access failure; the network
@@ -317,10 +344,16 @@ fn fig33_n2e2_instance() {
         .collect();
     assert_eq!(n2e2.len(), 1, "{:?}", analysis.off_transitions);
     // The problematic cell is the failed SCG-change target.
-    assert_eq!(n2e2[0].problem_cell.map(|c| c.to_string()).as_deref(), Some("393@648672"));
+    assert_eq!(
+        n2e2[0].problem_cell.map(|c| c.to_string()).as_deref(),
+        Some("393@648672")
+    );
     // The OFF period lasts ≈30 s (the recovery-cadence signature).
     let onoff = analysis.timeline.on_off_intervals();
-    let off = onoff.iter().find(|(s, _, on)| !on && s.millis() > 0).unwrap();
+    let off = onoff
+        .iter()
+        .find(|(s, _, on)| !on && s.millis() > 0)
+        .unwrap();
     let off_ms = off.1.since(off.0);
     assert!((28_000..33_000).contains(&off_ms), "{off_ms}");
 }

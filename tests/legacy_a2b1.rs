@@ -49,7 +49,11 @@ fn misconfigured_thresholds_create_the_loop() {
         .iter()
         .filter(|g| matches!(g.cause, InjectedCause::LegacyA2Release { .. }))
         .count();
-    assert!(releases >= 3, "expected a repeating A2/B1 loop, truth: {:?}", out.truth);
+    assert!(
+        releases >= 3,
+        "expected a repeating A2/B1 loop, truth: {:?}",
+        out.truth
+    );
 
     // The classifier reads the releases as the legacy sub-type.
     let analysis = analyze_trace(&out.events);
@@ -82,7 +86,10 @@ fn corrected_thresholds_do_not_loop() {
         .iter()
         .all(|g| !matches!(g.cause, InjectedCause::LegacyA2Release { .. })));
     let analysis = analyze_trace(&out.events);
-    assert!(analysis.off_transitions.iter().all(|t| t.loop_type != LoopType::A2B1));
+    assert!(analysis
+        .off_transitions
+        .iter()
+        .all(|t| t.loop_type != LoopType::A2B1));
 }
 
 #[test]

@@ -51,11 +51,7 @@ fn expected_label(cause: &InjectedCause) -> LoopType {
 
 /// Asserts that the classifier recovered ≥ `min_frac` of the injected
 /// triggers with the right label (matching by nearest OFF transition).
-fn score_classifier(
-    out: &SimOutput,
-    analysis: &onoff_detect::RunAnalysis,
-    min_frac: f64,
-) {
+fn score_classifier(out: &SimOutput, analysis: &onoff_detect::RunAnalysis, min_frac: f64) {
     let mut hits = 0usize;
     let mut total = 0usize;
     for g in &out.truth {
@@ -104,7 +100,10 @@ fn s1e3_loop_detected_and_classified() {
         11,
     );
     let (out, analysis) = run_and_analyze(&cfg);
-    assert!(analysis.has_loop(), "expected a loop at the P16-like location");
+    assert!(
+        analysis.has_loop(),
+        "expected a loop at the P16-like location"
+    );
     assert_eq!(analysis.dominant_loop_type(), Some(LoopType::S1E3));
     // The loop repeats and is persistent.
     let lp = &analysis.loops[0];
@@ -164,7 +163,10 @@ fn s1e2_classified_from_log_evidence() {
         11,
     );
     let (out, analysis) = run_and_analyze(&cfg);
-    assert!(out.truth.iter().any(|g| matches!(g.cause, InjectedCause::ScellPoor { .. })));
+    assert!(out
+        .truth
+        .iter()
+        .any(|g| matches!(g.cause, InjectedCause::ScellPoor { .. })));
     score_classifier(&out, &analysis, 0.8);
 }
 
@@ -213,8 +215,10 @@ fn n1e2_classified() {
         .truth
         .iter()
         .any(|g| matches!(g.cause, InjectedCause::HandoverFailure { .. })));
-    let has_n1e2 =
-        analysis.off_transitions.iter().any(|tr| tr.loop_type == LoopType::N1E2);
+    let has_n1e2 = analysis
+        .off_transitions
+        .iter()
+        .any(|tr| tr.loop_type == LoopType::N1E2);
     assert!(has_n1e2, "transitions: {:?}", analysis.off_transitions);
 }
 
@@ -228,9 +232,14 @@ fn n1e1_classified() {
         3,
     );
     let (out, analysis) = run_and_analyze(&cfg);
-    assert!(out.truth.iter().any(|g| matches!(g.cause, InjectedCause::PcellRlf { .. })));
-    let has_n1e1 =
-        analysis.off_transitions.iter().any(|tr| tr.loop_type == LoopType::N1E1);
+    assert!(out
+        .truth
+        .iter()
+        .any(|g| matches!(g.cause, InjectedCause::PcellRlf { .. })));
+    let has_n1e1 = analysis
+        .off_transitions
+        .iter()
+        .any(|tr| tr.loop_type == LoopType::N1E1);
     assert!(has_n1e1, "transitions: {:?}", analysis.off_transitions);
 }
 
@@ -252,9 +261,14 @@ fn n2e2_classified_with_long_off_times() {
         3,
     );
     let (out, analysis) = run_and_analyze(&cfg);
-    assert!(out.truth.iter().any(|g| matches!(g.cause, InjectedCause::ScgRaFailure { .. })));
-    let has_n2e2 =
-        analysis.off_transitions.iter().any(|tr| tr.loop_type == LoopType::N2E2);
+    assert!(out
+        .truth
+        .iter()
+        .any(|g| matches!(g.cause, InjectedCause::ScgRaFailure { .. })));
+    let has_n2e2 = analysis
+        .off_transitions
+        .iter()
+        .any(|tr| tr.loop_type == LoopType::N2E2);
     assert!(has_n2e2, "transitions: {:?}", analysis.off_transitions);
 }
 

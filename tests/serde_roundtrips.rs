@@ -18,7 +18,13 @@ fn looping_events() -> Vec<onoff_rrc::trace::TraceEvent> {
             .after(3_000)
             .add_scells(&[nr(273, 387410), nr(273, 398410)])
             .after(2_000)
-            .report(Some("A3"), &[(nr(273, 387410), -85.0, -14.5), (nr(371, 387410), -78.0, -11.5)])
+            .report(
+                Some("A3"),
+                &[
+                    (nr(273, 387410), -85.0, -14.5),
+                    (nr(371, 387410), -78.0, -11.5),
+                ],
+            )
             .after(100)
             .scell_mod(1, nr(371, 387410), true)
             .throughput(0.0);
@@ -54,10 +60,18 @@ fn trace_events_roundtrip_through_json() {
 
 #[test]
 fn models_roundtrip_through_json() {
-    let m = S1e3Model { k: 0.45, t: 13.0, n: 2.2 };
+    let m = S1e3Model {
+        k: 0.45,
+        t: 13.0,
+        n: 2.2,
+    };
     let back: S1e3Model = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
     assert_eq!(back, m);
-    let s1 = S1Model { e3: m, e12_k: 0.3, e12_mid_dbm: -111.0 };
+    let s1 = S1Model {
+        e3: m,
+        e12_k: 0.3,
+        e12_mid_dbm: -111.0,
+    };
     let back: S1Model = serde_json::from_str(&serde_json::to_string(&s1).unwrap()).unwrap();
     assert_eq!(back, s1);
 }
@@ -76,7 +90,8 @@ fn radio_environment_roundtrips_with_defaults() {
     // Older serialized environments lack the salt/bias fields; serde
     // defaults must fill them.
     let env = RadioEnvironment::new(7, Vec::new());
-    let mut value: serde_json::Value = serde_json::from_str(&serde_json::to_string(&env).unwrap()).unwrap();
+    let mut value: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&env).unwrap()).unwrap();
     let obj = value.as_object_mut().unwrap();
     obj.remove("fading_salt");
     obj.remove("run_bias_sigma_db");
