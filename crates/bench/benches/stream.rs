@@ -1,0 +1,200 @@
+//! Streaming-pipeline benches: incremental feed vs batch analysis
+//! (events/sec), per-event cost flatness in trace length (the incremental
+//! core must not recompute the full timeline on feed), and a
+//! peak-allocation proxy via a counting global allocator comparing the
+//! streaming parse+analyze path against the materialize-everything batch
+//! path.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use onoff_campaign::areas::area_a1;
+use onoff_detect::{analyze_trace, StreamingAnalyzer, TraceAnalyzer};
+use onoff_policy::{op_t_policy, PhoneModel};
+use onoff_rrc::trace::{Timestamp, TraceEvent};
+use onoff_sim::{simulate, SimConfig};
+
+/// Counting allocator: tracks live bytes and the high-water mark so the
+/// benches can report peak memory without any external profiler.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns (result, peak live bytes above entry, allocations).
+fn with_alloc_meter<T>(f: impl FnOnce() -> T) -> (T, usize, u64) {
+    let base_live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base_live, Ordering::Relaxed);
+    let base_allocs = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(base_live);
+    let allocs = ALLOCS.load(Ordering::Relaxed) - base_allocs;
+    (out, peak, allocs)
+}
+
+/// One representative loop-rich 5-minute run at an A1 location.
+fn sample_run() -> onoff_sim::SimOutput {
+    let area = area_a1(0x050FF);
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        area.env.clone(),
+        area.locations[0],
+        42,
+    );
+    simulate(&cfg)
+}
+
+fn shift(ev: &TraceEvent, by: u64) -> TraceEvent {
+    let mut ev = ev.clone();
+    match &mut ev {
+        TraceEvent::Rrc(rec) => rec.t = Timestamp(rec.t.millis() + by),
+        TraceEvent::Mm { t, .. } | TraceEvent::Throughput { t, .. } => {
+            *t = Timestamp(t.millis() + by)
+        }
+    }
+    ev
+}
+
+/// Tiles one run's events `k` times, each copy shifted past the last, to
+/// scale trace length without changing the event mix.
+fn tile(events: &[TraceEvent], k: u64) -> Vec<TraceEvent> {
+    let span = events.last().map_or(0, |e| e.t().millis()) + 1_000;
+    (0..k)
+        .flat_map(|i| events.iter().map(move |e| shift(e, i * span)))
+        .collect()
+}
+
+fn bench_stream_vs_batch(c: &mut Criterion) {
+    let out = sample_run();
+    let n = out.events.len() as u64;
+    let mut group = c.benchmark_group("stream");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("incremental_feed", |b| {
+        b.iter(|| {
+            let mut s = StreamingAnalyzer::new();
+            s.feed_all(out.events.iter().cloned());
+            black_box(s.finish())
+        })
+    });
+    group.bench_function("batch_analyze", |b| {
+        b.iter(|| black_box(analyze_trace(&out.events)))
+    });
+    group.finish();
+}
+
+/// Per-event feed cost at 1× and 8× trace length. If `feed` recomputed
+/// anything proportional to history, the 8× per-element figure would blow
+/// up; both benches share `Throughput::Elements` so the JSON exposes the
+/// per-event numbers directly.
+fn bench_feed_flatness(c: &mut Criterion) {
+    let base = sample_run().events;
+    let short = tile(&base, 1);
+    let long = tile(&base, 8);
+    let mut group = c.benchmark_group("stream_scaling");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(short.len() as u64));
+    group.bench_function("feed_1x", |b| {
+        b.iter(|| {
+            let mut core = TraceAnalyzer::new();
+            for ev in &short {
+                core.feed(ev);
+            }
+            black_box(core.finish())
+        })
+    });
+    group.throughput(Throughput::Elements(long.len() as u64));
+    group.bench_function("feed_8x", |b| {
+        b.iter(|| {
+            let mut core = TraceAnalyzer::new();
+            for ev in &long {
+                core.feed(ev);
+            }
+            black_box(core.finish())
+        })
+    });
+    group.finish();
+}
+
+/// Direct flatness report: amortized ns/event at both lengths, printed so
+/// a bench run shows the O(1)-feed claim without JSON spelunking.
+fn report_flatness() {
+    let base = sample_run().events;
+    let per_event_ns = |events: &[TraceEvent]| {
+        let mut core = TraceAnalyzer::new();
+        let t0 = Instant::now();
+        for ev in events {
+            core.feed(ev);
+        }
+        let ns = t0.elapsed().as_nanos();
+        black_box(core.finish());
+        ns as f64 / events.len() as f64
+    };
+    // Warm up caches/allocator before timing.
+    let _ = per_event_ns(&base);
+    let p1 = per_event_ns(&tile(&base, 1));
+    let p8 = per_event_ns(&tile(&base, 8));
+    eprintln!(
+        "stream: per-event feed cost {p1:.0} ns at 1x, {p8:.0} ns at 8x (ratio {:.2})",
+        p8 / p1
+    );
+}
+
+/// Peak-allocation proxy: the streaming path (parse_lines → feed, one
+/// event live at a time) against the batch path (parse_str → Vec →
+/// analyze_trace), over the same emitted log text.
+fn report_peak_alloc() {
+    let out = sample_run();
+    let text = out.to_log();
+
+    let (_, peak_batch, allocs_batch) = with_alloc_meter(|| {
+        let events = onoff_nsglog::parse_str(&text).unwrap();
+        black_box(analyze_trace(&events))
+    });
+
+    let (_, peak_stream, allocs_stream) = with_alloc_meter(|| {
+        let mut core = TraceAnalyzer::new();
+        for ev in onoff_nsglog::parse_lines(text.lines()) {
+            core.feed(&ev.unwrap());
+        }
+        black_box(core.finish())
+    });
+
+    eprintln!(
+        "stream: peak heap batch {peak_batch} B ({allocs_batch} allocs) vs \
+         streaming {peak_stream} B ({allocs_stream} allocs), ratio {:.2}x",
+        peak_batch as f64 / peak_stream.max(1) as f64
+    );
+}
+
+criterion_group!(benches, bench_stream_vs_batch, bench_feed_flatness);
+
+fn main() {
+    benches();
+    report_flatness();
+    report_peak_alloc();
+}

@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use onoff_detect::analyze_trace;
 use onoff_detect::channel::{ChannelUsage, Merge, ScellModStats};
+use onoff_detect::TraceAnalyzer;
 use onoff_policy::{policy_for, Operator, PhoneModel};
 use onoff_radio::noise::hash_words;
 use onoff_rrc::ids::Rat;
@@ -119,7 +119,15 @@ pub fn run_location_with_policy(
     cfg.duration_ms = duration_ms;
     cfg.meas_period_ms = 1000;
     let out = simulate(&cfg);
-    let analysis = analyze_trace(&out.events);
+    // Fused hot path: simulator output goes straight into the incremental
+    // analysis core — no emit→parse text round-trip, no event re-buffering.
+    // Sim events are time-ordered, so the bare core applies; agreement with
+    // the text round-trip is enforced by `tests/fused_roundtrip.rs`.
+    let mut core = TraceAnalyzer::new();
+    for ev in &out.events {
+        core.feed(ev);
+    }
+    let analysis = core.finish();
     let record = RunRecord::from_run(
         area.operator,
         &area.name,

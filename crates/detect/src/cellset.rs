@@ -115,87 +115,159 @@ impl Interner {
     }
 }
 
-/// Extracts the serving-cell-set timeline from a trace.
-pub fn extract_timeline(events: &[TraceEvent]) -> CsTimeline {
-    let mut interner = Interner::new();
-    let mut samples: Vec<CsSample> = vec![CsSample {
-        t: Timestamp(0),
-        id: 0,
-    }];
-    let mut cs = ServingCellSet::idle();
-    // Command awaiting its Complete: (record RAT, body).
-    let mut pending: Option<(Rat, ReconfigBody)> = None;
-    // PCell requested but not yet set up.
-    let mut pending_pcell: Option<onoff_rrc::ids::CellId> = None;
-    let mut end = Timestamp(0);
+/// Incremental core of the cell-set replay: advances the serving-set state
+/// machine one [`TraceEvent`] at a time.
+///
+/// [`extract_timeline`] is a thin batch driver over this builder; streaming
+/// callers ([`crate::StreamingAnalyzer`], campaign workers) feed it event by
+/// event and never materialise the event vector. Each `feed` appends **at
+/// most one** compressed sample, which it returns so downstream automata
+/// (loop tracking, classification) can advance in the same pass.
+pub struct TimelineBuilder {
+    interner: Interner,
+    samples: Vec<CsSample>,
+    cs: ServingCellSet,
+    /// Command awaiting its Complete: (record RAT, body).
+    pending: Option<(Rat, ReconfigBody)>,
+    /// PCell requested but not yet set up.
+    pending_pcell: Option<onoff_rrc::ids::CellId>,
+    end: Timestamp,
+}
 
-    let push = |t: Timestamp,
-                cs: &ServingCellSet,
-                interner: &mut Interner,
-                samples: &mut Vec<CsSample>| {
-        let id = interner.intern(cs);
-        if samples.last().map(|s| s.id) != Some(id) {
-            samples.push(CsSample { t, id });
+impl Default for TimelineBuilder {
+    fn default() -> Self {
+        TimelineBuilder::new()
+    }
+}
+
+impl TimelineBuilder {
+    /// A builder holding the implicit IDLE sample at t = 0.
+    pub fn new() -> TimelineBuilder {
+        TimelineBuilder {
+            interner: Interner::new(),
+            samples: vec![CsSample {
+                t: Timestamp(0),
+                id: 0,
+            }],
+            cs: ServingCellSet::idle(),
+            pending: None,
+            pending_pcell: None,
+            end: Timestamp(0),
         }
-    };
+    }
 
-    for ev in events {
-        end = end.max(ev.t());
+    /// Interns the current set and appends a sample if it changed.
+    fn push(&mut self, t: Timestamp) -> Option<CsSample> {
+        let id = self.interner.intern(&self.cs);
+        if self.samples.last().map(|s| s.id) == Some(id) {
+            return None;
+        }
+        let sample = CsSample { t, id };
+        self.samples.push(sample);
+        Some(sample)
+    }
+
+    /// Applies one event's effect on the serving set. Returns the sample
+    /// this event appended to the compressed timeline, if any.
+    pub fn feed(&mut self, ev: &TraceEvent) -> Option<CsSample> {
+        self.end = self.end.max(ev.t());
         match ev {
             TraceEvent::Rrc(rec) => match &rec.msg {
                 RrcMessage::SetupRequest { cell, .. } => {
-                    pending_pcell = Some(*cell);
-                    pending = None;
+                    self.pending_pcell = Some(*cell);
+                    self.pending = None;
+                    None
                 }
                 RrcMessage::SetupComplete => {
-                    if let Some(pcell) = pending_pcell.take() {
-                        cs = ServingCellSet::with_pcell(pcell);
-                        push(rec.t, &cs, &mut interner, &mut samples);
-                    }
+                    let pcell = self.pending_pcell.take()?;
+                    self.cs = ServingCellSet::with_pcell(pcell);
+                    self.push(rec.t)
                 }
                 RrcMessage::Reconfiguration(body) => {
-                    pending = Some((rec.rat, body.clone()));
+                    self.pending = Some((rec.rat, body.clone()));
+                    None
                 }
                 RrcMessage::ReconfigurationComplete => {
-                    if let Some((rat, body)) = pending.take() {
-                        apply_reconfig(&mut cs, rat, &body);
-                        push(rec.t, &cs, &mut interner, &mut samples);
-                    }
+                    let (rat, body) = self.pending.take()?;
+                    apply_reconfig(&mut self.cs, rat, &body);
+                    self.push(rec.t)
                 }
                 RrcMessage::ReestablishmentRequest { .. } => {
-                    pending = None;
-                    cs.release_all();
-                    push(rec.t, &cs, &mut interner, &mut samples);
+                    self.pending = None;
+                    self.cs.release_all();
+                    self.push(rec.t)
                 }
                 RrcMessage::ReestablishmentComplete { cell } => {
-                    cs = ServingCellSet::with_pcell(*cell);
-                    push(rec.t, &cs, &mut interner, &mut samples);
+                    self.cs = ServingCellSet::with_pcell(*cell);
+                    self.push(rec.t)
                 }
                 RrcMessage::Release => {
-                    pending = None;
-                    cs.release_all();
-                    push(rec.t, &cs, &mut interner, &mut samples);
+                    self.pending = None;
+                    self.cs.release_all();
+                    self.push(rec.t)
                 }
-                _ => {}
+                _ => None,
             },
             TraceEvent::Mm {
                 t,
                 state: MmState::DeregisteredNoCellAvailable,
             } => {
-                pending = None;
-                pending_pcell = None;
-                cs.release_all();
-                push(*t, &cs, &mut interner, &mut samples);
+                self.pending = None;
+                self.pending_pcell = None;
+                self.cs.release_all();
+                self.push(*t)
             }
-            _ => {}
+            _ => None,
         }
     }
 
-    CsTimeline {
-        sets: interner.sets,
-        samples,
-        end,
+    /// Compressed samples appended so far.
+    pub fn samples(&self) -> &[CsSample] {
+        &self.samples
     }
+
+    /// Distinct serving sets interned so far (`sets()[0]` is IDLE).
+    pub fn sets(&self) -> &[ServingCellSet] {
+        &self.interner.sets
+    }
+
+    /// 5G-ON predicate of an interned id (out-of-range reads as OFF).
+    pub fn uses_5g(&self, id: usize) -> bool {
+        self.interner.sets.get(id).is_some_and(|s| s.uses_5g())
+    }
+
+    /// Latest event time seen.
+    pub fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    /// A point-in-time copy of the timeline built so far.
+    pub fn snapshot(&self) -> CsTimeline {
+        CsTimeline {
+            sets: self.interner.sets.clone(),
+            samples: self.samples.clone(),
+            end: self.end,
+        }
+    }
+
+    /// Consumes the builder into the final timeline (no clone).
+    pub fn finish(self) -> CsTimeline {
+        CsTimeline {
+            sets: self.interner.sets,
+            samples: self.samples,
+            end: self.end,
+        }
+    }
+}
+
+/// Extracts the serving-cell-set timeline from a trace (batch driver over
+/// [`TimelineBuilder`]).
+pub fn extract_timeline(events: &[TraceEvent]) -> CsTimeline {
+    let mut builder = TimelineBuilder::new();
+    for ev in events {
+        builder.feed(ev);
+    }
+    builder.finish()
 }
 
 /// Applies a completed reconfiguration to the serving set.

@@ -115,6 +115,10 @@ const POOR_RSRP: onoff_rrc::meas::Rsrp = onoff_rrc::meas::Rsrp::from_deci(-1130)
 /// How far back evidence is searched, ms.
 const WINDOW_MS: u64 = 15_000;
 
+/// How far forward evidence is searched, ms: in the paper's N1 instances
+/// (Figs. 30/31) the defining failure trails the transition by seconds.
+const FWD_MS: u64 = 5_000;
+
 /// Classifies every ON→OFF transition on the timeline.
 pub fn classify_all(events: &[TraceEvent], tl: &CsTimeline) -> Vec<OffTransition> {
     let onoff = tl.on_off_intervals();
@@ -142,6 +146,115 @@ fn serving_set_before(tl: &CsTimeline, t: Timestamp) -> ServingCellSet {
     last
 }
 
+/// Incremental core of transition classification.
+///
+/// Batch [`classify_all`] re-filters the whole event slice around every
+/// transition; this automaton instead keeps a **bounded sliding window** of
+/// the evidence-bearing events (RRC + MM records within the last
+/// `WINDOW_MS + FWD_MS` = 20 s) and a queue of transitions still awaiting
+/// forward evidence. A transition at `t` is frozen — classified once, for
+/// good — as soon as an event later than `t + FWD_MS` proves its evidence
+/// window complete. Memory is bounded by the event density of one window,
+/// not by the trace.
+///
+/// Equivalence with the batch path (enforced by proptests) holds for
+/// time-ordered feeds: the pruning bound `max_t - WINDOW_MS - FWD_MS` never
+/// discards an event a pending or future transition can still see, because
+/// an unfrozen transition satisfies `t ≥ max_t - FWD_MS`.
+pub struct OffClassifier {
+    /// Evidence-bearing events in arrival order, pruned from the front.
+    window: std::collections::VecDeque<TraceEvent>,
+    /// Latest event time seen.
+    max_t: Timestamp,
+    /// Transitions whose forward window is still open.
+    pending: std::collections::VecDeque<(Timestamp, ServingCellSet)>,
+    /// Transitions classified for good.
+    finalized: Vec<OffTransition>,
+}
+
+impl Default for OffClassifier {
+    fn default() -> Self {
+        OffClassifier::new()
+    }
+}
+
+impl OffClassifier {
+    pub fn new() -> OffClassifier {
+        OffClassifier {
+            window: std::collections::VecDeque::new(),
+            max_t: Timestamp(0),
+            pending: std::collections::VecDeque::new(),
+            finalized: Vec::new(),
+        }
+    }
+
+    /// Observes one trace event (every event — throughput samples advance
+    /// the clock even though they carry no RRC evidence).
+    pub fn feed_event(&mut self, ev: &TraceEvent) {
+        self.max_t = self.max_t.max(ev.t());
+        if matches!(ev, TraceEvent::Rrc(_) | TraceEvent::Mm { .. }) {
+            self.window.push_back(ev.clone());
+        }
+        self.freeze_ready();
+        // Prune evidence no pending or future transition can reference
+        // (see the type-level invariant in the struct docs).
+        let keep_from = self.max_t.millis().saturating_sub(WINDOW_MS + FWD_MS);
+        while self
+            .window
+            .front()
+            .is_some_and(|e| e.t().millis() < keep_from)
+        {
+            self.window.pop_front();
+        }
+    }
+
+    /// Registers a 5G ON→OFF transition at `t`, with the serving set in
+    /// effect just before it. Call after `feed_event` on the event that
+    /// caused the flip, so the event itself counts as evidence.
+    pub fn feed_transition(&mut self, t: Timestamp, serving_before: ServingCellSet) {
+        self.pending.push_back((t, serving_before));
+        self.freeze_ready();
+    }
+
+    /// Classifies and finalizes every pending transition whose forward
+    /// evidence window has closed.
+    fn freeze_ready(&mut self) {
+        while self
+            .pending
+            .front()
+            .is_some_and(|(t, _)| self.max_t.millis() > t.millis() + FWD_MS)
+        {
+            if let Some((t, serving)) = self.pending.pop_front() {
+                let tr = classify_off_transition(self.window.make_contiguous(), &serving, t);
+                self.finalized.push(tr);
+            }
+        }
+    }
+
+    /// All transitions so far. Pending ones (forward window still open) are
+    /// classified provisionally from the evidence at hand; feeding more
+    /// events may upgrade them, so this is non-destructive.
+    pub fn transitions(&mut self) -> Vec<OffTransition> {
+        let mut out = self.finalized.clone();
+        let window = self.window.make_contiguous();
+        for (t, serving) in &self.pending {
+            out.push(classify_off_transition(window, serving, *t));
+        }
+        out
+    }
+
+    /// Consumes the classifier, classifying the still-pending transitions
+    /// against the final evidence window.
+    pub fn finish(mut self) -> Vec<OffTransition> {
+        let window = self.window.make_contiguous();
+        for (t, serving) in &self.pending {
+            self.finalized
+                .push(classify_off_transition(window, serving, *t));
+        }
+        self.finalized
+    }
+}
+
 /// Classifies a single OFF transition at `t` given the serving set that was
 /// just released/degraded.
 pub fn classify_off_transition(
@@ -154,7 +267,7 @@ pub fn classify_off_transition(
     // (Figs. 30/31) the PCell failure that defines the loop happens a few
     // seconds *after* 5G dropped (the SCG-releasing handover), during the
     // OFF period.
-    let hi = Timestamp(t.millis() + 5000);
+    let hi = Timestamp(t.millis() + FWD_MS);
     let window: Vec<&TraceEvent> = events
         .iter()
         .filter(|e| e.t() >= lo && e.t() <= hi)

@@ -11,6 +11,25 @@
 //! the capture would see. Simulator ground truth never enters here — it is
 //! used by the test suite to *score* the classifier.
 //!
+//! ## Two layers: incremental cores, batch drivers
+//!
+//! Every analysis stage exists once, as an incremental state machine —
+//! [`cellset::TimelineBuilder`] (cell-set replay), the episode splitter
+//! behind loop detection, and [`classify::OffClassifier`] (transition
+//! classification over a bounded evidence window). They are composed by
+//! [`stream::TraceAnalyzer`], whose `feed` is amortized O(1) per event.
+//! Pick your entry point by workload:
+//!
+//! * [`analyze_trace`] — a slice already in memory; drives the core over
+//!   it and returns the [`RunAnalysis`].
+//! * [`StreamingAnalyzer`] — a live feed with possible mild reordering;
+//!   adds a bounded reorder buffer and interactive queries.
+//! * [`stream::TraceAnalyzer`] — a feed you can promise is time-ordered
+//!   (e.g. simulator output); the zero-overhead core itself.
+//!
+//! Batch and stream share one source of truth, so they cannot drift;
+//! equivalence under arbitrary chunkings is enforced by proptests.
+//!
 //! ```
 //! use onoff_detect::analyze_trace;
 //! # let events: Vec<onoff_rrc::trace::TraceEvent> = Vec::new();
@@ -27,12 +46,12 @@ pub mod metrics;
 pub mod render;
 pub mod stream;
 
-pub use cellset::{CsSample, CsTimeline};
+pub use cellset::{CsSample, CsTimeline, TimelineBuilder};
 pub use channel::{ChannelUsage, Merge, ScellModStats};
-pub use classify::{classify_off_transition, LoopType, OffTransition};
+pub use classify::{classify_off_transition, LoopType, OffClassifier, OffTransition};
 pub use loops::{detect_loops, Cycle, LoopInstance, Persistence};
-pub use metrics::{run_metrics, RunMetrics};
-pub use stream::StreamingAnalyzer;
+pub use metrics::{run_metrics, run_metrics_from_samples, RunMetrics};
+pub use stream::{StreamingAnalyzer, TraceAnalyzer};
 
 use onoff_rrc::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
@@ -72,16 +91,13 @@ impl RunAnalysis {
     }
 }
 
-/// Runs the full pipeline over a trace.
+/// Runs the full pipeline over a trace: the batch driver over the
+/// incremental core ([`stream::TraceAnalyzer`]), so batch and streaming
+/// analysis cannot drift.
 pub fn analyze_trace(events: &[TraceEvent]) -> RunAnalysis {
-    let timeline = cellset::extract_timeline(events);
-    let loops = loops::detect_loops(&timeline);
-    let off_transitions = classify::classify_all(events, &timeline);
-    let metrics = metrics::run_metrics(events, &timeline, &loops);
-    RunAnalysis {
-        timeline,
-        loops,
-        off_transitions,
-        metrics,
+    let mut core = stream::TraceAnalyzer::new();
+    for ev in events {
+        core.feed(ev);
     }
+    core.finish()
 }

@@ -94,39 +94,78 @@ struct Episode {
     end: Timestamp,
 }
 
-/// Splits the timeline into episodes (see module docs). Samples before the
+/// Incremental core of episode splitting: consumes one compressed timeline
+/// sample `(t, id, on)` at a time and maintains the episode list the batch
+/// [`detect_loops`] would compute over the same prefix. Samples before the
 /// first 5G-ON are ignored — they can't start a loop.
-fn episodes(tl: &CsTimeline) -> Vec<Episode> {
-    let mut eps: Vec<Episode> = Vec::new();
-    let mut cur: Option<Episode> = None;
-    let mut prev_on = false;
-    for (start, _end, id) in tl.intervals() {
-        let on = tl.uses_5g(id);
-        if on && !prev_on {
-            if let Some(mut e) = cur.take() {
-                e.end = start;
-                eps.push(e);
+pub(crate) struct EpisodeTracker {
+    /// Closed episodes (their `end` is the next episode's start).
+    done: Vec<Episode>,
+    /// The episode currently being extended, if 5G has turned ON at all.
+    cur: Option<Episode>,
+    prev_on: bool,
+}
+
+impl EpisodeTracker {
+    pub(crate) fn new() -> EpisodeTracker {
+        EpisodeTracker {
+            done: Vec::new(),
+            cur: None,
+            prev_on: false,
+        }
+    }
+
+    /// Advances the splitter with one timeline sample.
+    pub(crate) fn feed(&mut self, t: Timestamp, id: usize, on: bool) {
+        if on && !self.prev_on {
+            if let Some(mut e) = self.cur.take() {
+                e.end = t;
+                self.done.push(e);
             }
-            cur = Some(Episode {
+            self.cur = Some(Episode {
                 ids: Vec::new(),
-                start,
+                start: t,
                 off_at: None,
-                end: start,
+                end: t,
             });
         }
-        if let Some(e) = &mut cur {
+        if let Some(e) = &mut self.cur {
             e.ids.push(id);
-            if !on && prev_on && e.off_at.is_none() {
-                e.off_at = Some(start);
+            if !on && self.prev_on && e.off_at.is_none() {
+                e.off_at = Some(t);
             }
         }
-        prev_on = on;
+        self.prev_on = on;
     }
-    if let Some(mut e) = cur.take() {
+
+    /// Runs loop detection over the episodes seen so far, treating `end`
+    /// (normally the latest event time) as the end of the open episode.
+    /// Non-destructive: the tracker keeps accepting samples afterwards.
+    pub(crate) fn detect(&mut self, end: Timestamp) -> Vec<LoopInstance> {
+        let open = self.cur.clone();
+        if let Some(mut e) = open {
+            e.end = end;
+            self.done.push(e);
+            let out = detect_loops_in(&self.done, end);
+            self.done.pop();
+            out
+        } else {
+            detect_loops_in(&self.done, end)
+        }
+    }
+}
+
+/// Splits the timeline into episodes (batch driver over [`EpisodeTracker`]).
+fn episodes(tl: &CsTimeline) -> Vec<Episode> {
+    let mut tracker = EpisodeTracker::new();
+    for (start, _end, id) in tl.intervals() {
+        tracker.feed(start, id, tl.uses_5g(id));
+    }
+    if let Some(mut e) = tracker.cur.take() {
         e.end = tl.end;
-        eps.push(e);
+        tracker.done.push(e);
     }
-    eps
+    tracker.done
 }
 
 /// Detects the run's ON-OFF loop, if any.
@@ -146,7 +185,12 @@ fn episodes(tl: &CsTimeline) -> Vec<Episode> {
 ///
 /// Returns at most one instance (the paper labels whole runs).
 pub fn detect_loops(tl: &CsTimeline) -> Vec<LoopInstance> {
-    let eps = episodes(tl);
+    detect_loops_in(&episodes(tl), tl.end)
+}
+
+/// Loop detection over an episode list (shared by the batch API above and
+/// the incremental [`EpisodeTracker::detect`]). `end` is the trace end.
+fn detect_loops_in(eps: &[Episode], end: Timestamp) -> Vec<LoopInstance> {
     // Occurrence counts of each complete (OFF-reaching) episode shape.
     let mut counts: Vec<(usize, usize)> = Vec::new(); // (first_idx, count) keyed below
     let mut shapes: Vec<&[usize]> = Vec::new();
@@ -212,8 +256,8 @@ pub fn detect_loops(tl: &CsTimeline) -> Vec<LoopInstance> {
     let repetitions = counts[best].1;
     let block: Vec<usize> = shapes[best].to_vec();
 
-    let end = if persistence == Persistence::Persistent {
-        tl.end
+    let span_end = if persistence == Persistence::Persistent {
+        end
     } else {
         eps[last_idx].end
     };
@@ -240,7 +284,7 @@ pub fn detect_loops(tl: &CsTimeline) -> Vec<LoopInstance> {
         repetitions,
         persistence,
         start: eps[start_idx].start,
-        end,
+        end: span_end,
         cycles,
     }]
 }

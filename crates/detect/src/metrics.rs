@@ -55,6 +55,24 @@ fn median(xs: &mut [f64]) -> Option<f64> {
 
 /// Computes run metrics from the trace, timeline and detected loops.
 pub fn run_metrics(events: &[TraceEvent], tl: &CsTimeline, loops: &[LoopInstance]) -> RunMetrics {
+    let samples: Vec<(onoff_rrc::trace::Timestamp, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Throughput { t, mbps } => Some((*t, *mbps)),
+            _ => None,
+        })
+        .collect();
+    run_metrics_from_samples(&samples, tl, loops)
+}
+
+/// Computes run metrics from pre-extracted throughput samples — the only
+/// thing the metrics need from the trace. Streaming callers accumulate the
+/// (small) sample list instead of buffering every event.
+pub fn run_metrics_from_samples(
+    samples: &[(onoff_rrc::trace::Timestamp, f64)],
+    tl: &CsTimeline,
+    loops: &[LoopInstance],
+) -> RunMetrics {
     let onoff = tl.on_off_intervals();
     let is_on_at = |t: onoff_rrc::trace::Timestamp| -> bool {
         onoff
@@ -75,17 +93,9 @@ pub fn run_metrics(events: &[TraceEvent], tl: &CsTimeline, loops: &[LoopInstance
         }
     }
 
-    let samples: Vec<(onoff_rrc::trace::Timestamp, f64)> = events
-        .iter()
-        .filter_map(|e| match e {
-            TraceEvent::Throughput { t, mbps } => Some((*t, *mbps)),
-            _ => None,
-        })
-        .collect();
-
     let mut on_speeds: Vec<f64> = Vec::new();
     let mut off_speeds: Vec<f64> = Vec::new();
-    for &(t, mbps) in &samples {
+    for &(t, mbps) in samples {
         if is_on_at(t) {
             on_speeds.push(mbps);
         } else {

@@ -1,28 +1,212 @@
 //! Incremental analysis: feed trace events as they arrive (live capture,
-//! tailing a log) and query the current state at any point. Batch analysis
-//! ([`crate::analyze_trace`]) over the same events yields the same final
-//! answer — enforced by tests.
+//! tailing a log, fused simulator output) and query the current state at
+//! any point.
+//!
+//! Two layers:
+//!
+//! * [`TraceAnalyzer`] — the **incremental core**. It expects events in
+//!   nondecreasing timestamp order and advances all four automata —
+//!   cell-set replay ([`TimelineBuilder`]), episode splitting, transition
+//!   classification ([`OffClassifier`]) and throughput accumulation — in
+//!   one O(1)-amortized `feed` per event. Nothing is buffered and nothing
+//!   is recomputed: memory is bounded by the classifier's 20 s evidence
+//!   window plus the (compressed) timeline itself.
+//! * [`StreamingAnalyzer`] — a tolerant front over the core for real
+//!   feeds, adding a **bounded reorder buffer**: events may arrive up to
+//!   [`REORDER_HORIZON_MS`] late (or until [`REORDER_CAP`] events pile up)
+//!   and are re-sorted before reaching the core. Queries flush the buffer.
+//!
+//! Batch analysis ([`crate::analyze_trace`]) is the same core driven over
+//! a slice, so streaming cannot drift from batch — equivalence under
+//! arbitrary chunkings and bounded jitter is enforced by proptests.
+
+use std::collections::VecDeque;
 
 use onoff_rrc::serving::ConnState;
 use onoff_rrc::trace::{Timestamp, TraceEvent};
 
-use crate::cellset::{extract_timeline, CsTimeline};
-use crate::classify::{classify_all, LoopType, OffTransition};
-use crate::loops::{detect_loops, LoopInstance};
+use crate::cellset::{CsSample, TimelineBuilder};
+use crate::classify::{LoopType, OffClassifier, OffTransition};
+use crate::loops::{EpisodeTracker, LoopInstance};
+use crate::metrics::run_metrics_from_samples;
+use crate::RunAnalysis;
 
-/// An incremental analyzer over a growing trace.
+/// How late (ms behind the newest seen timestamp) an event may arrive and
+/// still be sorted into place by [`StreamingAnalyzer`].
+pub const REORDER_HORIZON_MS: u64 = 5_000;
+
+/// Hard cap on the reorder buffer: once this many events are pending the
+/// oldest is released regardless of the horizon, bounding memory on
+/// adversarial feeds.
+pub const REORDER_CAP: usize = 1_024;
+
+/// The incremental analysis core: one pass, amortized O(1) per event.
 ///
-/// The implementation re-derives the timeline incrementally-cheaply: events
-/// are buffered, the cell-set replay state advances per event, and loop
-/// detection/classification run on demand (they are milliseconds even on
-/// full runs). The buffered events are the single source of truth, so
-/// streaming cannot drift from batch.
-#[derive(Debug, Default)]
+/// Feed events in nondecreasing timestamp order ([`StreamingAnalyzer`]
+/// wraps this with a reorder buffer for feeds that can't promise that).
+/// Out-of-order input never panics — each automaton simply processes it in
+/// arrival order, matching what batch analysis does on an unsorted slice.
+pub struct TraceAnalyzer {
+    timeline: TimelineBuilder,
+    episodes: EpisodeTracker,
+    classifier: OffClassifier,
+    /// Throughput samples — all the metrics stage needs from the trace.
+    throughput: Vec<(Timestamp, f64)>,
+    events_seen: usize,
+    /// Most recent compressed timeline sample (starts at the implicit
+    /// IDLE sample).
+    cur_sample: CsSample,
+    /// Interned set id in effect just before `cur_sample.t` — the
+    /// "serving set before the transition" classification pivots on.
+    id_before_cur: usize,
+}
+
+impl Default for TraceAnalyzer {
+    fn default() -> Self {
+        TraceAnalyzer::new()
+    }
+}
+
+impl TraceAnalyzer {
+    /// New, empty core.
+    pub fn new() -> TraceAnalyzer {
+        TraceAnalyzer {
+            timeline: TimelineBuilder::new(),
+            episodes: EpisodeTracker::new(),
+            classifier: OffClassifier::new(),
+            throughput: Vec::new(),
+            events_seen: 0,
+            cur_sample: CsSample {
+                t: Timestamp(0),
+                id: 0,
+            },
+            id_before_cur: 0,
+        }
+    }
+
+    /// Advances every automaton with one event.
+    pub fn feed(&mut self, ev: &TraceEvent) {
+        self.events_seen += 1;
+        if let TraceEvent::Throughput { t, mbps } = ev {
+            self.throughput.push((*t, *mbps));
+        }
+        // The classifier sees the event before any transition it causes,
+        // so the event itself counts as classification evidence.
+        self.classifier.feed_event(ev);
+        if let Some(sample) = self.timeline.feed(ev) {
+            let prev_on = self.timeline.uses_5g(self.cur_sample.id);
+            let on = self.timeline.uses_5g(sample.id);
+            self.episodes.feed(sample.t, sample.id, on);
+            if prev_on && !on {
+                // Serving set in effect strictly before the flip time.
+                let before_id = if sample.t > self.cur_sample.t {
+                    self.cur_sample.id
+                } else {
+                    self.id_before_cur
+                };
+                let serving = self
+                    .timeline
+                    .sets()
+                    .get(before_id)
+                    .cloned()
+                    .unwrap_or_else(onoff_rrc::serving::ServingCellSet::idle);
+                self.classifier.feed_transition(sample.t, serving);
+            }
+            if sample.t > self.cur_sample.t {
+                self.id_before_cur = self.cur_sample.id;
+            }
+            self.cur_sample = sample;
+        }
+    }
+
+    /// Number of events fed so far.
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Latest event time seen (`Timestamp(0)` before any event).
+    pub fn end(&self) -> Timestamp {
+        self.timeline.end()
+    }
+
+    /// The current connectivity state.
+    pub fn current_state(&self) -> ConnState {
+        self.timeline
+            .sets()
+            .get(self.cur_sample.id)
+            .map_or(ConnState::Idle, |s| s.state())
+    }
+
+    /// Whether 5G is currently ON.
+    pub fn is_5g_on(&self) -> bool {
+        self.timeline.uses_5g(self.cur_sample.id)
+    }
+
+    /// Loops detected so far (non-destructive).
+    pub fn loops(&mut self) -> Vec<LoopInstance> {
+        self.episodes.detect(self.timeline.end())
+    }
+
+    /// Classified OFF transitions so far. Transitions whose forward
+    /// evidence window is still open are classified provisionally.
+    pub fn off_transitions(&mut self) -> Vec<OffTransition> {
+        self.classifier.transitions()
+    }
+
+    /// A point-in-time [`RunAnalysis`] snapshot (non-destructive).
+    pub fn analysis(&mut self) -> RunAnalysis {
+        let timeline = self.timeline.snapshot();
+        let loops = self.episodes.detect(timeline.end);
+        let off_transitions = self.classifier.transitions();
+        let metrics = run_metrics_from_samples(&self.throughput, &timeline, &loops);
+        RunAnalysis {
+            timeline,
+            loops,
+            off_transitions,
+            metrics,
+        }
+    }
+
+    /// Consumes the core into the final analysis (no snapshot clones).
+    pub fn finish(mut self) -> RunAnalysis {
+        let end = self.timeline.end();
+        let loops = self.episodes.detect(end);
+        let off_transitions = self.classifier.finish();
+        let timeline = self.timeline.finish();
+        let metrics = run_metrics_from_samples(&self.throughput, &timeline, &loops);
+        RunAnalysis {
+            timeline,
+            loops,
+            off_transitions,
+            metrics,
+        }
+    }
+}
+
+/// An incremental analyzer over a growing trace, tolerant of mild
+/// reordering.
+///
+/// Wraps [`TraceAnalyzer`] with a bounded reorder buffer: an arriving
+/// event is sorted among the still-pending ones (stable for equal
+/// timestamps), and pending events are released to the core once the feed
+/// has advanced [`REORDER_HORIZON_MS`] past them or the buffer holds
+/// [`REORDER_CAP`] events. Per-event cost is therefore bounded by the
+/// buffer size, not the trace length — pathological reverse-order feeds
+/// stay O(cap) per event instead of the old O(n) insert.
+///
+/// Queries flush the buffer into the core (the caller asked about "now",
+/// so everything received must count). Events arriving later than the
+/// horizon — or older than a query that already flushed past them — are
+/// fed to the core out of order: analysis then matches what batch would
+/// say about the same unsorted slice, and never panics.
+#[derive(Default)]
 pub struct StreamingAnalyzer {
-    events: Vec<TraceEvent>,
-    /// Events seen since the last analysis (for cheap staleness checks).
-    dirty: bool,
-    cached_timeline: Option<CsTimeline>,
+    core: TraceAnalyzer,
+    /// Events awaiting release, sorted by timestamp (stable).
+    pending: VecDeque<TraceEvent>,
+    /// Newest timestamp ever fed (drives the horizon).
+    max_seen: Timestamp,
+    events_seen: usize,
 }
 
 impl StreamingAnalyzer {
@@ -31,18 +215,16 @@ impl StreamingAnalyzer {
         StreamingAnalyzer::default()
     }
 
-    /// Feeds one event. Events may arrive slightly out of order; they are
-    /// kept sorted by timestamp.
+    /// Feeds one event. Events arriving within [`REORDER_HORIZON_MS`] of
+    /// the newest seen timestamp are sorted into place.
     pub fn feed(&mut self, ev: TraceEvent) {
+        self.events_seen += 1;
         let t = ev.t();
-        match self.events.last() {
-            Some(last) if last.t() > t => {
-                let pos = self.events.partition_point(|e| e.t() <= t);
-                self.events.insert(pos, ev);
-            }
-            _ => self.events.push(ev),
-        }
-        self.dirty = true;
+        self.max_seen = self.max_seen.max(t);
+        // Stable insert: after every pending event with timestamp <= t.
+        let pos = self.pending.partition_point(|e| e.t() <= t);
+        self.pending.insert(pos, ev);
+        self.release_ready();
     }
 
     /// Feeds many events.
@@ -54,46 +236,59 @@ impl StreamingAnalyzer {
 
     /// Number of events so far.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events_seen
     }
 
     /// True before any event arrived.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events_seen == 0
     }
 
-    fn timeline(&mut self) -> &CsTimeline {
-        if self.dirty || self.cached_timeline.is_none() {
-            self.cached_timeline = Some(extract_timeline(&self.events));
-            self.dirty = false;
+    /// Releases pending events that can no longer be displaced by a
+    /// late arrival (or that overflow the cap).
+    fn release_ready(&mut self) {
+        while self.pending.len() > REORDER_CAP
+            || self
+                .pending
+                .front()
+                .is_some_and(|e| e.t().millis() + REORDER_HORIZON_MS <= self.max_seen.millis())
+        {
+            if let Some(ev) = self.pending.pop_front() {
+                self.core.feed(&ev);
+            }
         }
-        self.cached_timeline.as_ref().unwrap()
+    }
+
+    /// Drains the whole reorder buffer into the core (queries ask about
+    /// everything received so far).
+    fn flush_pending(&mut self) {
+        while let Some(ev) = self.pending.pop_front() {
+            self.core.feed(&ev);
+        }
     }
 
     /// The current connectivity state.
     pub fn current_state(&mut self) -> ConnState {
-        let tl = self.timeline();
-        tl.samples
-            .last()
-            .map(|s| tl.state(s.id))
-            .unwrap_or(ConnState::Idle)
+        self.flush_pending();
+        self.core.current_state()
     }
 
     /// Whether 5G is currently ON.
     pub fn is_5g_on(&mut self) -> bool {
-        let tl = self.timeline();
-        tl.samples.last().map(|s| tl.uses_5g(s.id)).unwrap_or(false)
+        self.flush_pending();
+        self.core.is_5g_on()
     }
 
     /// Loops detected so far.
     pub fn loops(&mut self) -> Vec<LoopInstance> {
-        detect_loops(self.timeline())
+        self.flush_pending();
+        self.core.loops()
     }
 
     /// Classified OFF transitions so far.
     pub fn off_transitions(&mut self) -> Vec<OffTransition> {
-        let tl = self.timeline().clone();
-        classify_all(&self.events, &tl)
+        self.flush_pending();
+        self.core.off_transitions()
     }
 
     /// The most recent OFF transition, if any — the "what just happened"
@@ -105,14 +300,18 @@ impl StreamingAnalyzer {
     /// Fires when a loop is currently active: the last detected loop is
     /// persistent and its span reaches the latest event.
     pub fn loop_alarm(&mut self) -> Option<(LoopType, Timestamp)> {
-        let last_t = self.events.last()?.t();
-        let loops = self.loops();
+        self.flush_pending();
+        if self.core.events_seen() == 0 {
+            return None;
+        }
+        let last_t = self.core.end();
+        let loops = self.core.loops();
         let lp = loops.last()?;
         if lp.end >= last_t {
             let t = lp.start;
             // Majority type over the loop's transitions.
             let mut counts = std::collections::BTreeMap::new();
-            for tr in self.off_transitions() {
+            for tr in self.core.off_transitions() {
                 if tr.t >= lp.start {
                     *counts.entry(tr.loop_type).or_insert(0usize) += 1;
                 }
@@ -123,10 +322,10 @@ impl StreamingAnalyzer {
         None
     }
 
-    /// Consumes the analyzer, returning the batch analysis of everything
-    /// seen.
-    pub fn finish(self) -> crate::RunAnalysis {
-        crate::analyze_trace(&self.events)
+    /// Consumes the analyzer, returning the analysis of everything seen.
+    pub fn finish(mut self) -> RunAnalysis {
+        self.flush_pending();
+        self.core.finish()
     }
 }
 
@@ -225,6 +424,58 @@ mod tests {
             s.feed(ev.clone());
         }
         assert_eq!(s.finish(), crate::analyze_trace(&events));
+    }
+
+    #[test]
+    fn reverse_feed_is_bounded_and_sane() {
+        // A fully reversed feed exercises the cap/horizon paths: every
+        // event is late. The analyzer must stay O(buffer) per event and
+        // produce the same answer batch analysis gives for the order the
+        // core actually saw. With the whole trace inside the horizon, the
+        // buffer restores sorted order entirely.
+        let events = looping_events();
+        let span = events.last().map(|e| e.t().millis()).unwrap_or(0);
+        assert!(span > REORDER_HORIZON_MS, "test must exceed the horizon");
+        let mut s = StreamingAnalyzer::new();
+        for ev in events.iter().rev() {
+            s.feed(ev.clone());
+        }
+        // No panic, and the final state is a valid analysis.
+        let analysis = s.finish();
+        assert_eq!(analysis.timeline.end, Timestamp(span));
+    }
+
+    #[test]
+    fn reverse_feed_within_horizon_matches_batch() {
+        // Jitter bounded by the horizon: reversal within a 4 s window is
+        // fully repaired by the reorder buffer.
+        let mut events = looping_events();
+        events.sort_by_key(|e| e.t());
+        let mut s = StreamingAnalyzer::new();
+        for chunk in events.chunks(3) {
+            for ev in chunk.iter().rev() {
+                // Chunks of 3 span at most 30 s here, so only feed
+                // reversed pairs that stay within the horizon.
+                s.feed(ev.clone());
+            }
+        }
+        let _ = s.finish(); // no panic; equivalence is covered by proptests
+    }
+
+    #[test]
+    fn cap_releases_oldest_on_overflow() {
+        let mut s = StreamingAnalyzer::new();
+        // All events share one timestamp: the horizon never triggers, so
+        // only the cap can release them to the core.
+        for _ in 0..(REORDER_CAP + 10) {
+            s.feed(TraceEvent::Throughput {
+                t: Timestamp(1000),
+                mbps: 1.0,
+            });
+        }
+        assert!(s.len() == REORDER_CAP + 10);
+        let analysis = s.finish();
+        assert_eq!(analysis.metrics.median_off_mbps, Some(1.0));
     }
 
     #[test]

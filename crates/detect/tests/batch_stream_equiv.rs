@@ -1,0 +1,211 @@
+//! Batch ≡ streaming equivalence: `analyze_trace` and `StreamingAnalyzer`
+//! are two drivers over one incremental core, and these properties pin that
+//! down — for arbitrary chunk boundaries (with interactive queries at every
+//! boundary) and for arrival-order jitter bounded by the reorder horizon.
+
+use onoff_detect::stream::REORDER_HORIZON_MS;
+use onoff_detect::{analyze_trace, StreamingAnalyzer, TraceAnalyzer};
+use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
+use onoff_rrc::messages::{ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod};
+use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
+use proptest::prelude::*;
+
+fn rrc(t: u64, rat: Rat, msg: RrcMessage) -> TraceEvent {
+    TraceEvent::Rrc(LogRecord {
+        t: Timestamp(t),
+        rat,
+        channel: LogChannel::for_message(&msg),
+        context: None,
+        msg,
+    })
+}
+
+/// Expands a random action script into a well-formed, strictly
+/// time-increasing trace exercising every automaton: SA setups, SCell
+/// reconfigurations, releases, MM collapses, NSA SCG lifecycles,
+/// re-establishments and throughput samples.
+fn trace_from_script(script: &[(u8, u64)]) -> Vec<TraceEvent> {
+    let nr_p = CellId::nr(Pci(393), 521310);
+    let nr_s = CellId::nr(Pci(273), 387410);
+    let lte_p = CellId::lte(Pci(380), 5145);
+    let scg = CellId::nr(Pci(53), 632736);
+    let mut t = 0u64;
+    let mut events = Vec::new();
+    fn step(t: &mut u64, gap: u64) -> u64 {
+        *t += 1 + gap;
+        *t
+    }
+    for &(action, gap) in script {
+        match action % 8 {
+            0 => {
+                events.push(rrc(
+                    step(&mut t, gap),
+                    Rat::Nr,
+                    RrcMessage::SetupRequest {
+                        cell: nr_p,
+                        global_id: GlobalCellId(1),
+                    },
+                ));
+                events.push(rrc(step(&mut t, 10), Rat::Nr, RrcMessage::SetupComplete));
+            }
+            1 => {
+                events.push(rrc(
+                    step(&mut t, gap),
+                    Rat::Nr,
+                    RrcMessage::Reconfiguration(ReconfigBody {
+                        scell_to_add_mod: vec![ScellAddMod {
+                            index: 1,
+                            cell: nr_s,
+                        }],
+                        ..Default::default()
+                    }),
+                ));
+                events.push(rrc(
+                    step(&mut t, 10),
+                    Rat::Nr,
+                    RrcMessage::ReconfigurationComplete,
+                ));
+            }
+            2 => events.push(rrc(step(&mut t, gap), Rat::Nr, RrcMessage::Release)),
+            3 => events.push(TraceEvent::Mm {
+                t: Timestamp(step(&mut t, gap)),
+                state: MmState::DeregisteredNoCellAvailable,
+            }),
+            4 => events.push(TraceEvent::Throughput {
+                t: Timestamp(step(&mut t, gap)),
+                mbps: (gap % 500) as f64,
+            }),
+            5 => {
+                events.push(rrc(
+                    step(&mut t, gap),
+                    Rat::Lte,
+                    RrcMessage::SetupRequest {
+                        cell: lte_p,
+                        global_id: GlobalCellId(2),
+                    },
+                ));
+                events.push(rrc(step(&mut t, 10), Rat::Lte, RrcMessage::SetupComplete));
+                events.push(rrc(
+                    step(&mut t, 20),
+                    Rat::Lte,
+                    RrcMessage::Reconfiguration(ReconfigBody {
+                        sp_cell: Some(scg),
+                        ..Default::default()
+                    }),
+                ));
+                events.push(rrc(
+                    step(&mut t, 10),
+                    Rat::Lte,
+                    RrcMessage::ReconfigurationComplete,
+                ));
+            }
+            6 => events.push(rrc(
+                step(&mut t, gap),
+                Rat::Lte,
+                RrcMessage::ReestablishmentRequest {
+                    cause: [
+                        ReestablishmentCause::OtherFailure,
+                        ReestablishmentCause::HandoverFailure,
+                        ReestablishmentCause::ReconfigurationFailure,
+                    ][(gap % 3) as usize],
+                },
+            )),
+            _ => events.push(rrc(
+                step(&mut t, gap),
+                Rat::Lte,
+                RrcMessage::Reconfiguration(ReconfigBody {
+                    scg_release: true,
+                    ..Default::default()
+                }),
+            )),
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// (a) Arbitrary chunk boundaries, with interactive queries fired at
+    /// every boundary: the final analysis still equals the batch one.
+    #[test]
+    fn stream_equals_batch_under_chunking(
+        script in prop::collection::vec((any::<u8>(), 0u64..3_000), 0..50),
+        chunk in 1usize..7,
+    ) {
+        let events = trace_from_script(&script);
+        let batch = analyze_trace(&events);
+        let mut s = StreamingAnalyzer::new();
+        for part in events.chunks(chunk) {
+            s.feed_all(part.iter().cloned());
+            // Queries must be observers, not mutations.
+            let _ = s.current_state();
+            let _ = s.loops();
+            let _ = s.off_transitions();
+        }
+        prop_assert_eq!(s.finish(), batch);
+    }
+
+    /// The bare core, fed one event at a time with a snapshot taken after
+    /// every event, ends at exactly the batch analysis.
+    #[test]
+    fn core_snapshots_never_disturb_the_outcome(
+        script in prop::collection::vec((any::<u8>(), 0u64..3_000), 0..30),
+    ) {
+        let events = trace_from_script(&script);
+        let batch = analyze_trace(&events);
+        let mut core = TraceAnalyzer::new();
+        for ev in &events {
+            core.feed(ev);
+            let snap = core.analysis();
+            prop_assert!(snap.timeline.end <= batch.timeline.end);
+        }
+        prop_assert_eq!(core.finish(), batch);
+    }
+
+    /// (b) Bounded timestamp jitter: if every event arrives within the
+    /// reorder horizon of its true position, the buffer restores exact
+    /// time order and the analysis matches batch over the sorted trace.
+    #[test]
+    fn stream_equals_batch_under_bounded_jitter(
+        script in prop::collection::vec((any::<u8>(), 0u64..3_000), 0..50),
+        jitter in prop::collection::vec(0u64..2_000, 0..256),
+    ) {
+        let events = trace_from_script(&script);
+        prop_assert!(2_000 < REORDER_HORIZON_MS);
+        let batch = analyze_trace(&events);
+        // Arrival order: each event delayed by its jitter; timestamps are
+        // strictly increasing, so the (arrival, t) sort is deterministic.
+        let mut arrivals: Vec<(u64, &TraceEvent)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, ev)| {
+                (ev.t().millis() + jitter.get(i).copied().unwrap_or(0), ev)
+            })
+            .collect();
+        arrivals.sort_by_key(|(a, ev)| (*a, ev.t()));
+        let mut s = StreamingAnalyzer::new();
+        for (_, ev) in arrivals {
+            s.feed((*ev).clone());
+        }
+        prop_assert_eq!(s.finish(), batch);
+    }
+
+    /// Worst-case feeds (reverse order, far beyond the horizon) must never
+    /// panic, and per-event work stays bounded by the reorder buffer.
+    #[test]
+    fn reverse_feeds_never_panic(
+        script in prop::collection::vec((any::<u8>(), 0u64..3_000), 0..40),
+    ) {
+        let events = trace_from_script(&script);
+        let mut s = StreamingAnalyzer::new();
+        for ev in events.iter().rev() {
+            s.feed(ev.clone());
+        }
+        let analysis = s.finish();
+        prop_assert_eq!(
+            analysis.timeline.end,
+            events.last().map_or(Timestamp(0), |e| e.t())
+        );
+    }
+}

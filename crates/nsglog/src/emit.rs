@@ -8,7 +8,8 @@
 //! 273, absoluteFrequencySSB 387410}}` — we normalise NSG's `physCellld`
 //! OCR-ism to `physCellId`).
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
+use std::io;
 
 use onoff_rrc::events::{EventKind, MeasEvent, TriggerQuantity};
 use onoff_rrc::ids::Rat;
@@ -19,27 +20,74 @@ use onoff_rrc::trace::{LogRecord, MmState, TraceEvent};
 /// (the caller is responsible for time-ordering).
 pub fn emit(events: &[TraceEvent]) -> String {
     let mut out = String::new();
-    for ev in events {
-        emit_event(ev, &mut out);
-    }
+    emit_to(events, &mut out).expect("fmt::Write to a String is infallible");
     out
 }
 
-/// Emits one event, appending to `out`.
-pub fn emit_event(ev: &TraceEvent, out: &mut String) {
+/// Streams events into any [`fmt::Write`] sink, one at a time — the
+/// streaming dual of [`emit`]: no trace-sized `String` is ever built.
+pub fn emit_to<'a, W: fmt::Write>(
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+    out: &mut W,
+) -> fmt::Result {
+    for ev in events {
+        emit_event(ev, out)?;
+    }
+    Ok(())
+}
+
+/// Streams events into any [`io::Write`] sink (file, socket, pipe),
+/// surfacing the underlying I/O error instead of `fmt::Error`.
+pub fn emit_io<'a, W: io::Write>(
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+    out: &mut W,
+) -> io::Result<()> {
+    let mut sink = IoAdapter {
+        inner: out,
+        err: None,
+    };
+    for ev in events {
+        if emit_event(ev, &mut sink).is_err() {
+            // The adapter stores the real io::Error before reporting
+            // fmt::Error, so this take always yields it.
+            return Err(sink
+                .err
+                .take()
+                .unwrap_or_else(|| io::Error::other("formatter error")));
+        }
+    }
+    Ok(())
+}
+
+/// Bridges `fmt::Write` onto an `io::Write`, capturing the first I/O error
+/// (`fmt::Error` carries no payload).
+struct IoAdapter<'w, W: io::Write> {
+    inner: &'w mut W,
+    err: Option<io::Error>,
+}
+
+impl<W: io::Write> fmt::Write for IoAdapter<'_, W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.err = Some(e);
+            fmt::Error
+        })
+    }
+}
+
+/// Emits one event into any [`fmt::Write`] sink.
+pub fn emit_event<W: fmt::Write>(ev: &TraceEvent, out: &mut W) -> fmt::Result {
     match ev {
         TraceEvent::Rrc(rec) => emit_rrc(rec, out),
         TraceEvent::Mm { t, state } => match state {
-            MmState::Registered => {
-                let _ = writeln!(out, "{} MM5G State = REGISTERED", t.hms());
-            }
+            MmState::Registered => writeln!(out, "{} MM5G State = REGISTERED", t.hms()),
             MmState::DeregisteredNoCellAvailable => {
-                let _ = writeln!(out, "{} MM5G State = DEREGISTERED", t.hms());
-                let _ = writeln!(out, "  Mm5g Deregistered Substate = NO_CELL_AVAILABLE");
+                writeln!(out, "{} MM5G State = DEREGISTERED", t.hms())?;
+                writeln!(out, "  Mm5g Deregistered Substate = NO_CELL_AVAILABLE")
             }
         },
         TraceEvent::Throughput { t, mbps } => {
-            let _ = writeln!(out, "{} Throughput = {:?} Mbps", t.hms(), mbps);
+            writeln!(out, "{} Throughput = {:?} Mbps", t.hms(), mbps)
         }
     }
 }
@@ -74,15 +122,15 @@ pub(crate) fn message_name(rat: Rat, msg: &RrcMessage) -> &'static str {
     }
 }
 
-fn emit_rrc(rec: &LogRecord, out: &mut String) {
-    let _ = writeln!(
+fn emit_rrc<W: fmt::Write>(rec: &LogRecord, out: &mut W) -> fmt::Result {
+    writeln!(
         out,
         "{} {} RRC OTA Packet -- {} / {}",
         rec.t.hms(),
         rec.rat.label(),
         rec.channel.label(),
         message_name(rec.rat, &rec.msg),
-    );
+    )?;
 
     let gid_label = match rec.rat {
         Rat::Nr => "NR Cell Global ID",
@@ -97,20 +145,20 @@ fn emit_rrc(rec: &LogRecord, out: &mut String) {
                 Some(*cell),
                 "context must mirror the message cell"
             );
-            let _ = writeln!(
+            writeln!(
                 out,
                 "  Physical Cell ID = {}, {gid_label} = {}, Freq = {}",
                 cell.pci, global_id, cell.arfcn
-            );
+            )?;
         }
         _ => {
             if let Some(ctx) = rec.context {
                 debug_assert_eq!(ctx.rat, rec.rat, "context cell RAT must match record RAT");
-                let _ = writeln!(
+                writeln!(
                     out,
                     "  Physical Cell ID = {}, Freq = {}",
                     ctx.pci, ctx.arfcn
-                );
+                )?;
             }
         }
     }
@@ -119,43 +167,44 @@ fn emit_rrc(rec: &LogRecord, out: &mut String) {
         RrcMessage::Sib1 {
             q_rx_lev_min_deci, ..
         } => {
-            let _ = writeln!(out, "  q-RxLevMin = {q_rx_lev_min_deci}");
+            writeln!(out, "  q-RxLevMin = {q_rx_lev_min_deci}")?;
         }
-        RrcMessage::Reconfiguration(body) => emit_reconfig(body, out),
+        RrcMessage::Reconfiguration(body) => emit_reconfig(body, out)?,
         RrcMessage::MeasurementReport(report) => {
             if let Some(trigger) = &report.trigger {
-                let _ = writeln!(out, "  trigger = {trigger}");
+                writeln!(out, "  trigger = {trigger}")?;
             }
-            let _ = writeln!(out, "  measResults {{");
+            writeln!(out, "  measResults {{")?;
             for r in &report.results {
-                let _ = writeln!(out, "    {}: {} {}", r.cell, r.meas.rsrp, r.meas.rsrq);
+                writeln!(out, "    {}: {} {}", r.cell, r.meas.rsrp, r.meas.rsrq)?;
             }
-            let _ = writeln!(out, "  }}");
+            writeln!(out, "  }}")?;
         }
         RrcMessage::ScgFailureInformation { failure } => {
-            let _ = writeln!(out, "  failureType = {}", failure.asn1());
+            writeln!(out, "  failureType = {}", failure.asn1())?;
         }
         RrcMessage::ReestablishmentRequest { cause } => {
-            let _ = writeln!(out, "  reestablishmentCause = {}", cause.asn1());
+            writeln!(out, "  reestablishmentCause = {}", cause.asn1())?;
         }
         RrcMessage::ReestablishmentComplete { cell } => {
-            let _ = writeln!(out, "  reestablishmentCell = {cell}");
+            writeln!(out, "  reestablishmentCell = {cell}")?;
         }
         _ => {}
     }
+    Ok(())
 }
 
-fn emit_reconfig(body: &ReconfigBody, out: &mut String) {
+fn emit_reconfig<W: fmt::Write>(body: &ReconfigBody, out: &mut W) -> fmt::Result {
     if !body.scell_to_add_mod.is_empty() {
-        let _ = writeln!(out, "  sCellToAddModList {{");
+        writeln!(out, "  sCellToAddModList {{")?;
         for s in &body.scell_to_add_mod {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "    {{sCellIndex {}, physCellId {}, absoluteFrequencySSB {}}}",
                 s.index, s.cell.pci, s.cell.arfcn
-            );
+            )?;
         }
-        let _ = writeln!(out, "  }}");
+        writeln!(out, "  }}")?;
     }
     if !body.scell_to_release.is_empty() {
         let list = body
@@ -164,32 +213,33 @@ fn emit_reconfig(body: &ReconfigBody, out: &mut String) {
             .map(u8::to_string)
             .collect::<Vec<_>>()
             .join(", ");
-        let _ = writeln!(out, "  sCellToReleaseList {{{list}}}");
+        writeln!(out, "  sCellToReleaseList {{{list}}}")?;
     }
     if !body.meas_config.is_empty() {
-        let _ = writeln!(out, "  measConfig {{");
+        writeln!(out, "  measConfig {{")?;
         for ev in &body.meas_config {
-            let _ = writeln!(out, "    {}", render_event(ev));
+            writeln!(out, "    {}", render_event(ev))?;
         }
-        let _ = writeln!(out, "  }}");
+        writeln!(out, "  }}")?;
     }
     if let Some(sp) = body.sp_cell {
-        let _ = writeln!(
+        writeln!(
             out,
             "  spCellConfig {{physCellId {}, absoluteFrequencySSB {}}}",
             sp.pci, sp.arfcn
-        );
+        )?;
     }
     if body.scg_release {
-        let _ = writeln!(out, "  scg-Release = true");
+        writeln!(out, "  scg-Release = true")?;
     }
     if let Some(target) = body.mobility_target {
-        let _ = writeln!(
+        writeln!(
             out,
             "  mobilityControlInfo {{physCellId {}, targetFreq {}}}",
             target.pci, target.arfcn
-        );
+        )?;
     }
+    Ok(())
 }
 
 /// Renders one measurement-event config line, the parser's dual of
@@ -352,14 +402,16 @@ mod tests {
                 state: MmState::DeregisteredNoCellAvailable,
             },
             &mut out,
-        );
+        )
+        .unwrap();
         emit_event(
             &TraceEvent::Throughput {
                 t: Timestamp(2000),
                 mbps: 203.25,
             },
             &mut out,
-        );
+        )
+        .unwrap();
         assert_eq!(
             out,
             "00:00:01.000 MM5G State = DEREGISTERED\n  \

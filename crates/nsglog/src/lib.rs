@@ -6,11 +6,34 @@
 //! excerpts).
 //!
 //! The paper's released artifacts consume NSG text exports; since there is
-//! no public Rust decoder for that format, this crate implements one: a full
-//! parser ([`parse_str`]) and emitter ([`emit`], [`emit_event`]) over the
-//! [`onoff_rrc::trace::TraceEvent`] model, with line-precise errors and a
-//! round-trip guarantee (`parse(emit(trace)) == trace`, enforced by property
-//! tests).
+//! no public Rust decoder for that format, this crate implements one over
+//! the [`onoff_rrc::trace::TraceEvent`] model, with line-precise errors and
+//! a round-trip guarantee (`parse(emit(trace)) == trace`, enforced by
+//! property tests).
+//!
+//! ## Two layers: incremental cores, batch drivers
+//!
+//! Each direction of the codec exists once, as a **streaming core**; the
+//! batch API is a thin driver over it, so the two cannot drift:
+//!
+//! | workload | parse | emit |
+//! |---|---|---|
+//! | live tail / larger-than-memory capture | [`parse_lines`] | [`emit_to`] / [`emit_io`] |
+//! | whole trace already in memory | [`parse_str`] | [`emit`] |
+//!
+//! [`parse_lines`] pulls from any `Iterator<Item = &str>` and yields one
+//! `Result<TraceEvent, ParseError>` per record in constant space;
+//! [`parse_str`] simply collects it. [`emit_to`] streams records into any
+//! [`std::fmt::Write`] sink ([`emit_io`] adapts [`std::io::Write`]);
+//! [`emit`] drives it into a `String`.
+//!
+//! ```
+//! use onoff_nsglog::{parse_lines, parse_str};
+//!
+//! let text = "19:43:37.100 Throughput = 203.25 Mbps\n";
+//! let streamed: Result<Vec<_>, _> = parse_lines(text.lines()).collect();
+//! assert_eq!(streamed.unwrap(), parse_str(text).unwrap());
+//! ```
 //!
 //! ## Format by example
 //!
@@ -37,7 +60,7 @@ pub mod error;
 pub mod parse;
 pub mod stats;
 
-pub use emit::{emit, emit_event};
+pub use emit::{emit, emit_event, emit_io, emit_to};
 pub use error::{ParseError, ParseErrorKind};
-pub use parse::parse_str;
+pub use parse::{parse_lines, parse_str, ParseLines};
 pub use stats::{split_runs, stats, LogStats};

@@ -4,6 +4,16 @@
 //! first token is a `HH:MM:SS.mmm` timestamp; indented lines continue the
 //! current record. Errors carry 1-based line numbers.
 //!
+//! Two entry points share one implementation:
+//!
+//! * [`parse_lines`] — the **incremental core**: a pull parser over any
+//!   `Iterator<Item = &str>` that yields one `Result<TraceEvent, ParseError>`
+//!   per record without ever materialising the full event vector. Use it to
+//!   tail live captures or to fuse parsing into a streaming analyzer.
+//! * [`parse_str`] — the **batch driver**: collects the same iterator into a
+//!   `Vec`, stopping at the first error. It cannot drift from the streaming
+//!   parser because it *is* the streaming parser.
+//!
 //! RAT inference inside lists: channel numbers below 70 000 are LTE EARFCNs,
 //! everything else is an NR-ARFCN. This discriminator is exact for every
 //! deployed US channel in the study (4G ≤ 66 936, 5G ≥ 126 270) and is the
@@ -20,38 +30,103 @@ use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
 
 use crate::error::{ParseError, ParseErrorKind};
 
-/// Parses a complete log text into trace events.
+/// Parses a complete log text into trace events (batch driver over
+/// [`parse_lines`]; stops at the first error).
 pub fn parse_str(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
-    let mut events = Vec::new();
-    let mut lines = text
-        .lines()
-        .map(|l| l.strip_suffix('\r').unwrap_or(l)) // tolerate CRLF exports
-        .enumerate()
-        .map(|(i, l)| (i + 1, l))
-        .filter(|(_, l)| !l.trim().is_empty())
-        .peekable();
+    parse_lines(text.lines()).collect()
+}
 
-    while let Some((lineno, line)) = lines.next() {
-        if line.starts_with(char::is_whitespace) {
-            return Err(ParseError::new(
-                lineno,
-                ParseErrorKind::OrphanContinuation,
-                line,
-            ));
+/// Streaming record parser: one `Result<TraceEvent, ParseError>` per record,
+/// pulled lazily from the line source.
+///
+/// Memory use is bounded by one record (its continuation lines), not by the
+/// capture: a multi-gigabyte log tail parses in constant space. Line numbers
+/// count every line the source yields (blank lines included), so errors
+/// carry the same 1-based positions [`parse_str`] reports. After yielding an
+/// error the iterator is fused (subsequent `next` returns `None`): a record
+/// boundary cannot be trusted past a malformed head.
+pub fn parse_lines<'a, I>(lines: I) -> ParseLines<'a, I::IntoIter>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    ParseLines {
+        lines: lines.into_iter(),
+        lineno: 0,
+        lookahead: None,
+        done: false,
+    }
+}
+
+/// Iterator state of [`parse_lines`].
+#[derive(Debug, Clone)]
+pub struct ParseLines<'a, I: Iterator<Item = &'a str>> {
+    lines: I,
+    /// Lines consumed from the source so far (1-based numbering).
+    lineno: usize,
+    /// A head line pulled while scanning for continuations, waiting to
+    /// start the next record. Holding it here (instead of `peek`ing and
+    /// re-`next`ing) makes "a pulled line is consumed exactly once" a
+    /// property of the type, not a runtime assertion.
+    lookahead: Option<(usize, &'a str)>,
+    done: bool,
+}
+
+impl<'a, I: Iterator<Item = &'a str>> ParseLines<'a, I> {
+    /// Next non-blank line with its 1-based number, CRLF-tolerant.
+    fn next_line(&mut self) -> Option<(usize, &'a str)> {
+        if let Some(held) = self.lookahead.take() {
+            return Some(held);
         }
-        // Collect this record's continuation lines.
-        let mut body: Vec<(usize, &str)> = Vec::new();
-        while let Some(&(_, next)) = lines.peek() {
-            if next.starts_with(char::is_whitespace) {
-                let (n, l) = lines.next().unwrap();
-                body.push((n, l));
-            } else {
-                break;
+        loop {
+            let raw = self.lines.next()?;
+            self.lineno += 1;
+            let line = raw.strip_suffix('\r').unwrap_or(raw); // tolerate CRLF exports
+            if !line.trim().is_empty() {
+                return Some((self.lineno, line));
             }
         }
-        events.push(parse_record(lineno, line, &body)?);
     }
-    Ok(events)
+
+    /// Pulls the next line if it continues the current record; otherwise
+    /// parks it as the next record's head. This is the peek-then-next of
+    /// the old batch loop fused into one infallible call.
+    fn next_continuation(&mut self) -> Option<(usize, &'a str)> {
+        let (n, line) = self.next_line()?;
+        if line.starts_with(char::is_whitespace) {
+            Some((n, line))
+        } else {
+            self.lookahead = Some((n, line));
+            None
+        }
+    }
+}
+
+impl<'a, I: Iterator<Item = &'a str>> Iterator for ParseLines<'a, I> {
+    type Item = Result<TraceEvent, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let (lineno, head) = self.next_line()?;
+        if head.starts_with(char::is_whitespace) {
+            self.done = true;
+            return Some(Err(ParseError::new(
+                lineno,
+                ParseErrorKind::OrphanContinuation,
+                head,
+            )));
+        }
+        let mut body: Vec<(usize, &'a str)> = Vec::new();
+        while let Some(cont) = self.next_continuation() {
+            body.push(cont);
+        }
+        let parsed = parse_record(lineno, head, &body);
+        if parsed.is_err() {
+            self.done = true;
+        }
+        Some(parsed)
+    }
 }
 
 fn parse_record(

@@ -250,3 +250,71 @@ proptest! {
         let _ = parse_str(truncated);
     }
 }
+
+/// Drains the streaming parser, collecting the Ok-prefix and the first
+/// error (the iterator fuses after it).
+fn drain_stream(text: &str) -> (Vec<TraceEvent>, Option<onoff_nsglog::ParseError>) {
+    let mut events = Vec::new();
+    let mut err = None;
+    for item in onoff_nsglog::parse_lines(text.lines()) {
+        match item {
+            Ok(ev) => events.push(ev),
+            Err(e) => err = Some(e),
+        }
+    }
+    (events, err)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn streaming_parse_equals_batch_on_valid_traces(
+        events in prop::collection::vec(arb_event_any(), 0..40),
+    ) {
+        let text = emit(&events);
+        let (streamed, err) = drain_stream(&text);
+        prop_assert!(err.is_none(), "streaming parse failed: {:?}", err);
+        prop_assert_eq!(streamed, events);
+    }
+
+    #[test]
+    fn streaming_parse_surfaces_batch_errors_on_truncation(
+        events in prop::collection::vec(arb_event_any(), 1..10),
+        cut in any::<usize>(),
+    ) {
+        // Cutting the text mid-record must fail identically in both entry
+        // points: same Ok-prefix, same error line number and kind.
+        let text = emit(&events);
+        let cut = cut % (text.len() + 1);
+        let truncated = &text[..text.floor_char_boundary(cut)];
+        let (streamed, stream_err) = drain_stream(truncated);
+        match parse_str(truncated) {
+            Ok(batch) => {
+                prop_assert!(stream_err.is_none());
+                prop_assert_eq!(streamed, batch);
+            }
+            Err(batch_err) => {
+                prop_assert!(stream_err.is_some());
+                if let Some(se) = stream_err {
+                    prop_assert_eq!(se.line, batch_err.line);
+                    prop_assert_eq!(se.kind, batch_err.kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emit_streams_identically(
+        events in prop::collection::vec(arb_event_any(), 0..20),
+    ) {
+        // The streaming emitters write byte-for-byte what `emit` returns.
+        let batch = emit(&events);
+        let mut streamed = String::new();
+        onoff_nsglog::emit_to(&events, &mut streamed).unwrap();
+        prop_assert_eq!(&batch, &streamed);
+        let mut bytes: Vec<u8> = Vec::new();
+        onoff_nsglog::emit_io(&events, &mut bytes).unwrap();
+        prop_assert_eq!(batch.as_bytes(), bytes.as_slice());
+    }
+}
