@@ -1,0 +1,90 @@
+//! Chaos-path throughput: what graceful degradation costs. The same
+//! emitted log is parsed three ways — clean text through the fail-fast
+//! parser, clean text through the recovering parser, and ~10%-corrupted
+//! text through the recovering parser plus analysis — so the recovery
+//! layer's overhead on the happy path and the full dirty-capture pipeline
+//! each get their own number.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::hint::black_box;
+
+use onoff_campaign::areas::area_a1;
+use onoff_detect::TraceAnalyzer;
+use onoff_nsglog::{parse_str, parse_str_lossy, RecoveryPolicy};
+use onoff_policy::{op_t_policy, PhoneModel};
+use onoff_sim::{chaos_text, simulate, ChaosConfig, SimConfig};
+
+/// One representative loop-rich 5-minute run at an A1 location.
+fn sample_log() -> String {
+    let area = area_a1(0x050FF);
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        area.env.clone(),
+        area.locations[0],
+        42,
+    );
+    simulate(&cfg).to_log()
+}
+
+/// Corrupts the log until roughly `target` of its record attempts are
+/// lost. Per-line fault probabilities compound over multi-line records,
+/// so the intensity is bisected against the measured loss ratio instead
+/// of scaled directly.
+fn dirty_log(clean: &str, target: f64) -> String {
+    let (mut lo, mut hi) = (0.0f64, 40.0f64);
+    let mut dirty = clean.to_string();
+    for _ in 0..12 {
+        let mid = (lo + hi) / 2.0;
+        let cfg = ChaosConfig::default().with_intensity(mid);
+        dirty = chaos_text(clean, &cfg, 0xD187).0;
+        let (_, stats) = parse_str_lossy(&dirty, RecoveryPolicy::SkipAndCount);
+        if stats.loss_ratio() > target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    dirty
+}
+
+fn bench_chaos_pipeline(c: &mut Criterion) {
+    let clean = sample_log();
+    let dirty = dirty_log(&clean, 0.10);
+    let records = clean.lines().filter(|l| !l.starts_with(' ')).count() as u64;
+
+    let mut group = c.benchmark_group("chaos");
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("parse_clean_failfast", |b| {
+        b.iter(|| black_box(parse_str(&clean).unwrap()))
+    });
+    group.bench_function("parse_clean_recovering", |b| {
+        b.iter(|| black_box(parse_str_lossy(&clean, RecoveryPolicy::SkipAndCount)))
+    });
+    group.bench_function("parse_dirty_recovering", |b| {
+        b.iter(|| black_box(parse_str_lossy(&dirty, RecoveryPolicy::SkipAndCount)))
+    });
+    group.bench_function("parse_dirty_and_analyze", |b| {
+        b.iter(|| {
+            let (events, stats) = parse_str_lossy(&dirty, RecoveryPolicy::SkipAndCount);
+            let mut core = TraceAnalyzer::new();
+            for ev in &events {
+                core.feed(ev);
+            }
+            black_box((core.finish(), stats))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos_pipeline);
+
+fn main() {
+    // Print the actual loss the corruption produced, so the dirty-path
+    // numbers can be read against a known damage level.
+    let clean = sample_log();
+    let dirty = dirty_log(&clean, 0.10);
+    let (_, stats) = parse_str_lossy(&dirty, RecoveryPolicy::SkipAndCount);
+    eprintln!("chaos: dirty input at {stats}");
+    benches();
+}

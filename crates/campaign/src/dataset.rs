@@ -8,6 +8,7 @@ use onoff_detect::channel::{ChannelUsage, ScellModStats};
 use onoff_detect::{LoopType, Persistence};
 use onoff_policy::Operator;
 
+use crate::quarantine::QuarantineReport;
 use crate::record::RunRecord;
 
 /// Everything the campaign produced.
@@ -25,6 +26,11 @@ pub struct Dataset {
     pub cell_counts: BTreeMap<Operator, (usize, usize)>,
     /// (name, operator, km²) of every area.
     pub areas: Vec<(String, Operator, f64)>,
+    /// Dirty-capture ledger: loss counters for accepted runs and the runs
+    /// the campaign gave up on (chaos mode; empty/clean otherwise).
+    /// Defaults on deserialization so pre-existing datasets still load.
+    #[serde(default)]
+    pub quarantine: QuarantineReport,
     /// Throughput counters for the producing campaign run. Wall-clock
     /// measurements, so excluded from persistence: the serialized dataset
     /// stays bitwise-identical across machines and worker counts.

@@ -17,6 +17,7 @@ pub mod dataset;
 pub mod fine;
 pub mod map;
 pub mod persist;
+pub mod quarantine;
 pub mod record;
 pub mod runs;
 pub mod survey;
@@ -27,6 +28,7 @@ pub use fine::{fine_grained_study, location_features, FineStudy};
 pub use map::render_map;
 pub use onoff_detect::channel::Merge;
 pub use persist::{load_json, save_json};
+pub use quarantine::{ChaosOptions, QuarantineReport, QuarantinedRun};
 pub use record::RunRecord;
 pub use runs::{
     run_campaign, run_location, run_location_with_policy, CampaignConfig, ParallelismConfig,

@@ -1,0 +1,138 @@
+//! Chaos-mode campaign options and the quarantine ledger.
+//!
+//! A chaos campaign replays every run through the dirty-capture pipeline:
+//! simulator output is rendered to NSG text, corrupted by a seeded
+//! [`ChaosConfig`](onoff_sim::ChaosConfig), re-parsed under a lossy
+//! [`RecoveryPolicy`](onoff_nsglog::RecoveryPolicy), and analyzed. A run
+//! whose loss stays within bounds contributes to the dataset like any
+//! other; a run that fails (excessive loss, or a panic anywhere in the
+//! pipeline) is **retried with backoff and a fresh chaos seed**, and if it
+//! keeps failing it is **quarantined** — recorded in the dataset's
+//! [`QuarantineReport`] instead of aborting the whole campaign.
+
+use serde::{Deserialize, Serialize};
+
+use onoff_detect::channel::Merge;
+use onoff_nsglog::RecoveryPolicy;
+use onoff_policy::Operator;
+use onoff_sim::ChaosConfig;
+
+/// Chaos-mode knobs for [`CampaignConfig`](crate::CampaignConfig).
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Fault probabilities/magnitudes applied to every run's rendered log.
+    pub chaos: ChaosConfig,
+    /// How the lossy re-parse treats malformed records.
+    pub policy: RecoveryPolicy,
+    /// Attempts per run before quarantining (each with a fresh chaos
+    /// seed), minimum 1.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff, ms (attempt `n` sleeps
+    /// `base << (n - 1)`; 0 disables sleeping).
+    pub backoff_base_ms: u64,
+    /// A run whose parse loss ratio exceeds this after every attempt is
+    /// quarantined rather than aggregated.
+    pub max_loss_ratio: f64,
+    /// Test hook: the (area name, location) whose runs are corrupted with
+    /// [`ChaosConfig::destroy`] regardless of `chaos` — a deterministic
+    /// poisoned run for exercising the quarantine path.
+    pub poison: Option<(String, usize)>,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            chaos: ChaosConfig::default(),
+            policy: RecoveryPolicy::SkipAndCount,
+            max_attempts: 3,
+            backoff_base_ms: 10,
+            max_loss_ratio: 0.5,
+            poison: None,
+        }
+    }
+}
+
+/// One run the campaign gave up on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedRun {
+    /// Operator of the run.
+    pub operator: Operator,
+    /// Area name.
+    pub area: String,
+    /// Location index within the area.
+    pub location: usize,
+    /// The run's job seed (chaos seeds derive from it per attempt).
+    pub seed: u64,
+    /// Attempts spent before giving up.
+    pub attempts: u32,
+    /// Why the final attempt failed.
+    pub reason: String,
+}
+
+/// The campaign's dirty-capture ledger: what was lost, what was repaired,
+/// and which runs were abandoned. All counters cover the *accepted* runs;
+/// quarantined runs are listed, not aggregated.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineReport {
+    /// Runs that failed every attempt, in deterministic
+    /// (operator, area, location, seed) order.
+    pub runs: Vec<QuarantinedRun>,
+    /// Malformed records skipped across accepted runs.
+    pub records_lost: usize,
+    /// Timestamps clamped by the parser across accepted runs (only under
+    /// [`RecoveryPolicy::RepairTimestamps`]).
+    pub timestamps_repaired: usize,
+    /// Events quarantined by the analyzers across accepted runs.
+    pub clamped_events: usize,
+}
+
+impl QuarantineReport {
+    /// True when no run was abandoned and nothing was lost or repaired.
+    pub fn is_clean(&self) -> bool {
+        *self == QuarantineReport::default()
+    }
+}
+
+impl Merge for QuarantineReport {
+    fn merge(&mut self, other: Self) {
+        self.runs.extend(other.runs);
+        self.records_lost += other.records_lost;
+        self.timestamps_repaired += other.timestamps_repaired;
+        self.clamped_events += other.clamped_events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_concatenates_and_sums() {
+        let run = QuarantinedRun {
+            operator: Operator::OpT,
+            area: "A1".into(),
+            location: 0,
+            seed: 7,
+            attempts: 3,
+            reason: "loss ratio 1.00 exceeds 0.50".into(),
+        };
+        let mut a = QuarantineReport {
+            runs: vec![run.clone()],
+            records_lost: 5,
+            timestamps_repaired: 1,
+            clamped_events: 2,
+        };
+        a.merge(QuarantineReport {
+            runs: Vec::new(),
+            records_lost: 3,
+            timestamps_repaired: 0,
+            clamped_events: 1,
+        });
+        assert_eq!(a.runs, vec![run]);
+        assert_eq!(a.records_lost, 8);
+        assert_eq!(a.timestamps_repaired, 1);
+        assert_eq!(a.clamped_events, 3);
+        assert!(!a.is_clean());
+        assert!(QuarantineReport::default().is_clean());
+    }
+}

@@ -7,19 +7,29 @@
 //! path. Shards are folded together once at the end through commutative
 //! [`Merge`] operations and a final deterministic record sort, so the
 //! resulting [`Dataset`] is bitwise-identical for any worker count.
+//!
+//! With [`CampaignConfig::chaos`] set, every run instead goes through the
+//! dirty-capture pipeline (render → corrupt → lossy re-parse → analyze),
+//! failed runs are retried with backoff, and persistently failing runs are
+//! quarantined into the dataset's [`QuarantineReport`] instead of aborting
+//! the campaign — a worker never lets one poisoned run take down the
+//! other several hundred.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use onoff_detect::channel::{ChannelUsage, Merge, ScellModStats};
 use onoff_detect::TraceAnalyzer;
+use onoff_nsglog::parse_str_lossy;
 use onoff_policy::{policy_for, Operator, PhoneModel};
 use onoff_radio::noise::hash_words;
 use onoff_rrc::ids::Rat;
-use onoff_sim::{simulate, SimConfig};
+use onoff_sim::{simulate, ChaosConfig, ChaosEngine, SimConfig, SimOutput};
 
 use crate::areas::{all_areas, Area};
 use crate::dataset::{CampaignStats, Dataset};
+use crate::quarantine::{ChaosOptions, QuarantineReport, QuarantinedRun};
 use crate::record::RunRecord;
 
 /// Worker-pool sizing for [`run_campaign`].
@@ -66,6 +76,10 @@ pub struct CampaignConfig {
     pub duration_ms: u64,
     /// Worker-pool sizing. Affects wall-clock only, never the dataset.
     pub parallelism: ParallelismConfig,
+    /// Chaos mode: corrupt every run's rendered log, re-parse lossily,
+    /// retry failures and quarantine runs that keep failing. `None` (the
+    /// default) keeps the fused clean pipeline.
+    pub chaos: Option<ChaosOptions>,
 }
 
 impl Default for CampaignConfig {
@@ -77,6 +91,7 @@ impl Default for CampaignConfig {
             device: PhoneModel::OnePlus12R,
             duration_ms: 300_000,
             parallelism: ParallelismConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -109,16 +124,14 @@ pub fn run_location_with_policy(
     duration_ms: u64,
     policy: onoff_policy::OperatorPolicy,
 ) -> (RunRecord, onoff_sim::SimOutput, onoff_detect::RunAnalysis) {
-    let mut cfg = SimConfig::stationary(
-        policy,
+    let out = simulate(&sim_config(
+        area,
+        location,
         device,
-        area.env.clone(),
-        area.locations[location],
         seed,
-    );
-    cfg.duration_ms = duration_ms;
-    cfg.meas_period_ms = 1000;
-    let out = simulate(&cfg);
+        duration_ms,
+        policy,
+    ));
     // Fused hot path: simulator output goes straight into the incremental
     // analysis core — no emit→parse text round-trip, no event re-buffering.
     // Sim events are time-ordered, so the bare core applies; agreement with
@@ -140,6 +153,80 @@ pub fn run_location_with_policy(
     (record, out, analysis)
 }
 
+/// The stationary-run simulator config every pipeline variant shares.
+fn sim_config(
+    area: &Area,
+    location: usize,
+    device: PhoneModel,
+    seed: u64,
+    duration_ms: u64,
+    policy: onoff_policy::OperatorPolicy,
+) -> SimConfig {
+    let mut cfg = SimConfig::stationary(
+        policy,
+        device,
+        area.env.clone(),
+        area.locations[location],
+        seed,
+    );
+    cfg.duration_ms = duration_ms;
+    cfg.meas_period_ms = 1000;
+    cfg
+}
+
+/// One stationary run through the dirty-capture pipeline: simulate, render
+/// the trace to NSG text, corrupt it with the seeded chaos engine,
+/// re-parse under the lossy policy, and analyze what survived. The record
+/// is built over the *surviving* events, so its counters reflect what an
+/// analyst reading the dirty capture would actually see.
+#[allow(clippy::too_many_arguments)]
+fn run_location_chaotic(
+    area: &Area,
+    location: usize,
+    device: PhoneModel,
+    seed: u64,
+    duration_ms: u64,
+    chaos: &ChaosConfig,
+    policy: onoff_nsglog::RecoveryPolicy,
+    chaos_seed: u64,
+) -> (
+    RunRecord,
+    SimOutput,
+    onoff_detect::RunAnalysis,
+    onoff_nsglog::ParseStats,
+) {
+    let out = simulate(&sim_config(
+        area,
+        location,
+        device,
+        seed,
+        duration_ms,
+        policy_for(area.operator),
+    ));
+    let mut engine = ChaosEngine::new(chaos.clone(), chaos_seed);
+    let dirty = engine.corrupt_text(&out.to_log());
+    let (events, stats) = parse_str_lossy(&dirty, policy);
+    let mut core = TraceAnalyzer::new();
+    for ev in &events {
+        core.feed(ev);
+    }
+    let analysis = core.finish();
+    let surviving = SimOutput {
+        events,
+        truth: out.truth,
+    };
+    let record = RunRecord::from_run(
+        area.operator,
+        &area.name,
+        location,
+        device,
+        seed,
+        &surviving,
+        &analysis,
+    );
+    (record, surviving, analysis, stats)
+}
+
 /// Aggregates accumulated by one worker (and, after merging, the whole
 /// campaign).
 #[derive(Debug, Default)]
@@ -148,6 +235,7 @@ struct Aggregates {
     usage_nr: BTreeMap<Operator, ChannelUsage>,
     usage_lte: BTreeMap<Operator, ChannelUsage>,
     scell_mod: BTreeMap<Operator, ScellModStats>,
+    quarantine: QuarantineReport,
     events_processed: u64,
     simulated_ms: u64,
 }
@@ -160,16 +248,98 @@ impl Merge for Aggregates {
         Merge::merge(&mut self.usage_nr, other.usage_nr);
         Merge::merge(&mut self.usage_lte, other.usage_lte);
         Merge::merge(&mut self.scell_mod, other.scell_mod);
+        Merge::merge(&mut self.quarantine, other.quarantine);
         self.events_processed += other.events_processed;
         self.simulated_ms += other.simulated_ms;
     }
 }
 
 impl Aggregates {
+    /// Runs one chaos-mode job: retries with backoff and fresh chaos
+    /// seeds, accepts the first attempt whose loss stays in bounds, and
+    /// quarantines the run when every attempt fails (by loss or by panic).
+    fn run_chaotic(
+        &mut self,
+        area: &Area,
+        job: &Job,
+        cfg: &CampaignConfig,
+        opts: &ChaosOptions,
+    ) -> Option<(RunRecord, SimOutput, onoff_detect::RunAnalysis)> {
+        let attempts = opts.max_attempts.max(1);
+        let mut last_reason = String::new();
+        for attempt in 1..=attempts {
+            if attempt > 1 && opts.backoff_base_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    opts.backoff_base_ms << (attempt - 2),
+                ));
+            }
+            // Fresh fault pattern per attempt, reproducible from the job.
+            let chaos_seed = hash_words(&[job.seed, u64::from(attempt), 0xC4A05]);
+            let poisoned = opts
+                .poison
+                .as_ref()
+                .is_some_and(|(a, l)| *a == area.name && *l == job.location);
+            let chaos_cfg = if poisoned {
+                ChaosConfig::destroy()
+            } else {
+                opts.chaos.clone()
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_location_chaotic(
+                    area,
+                    job.location,
+                    cfg.device,
+                    job.seed,
+                    cfg.duration_ms,
+                    &chaos_cfg,
+                    opts.policy,
+                    chaos_seed,
+                )
+            }));
+            match result {
+                Ok((record, out, analysis, stats)) => {
+                    if stats.loss_ratio() <= opts.max_loss_ratio {
+                        self.quarantine.records_lost += stats.skipped;
+                        self.quarantine.timestamps_repaired += stats.timestamps_repaired;
+                        return Some((record, out, analysis));
+                    }
+                    last_reason = format!(
+                        "loss ratio {:.2} exceeds {:.2}",
+                        stats.loss_ratio(),
+                        opts.max_loss_ratio
+                    );
+                }
+                Err(_) => last_reason = "pipeline panicked".to_string(),
+            }
+        }
+        self.quarantine.runs.push(QuarantinedRun {
+            operator: area.operator,
+            area: area.name.clone(),
+            location: job.location,
+            seed: job.seed,
+            attempts,
+            reason: last_reason,
+        });
+        None
+    }
+
     /// Executes one job and folds its outputs into this shard.
     fn absorb(&mut self, area: &Area, job: &Job, cfg: &CampaignConfig) {
-        let (record, out, analysis) =
-            run_location(area, job.location, cfg.device, job.seed, cfg.duration_ms);
+        let run = match &cfg.chaos {
+            None => Some(run_location(
+                area,
+                job.location,
+                cfg.device,
+                job.seed,
+                cfg.duration_ms,
+            )),
+            Some(opts) => self.run_chaotic(area, job, cfg, opts),
+        };
+        let Some((record, out, analysis)) = run else {
+            // Quarantined: the run is in the ledger, not the aggregates.
+            return;
+        };
+        self.quarantine.clamped_events += analysis.degradation.clamped_events;
         let usage_nr = self.usage_nr.entry(area.operator).or_default();
         if record.has_loop {
             usage_nr.add_loop_transitions(&analysis.off_transitions, Rat::Nr);
@@ -295,6 +465,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Dataset {
     agg.records.sort_by(|a, b| {
         (a.operator, &a.area, a.location, a.seed).cmp(&(b.operator, &b.area, b.location, b.seed))
     });
+    agg.quarantine.runs.sort_by(|a, b| {
+        (a.operator, &a.area, a.location, a.seed).cmp(&(b.operator, &b.area, b.location, b.seed))
+    });
 
     let mut cell_counts = BTreeMap::new();
     for area in &areas {
@@ -335,6 +508,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Dataset {
             .iter()
             .map(|a| (a.name.clone(), a.operator, a.size_km2()))
             .collect(),
+        quarantine: agg.quarantine,
         stats,
     }
 }

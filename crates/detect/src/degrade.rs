@@ -1,0 +1,119 @@
+//! Degradation accounting: what the analyzers had to tolerate.
+//!
+//! Dirty captures (clock rollbacks, beyond-horizon late arrivals, reorder
+//! buffer overflow) are **quarantined, not distorted**: the analyzers clamp
+//! or release the offending events deterministically and count every such
+//! intervention here, instead of silently producing a subtly wrong
+//! timeline. A [`DegradationReport`] travels with the
+//! [`RunAnalysis`](crate::RunAnalysis) so downstream consumers (campaign
+//! aggregation, dashboards) can weigh — or discard — tainted results.
+//!
+//! The counters are identical between batch ([`crate::analyze_trace`]) and
+//! streaming ([`crate::StreamingAnalyzer`]) analysis of the same arrival
+//! order; the differential chaos proptests enforce that.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::Merge;
+
+/// Counters for every tolerance intervention the analyzers performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Events whose timestamp ran backwards and was clamped up to the
+    /// newest timestamp already processed (the event still counts, at the
+    /// clamped time).
+    pub clamped_events: usize,
+    /// The subset of `clamped_events` that arrived *beyond* the streaming
+    /// reorder horizon ([`crate::stream::REORDER_HORIZON_MS`]) — late
+    /// enough that no bounded reorder buffer could have repaired them.
+    pub late_events: usize,
+    /// Events the streaming reorder buffer released early because it hit
+    /// [`crate::stream::REORDER_CAP`]; a later in-horizon arrival could
+    /// have sorted before them, so ordering past this point is best-effort.
+    /// Always 0 for batch analysis (there is no buffer to overflow).
+    pub cap_evictions: usize,
+    /// Episodes whose span absorbed at least one clamped event; loops
+    /// built from such episodes carry
+    /// [`degraded`](crate::LoopInstance::degraded).
+    pub degraded_episodes: usize,
+}
+
+impl DegradationReport {
+    /// True when analysis needed no tolerance at all — the input was
+    /// clean and in order.
+    pub fn is_clean(&self) -> bool {
+        *self == DegradationReport::default()
+    }
+
+    /// Total interventions (evictions + clamps; `late_events` is a subset
+    /// of `clamped_events` and not re-counted).
+    pub fn interventions(&self) -> usize {
+        self.clamped_events + self.cap_evictions
+    }
+}
+
+impl Merge for DegradationReport {
+    fn merge(&mut self, other: Self) {
+        self.clamped_events += other.clamped_events;
+        self.late_events += other.late_events;
+        self.cap_evictions += other.cap_evictions;
+        self.degraded_episodes += other.degraded_episodes;
+    }
+}
+
+impl std::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        write!(
+            f,
+            "{} clamped ({} beyond-horizon), {} cap-evicted, {} degraded episodes",
+            self.clamped_events, self.late_events, self.cap_evictions, self.degraded_episodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        let r = DegradationReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.interventions(), 0);
+        assert_eq!(r.to_string(), "clean");
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = DegradationReport {
+            clamped_events: 1,
+            late_events: 1,
+            cap_evictions: 2,
+            degraded_episodes: 1,
+        };
+        a.merge(DegradationReport {
+            clamped_events: 3,
+            late_events: 0,
+            cap_evictions: 0,
+            degraded_episodes: 2,
+        });
+        assert_eq!(
+            a,
+            DegradationReport {
+                clamped_events: 4,
+                late_events: 1,
+                cap_evictions: 2,
+                degraded_episodes: 3,
+            }
+        );
+        assert!(!a.is_clean());
+        assert_eq!(a.interventions(), 6);
+        assert_eq!(
+            a.to_string(),
+            "4 clamped (1 beyond-horizon), 2 cap-evicted, 3 degraded episodes"
+        );
+    }
+}

@@ -40,6 +40,7 @@
 pub mod cellset;
 pub mod channel;
 pub mod classify;
+pub mod degrade;
 pub mod export;
 pub mod loops;
 pub mod metrics;
@@ -49,6 +50,7 @@ pub mod stream;
 pub use cellset::{CsSample, CsTimeline, TimelineBuilder};
 pub use channel::{ChannelUsage, Merge, ScellModStats};
 pub use classify::{classify_off_transition, LoopType, OffClassifier, OffTransition};
+pub use degrade::DegradationReport;
 pub use loops::{detect_loops, Cycle, LoopInstance, Persistence};
 pub use metrics::{run_metrics, run_metrics_from_samples, RunMetrics};
 pub use stream::{StreamingAnalyzer, TraceAnalyzer};
@@ -67,6 +69,10 @@ pub struct RunAnalysis {
     pub off_transitions: Vec<OffTransition>,
     /// Performance metrics.
     pub metrics: RunMetrics,
+    /// What the analyzers had to tolerate (clean input ⇒ all zeros).
+    /// Defaults on deserialization so pre-existing exports still load.
+    #[serde(default)]
+    pub degradation: DegradationReport,
 }
 
 impl RunAnalysis {

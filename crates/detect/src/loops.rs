@@ -82,6 +82,12 @@ pub struct LoopInstance {
     pub end: Timestamp,
     /// The ON+OFF cycles inside the span.
     pub cycles: Vec<Cycle>,
+    /// True when any episode in the span absorbed a clamped (quarantined)
+    /// event — the loop is real evidence, but its shape may reflect the
+    /// analyzer's tolerance decisions. Defaults on deserialization so
+    /// pre-existing exports still load.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// An episode: one ON period plus the following OFF period.
@@ -92,6 +98,8 @@ struct Episode {
     /// When 5G turned OFF within the episode (None: ON until episode end).
     off_at: Option<Timestamp>,
     end: Timestamp,
+    /// The episode absorbed at least one clamped event.
+    degraded: bool,
 }
 
 /// Incremental core of episode splitting: consumes one compressed timeline
@@ -104,6 +112,8 @@ pub(crate) struct EpisodeTracker {
     /// The episode currently being extended, if 5G has turned ON at all.
     cur: Option<Episode>,
     prev_on: bool,
+    /// A clamped event landed between episodes; taints the next one.
+    taint_next: bool,
 }
 
 impl EpisodeTracker {
@@ -112,7 +122,23 @@ impl EpisodeTracker {
             done: Vec::new(),
             cur: None,
             prev_on: false,
+            taint_next: false,
         }
+    }
+
+    /// Flags the episode the current (clamped) event belongs to: the open
+    /// one, or — between episodes — the next one to start.
+    pub(crate) fn mark_degraded(&mut self) {
+        match &mut self.cur {
+            Some(e) => e.degraded = true,
+            None => self.taint_next = true,
+        }
+    }
+
+    /// Episodes flagged degraded so far (including the open one).
+    pub(crate) fn degraded_count(&self) -> usize {
+        self.done.iter().filter(|e| e.degraded).count()
+            + usize::from(self.cur.as_ref().is_some_and(|e| e.degraded))
     }
 
     /// Advances the splitter with one timeline sample.
@@ -127,6 +153,7 @@ impl EpisodeTracker {
                 start: t,
                 off_at: None,
                 end: t,
+                degraded: std::mem::take(&mut self.taint_next),
             });
         }
         if let Some(e) = &mut self.cur {
@@ -286,6 +313,7 @@ fn detect_loops_in(eps: &[Episode], end: Timestamp) -> Vec<LoopInstance> {
         start: eps[start_idx].start,
         end: span_end,
         cycles,
+        degraded: cycle_range.iter().any(|e| e.degraded),
     }]
 }
 

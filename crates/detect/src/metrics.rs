@@ -217,6 +217,7 @@ mod tests {
                 off_at: Timestamp::from_secs(40),
                 end_at: Timestamp::from_secs(60),
             }],
+            degraded: false,
         };
         let events = vec![tp(15, 180.0), tp(20, 220.0), tp(45, 0.0), tp(50, 0.0)];
         let m = run_metrics(&events, &timeline(), &[lp]);

@@ -27,6 +27,7 @@ use onoff_rrc::trace::{Timestamp, TraceEvent};
 
 use crate::cellset::{CsSample, TimelineBuilder};
 use crate::classify::{LoopType, OffClassifier, OffTransition};
+use crate::degrade::DegradationReport;
 use crate::loops::{EpisodeTracker, LoopInstance};
 use crate::metrics::run_metrics_from_samples;
 use crate::RunAnalysis;
@@ -44,8 +45,13 @@ pub const REORDER_CAP: usize = 1_024;
 ///
 /// Feed events in nondecreasing timestamp order ([`StreamingAnalyzer`]
 /// wraps this with a reorder buffer for feeds that can't promise that).
-/// Out-of-order input never panics — each automaton simply processes it in
-/// arrival order, matching what batch analysis does on an unsorted slice.
+/// Out-of-order input never panics and never distorts the timeline:
+/// an event whose timestamp runs backwards is **quarantined** — clamped
+/// up to the newest timestamp already processed, counted in the
+/// [`DegradationReport`], and the episode it lands in is flagged so loops
+/// built from it carry [`LoopInstance::degraded`]. Batch analysis
+/// ([`crate::analyze_trace`]) inherits exactly the same behavior on an
+/// unsorted slice.
 pub struct TraceAnalyzer {
     timeline: TimelineBuilder,
     episodes: EpisodeTracker,
@@ -59,6 +65,10 @@ pub struct TraceAnalyzer {
     /// Interned set id in effect just before `cur_sample.t` — the
     /// "serving set before the transition" classification pivots on.
     id_before_cur: usize,
+    /// Newest timestamp processed — the clamp level for backwards events.
+    max_t: Timestamp,
+    /// Quarantine counters (`degraded_episodes` is filled on query).
+    degradation: DegradationReport,
 }
 
 impl Default for TraceAnalyzer {
@@ -81,11 +91,36 @@ impl TraceAnalyzer {
                 id: 0,
             },
             id_before_cur: 0,
+            max_t: Timestamp(0),
+            degradation: DegradationReport::default(),
         }
     }
 
     /// Advances every automaton with one event.
+    ///
+    /// If the event's timestamp runs backwards it is quarantined: clamped
+    /// up to the newest timestamp already processed and counted in the
+    /// [`DegradationReport`] (plus `late_events` when it is more than
+    /// [`REORDER_HORIZON_MS`] behind — too late for any bounded reorder
+    /// buffer to have repaired).
     pub fn feed(&mut self, ev: &TraceEvent) {
+        let t = ev.t();
+        if t < self.max_t {
+            self.degradation.clamped_events += 1;
+            if t.millis() + REORDER_HORIZON_MS <= self.max_t.millis() {
+                self.degradation.late_events += 1;
+            }
+            self.episodes.mark_degraded();
+            self.feed_in_order(&ev.with_t(self.max_t));
+        } else {
+            self.max_t = t;
+            self.feed_in_order(ev);
+        }
+    }
+
+    /// Advances the automata with an event already known to be in
+    /// nondecreasing timestamp order.
+    fn feed_in_order(&mut self, ev: &TraceEvent) {
         self.events_seen += 1;
         if let TraceEvent::Throughput { t, mbps } = ev {
             self.throughput.push((*t, *mbps));
@@ -147,6 +182,13 @@ impl TraceAnalyzer {
         self.episodes.detect(self.timeline.end())
     }
 
+    /// Quarantine counters so far (episode flags included).
+    pub fn degradation(&self) -> DegradationReport {
+        let mut d = self.degradation;
+        d.degraded_episodes = self.episodes.degraded_count();
+        d
+    }
+
     /// Classified OFF transitions so far. Transitions whose forward
     /// evidence window is still open are classified provisionally.
     pub fn off_transitions(&mut self) -> Vec<OffTransition> {
@@ -159,16 +201,19 @@ impl TraceAnalyzer {
         let loops = self.episodes.detect(timeline.end);
         let off_transitions = self.classifier.transitions();
         let metrics = run_metrics_from_samples(&self.throughput, &timeline, &loops);
+        let degradation = self.degradation();
         RunAnalysis {
             timeline,
             loops,
             off_transitions,
             metrics,
+            degradation,
         }
     }
 
     /// Consumes the core into the final analysis (no snapshot clones).
     pub fn finish(mut self) -> RunAnalysis {
+        let degradation = self.degradation();
         let end = self.timeline.end();
         let loops = self.episodes.detect(end);
         let off_transitions = self.classifier.finish();
@@ -179,6 +224,7 @@ impl TraceAnalyzer {
             loops,
             off_transitions,
             metrics,
+            degradation,
         }
     }
 }
@@ -207,6 +253,9 @@ pub struct StreamingAnalyzer {
     /// Newest timestamp ever fed (drives the horizon).
     max_seen: Timestamp,
     events_seen: usize,
+    /// Events released early by [`REORDER_CAP`] overflow (folded into the
+    /// core's [`DegradationReport`] on query).
+    cap_evictions: usize,
 }
 
 impl StreamingAnalyzer {
@@ -216,10 +265,22 @@ impl StreamingAnalyzer {
     }
 
     /// Feeds one event. Events arriving within [`REORDER_HORIZON_MS`] of
-    /// the newest seen timestamp are sorted into place.
+    /// the newest seen timestamp are sorted into place; events later than
+    /// that are handed straight to the core, which quarantines them
+    /// (clamp + count) exactly as batch analysis would at the same
+    /// position — so beyond-horizon faults cannot make streaming drift
+    /// from batch.
     pub fn feed(&mut self, ev: TraceEvent) {
         self.events_seen += 1;
         let t = ev.t();
+        if t.millis() + REORDER_HORIZON_MS <= self.max_seen.millis() {
+            // Too late for the buffer to repair. Everything pending is
+            // newer than this event, so release it all first to preserve
+            // arrival order into the core.
+            self.flush_pending();
+            self.core.feed(&ev);
+            return;
+        }
         self.max_seen = self.max_seen.max(t);
         // Stable insert: after every pending event with timestamp <= t.
         let pos = self.pending.partition_point(|e| e.t() <= t);
@@ -247,14 +308,24 @@ impl StreamingAnalyzer {
     /// Releases pending events that can no longer be displaced by a
     /// late arrival (or that overflow the cap).
     fn release_ready(&mut self) {
-        while self.pending.len() > REORDER_CAP
-            || self
+        loop {
+            let over_cap = self.pending.len() > REORDER_CAP;
+            let expired = self
                 .pending
                 .front()
-                .is_some_and(|e| e.t().millis() + REORDER_HORIZON_MS <= self.max_seen.millis())
-        {
-            if let Some(ev) = self.pending.pop_front() {
-                self.core.feed(&ev);
+                .is_some_and(|e| e.t().millis() + REORDER_HORIZON_MS <= self.max_seen.millis());
+            if !over_cap && !expired {
+                break;
+            }
+            // A cap overflow releases an event the horizon hadn't sealed
+            // yet: a later in-horizon arrival could still have sorted
+            // before it, so the release is best-effort and counted.
+            if over_cap && !expired {
+                self.cap_evictions += 1;
+            }
+            match self.pending.pop_front() {
+                Some(ev) => self.core.feed(&ev),
+                None => break,
             }
         }
     }
@@ -291,6 +362,15 @@ impl StreamingAnalyzer {
         self.core.off_transitions()
     }
 
+    /// Quarantine counters so far: the core's clamp accounting plus this
+    /// buffer's cap evictions.
+    pub fn degradation(&mut self) -> DegradationReport {
+        self.flush_pending();
+        let mut d = self.core.degradation();
+        d.cap_evictions += self.cap_evictions;
+        d
+    }
+
     /// The most recent OFF transition, if any — the "what just happened"
     /// a live dashboard would surface.
     pub fn last_off(&mut self) -> Option<OffTransition> {
@@ -325,7 +405,9 @@ impl StreamingAnalyzer {
     /// Consumes the analyzer, returning the analysis of everything seen.
     pub fn finish(mut self) -> RunAnalysis {
         self.flush_pending();
-        self.core.finish()
+        let mut analysis = self.core.finish();
+        analysis.degradation.cap_evictions += self.cap_evictions;
+        analysis
     }
 }
 
@@ -476,6 +558,70 @@ mod tests {
         assert!(s.len() == REORDER_CAP + 10);
         let analysis = s.finish();
         assert_eq!(analysis.metrics.median_off_mbps, Some(1.0));
+        // Every overflow release happened before the horizon sealed the
+        // event, so each one is a counted best-effort eviction.
+        assert_eq!(analysis.degradation.cap_evictions, 10);
+        assert_eq!(analysis.degradation.clamped_events, 0);
+    }
+
+    #[test]
+    fn beyond_horizon_arrival_is_clamped_and_counted() {
+        let mut s = StreamingAnalyzer::new();
+        s.feed(TraceEvent::Throughput {
+            t: Timestamp(0),
+            mbps: 1.0,
+        });
+        s.feed(TraceEvent::Throughput {
+            t: Timestamp(20_000),
+            mbps: 2.0,
+        });
+        // 6 s behind the newest seen timestamp: past the 5 s horizon.
+        s.feed(TraceEvent::Throughput {
+            t: Timestamp(14_000),
+            mbps: 3.0,
+        });
+        assert_eq!(
+            s.degradation(),
+            DegradationReport {
+                clamped_events: 1,
+                late_events: 1,
+                cap_evictions: 0,
+                degraded_episodes: 0,
+            }
+        );
+        let analysis = s.finish();
+        assert_eq!(analysis.degradation.clamped_events, 1);
+        assert_eq!(analysis.degradation.late_events, 1);
+        // The event still counts — at the clamped time, not its own.
+        assert_eq!(analysis.metrics.median_off_mbps, Some(2.0));
+        assert_eq!(analysis.timeline.end, Timestamp(20_000));
+    }
+
+    #[test]
+    fn clean_in_order_feed_reports_clean() {
+        let mut s = StreamingAnalyzer::new();
+        s.feed_all(looping_events());
+        assert!(s.degradation().is_clean());
+    }
+
+    #[test]
+    fn loops_from_clamped_events_are_flagged_degraded() {
+        // Same looping trace, but one event inside the second cycle rolls
+        // its clock back beyond the horizon: the loop must still be found,
+        // and must carry the degraded flag.
+        let mut events = looping_events();
+        let t1 = events[4].t();
+        events[4].set_t(Timestamp(t1.millis() - 20_000));
+        let batch = crate::analyze_trace(&events);
+        assert_eq!(batch.loops.len(), 1);
+        assert!(batch.loops[0].degraded);
+        assert!(batch.degradation.clamped_events >= 1);
+        assert!(batch.degradation.degraded_episodes >= 1);
+        // The clean trace's loop is not flagged.
+        let clean = crate::analyze_trace(&looping_events());
+        assert_eq!(clean.loops.len(), 1);
+        assert!(!clean.loops[0].degraded);
+        assert!(clean.degradation.is_clean());
     }
 
     #[test]

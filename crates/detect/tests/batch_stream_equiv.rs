@@ -8,6 +8,7 @@ use onoff_detect::{analyze_trace, StreamingAnalyzer, TraceAnalyzer};
 use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
 use onoff_rrc::messages::{ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod};
 use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
+use onoff_sim::{chaos_trace, ChaosConfig};
 use proptest::prelude::*;
 
 fn rrc(t: u64, rat: Rat, msg: RrcMessage) -> TraceEvent {
@@ -207,5 +208,105 @@ proptest! {
             analysis.timeline.end,
             events.last().map_or(Timestamp(0), |e| e.t())
         );
+    }
+}
+
+/// Shifts a trace far from t = 0 so saturating rollbacks never pile
+/// events up at the clock floor (which would create within-horizon
+/// inversions the arguments below exclude).
+fn offset_trace(events: &[TraceEvent], by: u64) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .map(|ev| ev.with_t(Timestamp(ev.t().millis() + by)))
+        .collect()
+}
+
+// Differential chaos layer: seeded event-stream faults fed identically to
+// both drivers. Equality is asserted bit-for-bit — timelines, loops, off
+// transitions, metrics AND the DegradationReport — wherever the fault
+// class guarantees it, and relaxed to the invariants that do hold where
+// it cannot (within-horizon displacement, which the stream's reorder
+// buffer legitimately repairs while batch clamps).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Duplication and clock skew preserve arrival order, and the
+    /// magnitudes are pinned so every inversion lands beyond the reorder
+    /// horizon: rollbacks (9–15 s) overshoot the largest script gap
+    /// (3 s) plus the horizon (5 s), and a joint jump+rollback on one
+    /// event nets forward (30–40 s jumps). Batch and stream must then
+    /// agree exactly, degradation accounting included.
+    #[test]
+    fn stream_equals_batch_under_in_order_chaos(
+        script in prop::collection::vec((any::<u8>(), 0u64..3_000), 0..50),
+        seed in any::<u64>(),
+        dup in 0.0f64..0.3,
+        jump in 0.0f64..0.15,
+        rollback in 0.0f64..0.15,
+    ) {
+        let clean = offset_trace(&trace_from_script(&script), 100_000_000);
+        let cfg = ChaosConfig {
+            duplicate_event: dup,
+            clock_jump: jump,
+            clock_rollback: rollback,
+            jump_ms: (30_000, 40_000),
+            rollback_ms: (9_000, 15_000),
+            ..ChaosConfig::quiet()
+        };
+        let (arrival, _manifest) = chaos_trace(&clean, &cfg, seed);
+        let batch = analyze_trace(&arrival);
+        let mut s = StreamingAnalyzer::new();
+        s.feed_all(arrival.iter().cloned());
+        prop_assert_eq!(s.finish(), batch);
+    }
+
+    /// A single straggler displaced to the end of the feed, far enough
+    /// that it lands beyond the horizon of everything after it: both
+    /// drivers must clamp it — once, as a late event — and agree exactly.
+    #[test]
+    fn beyond_horizon_straggler_is_clamped_identically(
+        script in prop::collection::vec((any::<u8>(), 0u64..3_000), 2..40),
+        pick in any::<u64>(),
+    ) {
+        let mut events = trace_from_script(&script);
+        if events.len() < 2 {
+            return Ok(());
+        }
+        let i = (pick as usize) % (events.len() - 1);
+        let straggler = events.remove(i);
+        let last_t = events.last().expect("len >= 1").t().millis();
+        if last_t < straggler.t().millis() + REORDER_HORIZON_MS + 1 {
+            return Ok(()); // within-horizon: the repaired/clamped split applies
+        }
+        events.push(straggler);
+
+        let batch = analyze_trace(&events);
+        prop_assert_eq!(batch.degradation.clamped_events, 1);
+        prop_assert_eq!(batch.degradation.late_events, 1);
+        let mut s = StreamingAnalyzer::new();
+        s.feed_all(events.iter().cloned());
+        prop_assert_eq!(s.finish(), batch);
+    }
+
+    /// Full chaos — every mutator at once, up to destroy-level intensity:
+    /// neither driver may panic, and both must report the same timeline
+    /// end (the maximum corrupted timestamp), whatever else diverges.
+    #[test]
+    fn full_chaos_never_panics_and_pins_the_timeline_end(
+        script in prop::collection::vec((any::<u8>(), 0u64..3_000), 0..40),
+        seed in any::<u64>(),
+        intensity in 0.0f64..30.0,
+    ) {
+        let clean = offset_trace(&trace_from_script(&script), 100_000_000);
+        let cfg = ChaosConfig::default().with_intensity(intensity);
+        let (arrival, _manifest) = chaos_trace(&clean, &cfg, seed);
+        let max_t = arrival.iter().map(TraceEvent::t).max().unwrap_or(Timestamp(0));
+
+        let batch = analyze_trace(&arrival);
+        prop_assert_eq!(batch.timeline.end, max_t);
+        let mut s = StreamingAnalyzer::new();
+        s.feed_all(arrival.iter().cloned());
+        let streamed = s.finish();
+        prop_assert_eq!(streamed.timeline.end, max_t);
     }
 }

@@ -1,0 +1,280 @@
+//! Golden-trace snapshot layer: six checked-in NSG fixtures (one clean,
+//! five faulted) run through the full dirty-capture pipeline — lossy parse
+//! under `SkipAndCount`, then batch analysis — and the rendered report is
+//! diffed against a checked-in `.expected` snapshot. Future refactors of
+//! the parser, the recovery layer, or the analyzers diff against these
+//! known-good results instead of silently shifting behavior.
+//!
+//! Each fixture also asserts batch ≡ streaming on the same arrival order,
+//! so the snapshots pin both pipelines at once.
+//!
+//! To regenerate after an intentional behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p onoff-detect --test golden
+//! ```
+//!
+//! The `.log` inputs themselves are regenerated (only when the storyline
+//! or the chaos engine intentionally changes) with:
+//!
+//! ```text
+//! cargo test -p onoff-detect --test golden -- --ignored
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use onoff_detect::{analyze_trace, RunAnalysis, StreamingAnalyzer};
+use onoff_nsglog::{parse_str_lossy, ParseStats, RecoveryPolicy};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = fixture_path(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run --ignored regenerator", name))
+}
+
+/// Renders the full pipeline outcome as a stable, human-diffable report.
+fn render_report(stats: &ParseStats, analysis: &RunAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== parse ==");
+    let _ = writeln!(out, "{stats}");
+    let mut kinds: Vec<String> = stats
+        .skipped_by_kind
+        .iter()
+        .map(|(k, n)| format!("{k} x{n}"))
+        .collect();
+    kinds.sort();
+    for k in kinds {
+        let _ = writeln!(out, "  skipped: {k}");
+    }
+    let _ = writeln!(
+        out,
+        "  lines discarded in resync: {}",
+        stats.lines_discarded
+    );
+    let _ = writeln!(out, "== analysis ==");
+    let _ = writeln!(out, "degradation: {}", analysis.degradation);
+    let _ = writeln!(
+        out,
+        "timeline: {} unique sets, {} samples, end = {} ms",
+        analysis.timeline.unique_sets(),
+        analysis.timeline.samples.len(),
+        analysis.timeline.end.millis()
+    );
+    let _ = writeln!(out, "loops: {}", analysis.loops.len());
+    for lp in &analysis.loops {
+        let _ = writeln!(
+            out,
+            "  block = {:?}, repetitions = {}, persistence = {:?}, degraded = {}, span = {}..{} ms, cycles = {}",
+            lp.block,
+            lp.repetitions,
+            lp.persistence,
+            lp.degraded,
+            lp.start.millis(),
+            lp.end.millis(),
+            lp.cycles.len()
+        );
+    }
+    let _ = writeln!(out, "off transitions: {}", analysis.off_transitions.len());
+    for tr in &analysis.off_transitions {
+        let _ = writeln!(out, "  t = {} ms, type = {:?}", tr.t.millis(), tr.loop_type);
+    }
+    let _ = writeln!(
+        out,
+        "median mbps: on = {:?}, off = {:?}",
+        analysis.metrics.median_on_mbps, analysis.metrics.median_off_mbps
+    );
+    out
+}
+
+/// Runs one fixture end to end and snapshot-compares the report.
+///
+/// `strict_stream` additionally asserts batch ≡ streaming on the same
+/// arrival order. That equality is guaranteed for in-order faults and
+/// beyond-horizon faults (duplication, clock jumps/rollbacks) — but NOT
+/// for displacement: a displaced event can arrive within the horizon of
+/// its neighbors, where the stream's reorder buffer legitimately repairs
+/// what batch clamps. The reordered fixture therefore only pins the batch
+/// snapshot and that streaming completes sanely.
+fn check_golden(name: &str, strict_stream: bool) {
+    let text = read_fixture(&format!("{name}.log"));
+    let (events, stats) = parse_str_lossy(&text, RecoveryPolicy::SkipAndCount);
+    let batch = analyze_trace(&events);
+
+    let mut s = StreamingAnalyzer::new();
+    s.feed_all(events.iter().cloned());
+    let streamed = s.finish();
+    if strict_stream {
+        assert_eq!(streamed, batch, "batch/stream divergence on {name}");
+    } else {
+        assert_eq!(streamed.timeline.end, batch.timeline.end);
+    }
+
+    let report = render_report(&stats, &batch);
+    let expected_path = fixture_path(&format!("{name}.expected"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&expected_path, &report).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!("missing snapshot {name}.expected ({e}); rerun with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        report, expected,
+        "golden mismatch for {name}; if intentional, rerun with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_clean() {
+    check_golden("clean", true);
+}
+
+#[test]
+fn golden_truncated() {
+    check_golden("truncated", true);
+}
+
+#[test]
+fn golden_garbage_interleaved() {
+    check_golden("garbage_interleaved", true);
+}
+
+#[test]
+fn golden_reordered() {
+    check_golden("reordered", false);
+}
+
+#[test]
+fn golden_clock_jump() {
+    check_golden("clock_jump", true);
+}
+
+#[test]
+fn golden_duplicated() {
+    check_golden("duplicated", true);
+}
+
+/// The clean fixture must parse losslessly and analyze cleanly — it is
+/// the control the five faulted snapshots are read against.
+#[test]
+fn clean_fixture_is_actually_clean() {
+    let text = read_fixture("clean.log");
+    let (events, stats) = parse_str_lossy(&text, RecoveryPolicy::SkipAndCount);
+    assert_eq!(stats.skipped, 0);
+    assert_eq!(stats.parsed, stats.records);
+    let analysis = analyze_trace(&events);
+    assert!(analysis.degradation.is_clean());
+    assert!(analysis.has_loop(), "the storyline is a 3-cycle S1 loop");
+}
+
+/// Regenerates the six `.log` fixtures from the scripted storyline and
+/// fixed chaos seeds. Run manually (`-- --ignored`) only when the
+/// storyline or the chaos engine intentionally changes, then refresh the
+/// snapshots with UPDATE_GOLDEN=1.
+#[test]
+#[ignore = "fixture regenerator, run explicitly"]
+fn regenerate_fixtures() {
+    use onoff_rrc::ids::{CellId, Pci};
+    use onoff_sim::{ChaosConfig, ChaosEngine, TraceBuilder};
+
+    let pcell = CellId::nr(Pci(393), 521310);
+    let scell = CellId::nr(Pci(273), 387410);
+
+    // A three-cycle S1-style loop: establish, add the problem-channel
+    // SCell, sample throughput, release into a long OFF tail.
+    let mut b = TraceBuilder::new();
+    for k in 0..3u64 {
+        b = b
+            .at(k * 40_000)
+            .establish(pcell)
+            .after(1_000)
+            .report(Some("A2"), &[(scell, -112.0, -20.5)])
+            .after(500)
+            .add_scells(&[scell])
+            .after(500)
+            .throughput(180.5)
+            .after(1_000)
+            .throughput(201.25)
+            .after(20_000)
+            .release()
+            .after(2_000)
+            .throughput(0.5);
+    }
+    let events = b.build();
+    let clean = onoff_nsglog::emit(&events);
+
+    let dir = fixture_path("");
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, text: &str| {
+        std::fs::write(fixture_path(&format!("{name}.log")), text).unwrap();
+    };
+    write("clean", &clean);
+
+    let quiet = ChaosConfig::quiet();
+    let text_fault = |cfg: ChaosConfig, seed: u64| {
+        let mut engine = ChaosEngine::new(cfg, seed);
+        engine.corrupt_text(&clean)
+    };
+    let event_fault = |cfg: ChaosConfig, seed: u64| {
+        let mut engine = ChaosEngine::new(cfg, seed);
+        onoff_nsglog::emit(&engine.corrupt_events(&events))
+    };
+
+    write(
+        "truncated",
+        &text_fault(
+            ChaosConfig {
+                truncate_line: 0.12,
+                ..quiet.clone()
+            },
+            11,
+        ),
+    );
+    write(
+        "garbage_interleaved",
+        &text_fault(
+            ChaosConfig {
+                garbage_line: 0.15,
+                ..quiet.clone()
+            },
+            12,
+        ),
+    );
+    write(
+        "reordered",
+        &event_fault(
+            ChaosConfig {
+                reorder: 0.15,
+                ..quiet.clone()
+            },
+            13,
+        ),
+    );
+    write(
+        "clock_jump",
+        &event_fault(
+            ChaosConfig {
+                clock_jump: 0.1,
+                ..quiet.clone()
+            },
+            14,
+        ),
+    );
+    write(
+        "duplicated",
+        &event_fault(
+            ChaosConfig {
+                duplicate_event: 0.2,
+                ..quiet
+            },
+            15,
+        ),
+    );
+}

@@ -3,7 +3,10 @@
 use std::fmt;
 
 /// Why a log line could not be decoded.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Ordered and hashable so recovery accounting
+/// ([`crate::recover::ParseStats`]) can key per-kind skip counters on it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ParseErrorKind {
     /// A record head line did not start with a valid `HH:MM:SS.mmm` stamp.
     BadTimestamp,

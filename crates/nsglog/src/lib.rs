@@ -27,6 +27,12 @@
 //! [`std::fmt::Write`] sink ([`emit_io`] adapts [`std::io::Write`]);
 //! [`emit`] drives it into a `String`.
 //!
+//! Both parse entry points are fail-fast. For dirty field captures
+//! (truncated records, interleaved garbage), wrap the same core in
+//! [`RecoveringParser`] — or call [`parse_str_lossy`] — to skip malformed
+//! records under a [`RecoveryPolicy`] with exact loss accounting
+//! ([`ParseStats`]).
+//!
 //! ```
 //! use onoff_nsglog::{parse_lines, parse_str};
 //!
@@ -58,9 +64,11 @@
 pub mod emit;
 pub mod error;
 pub mod parse;
+pub mod recover;
 pub mod stats;
 
 pub use emit::{emit, emit_event, emit_io, emit_to};
 pub use error::{ParseError, ParseErrorKind};
 pub use parse::{parse_lines, parse_str, ParseLines};
+pub use recover::{parse_str_lossy, ParseStats, RecoveringParser, RecoveryPolicy};
 pub use stats::{split_runs, stats, LogStats};

@@ -87,6 +87,32 @@ impl<'a, I: Iterator<Item = &'a str>> ParseLines<'a, I> {
         }
     }
 
+    /// Re-arms the parser after an error so iteration can resume at the
+    /// next record head.
+    ///
+    /// A failed record's continuation lines were already consumed as its
+    /// body (the next head is parked in the lookahead slot), so for field
+    /// errors this only clears the fuse. For an
+    /// [`ParseErrorKind::OrphanContinuation`] error the rest of the orphan
+    /// run is still in the source; those lines are discarded here and
+    /// their count returned, so callers can account for every input line.
+    ///
+    /// Used by [`crate::recover::RecoveringParser`]; harmless to call on a
+    /// healthy parser (it re-parks the pending head and skips nothing).
+    pub fn resync(&mut self) -> usize {
+        self.done = false;
+        let mut skipped = 0;
+        while let Some((n, line)) = self.next_line() {
+            if line.starts_with(char::is_whitespace) {
+                skipped += 1;
+            } else {
+                self.lookahead = Some((n, line));
+                break;
+            }
+        }
+        skipped
+    }
+
     /// Pulls the next line if it continues the current record; otherwise
     /// parks it as the next record's head. This is the peek-then-next of
     /// the old batch loop fused into one infallible call.

@@ -200,6 +200,22 @@ impl TraceEvent {
         }
     }
 
+    /// Overwrites the event's timestamp in place.
+    pub fn set_t(&mut self, t: Timestamp) {
+        match self {
+            TraceEvent::Rrc(r) => r.t = t,
+            TraceEvent::Mm { t: old, .. } => *old = t,
+            TraceEvent::Throughput { t: old, .. } => *old = t,
+        }
+    }
+
+    /// A copy of the event carrying a different timestamp.
+    pub fn with_t(&self, t: Timestamp) -> TraceEvent {
+        let mut ev = self.clone();
+        ev.set_t(t);
+        ev
+    }
+
     /// The RRC record, if this is a signaling event.
     pub fn as_rrc(&self) -> Option<&LogRecord> {
         match self {

@@ -19,6 +19,7 @@
 //! * [`nsa::run_nsa`] — 5G NSA engine (OP_A/OP_V): N1E1/N1E2/N2E1/N2E2.
 //! * [`simulate`] — dispatch on the policy's deployment mode.
 
+pub mod chaos;
 pub mod config;
 pub mod nsa;
 pub mod output;
@@ -28,6 +29,9 @@ pub mod select;
 pub mod synth;
 pub mod throughput;
 
+pub use chaos::{
+    chaos_text, chaos_trace, ChaosConfig, ChaosEngine, Injection, InjectionKind, InjectionManifest,
+};
 pub use config::{MovementPath, SimConfig};
 pub use output::{GroundTruth, InjectedCause, SimOutput};
 pub use synth::TraceBuilder;
