@@ -89,7 +89,8 @@ fn bench_interned_vs_structural(c: &mut Criterion) {
 fn extract_raw(events: &[onoff_rrc::trace::TraceEvent]) -> usize {
     use onoff_rrc::messages::RrcMessage;
     use onoff_rrc::trace::TraceEvent;
-    let mut sets: Vec<Vec<(onoff_rrc::serving::CellRole, onoff_rrc::CellId)>> = Vec::new();
+    let mut sets: Vec<onoff_rrc::InlineVec<(onoff_rrc::serving::CellRole, onoff_rrc::CellId), 8>> =
+        Vec::new();
     let mut cs = ServingCellSet::idle();
     for ev in events {
         if let TraceEvent::Rrc(rec) = ev {

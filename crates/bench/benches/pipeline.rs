@@ -60,6 +60,9 @@ fn bench_detect(c: &mut Criterion) {
     let out = sample_run();
     let timeline = extract_timeline(&out.events);
     let mut group = c.benchmark_group("detect");
+    // Bytes of the rendered log these events came from, so detect-stage
+    // MB/s lines up with the codec group's figures.
+    group.throughput(Throughput::Bytes(out.to_log().len() as u64));
     group.bench_function("extract_timeline", |b| {
         b.iter(|| black_box(extract_timeline(&out.events)))
     });

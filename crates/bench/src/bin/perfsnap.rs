@@ -1,0 +1,360 @@
+//! `perfsnap` — fixed-workload performance snapshot for the analysis
+//! pipeline.
+//!
+//! Measures wall-clock throughput (events/sec, bytes/sec) and allocation
+//! counts (allocs/event) for the five hot workloads the campaign exercises
+//! millions of times:
+//!
+//! * `parse`          — NSG log text → `Vec<TraceEvent>` (`parse_str`)
+//! * `extract`        — events → CS timeline (`extract_timeline`)
+//! * `detect`         — events → full `RunAnalysis` (`analyze_trace`)
+//! * `stream-feed`    — events through the incremental `TraceAnalyzer`
+//! * `fused-campaign` — a one-run-per-location campaign (`run_campaign`)
+//!
+//! Every workload is deterministic (fixed seeds, fixed tiling), so the
+//! allocation counts are exactly reproducible and the wall numbers are
+//! comparable across commits on the same machine.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfsnap [--out FILE]            # measure, write snapshot JSON
+//!          [--before FILE]         # embed FILE's numbers as "before"
+//!          [--check FILE]          # compare vs FILE, exit 1 on regression
+//!          [--threshold X]         # regression factor for --check (default 2.0)
+//! ```
+//!
+//! The snapshot schema (`perfsnap/v1`) is one JSON object with a
+//! `workloads` array; each entry carries `events`, `bytes`, `wall_ms`,
+//! `events_per_sec`, `bytes_per_sec`, `allocs`, `allocs_per_event`, and —
+//! with `--before` — the prior run's numbers under `"before"`. `--check`
+//! fails when events/sec drops below `before / threshold` or allocs/event
+//! rises above `before * threshold`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use onoff_campaign::areas::area_a1;
+use onoff_campaign::{CampaignConfig, ParallelismConfig};
+use onoff_detect::cellset::extract_timeline;
+use onoff_detect::{analyze_trace, TraceAnalyzer};
+use onoff_policy::{op_t_policy, PhoneModel};
+use onoff_rrc::trace::TraceEvent;
+use onoff_sim::{simulate, SimConfig};
+
+/// Counts every heap allocation. The binary self-contains the counter
+/// (criterion is a dev-dependency, unavailable to `src/bin` targets); the
+/// pattern mirrors `benches/stream.rs`.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f`, returning its result plus (allocation count, wall seconds).
+fn metered<T>(f: impl FnOnce() -> T) -> (T, u64, f64) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let out = f();
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    (out, allocs, wall)
+}
+
+/// One workload's measured numbers.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    events: u64,
+    bytes: u64,
+    wall_s: f64,
+    allocs: u64,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(f64::MIN_POSITIVE)
+    }
+
+    fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.wall_s.max(f64::MIN_POSITIVE)
+    }
+
+    fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / (self.events.max(1)) as f64
+    }
+}
+
+/// Measures `f` (which returns the processed (events, bytes)) `reps`
+/// times, keeping the fastest wall clock and the matching alloc count —
+/// the usual min-of-N noise filter for shared machines.
+fn run_workload(reps: u32, mut f: impl FnMut() -> (u64, u64)) -> Sample {
+    let mut best: Option<Sample> = None;
+    for _ in 0..reps {
+        let ((events, bytes), allocs, wall_s) = metered(&mut f);
+        let s = Sample {
+            events,
+            bytes,
+            wall_s,
+            allocs,
+        };
+        best = Some(match best {
+            Some(b) if b.wall_s <= s.wall_s => b,
+            _ => s,
+        });
+    }
+    best.expect("reps >= 1")
+}
+
+/// The fixed simulated run every in-process workload is built from.
+fn sample_events() -> Vec<TraceEvent> {
+    let area = area_a1(0x050FF);
+    let cfg = SimConfig::stationary(
+        op_t_policy(),
+        PhoneModel::OnePlus12R,
+        area.env.clone(),
+        area.locations[0],
+        42,
+    );
+    simulate(&cfg).events
+}
+
+/// Tiles a trace `k` times, shifting each copy past the previous span, so
+/// parse/extract workloads run long enough to time reliably.
+fn tile(events: &[TraceEvent], k: u64) -> Vec<TraceEvent> {
+    let span = events.last().map_or(0, |e| e.t().millis()) + 1_000;
+    let mut out = Vec::with_capacity(events.len() * k as usize);
+    for i in 0..k {
+        for ev in events {
+            out.push(ev.with_t(onoff_rrc::trace::Timestamp(ev.t().millis() + i * span)));
+        }
+    }
+    out
+}
+
+fn measure() -> Vec<(&'static str, Sample)> {
+    let base = sample_events();
+    let events = tile(&base, 4);
+    let text = onoff_nsglog::emit(&events);
+    let n = events.len() as u64;
+    let bytes = text.len() as u64;
+
+    let parse = run_workload(5, || {
+        let parsed = onoff_nsglog::parse_str(&text).expect("workload text parses");
+        (parsed.len() as u64, bytes)
+    });
+    let extract = run_workload(5, || {
+        let tl = extract_timeline(&events);
+        std::hint::black_box(tl.samples.len());
+        (n, 0)
+    });
+    let detect = run_workload(5, || {
+        let analysis = analyze_trace(&events);
+        std::hint::black_box(analysis.loops.len());
+        (n, 0)
+    });
+    let stream = run_workload(5, || {
+        let mut core = TraceAnalyzer::new();
+        for ev in &events {
+            core.feed(ev);
+        }
+        let analysis = core.finish();
+        std::hint::black_box(analysis.loops.len());
+        (n, 0)
+    });
+    let campaign = run_workload(2, || {
+        let cfg = CampaignConfig {
+            seed: 0x050FF,
+            runs_a1: 1,
+            runs_other: 1,
+            device: PhoneModel::OnePlus12R,
+            duration_ms: 60_000,
+            parallelism: ParallelismConfig::with_workers(1),
+            chaos: None,
+        };
+        let ds = onoff_campaign::run_campaign(&cfg);
+        (ds.stats.events_processed, 0)
+    });
+
+    vec![
+        ("parse", parse),
+        ("extract", extract),
+        ("detect", detect),
+        ("stream-feed", stream),
+        ("fused-campaign", campaign),
+    ]
+}
+
+/// The prior numbers for one workload, as loaded from a snapshot file.
+#[derive(Debug, Clone, Copy)]
+struct Prior {
+    events_per_sec: f64,
+    bytes_per_sec: f64,
+    allocs_per_event: f64,
+}
+
+fn load_priors(path: &str) -> Vec<(String, Prior)> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let v: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
+    let workloads = v
+        .get("workloads")
+        .and_then(|w| w.as_array())
+        .unwrap_or_else(|| die(&format!("{path}: no `workloads` array")));
+    workloads
+        .iter()
+        .filter_map(|w| {
+            let name = w.get("name")?.as_str()?.to_string();
+            let f = |key: &str| w.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0);
+            Some((
+                name,
+                Prior {
+                    events_per_sec: f("events_per_sec"),
+                    bytes_per_sec: f("bytes_per_sec"),
+                    allocs_per_event: f("allocs_per_event"),
+                },
+            ))
+        })
+        .collect()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("perfsnap: {msg}");
+    std::process::exit(2);
+}
+
+/// Renders the snapshot JSON (stable key order, two-space indent).
+fn render(results: &[(&'static str, Sample)], priors: &[(String, Prior)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"perfsnap/v1\",\n  \"workloads\": [\n");
+    for (i, (name, s)) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"events\": {}, \"bytes\": {}, \"wall_ms\": {:.3}, \
+             \"events_per_sec\": {:.0}, \"bytes_per_sec\": {:.0}, \"allocs\": {}, \
+             \"allocs_per_event\": {:.3}",
+            s.events,
+            s.bytes,
+            s.wall_s * 1e3,
+            s.events_per_sec(),
+            s.bytes_per_sec(),
+            s.allocs,
+            s.allocs_per_event(),
+        ));
+        if let Some((_, p)) = priors.iter().find(|(n, _)| n == name) {
+            out.push_str(&format!(
+                ", \"before\": {{\"events_per_sec\": {:.0}, \"bytes_per_sec\": {:.0}, \
+                 \"allocs_per_event\": {:.3}}}",
+                p.events_per_sec, p.bytes_per_sec, p.allocs_per_event,
+            ));
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR5.json");
+    let mut before_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut threshold = 2.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--out" => out_path = value("--out"),
+            "--before" => before_path = Some(value("--before")),
+            "--check" => check_path = Some(value("--check")),
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threshold needs a number"))
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let results = measure();
+    for (name, s) in &results {
+        eprintln!(
+            "{name:>15}: {:>10.0} events/s  {:>12.0} bytes/s  {:>8.2} allocs/event  ({:.1} ms)",
+            s.events_per_sec(),
+            s.bytes_per_sec(),
+            s.allocs_per_event(),
+            s.wall_s * 1e3,
+        );
+    }
+
+    let priors = match (&check_path, &before_path) {
+        (Some(p), _) => load_priors(p),
+        (None, Some(p)) => load_priors(p),
+        (None, None) => Vec::new(),
+    };
+
+    let json = render(&results, &priors);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        die(&format!("cannot write {out_path}: {e}"));
+    }
+    eprintln!("wrote {out_path}");
+
+    if check_path.is_some() {
+        let mut failed = false;
+        for (name, s) in &results {
+            let Some((_, p)) = priors.iter().find(|(n, _)| n == name) else {
+                eprintln!("check {name}: no baseline entry, skipping");
+                continue;
+            };
+            // Wall-clock regression: slower than baseline by more than the
+            // threshold factor.
+            if p.events_per_sec > 0.0 && s.events_per_sec() < p.events_per_sec / threshold {
+                eprintln!(
+                    "check {name}: REGRESSION events/sec {:.0} < baseline {:.0} / {threshold}",
+                    s.events_per_sec(),
+                    p.events_per_sec
+                );
+                failed = true;
+            }
+            // Allocation regression: alloc counts are deterministic, so
+            // the same threshold is generous headroom for intentional
+            // small changes while catching an accidental per-event leak.
+            let budget = (p.allocs_per_event * threshold).max(0.5);
+            if s.allocs_per_event() > budget {
+                eprintln!(
+                    "check {name}: REGRESSION allocs/event {:.3} > baseline {:.3} x {threshold}",
+                    s.allocs_per_event(),
+                    p.allocs_per_event
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check passed (threshold {threshold}x)");
+    }
+}

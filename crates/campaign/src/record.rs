@@ -6,7 +6,7 @@ use onoff_detect::metrics::CycleStat;
 use onoff_detect::{LoopType, Persistence, RunAnalysis};
 use onoff_policy::{Operator, PhoneModel};
 use onoff_rrc::ids::Rat;
-use onoff_rrc::messages::RrcMessage;
+use onoff_rrc::messages::{RrcMessage, Trigger};
 use onoff_rrc::trace::TraceEvent;
 use onoff_sim::SimOutput;
 
@@ -101,7 +101,7 @@ impl RunRecord {
                                 problem_channel_rsrp.push(m.meas.rsrp.db());
                             }
                         }
-                        if r.trigger.as_deref() == Some("B1") {
+                        if r.trigger == Some(Trigger::B1) {
                             if let Some(rel) = scg_released_at.take() {
                                 scg_meas_delays_ms.push(rec.t.millis().saturating_sub(rel));
                             }

@@ -25,6 +25,7 @@ use onoff_nsglog::parse_str_lossy;
 use onoff_policy::{policy_for, Operator, PhoneModel};
 use onoff_radio::noise::hash_words;
 use onoff_rrc::ids::Rat;
+use onoff_rrc::perf::FxMap;
 use onoff_sim::{simulate, ChaosConfig, ChaosEngine, SimConfig, SimOutput};
 
 use crate::areas::{all_areas, Area};
@@ -229,12 +230,17 @@ fn run_location_chaotic(
 
 /// Aggregates accumulated by one worker (and, after merging, the whole
 /// campaign).
+///
+/// Shards accumulate into unordered [`FxMap`]s on the hot path; the sorted
+/// `BTreeMap`s the persisted [`Dataset`] carries are built once at the end
+/// of [`run_campaign`], so the output stays bitwise-identical at any
+/// worker count.
 #[derive(Debug, Default)]
 struct Aggregates {
     records: Vec<RunRecord>,
-    usage_nr: BTreeMap<Operator, ChannelUsage>,
-    usage_lte: BTreeMap<Operator, ChannelUsage>,
-    scell_mod: BTreeMap<Operator, ScellModStats>,
+    usage_nr: FxMap<Operator, ChannelUsage>,
+    usage_lte: FxMap<Operator, ChannelUsage>,
+    scell_mod: FxMap<Operator, ScellModStats>,
     quarantine: QuarantineReport,
     events_processed: u64,
     simulated_ms: u64,
@@ -243,7 +249,7 @@ struct Aggregates {
 impl Merge for Aggregates {
     fn merge(&mut self, other: Aggregates) {
         self.records.extend(other.records);
-        // Fully qualified: `BTreeMap` may grow an inherent `merge` one day
+        // Fully qualified: `FxMap` may grow an inherent `merge` one day
         // (unstable_name_collisions).
         Merge::merge(&mut self.usage_nr, other.usage_nr);
         Merge::merge(&mut self.usage_lte, other.usage_lte);
@@ -500,9 +506,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Dataset {
 
     Dataset {
         records: agg.records,
-        usage_nr: agg.usage_nr,
-        usage_lte: agg.usage_lte,
-        scell_mod: agg.scell_mod,
+        // Sort-at-finalize: hash-ordered shards become the dataset's
+        // deterministic operator-keyed maps here, once.
+        usage_nr: agg.usage_nr.into_iter().collect(),
+        usage_lte: agg.usage_lte.into_iter().collect(),
+        scell_mod: agg.scell_mod.into_iter().collect(),
         cell_counts,
         areas: areas
             .iter()

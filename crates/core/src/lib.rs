@@ -27,6 +27,9 @@ use onoff_detect::{analyze_trace, LoopType, Persistence, RunAnalysis};
 use onoff_nsglog::ParseError;
 use onoff_rrc::trace::TraceEvent;
 
+pub use onoff_rrc::messages::Trigger;
+pub use onoff_rrc::perf::{FxMap, InlineVec, StrInterner, Symbol};
+
 /// A complete loop report for one capture.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoopReport {

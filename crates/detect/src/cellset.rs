@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use onoff_rrc::ids::Rat;
 use onoff_rrc::messages::{ReconfigBody, RrcMessage};
+use onoff_rrc::perf::InlineVec;
 use onoff_rrc::serving::{CellRole, ConnState, ServingCellSet};
 use onoff_rrc::trace::{MmState, Timestamp, TraceEvent};
 
@@ -88,20 +89,24 @@ impl CsTimeline {
     }
 }
 
-/// Builder that interns sets by canonical key.
+/// Builder that interns sets by canonical key. Keys are inline
+/// small-vectors, so probing for a known set allocates nothing.
 struct Interner {
     sets: Vec<ServingCellSet>,
-    keys: Vec<Vec<(CellRole, onoff_rrc::ids::CellId)>>,
+    keys: Vec<InlineVec<(CellRole, onoff_rrc::ids::CellId), 8>>,
 }
 
 impl Interner {
     fn new() -> Interner {
         let idle = ServingCellSet::idle();
         let key = idle.canonical_key();
-        Interner {
-            sets: vec![idle],
-            keys: vec![key],
-        }
+        // Real runs intern a handful of distinct sets; 16 slots cover
+        // every trace in the study without a regrow.
+        let mut sets = Vec::with_capacity(16);
+        let mut keys = Vec::with_capacity(16);
+        sets.push(idle);
+        keys.push(key);
+        Interner { sets, keys }
     }
 
     fn intern(&mut self, cs: &ServingCellSet) -> usize {
@@ -143,12 +148,16 @@ impl Default for TimelineBuilder {
 impl TimelineBuilder {
     /// A builder holding the implicit IDLE sample at t = 0.
     pub fn new() -> TimelineBuilder {
+        // Compressed timelines hold one sample per serving-set *change*;
+        // 64 covers a full campaign run, so the hot path never regrows.
+        let mut samples = Vec::with_capacity(64);
+        samples.push(CsSample {
+            t: Timestamp(0),
+            id: 0,
+        });
         TimelineBuilder {
             interner: Interner::new(),
-            samples: vec![CsSample {
-                t: Timestamp(0),
-                id: 0,
-            }],
+            samples,
             cs: ServingCellSet::idle(),
             pending: None,
             pending_pcell: None,
@@ -388,7 +397,8 @@ mod tests {
                             index: 3,
                             cell: nr(393, 501390),
                         },
-                    ],
+                    ]
+                    .into(),
                     ..Default::default()
                 }),
             ),
@@ -401,8 +411,9 @@ mod tests {
                     scell_to_add_mod: vec![ScellAddMod {
                         index: 4,
                         cell: nr(104, 501390),
-                    }],
-                    scell_to_release: vec![3],
+                    }]
+                    .into(),
+                    scell_to_release: vec![3].into(),
                     ..Default::default()
                 }),
             ),
@@ -416,8 +427,9 @@ mod tests {
                     scell_to_add_mod: vec![ScellAddMod {
                         index: 3,
                         cell: nr(371, 387410),
-                    }],
-                    scell_to_release: vec![1],
+                    }]
+                    .into(),
+                    scell_to_release: vec![1].into(),
                     ..Default::default()
                 }),
             ),
@@ -519,7 +531,8 @@ mod tests {
                     scell_to_add_mod: vec![ScellAddMod {
                         index: 1,
                         cell: nr(66, 658080),
-                    }],
+                    }]
+                    .into(),
                     ..Default::default()
                 }),
             ),
@@ -610,7 +623,8 @@ mod tests {
                     scell_to_add_mod: vec![ScellAddMod {
                         index: 1,
                         cell: nr(273, 387410),
-                    }],
+                    }]
+                    .into(),
                     ..Default::default()
                 }),
             ),

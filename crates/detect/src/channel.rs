@@ -9,11 +9,13 @@
 //!   counts (Table 5's "SCell modification failure ratio" column).
 
 use std::collections::BTreeMap;
+use std::hash::Hash;
 
 use serde::{Deserialize, Serialize};
 
 use onoff_rrc::ids::Rat;
 use onoff_rrc::messages::RrcMessage;
+use onoff_rrc::perf::FxMap;
 use onoff_rrc::trace::{MmState, TraceEvent};
 
 use crate::cellset::CsTimeline;
@@ -31,12 +33,16 @@ pub trait Merge {
 }
 
 /// Per-channel usage counters.
+///
+/// The hot accumulation paths hash into open-addressed [`FxMap`]s; the
+/// serialized form is still a key-sorted JSON object, so persisted output
+/// is byte-identical to the previous `BTreeMap` representation.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ChannelUsage {
     /// channel → number of serving appearances in no-loop runs.
-    pub no_loop: BTreeMap<u32, u64>,
+    pub no_loop: FxMap<u32, u64>,
     /// channel → appearances inside loop spans, per loop type.
-    pub per_type: BTreeMap<LoopType, BTreeMap<u32, u64>>,
+    pub per_type: FxMap<LoopType, FxMap<u32, u64>>,
 }
 
 impl ChannelUsage {
@@ -72,8 +78,9 @@ impl ChannelUsage {
         }
     }
 
-    /// Fraction each channel takes of a bucket's total (0..1 per channel).
-    pub fn shares(bucket: &BTreeMap<u32, u64>) -> BTreeMap<u32, f64> {
+    /// Fraction each channel takes of a bucket's total (0..1 per channel),
+    /// sorted by channel for presentation.
+    pub fn shares(bucket: &FxMap<u32, u64>) -> BTreeMap<u32, f64> {
         let total: u64 = bucket.values().sum();
         bucket
             .iter()
@@ -91,10 +98,10 @@ impl ChannelUsage {
     }
 
     /// Aggregated loop bucket across all types.
-    pub fn loop_total(&self) -> BTreeMap<u32, u64> {
-        let mut out: BTreeMap<u32, u64> = BTreeMap::new();
+    pub fn loop_total(&self) -> FxMap<u32, u64> {
+        let mut out: FxMap<u32, u64> = FxMap::new();
         for bucket in self.per_type.values() {
-            for (&ch, &n) in bucket {
+            for (&ch, &n) in bucket.iter() {
                 *out.entry(ch).or_insert(0) += n;
             }
         }
@@ -120,7 +127,7 @@ impl Merge for ChannelUsage {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScellModStats {
     /// channel (of the newly added SCell) → (attempts, failures).
-    pub per_channel: BTreeMap<u32, (u64, u64)>,
+    pub per_channel: FxMap<u32, (u64, u64)>,
 }
 
 impl ScellModStats {
@@ -197,6 +204,14 @@ impl<K: Ord, V: Merge + Default> Merge for BTreeMap<K, V> {
     }
 }
 
+impl<K: Hash + Eq, V: Merge + Default> Merge for FxMap<K, V> {
+    fn merge(&mut self, other: FxMap<K, V>) {
+        for (k, v) in other {
+            self.entry(k).or_default().merge(v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,7 +250,8 @@ mod tests {
                     scell_to_add_mod: vec![ScellAddMod {
                         index: 1,
                         cell: nr(273, 387410),
-                    }],
+                    }]
+                    .into(),
                     ..Default::default()
                 }),
             ),
@@ -246,8 +262,9 @@ mod tests {
                     scell_to_add_mod: vec![ScellAddMod {
                         index: 2,
                         cell: nr(371, 387410),
-                    }],
-                    scell_to_release: vec![1],
+                    }]
+                    .into(),
+                    scell_to_release: vec![1].into(),
                     ..Default::default()
                 }),
             ),
@@ -281,7 +298,8 @@ mod tests {
                     scell_to_add_mod: vec![ScellAddMod {
                         index: 1,
                         cell: nr(273, 387410),
-                    }],
+                    }]
+                    .into(),
                     ..Default::default()
                 }),
             ),
@@ -340,7 +358,7 @@ mod tests {
 
     #[test]
     fn shares_of_empty_bucket() {
-        let shares = ChannelUsage::shares(&BTreeMap::new());
+        let shares = ChannelUsage::shares(&FxMap::new());
         assert!(shares.is_empty());
     }
 }

@@ -18,10 +18,12 @@
 //! handover target (N1), the SCG-dropping handover target (N2E1), or the
 //! failed SCG-change target (N2E2).
 
+use std::collections::VecDeque;
+
 use serde::{Deserialize, Serialize};
 
 use onoff_rrc::ids::CellId;
-use onoff_rrc::meas::Rsrq;
+use onoff_rrc::meas::{Measurement, Rsrq};
 use onoff_rrc::messages::{MeasurementReport, ReconfigBody, ReestablishmentCause, RrcMessage};
 use onoff_rrc::serving::ServingCellSet;
 use onoff_rrc::trace::{MmState, Timestamp, TraceEvent};
@@ -150,24 +152,37 @@ fn serving_set_before(tl: &CsTimeline, t: Timestamp) -> ServingCellSet {
 ///
 /// Batch [`classify_all`] re-filters the whole event slice around every
 /// transition; this automaton instead keeps a **bounded sliding window** of
-/// the evidence-bearing events (RRC + MM records within the last
-/// `WINDOW_MS + FWD_MS` = 20 s) and a queue of transitions still awaiting
-/// forward evidence. A transition at `t` is frozen — classified once, for
-/// good — as soon as an event later than `t + FWD_MS` proves its evidence
-/// window complete. Memory is bounded by the event density of one window,
-/// not by the trace.
+/// condensed evidence facts (see [`Fact`] — the classification-relevant
+/// residue of RRC + MM records within the last `WINDOW_MS + FWD_MS` = 20 s)
+/// and a queue of transitions still awaiting forward evidence. A transition
+/// at `t` is frozen — classified once, for good — as soon as an event later
+/// than `t + FWD_MS` proves its evidence window complete. Memory is bounded
+/// by the event density of one window, not by the trace.
+///
+/// Measurement-report rows live in a flat arena (`rows`) that report facts
+/// index by global offset, so feeding an event never deep-clones it: in the
+/// steady state (window deques at capacity) `feed_event` allocates nothing,
+/// no matter how many rows each report carries.
 ///
 /// Equivalence with the batch path (enforced by proptests) holds for
 /// time-ordered feeds: the pruning bound `max_t - WINDOW_MS - FWD_MS` never
 /// discards an event a pending or future transition can still see, because
 /// an unfrozen transition satisfies `t ≥ max_t - FWD_MS`.
 pub struct OffClassifier {
-    /// Evidence-bearing events in arrival order, pruned from the front.
-    window: std::collections::VecDeque<TraceEvent>,
+    /// Condensed evidence facts in arrival order, pruned from the front.
+    window: VecDeque<(Timestamp, Fact<RowRange>)>,
+    /// Flat arena of measurement-report rows, in arrival order; report
+    /// facts in `window` address it by global offset so pruning is O(rows
+    /// dropped) and steady-state feeding reuses the deque's capacity.
+    rows: VecDeque<(CellId, Measurement)>,
+    /// Global offset of `rows.front()`.
+    rows_base: u64,
+    /// Next global row offset to hand out.
+    rows_next: u64,
     /// Latest event time seen.
     max_t: Timestamp,
     /// Transitions whose forward window is still open.
-    pending: std::collections::VecDeque<(Timestamp, ServingCellSet)>,
+    pending: VecDeque<(Timestamp, ServingCellSet)>,
     /// Transitions classified for good.
     finalized: Vec<OffTransition>,
 }
@@ -181,9 +196,12 @@ impl Default for OffClassifier {
 impl OffClassifier {
     pub fn new() -> OffClassifier {
         OffClassifier {
-            window: std::collections::VecDeque::new(),
+            window: VecDeque::new(),
+            rows: VecDeque::new(),
+            rows_base: 0,
+            rows_next: 0,
             max_t: Timestamp(0),
-            pending: std::collections::VecDeque::new(),
+            pending: VecDeque::new(),
             finalized: Vec::new(),
         }
     }
@@ -192,19 +210,37 @@ impl OffClassifier {
     /// the clock even though they carry no RRC evidence).
     pub fn feed_event(&mut self, ev: &TraceEvent) {
         self.max_t = self.max_t.max(ev.t());
-        if matches!(ev, TraceEvent::Rrc(_) | TraceEvent::Mm { .. }) {
-            self.window.push_back(ev.clone());
+        if let Some((t, fact)) = fact_of_event(ev) {
+            let fact = fact.map_report(|r| {
+                let start = self.rows_next;
+                self.rows
+                    .extend(r.results.iter().map(|row| (row.cell, row.meas)));
+                self.rows_next += r.results.len() as u64;
+                RowRange {
+                    start,
+                    len: r.results.len() as u32,
+                }
+            });
+            self.window.push_back((t, fact));
         }
         self.freeze_ready();
         // Prune evidence no pending or future transition can reference
-        // (see the type-level invariant in the struct docs).
+        // (see the type-level invariant in the struct docs). Reports leave
+        // the window in arrival order, so their rows are always the front
+        // run of the arena.
         let keep_from = self.max_t.millis().saturating_sub(WINDOW_MS + FWD_MS);
         while self
             .window
             .front()
-            .is_some_and(|e| e.t().millis() < keep_from)
+            .is_some_and(|(t, _)| t.millis() < keep_from)
         {
-            self.window.pop_front();
+            if let Some((_, Fact::Report(range))) = self.window.pop_front() {
+                debug_assert_eq!(range.start, self.rows_base);
+                for _ in 0..range.len {
+                    self.rows.pop_front();
+                }
+                self.rows_base += range.len as u64;
+            }
         }
     }
 
@@ -216,6 +252,30 @@ impl OffClassifier {
         self.freeze_ready();
     }
 
+    /// Classifies `t` against the current condensed window.
+    fn classify_window(
+        window: &VecDeque<(Timestamp, Fact<RowRange>)>,
+        rows: &VecDeque<(CellId, Measurement)>,
+        rows_base: u64,
+        serving: &ServingCellSet,
+        t: Timestamp,
+    ) -> OffTransition {
+        classify_from_facts(
+            window.iter().map(|&(wt, fact)| {
+                (
+                    wt,
+                    fact.map_report(|range| RowsView {
+                        rows,
+                        base: rows_base,
+                        range,
+                    }),
+                )
+            }),
+            serving,
+            t,
+        )
+    }
+
     /// Classifies and finalizes every pending transition whose forward
     /// evidence window has closed.
     fn freeze_ready(&mut self) {
@@ -225,7 +285,8 @@ impl OffClassifier {
             .is_some_and(|(t, _)| self.max_t.millis() > t.millis() + FWD_MS)
         {
             if let Some((t, serving)) = self.pending.pop_front() {
-                let tr = classify_off_transition(self.window.make_contiguous(), &serving, t);
+                let tr =
+                    Self::classify_window(&self.window, &self.rows, self.rows_base, &serving, t);
                 self.finalized.push(tr);
             }
         }
@@ -234,11 +295,16 @@ impl OffClassifier {
     /// All transitions so far. Pending ones (forward window still open) are
     /// classified provisionally from the evidence at hand; feeding more
     /// events may upgrade them, so this is non-destructive.
-    pub fn transitions(&mut self) -> Vec<OffTransition> {
+    pub fn transitions(&self) -> Vec<OffTransition> {
         let mut out = self.finalized.clone();
-        let window = self.window.make_contiguous();
         for (t, serving) in &self.pending {
-            out.push(classify_off_transition(window, serving, *t));
+            out.push(Self::classify_window(
+                &self.window,
+                &self.rows,
+                self.rows_base,
+                serving,
+                *t,
+            ));
         }
         out
     }
@@ -246,12 +312,146 @@ impl OffClassifier {
     /// Consumes the classifier, classifying the still-pending transitions
     /// against the final evidence window.
     pub fn finish(mut self) -> Vec<OffTransition> {
-        let window = self.window.make_contiguous();
         for (t, serving) in &self.pending {
-            self.finalized
-                .push(classify_off_transition(window, serving, *t));
+            self.finalized.push(Self::classify_window(
+                &self.window,
+                &self.rows,
+                self.rows_base,
+                serving,
+                *t,
+            ));
         }
         self.finalized
+    }
+}
+
+/// Per-report evidence interface the classification core reads: membership
+/// (S1E1's "SCell missing from recent reports") and per-cell samples
+/// (S1E2's "terrible RSRQ"). Implemented by borrowed batch reports and by
+/// the streaming classifier's condensed row ranges, so both paths run the
+/// same decision logic over the same facts.
+trait ReportEvidence {
+    fn contains_cell(&self, cell: CellId) -> bool;
+    fn sample_for(&self, cell: CellId) -> Option<Measurement>;
+}
+
+impl ReportEvidence for &MeasurementReport {
+    fn contains_cell(&self, cell: CellId) -> bool {
+        self.contains(cell)
+    }
+
+    fn sample_for(&self, cell: CellId) -> Option<Measurement> {
+        self.result_for(cell)
+    }
+}
+
+/// The classification-relevant residue of a `Reconfiguration` body: six
+/// copyable fields instead of a cloned `ReconfigBody` (whose `meas_config`
+/// vector would otherwise allocate on every window pass).
+#[derive(Clone, Copy)]
+struct ReconfigFacts {
+    scg_release: bool,
+    is_scell_mod: bool,
+    first_scell_add: Option<CellId>,
+    mobility_target: Option<CellId>,
+    sp_cell: Option<CellId>,
+    drops_scg: bool,
+}
+
+impl ReconfigFacts {
+    fn of(body: &ReconfigBody) -> ReconfigFacts {
+        ReconfigFacts {
+            scg_release: body.scg_release,
+            is_scell_mod: body.is_scell_modification(),
+            first_scell_add: body.scell_to_add_mod.first().map(|a| a.cell),
+            mobility_target: body.mobility_target,
+            sp_cell: body.sp_cell,
+            drops_scg: body.is_handover_dropping_scg(),
+        }
+    }
+}
+
+/// One evidence-bearing fact, generic over how report rows are stored
+/// (borrowed report in the batch path, arena range in the streaming path).
+#[derive(Clone, Copy)]
+enum Fact<R> {
+    Reconfig(ReconfigFacts),
+    ReconfigComplete,
+    ScgFailure,
+    Reest(ReestablishmentCause),
+    Release,
+    Report(R),
+    Collapse,
+}
+
+impl<R> Fact<R> {
+    /// Maps the report payload, leaving every other variant untouched.
+    fn map_report<S>(self, f: impl FnOnce(R) -> S) -> Fact<S> {
+        match self {
+            Fact::Report(r) => Fact::Report(f(r)),
+            Fact::Reconfig(x) => Fact::Reconfig(x),
+            Fact::ReconfigComplete => Fact::ReconfigComplete,
+            Fact::ScgFailure => Fact::ScgFailure,
+            Fact::Reest(c) => Fact::Reest(c),
+            Fact::Release => Fact::Release,
+            Fact::Collapse => Fact::Collapse,
+        }
+    }
+}
+
+/// A report fact's rows in the streaming classifier: a global-offset range
+/// into the arena (`u64` offsets never recycle, so pruning can't alias).
+#[derive(Clone, Copy)]
+struct RowRange {
+    start: u64,
+    len: u32,
+}
+
+/// Borrowed view of one report's rows inside the streaming arena.
+#[derive(Clone, Copy)]
+struct RowsView<'a> {
+    rows: &'a VecDeque<(CellId, Measurement)>,
+    base: u64,
+    range: RowRange,
+}
+
+impl RowsView<'_> {
+    fn iter(&self) -> impl Iterator<Item = &(CellId, Measurement)> {
+        let start = (self.range.start - self.base) as usize;
+        self.rows.range(start..start + self.range.len as usize)
+    }
+}
+
+impl ReportEvidence for RowsView<'_> {
+    fn contains_cell(&self, cell: CellId) -> bool {
+        self.iter().any(|&(c, _)| c == cell)
+    }
+
+    fn sample_for(&self, cell: CellId) -> Option<Measurement> {
+        self.iter().find(|&&(c, _)| c == cell).map(|&(_, m)| m)
+    }
+}
+
+/// Condenses one trace event to its evidence fact, if it carries any.
+fn fact_of_event(ev: &TraceEvent) -> Option<(Timestamp, Fact<&MeasurementReport>)> {
+    match ev {
+        TraceEvent::Rrc(rec) => {
+            let fact = match &rec.msg {
+                RrcMessage::Reconfiguration(body) => Fact::Reconfig(ReconfigFacts::of(body)),
+                RrcMessage::ReconfigurationComplete => Fact::ReconfigComplete,
+                RrcMessage::ScgFailureInformation { .. } => Fact::ScgFailure,
+                RrcMessage::ReestablishmentRequest { cause } => Fact::Reest(*cause),
+                RrcMessage::Release => Fact::Release,
+                RrcMessage::MeasurementReport(r) => Fact::Report(r),
+                _ => return None,
+            };
+            Some((rec.t, fact))
+        }
+        TraceEvent::Mm {
+            t,
+            state: MmState::DeregisteredNoCellAvailable,
+        } => Some((*t, Fact::Collapse)),
+        _ => None,
     }
 }
 
@@ -262,73 +462,74 @@ pub fn classify_off_transition(
     serving_before: &ServingCellSet,
     t: Timestamp,
 ) -> OffTransition {
+    classify_from_facts(events.iter().filter_map(fact_of_event), serving_before, t)
+}
+
+/// The shared classification core: walks time-stamped facts (in trace
+/// order), keeps the ones inside the evidence window, and applies the §5
+/// taxonomy. Both the batch and streaming paths reduce to this.
+fn classify_from_facts<R: ReportEvidence + Copy>(
+    facts: impl Iterator<Item = (Timestamp, Fact<R>)>,
+    serving_before: &ServingCellSet,
+    t: Timestamp,
+) -> OffTransition {
     let lo = Timestamp(t.millis().saturating_sub(WINDOW_MS));
     // Evidence may trail the transition: in the paper's N1 instances
     // (Figs. 30/31) the PCell failure that defines the loop happens a few
     // seconds *after* 5G dropped (the SCG-releasing handover), during the
     // OFF period.
     let hi = Timestamp(t.millis() + FWD_MS);
-    let window: Vec<&TraceEvent> = events
-        .iter()
-        .filter(|e| e.t() >= lo && e.t() <= hi)
-        .collect();
 
     // Collect window facts.
     let mut scell_mods: Vec<(Timestamp, CellId)> = Vec::new(); // completed (t, target)
-    let mut pending_reconf: Option<(Timestamp, ReconfigBody)> = None;
-    let mut handovers: Vec<(Timestamp, CellId, ReconfigBody, bool)> = Vec::new();
+    let mut pending_reconf: Option<(Timestamp, ReconfigFacts)> = None;
+    let mut handovers: Vec<(Timestamp, CellId, ReconfigFacts, bool)> = Vec::new();
     let mut last_sp_change: Option<(Timestamp, CellId)> = None;
     let mut scg_failures: Vec<Timestamp> = Vec::new();
     let mut scg_releases: Vec<Timestamp> = Vec::new();
     let mut reest_cause: Option<(Timestamp, ReestablishmentCause)> = None;
     let mut collapse_at: Option<Timestamp> = None;
     let mut release_at: Option<Timestamp> = None;
-    let mut reports: Vec<(Timestamp, &MeasurementReport)> = Vec::new();
+    let mut reports: Vec<(Timestamp, R)> = Vec::new();
 
-    for ev in &window {
-        match ev {
-            TraceEvent::Rrc(rec) => match &rec.msg {
-                RrcMessage::Reconfiguration(body) => {
-                    pending_reconf = Some((rec.t, body.clone()));
-                    if body.scg_release {
-                        scg_releases.push(rec.t);
-                    }
+    for (ft, fact) in facts {
+        if ft < lo || ft > hi {
+            continue;
+        }
+        match fact {
+            Fact::Reconfig(f) => {
+                pending_reconf = Some((ft, f));
+                if f.scg_release {
+                    scg_releases.push(ft);
                 }
-                RrcMessage::ReconfigurationComplete => {
-                    if let Some((t0, body)) = pending_reconf.take() {
-                        if body.is_scell_modification() {
-                            if let Some(add) = body.scell_to_add_mod.first() {
-                                scell_mods.push((rec.t, add.cell));
-                            }
-                        }
-                        if let Some(target) = body.mobility_target {
-                            handovers.push((rec.t, target, body.clone(), true));
-                        }
-                        if let (Some(sp), None) = (body.sp_cell, body.mobility_target) {
-                            last_sp_change = Some((t0, sp));
-                        }
-                    }
-                }
-                RrcMessage::ScgFailureInformation { .. } => scg_failures.push(rec.t),
-                RrcMessage::ReestablishmentRequest { cause } => {
-                    if let Some((t0, body)) = pending_reconf.take() {
-                        if let Some(target) = body.mobility_target {
-                            handovers.push((t0, target, body, false));
-                        }
-                    }
-                    reest_cause = Some((rec.t, *cause));
-                }
-                RrcMessage::Release => release_at = Some(rec.t),
-                RrcMessage::MeasurementReport(r) => reports.push((rec.t, r)),
-                _ => {}
-            },
-            TraceEvent::Mm {
-                t: mt,
-                state: MmState::DeregisteredNoCellAvailable,
-            } => {
-                collapse_at = Some(*mt);
             }
-            _ => {}
+            Fact::ReconfigComplete => {
+                if let Some((t0, f)) = pending_reconf.take() {
+                    if f.is_scell_mod {
+                        if let Some(add) = f.first_scell_add {
+                            scell_mods.push((ft, add));
+                        }
+                    }
+                    if let Some(target) = f.mobility_target {
+                        handovers.push((ft, target, f, true));
+                    }
+                    if let (Some(sp), None) = (f.sp_cell, f.mobility_target) {
+                        last_sp_change = Some((t0, sp));
+                    }
+                }
+            }
+            Fact::ScgFailure => scg_failures.push(ft),
+            Fact::Reest(cause) => {
+                if let Some((t0, f)) = pending_reconf.take() {
+                    if let Some(target) = f.mobility_target {
+                        handovers.push((t0, target, f, false));
+                    }
+                }
+                reest_cause = Some((ft, cause));
+            }
+            Fact::Release => release_at = Some(ft),
+            Fact::Report(r) => reports.push((ft, r)),
+            Fact::Collapse => collapse_at = Some(ft),
         }
     }
 
@@ -409,10 +610,8 @@ pub fn classify_off_transition(
     // N2E1: a completed handover at the transition whose configuration
     // dropped the SCG (later handovers inside the OFF period don't count).
     if serving_before.scg.is_some() {
-        let at_transition = handovers.iter().find(|(ht, _, body, completed)| {
-            *completed
-                && ht.millis().abs_diff(t.millis()) <= 1000
-                && body.is_handover_dropping_scg()
+        let at_transition = handovers.iter().find(|(ht, _, f, completed)| {
+            *completed && ht.millis().abs_diff(t.millis()) <= 1000 && f.drops_scg
         });
         if let Some((_, target, _, _)) = at_transition {
             return OffTransition {
@@ -425,14 +624,13 @@ pub fn classify_off_transition(
 
     // S1E1 / S1E2: a release (or collapse) with report-level evidence.
     if near(release_at, 1000) || near(collapse_at, 1000) {
-        let scells: Vec<CellId> = serving_before.mcg.scells.values().copied().collect();
+        let scells = || serving_before.mcg.scells.values().copied();
         // S1E1: some serving SCell absent from the last 3 reports (while
         // reports kept flowing).
-        let recent: Vec<&MeasurementReport> =
-            reports.iter().rev().take(3).map(|(_, r)| *r).collect();
-        if recent.len() >= 3 {
-            for &scell in &scells {
-                if recent.iter().all(|r| !r.contains(scell)) {
+        if reports.len() >= 3 {
+            let recent = || reports.iter().rev().take(3).map(|&(_, r)| r);
+            for scell in scells() {
+                if recent().all(|r| !r.contains_cell(scell)) {
                     return OffTransition {
                         t,
                         loop_type: LoopType::S1E1,
@@ -442,10 +640,9 @@ pub fn classify_off_transition(
             }
         }
         // S1E2: worst reported serving SCell at/below the RSRQ floor.
-        if let Some((_, last_report)) = reports.last() {
-            let worst = scells
-                .iter()
-                .filter_map(|&c| last_report.result_for(c).map(|m| (c, m)))
+        if let Some(&(_, last_report)) = reports.last() {
+            let worst = scells()
+                .filter_map(|c| last_report.sample_for(c).map(|m| (c, m)))
                 .min_by_key(|(_, m)| m.rsrq);
             if let Some((cell, m)) = worst {
                 if m.rsrq <= POOR_RSRQ || m.rsrp <= POOR_RSRP {
@@ -525,8 +722,9 @@ mod tests {
                     scell_to_add_mod: vec![ScellAddMod {
                         index: 3,
                         cell: nr(371, 387410),
-                    }],
-                    scell_to_release: vec![1],
+                    }]
+                    .into(),
+                    scell_to_release: vec![1].into(),
                     ..Default::default()
                 }),
             ),

@@ -102,6 +102,23 @@ struct Episode {
     degraded: bool,
 }
 
+/// Reusable working buffers for [`detect_loops_in`]. The incremental
+/// detector re-runs detection after every event batch; keeping these in the
+/// tracker means steady-state detection allocates nothing once the buffers
+/// have grown to the episode count.
+#[derive(Default)]
+struct DetectScratch {
+    /// Per distinct complete episode shape: (index of first episode with
+    /// that shape, occurrence count).
+    counts: Vec<(usize, usize)>,
+    /// Per episode: which shape (index into `counts`) it matched, if any.
+    occurrence: Vec<Option<usize>>,
+    /// Shape indices seen at least twice.
+    repeated: Vec<usize>,
+    /// Distinct cell-set ids visited inside the loop span.
+    span_ids: Vec<usize>,
+}
+
 /// Incremental core of episode splitting: consumes one compressed timeline
 /// sample `(t, id, on)` at a time and maintains the episode list the batch
 /// [`detect_loops`] would compute over the same prefix. Samples before the
@@ -114,6 +131,7 @@ pub(crate) struct EpisodeTracker {
     prev_on: bool,
     /// A clamped event landed between episodes; taints the next one.
     taint_next: bool,
+    scratch: DetectScratch,
 }
 
 impl EpisodeTracker {
@@ -123,6 +141,7 @@ impl EpisodeTracker {
             cur: None,
             prev_on: false,
             taint_next: false,
+            scratch: DetectScratch::default(),
         }
     }
 
@@ -173,11 +192,11 @@ impl EpisodeTracker {
         if let Some(mut e) = open {
             e.end = end;
             self.done.push(e);
-            let out = detect_loops_in(&self.done, end);
+            let out = detect_loops_in(&self.done, end, &mut self.scratch);
             self.done.pop();
             out
         } else {
-            detect_loops_in(&self.done, end)
+            detect_loops_in(&self.done, end, &mut self.scratch)
         }
     }
 }
@@ -212,33 +231,48 @@ fn episodes(tl: &CsTimeline) -> Vec<Episode> {
 ///
 /// Returns at most one instance (the paper labels whole runs).
 pub fn detect_loops(tl: &CsTimeline) -> Vec<LoopInstance> {
-    detect_loops_in(&episodes(tl), tl.end)
+    detect_loops_in(&episodes(tl), tl.end, &mut DetectScratch::default())
 }
 
 /// Loop detection over an episode list (shared by the batch API above and
 /// the incremental [`EpisodeTracker::detect`]). `end` is the trace end.
-fn detect_loops_in(eps: &[Episode], end: Timestamp) -> Vec<LoopInstance> {
-    // Occurrence counts of each complete (OFF-reaching) episode shape.
-    let mut counts: Vec<(usize, usize)> = Vec::new(); // (first_idx, count) keyed below
-    let mut shapes: Vec<&[usize]> = Vec::new();
-    let mut occurrence: Vec<Option<usize>> = vec![None; eps.len()];
+/// `scratch` buffers are cleared on entry and reused across calls.
+fn detect_loops_in(
+    eps: &[Episode],
+    end: Timestamp,
+    scratch: &mut DetectScratch,
+) -> Vec<LoopInstance> {
+    // Occurrence counts of each complete (OFF-reaching) episode shape; a
+    // shape is identified by the first episode index carrying it.
+    let DetectScratch {
+        counts,
+        occurrence,
+        repeated,
+        span_ids,
+    } = scratch;
+    counts.clear();
+    occurrence.clear();
+    occurrence.resize(eps.len(), None);
     for (i, e) in eps.iter().enumerate() {
         if e.off_at.is_none() {
             continue;
         }
-        match shapes.iter().position(|s| *s == e.ids.as_slice()) {
+        match counts
+            .iter()
+            .position(|&(first, _)| eps[first].ids == e.ids)
+        {
             Some(k) => {
                 counts[k].1 += 1;
                 occurrence[i] = Some(k);
             }
             None => {
-                shapes.push(&e.ids);
                 counts.push((i, 1));
-                occurrence[i] = Some(shapes.len() - 1);
+                occurrence[i] = Some(counts.len() - 1);
             }
         }
     }
-    let repeated: Vec<usize> = (0..shapes.len()).filter(|&k| counts[k].1 >= 2).collect();
+    repeated.clear();
+    repeated.extend((0..counts.len()).filter(|&k| counts[k].1 >= 2));
     if repeated.is_empty() {
         return Vec::new();
     }
@@ -257,7 +291,7 @@ fn detect_loops_in(eps: &[Episode], end: Timestamp) -> Vec<LoopInstance> {
     };
 
     // Ids visited inside the span.
-    let mut span_ids: Vec<usize> = Vec::new();
+    span_ids.clear();
     for e in &eps[start_idx..=last_idx] {
         for &id in &e.ids {
             if !span_ids.contains(&id) {
@@ -281,7 +315,7 @@ fn detect_loops_in(eps: &[Episode], end: Timestamp) -> Vec<LoopInstance> {
         return Vec::new();
     };
     let repetitions = counts[best].1;
-    let block: Vec<usize> = shapes[best].to_vec();
+    let block: Vec<usize> = eps[counts[best].0].ids.clone();
 
     let span_end = if persistence == Persistence::Persistent {
         end

@@ -57,7 +57,8 @@ fn trace_from_script(script: &[(u8, u64)]) -> Vec<TraceEvent> {
                         scell_to_add_mod: vec![ScellAddMod {
                             index: 1,
                             cell: nr_s,
-                        }],
+                        }]
+                        .into(),
                         ..Default::default()
                     }),
                 ));

@@ -119,7 +119,7 @@ proptest! {
                 0 => RrcMessage::SetupRequest { cell: nr1, global_id: GlobalCellId(1) },
                 1 => RrcMessage::SetupComplete,
                 2 => RrcMessage::Reconfiguration(ReconfigBody {
-                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr2 }],
+                    scell_to_add_mod: vec![ScellAddMod { index: 1, cell: nr2 }].into(),
                     ..Default::default()
                 }),
                 3 => RrcMessage::ReconfigurationComplete,

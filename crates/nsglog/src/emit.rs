@@ -355,8 +355,9 @@ mod tests {
                     index: 2,
                     cell: CellId::nr(Pci(273), 398410),
                 },
-            ],
-            scell_to_release: vec![1, 3],
+            ]
+            .into(),
+            scell_to_release: vec![1, 3].into(),
             ..Default::default()
         };
         let ev = TraceEvent::Rrc(LogRecord {
@@ -379,7 +380,8 @@ mod tests {
             results: vec![MeasResult {
                 cell: CellId::nr(Pci(540), 501390),
                 meas: Measurement::new(-80.0, -10.5),
-            }],
+            }]
+            .into(),
         };
         let ev = TraceEvent::Rrc(LogRecord {
             t: Timestamp(0),

@@ -24,8 +24,9 @@ use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
 use onoff_rrc::meas::{Measurement, Rsrp, Rsrq};
 use onoff_rrc::messages::{
     MeasResult, MeasurementReport, ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod,
-    ScgFailureType,
+    ScgFailureType, Trigger,
 };
+use onoff_rrc::perf::InlineVec;
 use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
 
 use crate::error::{ParseError, ParseErrorKind};
@@ -33,7 +34,17 @@ use crate::error::{ParseError, ParseErrorKind};
 /// Parses a complete log text into trace events (batch driver over
 /// [`parse_lines`]; stops at the first error).
 pub fn parse_str(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
-    parse_lines(text.lines()).collect()
+    // Pre-size from the byte length. Report-heavy captures average >1 KB
+    // per record, so dividing by a small figure (the old /64) committed
+    // ~18× the needed capacity — at 192 bytes per event that meant
+    // megabytes of page faults before parsing began. /512 lands within
+    // ~2× on real traces either way; dense short-record logs just take a
+    // few amortized regrows.
+    let mut out = Vec::with_capacity(text.len() / 512 + 8);
+    for ev in parse_lines(text.lines()) {
+        out.push(ev?);
+    }
+    Ok(out)
 }
 
 /// Streaming record parser: one `Result<TraceEvent, ParseError>` per record,
@@ -54,6 +65,7 @@ where
         lineno: 0,
         lookahead: None,
         done: false,
+        scratch: Vec::new(),
     }
 }
 
@@ -69,6 +81,10 @@ pub struct ParseLines<'a, I: Iterator<Item = &'a str>> {
     /// property of the type, not a runtime assertion.
     lookahead: Option<(usize, &'a str)>,
     done: bool,
+    /// Reusable continuation-line buffer: taken at the start of each
+    /// record, restored after parsing, so the per-record body `Vec`
+    /// allocates once per parser instead of once per record.
+    scratch: Vec<(usize, &'a str)>,
 }
 
 impl<'a, I: Iterator<Item = &'a str>> ParseLines<'a, I> {
@@ -143,11 +159,13 @@ impl<'a, I: Iterator<Item = &'a str>> Iterator for ParseLines<'a, I> {
                 head,
             )));
         }
-        let mut body: Vec<(usize, &'a str)> = Vec::new();
+        let mut body = std::mem::take(&mut self.scratch);
+        body.clear();
         while let Some(cont) = self.next_continuation() {
             body.push(cont);
         }
         let parsed = parse_record(lineno, head, &body);
+        self.scratch = body;
         if parsed.is_err() {
             self.done = true;
         }
@@ -236,30 +254,38 @@ impl<'a> Fields<'a> {
         })
     }
 
-    /// Lines strictly inside a `name {` ... `}` block.
-    fn block(&self, open: &str) -> Result<Vec<&'a str>, ParseErrorKind> {
-        let mut it = self.body.iter();
-        for (_, l) in it.by_ref() {
-            let l = l.trim();
-            if l == open {
-                let mut inner = Vec::new();
-                for (_, l) in it {
-                    let l = l.trim();
-                    if l == "}" {
-                        return Ok(inner);
+    /// First line starting (after trim) with `prefix`, returned whole
+    /// (prefix included) — lets key=value parsers run on the borrowed line
+    /// without re-assembling it.
+    fn get_line(&self, prefix: &str) -> Option<&'a str> {
+        self.body.iter().find_map(|(_, l)| {
+            let l = l.trim_start();
+            l.starts_with(prefix).then_some(l)
+        })
+    }
+
+    /// Lines strictly inside a `name {` ... `}` block, as a borrowed
+    /// iterator over the body slice (no per-record `Vec`).
+    fn block(&self, open: &str) -> Result<impl Iterator<Item = &'a str> + 'a, ParseErrorKind> {
+        let range = match self.body.iter().position(|(_, l)| l.trim() == open) {
+            Some(start) => {
+                let inner = &self.body[start + 1..];
+                match inner.iter().position(|(_, l)| l.trim() == "}") {
+                    Some(end) => start + 1..start + 1 + end,
+                    // `open` is e.g. "measConfig {"; report the bare name.
+                    None => {
+                        return Err(ParseErrorKind::UnterminatedBlock(match open {
+                            "sCellToAddModList {" => "sCellToAddModList",
+                            "measConfig {" => "measConfig",
+                            "measResults {" => "measResults",
+                            _ => "block",
+                        }))
                     }
-                    inner.push(l);
                 }
-                // `open` is e.g. "measConfig {"; report the bare name.
-                return Err(ParseErrorKind::UnterminatedBlock(match open {
-                    "sCellToAddModList {" => "sCellToAddModList",
-                    "measConfig {" => "measConfig",
-                    "measResults {" => "measResults",
-                    _ => "block",
-                }));
             }
-        }
-        Ok(Vec::new())
+            None => 0..0,
+        };
+        Ok(self.body[range].iter().map(|(_, l)| l.trim()))
     }
 }
 
@@ -327,10 +353,12 @@ fn parse_message(
     name: &str,
     fields: &Fields<'_>,
 ) -> Result<(Option<CellId>, RrcMessage), ParseErrorKind> {
-    // Context line, if present.
+    // Context line, if present — parsed in place on the borrowed line
+    // (the key=value grammar includes the leading `Physical Cell ID`
+    // pair, so no reconstruction is needed).
     let ctx = fields
-        .get("Physical Cell ID = ")
-        .map(|(_, rest)| parse_context(rat, &format!("Physical Cell ID = {rest}")))
+        .get_line("Physical Cell ID = ")
+        .map(|line| parse_context(rat, line))
         .transpose()?;
 
     let msg = match name {
@@ -380,36 +408,14 @@ fn parse_message(
             RrcMessage::ReconfigurationComplete
         }
         "MeasurementReport" => {
-            let trigger = fields.get("trigger = ").map(|(_, v)| v.trim().to_string());
-            let mut results = Vec::new();
+            let trigger = fields
+                .get("trigger = ")
+                .map(|(_, v)| Trigger::from_label(v.trim()));
+            let mut results = InlineVec::new();
             for line in fields.block("measResults {")? {
-                let (cell, meas) = line
-                    .split_once(": ")
-                    .ok_or(ParseErrorKind::BadField("measResults"))?;
-                let cell: CellId = cell
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseErrorKind::BadField("measResults"))?;
-                let (rsrp, rsrq) = meas
-                    .trim()
-                    .split_once(' ')
-                    .ok_or(ParseErrorKind::BadField("measResults"))?;
-                let rsrp = parse_deci(
-                    rsrp.strip_suffix("dBm")
-                        .ok_or(ParseErrorKind::BadField("measResults"))?,
-                )
-                .ok_or(ParseErrorKind::BadField("measResults"))?;
-                let rsrq = parse_deci(
-                    rsrq.strip_suffix("dB")
-                        .ok_or(ParseErrorKind::BadField("measResults"))?,
-                )
-                .ok_or(ParseErrorKind::BadField("measResults"))?;
-                results.push(MeasResult {
-                    cell,
-                    meas: Measurement {
-                        rsrp: Rsrp::from_deci(rsrp),
-                        rsrq: Rsrq::from_deci(rsrq),
-                    },
+                results.push(match parse_meas_row_fast(line) {
+                    Some(r) => r,
+                    None => parse_meas_row_general(line)?,
                 });
             }
             RrcMessage::MeasurementReport(MeasurementReport { trigger, results })
@@ -445,6 +451,104 @@ fn parse_message(
     };
 
     Ok((ctx.map(|(c, _)| c), msg))
+}
+
+/// Single-pass byte-level fast path for the canonical measResults row
+/// shape `PCI@ARFCN: [-]R[.r]dBm [-]Q[.q]dB` (exactly what [`crate::emit`]
+/// writes, with at most one fraction digit). Anything else — extra
+/// whitespace, `+` signs, multi-digit fractions — returns `None` and takes
+/// [`parse_meas_row_general`], so accepted grammar and error reporting are
+/// unchanged; this path only skips the repeated `split`/`trim`/`FromStr`
+/// passes on the ~90% of log bytes that are measurement rows.
+fn parse_meas_row_fast(line: &str) -> Option<MeasResult> {
+    fn digits(b: &[u8], i: &mut usize) -> Option<u32> {
+        let start = *i;
+        let mut v: u32 = 0;
+        while let Some(d) = b.get(*i).map(|c| c.wrapping_sub(b'0')) {
+            if d > 9 {
+                break;
+            }
+            // > 9 digits could overflow; such rows take the general path.
+            if *i - start >= 9 {
+                return None;
+            }
+            v = v * 10 + u32::from(d);
+            *i += 1;
+        }
+        (*i > start).then_some(v)
+    }
+    fn deci(b: &[u8], i: &mut usize) -> Option<i32> {
+        let neg = b.get(*i) == Some(&b'-');
+        if neg {
+            *i += 1;
+        }
+        let int = i32::try_from(digits(b, i)?).ok()?;
+        let frac = if b.get(*i) == Some(&b'.') {
+            *i += 1;
+            let d = b.get(*i)?.wrapping_sub(b'0');
+            if d > 9 {
+                return None;
+            }
+            *i += 1;
+            // Multi-digit fractions exist only off the emit path; defer.
+            if b.get(*i).is_some_and(u8::is_ascii_digit) {
+                return None;
+            }
+            i32::from(d)
+        } else {
+            0
+        };
+        let v = int.checked_mul(10)?.checked_add(frac)?;
+        Some(if neg { -v } else { v })
+    }
+
+    let b = line.as_bytes();
+    let mut i = 0;
+    let pci = digits(b, &mut i)?;
+    let pci = u16::try_from(pci).ok()?;
+    if b.get(i) != Some(&b'@') {
+        return None;
+    }
+    i += 1;
+    let arfcn = digits(b, &mut i)?;
+    if b.get(i) != Some(&b':') || b.get(i + 1) != Some(&b' ') {
+        return None;
+    }
+    i += 2;
+    let rsrp = deci(b, &mut i)?;
+    if !b[i..].starts_with(b"dBm ") {
+        return None;
+    }
+    i += 4;
+    let rsrq = deci(b, &mut i)?;
+    if &b[i..] != b"dB" {
+        return None;
+    }
+    Some(MeasResult {
+        cell: cell_from_parts(pci, arfcn),
+        meas: Measurement {
+            rsrp: Rsrp::from_deci(rsrp),
+            rsrq: Rsrq::from_deci(rsrq),
+        },
+    })
+}
+
+/// The general measResults row parser: full `CellId` grammar and decimal
+/// literals with interior whitespace tolerance, plus the row's error.
+fn parse_meas_row_general(line: &str) -> Result<MeasResult, ParseErrorKind> {
+    const ERR: ParseErrorKind = ParseErrorKind::BadField("measResults");
+    let (cell, meas) = line.split_once(": ").ok_or(ERR)?;
+    let cell: CellId = cell.trim().parse().map_err(|_| ERR)?;
+    let (rsrp, rsrq) = meas.trim().split_once(' ').ok_or(ERR)?;
+    let rsrp = parse_deci(rsrp.strip_suffix("dBm").ok_or(ERR)?).ok_or(ERR)?;
+    let rsrq = parse_deci(rsrq.strip_suffix("dB").ok_or(ERR)?).ok_or(ERR)?;
+    Ok(MeasResult {
+        cell,
+        meas: Measurement {
+            rsrp: Rsrp::from_deci(rsrp),
+            rsrq: Rsrq::from_deci(rsrq),
+        },
+    })
 }
 
 fn parse_reconfig(fields: &Fields<'_>) -> Result<ReconfigBody, ParseErrorKind> {
@@ -884,7 +988,8 @@ mod tests {
                             index: 3,
                             cell: CellId::nr(Pci(393), 501390),
                         },
-                    ],
+                    ]
+                    .into(),
                     ..Default::default()
                 }),
             ),

@@ -146,7 +146,8 @@ mod tests {
                     results: vec![onoff_rrc::messages::MeasResult {
                         cell: CellId::nr(Pci(273), 387410),
                         meas: onoff_rrc::meas::Measurement::new(-85.0, -12.0),
-                    }],
+                    }]
+                    .into(),
                 }),
             ),
             TraceEvent::Throughput {

@@ -7,7 +7,7 @@
 use onoff_nsglog::{emit, parse_str_lossy, RecoveryPolicy};
 use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
 use onoff_rrc::meas::{Measurement, Rsrp, Rsrq};
-use onoff_rrc::messages::{MeasResult, MeasurementReport, RrcMessage};
+use onoff_rrc::messages::{MeasResult, MeasurementReport, RrcMessage, Trigger};
 use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
 use onoff_sim::{chaos_text, ChaosConfig};
 use proptest::prelude::*;
@@ -95,7 +95,7 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
                 LogChannel::UlDcch,
                 cell,
                 RrcMessage::MeasurementReport(MeasurementReport {
-                    trigger: Some("A2".to_string()),
+                    trigger: Some(Trigger::A2),
                     results: results
                         .into_iter()
                         .map(|(cell, p, q)| MeasResult {

@@ -9,7 +9,7 @@ use onoff_rrc::ids::{CellId, GlobalCellId, Pci, Rat};
 use onoff_rrc::meas::{Measurement, Rsrp, Rsrq};
 use onoff_rrc::messages::{
     MeasResult, MeasurementReport, ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod,
-    ScgFailureType,
+    ScgFailureType, Trigger,
 };
 use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
 use proptest::prelude::*;
@@ -110,7 +110,7 @@ fn arb_reconfig() -> impl Strategy<Value = ReconfigBody> {
                 .into_iter()
                 .map(|(index, cell)| ScellAddMod { index, cell })
                 .collect(),
-            scell_to_release: rel,
+            scell_to_release: rel.into(),
             meas_config: meas,
             sp_cell: sp,
             scg_release: scg_rel,
@@ -121,17 +121,20 @@ fn arb_reconfig() -> impl Strategy<Value = ReconfigBody> {
 fn arb_report() -> impl Strategy<Value = MeasurementReport> {
     (
         prop::option::of(prop_oneof![
-            Just("A2".to_string()),
-            Just("A3".to_string()),
-            Just("A5".to_string()),
-            Just("B1".to_string())
+            Just(Trigger::A2),
+            Just(Trigger::A3),
+            Just(Trigger::A5),
+            Just(Trigger::B1)
         ]),
         prop::collection::vec(
             (arb_cell(), arb_measurement()).prop_map(|(cell, meas)| MeasResult { cell, meas }),
             0..5,
         ),
     )
-        .prop_map(|(trigger, results)| MeasurementReport { trigger, results })
+        .prop_map(|(trigger, results)| MeasurementReport {
+            trigger,
+            results: results.into(),
+        })
 }
 
 /// A full RRC record respecting the codec invariants.

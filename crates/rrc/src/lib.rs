@@ -30,6 +30,7 @@ pub mod glossary;
 pub mod ids;
 pub mod meas;
 pub mod messages;
+pub mod perf;
 pub mod proc;
 pub mod reselection;
 pub mod serving;
@@ -43,8 +44,9 @@ pub use ids::{CellId, Pci, Rat};
 pub use meas::{Rsrp, Rsrq};
 pub use messages::{
     MeasResult, MeasurementReport, ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod,
-    ScgFailureType,
+    ScgFailureType, Trigger,
 };
+pub use perf::{FxMap, InlineVec, StrInterner, Symbol};
 pub use reselection::{RankingParams, SelectionParams};
 pub use serving::{CellGroup, CellRole, ConnState, ServingCellSet};
 pub use timers::{RlfConfig, RlfDetector, T304};

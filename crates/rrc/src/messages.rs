@@ -7,11 +7,102 @@
 //! specs coincide; NSA-specific fields (`sp_cell_config`,
 //! `mobility_control_info`, SCG release) live on [`ReconfigBody`].
 
-use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use serde::{de, Deserialize, Serialize, Value};
 
 use crate::events::MeasEvent;
 use crate::ids::{CellId, GlobalCellId};
 use crate::meas::Measurement;
+use crate::perf::InlineVec;
+
+/// The measurement event that triggered a report, as a compact id.
+///
+/// NSG renders triggers as free-form labels ("A3", "B1", …); keeping them
+/// as `String` put one heap allocation on every parsed report *and* on
+/// every clone the detector's evidence window makes. The known 3GPP
+/// events are unit variants; anything else falls back to [`Trigger::Other`]
+/// (cold path — real logs only contain the standard labels).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// Event A1 — serving becomes better than threshold.
+    A1,
+    /// Event A2 — serving becomes worse than threshold.
+    A2,
+    /// Event A3 — neighbour becomes offset better than serving.
+    A3,
+    /// Event A4 — neighbour becomes better than threshold.
+    A4,
+    /// Event A5 — serving worse than t1 and neighbour better than t2.
+    A5,
+    /// Event B1 — inter-RAT neighbour becomes better than threshold. The
+    /// NSA 5G-addition trigger the ON-OFF loops revolve around.
+    B1,
+    /// Event B2 — serving worse than t1, inter-RAT neighbour better than t2.
+    B2,
+    /// Any label outside the standard event set (verbatim).
+    Other(Box<str>),
+}
+
+impl Trigger {
+    /// Parses an NSG trigger label. Total: unknown labels land in
+    /// [`Trigger::Other`] with the text preserved.
+    pub fn from_label(label: &str) -> Trigger {
+        match label {
+            "A1" => Trigger::A1,
+            "A2" => Trigger::A2,
+            "A3" => Trigger::A3,
+            "A4" => Trigger::A4,
+            "A5" => Trigger::A5,
+            "B1" => Trigger::B1,
+            "B2" => Trigger::B2,
+            other => Trigger::Other(other.into()),
+        }
+    }
+
+    /// The label as NSG renders it.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Trigger::A1 => "A1",
+            Trigger::A2 => "A2",
+            Trigger::A3 => "A3",
+            Trigger::A4 => "A4",
+            Trigger::A5 => "A5",
+            Trigger::B1 => "B1",
+            Trigger::B2 => "B2",
+            Trigger::Other(s) => s,
+        }
+    }
+}
+
+impl From<&str> for Trigger {
+    fn from(label: &str) -> Trigger {
+        Trigger::from_label(label)
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Serializes as the plain label string — byte-identical to the
+/// `Option<String>` encoding this type replaced.
+impl Serialize for Trigger {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Trigger {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(Trigger::from_label(s)),
+            _ => Err(de::Error::invalid_type("string (trigger label)", v)),
+        }
+    }
+}
 
 /// `sCellToAddModList` entry: an SCell to add (or replace at an index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -25,10 +116,11 @@ pub struct ScellAddMod {
 /// `RRCReconfiguration` body (TS 38.331 §5.3.5 / TS 36.331 §5.3.5).
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ReconfigBody {
-    /// SCells to add or modify (`sCellToAddModList`).
-    pub scell_to_add_mod: Vec<ScellAddMod>,
+    /// SCells to add or modify (`sCellToAddModList`). Inline up to 4 —
+    /// carrier aggregation tops out at 4 SCells in the traces we model.
+    pub scell_to_add_mod: InlineVec<ScellAddMod, 4>,
     /// SCell indices to release (`sCellToReleaseList`).
-    pub scell_to_release: Vec<u8>,
+    pub scell_to_release: InlineVec<u8, 4>,
     /// Measurement-event configuration updates (`measConfig`).
     pub meas_config: Vec<MeasEvent>,
     /// NSA: PSCell configuration (`spCellConfig` of the SCG) — adding or
@@ -79,10 +171,12 @@ pub struct MeasResult {
 /// `MeasurementReport` (TS 38.331 §5.5.5).
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MeasurementReport {
-    /// The event label that triggered the report (e.g. "A3", "B1"), if known.
-    pub trigger: Option<String>,
-    /// Measured serving and neighbour cells.
-    pub results: Vec<MeasResult>,
+    /// The event that triggered the report (e.g. A3, B1), if known.
+    pub trigger: Option<Trigger>,
+    /// Measured serving and neighbour cells. Inline up to 8 rows —
+    /// serving cells plus a handful of neighbours; cloning a report into
+    /// the detector's evidence window then allocates nothing.
+    pub results: InlineVec<MeasResult, 8>,
 }
 
 impl MeasurementReport {
@@ -275,8 +369,9 @@ mod tests {
             scell_to_add_mod: vec![ScellAddMod {
                 index: 3,
                 cell: nr(371, 387410),
-            }],
-            scell_to_release: vec![1],
+            }]
+            .into(),
+            scell_to_release: vec![1].into(),
             ..Default::default()
         };
         assert!(body.is_scell_modification());
@@ -300,7 +395,8 @@ mod tests {
                     index: 3,
                     cell: nr(393, 501390),
                 },
-            ],
+            ]
+            .into(),
             ..Default::default()
         };
         assert!(!body.is_scell_modification());
@@ -334,7 +430,8 @@ mod tests {
                     cell: nr(380, 398410),
                     meas: Measurement::new(-78.0, -11.5),
                 },
-            ],
+            ]
+            .into(),
         };
         assert!(report.contains(nr(540, 501390)));
         assert_eq!(

@@ -261,8 +261,9 @@ mod tests {
             scell_to_add_mod: vec![ScellAddMod {
                 index: 3,
                 cell: CellId::nr(Pci(371), 387410),
-            }],
-            scell_to_release: vec![1],
+            }]
+            .into(),
+            scell_to_release: vec![1].into(),
             ..Default::default()
         };
         let events = vec![

@@ -10,12 +10,12 @@
 //! **5G ON/OFF** (§2): 5G is ON iff any NR cell is serving — either as the
 //! MCG (SA) or as the SCG (NSA). 5G is OFF in 4G-only and IDLE states.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Serialize, Value};
 
 use crate::ids::{CellId, Rat};
+use crate::perf::InlineVec;
 
 /// Role of a cell within the serving set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -28,14 +28,128 @@ pub enum CellRole {
     SCell,
 }
 
+/// SCells keyed by `sCellIndex`, kept sorted by index.
+///
+/// Replaces a `BTreeMap<u8, CellId>`: carrier aggregation tops out at 4
+/// SCells in the traces we model, so the entries live inline in an
+/// [`InlineVec`] and cell-set replay stops heap-allocating per sample.
+/// Sorted storage preserves the map's canonical ordering, so structurally
+/// equal groups still compare, hash, and serialize identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ScellMap {
+    /// `(index, cell)` entries, strictly ascending by index.
+    entries: InlineVec<(u8, CellId), 4>,
+}
+
+impl ScellMap {
+    /// An empty map (no heap allocation).
+    pub fn new() -> ScellMap {
+        ScellMap::default()
+    }
+
+    /// Number of SCells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no SCells are configured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds or replaces the SCell at `index`; returns the replaced cell.
+    pub fn insert(&mut self, index: u8, cell: CellId) -> Option<CellId> {
+        match self.entries.binary_search_by_key(&index, |e| e.0) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, cell)),
+            Err(i) => {
+                self.entries.insert(i, (index, cell));
+                None
+            }
+        }
+    }
+
+    /// Removes the SCell at `index`, if present.
+    pub fn remove(&mut self, index: &u8) -> Option<CellId> {
+        match self.entries.binary_search_by_key(index, |e| e.0) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// The SCell at `index`, if present.
+    pub fn get(&self, index: &u8) -> Option<&CellId> {
+        match self.entries.binary_search_by_key(index, |e| e.0) {
+            Ok(i) => Some(&self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates `(index, cell)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u8, &CellId)> {
+        self.entries.iter().map(|(i, c)| (i, c))
+    }
+
+    /// Iterates indices in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &u8> {
+        self.entries.iter().map(|(i, _)| i)
+    }
+
+    /// Iterates cells in index order.
+    pub fn values(&self) -> impl Iterator<Item = &CellId> {
+        self.entries.iter().map(|(_, c)| c)
+    }
+}
+
+impl<'a> IntoIterator for &'a ScellMap {
+    type Item = (&'a u8, &'a CellId);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (u8, CellId)>,
+        fn(&'a (u8, CellId)) -> (&'a u8, &'a CellId),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.as_slice().iter().map(|(i, c)| (i, c))
+    }
+}
+
+/// Serializes as an index-keyed JSON object — byte-identical to the
+/// `BTreeMap<u8, CellId>` encoding this type replaced.
+impl Serialize for ScellMap {
+    fn to_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        for (i, c) in self.iter() {
+            m.insert(i.to_string(), c.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for ScellMap {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(m) => {
+                let mut out = ScellMap::new();
+                for (k, val) in m.iter() {
+                    let index = k
+                        .parse::<u8>()
+                        .map_err(|_| de::Error::custom("sCellIndex key out of range"))?;
+                    out.insert(index, CellId::from_value(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(de::Error::invalid_type("object", v)),
+        }
+    }
+}
+
 /// One cell group: a primary cell plus indexed SCells.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct CellGroup {
     /// The group's primary cell (PCell for MCG, PSCell for SCG).
     pub primary: Option<CellId>,
-    /// SCells keyed by `sCellIndex`. BTreeMap keeps canonical ordering so
+    /// SCells keyed by `sCellIndex`, in canonical (index) order so
     /// structurally equal groups compare and hash equal.
-    pub scells: BTreeMap<u8, CellId>,
+    pub scells: ScellMap,
 }
 
 impl CellGroup {
@@ -43,7 +157,7 @@ impl CellGroup {
     pub fn with_primary(cell: CellId) -> Self {
         CellGroup {
             primary: Some(cell),
-            scells: BTreeMap::new(),
+            scells: ScellMap::new(),
         }
     }
 
@@ -133,18 +247,23 @@ impl ServingCellSet {
         self.scg.as_ref().and_then(|g| g.primary)
     }
 
-    /// All serving cells, MCG first.
+    /// All serving cells, MCG first, without allocating.
+    pub fn cells_iter(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.mcg
+            .cells()
+            .chain(self.scg.iter().flat_map(CellGroup::cells))
+    }
+
+    /// All serving cells, MCG first, as an owned list (cold paths; hot
+    /// paths should use [`ServingCellSet::cells_iter`]).
     pub fn cells(&self) -> Vec<CellId> {
-        let mut v: Vec<CellId> = self.mcg.cells().collect();
-        if let Some(scg) = &self.scg {
-            v.extend(scg.cells());
-        }
-        v
+        self.cells_iter().collect()
     }
 
     /// Whether any NR cell is serving — the paper's **5G ON** predicate.
+    /// Allocation-free: the streaming analyzer asks this per sample.
     pub fn uses_5g(&self) -> bool {
-        self.cells().iter().any(|c| c.rat == Rat::Nr)
+        self.cells_iter().any(|c| c.rat == Rat::Nr)
     }
 
     /// The connectivity state implied by the set's structure.
@@ -209,8 +328,10 @@ impl ServingCellSet {
 
     /// Canonical key for interning: every (role, cell) pair, ordered. Two
     /// sets with identical membership and roles produce identical keys.
-    pub fn canonical_key(&self) -> Vec<(CellRole, CellId)> {
-        let mut key = Vec::with_capacity(self.mcg.len() + 4);
+    /// Inline up to 8 pairs, so building a key allocates nothing for the
+    /// cell sets real traces produce.
+    pub fn canonical_key(&self) -> InlineVec<(CellRole, CellId), 8> {
+        let mut key = InlineVec::new();
         if let Some(p) = self.mcg.primary {
             key.push((CellRole::PCell, p));
         }

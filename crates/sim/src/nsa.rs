@@ -292,7 +292,8 @@ fn step_connected(
                     results: vec![MeasResult {
                         cell: nr_cell,
                         meas: nr_meas,
-                    }],
+                    }]
+                    .into(),
                 }),
             );
             let rule = cfg.policy.rule(pcell.arfcn);
@@ -396,7 +397,8 @@ fn step_connected(
                                 cell: target,
                                 meas: tm,
                             },
-                        ],
+                        ]
+                        .into(),
                     }),
                 );
                 return execute_handover(cfg, rec, rng, t + 50, p, conn, target, tm.rsrp.deci());
@@ -419,7 +421,8 @@ fn step_connected(
                         results: vec![MeasResult {
                             cell: pscell,
                             meas: m,
-                        }],
+                        }]
+                        .into(),
                     }),
                 );
                 rec.rrc(
@@ -473,7 +476,8 @@ fn step_connected(
                                     cell: target,
                                     meas: tm,
                                 },
-                            ],
+                            ]
+                            .into(),
                         }),
                     );
                     rec.rrc(
@@ -600,6 +604,7 @@ mod tests {
     use onoff_policy::{op_a_policy, op_v_policy, PhoneModel};
     use onoff_radio::{CellSite, Point, RadioEnvironment};
     use onoff_rrc::ids::Pci;
+    use onoff_rrc::messages::Trigger;
     use onoff_rrc::trace::TraceEvent;
 
     fn site(cell: CellId, x: f64, y: f64, bw: f64, tx: f64) -> CellSite {
@@ -746,7 +751,7 @@ mod tests {
                             && matches!(
                                 &r.msg,
                                 RrcMessage::MeasurementReport(m)
-                                    if m.trigger.as_deref() == Some("B1")
+                                    if m.trigger == Some(Trigger::B1)
                             )
                     }
                     _ => false,

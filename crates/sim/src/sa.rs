@@ -40,8 +40,10 @@ enum State {
         /// Earliest re-selection time.
         until: u64,
     },
-    /// Connected in SA.
-    Conn(Conn),
+    /// Connected in SA. Boxed: the connection state (serving set with
+    /// inline SCell storage, per-cell trackers) dwarfs `Idle`, and the
+    /// box moves through `step_connected` without reallocation.
+    Conn(Box<Conn>),
 }
 
 struct Conn {
@@ -93,7 +95,7 @@ pub fn run_sa(cfg: &SimConfig) -> SimOutput {
 
         state = match state {
             State::Idle { until } if t >= until => try_establish(cfg, &mut rec, &mut rng, t, p)
-                .map_or(State::Idle { until }, State::Conn),
+                .map_or(State::Idle { until }, |c| State::Conn(Box::new(c))),
             idle @ State::Idle { .. } => idle,
             State::Conn(conn) => step_connected(cfg, &mut rec, &mut rng, t, p, conn),
         };
@@ -254,7 +256,7 @@ fn step_connected(
     rng: &mut StdRng,
     t: u64,
     p: onoff_radio::Point,
-    mut conn: Conn,
+    mut conn: Box<Conn>,
 ) -> State {
     let pcell = conn.cs.pcell().expect("SA connection always has a PCell");
 
@@ -301,7 +303,7 @@ fn step_connected(
                     Rat::Nr,
                     Some(pcell),
                     RrcMessage::Reconfiguration(ReconfigBody {
-                        scell_to_add_mod: adds.clone(),
+                        scell_to_add_mod: adds.clone().into(),
                         ..Default::default()
                     }),
                 );
@@ -354,7 +356,7 @@ fn step_connected(
         Some(pcell),
         RrcMessage::MeasurementReport(MeasurementReport {
             trigger: None,
-            results,
+            results: results.into(),
         }),
     );
 
@@ -440,8 +442,9 @@ fn step_connected(
                 scell_to_add_mod: vec![ScellAddMod {
                     index: new_idx,
                     cell: cand,
-                }],
-                scell_to_release: vec![idx],
+                }]
+                .into(),
+                scell_to_release: vec![idx].into(),
                 ..Default::default()
             }),
         );
@@ -495,7 +498,7 @@ fn release_single_scell(rec: &mut Recorder, conn: &mut Conn, pcell: CellId, cell
             Rat::Nr,
             Some(pcell),
             RrcMessage::Reconfiguration(ReconfigBody {
-                scell_to_release: vec![idx],
+                scell_to_release: vec![idx].into(),
                 ..Default::default()
             }),
         );

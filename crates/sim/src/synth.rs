@@ -11,7 +11,7 @@ use onoff_rrc::ids::{CellId, GlobalCellId, Rat};
 use onoff_rrc::meas::Measurement;
 use onoff_rrc::messages::{
     MeasResult, MeasurementReport, ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod,
-    ScgFailureType,
+    ScgFailureType, Trigger,
 };
 use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
 
@@ -83,7 +83,7 @@ impl TraceBuilder {
 
     /// Adds SCells (one reconfiguration, indices assigned sequentially).
     pub fn add_scells(mut self, cells: &[CellId]) -> Self {
-        let adds: Vec<ScellAddMod> = cells
+        let adds = cells
             .iter()
             .map(|&cell| {
                 let index = self.next_index;
@@ -107,8 +107,8 @@ impl TraceBuilder {
         let index = self.next_index;
         self.next_index += 1;
         self.push(RrcMessage::Reconfiguration(ReconfigBody {
-            scell_to_add_mod: vec![ScellAddMod { index, cell: new }],
-            scell_to_release: vec![old_index],
+            scell_to_add_mod: vec![ScellAddMod { index, cell: new }].into(),
+            scell_to_release: vec![old_index].into(),
             ..Default::default()
         }));
         self.t_ms += 15;
@@ -126,7 +126,7 @@ impl TraceBuilder {
     /// A measurement report over `(cell, rsrp, rsrq)` rows.
     pub fn report(mut self, trigger: Option<&str>, rows: &[(CellId, f64, f64)]) -> Self {
         self.push(RrcMessage::MeasurementReport(MeasurementReport {
-            trigger: trigger.map(str::to_string),
+            trigger: trigger.map(Trigger::from_label),
             results: rows
                 .iter()
                 .map(|&(cell, p, q)| MeasResult {
@@ -147,7 +147,7 @@ impl TraceBuilder {
     /// NSA: SCG (PSCell) configuration, optionally with one SCG SCell.
     pub fn scg_add(mut self, pscell: CellId, scell: Option<CellId>) -> Self {
         let adds = scell
-            .map(|c| vec![ScellAddMod { index: 1, cell: c }])
+            .map(|c| vec![ScellAddMod { index: 1, cell: c }].into())
             .unwrap_or_default();
         self.push(RrcMessage::Reconfiguration(ReconfigBody {
             sp_cell: Some(pscell),
