@@ -2,13 +2,15 @@
 //! pipeline.
 //!
 //! Measures wall-clock throughput (events/sec, bytes/sec) and allocation
-//! counts (allocs/event) for the five hot workloads the campaign exercises
+//! counts (allocs/event) for the six hot workloads the campaign exercises
 //! millions of times:
 //!
 //! * `parse`          — NSG log text → `Vec<TraceEvent>` (`parse_str`)
 //! * `extract`        — events → CS timeline (`extract_timeline`)
 //! * `detect`         — events → full `RunAnalysis` (`analyze_trace`)
 //! * `stream-feed`    — events through the incremental `TraceAnalyzer`
+//! * `sim-step`       — one stationary run on the table-driven path
+//!   (`simulate`): the per-step radio sweep the batched campaign amortizes
 //! * `fused-campaign` — a one-run-per-location campaign (`run_campaign`)
 //!
 //! Every workload is deterministic (fixed seeds, fixed tiling), so the
@@ -179,6 +181,23 @@ fn measure() -> Vec<(&'static str, Sample)> {
         std::hint::black_box(analysis.loops.len());
         (n, 0)
     });
+    let sim_cfg = {
+        let area = area_a1(0x050FF);
+        let mut cfg = SimConfig::stationary(
+            op_t_policy(),
+            PhoneModel::OnePlus12R,
+            area.env.clone(),
+            area.locations[0],
+            42,
+        );
+        cfg.duration_ms = 300_000;
+        cfg.meas_period_ms = 1000;
+        cfg
+    };
+    let sim_step = run_workload(3, || {
+        let out = simulate(&sim_cfg);
+        (out.events.len() as u64, 0)
+    });
     let campaign = run_workload(2, || {
         let cfg = CampaignConfig {
             seed: 0x050FF,
@@ -198,6 +217,7 @@ fn measure() -> Vec<(&'static str, Sample)> {
         ("extract", extract),
         ("detect", detect),
         ("stream-feed", stream),
+        ("sim-step", sim_step),
         ("fused-campaign", campaign),
     ]
 }
@@ -275,7 +295,7 @@ fn render(results: &[(&'static str, Sample)], priors: &[(String, Prior)]) -> Str
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR5.json");
+    let mut out_path = String::from("BENCH_PR6.json");
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut threshold = 2.0f64;

@@ -1,12 +1,20 @@
 //! Run orchestration: a flat job list over locations × repeated runs ×
 //! areas, drained by a bounded work-stealing worker pool.
 //!
-//! Every (area, location, run) job is enumerated up front with its seed;
-//! workers claim jobs through a shared atomic cursor and accumulate into
-//! **private** [`Aggregates`] shards — no lock is held anywhere on the hot
-//! path. Shards are folded together once at the end through commutative
-//! [`Merge`] operations and a final deterministic record sort, so the
-//! resulting [`Dataset`] is bitwise-identical for any worker count.
+//! Every (area, location, run) job is enumerated up front with its seed.
+//! On the clean path, contiguous same-area jobs are grouped into batches
+//! and each worker steps a whole [`UeBatch`] of UEs through that area's
+//! shared [`RadioTables`] — the radio precomputation (shadowing fields,
+//! channel cell lists, compiled path-loss constants) is built once per
+//! area instead of once per run, and every UE in the batch memoizes its
+//! sweep against the shared tables. Workers claim batches through a
+//! shared atomic cursor and accumulate into **private** [`Aggregates`]
+//! shards — no lock is held anywhere on the hot path. Shards are folded
+//! together once at the end through commutative [`Merge`] operations and
+//! a final deterministic record sort; because every UE in a batch is
+//! fully independent (exact memoization, not approximation), the
+//! resulting [`Dataset`] is bitwise-identical for any worker count *and*
+//! any batch grouping.
 //!
 //! With [`CampaignConfig::chaos`] set, every run instead goes through the
 //! dirty-capture pipeline (render → corrupt → lossy re-parse → analyze),
@@ -22,11 +30,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use onoff_detect::channel::{ChannelUsage, Merge, ScellModStats};
 use onoff_detect::TraceAnalyzer;
 use onoff_nsglog::parse_str_lossy;
-use onoff_policy::{policy_for, Operator, PhoneModel};
+use onoff_policy::{policy_for, DeviceProfile, Operator, OperatorPolicy, PhoneModel};
 use onoff_radio::noise::hash_words;
+use onoff_radio::RadioTables;
 use onoff_rrc::ids::Rat;
 use onoff_rrc::perf::FxMap;
-use onoff_sim::{simulate, ChaosConfig, ChaosEngine, SimConfig, SimOutput};
+use onoff_sim::{simulate, ChaosConfig, ChaosEngine, MovementPath, SimConfig, SimOutput, UeBatch};
 
 use crate::areas::{all_areas, Area};
 use crate::dataset::{CampaignStats, Dataset};
@@ -345,25 +354,77 @@ impl Aggregates {
             // Quarantined: the run is in the ledger, not the aggregates.
             return;
         };
+        self.fold_run(area.operator, cfg.duration_ms, record, &out, &analysis);
+    }
+
+    /// Executes one contiguous same-area batch of jobs over the area's
+    /// shared precomputed tables, then feeds each run through the same
+    /// fused analysis as [`run_location`].
+    fn absorb_batch(
+        &mut self,
+        area: &Area,
+        policy: &OperatorPolicy,
+        tables: &RadioTables<'_>,
+        device: &DeviceProfile,
+        jobs: &[Job],
+        cfg: &CampaignConfig,
+    ) {
+        let mut batch = UeBatch::new(policy, device, tables, cfg.duration_ms, 1000);
+        for job in jobs {
+            batch.push(
+                MovementPath::Stationary(area.locations[job.location]),
+                job.seed,
+            );
+        }
+        for (job, out) in jobs.iter().zip(batch.run()) {
+            let mut core = TraceAnalyzer::new();
+            for ev in &out.events {
+                core.feed(ev);
+            }
+            let analysis = core.finish();
+            let record = RunRecord::from_run(
+                area.operator,
+                &area.name,
+                job.location,
+                cfg.device,
+                job.seed,
+                &out,
+                &analysis,
+            );
+            self.fold_run(area.operator, cfg.duration_ms, record, &out, &analysis);
+        }
+    }
+
+    /// Folds one finished run (record + trace + analysis) into this shard —
+    /// the single accumulation point shared by the per-job, batched and
+    /// chaos pipelines.
+    fn fold_run(
+        &mut self,
+        operator: Operator,
+        duration_ms: u64,
+        record: RunRecord,
+        out: &SimOutput,
+        analysis: &onoff_detect::RunAnalysis,
+    ) {
         self.quarantine.clamped_events += analysis.degradation.clamped_events;
-        let usage_nr = self.usage_nr.entry(area.operator).or_default();
+        let usage_nr = self.usage_nr.entry(operator).or_default();
         if record.has_loop {
             usage_nr.add_loop_transitions(&analysis.off_transitions, Rat::Nr);
         } else {
             usage_nr.add_no_loop_run(&analysis.timeline, Rat::Nr);
         }
-        let usage_lte = self.usage_lte.entry(area.operator).or_default();
+        let usage_lte = self.usage_lte.entry(operator).or_default();
         if record.has_loop {
             usage_lte.add_loop_transitions(&analysis.off_transitions, Rat::Lte);
         } else {
             usage_lte.add_no_loop_run(&analysis.timeline, Rat::Lte);
         }
         self.scell_mod
-            .entry(area.operator)
+            .entry(operator)
             .or_default()
             .add_trace(&out.events);
         self.events_processed += out.events.len() as u64;
-        self.simulated_ms += cfg.duration_ms;
+        self.simulated_ms += duration_ms;
         self.records.push(record);
     }
 }
@@ -420,14 +481,42 @@ fn enumerate_jobs(areas: &[Area], cfg: &CampaignConfig) -> Vec<Job> {
     jobs
 }
 
-/// Drains the job list with `workers` threads claiming jobs through a
-/// shared atomic cursor, then merges the per-worker shards.
-fn run_jobs(areas: &[Area], jobs: &[Job], cfg: &CampaignConfig) -> Aggregates {
-    let workers = cfg.parallelism.workers.max(1).min(jobs.len().max(1));
-    if workers == 1 {
+/// Jobs per [`UeBatch`] on the clean path. Enough UEs to amortize a
+/// batch's lockstep sweep over the shared tables, small enough that a
+/// straggler area tail still load-balances across workers.
+const BATCH: usize = 8;
+
+/// Splits the area-major job list into contiguous same-area spans of at
+/// most [`BATCH`] jobs; every span shares one environment (and therefore
+/// one set of precomputed tables).
+fn batch_spans(jobs: &[Job]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0;
+    while start < jobs.len() {
+        let area_idx = jobs[start].area_idx;
+        let mut end = start + 1;
+        while end < jobs.len() && end - start < BATCH && jobs[end].area_idx == area_idx {
+            end += 1;
+        }
+        spans.push((start, end));
+        start = end;
+    }
+    spans
+}
+
+/// Drains `units` with `workers` threads claiming through a shared atomic
+/// cursor, folding into per-worker [`Aggregates`] shards merged at the
+/// end. Every [`Merge`] impl is commutative, so the result is independent
+/// of both worker count and unit interleaving.
+fn drain_shards<U: Sync>(
+    units: &[U],
+    workers: usize,
+    absorb: impl Fn(&mut Aggregates, &U) + Sync,
+) -> Aggregates {
+    if workers <= 1 {
         let mut agg = Aggregates::default();
-        for job in jobs {
-            agg.absorb(&areas[job.area_idx], job, cfg);
+        for unit in units {
+            absorb(&mut agg, unit);
         }
         return agg;
     }
@@ -439,8 +528,8 @@ fn run_jobs(areas: &[Area], jobs: &[Job], cfg: &CampaignConfig) -> Aggregates {
                     let mut shard = Aggregates::default();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(i) else { break };
-                        shard.absorb(&areas[job.area_idx], job, cfg);
+                        let Some(unit) = units.get(i) else { break };
+                        absorb(&mut shard, unit);
                     }
                     shard
                 })
@@ -451,13 +540,43 @@ fn run_jobs(areas: &[Area], jobs: &[Job], cfg: &CampaignConfig) -> Aggregates {
             .map(|h| h.join().expect("campaign worker panicked"))
             .collect::<Vec<_>>()
     });
-    // Merge in worker order; every Merge impl is commutative, so the
-    // result is independent of both worker count and job interleaving.
     let mut agg = shards.remove(0);
     for shard in shards {
         agg.merge(shard);
     }
     agg
+}
+
+/// Drains the job list. The clean path groups contiguous same-area jobs
+/// into [`UeBatch`]es stepping over per-area precomputed [`RadioTables`];
+/// chaos mode keeps the per-run dirty-capture pipeline (render → corrupt
+/// → lossy re-parse is inherently per-run text work).
+fn run_jobs(areas: &[Area], jobs: &[Job], cfg: &CampaignConfig) -> Aggregates {
+    let workers = cfg.parallelism.workers.max(1).min(jobs.len().max(1));
+    if cfg.chaos.is_some() {
+        return drain_shards(jobs, workers, |shard, job| {
+            shard.absorb(&areas[job.area_idx], job, cfg)
+        });
+    }
+    // Per-area precomputation, built once and shared by every batch (and
+    // every worker): the policy, the device profile, and the radio tables.
+    // Tables are salt-independent — each UE applies its own per-run fading
+    // salt inside its sampler — so one unsalted build serves all seeds.
+    let policies: Vec<OperatorPolicy> = areas.iter().map(|a| policy_for(a.operator)).collect();
+    let tables: Vec<RadioTables<'_>> = areas.iter().map(|a| RadioTables::new(&a.env)).collect();
+    let device = cfg.device.profile();
+    let spans = batch_spans(jobs);
+    drain_shards(&spans, workers, |shard, &(start, end)| {
+        let area_idx = jobs[start].area_idx;
+        shard.absorb_batch(
+            &areas[area_idx],
+            &policies[area_idx],
+            &tables[area_idx],
+            &device,
+            &jobs[start..end],
+            cfg,
+        )
+    })
 }
 
 /// Runs the full eleven-area campaign and assembles the dataset.

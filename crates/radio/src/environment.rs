@@ -1,5 +1,7 @@
 //! The radio environment: cells over space, sampled as RSRP/RSRQ.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use onoff_rrc::ids::{CellId, Rat};
@@ -104,15 +106,61 @@ pub struct RadioEnvironment {
 impl RadioEnvironment {
     /// Creates an environment with default fading (2 dB) and a 50 m
     /// shadowing correlation distance.
+    ///
+    /// ARFCNs are validated against the band tables: cells whose channel
+    /// number resolves to no known carrier frequency are counted into the
+    /// process-wide [`invalid_arfcn_fallbacks`] tally and warned about once
+    /// per construction — they still *work* (the 2 GHz fallback of
+    /// [`site_freq_mhz`] keeps synthetic test channels usable), but a typo'd
+    /// channel in a real deployment no longer goes silently wrong.
     pub fn new(seed: u64, cells: Vec<CellSite>) -> RadioEnvironment {
-        RadioEnvironment {
+        let env = RadioEnvironment {
             seed,
             cells,
             fading_sigma_db: 2.0,
             shadow_corr_m: 50.0,
             fading_salt: 0,
             run_bias_sigma_db: 0.0,
+        };
+        env.warn_invalid_arfcns("RadioEnvironment::new");
+        env
+    }
+
+    /// Cells whose ARFCN is outside the band tables (these sample with the
+    /// 2 GHz fallback frequency).
+    pub fn invalid_arfcn_cells(&self) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .filter(|s| {
+                onoff_rrc::arfcn::Arfcn {
+                    rat: s.cell.rat,
+                    number: s.cell.arfcn,
+                }
+                .freq_mhz()
+                .is_none()
+            })
+            .map(|s| s.cell)
+            .collect()
+    }
+
+    /// Counts and reports out-of-table ARFCNs (at most one warning per
+    /// call site invocation; silent when every channel resolves).
+    pub(crate) fn warn_invalid_arfcns(&self, context: &str) {
+        let bad = self.invalid_arfcn_cells();
+        if bad.is_empty() {
+            return;
         }
+        INVALID_ARFCN_FALLBACKS.fetch_add(bad.len() as u64, Ordering::Relaxed);
+        eprintln!(
+            "onoff-radio [{context}]: {} cell(s) with out-of-table ARFCNs fall back to \
+             2 GHz path loss: {}",
+            bad.len(),
+            bad.iter()
+                .take(4)
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
     }
 
     /// Index of a cell by identity.
@@ -212,8 +260,18 @@ pub fn site_freq_mhz(site: &CellSite) -> f64 {
     .unwrap_or(2000.0)
 }
 
-fn dbm_to_mw(dbm: f64) -> f64 {
+pub(crate) fn dbm_to_mw(dbm: f64) -> f64 {
     10f64.powf(dbm / 10.0)
+}
+
+/// Process-wide count of cells constructed with out-of-table ARFCNs (each
+/// such cell samples with the 2 GHz path-loss fallback).
+static INVALID_ARFCN_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of out-of-table ARFCN fallbacks counted so far in this
+/// process (across every environment construction).
+pub fn invalid_arfcn_fallbacks() -> u64 {
+    INVALID_ARFCN_FALLBACKS.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

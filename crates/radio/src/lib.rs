@@ -21,8 +21,10 @@ pub mod geometry;
 pub mod noise;
 pub mod propagation;
 pub mod shadowing;
+pub mod tables;
 
-pub use environment::{CellSite, RadioEnvironment};
+pub use environment::{invalid_arfcn_fallbacks, CellSite, RadioEnvironment};
 pub use geometry::Point;
 pub use propagation::{path_loss_db, sector_gain_db, Antenna};
 pub use shadowing::ShadowingField;
+pub use tables::{RadioTables, Sampler, ScalarSampler, UeSampler};

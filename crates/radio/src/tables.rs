@@ -1,0 +1,514 @@
+//! Table-driven batched sampling: per-environment precomputation plus a
+//! per-`(p, t)` sweep cache.
+//!
+//! The scalar methods on [`RadioEnvironment`] recompute everything on every
+//! call: `local_rsrp_dbm` rebuilds the cell's [`ShadowingField`] and re-looks
+//! up the carrier frequency, and `rsrq_db` re-evaluates the *full* RSRP of
+//! every co-channel cell — one measurement sweep over an area deployment is
+//! O(cells²) gaussian-hash evaluations. [`RadioTables`] hoists everything
+//! that depends only on the environment (frequencies, shadowing fields,
+//! per-channel membership lists, a cell-identity index), and [`UeSampler`]
+//! layers the per-run state on top (fading keys, run biases) together with a
+//! sweep cache that evaluates each cell's RSRP **once** per `(p, t)` and
+//! derives every RSRQ from shared per-channel RSSI power sums.
+//!
+//! # The exact-memoization invariant
+//!
+//! The cached path is *exact memoization, not approximation*: every value a
+//! [`UeSampler`] returns is bitwise-identical to what the scalar
+//! [`RadioEnvironment`] method would return, because the cached path performs
+//! the same floating-point operations in the same order — `mean + shadow +
+//! bias`, then `local + fading`, then the RSSI sum folded over co-channel
+//! cells in environment index order starting from the noise floor. This is
+//! what keeps persisted campaign datasets bitwise-identical when the
+//! campaign driver switches between the per-call and the batched path; the
+//! invariant is enforced by the differential proptests in
+//! `onoff-sim/tests/batched_equiv.rs`.
+//!
+//! All sampling stays a pure function of `(seed, cell, position, time)`, so
+//! the caches never need invalidation beyond "is this still the same
+//! `(p, t)`" — tracked with cheap epoch counters instead of clearing.
+
+use onoff_rrc::ids::{CellId, Rat};
+use onoff_rrc::meas::{Measurement, Rsrp, Rsrq};
+
+use crate::environment::{dbm_to_mw, site_freq_mhz, RadioEnvironment, NOISE_FLOOR_DBM};
+use crate::geometry::Point;
+use crate::noise::{gaussian, gaussian_at, hash_words};
+use crate::propagation::received_power_dbm;
+use crate::shadowing::ShadowingField;
+
+/// The sampling interface the simulator engines run against.
+///
+/// Two implementations exist: [`UeSampler`] (the table-driven production
+/// path) and [`ScalarSampler`] (the original per-call path, kept as the
+/// reference for differential testing). Cells are addressed by their index
+/// in `env().cells`, exactly as [`RadioEnvironment::find`] reports it.
+pub trait Sampler {
+    /// The underlying environment (cell metadata, global knobs).
+    fn env(&self) -> &RadioEnvironment;
+
+    /// Index of a cell by identity (first occurrence, like
+    /// [`RadioEnvironment::find`]).
+    fn find(&self, cell: CellId) -> Option<usize>;
+
+    /// Local mean RSRP (shadowing + run bias, no fading), dBm.
+    fn local_rsrp_dbm(&mut self, idx: usize, p: Point) -> f64;
+
+    /// Instantaneous RSRP, dBm.
+    fn rsrp_dbm(&mut self, idx: usize, p: Point, t_ms: u64) -> f64;
+
+    /// Instantaneous RSRQ, dB.
+    fn rsrq_db(&mut self, idx: usize, p: Point, t_ms: u64) -> f64;
+
+    /// Joint clamped RSRP/RSRQ measurement.
+    fn measure(&mut self, idx: usize, p: Point, t_ms: u64) -> Measurement {
+        Measurement {
+            rsrp: Rsrp::from_db(self.rsrp_dbm(idx, p, t_ms)).clamp_reportable(),
+            rsrq: Rsrq::from_db(self.rsrq_db(idx, p, t_ms)).clamp_reportable(),
+        }
+    }
+}
+
+/// The reference implementation: delegates every call to the scalar
+/// [`RadioEnvironment`] methods. Slow (O(cells) per RSRQ), used only by
+/// differential tests and cold paths.
+#[derive(Debug)]
+pub struct ScalarSampler<'e> {
+    env: &'e RadioEnvironment,
+}
+
+impl<'e> ScalarSampler<'e> {
+    /// Wraps an environment. The environment's `fading_salt` is used as-is;
+    /// salt it before wrapping when modelling a specific run.
+    pub fn new(env: &'e RadioEnvironment) -> ScalarSampler<'e> {
+        ScalarSampler { env }
+    }
+}
+
+impl Sampler for ScalarSampler<'_> {
+    fn env(&self) -> &RadioEnvironment {
+        self.env
+    }
+
+    fn find(&self, cell: CellId) -> Option<usize> {
+        self.env.find(cell)
+    }
+
+    fn local_rsrp_dbm(&mut self, idx: usize, p: Point) -> f64 {
+        self.env.local_rsrp_dbm(&self.env.cells[idx], p)
+    }
+
+    fn rsrp_dbm(&mut self, idx: usize, p: Point, t_ms: u64) -> f64 {
+        self.env.rsrp_dbm(&self.env.cells[idx], p, t_ms)
+    }
+
+    fn rsrq_db(&mut self, idx: usize, p: Point, t_ms: u64) -> f64 {
+        self.env.rsrq_db(&self.env.cells[idx], p, t_ms)
+    }
+}
+
+/// Per-cell precomputed constants (everything salt-independent).
+#[derive(Debug, Clone, Copy)]
+struct CellTable {
+    /// Carrier frequency (band-table lookup hoisted out of the hot path).
+    freq_mhz: f64,
+    /// The cell's shadowing field, constructed once instead of per call.
+    shadow: ShadowingField,
+    /// Index into [`RadioTables::channels`].
+    channel: u32,
+    /// `CellSite::key()`, used by the fading and bias streams.
+    site_key: u64,
+}
+
+/// One distinct RAT+channel and its member cells.
+#[derive(Debug, Clone)]
+struct ChannelTable {
+    rat: Rat,
+    arfcn: u32,
+    /// Member cell indices, ascending — the iteration order of
+    /// [`RadioEnvironment::on_channel`], which the RSSI sum must reproduce.
+    members: Vec<u32>,
+}
+
+/// Per-environment precomputation shared by every run (and every UE of a
+/// campaign batch) in that environment. Salt-independent: fading keys and
+/// run biases live in [`UeSampler`].
+#[derive(Debug)]
+pub struct RadioTables<'e> {
+    env: &'e RadioEnvironment,
+    cells: Vec<CellTable>,
+    channels: Vec<ChannelTable>,
+    /// `(cell, first index)` sorted by cell — `find` without a linear scan.
+    index: Vec<(CellId, u32)>,
+}
+
+impl<'e> RadioTables<'e> {
+    /// Precomputes the tables for an environment. Out-of-table ARFCNs are
+    /// counted and warned about (once), then fall back to 2 GHz exactly as
+    /// the scalar path does.
+    pub fn new(env: &'e RadioEnvironment) -> RadioTables<'e> {
+        env.warn_invalid_arfcns("RadioTables");
+        let mut channels: Vec<ChannelTable> = Vec::new();
+        let mut cells = Vec::with_capacity(env.cells.len());
+        for (i, site) in env.cells.iter().enumerate() {
+            let chan = channels
+                .iter()
+                .position(|c| c.rat == site.cell.rat && c.arfcn == site.cell.arfcn)
+                .unwrap_or_else(|| {
+                    channels.push(ChannelTable {
+                        rat: site.cell.rat,
+                        arfcn: site.cell.arfcn,
+                        members: Vec::new(),
+                    });
+                    channels.len() - 1
+                });
+            channels[chan].members.push(i as u32);
+            cells.push(CellTable {
+                freq_mhz: site_freq_mhz(site),
+                shadow: ShadowingField::new(
+                    ShadowingField::seed_for(env.seed, site.shadow_key()),
+                    site.shadow_sigma_db,
+                    env.shadow_corr_m,
+                ),
+                channel: chan as u32,
+                site_key: site.key(),
+            });
+        }
+        let mut index: Vec<(CellId, u32)> = env
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.cell, i as u32))
+            .collect();
+        // Stable sort keeps the first occurrence first among duplicates, so
+        // the binary search below finds exactly what `env.find` would.
+        index.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        index.dedup_by_key(|e| e.0);
+        RadioTables {
+            env,
+            cells,
+            channels,
+            index,
+        }
+    }
+
+    /// The environment the tables were built from.
+    pub fn env(&self) -> &'e RadioEnvironment {
+        self.env
+    }
+}
+
+const NO_EPOCH: u64 = u64::MAX;
+
+/// Per-UE (per-run) sampling state over shared [`RadioTables`]: the
+/// salt-dependent constants plus the `(p, t)` sweep cache.
+#[derive(Debug)]
+pub struct UeSampler<'a> {
+    tables: &'a RadioTables<'a>,
+    /// Per-cell first fading hash word:
+    /// `hash_words([seed, salt, site_key, 0xFAD1])`.
+    fading_key: Vec<u64>,
+    /// Per-cell run bias, dB (zero when `run_bias_sigma_db` is zero).
+    bias: Vec<f64>,
+
+    // Local-mean cache: valid while the position is unchanged (stationary
+    // runs compute each cell's local mean exactly once).
+    mean_p: Point,
+    mean_epoch_now: u64,
+    mean_epoch: Vec<u64>,
+    mean: Vec<f64>,
+
+    // Instantaneous sweep cache, keyed on the exact (p, t).
+    inst_p: Point,
+    inst_t: u64,
+    inst_epoch_now: u64,
+    rsrp_epoch: Vec<u64>,
+    rsrp: Vec<f64>,
+    rssi_epoch: Vec<u64>,
+    rssi_mw: Vec<f64>,
+}
+
+impl<'a> UeSampler<'a> {
+    /// A sampler using the environment's own `fading_salt`.
+    pub fn new(tables: &'a RadioTables<'a>) -> UeSampler<'a> {
+        UeSampler::with_salt(tables, tables.env.fading_salt)
+    }
+
+    /// A sampler with an explicit fast-fading salt (one per run): exactly
+    /// equivalent to cloning the environment, setting `fading_salt`, and
+    /// rebuilding — without rebuilding any of the shared tables.
+    pub fn with_salt(tables: &'a RadioTables<'a>, fading_salt: u64) -> UeSampler<'a> {
+        let env = tables.env;
+        let n = tables.cells.len();
+        let mut fading_key = Vec::with_capacity(n);
+        let mut bias = Vec::with_capacity(n);
+        for ct in &tables.cells {
+            fading_key.push(hash_words(&[env.seed, fading_salt, ct.site_key, 0xFAD1]));
+            bias.push(if env.run_bias_sigma_db > 0.0 {
+                env.run_bias_sigma_db * gaussian_at(&[env.seed, fading_salt, ct.site_key, 0xB1A5])
+            } else {
+                0.0
+            });
+        }
+        UeSampler {
+            tables,
+            fading_key,
+            bias,
+            mean_p: Point::new(f64::NAN, f64::NAN),
+            mean_epoch_now: 0,
+            mean_epoch: vec![NO_EPOCH; n],
+            mean: vec![0.0; n],
+            inst_p: Point::new(f64::NAN, f64::NAN),
+            inst_t: u64::MAX,
+            inst_epoch_now: 0,
+            rsrp_epoch: vec![NO_EPOCH; n],
+            rsrp: vec![0.0; n],
+            rssi_epoch: vec![NO_EPOCH; tables.channels.len()],
+            rssi_mw: vec![0.0; tables.channels.len()],
+        }
+    }
+
+    /// Bumps the mean-cache epoch when the position moved; entries stamped
+    /// with an older epoch are stale without any clearing pass.
+    fn sync_mean(&mut self, p: Point) {
+        if p != self.mean_p {
+            self.mean_p = p;
+            self.mean_epoch_now = self.mean_epoch_now.wrapping_add(1);
+        }
+    }
+
+    /// Bumps the instantaneous-cache epoch when `(p, t)` moved.
+    fn sync_inst(&mut self, p: Point, t_ms: u64) {
+        self.sync_mean(p);
+        if p != self.inst_p || t_ms != self.inst_t {
+            self.inst_p = p;
+            self.inst_t = t_ms;
+            self.inst_epoch_now = self.inst_epoch_now.wrapping_add(1);
+        }
+    }
+
+    /// Local mean, cached per position. Same expression — and the same
+    /// left-to-right addition order — as `RadioEnvironment::local_rsrp_dbm`.
+    fn mean_at(&mut self, idx: usize, p: Point) -> f64 {
+        if self.mean_epoch[idx] == self.mean_epoch_now {
+            return self.mean[idx];
+        }
+        let site = &self.tables.env.cells[idx];
+        let ct = &self.tables.cells[idx];
+        let mean = received_power_dbm(
+            site.tx_power_dbm,
+            &site.antenna,
+            site.tower,
+            p,
+            ct.freq_mhz,
+            site.path_loss_exponent,
+        );
+        let v = mean + ct.shadow.at(p) + self.bias[idx];
+        self.mean_epoch[idx] = self.mean_epoch_now;
+        self.mean[idx] = v;
+        v
+    }
+
+    /// Instantaneous RSRP, cached per `(p, t)`. Mirrors
+    /// `RadioEnvironment::rsrp_dbm` operation for operation.
+    fn rsrp_at(&mut self, idx: usize, p: Point, t_ms: u64) -> f64 {
+        if self.rsrp_epoch[idx] == self.inst_epoch_now {
+            return self.rsrp[idx];
+        }
+        let fading = self.tables.env.fading_sigma_db
+            * gaussian(hash_words(&[
+                self.fading_key[idx],
+                t_ms / 100,
+                (p.x.round() as i64) as u64,
+                (p.y.round() as i64) as u64,
+            ]));
+        let v = self.mean_at(idx, p) + fading;
+        self.rsrp_epoch[idx] = self.inst_epoch_now;
+        self.rsrp[idx] = v;
+        v
+    }
+
+    /// Per-channel wideband RSSI (mW), computed once per `(p, t)` from the
+    /// shared RSRP sweep: the noise floor plus 12 resource elements of every
+    /// member cell, folded in ascending cell-index order — the iteration
+    /// order of `RadioEnvironment::on_channel`.
+    fn rssi_at(&mut self, chan: usize, p: Point, t_ms: u64) -> f64 {
+        if self.rssi_epoch[chan] == self.inst_epoch_now {
+            return self.rssi_mw[chan];
+        }
+        let tables = self.tables;
+        let mut rssi_mw = dbm_to_mw(NOISE_FLOOR_DBM) * 12.0;
+        for &m in &tables.channels[chan].members {
+            rssi_mw += 12.0 * dbm_to_mw(self.rsrp_at(m as usize, p, t_ms));
+        }
+        self.rssi_epoch[chan] = self.inst_epoch_now;
+        self.rssi_mw[chan] = rssi_mw;
+        rssi_mw
+    }
+}
+
+impl Sampler for UeSampler<'_> {
+    fn env(&self) -> &RadioEnvironment {
+        self.tables.env
+    }
+
+    fn find(&self, cell: CellId) -> Option<usize> {
+        self.tables
+            .index
+            .binary_search_by(|e| e.0.cmp(&cell))
+            .ok()
+            .map(|i| self.tables.index[i].1 as usize)
+    }
+
+    fn local_rsrp_dbm(&mut self, idx: usize, p: Point) -> f64 {
+        self.sync_mean(p);
+        self.mean_at(idx, p)
+    }
+
+    fn rsrp_dbm(&mut self, idx: usize, p: Point, t_ms: u64) -> f64 {
+        self.sync_inst(p, t_ms);
+        self.rsrp_at(idx, p, t_ms)
+    }
+
+    fn rsrq_db(&mut self, idx: usize, p: Point, t_ms: u64) -> f64 {
+        self.sync_inst(p, t_ms);
+        let serving_mw = dbm_to_mw(self.rsrp_at(idx, p, t_ms));
+        let chan = self.tables.cells[idx].channel as usize;
+        let rssi_mw = self.rssi_at(chan, p, t_ms);
+        10.0 * (serving_mw / rssi_mw).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::CellSite;
+    use onoff_rrc::ids::Pci;
+
+    fn env() -> RadioEnvironment {
+        let mut e = RadioEnvironment::new(
+            42,
+            vec![
+                CellSite::macro_site(
+                    CellId::nr(Pci(393), 521310),
+                    Point::new(0.0, 0.0),
+                    0.0,
+                    90.0,
+                ),
+                CellSite::macro_site(
+                    CellId::nr(Pci(104), 521310),
+                    Point::new(800.0, 0.0),
+                    std::f64::consts::PI,
+                    90.0,
+                ),
+                CellSite::macro_site(
+                    CellId::nr(Pci(273), 387410),
+                    Point::new(0.0, 0.0),
+                    0.3,
+                    10.0,
+                ),
+                CellSite::macro_site(CellId::lte(Pci(380), 5815), Point::new(0.0, 0.0), 0.0, 10.0),
+            ],
+        );
+        e.run_bias_sigma_db = 1.5;
+        e.fading_salt = 77;
+        e
+    }
+
+    /// The invariant in one test: every sampler output is bitwise-identical
+    /// to the scalar path, across cells, positions and times.
+    #[test]
+    fn exact_memoization_vs_scalar() {
+        let e = env();
+        let tables = RadioTables::new(&e);
+        let mut fast = UeSampler::new(&tables);
+        let mut slow = ScalarSampler::new(&e);
+        for (px, py, t) in [
+            (100.0, 50.0, 0u64),
+            (100.0, 50.0, 1000),
+            (100.0, 50.0, 1050),
+            (-340.5, 612.25, 1000),
+            (100.0, 50.0, 2000),
+        ] {
+            let p = Point::new(px, py);
+            for idx in 0..e.cells.len() {
+                assert_eq!(
+                    fast.local_rsrp_dbm(idx, p).to_bits(),
+                    slow.local_rsrp_dbm(idx, p).to_bits()
+                );
+                assert_eq!(
+                    fast.rsrp_dbm(idx, p, t).to_bits(),
+                    slow.rsrp_dbm(idx, p, t).to_bits()
+                );
+                assert_eq!(
+                    fast.rsrq_db(idx, p, t).to_bits(),
+                    slow.rsrq_db(idx, p, t).to_bits()
+                );
+                assert_eq!(fast.measure(idx, p, t), slow.measure(idx, p, t));
+            }
+        }
+    }
+
+    #[test]
+    fn with_salt_equals_salted_environment() {
+        let base = env();
+        let mut salted = base.clone();
+        salted.fading_salt = 12345;
+        let t_base = RadioTables::new(&base);
+        let t_salted = RadioTables::new(&salted);
+        let mut a = UeSampler::with_salt(&t_base, 12345);
+        let mut b = UeSampler::new(&t_salted);
+        let p = Point::new(211.0, -87.5);
+        for idx in 0..base.cells.len() {
+            assert_eq!(
+                a.rsrp_dbm(idx, p, 4321).to_bits(),
+                b.rsrp_dbm(idx, p, 4321).to_bits()
+            );
+            assert_eq!(a.measure(idx, p, 999), b.measure(idx, p, 999));
+        }
+    }
+
+    #[test]
+    fn find_matches_env_find() {
+        let e = env();
+        let tables = RadioTables::new(&e);
+        let s = UeSampler::new(&tables);
+        for site in &e.cells {
+            assert_eq!(s.find(site.cell), e.find(site.cell));
+        }
+        assert_eq!(s.find(CellId::nr(Pci(1), 1)), None);
+    }
+
+    #[test]
+    fn find_returns_first_duplicate() {
+        let dup = CellId::nr(Pci(7), 521310);
+        let mk = |x: f64| CellSite::macro_site(dup, Point::new(x, 0.0), 0.0, 90.0);
+        let e = RadioEnvironment::new(1, vec![mk(0.0), mk(500.0)]);
+        let tables = RadioTables::new(&e);
+        let s = UeSampler::new(&tables);
+        assert_eq!(s.find(dup), Some(0));
+        assert_eq!(e.find(dup), Some(0));
+    }
+
+    #[test]
+    fn moving_ue_invalidates_caches() {
+        let e = env();
+        let tables = RadioTables::new(&e);
+        let mut fast = UeSampler::new(&tables);
+        let mut slow = ScalarSampler::new(&e);
+        // Walk through positions re-visiting an earlier point: cache entries
+        // must track the *current* key, not the history.
+        for (i, x) in [0.0, 10.0, 0.0, 20.0, 10.0].iter().enumerate() {
+            let p = Point::new(*x, 5.0);
+            let t = (i as u64) * 500;
+            for idx in 0..e.cells.len() {
+                assert_eq!(
+                    fast.measure(idx, p, t),
+                    slow.measure(idx, p, t),
+                    "idx {idx} step {i}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Batched, table-driven UE stepping.
+//!
+//! [`UeBatch`] lays per-UE connection state out struct-of-arrays: one shared
+//! [`RadioTables`] + [`PolicyTables`] per environment, and per UE a sampler
+//! (its memoization caches), an engine core, an RNG and a recorder. All UEs
+//! advance in lockstep through the measurement grid, so a campaign worker
+//! steps a whole batch of runs over shared tables instead of rebuilding the
+//! radio precomputation per run.
+//!
+//! Each UE's engine, RNG and sampler are fully independent — a UE's output
+//! is bitwise-identical to [`crate::simulate`] on the equivalent
+//! single-run config, regardless of how runs are grouped into batches
+//! (enforced by `tests/batched_equiv.rs`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use onoff_policy::{DeviceProfile, FivegMode, OperatorPolicy};
+use onoff_radio::{RadioTables, UeSampler};
+
+use crate::config::MovementPath;
+use crate::nsa::NsaCore;
+use crate::output::SimOutput;
+use crate::policy_tables::{PolicyTables, StepCtx};
+use crate::recorder::Recorder;
+use crate::sa::SaCore;
+
+/// One UE's engine state, dispatched on the operator's deployment mode.
+enum Core {
+    Sa(SaCore),
+    Nsa(NsaCore),
+}
+
+/// A batch of UEs stepping in lockstep through one operator's environment.
+pub struct UeBatch<'a> {
+    policy: &'a OperatorPolicy,
+    device: &'a DeviceProfile,
+    ptab: PolicyTables,
+    duration_ms: u64,
+    meas_period_ms: u64,
+    // Struct-of-arrays per-UE state, index-aligned.
+    seeds: Vec<u64>,
+    paths: Vec<MovementPath>,
+    cores: Vec<Core>,
+    rngs: Vec<StdRng>,
+    recs: Vec<Recorder>,
+    samplers: Vec<UeSampler<'a>>,
+    tables: &'a RadioTables<'a>,
+}
+
+impl<'a> UeBatch<'a> {
+    /// An empty batch over shared tables.
+    pub fn new(
+        policy: &'a OperatorPolicy,
+        device: &'a DeviceProfile,
+        tables: &'a RadioTables<'a>,
+        duration_ms: u64,
+        meas_period_ms: u64,
+    ) -> UeBatch<'a> {
+        UeBatch {
+            policy,
+            device,
+            ptab: PolicyTables::new(policy),
+            duration_ms,
+            meas_period_ms,
+            seeds: Vec::new(),
+            paths: Vec::new(),
+            cores: Vec::new(),
+            rngs: Vec::new(),
+            recs: Vec::new(),
+            samplers: Vec::new(),
+            tables,
+        }
+    }
+
+    /// Adds one UE (one run) to the batch. Seeding matches the single-run
+    /// engines exactly: per-run fading salt, SA RNG from `seed`, NSA RNG
+    /// from `seed ^ 0x4E5A`.
+    pub fn push(&mut self, path: MovementPath, seed: u64) {
+        self.samplers.push(UeSampler::with_salt(self.tables, seed));
+        self.cores.push(match self.policy.mode {
+            FivegMode::Sa => Core::Sa(SaCore::new()),
+            FivegMode::Nsa => Core::Nsa(NsaCore::new()),
+        });
+        self.rngs.push(match self.policy.mode {
+            FivegMode::Sa => StdRng::seed_from_u64(seed),
+            FivegMode::Nsa => StdRng::seed_from_u64(seed ^ 0x4E5A),
+        });
+        self.recs.push(Recorder::new());
+        self.seeds.push(seed);
+        self.paths.push(path);
+    }
+
+    /// Number of UEs in the batch.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Steps every UE through the full run; returns one [`SimOutput`] per
+    /// `push`, in push order.
+    pub fn run(self) -> Vec<SimOutput> {
+        let UeBatch {
+            policy,
+            device,
+            ptab,
+            duration_ms,
+            meas_period_ms,
+            seeds,
+            paths,
+            mut cores,
+            mut rngs,
+            mut recs,
+            mut samplers,
+            tables: _,
+        } = self;
+        let mut t = 0u64;
+        while t < duration_ms {
+            for i in 0..cores.len() {
+                let cx = StepCtx {
+                    policy,
+                    device,
+                    path: &paths[i],
+                    ptab: &ptab,
+                    seed: seeds[i],
+                };
+                match &mut cores[i] {
+                    Core::Sa(core) => {
+                        core.step(&cx, &mut samplers[i], &mut rngs[i], &mut recs[i], t)
+                    }
+                    Core::Nsa(core) => {
+                        core.step(&cx, &mut samplers[i], &mut rngs[i], &mut recs[i], t)
+                    }
+                }
+            }
+            t += meas_period_ms;
+        }
+        recs.into_iter().map(Recorder::finish).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::simulate;
+    use onoff_policy::{op_a_policy, op_t_policy, PhoneModel};
+    use onoff_radio::{CellSite, Point, RadioEnvironment};
+    use onoff_rrc::ids::{CellId, Pci};
+
+    fn env() -> RadioEnvironment {
+        RadioEnvironment::new(
+            7,
+            vec![
+                CellSite::macro_site(
+                    CellId::nr(Pci(393), 521310),
+                    Point::new(-200.0, 0.0),
+                    0.0,
+                    90.0,
+                ),
+                CellSite::macro_site(
+                    CellId::nr(Pci(104), 387410),
+                    Point::new(-200.0, 0.0),
+                    0.0,
+                    10.0,
+                ),
+                CellSite::macro_site(
+                    CellId::lte(Pci(380), 5145),
+                    Point::new(-200.0, 0.0),
+                    0.0,
+                    10.0,
+                ),
+                CellSite::macro_site(
+                    CellId::nr(Pci(53), 632736),
+                    Point::new(-200.0, 0.0),
+                    0.0,
+                    40.0,
+                ),
+            ],
+        )
+    }
+
+    /// A batch of N runs equals N independent `simulate` calls, bitwise.
+    #[test]
+    fn batch_matches_single_runs() {
+        for policy in [op_t_policy(), op_a_policy()] {
+            let e = env();
+            let device = PhoneModel::OnePlus12R.profile();
+            let tables = RadioTables::new(&e);
+            let mut batch = UeBatch::new(&policy, &device, &tables, 60_000, 1000);
+            let jobs: Vec<(Point, u64)> = vec![
+                (Point::new(0.0, 0.0), 3),
+                (Point::new(-150.0, 40.0), 4),
+                (Point::new(80.0, -30.0), 3),
+            ];
+            for (p, seed) in &jobs {
+                batch.push(MovementPath::Stationary(*p), *seed);
+            }
+            assert_eq!(batch.len(), 3);
+            let outs = batch.run();
+            for (out, (p, seed)) in outs.iter().zip(&jobs) {
+                let mut cfg =
+                    SimConfig::stationary(policy.clone(), PhoneModel::OnePlus12R, env(), *p, *seed);
+                cfg.duration_ms = 60_000;
+                cfg.meas_period_ms = 1000;
+                assert_eq!(*out, simulate(&cfg));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_runs() {
+        let policy = op_t_policy();
+        let device = PhoneModel::OnePlus12R.profile();
+        let e = env();
+        let tables = RadioTables::new(&e);
+        let batch = UeBatch::new(&policy, &device, &tables, 10_000, 1000);
+        assert!(batch.is_empty());
+        assert!(batch.run().is_empty());
+    }
+}

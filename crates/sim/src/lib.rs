@@ -19,30 +19,45 @@
 //! * [`nsa::run_nsa`] — 5G NSA engine (OP_A/OP_V): N1E1/N1E2/N2E1/N2E2.
 //! * [`simulate`] — dispatch on the policy's deployment mode.
 
+pub mod batch;
 pub mod chaos;
 pub mod config;
 pub mod nsa;
 pub mod output;
+pub mod policy_tables;
 pub mod recorder;
 pub mod sa;
 pub mod select;
 pub mod synth;
 pub mod throughput;
 
+pub use batch::UeBatch;
 pub use chaos::{
     chaos_text, chaos_trace, ChaosConfig, ChaosEngine, Injection, InjectionKind, InjectionManifest,
 };
 pub use config::{MovementPath, SimConfig};
 pub use output::{GroundTruth, InjectedCause, SimOutput};
+pub use policy_tables::{ChanFlags, PolicyTables};
 pub use synth::TraceBuilder;
 
 use onoff_policy::FivegMode;
 
 /// Runs one simulated measurement run, dispatching on the operator's 5G
-/// deployment mode.
+/// deployment mode. Uses the batched table-driven radio path; see
+/// [`simulate_scalar`] for the per-call reference path.
 pub fn simulate(cfg: &SimConfig) -> SimOutput {
     match cfg.policy.mode {
         FivegMode::Sa => sa::run_sa(cfg),
         FivegMode::Nsa => nsa::run_nsa(cfg),
+    }
+}
+
+/// Runs one simulated measurement run on the scalar per-call radio path —
+/// the reference implementation [`simulate`] is checked against (exact
+/// memoization: both produce bitwise-identical output).
+pub fn simulate_scalar(cfg: &SimConfig) -> SimOutput {
+    match cfg.policy.mode {
+        FivegMode::Sa => sa::run_sa_scalar(cfg),
+        FivegMode::Nsa => nsa::run_nsa_scalar(cfg),
     }
 }

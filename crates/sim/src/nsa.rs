@@ -13,12 +13,18 @@
 //! 5G turns back ON through B1-triggered SCG addition — gated, after an SCG
 //! *failure*, by the operator's measurement-configuration cadence (OP_V:
 //! every 30 s, hence its long N2E2 OFF times).
+//!
+//! The state machine lives in [`NsaCore`], generic over [`Sampler`]: one
+//! `step` per measurement period against either the scalar per-call radio
+//! path or the table-driven memoizing path, with bitwise-identical output.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use onoff_radio::{RadioTables, Sampler, ScalarSampler, UeSampler};
 use onoff_rrc::events::{EventKind, MeasEvent, Threshold, TriggerQuantity};
 use onoff_rrc::ids::{CellId, GlobalCellId, Rat};
+use onoff_rrc::meas::Measurement;
 use onoff_rrc::messages::{
     MeasResult, MeasurementReport, ReconfigBody, ReestablishmentCause, RrcMessage, ScellAddMod,
     ScgFailureType,
@@ -27,6 +33,7 @@ use onoff_rrc::serving::ServingCellSet;
 
 use crate::config::{timing, SimConfig};
 use crate::output::{InjectedCause, SimOutput};
+use crate::policy_tables::{PolicyTables, StepCtx};
 use crate::recorder::Recorder;
 use crate::select::{co_sited_on_channel, measure_cell, strongest_cell_mean};
 use crate::throughput::sample_mbps;
@@ -49,45 +56,86 @@ struct Conn {
     b1_gate_at: u64,
 }
 
-/// Runs a full NSA simulation.
-pub fn run_nsa(cfg: &SimConfig) -> SimOutput {
-    let mut rec = Recorder::new();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4E5A);
-    let mut state = State::Idle { until: 0 };
-    let mut next_tp = 0u64;
-    let op = cfg.policy.operator;
+/// The steppable NSA state machine: one UE's RRC lifecycle, advanced one
+/// measurement period at a time against any [`Sampler`].
+pub(crate) struct NsaCore {
+    state: State,
+    /// Next 1 s throughput-grid sample time.
+    next_tp: u64,
+}
 
-    // Fresh fast fading for this run, same shadowing structure.
-    let mut cfg = cfg.clone();
-    cfg.env.fading_salt = cfg.seed;
-    let cfg = &cfg;
+impl NsaCore {
+    pub(crate) fn new() -> NsaCore {
+        NsaCore {
+            state: State::Idle { until: 0 },
+            next_tp: 0,
+        }
+    }
 
-    let mut t = 0u64;
-    while t < cfg.duration_ms {
-        let p = cfg.path.at(t);
+    /// Advances the UE to time `t`: throughput samples due up to `t`, then
+    /// one round of RRC procedures.
+    pub(crate) fn step<S: Sampler>(
+        &mut self,
+        cx: &StepCtx<'_>,
+        s: &mut S,
+        rng: &mut StdRng,
+        rec: &mut Recorder,
+        t: u64,
+    ) {
+        let p = cx.path.at(t);
+        let op = cx.policy.operator;
 
         // Throughput sampling on a 1 s grid, against the state in effect
         // *before* this step's procedures (a sample at second k describes
         // the service up to k, not the reconfiguration happening at k).
-        while next_tp <= t {
-            let cs = match &state {
+        while self.next_tp <= t {
+            let cs = match &self.state {
                 State::Conn(c) => c.cs.clone(),
                 State::Idle { .. } => ServingCellSet::idle(),
             };
             rec.throughput(
-                next_tp,
-                sample_mbps(&cfg.env, op, &cs, p, next_tp, cfg.seed),
+                self.next_tp,
+                sample_mbps(s, op, &cs, p, self.next_tp, cx.seed),
             );
-            next_tp += 1000;
+            self.next_tp += 1000;
         }
 
-        state = match state {
-            State::Idle { until } if t >= until => try_establish(cfg, &mut rec, &mut rng, t, p)
-                .map_or(State::Idle { until }, State::Conn),
+        self.state = match std::mem::replace(&mut self.state, State::Idle { until: 0 }) {
+            State::Idle { until } if t >= until => {
+                try_establish(cx, s, rec, rng, t, p).map_or(State::Idle { until }, State::Conn)
+            }
             idle @ State::Idle { .. } => idle,
-            State::Conn(conn) => step_connected(cfg, &mut rec, &mut rng, t, p, conn),
+            State::Conn(conn) => step_connected(cx, s, rec, rng, t, p, conn),
         };
+    }
+}
 
+/// Runs a full NSA simulation on the table-driven radio path.
+pub fn run_nsa(cfg: &SimConfig) -> SimOutput {
+    let tables = RadioTables::new(&cfg.env);
+    // Fresh fast fading for this run, same shadowing structure.
+    let mut s = UeSampler::with_salt(&tables, cfg.seed);
+    run_nsa_with(cfg, &mut s)
+}
+
+/// Runs a full NSA simulation on the scalar per-call radio path — the
+/// reference implementation the batched path is checked against.
+pub fn run_nsa_scalar(cfg: &SimConfig) -> SimOutput {
+    let mut cfg = cfg.clone();
+    cfg.env.fading_salt = cfg.seed;
+    let mut s = ScalarSampler::new(&cfg.env);
+    run_nsa_with(&cfg, &mut s)
+}
+
+fn run_nsa_with<S: Sampler>(cfg: &SimConfig, s: &mut S) -> SimOutput {
+    let ptab = PolicyTables::new(&cfg.policy);
+    let cx = StepCtx::of(cfg, &ptab);
+    let mut rec = Recorder::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4E5A);
+    let mut core = NsaCore::new();
+    let mut t = 0u64;
+    while t < cfg.duration_ms {
+        core.step(&cx, s, &mut rng, &mut rec, t);
         t += cfg.meas_period_ms;
     }
     rec.finish()
@@ -108,18 +156,18 @@ fn fresh_holdoff(rng: &mut StdRng, t: u64) -> u64 {
     t + rng.random_range(timing::HO_HOLDOFF_MS.0..=timing::HO_HOLDOFF_MS.1)
 }
 
-fn try_establish(
-    cfg: &SimConfig,
+fn try_establish<S: Sampler>(
+    cx: &StepCtx<'_>,
+    s: &mut S,
     rec: &mut Recorder,
     rng: &mut StdRng,
     t: u64,
     p: onoff_radio::Point,
 ) -> Option<Conn> {
-    let floor = cfg.policy.q_rx_lev_min_deci;
+    let floor = cx.policy.q_rx_lev_min_deci;
     // Mean-field selection: the same location camps on the same PCell.
-    let (pcell, _) = strongest_cell_mean(&cfg.env, p, |c| c.rat == Rat::Lte)
+    let (pcell, _) = strongest_cell_mean(s, p, |c| c.cell.rat == Rat::Lte)
         .filter(|(_, mean)| *mean * 10.0 > floor as f64)?;
-    let _ = t;
 
     let gid = GlobalCellId(0x4000_0000u64 | u64::from(pcell.pci.0) << 20 | u64::from(pcell.arfcn));
     rec.rrc(
@@ -166,19 +214,19 @@ fn try_establish(
     // Initial measurement configuration: B1 per NR channel, A2/A3 per LTE
     // channel (the shapes in Figs. 30–33).
     let mut meas_config: Vec<MeasEvent> = Vec::new();
-    for c in cfg.policy.nr_channels() {
+    for c in cx.policy.nr_channels() {
         meas_config.push(MeasEvent::new(
             EventKind::B1 {
-                threshold: Threshold(cfg.policy.b1_threshold_deci),
+                threshold: Threshold(cx.policy.b1_threshold_deci),
             },
             TriggerQuantity::Rsrp,
             c.arfcn,
         ));
     }
-    for c in cfg.policy.lte_channels() {
+    for c in cx.policy.lte_channels() {
         meas_config.push(MeasEvent::new(
             EventKind::A3 {
-                offset: cfg.policy.a3_offset_deci,
+                offset: cx.policy.a3_offset_deci,
             },
             TriggerQuantity::Rsrq,
             c.arfcn,
@@ -209,8 +257,9 @@ fn try_establish(
 }
 
 /// Re-establishes the connection on the strongest LTE cell after a failure.
-fn reestablish(
-    cfg: &SimConfig,
+fn reestablish<S: Sampler>(
+    cx: &StepCtx<'_>,
+    s: &mut S,
     rec: &mut Recorder,
     rng: &mut StdRng,
     t: u64,
@@ -223,8 +272,8 @@ fn reestablish(
         None,
         RrcMessage::ReestablishmentRequest { cause },
     );
-    match strongest_cell_mean(&cfg.env, p, |c| c.rat == Rat::Lte)
-        .filter(|(_, mean)| *mean * 10.0 > cfg.policy.q_rx_lev_min_deci as f64)
+    match strongest_cell_mean(s, p, |c| c.cell.rat == Rat::Lte)
+        .filter(|(_, mean)| *mean * 10.0 > cx.policy.q_rx_lev_min_deci as f64)
     {
         Some((best, _)) => {
             rec.rrc(
@@ -247,8 +296,9 @@ fn reestablish(
     }
 }
 
-fn step_connected(
-    cfg: &SimConfig,
+fn step_connected<S: Sampler>(
+    cx: &StepCtx<'_>,
+    s: &mut S,
     rec: &mut Recorder,
     rng: &mut StdRng,
     t: u64,
@@ -256,9 +306,9 @@ fn step_connected(
     mut conn: Conn,
 ) -> State {
     let pcell = conn.cs.pcell().expect("NSA connection always has a PCell");
-    let Some(pcell_meas) = measure_cell(&cfg.env, pcell, p, t) else {
+    let Some(pcell_meas) = measure_cell(s, pcell, p, t) else {
         // PCell vanished from the environment (shouldn't happen in practice).
-        return reestablish(cfg, rec, rng, t, p, ReestablishmentCause::OtherFailure);
+        return reestablish(cx, s, rec, rng, t, p, ReestablishmentCause::OtherFailure);
     };
 
     // N1E1: radio link failure on the 4G PCell.
@@ -266,22 +316,30 @@ fn step_connected(
         conn.rlf_rounds += 1;
         if conn.rlf_rounds >= timing::RLF_ROUNDS {
             rec.truth(t, InjectedCause::PcellRlf { cell: pcell });
-            return reestablish(cfg, rec, rng, t + 5, p, ReestablishmentCause::OtherFailure);
+            return reestablish(
+                cx,
+                s,
+                rec,
+                rng,
+                t + 5,
+                p,
+                ReestablishmentCause::OtherFailure,
+            );
         }
     } else {
         conn.rlf_rounds = 0;
     }
 
-    let device_5g = cfg.device.supports_5g_on(cfg.policy.operator);
+    let device_5g = cx.device.supports_5g_on(cx.policy.operator);
 
     // 5G measurement sweep (B1) — allowed on 5G-disabled channels too, and
     // gated after SCG failures by the operator's config cadence.
     if device_5g && t >= conn.b1_gate_at && conn.cs.scg.is_none() {
         // Cell choice by local mean (stable across the run); the B1 event
         // itself is still gated by the instantaneous sample.
-        let best_nr = strongest_cell_mean(&cfg.env, p, |c| c.rat == Rat::Nr)
-            .and_then(|(c, _)| measure_cell(&cfg.env, c, p, t).map(|m| (c, m)))
-            .filter(|(_, m)| m.rsrp.deci() > cfg.policy.b1_threshold_deci);
+        let best_nr = strongest_cell_mean(s, p, |c| c.cell.rat == Rat::Nr)
+            .and_then(|(c, _)| measure_cell(s, c, p, t).map(|m| (c, m)))
+            .filter(|(_, m)| m.rsrp.deci() > cx.policy.b1_threshold_deci);
         if let Some((nr_cell, nr_meas)) = best_nr {
             rec.rrc(
                 t + 5,
@@ -296,15 +354,16 @@ fn step_connected(
                     .into(),
                 }),
             );
-            let rule = cfg.policy.rule(pcell.arfcn);
-            if let Some(target_chan) = rule.and_then(|r| r.switch_away_on_5g_report) {
+            let pcell_flags = cx.ptab.flags(pcell.arfcn);
+            if let Some(target_chan) = pcell_flags.switch_away_on_5g_report {
                 // F15: the 5G-disabled PCell flips to its co-sited twin the
                 // moment a 5G cell is reported — blind, unmeasured.
                 if let Some((target, tm)) =
-                    co_sited_on_channel(&cfg.env, pcell, Rat::Lte, target_chan, p, t)
+                    co_sited_on_channel(s, pcell, Rat::Lte, target_chan, p, t)
                 {
                     return execute_handover(
-                        cfg,
+                        cx,
+                        s,
                         rec,
                         rng,
                         t + 80,
@@ -314,7 +373,7 @@ fn step_connected(
                         tm.rsrp.deci(),
                     );
                 }
-            } else if cfg.policy.allows_5g_on(pcell.arfcn) {
+            } else if pcell_flags.allow_5g {
                 // SCG addition: PSCell plus the co-sited SCell on the other
                 // NR channel.
                 let mut body = ReconfigBody {
@@ -322,22 +381,29 @@ fn step_connected(
                     ..Default::default()
                 };
                 // Gate the second SCell on the local-mean field so every
-                // SCG addition at this spot configures the same cells.
-                let second = cfg
+                // SCG addition at this spot configures the same cells. A
+                // channel whose co-sited pick fails the floor does not stop
+                // the search — the next channel is still tried.
+                let mut second: Option<CellId> = None;
+                let channels: Vec<u32> = cx
                     .policy
                     .nr_channels()
                     .filter(|c| c.arfcn != nr_cell.arfcn)
-                    .find_map(|c| {
-                        co_sited_on_channel(&cfg.env, nr_cell, Rat::Nr, c.arfcn, p, t).filter(
-                            |(cell, _)| {
-                                cfg.env.find(*cell).is_some_and(|i| {
-                                    cfg.env.local_rsrp_dbm(&cfg.env.cells[i], p) * 10.0
-                                        > timing::SCG_SCELL_ADD_FLOOR_DECI as f64
-                                })
-                            },
-                        )
-                    });
-                if let Some((scell, _)) = second {
+                    .map(|c| c.arfcn)
+                    .collect();
+                for arfcn in channels {
+                    let Some((cell, _)) = co_sited_on_channel(s, nr_cell, Rat::Nr, arfcn, p, t)
+                    else {
+                        continue;
+                    };
+                    if let Some(i) = s.find(cell) {
+                        if s.local_rsrp_dbm(i, p) * 10.0 > timing::SCG_SCELL_ADD_FLOOR_DECI as f64 {
+                            second = Some(cell);
+                            break;
+                        }
+                    }
+                }
+                if let Some(scell) = second {
                     body.scell_to_add_mod.push(ScellAddMod {
                         index: 1,
                         cell: scell,
@@ -366,22 +432,33 @@ fn step_connected(
 
     // A3 handover between LTE cells (with per-channel candidate bonuses).
     if t >= conn.ho_holdoff_until {
-        let bonus =
-            |arfcn: u32| -> i32 { cfg.policy.rule(arfcn).map_or(0, |r| r.a3_offset_bonus_deci) };
+        let bonus = |arfcn: u32| -> i32 { cx.ptab.flags(arfcn).a3_offset_bonus_deci };
         // Handover scoring is RSRP-based with per-channel candidate offsets
         // (cell-individual Ocn); RSRP keeps the decision distance-sensitive
-        // where an unloaded channel's RSRQ would saturate.
+        // where an unloaded channel's RSRQ would saturate. Exact score ties
+        // break towards the smaller cell id (config-order independent).
         let serving_score = pcell_meas.rsrp.deci() + bonus(pcell.arfcn);
-        let cand = cfg
-            .env
-            .cells
-            .iter()
-            .filter(|s| s.cell.rat == Rat::Lte && s.cell != pcell)
-            .map(|s| (s.cell, cfg.env.measure(s, p, t)))
-            .filter(|(_, m)| m.rsrp.deci() > -1250)
-            .max_by_key(|(c, m)| m.rsrp.deci() + bonus(c.arfcn));
-        if let Some((target, tm)) = cand {
-            if tm.rsrp.deci() + bonus(target.arfcn) > serving_score + cfg.policy.a3_offset_deci {
+        let mut cand: Option<(CellId, Measurement, i32)> = None;
+        for idx in 0..s.env().cells.len() {
+            let cell = s.env().cells[idx].cell;
+            if cell.rat != Rat::Lte || cell == pcell {
+                continue;
+            }
+            let m = s.measure(idx, p, t);
+            if m.rsrp.deci() <= -1250 {
+                continue;
+            }
+            let score = m.rsrp.deci() + bonus(cell.arfcn);
+            let better = match &cand {
+                None => true,
+                Some((bc, _, bs)) => score > *bs || (score == *bs && cell < *bc),
+            };
+            if better {
+                cand = Some((cell, m, score));
+            }
+        }
+        if let Some((target, tm, target_score)) = cand {
+            if target_score > serving_score + cx.policy.a3_offset_deci {
                 rec.rrc(
                     t + 5,
                     Rat::Lte,
@@ -401,7 +478,7 @@ fn step_connected(
                         .into(),
                     }),
                 );
-                return execute_handover(cfg, rec, rng, t + 50, p, conn, target, tm.rsrp.deci());
+                return execute_handover(cx, s, rec, rng, t + 50, p, conn, target, tm.rsrp.deci());
             }
         }
     }
@@ -409,8 +486,8 @@ fn step_connected(
     // Legacy A2-driven SCG release (F12): with the historical
     // misconfigured thresholds, a borderline PSCell is dropped the moment
     // it measures below Θ_A2 — and re-added as soon as B1 re-admits it.
-    if let (Some(theta), Some(pscell)) = (cfg.policy.legacy_scg_a2_release_deci, conn.cs.pscell()) {
-        if let Some(m) = measure_cell(&cfg.env, pscell, p, t) {
+    if let (Some(theta), Some(pscell)) = (cx.policy.legacy_scg_a2_release_deci, conn.cs.pscell()) {
+        if let Some(m) = measure_cell(s, pscell, p, t) {
             if m.rsrp.deci() < theta {
                 rec.rrc(
                     t + 3,
@@ -449,16 +526,23 @@ fn step_connected(
 
     // SCG-internal PSCell change (A3 with the SCG offset) — the N2E2 path.
     if let Some(pscell) = conn.cs.pscell() {
-        if let Some(ps_meas) = measure_cell(&cfg.env, pscell, p, t) {
-            let cand = cfg
-                .env
-                .cells
-                .iter()
-                .filter(|s| {
-                    s.cell.rat == Rat::Nr && s.cell.arfcn == pscell.arfcn && s.cell != pscell
-                })
-                .map(|s| (s.cell, cfg.env.measure(s, p, t)))
-                .max_by_key(|(_, m)| m.rsrp);
+        if let Some(ps_meas) = measure_cell(s, pscell, p, t) {
+            // Exact RSRP ties break towards the smaller cell id.
+            let mut cand: Option<(CellId, Measurement)> = None;
+            for idx in 0..s.env().cells.len() {
+                let cell = s.env().cells[idx].cell;
+                if cell.rat != Rat::Nr || cell.arfcn != pscell.arfcn || cell == pscell {
+                    continue;
+                }
+                let m = s.measure(idx, p, t);
+                let better = match &cand {
+                    None => true,
+                    Some((bc, bm)) => m.rsrp > bm.rsrp || (m.rsrp == bm.rsrp && cell < *bc),
+                };
+                if better {
+                    cand = Some((cell, m));
+                }
+            }
             if let Some((target, tm)) = cand {
                 if tm.rsrp.deci() > ps_meas.rsrp.deci() + timing::SCG_A3_OFFSET_DECI {
                     rec.rrc(
@@ -524,7 +608,7 @@ fn step_connected(
                         rec.truth(t + 380, InjectedCause::ScgRaFailure { target });
                         conn.cs.release_scg();
                         conn.b1_gate_at =
-                            next_config_time(t, cfg.policy.scg_recovery_config_period_ms);
+                            next_config_time(t, cx.policy.scg_recovery_config_period_ms);
                     } else {
                         conn.cs.set_pscell(target);
                     }
@@ -540,8 +624,9 @@ fn step_connected(
 /// Executes a 4G PCell handover: policy decides the SCG's fate, radio
 /// conditions decide success.
 #[allow(clippy::too_many_arguments)]
-fn execute_handover(
-    cfg: &SimConfig,
+fn execute_handover<S: Sampler>(
+    cx: &StepCtx<'_>,
+    s: &mut S,
     rec: &mut Recorder,
     rng: &mut StdRng,
     t: u64,
@@ -551,10 +636,8 @@ fn execute_handover(
     target_rsrp_deci: i32,
 ) -> State {
     let had_scg = conn.cs.scg.is_some();
-    let target_rule = cfg.policy.rule(target.arfcn);
-    let keep_scg = had_scg
-        && cfg.policy.allows_5g_on(target.arfcn)
-        && !target_rule.is_some_and(|r| r.release_scg_on_entry);
+    let target_flags = cx.ptab.flags(target.arfcn);
+    let keep_scg = had_scg && target_flags.allow_5g && !target_flags.release_scg_on_entry;
 
     let pcell = conn.cs.pcell();
     rec.rrc(
@@ -573,7 +656,8 @@ fn execute_handover(
         // UE re-establishes.
         rec.truth(t + 300, InjectedCause::HandoverFailure { target });
         return reestablish(
-            cfg,
+            cx,
+            s,
             rec,
             rng,
             t + 300,
@@ -673,6 +757,14 @@ mod tests {
         let out = run_nsa(&cfg_a(op_a_env(-30.0), 3));
         let n1e1 = count(&out, |c| matches!(c, InjectedCause::PcellRlf { .. }));
         assert!(n1e1 >= 1, "truth: {:?}", out.truth);
+    }
+
+    #[test]
+    fn scalar_path_matches_tables_path() {
+        for seed in [3, 8] {
+            let cfg = cfg_a(op_a_env(17.0), seed);
+            assert_eq!(run_nsa(&cfg), run_nsa_scalar(&cfg));
+        }
     }
 
     /// OP_V environment: two towers with co-channel 5230 cells of similar

@@ -14,12 +14,17 @@
 //! Every collapse releases the whole MCG ("a few bad apples ruin all", F9),
 //! the UE idles ~10 s, re-selects the same PCell (conditions unchanged) and
 //! the loop repeats.
+//!
+//! The state machine lives in [`SaCore`], generic over [`Sampler`]: one
+//! `step` per measurement period against either the scalar per-call radio
+//! path or the table-driven memoizing path, with bitwise-identical output.
 
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use onoff_radio::{RadioTables, Sampler, ScalarSampler, UeSampler};
 use onoff_rrc::band::{Band, BandTable};
 use onoff_rrc::events::{EventKind, MeasEvent, Threshold, TriggerQuantity};
 use onoff_rrc::ids::{CellId, GlobalCellId, Rat};
@@ -29,6 +34,7 @@ use onoff_rrc::serving::ServingCellSet;
 
 use crate::config::{timing, SimConfig};
 use crate::output::{InjectedCause, SimOutput};
+use crate::policy_tables::{PolicyTables, StepCtx};
 use crate::recorder::Recorder;
 use crate::select::{co_channel_candidates, strongest_cell_mean};
 use crate::throughput::sample_mbps;
@@ -61,45 +67,85 @@ struct Conn {
     no_swap: Vec<CellId>,
 }
 
-/// Runs a full SA simulation.
-pub fn run_sa(cfg: &SimConfig) -> SimOutput {
-    let mut rec = Recorder::new();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut state = State::Idle { until: 0 };
-    let mut next_tp = 0u64;
-    let op = cfg.policy.operator;
+/// The steppable SA state machine: one UE's RRC lifecycle, advanced one
+/// measurement period at a time against any [`Sampler`].
+pub(crate) struct SaCore {
+    state: State,
+    /// Next 1 s throughput-grid sample time.
+    next_tp: u64,
+}
 
-    // Fresh fast fading for this run, same shadowing structure.
-    let mut cfg = cfg.clone();
-    cfg.env.fading_salt = cfg.seed;
-    let cfg = &cfg;
+impl SaCore {
+    pub(crate) fn new() -> SaCore {
+        SaCore {
+            state: State::Idle { until: 0 },
+            next_tp: 0,
+        }
+    }
 
-    let mut t = 0u64;
-    while t < cfg.duration_ms {
-        let p = cfg.path.at(t);
+    /// Advances the UE to time `t`: throughput samples due up to `t`, then
+    /// one round of RRC procedures.
+    pub(crate) fn step<S: Sampler>(
+        &mut self,
+        cx: &StepCtx<'_>,
+        s: &mut S,
+        rng: &mut StdRng,
+        rec: &mut Recorder,
+        t: u64,
+    ) {
+        let p = cx.path.at(t);
+        let op = cx.policy.operator;
 
         // Throughput sampling on a 1 s grid, against the state in effect
         // *before* this step's procedures (a sample at second k describes
         // the service up to k, not the reconfiguration happening at k).
-        while next_tp <= t {
-            let cs = match &state {
+        while self.next_tp <= t {
+            let cs = match &self.state {
                 State::Conn(c) => c.cs.clone(),
                 State::Idle { .. } => ServingCellSet::idle(),
             };
             rec.throughput(
-                next_tp,
-                sample_mbps(&cfg.env, op, &cs, p, next_tp, cfg.seed),
+                self.next_tp,
+                sample_mbps(s, op, &cs, p, self.next_tp, cx.seed),
             );
-            next_tp += 1000;
+            self.next_tp += 1000;
         }
 
-        state = match state {
-            State::Idle { until } if t >= until => try_establish(cfg, &mut rec, &mut rng, t, p)
+        self.state = match std::mem::replace(&mut self.state, State::Idle { until: 0 }) {
+            State::Idle { until } if t >= until => try_establish(cx, s, rec, rng, t, p)
                 .map_or(State::Idle { until }, |c| State::Conn(Box::new(c))),
             idle @ State::Idle { .. } => idle,
-            State::Conn(conn) => step_connected(cfg, &mut rec, &mut rng, t, p, conn),
+            State::Conn(conn) => step_connected(cx, s, rec, rng, t, p, conn),
         };
+    }
+}
 
+/// Runs a full SA simulation on the table-driven radio path.
+pub fn run_sa(cfg: &SimConfig) -> SimOutput {
+    let tables = RadioTables::new(&cfg.env);
+    // Fresh fast fading for this run, same shadowing structure.
+    let mut s = UeSampler::with_salt(&tables, cfg.seed);
+    run_sa_with(cfg, &mut s)
+}
+
+/// Runs a full SA simulation on the scalar per-call radio path — the
+/// reference implementation the batched path is checked against.
+pub fn run_sa_scalar(cfg: &SimConfig) -> SimOutput {
+    let mut cfg = cfg.clone();
+    cfg.env.fading_salt = cfg.seed;
+    let mut s = ScalarSampler::new(&cfg.env);
+    run_sa_with(&cfg, &mut s)
+}
+
+fn run_sa_with<S: Sampler>(cfg: &SimConfig, s: &mut S) -> SimOutput {
+    let ptab = PolicyTables::new(&cfg.policy);
+    let cx = StepCtx::of(cfg, &ptab);
+    let mut rec = Recorder::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut core = SaCore::new();
+    let mut t = 0u64;
+    while t < cfg.duration_ms {
+        core.step(&cx, s, &mut rng, &mut rec, t);
         t += cfg.meas_period_ms;
     }
     rec.finish()
@@ -110,22 +156,22 @@ pub fn run_sa(cfg: &SimConfig) -> SimOutput {
 /// n41 carriers; the n71 coverage layer and 10 MHz n25 carriers serve as
 /// SCells or fallback only). Devices with an explicit band preference
 /// (Samsung S23 → n71) bypass this via the preference filter.
-fn pcell_capable(cfg: &SimConfig, arfcn: u32) -> bool {
-    cfg.policy
+fn pcell_capable(cx: &StepCtx<'_>, arfcn: u32) -> bool {
+    cx.policy
         .nr_channels()
         .any(|c| c.arfcn == arfcn && c.bandwidth_mhz >= 40.0)
 }
 
 /// The SCell channels this device will use (F6's three device cases).
-fn scell_channels(cfg: &SimConfig, pcell: CellId) -> Vec<u32> {
-    if !cfg.device.sa_carrier_aggregation {
+fn scell_channels(cx: &StepCtx<'_>, pcell: CellId) -> Vec<u32> {
+    if !cx.device.sa_carrier_aggregation {
         return Vec::new();
     }
-    cfg.policy
+    cx.policy
         .nr_channels()
         .filter(|c| c.arfcn != pcell.arfcn)
         .filter(|c| {
-            cfg.device.uses_problematic_n25_scells
+            cx.device.uses_problematic_n25_scells
                 || BandTable::nr_band_of(c.arfcn) != Some(Band::Nr(25))
         })
         .map(|c| c.arfcn)
@@ -133,8 +179,9 @@ fn scell_channels(cfg: &SimConfig, pcell: CellId) -> Vec<u32> {
         .collect()
 }
 
-fn try_establish(
-    cfg: &SimConfig,
+fn try_establish<S: Sampler>(
+    cx: &StepCtx<'_>,
+    s: &mut S,
     rec: &mut Recorder,
     rng: &mut StdRng,
     t: u64,
@@ -142,16 +189,16 @@ fn try_establish(
 ) -> Option<Conn> {
     // Cell selection: strongest NR cell on a PCell-capable channel, in the
     // device's preferred band if it has one, above q-RxLevMin.
-    let pref = cfg.device.sa_pcell_band_preference;
-    let floor = cfg.policy.q_rx_lev_min_deci;
+    let pref = cx.device.sa_pcell_band_preference;
+    let floor = cx.policy.q_rx_lev_min_deci;
     // Selection uses the local-mean field (cell selection in the standard
     // runs on L3-filtered measurements), so the same location re-selects
     // the same PCell every cycle.
-    let pick = strongest_cell_mean(&cfg.env, p, |c| {
-        c.rat == Rat::Nr
+    let pick = strongest_cell_mean(s, p, |c| {
+        c.cell.rat == Rat::Nr
             && match pref {
-                Some(b) => BandTable::nr_band_of(c.arfcn) == Some(b),
-                None => pcell_capable(cfg, c.arfcn),
+                Some(b) => BandTable::nr_band_of(c.cell.arfcn) == Some(b),
+                None => pcell_capable(cx, c.cell.arfcn),
             }
     })
     .filter(|(_, mean)| *mean * 10.0 > floor as f64)?;
@@ -201,21 +248,21 @@ fn try_establish(
 
     // Measurement configuration: A2 (floor) and A3 (6 dB) per NR channel —
     // the shape of the config lines in Appendix C's instances.
-    let meas_config: Vec<MeasEvent> = cfg
+    let meas_config: Vec<MeasEvent> = cx
         .policy
         .nr_channels()
         .flat_map(|c| {
             [
                 MeasEvent::new(
                     EventKind::A2 {
-                        threshold: Threshold(cfg.policy.a2_threshold_deci),
+                        threshold: Threshold(cx.policy.a2_threshold_deci),
                     },
                     TriggerQuantity::Rsrp,
                     c.arfcn,
                 ),
                 MeasEvent::new(
                     EventKind::A3 {
-                        offset: cfg.policy.a3_offset_deci,
+                        offset: cx.policy.a3_offset_deci,
                     },
                     TriggerQuantity::Rsrp,
                     c.arfcn,
@@ -250,8 +297,9 @@ fn try_establish(
     })
 }
 
-fn step_connected(
-    cfg: &SimConfig,
+fn step_connected<S: Sampler>(
+    cx: &StepCtx<'_>,
+    s: &mut S,
     rec: &mut Recorder,
     rng: &mut StdRng,
     t: u64,
@@ -268,23 +316,18 @@ fn step_connected(
             // co-sited with the PCell's tower on each channel — which is
             // why a weak 387410 sector gets added even when a neighbour's
             // cell is much stronger (the Fig. 28 situation).
-            let pcell_tower = cfg.env.find(pcell).map(|i| cfg.env.cells[i].tower);
+            let pcell_tower = s.find(pcell).map(|i| s.env().cells[i].tower);
             let mut adds = Vec::new();
-            for arfcn in scell_channels(cfg, pcell) {
+            for arfcn in scell_channels(cx, pcell) {
                 // Deterministic over a run: configuration decisions use the
                 // local-mean field, so every cycle re-adds the same SCells.
                 let co_sited = pcell_tower.and_then(|tw| {
-                    strongest_cell_mean(&cfg.env, p, |c| {
-                        c.rat == Rat::Nr
-                            && c.arfcn == arfcn
-                            && cfg
-                                .env
-                                .find(c)
-                                .is_some_and(|i| cfg.env.cells[i].tower == tw)
+                    strongest_cell_mean(s, p, |c| {
+                        c.cell.rat == Rat::Nr && c.cell.arfcn == arfcn && c.tower == tw
                     })
                 });
                 let pick = co_sited.or_else(|| {
-                    strongest_cell_mean(&cfg.env, p, |c| c.rat == Rat::Nr && c.arfcn == arfcn)
+                    strongest_cell_mean(s, p, |c| c.cell.rat == Rat::Nr && c.cell.arfcn == arfcn)
                 });
                 if let Some((cell, mean_rsrp)) = pick {
                     // Only cells with some presence at this location.
@@ -325,8 +368,8 @@ fn step_connected(
     let mut results: Vec<MeasResult> = Vec::new();
     let mut serving_meas: BTreeMap<CellId, Measurement> = BTreeMap::new();
     for &cell in &serving {
-        if let Some(idx) = cfg.env.find(cell) {
-            let m = cfg.env.measure(&cfg.env.cells[idx], p, t);
+        if let Some(idx) = s.find(cell) {
+            let m = s.measure(idx, p, t);
             serving_meas.insert(cell, m);
             if m.rsrp.deci() > timing::UNMEASURABLE_RSRP_DECI {
                 results.push(MeasResult { cell, meas: m });
@@ -340,7 +383,7 @@ fn step_connected(
             continue;
         }
         scanned.push(cell.arfcn);
-        for (cand, m) in co_channel_candidates(&cfg.env, Rat::Nr, cell.arfcn, &serving, p, t) {
+        for (cand, m) in co_channel_candidates(s, Rat::Nr, cell.arfcn, &serving, p, t) {
             if m.rsrp.deci() > timing::UNMEASURABLE_RSRP_DECI {
                 results.push(MeasResult {
                     cell: cand,
@@ -370,7 +413,7 @@ fn step_connected(
         let count = conn.missing.entry(cell).or_insert(0);
         *count = if measurable { 0 } else { *count + 1 };
         if *count >= timing::S1E1_MISSING_REPORTS {
-            if cfg.policy.remedy_scell_only_release {
+            if cx.policy.remedy_scell_only_release {
                 // Remedy (F9): drop the one bad apple, keep 5G on.
                 release_single_scell(rec, &mut conn, pcell, cell, t + 10);
                 continue;
@@ -391,7 +434,7 @@ fn step_connected(
             {
                 let since = *conn.poor_since.entry(cell).or_insert(t);
                 if t.saturating_sub(since) >= timing::S1E2_TOLERANCE_MS {
-                    if cfg.policy.remedy_scell_only_release {
+                    if cx.policy.remedy_scell_only_release {
                         release_single_scell(rec, &mut conn, pcell, cell, t + 10);
                         continue;
                     }
@@ -417,16 +460,27 @@ fn step_connected(
         if sm.rsrp.deci() < timing::SCELL_DEAD_RSRP_DECI {
             continue;
         }
-        let best = candidates
+        // Exact RSRP ties break towards the smaller cell id, so the choice
+        // never depends on config order.
+        let mut best: Option<(CellId, Measurement)> = None;
+        for &(c, m) in candidates
             .iter()
             .filter(|(c, _)| c.arfcn == scell.arfcn && !conn.no_swap.contains(c))
-            .max_by_key(|(_, m)| m.rsrp);
-        let Some(&(cand, cm)) = best else { continue };
+        {
+            let better = match &best {
+                None => true,
+                Some((bc, bm)) => m.rsrp > bm.rsrp || (m.rsrp == bm.rsrp && c < *bc),
+            };
+            if better {
+                best = Some((c, m));
+            }
+        }
+        let Some((cand, cm)) = best else { continue };
         // The swap window: the candidate must beat the serving SCell by
         // the A3 offset, be usable, and not dwarf it — a hugely-better
         // candidate draws no command at all (Fig. 28's untouched 21 dB
         // advantage), concentrating S1E3 where the cells are comparable.
-        if cm.rsrp.deci() <= sm.rsrp.deci() + cfg.policy.a3_offset_deci
+        if cm.rsrp.deci() <= sm.rsrp.deci() + cx.policy.a3_offset_deci
             || cm.rsrp.deci() < timing::SCELL_USABLE_RSRP_DECI
             || cm.rsrp.deci() > sm.rsrp.deci() + timing::SCELL_MOD_MAX_GAP_DECI
         {
@@ -455,11 +509,12 @@ fn step_connected(
             RrcMessage::ReconfigurationComplete,
         );
         if rng.random_bool(
-            cfg.policy
-                .scell_mod_failure_prob(cand.arfcn)
+            cx.ptab
+                .flags(cand.arfcn)
+                .scell_mod_failure_prob
                 .clamp(0.0, 1.0),
         ) {
-            if cfg.policy.remedy_scell_only_release {
+            if cx.policy.remedy_scell_only_release {
                 // Remedy: the failed swap costs only the swapped SCell;
                 // the target is blacklisted so the RAN stops retrying.
                 conn.no_swap.push(cand);
@@ -607,6 +662,13 @@ mod tests {
         assert_eq!(a, b);
         let c = run_sa(&cfg(6));
         assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn scalar_path_matches_tables_path() {
+        for seed in [3, 11] {
+            assert_eq!(run_sa(&cfg(seed)), run_sa_scalar(&cfg(seed)));
+        }
     }
 
     #[test]

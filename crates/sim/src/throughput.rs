@@ -7,9 +7,9 @@
 //! (OP_T ≈ 186 Mbps, OP_A ≈ 25 Mbps, OP_V ≈ 97 Mbps); IDLE carries zero.
 
 use onoff_policy::Operator;
-use onoff_radio::noise::{gaussian_at, hash_words};
-use onoff_radio::{Point, RadioEnvironment};
-use onoff_rrc::ids::Rat;
+use onoff_radio::noise::{gaussian_at, hash_words, splitmix64};
+use onoff_radio::{Point, Sampler};
+use onoff_rrc::ids::{CellId, Rat};
 use onoff_rrc::serving::ServingCellSet;
 
 /// Spectral efficiency, bps/Hz, including MIMO and coding headroom.
@@ -39,9 +39,23 @@ fn quality(rsrp_dbm: f64) -> f64 {
     1.0 / (1.0 + (-(rsrp_dbm + 100.0) / 6.0).exp())
 }
 
+/// Order-sensitive fold of the serving set into one hash word, so two UEs
+/// sharing a seed but camped on different cells draw distinct jitter.
+fn serving_word(cs: &ServingCellSet) -> u64 {
+    fn cell_word(c: CellId) -> u64 {
+        let rat_bit = match c.rat {
+            Rat::Nr => 1u64 << 63,
+            Rat::Lte => 0,
+        };
+        rat_bit | (u64::from(c.arfcn) << 16) | u64::from(c.pci.0)
+    }
+    cs.cells_iter()
+        .fold(0x5E17u64, |h, c| splitmix64(h ^ cell_word(c)))
+}
+
 /// Instantaneous downlink capacity of the serving set, Mbps (before jitter).
-pub fn capacity_mbps(
-    env: &RadioEnvironment,
+pub fn capacity_mbps<S: Sampler>(
+    s: &mut S,
     op: Operator,
     cs: &ServingCellSet,
     p: Point,
@@ -49,9 +63,9 @@ pub fn capacity_mbps(
 ) -> f64 {
     let mut mbps = 0.0;
     for cell in cs.cells() {
-        let Some(idx) = env.find(cell) else { continue };
-        let site = &env.cells[idx];
-        let rsrp = env.rsrp_dbm(site, p, t_ms);
+        let Some(idx) = s.find(cell) else { continue };
+        let site = s.env().cells[idx];
+        let rsrp = s.rsrp_dbm(idx, p, t_ms);
         mbps +=
             site.bandwidth_mhz * efficiency(cell.rat) * load_factor(op, cell.rat) * quality(rsrp);
     }
@@ -59,27 +73,29 @@ pub fn capacity_mbps(
 }
 
 /// A throughput sample with deterministic ±10 % jitter (hash-keyed on the
-/// seed and sample time).
-pub fn sample_mbps(
-    env: &RadioEnvironment,
+/// seed, serving set, and sample time, so co-seeded UEs on different cells
+/// decorrelate).
+pub fn sample_mbps<S: Sampler>(
+    s: &mut S,
     op: Operator,
     cs: &ServingCellSet,
     p: Point,
     t_ms: u64,
     seed: u64,
 ) -> f64 {
-    let cap = capacity_mbps(env, op, cs, p, t_ms);
+    let cap = capacity_mbps(s, op, cs, p, t_ms);
     if cap <= 0.0 {
         return 0.0;
     }
-    let jitter = 1.0 + 0.1 * gaussian_at(&[hash_words(&[seed, 0x7410]), t_ms / 1000]);
+    let jitter =
+        1.0 + 0.1 * gaussian_at(&[hash_words(&[seed, 0x7410, serving_word(cs)]), t_ms / 1000]);
     (cap * jitter.clamp(0.5, 1.5)).max(0.0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use onoff_radio::CellSite;
+    use onoff_radio::{CellSite, RadioEnvironment, ScalarSampler};
     use onoff_rrc::ids::{CellId, Pci};
 
     fn env() -> RadioEnvironment {
@@ -106,13 +122,14 @@ mod tests {
     #[test]
     fn idle_is_zero() {
         let e = env();
+        let mut s = ScalarSampler::new(&e);
         let cs = ServingCellSet::idle();
         assert_eq!(
-            capacity_mbps(&e, Operator::OpT, &cs, Point::new(100.0, 0.0), 0),
+            capacity_mbps(&mut s, Operator::OpT, &cs, Point::new(100.0, 0.0), 0),
             0.0
         );
         assert_eq!(
-            sample_mbps(&e, Operator::OpT, &cs, Point::new(100.0, 0.0), 0, 7),
+            sample_mbps(&mut s, Operator::OpT, &cs, Point::new(100.0, 0.0), 0, 7),
             0.0
         );
     }
@@ -120,12 +137,13 @@ mod tests {
     #[test]
     fn sa_with_scells_beats_pcell_only() {
         let e = env();
+        let mut s = ScalarSampler::new(&e);
         let p = Point::new(200.0, 0.0);
         let pcell_only = ServingCellSet::with_pcell(CellId::nr(Pci(393), 521310));
         let mut with_scell = pcell_only.clone();
         with_scell.add_mcg_scell(1, CellId::nr(Pci(393), 501390));
-        let a = capacity_mbps(&e, Operator::OpT, &pcell_only, p, 0);
-        let b = capacity_mbps(&e, Operator::OpT, &with_scell, p, 0);
+        let a = capacity_mbps(&mut s, Operator::OpT, &pcell_only, p, 0);
+        let b = capacity_mbps(&mut s, Operator::OpT, &with_scell, p, 0);
         assert!(b > a * 1.5, "{b} should be well above {a}");
     }
 
@@ -134,28 +152,31 @@ mod tests {
         // A good OP_T SA set (two n41 carriers) at 200 m on boresight should
         // land within a factor of two of the paper's 186 Mbps median.
         let e = env();
+        let mut s = ScalarSampler::new(&e);
         let p = Point::new(200.0, 0.0);
         let mut cs = ServingCellSet::with_pcell(CellId::nr(Pci(393), 521310));
         cs.add_mcg_scell(1, CellId::nr(Pci(393), 501390));
-        let mbps = capacity_mbps(&e, Operator::OpT, &cs, p, 0);
+        let mbps = capacity_mbps(&mut s, Operator::OpT, &cs, p, 0);
         assert!((100.0..350.0).contains(&mbps), "got {mbps}");
     }
 
     #[test]
     fn lte_only_is_much_slower() {
         let e = env();
+        let mut s = ScalarSampler::new(&e);
         let p = Point::new(200.0, 0.0);
         let lte = ServingCellSet::with_pcell(CellId::lte(Pci(238), 5145));
-        let mbps = capacity_mbps(&e, Operator::OpA, &lte, p, 0);
+        let mbps = capacity_mbps(&mut s, Operator::OpA, &lte, p, 0);
         assert!((1.0..25.0).contains(&mbps), "got {mbps}");
     }
 
     #[test]
     fn unknown_cells_contribute_nothing() {
         let e = env();
+        let mut s = ScalarSampler::new(&e);
         let cs = ServingCellSet::with_pcell(CellId::nr(Pci(999), 999_999));
         assert_eq!(
-            capacity_mbps(&e, Operator::OpT, &cs, Point::new(0.0, 0.0), 0),
+            capacity_mbps(&mut s, Operator::OpT, &cs, Point::new(0.0, 0.0), 0),
             0.0
         );
     }
@@ -170,12 +191,35 @@ mod tests {
     #[test]
     fn jitter_is_deterministic_and_bounded() {
         let e = env();
+        let mut s = ScalarSampler::new(&e);
         let p = Point::new(200.0, 0.0);
         let cs = ServingCellSet::with_pcell(CellId::nr(Pci(393), 521310));
-        let a = sample_mbps(&e, Operator::OpT, &cs, p, 5000, 42);
-        let b = sample_mbps(&e, Operator::OpT, &cs, p, 5000, 42);
+        let a = sample_mbps(&mut s, Operator::OpT, &cs, p, 5000, 42);
+        let b = sample_mbps(&mut s, Operator::OpT, &cs, p, 5000, 42);
         assert_eq!(a, b);
-        let cap = capacity_mbps(&e, Operator::OpT, &cs, p, 5000);
+        let cap = capacity_mbps(&mut s, Operator::OpT, &cs, p, 5000);
         assert!(a >= cap * 0.5 && a <= cap * 1.5);
+    }
+
+    /// Regression for the shared-jitter bug: two UEs with the same seed but
+    /// different serving cells must not draw the identical jitter stream.
+    #[test]
+    fn jitter_decorrelates_across_serving_sets() {
+        let e = env();
+        let mut s = ScalarSampler::new(&e);
+        let p = Point::new(200.0, 0.0);
+        let on_wide = ServingCellSet::with_pcell(CellId::nr(Pci(393), 521310));
+        let on_narrow = ServingCellSet::with_pcell(CellId::nr(Pci(393), 501390));
+        let mut distinct = false;
+        for t in (0..20_000).step_by(1000) {
+            let a = sample_mbps(&mut s, Operator::OpT, &on_wide, p, t, 42);
+            let ca = capacity_mbps(&mut s, Operator::OpT, &on_wide, p, t);
+            let b = sample_mbps(&mut s, Operator::OpT, &on_narrow, p, t, 42);
+            let cb = capacity_mbps(&mut s, Operator::OpT, &on_narrow, p, t);
+            if (a / ca - b / cb).abs() > 1e-12 {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "jitter streams must differ across serving sets");
     }
 }

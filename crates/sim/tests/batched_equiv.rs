@@ -1,0 +1,196 @@
+//! Batched ≡ scalar equivalence: the table-driven radio path (shared
+//! `RadioTables` + per-UE memoizing `UeSampler`) must produce **bitwise**
+//! identical measurements and sim output to the per-call scalar path, across
+//! random environments, trajectories and chaos seeds — the exact-memoization
+//! invariant the campaign's persisted datasets rely on.
+
+use onoff_policy::{op_a_policy, op_t_policy, op_v_policy, PhoneModel};
+use onoff_radio::{
+    CellSite, Point, RadioEnvironment, RadioTables, Sampler, ScalarSampler, UeSampler,
+};
+use onoff_rrc::ids::{CellId, Pci};
+use onoff_sim::{
+    simulate, simulate_scalar, ChaosConfig, ChaosEngine, MovementPath, SimConfig, UeBatch,
+};
+use proptest::prelude::*;
+
+/// A small random deployment: 1–3 towers, each carrying an anchor LTE cell
+/// and three NR cells (wide n41, weak n25, mid n77).
+fn arb_env() -> impl Strategy<Value = RadioEnvironment> {
+    (
+        1u64..1000,
+        prop::collection::vec((-800.0f64..800.0, -800.0f64..800.0, -5.0f64..20.0), 1..4),
+    )
+        .prop_map(|(seed, towers)| {
+            let mut cells = Vec::new();
+            for (i, (x, y, tx)) in towers.iter().enumerate() {
+                let pci = (100 + i * 37) as u16;
+                let tower = Point::new(*x, *y);
+                let mk = |cell: CellId, bw: f64, tx: f64| {
+                    let mut s = CellSite::macro_site(cell, tower, 0.7 * i as f64, bw);
+                    s.tx_power_dbm = tx;
+                    s
+                };
+                cells.push(mk(CellId::lte(Pci(pci), 5145), 10.0, *tx));
+                cells.push(mk(CellId::nr(Pci(pci), 521310), 90.0, *tx));
+                cells.push(mk(CellId::nr(Pci(pci), 387410), 10.0, *tx - 4.0));
+                cells.push(mk(CellId::nr(Pci(pci), 632736), 40.0, *tx));
+            }
+            RadioEnvironment::new(seed, cells)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Raw sampler equivalence: every cell, several (p, t) probes, local
+    /// mean / RSRP / RSRQ / clamped Measurement all bitwise equal between
+    /// the memoizing UeSampler and the scalar environment path.
+    #[test]
+    fn sampler_is_exact_memoization(env in arb_env(), salt in 0u64..500,
+                                    bias in 0.0f64..3.0,
+                                    xs in prop::collection::vec(-600.0f64..600.0, 1..5),
+                                    t0 in 0u64..200_000) {
+        let mut env = env;
+        env.run_bias_sigma_db = bias;
+        let mut salted = env.clone();
+        salted.fading_salt = salt;
+
+        let tables = RadioTables::new(&env);
+        let mut fast = UeSampler::with_salt(&tables, salt);
+        let mut slow = ScalarSampler::new(&salted);
+
+        for (k, &x) in xs.iter().enumerate() {
+            let p = Point::new(x, 35.0 * k as f64 - 50.0);
+            let t = t0 + 500 * k as u64;
+            for idx in 0..env.cells.len() {
+                prop_assert_eq!(
+                    fast.local_rsrp_dbm(idx, p).to_bits(),
+                    slow.local_rsrp_dbm(idx, p).to_bits()
+                );
+                prop_assert_eq!(
+                    fast.rsrp_dbm(idx, p, t).to_bits(),
+                    slow.rsrp_dbm(idx, p, t).to_bits()
+                );
+                prop_assert_eq!(
+                    fast.rsrq_db(idx, p, t).to_bits(),
+                    slow.rsrq_db(idx, p, t).to_bits()
+                );
+                prop_assert_eq!(fast.measure(idx, p, t), slow.measure(idx, p, t));
+            }
+        }
+    }
+
+    /// Full-run equivalence for all three operators, stationary and
+    /// walking trajectories.
+    #[test]
+    fn simulate_equals_simulate_scalar(env in arb_env(), seed in 0u64..500,
+                                       op_idx in 0usize..3, walk in any::<bool>(),
+                                       x in -300.0f64..300.0, y in -300.0f64..300.0) {
+        let policy = [op_t_policy(), op_a_policy(), op_v_policy()][op_idx].clone();
+        let mut cfg = SimConfig::stationary(
+            policy, PhoneModel::OnePlus12R, env, Point::new(x, y), seed,
+        );
+        if walk {
+            cfg.path = MovementPath::Walk {
+                waypoints: vec![Point::new(x, y), Point::new(-x, -y)],
+                speed_mps: 1.4,
+            };
+        }
+        cfg.duration_ms = 45_000;
+        cfg.meas_period_ms = 1000;
+        prop_assert_eq!(simulate(&cfg), simulate_scalar(&cfg));
+    }
+
+    /// Batch composition is invisible: a mixed batch of UEs equals per-run
+    /// `simulate` calls regardless of grouping.
+    #[test]
+    fn batch_equals_single_runs(env in arb_env(), seeds in prop::collection::vec(0u64..500, 1..5),
+                                op_a in any::<bool>()) {
+        let policy = if op_a { op_a_policy() } else { op_t_policy() };
+        let device = PhoneModel::OnePlus12R.profile();
+        let tables = RadioTables::new(&env);
+        let mut batch = UeBatch::new(&policy, &device, &tables, 30_000, 1000);
+        for (i, &seed) in seeds.iter().enumerate() {
+            batch.push(
+                MovementPath::Stationary(Point::new(60.0 * i as f64 - 120.0, 25.0)),
+                seed,
+            );
+        }
+        let outs = batch.run();
+        for (i, (&seed, out)) in seeds.iter().zip(&outs).enumerate() {
+            let mut cfg = SimConfig::stationary(
+                policy.clone(),
+                PhoneModel::OnePlus12R,
+                env.clone(),
+                Point::new(60.0 * i as f64 - 120.0, 25.0),
+                seed,
+            );
+            cfg.duration_ms = 30_000;
+            cfg.meas_period_ms = 1000;
+            prop_assert_eq!(out, &simulate(&cfg));
+        }
+    }
+
+    /// Chaos corruption is applied downstream of the simulator: corrupting
+    /// both paths' outputs with the same chaos seed stays identical.
+    #[test]
+    fn chaos_corruption_matches_across_paths(env in arb_env(), seed in 0u64..500,
+                                             chaos_seed in 0u64..500) {
+        let mut cfg = SimConfig::stationary(
+            op_t_policy(), PhoneModel::OnePlus12R, env, Point::new(0.0, 0.0), seed,
+        );
+        cfg.duration_ms = 30_000;
+        cfg.meas_period_ms = 1000;
+        let fast = simulate(&cfg);
+        let slow = simulate_scalar(&cfg);
+        let chaos = ChaosConfig::default();
+        let a = ChaosEngine::new(chaos.clone(), chaos_seed).corrupt_text(&fast.to_log());
+        let b = ChaosEngine::new(chaos, chaos_seed).corrupt_text(&slow.to_log());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Reordering the environment's cell list never changes which cell the
+    /// tie-broken selection helpers pick.
+    #[test]
+    fn strongest_cell_is_order_invariant(env in arb_env(), x in -400.0f64..400.0,
+                                         y in -400.0f64..400.0, t in 0u64..100_000) {
+        let p = Point::new(x, y);
+        let mut reversed = env.clone();
+        reversed.cells.reverse();
+        let mut a = ScalarSampler::new(&env);
+        let mut b = ScalarSampler::new(&reversed);
+        let fwd = onoff_sim::select::strongest_cell(&mut a, p, t, |_| true);
+        let rev = onoff_sim::select::strongest_cell(&mut b, p, t, |_| true);
+        // RSSI accumulation order differs under reversal, so compare the
+        // choice and its RSRP (the tie-break key), not the full RSRQ.
+        prop_assert_eq!(fwd.map(|(c, m)| (c, m.rsrp)), rev.map(|(c, m)| (c, m.rsrp)));
+        let fwd_mean = onoff_sim::select::strongest_cell_mean(&mut a, p, |_| true);
+        let rev_mean = onoff_sim::select::strongest_cell_mean(&mut b, p, |_| true);
+        prop_assert_eq!(fwd_mean, rev_mean);
+    }
+}
+
+/// Deterministic tie-break regression: two co-sited same-channel cells with
+/// different PCIs share a shadow field (the shadow key excludes PCI) and,
+/// with run bias off, have exactly equal local means. The historical
+/// `max_by` picked the *last* maximal cell — config-order dependent; the
+/// fixed helpers must pick the smaller cell id from either order.
+#[test]
+fn exact_tie_selects_smaller_cell_id() {
+    let tower = Point::new(0.0, 0.0);
+    let a = CellSite::macro_site(CellId::nr(Pci(11), 521310), tower, 0.0, 90.0);
+    let b = CellSite::macro_site(CellId::nr(Pci(222), 521310), tower, 0.0, 90.0);
+    let winner = CellId::nr(Pci(11), 521310);
+    for cells in [vec![a, b], vec![b, a]] {
+        let env = RadioEnvironment::new(5, cells);
+        let mut s = ScalarSampler::new(&env);
+        let got = onoff_sim::select::strongest_cell_mean(&mut s, Point::new(90.0, 20.0), |_| true);
+        assert_eq!(got.map(|(c, _)| c), Some(winner));
+        let tables = RadioTables::new(&env);
+        let mut fast = UeSampler::new(&tables);
+        let got =
+            onoff_sim::select::strongest_cell_mean(&mut fast, Point::new(90.0, 20.0), |_| true);
+        assert_eq!(got.map(|(c, _)| c), Some(winner));
+    }
+}
