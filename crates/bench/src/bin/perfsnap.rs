@@ -2,13 +2,15 @@
 //! pipeline.
 //!
 //! Measures wall-clock throughput (events/sec, bytes/sec) and allocation
-//! counts (allocs/event) for the six hot workloads the campaign exercises
-//! millions of times:
+//! counts (allocs/event) for the seven hot workloads the campaign
+//! exercises millions of times:
 //!
 //! * `parse`          — NSG log text → `Vec<TraceEvent>` (`parse_str`)
 //! * `extract`        — events → CS timeline (`extract_timeline`)
 //! * `detect`         — events → full `RunAnalysis` (`analyze_trace`)
 //! * `stream-feed`    — events through the incremental `TraceAnalyzer`
+//! * `predict`        — events through a warm `OnlineScorer` (§6 online
+//!   scoring): must run at exactly 0 allocs/event
 //! * `sim-step`       — one stationary run on the table-driven path
 //!   (`simulate`): the per-step radio sweep the batched campaign amortizes
 //! * `fused-campaign` — a one-run-per-location campaign (`run_campaign`)
@@ -42,6 +44,7 @@ use onoff_campaign::{CampaignConfig, ParallelismConfig};
 use onoff_detect::cellset::extract_timeline;
 use onoff_detect::{analyze_trace, TraceAnalyzer};
 use onoff_policy::{op_t_policy, PhoneModel};
+use onoff_predict::{OnlineScorer, ScoringConfig};
 use onoff_rrc::trace::TraceEvent;
 use onoff_sim::{simulate, SimConfig};
 
@@ -181,6 +184,24 @@ fn measure() -> Vec<(&'static str, Sample)> {
         std::hint::black_box(analysis.loops.len());
         (n, 0)
     });
+    let predict = {
+        // Warm pass outside the metered region: the first traversal grows
+        // the measurement table and per-cell reservoirs once. After
+        // `reset_session` the capacity is retained, so re-scoring the same
+        // trace must allocate nothing — the 0 allocs/event budget CI pins.
+        let mut scorer = OnlineScorer::new(ScoringConfig::default());
+        for ev in &events {
+            scorer.feed(ev);
+        }
+        run_workload(5, || {
+            scorer.reset_session();
+            for ev in &events {
+                scorer.feed(ev);
+            }
+            std::hint::black_box(scorer.scored());
+            (n, 0)
+        })
+    };
     let sim_cfg = {
         let area = area_a1(0x050FF);
         let mut cfg = SimConfig::stationary(
@@ -217,6 +238,7 @@ fn measure() -> Vec<(&'static str, Sample)> {
         ("extract", extract),
         ("detect", detect),
         ("stream-feed", stream),
+        ("predict", predict),
         ("sim-step", sim_step),
         ("fused-campaign", campaign),
     ]
@@ -295,7 +317,7 @@ fn render(results: &[(&'static str, Sample)], priors: &[(String, Prior)]) -> Str
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR6.json");
+    let mut out_path = String::from("BENCH_PR7.json");
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut threshold = 2.0f64;

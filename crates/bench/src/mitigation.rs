@@ -1,7 +1,12 @@
 //! Mitigation experiments — the paper's Q3 ("What can be done to mitigate
-//! such loops?"), made executable. Each remedy flips exactly the policy
-//! the cause analysis blames and re-measures the loop ratio and service
-//! quality at the affected areas:
+//! such loops?"), made executable as **counterfactual replay**. Each
+//! remedy is a [`PolicyTransform`] that rewrites the *recorded* baseline
+//! traces as if the network had applied the fixed policy; the rewritten
+//! trace is then re-analyzed by the ordinary pipeline. Both arms therefore
+//! share every radio sample, fading draw and mobility decision, so the
+//! before/after deltas are attributable to the remedy alone — and small
+//! enough samples get honest 95% percentile-bootstrap CIs instead of bare
+//! point estimates:
 //!
 //! * **M1** (S1, F9): release only the bad-apple SCell instead of the whole
 //!   MCG;
@@ -11,30 +16,82 @@
 //! * **M4** (N2E2, F15): push the post-SCG-failure measurement
 //!   configuration promptly instead of every 30 s.
 
-use onoff_analysis::TextTable;
+use onoff_analysis::{bootstrap_ci, proportion_ci, ConfidenceInterval, TextTable};
 use onoff_campaign::areas::Area;
 use onoff_campaign::run_location_with_policy;
+use onoff_detect::{analyze_trace, RunAnalysis};
 use onoff_policy::{op_a_policy, op_t_policy, op_v_policy, OperatorPolicy, PhoneModel};
+use onoff_predict::{
+    apply_transform, KeepScgOnHandover, PolicyTransform, PromptScgRecovery, ScellModFix,
+    ScellOnlyRelease,
+};
 use onoff_radio::noise::hash_words;
+use onoff_rrc::trace::TraceEvent;
 
 use crate::output::{header, pct};
 
+/// Replay CI parameters: the paper-standard 95% level and a fixed seed so
+/// the rendered report is identical run to run.
+const CI_LEVEL: f64 = 0.95;
+const CI_RESAMPLES: usize = 400;
+const CI_SEED: u64 = 0xD311A;
+
+/// Aggregated outcomes of one arm (baseline or counterfactual).
+#[derive(Default)]
 struct Outcome {
-    loop_ratio: f64,
-    median_on: Option<f64>,
-    median_off_s: Option<f64>,
+    looped: Vec<bool>,
+    on: Vec<f64>,
+    offs: Vec<f64>,
 }
 
-/// Runs `runs` experiments per location over `locations` and aggregates.
-fn measure(area: &Area, policy: &OperatorPolicy, locations: usize, runs: usize) -> Outcome {
-    let mut loops = 0usize;
-    let mut total = 0usize;
-    let mut on: Vec<f64> = Vec::new();
-    let mut offs: Vec<f64> = Vec::new();
-    for loc in 0..locations.min(area.locations.len()) {
+impl Outcome {
+    fn absorb(&mut self, analysis: &RunAnalysis) {
+        self.looped.push(analysis.has_loop());
+        if let Some(v) = analysis.metrics.median_on_mbps {
+            self.on.push(v);
+        }
+        for c in &analysis.metrics.cycle_stats {
+            self.offs.push(c.off_ms as f64 / 1000.0);
+        }
+    }
+
+    fn loop_ci(&self) -> Option<ConfidenceInterval> {
+        proportion_ci(&self.looped, CI_LEVEL, CI_RESAMPLES, CI_SEED)
+    }
+}
+
+/// The recorded baseline arm: every trace is kept so the counterfactual
+/// arm replays the exact same runs.
+struct Baseline {
+    traces: Vec<Vec<TraceEvent>>,
+    outcome: Outcome,
+}
+
+/// Simulates the baseline runs once. Asking for more locations than the
+/// area has is reported, not silently truncated; an empty job list yields
+/// an empty baseline that renders as "no runs" instead of a masked 0%.
+fn simulate_baseline(
+    area: &Area,
+    policy: &OperatorPolicy,
+    locations: usize,
+    runs: usize,
+) -> Baseline {
+    let available = area.locations.len();
+    if locations > available {
+        eprintln!(
+            "mitigation: area {} has {available} locations, measuring all of them \
+             (asked for {locations})",
+            area.name
+        );
+    }
+    let mut base = Baseline {
+        traces: Vec::new(),
+        outcome: Outcome::default(),
+    };
+    for loc in 0..locations.min(available) {
         for r in 0..runs {
             let seed = hash_words(&[4242, loc as u64, r as u64]);
-            let (rec, ..) = run_location_with_policy(
+            let (_, out, analysis) = run_location_with_policy(
                 area,
                 loc,
                 PhoneModel::OnePlus12R,
@@ -42,109 +99,151 @@ fn measure(area: &Area, policy: &OperatorPolicy, locations: usize, runs: usize) 
                 180_000,
                 policy.clone(),
             );
-            total += 1;
-            if rec.has_loop {
-                loops += 1;
-            }
-            if let Some(v) = rec.median_on_mbps {
-                on.push(v);
-            }
-            for c in &rec.cycles {
-                offs.push(c.off_ms as f64 / 1000.0);
-            }
+            base.outcome.absorb(&analysis);
+            base.traces.push(out.events);
         }
     }
-    Outcome {
-        loop_ratio: loops as f64 / total.max(1) as f64,
-        median_on: onoff_analysis::median(&on),
-        median_off_s: onoff_analysis::median(&offs),
-    }
+    base
 }
 
-fn row(t: &mut TextTable, label: &str, before: &Outcome, after: &Outcome) {
-    let fmt_on = |o: &Outcome| o.median_on.map_or("—".into(), |v| format!("{v:.0} Mbps"));
-    let fmt_off = |o: &Outcome| o.median_off_s.map_or("—".into(), |v| format!("{v:.1} s"));
+/// Replays every recorded baseline trace through a fresh remedy transform
+/// and re-analyzes the rewritten trace.
+fn replay(base: &Baseline, remedy: impl Fn() -> Box<dyn PolicyTransform>) -> Outcome {
+    let mut after = Outcome::default();
+    for events in &base.traces {
+        let mut transform = remedy();
+        after.absorb(&analyze_trace(&apply_transform(events, transform.as_mut())));
+    }
+    after
+}
+
+fn ci_cell(ci: Option<ConfidenceInterval>) -> String {
+    ci.map_or("no runs".into(), |c| {
+        format!("{} [{}, {}]", pct(c.estimate), pct(c.lo), pct(c.hi))
+    })
+}
+
+/// Paired per-run loop-ratio delta (after − before) with a bootstrap CI
+/// over the per-run differences — the pairing the shared traces buy us.
+fn delta_cell(before: &Outcome, after: &Outcome) -> String {
+    let deltas: Vec<f64> = before
+        .looped
+        .iter()
+        .zip(&after.looped)
+        .map(|(&b, &a)| f64::from(u8::from(a)) - f64::from(u8::from(b)))
+        .collect();
+    bootstrap_ci(
+        &deltas,
+        |v| v.iter().sum::<f64>() / v.len() as f64,
+        CI_LEVEL,
+        CI_RESAMPLES,
+        CI_SEED,
+    )
+    .map_or("no runs".into(), |c| {
+        format!(
+            "{:+.0}pp [{:+.0}, {:+.0}]",
+            c.estimate * 100.0,
+            c.lo * 100.0,
+            c.hi * 100.0
+        )
+    })
+}
+
+fn arrow(before: Option<f64>, after: Option<f64>, fmt: impl Fn(f64) -> String) -> String {
+    let cell = |v: Option<f64>| v.map_or("—".into(), &fmt);
+    format!("{} → {}", cell(before), cell(after))
+}
+
+fn row(t: &mut TextTable, label: &str, base: &Baseline, after: &Outcome) {
+    let before = &base.outcome;
     t.row([
         label.to_string(),
-        pct(before.loop_ratio),
-        pct(after.loop_ratio),
-        fmt_on(before),
-        fmt_on(after),
-        fmt_off(before),
-        fmt_off(after),
+        ci_cell(before.loop_ci()),
+        ci_cell(after.loop_ci()),
+        delta_cell(before, after),
+        arrow(
+            onoff_analysis::median(&before.on),
+            onoff_analysis::median(&after.on),
+            |v| format!("{v:.0} Mbps"),
+        ),
+        arrow(
+            onoff_analysis::median(&before.offs),
+            onoff_analysis::median(&after.offs),
+            |v| format!("{v:.1} s"),
+        ),
     ]);
 }
 
-/// The mitigation table: baseline vs remedy per finding.
+/// The mitigation table: baseline vs counterfactually-replayed remedy per
+/// finding, loop ratios and paired deltas with 95% bootstrap CIs.
 pub fn mitigation(areas: &[Area]) -> String {
-    let mut out = header("mitigation", "Q3: policy remedies vs the loops they target");
+    let mut out = header(
+        "mitigation",
+        "Q3: policy remedies replayed counterfactually over recorded baseline runs",
+    );
     let mut t = TextTable::new([
         "Remedy",
         "loops before",
         "loops after",
-        "ON before",
-        "ON after",
-        "OFF before",
-        "OFF after",
+        "Δ loops (paired)",
+        "median ON",
+        "median OFF",
     ]);
 
+    // M1 + M2 target OP_T's showcase area; one baseline serves both.
     let a1 = &areas[0];
-    let base_t = op_t_policy();
-
-    // M1: per-SCell release (F9's "don't ruin all for one bad apple").
-    let mut m1 = base_t.clone();
-    m1.remedy_scell_only_release = true;
-    row(
-        &mut t,
-        "M1 S1: release only the bad SCell",
-        &measure(a1, &base_t, 8, 3),
-        &measure(a1, &m1, 8, 3),
-    );
-
-    // M2: fix the 387410 modification failure.
-    let mut m2 = base_t.clone();
-    if let Some(rule) = m2.rules.get_mut(&387410) {
-        rule.scell_mod_failure_prob = 0.01;
-    }
-    row(
-        &mut t,
-        "M2 S1E3: fix 387410 modification",
-        &measure(a1, &base_t, 8, 3),
-        &measure(a1, &m2, 8, 3),
-    );
+    let base_t = simulate_baseline(a1, &op_t_policy(), 8, 3);
+    let m1 = replay(&base_t, || Box::new(ScellOnlyRelease::new()));
+    row(&mut t, "M1 S1: release only the bad SCell", &base_t, &m1);
+    let m2 = replay(&base_t, || Box::new(ScellModFix::new(387_410)));
+    row(&mut t, "M2 S1E3: fix 387410 modification", &base_t, &m2);
 
     // M3: drop the 5815 5G-disabled policy (OP_A, area A6).
     let a6 = areas.iter().find(|a| a.name == "A6").expect("A6 exists");
-    let base_a = op_a_policy();
-    let mut m3 = base_a.clone();
-    if let Some(rule) = m3.rules.get_mut(&5815) {
-        rule.allow_5g = true;
-        rule.release_scg_on_entry = false;
-        rule.switch_away_on_5g_report = None;
-    }
-    row(
-        &mut t,
-        "M3 N2E1: allow 5G on channel 5815",
-        &measure(a6, &base_a, 8, 3),
-        &measure(a6, &m3, 8, 3),
-    );
+    let base_a = simulate_baseline(a6, &op_a_policy(), 8, 3);
+    let m3 = replay(&base_a, || Box::new(KeepScgOnHandover::new(5_815)));
+    row(&mut t, "M3 N2E1: allow 5G on channel 5815", &base_a, &m3);
 
     // M4: prompt SCG-recovery configuration (OP_V, area A11).
     let a11 = areas.iter().find(|a| a.name == "A11").expect("A11 exists");
-    let base_v = op_v_policy();
-    let mut m4 = base_v.clone();
-    m4.scg_recovery_config_period_ms = 2_000;
-    row(
-        &mut t,
-        "M4 N2E2: prompt recovery config",
-        &measure(a11, &base_v, 8, 3),
-        &measure(a11, &m4, 8, 3),
-    );
+    let base_v = simulate_baseline(a11, &op_v_policy(), 8, 3);
+    let m4 = replay(&base_v, || Box::new(PromptScgRecovery::new(2_000)));
+    row(&mut t, "M4 N2E2: prompt recovery config", &base_v, &m4);
 
     out.push_str(&t.render());
     out.push_str(
-        "(M1/M2 should erase the S1 loops and keep 5G ON; M3 removes the flip-flop; \
-         M4 does not remove N2E2 but collapses its OFF time)\n",
+        "(counterfactual replay: both arms share every radio sample, so deltas are \
+         the remedy's alone; M1/M2 should erase the S1 loops and keep 5G ON, M3 \
+         removes the flip-flop, M4 keeps N2E2 but collapses its OFF time)\n",
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoff_campaign::areas::area_a1;
+
+    #[test]
+    fn replayed_arms_are_paired_and_deterministic() {
+        let a1 = area_a1(0x050FF);
+        let base = simulate_baseline(&a1, &op_t_policy(), 2, 2);
+        assert_eq!(base.traces.len(), 4);
+        assert_eq!(base.outcome.looped.len(), 4);
+        let m2a = replay(&base, || Box::new(ScellModFix::new(387_410)));
+        let m2b = replay(&base, || Box::new(ScellModFix::new(387_410)));
+        assert_eq!(m2a.looped, m2b.looped);
+        assert_eq!(m2a.looped.len(), base.outcome.looped.len());
+    }
+
+    #[test]
+    fn empty_baseline_renders_no_runs_not_zero() {
+        let base = Baseline {
+            traces: Vec::new(),
+            outcome: Outcome::default(),
+        };
+        assert!(base.outcome.loop_ci().is_none());
+        assert_eq!(ci_cell(base.outcome.loop_ci()), "no runs");
+        assert_eq!(delta_cell(&base.outcome, &Outcome::default()), "no runs");
+    }
 }

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use onoff_analysis::{bootstrap_ci, proportion_ci};
 use onoff_detect::channel::{ChannelUsage, ScellModStats};
 use onoff_detect::{LoopType, Persistence};
 use onoff_policy::Operator;
@@ -26,6 +27,12 @@ pub struct Dataset {
     pub cell_counts: BTreeMap<Operator, (usize, usize)>,
     /// (name, operator, km²) of every area.
     pub areas: Vec<(String, Operator, f64)>,
+    /// Per-location predicted-vs-observed loop proneness (§6 validation),
+    /// rebuilt from the sorted records by [`location_predictions`] so it is
+    /// bitwise-identical at any worker count. Defaults on deserialization
+    /// so pre-fusion datasets still load.
+    #[serde(default)]
+    pub predictions: Vec<LocationPrediction>,
     /// Dirty-capture ledger: loss counters for accepted runs and the runs
     /// the campaign gave up on (chaos mode; empty/clean otherwise).
     /// Defaults on deserialization so pre-existing datasets still load.
@@ -57,6 +64,84 @@ pub struct CampaignStats {
     /// Simulated milliseconds per wall-clock second (the speed-up lens:
     /// how much faster than real time the campaign replays).
     pub simulated_ms_per_sec: f64,
+}
+
+/// One row of the dataset's predicted-vs-observed table: how often runs at
+/// a location actually looped, against what the fused online §6 scorer
+/// predicted for those same runs, both with percentile-bootstrap 95% CIs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationPrediction {
+    /// Operator of the location's area.
+    pub operator: Operator,
+    /// Area name.
+    pub area: String,
+    /// Location index within the area.
+    pub location: usize,
+    /// Runs aggregated at this location.
+    pub runs: usize,
+    /// Observed share of runs with a detected loop.
+    pub observed: f64,
+    /// Bootstrap CI bounds `(lo, hi)` on the observed share.
+    pub observed_ci: Option<(f64, f64)>,
+    /// Mean predicted session loop-proneness over the runs that scored at
+    /// least one measurement report.
+    pub predicted: Option<f64>,
+    /// Bootstrap CI bounds `(lo, hi)` on the predicted mean.
+    pub predicted_ci: Option<(f64, f64)>,
+}
+
+/// Bootstrap parameters for [`location_predictions`]: the paper-standard
+/// 95% level, the resample count every other CI in the workspace uses, and
+/// a fixed seed so the table is a pure function of the records.
+const PREDICTION_CI_LEVEL: f64 = 0.95;
+const PREDICTION_CI_RESAMPLES: usize = 200;
+const PREDICTION_CI_SEED: u64 = 0xC1_5EED;
+
+/// Builds the per-location predicted-vs-observed table from run records.
+/// Grouping goes through a `BTreeMap`, so the rows come out sorted by
+/// (operator, area, location) regardless of the input record order.
+pub fn location_predictions(records: &[RunRecord]) -> Vec<LocationPrediction> {
+    // Per-location arms: (looped per run, predicted session mean per
+    // scored run).
+    type Arms = (Vec<bool>, Vec<f64>);
+    let mut per_loc: BTreeMap<(Operator, &str, usize), Arms> = BTreeMap::new();
+    for r in records {
+        let e = per_loc
+            .entry((r.operator, r.area.as_str(), r.location))
+            .or_default();
+        e.0.push(r.has_loop);
+        if let Some(p) = r.predicted_loop_prob {
+            e.1.push(p);
+        }
+    }
+    per_loc
+        .into_iter()
+        .map(|((operator, area, location), (looped, preds))| {
+            let observed_ci = proportion_ci(
+                &looped,
+                PREDICTION_CI_LEVEL,
+                PREDICTION_CI_RESAMPLES,
+                PREDICTION_CI_SEED,
+            );
+            let predicted_ci = bootstrap_ci(
+                &preds,
+                |v| v.iter().sum::<f64>() / v.len() as f64,
+                PREDICTION_CI_LEVEL,
+                PREDICTION_CI_RESAMPLES,
+                PREDICTION_CI_SEED,
+            );
+            LocationPrediction {
+                operator,
+                area: area.to_string(),
+                location,
+                runs: looped.len(),
+                observed: looped.iter().filter(|&&b| b).count() as f64 / looped.len() as f64,
+                observed_ci: observed_ci.map(|ci| (ci.lo, ci.hi)),
+                predicted: predicted_ci.map(|ci| ci.estimate),
+                predicted_ci: predicted_ci.map(|ci| (ci.lo, ci.hi)),
+            }
+        })
+        .collect()
 }
 
 /// Per-run loop label in Fig. 4/6 vocabulary.
@@ -400,6 +485,8 @@ mod tests {
             meas_results: 500,
             problem_channel_rsrp: vec![-85.0, -90.0, -100.0],
             scg_meas_delays_ms: Vec::new(),
+            scored_reports: 300,
+            predicted_loop_prob: Some(if has_loop { 0.8 } else { 0.1 }),
         }
     }
 
@@ -513,6 +600,48 @@ mod tests {
         let by = d.off_times_by_type(Operator::OpT);
         assert_eq!(by[&LoopType::S1E3], vec![11.0]);
         assert_eq!(by[&LoopType::S1E2].len(), 2);
+    }
+
+    #[test]
+    fn location_predictions_pair_observed_and_predicted() {
+        let d = tiny_dataset();
+        let rows = location_predictions(&d.records);
+        // Five distinct (operator, area, location) keys, sorted.
+        assert_eq!(rows.len(), 5);
+        let keys: Vec<_> = rows
+            .iter()
+            .map(|r| (r.operator, r.area.as_str(), r.location))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // A1 location 0: one loop of two runs; predictions average the
+        // per-run session means (0.8 and 0.1).
+        let a1l0 = rows
+            .iter()
+            .find(|r| r.area == "A1" && r.location == 0)
+            .unwrap();
+        assert_eq!(a1l0.runs, 2);
+        assert!((a1l0.observed - 0.5).abs() < 1e-12);
+        assert!((a1l0.predicted.unwrap() - 0.45).abs() < 1e-12);
+        let (lo, hi) = a1l0.observed_ci.unwrap();
+        assert!(lo <= a1l0.observed && a1l0.observed <= hi);
+        let (plo, phi) = a1l0.predicted_ci.unwrap();
+        assert!(plo <= a1l0.predicted.unwrap() && a1l0.predicted.unwrap() <= phi);
+        // Deterministic: a pure function of the records.
+        assert_eq!(rows, location_predictions(&d.records));
+    }
+
+    #[test]
+    fn location_predictions_handle_unscored_runs() {
+        let mut rec = record(Operator::OpV, "A9", 0, false, None, None);
+        rec.predicted_loop_prob = None;
+        let rows = location_predictions(&[rec]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].runs, 1);
+        assert_eq!(rows[0].predicted, None);
+        assert_eq!(rows[0].predicted_ci, None);
+        assert!(rows[0].observed_ci.is_some());
     }
 
     #[test]

@@ -23,13 +23,13 @@ pub mod runs;
 pub mod survey;
 
 pub use areas::{all_areas, Area};
-pub use dataset::{CampaignStats, Dataset};
+pub use dataset::{location_predictions, CampaignStats, Dataset, LocationPrediction};
 pub use fine::{fine_grained_study, location_features, FineStudy};
 pub use map::render_map;
 pub use onoff_detect::channel::Merge;
 pub use persist::{load_json, save_json};
 pub use quarantine::{ChaosOptions, QuarantineReport, QuarantinedRun};
-pub use record::RunRecord;
+pub use record::{scoring_config_for, RunRecord};
 pub use runs::{
     run_campaign, run_location, run_location_with_policy, CampaignConfig, ParallelismConfig,
 };

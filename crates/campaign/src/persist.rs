@@ -47,6 +47,8 @@ mod tests {
                 meas_results: 1234,
                 problem_channel_rsrp: vec![-85.0, -90.5],
                 scg_meas_delays_ms: Vec::new(),
+                scored_reports: 250,
+                predicted_loop_prob: Some(0.62),
             }],
             areas: vec![("A1".into(), Operator::OpT, 2.89)],
             ..Default::default()

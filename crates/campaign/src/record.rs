@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use onoff_detect::metrics::CycleStat;
-use onoff_detect::{LoopType, Persistence, RunAnalysis};
-use onoff_policy::{Operator, PhoneModel};
+use onoff_detect::{LoopType, Persistence, PredictionReport, RunAnalysis, ScoringConfig};
+use onoff_policy::{Operator, OperatorPolicy, PhoneModel};
 use onoff_rrc::ids::Rat;
 use onoff_rrc::messages::{RrcMessage, Trigger};
 use onoff_rrc::trace::TraceEvent;
@@ -51,6 +51,14 @@ pub struct RunRecord {
     pub problem_channel_rsrp: Vec<f64>,
     /// N2E2 recovery delays: SCG release → next B1 report, ms (Fig. 19c).
     pub scg_meas_delays_ms: Vec<u64>,
+    /// Measurement reports scored by the fused online predictor (§6).
+    /// Defaults on deserialization so pre-fusion datasets still load.
+    #[serde(default)]
+    pub scored_reports: u64,
+    /// Session-mean §6 loop-proneness over the scored reports, if any
+    /// report was scored.
+    #[serde(default)]
+    pub predicted_loop_prob: Option<f64>,
 }
 
 /// The "problematic channel" under study per operator (F14).
@@ -71,6 +79,23 @@ pub fn problem_channel_rat(op: Operator) -> Rat {
     }
 }
 
+/// The scoring configuration the campaign fuses into every run's analysis
+/// pass: the operator's problematic channel under study (F14), plus the NR
+/// carriers wide enough (≥ 40 MHz) to anchor a PCell — everything else in
+/// the config (reservoir, CI level, bootstrap seed) stays at the library
+/// default so predictions are comparable across operators.
+pub fn scoring_config_for(op: Operator, policy: &OperatorPolicy) -> ScoringConfig {
+    ScoringConfig {
+        problem_arfcn: problem_channel(op),
+        pcell_arfcns: policy
+            .nr_channels()
+            .filter(|c| c.bandwidth_mhz >= 40.0)
+            .map(|c| c.arfcn)
+            .collect(),
+        ..ScoringConfig::default()
+    }
+}
+
 impl RunRecord {
     /// Builds a record from a simulated run and its analysis.
     #[allow(clippy::too_many_arguments)]
@@ -82,6 +107,7 @@ impl RunRecord {
         seed: u64,
         out: &SimOutput,
         analysis: &RunAnalysis,
+        predictions: &PredictionReport,
     ) -> RunRecord {
         let duration_ms = out.events.last().map_or(0, |e| e.t().millis());
         let prob_ch = problem_channel(operator);
@@ -147,6 +173,8 @@ impl RunRecord {
             meas_results,
             problem_channel_rsrp,
             scg_meas_delays_ms,
+            scored_reports: predictions.scored,
+            predicted_loop_prob: predictions.session_mean,
         }
     }
 }
@@ -154,6 +182,19 @@ impl RunRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scoring_config_targets_the_operator_problem_channel() {
+        use onoff_policy::policy_for;
+        let cfg = scoring_config_for(Operator::OpT, &policy_for(Operator::OpT));
+        assert_eq!(cfg.problem_arfcn, 387410);
+        // OP_T's wide NR carriers anchor PCells; the narrow problematic
+        // 387410 carrier must not be among them.
+        assert!(!cfg.pcell_arfcns.is_empty());
+        assert!(cfg.pcell_arfcns.iter().all(|&a| a != 387410));
+        let nsa = scoring_config_for(Operator::OpA, &policy_for(Operator::OpA));
+        assert_eq!(nsa.problem_arfcn, 5815);
+    }
 
     #[test]
     fn problem_channels_match_f14() {

@@ -38,9 +38,9 @@ use onoff_rrc::perf::FxMap;
 use onoff_sim::{simulate, ChaosConfig, ChaosEngine, MovementPath, SimConfig, SimOutput, UeBatch};
 
 use crate::areas::{all_areas, Area};
-use crate::dataset::{CampaignStats, Dataset};
+use crate::dataset::{location_predictions, CampaignStats, Dataset};
 use crate::quarantine::{ChaosOptions, QuarantineReport, QuarantinedRun};
-use crate::record::RunRecord;
+use crate::record::{scoring_config_for, RunRecord};
 
 /// Worker-pool sizing for [`run_campaign`].
 #[derive(Debug, Clone)]
@@ -134,6 +134,7 @@ pub fn run_location_with_policy(
     duration_ms: u64,
     policy: onoff_policy::OperatorPolicy,
 ) -> (RunRecord, onoff_sim::SimOutput, onoff_detect::RunAnalysis) {
+    let scoring = scoring_config_for(area.operator, &policy);
     let out = simulate(&sim_config(
         area,
         location,
@@ -145,11 +146,14 @@ pub fn run_location_with_policy(
     // Fused hot path: simulator output goes straight into the incremental
     // analysis core — no emit→parse text round-trip, no event re-buffering.
     // Sim events are time-ordered, so the bare core applies; agreement with
-    // the text round-trip is enforced by `tests/fused_roundtrip.rs`.
-    let mut core = TraceAnalyzer::new();
+    // the text round-trip is enforced by `tests/fused_roundtrip.rs`. The
+    // same pass drives the online §6 scorer, so predictions ride along at
+    // zero extra trace traversals.
+    let mut core = TraceAnalyzer::with_scoring(scoring);
     for ev in &out.events {
         core.feed(ev);
     }
+    let predictions = core.predictions().expect("scoring enabled");
     let analysis = core.finish();
     let record = RunRecord::from_run(
         area.operator,
@@ -159,6 +163,7 @@ pub fn run_location_with_policy(
         seed,
         &out,
         &analysis,
+        &predictions,
     );
     (record, out, analysis)
 }
@@ -205,21 +210,27 @@ fn run_location_chaotic(
     onoff_detect::RunAnalysis,
     onoff_nsglog::ParseStats,
 ) {
+    let operator_policy = policy_for(area.operator);
+    let scoring = scoring_config_for(area.operator, &operator_policy);
     let out = simulate(&sim_config(
         area,
         location,
         device,
         seed,
         duration_ms,
-        policy_for(area.operator),
+        operator_policy,
     ));
     let mut engine = ChaosEngine::new(chaos.clone(), chaos_seed);
     let dirty = engine.corrupt_text(&out.to_log());
     let (events, stats) = parse_str_lossy(&dirty, policy);
-    let mut core = TraceAnalyzer::new();
+    // Score the *surviving* events: predictions, like every other counter
+    // in the record, reflect what an analyst reading the dirty capture
+    // would see.
+    let mut core = TraceAnalyzer::with_scoring(scoring);
     for ev in &events {
         core.feed(ev);
     }
+    let predictions = core.predictions().expect("scoring enabled");
     let analysis = core.finish();
     let surviving = SimOutput {
         events,
@@ -233,6 +244,7 @@ fn run_location_chaotic(
         seed,
         &surviving,
         &analysis,
+        &predictions,
     );
     (record, surviving, analysis, stats)
 }
@@ -369,6 +381,7 @@ impl Aggregates {
         jobs: &[Job],
         cfg: &CampaignConfig,
     ) {
+        let scoring = scoring_config_for(area.operator, policy);
         let mut batch = UeBatch::new(policy, device, tables, cfg.duration_ms, 1000);
         for job in jobs {
             batch.push(
@@ -377,10 +390,11 @@ impl Aggregates {
             );
         }
         for (job, out) in jobs.iter().zip(batch.run()) {
-            let mut core = TraceAnalyzer::new();
+            let mut core = TraceAnalyzer::with_scoring(scoring.clone());
             for ev in &out.events {
                 core.feed(ev);
             }
+            let predictions = core.predictions().expect("scoring enabled");
             let analysis = core.finish();
             let record = RunRecord::from_run(
                 area.operator,
@@ -390,6 +404,7 @@ impl Aggregates {
                 job.seed,
                 &out,
                 &analysis,
+                &predictions,
             );
             self.fold_run(area.operator, cfg.duration_ms, record, &out, &analysis);
         }
@@ -623,8 +638,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Dataset {
         simulated_ms_per_sec: agg.simulated_ms as f64 / secs,
     };
 
+    // Built from the already-sorted records, so the predicted-vs-observed
+    // table inherits the dataset's worker-count invariance for free.
+    let predictions = location_predictions(&agg.records);
+
     Dataset {
         records: agg.records,
+        predictions,
         // Sort-at-finalize: hash-ordered shards become the dataset's
         // deterministic operator-keyed maps here, once.
         usage_nr: agg.usage_nr.into_iter().collect(),

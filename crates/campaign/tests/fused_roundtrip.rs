@@ -5,9 +5,9 @@
 //! persisted record from it yields bitwise-identical results.
 
 use onoff_campaign::areas::area_a1;
-use onoff_campaign::{run_location, RunRecord};
-use onoff_detect::{analyze_trace, StreamingAnalyzer};
-use onoff_policy::PhoneModel;
+use onoff_campaign::{run_location, scoring_config_for, RunRecord};
+use onoff_detect::{analyze_trace, analyze_trace_scored, StreamingAnalyzer};
+use onoff_policy::{policy_for, PhoneModel};
 
 #[test]
 fn fused_path_matches_text_round_trip() {
@@ -21,9 +21,16 @@ fn fused_path_matches_text_round_trip() {
         .expect("emitted log must re-parse");
     assert_eq!(reparsed, out.events, "text round-trip must be lossless");
 
-    // Batch over the re-parsed events…
-    let batch = analyze_trace(&reparsed);
+    // Batch over the re-parsed events… (scored: the fused path scores
+    // every run, and scoring must not perturb the analysis)
+    let scoring = scoring_config_for(a1.operator, &policy_for(a1.operator));
+    let (batch, batch_pred) = analyze_trace_scored(&reparsed, scoring);
     assert_eq!(fused, batch, "fused analysis diverged from batch");
+    assert_eq!(
+        batch,
+        analyze_trace(&reparsed),
+        "scoring perturbed the analysis"
+    );
 
     // …and streamed, as a live tail would consume the same text.
     let mut s = StreamingAnalyzer::new();
@@ -41,6 +48,7 @@ fn fused_path_matches_text_round_trip() {
         7,
         &out,
         &batch,
+        &batch_pred,
     );
     let fused_json = serde_json::to_string_pretty(&record).unwrap();
     let roundtrip_json = serde_json::to_string_pretty(&roundtrip_record).unwrap();

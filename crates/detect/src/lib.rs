@@ -55,6 +55,8 @@ pub use loops::{detect_loops, Cycle, LoopInstance, Persistence};
 pub use metrics::{run_metrics, run_metrics_from_samples, RunMetrics};
 pub use stream::{StreamingAnalyzer, TraceAnalyzer};
 
+pub use onoff_predict::scoring::{CellPrediction, PredictionReport, ScoringConfig};
+
 use onoff_rrc::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 
@@ -106,4 +108,23 @@ pub fn analyze_trace(events: &[TraceEvent]) -> RunAnalysis {
         core.feed(ev);
     }
     core.finish()
+}
+
+/// [`analyze_trace`] with the online prediction stage enabled: the same
+/// single pass also scores every measurement report with the §6 models and
+/// returns the per-cell loop-proneness report alongside the analysis.
+///
+/// Drives the identical code path a scoring-enabled [`StreamingAnalyzer`]
+/// runs, so batch and streaming predictions are bitwise-identical for any
+/// in-order chunking of the same events.
+pub fn analyze_trace_scored(
+    events: &[TraceEvent],
+    config: ScoringConfig,
+) -> (RunAnalysis, PredictionReport) {
+    let mut core = stream::TraceAnalyzer::with_scoring(config);
+    for ev in events {
+        core.feed(ev);
+    }
+    let predictions = core.predictions().expect("scoring enabled");
+    (core.finish(), predictions)
 }

@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 
+use onoff_predict::scoring::{OnlineScorer, PredictionReport, ScoringConfig};
 use onoff_rrc::serving::ConnState;
 use onoff_rrc::trace::{Timestamp, TraceEvent};
 
@@ -69,6 +70,10 @@ pub struct TraceAnalyzer {
     max_t: Timestamp,
     /// Quarantine counters (`degraded_episodes` is filled on query).
     degradation: DegradationReport,
+    /// Optional online loop-proneness scorer — fed the identical event
+    /// sequence the automata see, so batch and streaming predictions are
+    /// bitwise-identical by construction.
+    scorer: Option<OnlineScorer>,
 }
 
 impl Default for TraceAnalyzer {
@@ -93,7 +98,26 @@ impl TraceAnalyzer {
             id_before_cur: 0,
             max_t: Timestamp(0),
             degradation: DegradationReport::default(),
+            scorer: None,
         }
+    }
+
+    /// A core with the online prediction stage enabled.
+    pub fn with_scoring(config: ScoringConfig) -> TraceAnalyzer {
+        let mut a = TraceAnalyzer::new();
+        a.enable_scoring(config);
+        a
+    }
+
+    /// Enables (or reconfigures) the online prediction stage. Events fed
+    /// from here on are scored; already-processed events are not replayed.
+    pub fn enable_scoring(&mut self, config: ScoringConfig) {
+        self.scorer = Some(OnlineScorer::new(config));
+    }
+
+    /// A point-in-time prediction snapshot, when scoring is enabled.
+    pub fn predictions(&self) -> Option<PredictionReport> {
+        self.scorer.as_ref().map(|s| s.report())
     }
 
     /// Advances every automaton with one event.
@@ -128,6 +152,11 @@ impl TraceAnalyzer {
         // The classifier sees the event before any transition it causes,
         // so the event itself counts as classification evidence.
         self.classifier.feed_event(ev);
+        // Scoring never reads timestamps, so the clamp in `feed` cannot
+        // make it diverge between orderly and quarantined feeds.
+        if let Some(scorer) = &mut self.scorer {
+            scorer.feed(ev);
+        }
         if let Some(sample) = self.timeline.feed(ev) {
             let prev_on = self.timeline.uses_5g(self.cur_sample.id);
             let on = self.timeline.uses_5g(sample.id);
@@ -262,6 +291,26 @@ impl StreamingAnalyzer {
     /// New, empty analyzer.
     pub fn new() -> StreamingAnalyzer {
         StreamingAnalyzer::default()
+    }
+
+    /// An analyzer with the online prediction stage enabled.
+    pub fn with_scoring(config: ScoringConfig) -> StreamingAnalyzer {
+        StreamingAnalyzer {
+            core: TraceAnalyzer::with_scoring(config),
+            ..StreamingAnalyzer::default()
+        }
+    }
+
+    /// Enables (or reconfigures) the core's prediction stage.
+    pub fn enable_scoring(&mut self, config: ScoringConfig) {
+        self.core.enable_scoring(config);
+    }
+
+    /// A point-in-time prediction snapshot, when scoring is enabled.
+    /// Flushes the reorder buffer first (the caller asked about "now").
+    pub fn predictions(&mut self) -> Option<PredictionReport> {
+        self.flush_pending();
+        self.core.predictions()
     }
 
     /// Feeds one event. Events arriving within [`REORDER_HORIZON_MS`] of

@@ -55,6 +55,38 @@ fn workload(cycles: u64) -> Vec<onoff_rrc::trace::TraceEvent> {
 }
 
 #[test]
+fn warm_scoring_session_allocates_nothing() {
+    use onoff_detect::ScoringConfig;
+    use onoff_predict::OnlineScorer;
+
+    let events = workload(200);
+    // Warm pass: the first traversal grows the scorer's measurement table
+    // and per-cell reservoirs once; `reset_session` keeps that capacity.
+    let mut scorer = OnlineScorer::new(ScoringConfig::default());
+    for ev in &events {
+        scorer.feed(ev);
+    }
+    assert!(scorer.scored() > 0, "workload must exercise the scorer");
+
+    scorer.reset_session();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for ev in &events {
+        scorer.feed(ev);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(scorer.scored() > 0);
+    // Exactly zero, not a budget: scoring rides inside the campaign's
+    // per-event hot path, and every capture path uses fixed-capacity
+    // inline structures (`InlineVec`, reused reservoir rings).
+    assert_eq!(
+        allocs,
+        0,
+        "a warm scoring session allocated {allocs} times over {} events",
+        events.len()
+    );
+}
+
+#[test]
 fn batch_analyze_allocs_per_event_within_budget() {
     let events = workload(200);
     // Warm-up pass so lazily-initialized runtime structures don't bill

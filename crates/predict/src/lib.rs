@@ -13,14 +13,27 @@
 //! * **S1E1/S1E2 extension** — same usage model, failure feature swapped
 //!   to the worst SCell's RSRP with a logistic response;
 //! * **training** — MSE minimization over the fine-grained spatial samples
-//!   via cyclic coordinate descent with golden-section line search.
+//!   via cyclic coordinate descent with golden-section line search;
+//! * **online scoring** — the same models evaluated incrementally over a
+//!   signaling-event stream ([`scoring`]), with bounded per-cell reservoirs
+//!   and percentile-bootstrap confidence intervals;
+//! * **counterfactual mitigation** — §7's remedies expressed as policy
+//!   transforms over recorded traces ([`mitigate`]), so their effect can be
+//!   measured by re-analysis instead of re-simulation.
 
 pub mod eval;
+pub mod mitigate;
 pub mod model;
+pub mod scoring;
 pub mod train;
 pub mod validate;
 
 pub use eval::{error_stats, ErrorStats};
-pub use model::{CellsetFeatures, LocationSample, S1Model, S1e3Model};
+pub use mitigate::{
+    apply_transform, KeepScgOnHandover, PolicyTransform, PromptScgRecovery, ScellModFix,
+    ScellOnlyRelease,
+};
+pub use model::{CellsetFeatures, LocationSample, ModelDomainError, S1Model, S1e3Model};
+pub use scoring::{CellPrediction, FeatureTracker, OnlineScorer, PredictionReport, ScoringConfig};
 pub use train::{train_s1, train_s1e3};
 pub use validate::{binned_curve, cross_validate_s1e3};

@@ -1,6 +1,60 @@
 //! The prediction models (§6 equations).
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// Valid domain of the usage-logistic steepness `k` (per dB).
+pub const K_DOMAIN: (f64, f64) = (1e-3, 10.0);
+/// Valid domain of the failure-decay gap scale `t` (dB). Strictly positive:
+/// `t ≤ 0` turns `1 − Δ/t` into a division hazard that poisons training.
+pub const T_DOMAIN: (f64, f64) = (1e-3, 200.0);
+/// Valid domain of the failure-decay exponent `n`.
+pub const N_DOMAIN: (f64, f64) = (1e-3, 32.0);
+/// Valid domain of the poor-SCell logistic steepness (per dB).
+pub const E12_K_DOMAIN: (f64, f64) = (1e-3, 10.0);
+/// Valid domain of the poor-SCell logistic midpoint (dBm) — the TS 38.133
+/// reportable RSRP range.
+pub const E12_MID_DOMAIN: (f64, f64) = (-156.0, -31.0);
+
+/// A model parameter outside its valid domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelDomainError {
+    /// Which parameter was rejected.
+    pub param: &'static str,
+    /// The offending value.
+    pub value: f64,
+    /// Inclusive valid range.
+    pub domain: (f64, f64),
+}
+
+impl fmt::Display for ModelDomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model parameter {} = {} outside [{}, {}]",
+            self.param, self.value, self.domain.0, self.domain.1
+        )
+    }
+}
+
+impl std::error::Error for ModelDomainError {}
+
+fn check_domain(
+    param: &'static str,
+    value: f64,
+    domain: (f64, f64),
+) -> Result<f64, ModelDomainError> {
+    // `!(..)` instead of `<` so NaN fails the check too.
+    if !(value >= domain.0 && value <= domain.1) {
+        return Err(ModelDomainError {
+            param,
+            value,
+            domain,
+        });
+    }
+    Ok(value)
+}
 
 /// Features of one candidate cell-set combination at a location.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,8 +86,22 @@ pub fn usage(k: f64, pcell_gap_db: f64) -> f64 {
 }
 
 /// Polynomial failure model `p = max(1 − Δ/t, 0)ⁿ`.
+///
+/// Total over degenerate parameters: a zero-or-negative (or NaN) scale `t`
+/// reads as a zero-width decay window — a step at zero gap — instead of a
+/// division hazard, and a non-positive exponent reads as the indicator of a
+/// non-empty window. The result is always in [0, 1].
 pub fn failure(t: f64, n: f64, scell_gap_db: f64) -> f64 {
-    (1.0 - scell_gap_db / t).max(0.0).powf(n)
+    if t.is_nan() || t <= 0.0 {
+        return if scell_gap_db <= 0.0 { 1.0 } else { 0.0 };
+    }
+    // Gaps are absolute; a negative (or NaN) input clamps to 0, which also
+    // pins the base into [0, 1] so `powf` can't escape the unit interval.
+    let base = (1.0 - scell_gap_db.max(0.0) / t).max(0.0);
+    if n.is_nan() || n <= 0.0 {
+        return if base > 0.0 { 1.0 } else { 0.0 };
+    }
+    base.powf(n)
 }
 
 /// The S1E3 model with learnable `(k, t, n)`.
@@ -60,6 +128,17 @@ impl Default for S1e3Model {
 }
 
 impl S1e3Model {
+    /// A model with domain-checked parameters ([`K_DOMAIN`], [`T_DOMAIN`],
+    /// [`N_DOMAIN`]). Use this over a struct literal whenever the values
+    /// come from training, configuration, or deserialized input.
+    pub fn new(k: f64, t: f64, n: f64) -> Result<S1e3Model, ModelDomainError> {
+        Ok(S1e3Model {
+            k: check_domain("k", k, K_DOMAIN)?,
+            t: check_domain("t", t, T_DOMAIN)?,
+            n: check_domain("n", n, N_DOMAIN)?,
+        })
+    }
+
     /// Per-combination loop probability contribution `uᵢ·pᵢ`.
     pub fn combo_probability(&self, f: &CellsetFeatures) -> f64 {
         usage(self.k, f.pcell_gap_db) * failure(self.t, self.n, f.scell_gap_db)
@@ -106,6 +185,16 @@ impl Default for S1Model {
 }
 
 impl S1Model {
+    /// A model with domain-checked parameters ([`E12_K_DOMAIN`],
+    /// [`E12_MID_DOMAIN`], plus the S1E3 domains via [`S1e3Model::new`]).
+    pub fn new(e3: S1e3Model, e12_k: f64, e12_mid_dbm: f64) -> Result<S1Model, ModelDomainError> {
+        Ok(S1Model {
+            e3: S1e3Model::new(e3.k, e3.t, e3.n)?,
+            e12_k: check_domain("e12_k", e12_k, E12_K_DOMAIN)?,
+            e12_mid_dbm: check_domain("e12_mid_dbm", e12_mid_dbm, E12_MID_DOMAIN)?,
+        })
+    }
+
     /// S1E1/S1E2 probability for one combination: rises as the worst SCell
     /// weakens below the midpoint.
     pub fn e12_probability(&self, f: &CellsetFeatures) -> f64 {
@@ -161,6 +250,50 @@ mod tests {
         assert_eq!(failure(12.0, 2.0, 12.0), 0.0);
         assert_eq!(failure(12.0, 2.0, 40.0), 0.0); // clamped, not negative
         assert!(failure(12.0, 2.0, 3.0) > failure(12.0, 2.0, 6.0));
+    }
+
+    #[test]
+    fn failure_degenerate_scale_stays_in_unit_interval() {
+        // Regression: `t ≤ 0` used to yield out-of-range probabilities
+        // (failure(−12, 2, 6) was 2.25) and `t = 0` a division by zero.
+        assert_eq!(failure(-12.0, 2.0, 6.0), 0.0);
+        assert_eq!(failure(0.0, 2.0, 6.0), 0.0);
+        assert_eq!(failure(0.0, 2.0, 0.0), 1.0);
+        assert_eq!(failure(f64::NAN, 2.0, 6.0), 0.0);
+        // Degenerate exponent: indicator of a non-empty window, not >1.
+        assert_eq!(failure(12.0, 0.0, 6.0), 1.0);
+        assert_eq!(failure(12.0, -3.0, 40.0), 0.0);
+        // Negative/NaN gaps clamp instead of escaping past 1.
+        assert_eq!(failure(12.0, 2.0, -5.0), 1.0);
+        assert_eq!(failure(12.0, 2.0, f64::NAN), 1.0);
+        for &t in &[-12.0, 0.0, 1e-3, 12.0, f64::NAN] {
+            for &n in &[-1.0, 0.0, 0.5, 2.0, f64::NAN] {
+                for &g in &[-5.0, 0.0, 6.0, 99.0, f64::NAN] {
+                    let p = failure(t, n, g);
+                    assert!((0.0..=1.0).contains(&p), "failure({t},{n},{g}) = {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_reject_out_of_domain_parameters() {
+        assert!(S1e3Model::new(0.4, 12.0, 2.0).is_ok());
+        let err = S1e3Model::new(0.4, -12.0, 2.0).unwrap_err();
+        assert_eq!(err.param, "t");
+        assert!(S1e3Model::new(0.4, 0.0, 2.0).is_err());
+        assert!(S1e3Model::new(0.4, f64::NAN, 2.0).is_err());
+        assert!(S1e3Model::new(-0.1, 12.0, 2.0).is_err());
+        assert!(S1e3Model::new(0.4, 12.0, 0.0).is_err());
+        let e3 = S1e3Model::default();
+        assert!(S1Model::new(e3, 0.5, -110.0).is_ok());
+        assert!(S1Model::new(e3, 0.0, -110.0).is_err());
+        assert!(S1Model::new(e3, 0.5, -200.0).is_err());
+        // The defaults themselves must be in-domain.
+        let d = S1e3Model::default();
+        assert!(S1e3Model::new(d.k, d.t, d.n).is_ok());
+        let s = S1Model::default();
+        assert!(S1Model::new(s.e3, s.e12_k, s.e12_mid_dbm).is_ok());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! minimizing the mean squared error between the predicted and observed
 //! loop probabilities", §6).
 
-use crate::model::{LocationSample, S1Model, S1e3Model};
+use crate::model::{
+    LocationSample, S1Model, S1e3Model, E12_K_DOMAIN, E12_MID_DOMAIN, K_DOMAIN, N_DOMAIN, T_DOMAIN,
+};
 
 /// Golden-section search for the minimum of `f` on `[lo, hi]`.
 fn golden_min<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, iters: usize) -> f64 {
@@ -42,10 +44,20 @@ fn mse<F: Fn(&LocationSample) -> f64>(samples: &[LocationSample], predict: F) ->
         / samples.len() as f64
 }
 
-/// Parameter bounds for the S1E3 model.
+/// Intersects a search range with the parameter's valid model domain, so
+/// the golden-section search can never walk a parameter into a degenerate
+/// region (e.g. `t ≤ 0`, the division hazard `failure` guards against).
+fn clamp_to_domain(range: (f64, f64), domain: (f64, f64)) -> (f64, f64) {
+    (range.0.max(domain.0), range.1.min(domain.1))
+}
+
+/// Search bounds for the S1E3 model, clamped into the model domains.
 const K_RANGE: (f64, f64) = (0.10, 3.0);
 const T_RANGE: (f64, f64) = (2.0, 40.0);
 const N_RANGE: (f64, f64) = (0.2, 8.0);
+/// Search bounds for the S1 poor-SCell logistic.
+const E12_K_RANGE: (f64, f64) = (0.05, 2.0);
+const E12_MID_RANGE: (f64, f64) = (-130.0, -90.0);
 
 /// Trains the S1E3 model on fine-grained spatial samples.
 ///
@@ -53,6 +65,9 @@ const N_RANGE: (f64, f64) = (0.2, 8.0);
 /// by golden-section search with the others fixed; several random-ish
 /// restarts guard against the (mild) non-convexity.
 pub fn train_s1e3(samples: &[LocationSample]) -> S1e3Model {
+    let (k_lo, k_hi) = clamp_to_domain(K_RANGE, K_DOMAIN);
+    let (t_lo, t_hi) = clamp_to_domain(T_RANGE, T_DOMAIN);
+    let (n_lo, n_hi) = clamp_to_domain(N_RANGE, N_DOMAIN);
     let starts = [
         S1e3Model::default(),
         S1e3Model {
@@ -73,20 +88,20 @@ pub fn train_s1e3(samples: &[LocationSample]) -> S1e3Model {
         for _ in 0..12 {
             m.k = golden_min(
                 |k| mse(samples, |s| S1e3Model { k, ..m }.predict(&s.combos)),
-                K_RANGE.0,
-                K_RANGE.1,
+                k_lo,
+                k_hi,
                 40,
             );
             m.t = golden_min(
                 |t| mse(samples, |s| S1e3Model { t, ..m }.predict(&s.combos)),
-                T_RANGE.0,
-                T_RANGE.1,
+                t_lo,
+                t_hi,
                 40,
             );
             m.n = golden_min(
                 |n| mse(samples, |s| S1e3Model { n, ..m }.predict(&s.combos)),
-                N_RANGE.0,
-                N_RANGE.1,
+                n_lo,
+                n_hi,
                 40,
             );
         }
@@ -103,6 +118,11 @@ pub fn train_s1e3(samples: &[LocationSample]) -> S1e3Model {
 /// logistic) on samples whose `observed` is the overall S1 loop
 /// probability.
 pub fn train_s1(samples: &[LocationSample]) -> S1Model {
+    let (k_lo, k_hi) = clamp_to_domain(K_RANGE, K_DOMAIN);
+    let (t_lo, t_hi) = clamp_to_domain(T_RANGE, T_DOMAIN);
+    let (n_lo, n_hi) = clamp_to_domain(N_RANGE, N_DOMAIN);
+    let (e12_k_lo, e12_k_hi) = clamp_to_domain(E12_K_RANGE, E12_K_DOMAIN);
+    let (e12_mid_lo, e12_mid_hi) = clamp_to_domain(E12_MID_RANGE, E12_MID_DOMAIN);
     let e3 = train_s1e3(samples);
     let mut m = S1Model {
         e3,
@@ -111,8 +131,8 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
     for _ in 0..12 {
         m.e12_k = golden_min(
             |k| mse(samples, |s| S1Model { e12_k: k, ..m }.predict(&s.combos)),
-            0.05,
-            2.0,
+            e12_k_lo,
+            e12_k_hi,
             40,
         );
         m.e12_mid_dbm = golden_min(
@@ -125,8 +145,8 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
                     .predict(&s.combos)
                 })
             },
-            -130.0,
-            -90.0,
+            e12_mid_lo,
+            e12_mid_hi,
             40,
         );
         // Re-tune the shared usage/failure parameters under the combined
@@ -141,8 +161,8 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
                     .predict(&s.combos)
                 })
             },
-            K_RANGE.0,
-            K_RANGE.1,
+            k_lo,
+            k_hi,
             40,
         );
         m.e3.t = golden_min(
@@ -155,8 +175,8 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
                     .predict(&s.combos)
                 })
             },
-            T_RANGE.0,
-            T_RANGE.1,
+            t_lo,
+            t_hi,
             40,
         );
         m.e3.n = golden_min(
@@ -169,8 +189,8 @@ pub fn train_s1(samples: &[LocationSample]) -> S1Model {
                     .predict(&s.combos)
                 })
             },
-            N_RANGE.0,
-            N_RANGE.1,
+            n_lo,
+            n_hi,
             40,
         );
     }
@@ -270,6 +290,22 @@ mod tests {
             "{err_trained} vs {err_default}"
         );
         assert!(err_trained < 5e-3, "mse {err_trained}");
+    }
+
+    #[test]
+    fn trained_parameters_pass_domain_validation() {
+        let samples = vec![
+            LocationSample {
+                combos: vec![f(8.0, 2.0, -95.0)],
+                observed: 0.7,
+            },
+            LocationSample {
+                combos: vec![f(-4.0, 18.0, -115.0)],
+                observed: 0.1,
+            },
+        ];
+        let m = train_s1(&samples);
+        assert!(S1Model::new(m.e3, m.e12_k, m.e12_mid_dbm).is_ok(), "{m:?}");
     }
 
     #[test]

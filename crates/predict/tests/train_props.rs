@@ -1,0 +1,118 @@
+//! Property tests for training and the §6 models: bit-exact determinism
+//! of the coordinate-descent fit, and monotone model responses over the
+//! whole valid parameter domain.
+
+use onoff_predict::model::{E12_K_DOMAIN, K_DOMAIN, N_DOMAIN, T_DOMAIN};
+use onoff_predict::{train_s1, train_s1e3, CellsetFeatures, LocationSample, S1Model, S1e3Model};
+use proptest::prelude::*;
+
+fn features(pcell_gap: f64, scell_gap: f64, worst: f64) -> CellsetFeatures {
+    CellsetFeatures {
+        pcell_gap_db: pcell_gap,
+        scell_gap_db: scell_gap,
+        worst_scell_rsrp_dbm: worst,
+    }
+}
+
+fn samples_from(raw: &[(f64, f64, f64, f64)]) -> Vec<LocationSample> {
+    raw.iter()
+        .map(|&(gp, gs, worst, observed)| LocationSample {
+            combos: vec![features(gp, gs, worst)],
+            observed,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same samples ⇒ bit-identical trained parameters: training contains
+    /// no hidden randomness, so campaigns re-fitting on re-generated
+    /// datasets reproduce exactly.
+    #[test]
+    fn training_is_bitwise_deterministic(
+        raw in prop::collection::vec(
+            (-20.0f64..20.0, 0.0f64..30.0, -130.0f64..-70.0, 0.0f64..1.0),
+            1..12,
+        ),
+    ) {
+        let samples = samples_from(&raw);
+        let a = train_s1e3(&samples);
+        let b = train_s1e3(&samples);
+        prop_assert_eq!(a.k.to_bits(), b.k.to_bits());
+        prop_assert_eq!(a.t.to_bits(), b.t.to_bits());
+        prop_assert_eq!(a.n.to_bits(), b.n.to_bits());
+        let sa = train_s1(&samples);
+        let sb = train_s1(&samples);
+        prop_assert_eq!(sa.e12_k.to_bits(), sb.e12_k.to_bits());
+        prop_assert_eq!(sa.e12_mid_dbm.to_bits(), sb.e12_mid_dbm.to_bits());
+        prop_assert_eq!(sa.e3.k.to_bits(), sb.e3.k.to_bits());
+        prop_assert_eq!(sa.e3.t.to_bits(), sb.e3.t.to_bits());
+        prop_assert_eq!(sa.e3.n.to_bits(), sb.e3.n.to_bits());
+    }
+
+    /// The S1E3 prediction is non-increasing in the SCell gap for every
+    /// in-domain parameter triple: a wider co-channel gap can only make
+    /// the modification failure less likely (§6's failure model).
+    #[test]
+    fn prediction_is_non_increasing_in_scell_gap(
+        k in K_DOMAIN.0..K_DOMAIN.1,
+        t in T_DOMAIN.0..T_DOMAIN.1,
+        n in N_DOMAIN.0..N_DOMAIN.1,
+        pcell_gap in -20.0f64..20.0,
+        gaps in prop::collection::vec(0.0f64..40.0, 2..12),
+    ) {
+        let m = S1e3Model::new(k, t, n).expect("in-domain");
+        let mut sorted = gaps.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = f64::INFINITY;
+        for gs in sorted {
+            let p = m.predict(&[features(pcell_gap, gs, -90.0)]);
+            prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+            prop_assert!(
+                p <= prev + 1e-12,
+                "widening the gap to {gs} raised the prediction {prev} -> {p}"
+            );
+            prev = p;
+        }
+    }
+
+    /// The combined S1 model is non-increasing in the worst-SCell RSRP's
+    /// healthiness direction: a *stronger* worst SCell can only lower the
+    /// poor-SCell contribution, and the prediction stays a probability.
+    #[test]
+    fn s1_prediction_is_non_increasing_in_worst_scell_health(
+        e12_k in E12_K_DOMAIN.0..E12_K_DOMAIN.1,
+        e12_mid in -130.0f64..-90.0,
+        worsts in prop::collection::vec(-140.0f64..-60.0, 2..12),
+    ) {
+        let m = S1Model::new(S1e3Model::default(), e12_k, e12_mid).expect("in-domain");
+        let mut sorted = worsts.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = f64::INFINITY;
+        for worst in sorted {
+            // A huge SCell gap mutes the E3 term, isolating the E12 response.
+            let p = m.predict(&[features(5.0, 99.0, worst)]);
+            prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+            prop_assert!(
+                p <= prev + 1e-12,
+                "healthier worst SCell {worst} raised the prediction {prev} -> {p}"
+            );
+            prev = p;
+        }
+    }
+
+    /// Trained parameters always land inside the validated model domains,
+    /// whatever the samples — the clamped search bounds guarantee it.
+    #[test]
+    fn trained_parameters_stay_in_domain(
+        raw in prop::collection::vec(
+            (-25.0f64..25.0, 0.0f64..99.0, -140.0f64..-40.0, 0.0f64..1.0),
+            0..8,
+        ),
+    ) {
+        let samples = samples_from(&raw);
+        let m = train_s1(&samples);
+        prop_assert!(S1Model::new(m.e3, m.e12_k, m.e12_mid_dbm).is_ok(), "{:?}", m);
+    }
+}

@@ -544,6 +544,29 @@ impl<K, V> FxMap<K, V> {
             .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
     }
 
+    /// Iterates entries mutably, in unspecified order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut().map(|(k, v)| (&*k, v)))
+    }
+
+    /// Iterates values mutably, in unspecified order — the online scorer's
+    /// session reset walks its per-cell reservoirs in place this way.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.iter_mut().map(|(_, v)| v)
+    }
+
+    /// Removes every entry, keeping the slot array: the map can be refilled
+    /// up to its previous size without reallocating. Streaming sessions
+    /// reset per-session state through this instead of rebuilding the map.
+    pub fn clear(&mut self) {
+        for slot in self.slots.iter_mut() {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
     /// Iterates keys in unspecified order.
     pub fn keys(&self) -> impl Iterator<Item = &K> {
         self.iter().map(|(k, _)| k)
@@ -978,6 +1001,28 @@ mod tests {
         assert_eq!(m[&7], 2);
         assert_eq!(m[&8], 5);
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn fxmap_clear_keeps_capacity_and_refills() {
+        let mut m: FxMap<u32, u64> = FxMap::new();
+        for i in 0..100u32 {
+            m.insert(i, u64::from(i));
+        }
+        let slots_before = m.slots.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.slots.len(), slots_before, "clear must keep the slots");
+        assert_eq!(m.get(&5), None);
+        for i in 0..100u32 {
+            m.insert(i, u64::from(i) + 1);
+        }
+        assert_eq!(m.slots.len(), slots_before, "refill must not regrow");
+        assert_eq!(m[&5], 6);
+        for v in m.values_mut() {
+            *v *= 2;
+        }
+        assert_eq!(m[&5], 12);
     }
 
     #[test]
