@@ -14,6 +14,10 @@
 //! * `sim-step`       — one stationary run on the table-driven path
 //!   (`simulate`): the per-step radio sweep the batched campaign amortizes
 //! * `fused-campaign` — a one-run-per-location campaign (`run_campaign`)
+//! * `store-encode`   — events → binary columnar store (`encode_events`)
+//! * `store-replay`   — binary store replayed straight into the streaming
+//!   core (`StoreReader::replay`): the re-analysis path that replaces
+//!   `parse` + `stream-feed` for persisted traces
 //!
 //! Every workload is deterministic (fixed seeds, fixed tiling), so the
 //! allocation counts are exactly reproducible and the wall numbers are
@@ -47,6 +51,7 @@ use onoff_policy::{op_t_policy, PhoneModel};
 use onoff_predict::{OnlineScorer, ScoringConfig};
 use onoff_rrc::trace::TraceEvent;
 use onoff_sim::{simulate, SimConfig};
+use onoff_store::StoreReader;
 
 /// Counts every heap allocation. The binary self-contains the counter
 /// (criterion is a dev-dependency, unavailable to `src/bin` targets); the
@@ -154,7 +159,21 @@ fn tile(events: &[TraceEvent], k: u64) -> Vec<TraceEvent> {
     out
 }
 
-fn measure() -> Vec<(&'static str, Sample)> {
+/// Size comparison between the two trace representations, reported as a
+/// top-level `"store"` block in the snapshot.
+#[derive(Debug, Clone, Copy)]
+struct StoreInfo {
+    text_bytes: u64,
+    binary_bytes: u64,
+}
+
+impl StoreInfo {
+    fn compression_ratio(&self) -> f64 {
+        self.text_bytes as f64 / (self.binary_bytes.max(1)) as f64
+    }
+}
+
+fn measure() -> (Vec<(&'static str, Sample)>, StoreInfo) {
     let base = sample_events();
     let events = tile(&base, 4);
     let text = onoff_nsglog::emit(&events);
@@ -219,6 +238,24 @@ fn measure() -> Vec<(&'static str, Sample)> {
         let out = simulate(&sim_cfg);
         (out.events.len() as u64, 0)
     });
+    let store_bytes = onoff_store::encode_events(&events);
+    // The store workloads finish in ~1-2ms, so their min-of-N needs more
+    // reps than the tens-of-ms workloads to filter scheduler noise.
+    let store_encode = run_workload(20, || {
+        let encoded = onoff_store::encode_events(&events);
+        std::hint::black_box(encoded.len());
+        (n, encoded.len() as u64)
+    });
+    let store_replay = run_workload(20, || {
+        let reader = StoreReader::new(&store_bytes).expect("freshly encoded store is valid");
+        let mut core = TraceAnalyzer::new();
+        reader
+            .replay(onoff_nsglog::RecoveryPolicy::SkipAndCount, &mut core)
+            .expect("lossy replay never errors");
+        let analysis = core.finish();
+        std::hint::black_box(analysis.loops.len());
+        (n, store_bytes.len() as u64)
+    });
     let campaign = run_workload(2, || {
         let cfg = CampaignConfig {
             seed: 0x050FF,
@@ -233,15 +270,24 @@ fn measure() -> Vec<(&'static str, Sample)> {
         (ds.stats.events_processed, 0)
     });
 
-    vec![
-        ("parse", parse),
-        ("extract", extract),
-        ("detect", detect),
-        ("stream-feed", stream),
-        ("predict", predict),
-        ("sim-step", sim_step),
-        ("fused-campaign", campaign),
-    ]
+    let info = StoreInfo {
+        text_bytes: bytes,
+        binary_bytes: store_bytes.len() as u64,
+    };
+    (
+        vec![
+            ("parse", parse),
+            ("extract", extract),
+            ("detect", detect),
+            ("stream-feed", stream),
+            ("predict", predict),
+            ("sim-step", sim_step),
+            ("fused-campaign", campaign),
+            ("store-encode", store_encode),
+            ("store-replay", store_replay),
+        ],
+        info,
+    )
 }
 
 /// The prior numbers for one workload, as loaded from a snapshot file.
@@ -284,8 +330,19 @@ fn die(msg: &str) -> ! {
 }
 
 /// Renders the snapshot JSON (stable key order, two-space indent).
-fn render(results: &[(&'static str, Sample)], priors: &[(String, Prior)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"perfsnap/v1\",\n  \"workloads\": [\n");
+fn render(
+    results: &[(&'static str, Sample)],
+    info: StoreInfo,
+    priors: &[(String, Prior)],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"perfsnap/v1\",\n");
+    out.push_str(&format!(
+        "  \"store\": {{\"text_bytes\": {}, \"binary_bytes\": {}, \"compression_ratio\": {:.3}}},\n",
+        info.text_bytes,
+        info.binary_bytes,
+        info.compression_ratio(),
+    ));
+    out.push_str("  \"workloads\": [\n");
     for (i, (name, s)) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{name}\", \"events\": {}, \"bytes\": {}, \"wall_ms\": {:.3}, \
@@ -317,7 +374,7 @@ fn render(results: &[(&'static str, Sample)], priors: &[(String, Prior)]) -> Str
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR7.json");
+    let mut out_path = String::from("BENCH_PR8.json");
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut threshold = 2.0f64;
@@ -341,7 +398,7 @@ fn main() {
         }
     }
 
-    let results = measure();
+    let (results, info) = measure();
     for (name, s) in &results {
         eprintln!(
             "{name:>15}: {:>10.0} events/s  {:>12.0} bytes/s  {:>8.2} allocs/event  ({:.1} ms)",
@@ -358,7 +415,15 @@ fn main() {
         (None, None) => Vec::new(),
     };
 
-    let json = render(&results, &priors);
+    eprintln!(
+        "{:>15}: text {} bytes -> binary {} bytes ({:.2}x)",
+        "store",
+        info.text_bytes,
+        info.binary_bytes,
+        info.compression_ratio(),
+    );
+
+    let json = render(&results, info, &priors);
     if let Err(e) = std::fs::write(&out_path, &json) {
         die(&format!("cannot write {out_path}: {e}"));
     }

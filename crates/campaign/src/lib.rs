@@ -27,7 +27,9 @@ pub use dataset::{location_predictions, CampaignStats, Dataset, LocationPredicti
 pub use fine::{fine_grained_study, location_features, FineStudy};
 pub use map::render_map;
 pub use onoff_detect::channel::Merge;
-pub use persist::{load_json, save_json};
+pub use persist::{
+    absorb_store_loss, load_json, load_trace, reanalyze_trace, save_json, save_trace,
+};
 pub use quarantine::{ChaosOptions, QuarantineReport, QuarantinedRun};
 pub use record::{scoring_config_for, RunRecord};
 pub use runs::{

@@ -1,11 +1,25 @@
 //! Dataset persistence: save/load the campaign dataset as JSON so
 //! EXPERIMENTS.md numbers can be regenerated without re-running the
 //! simulation, mirroring the paper's released-dataset workflow.
+//!
+//! Individual run traces persist separately in the binary columnar store
+//! (`onoff-store`): [`save_trace`] writes a run's events once,
+//! [`reanalyze_trace`] replays them straight into the streaming analysis
+//! core with no text round-trip. Store-level corruption surfaces as
+//! counted segment skips ([`StoreStats`]) that [`absorb_store_loss`]
+//! folds into the campaign's [`QuarantineReport`], the same ledger the
+//! lossy text parser feeds.
 
 use std::io;
 use std::path::Path;
 
+use onoff_detect::{RunAnalysis, TraceAnalyzer};
+use onoff_nsglog::RecoveryPolicy;
+use onoff_rrc::trace::TraceEvent;
+use onoff_store::{StoreReader, StoreStats};
+
 use crate::dataset::Dataset;
+use crate::quarantine::QuarantineReport;
 
 /// Saves a dataset as pretty-printed JSON.
 pub fn save_json(ds: &Dataset, path: &Path) -> io::Result<()> {
@@ -18,6 +32,47 @@ pub fn save_json(ds: &Dataset, path: &Path) -> io::Result<()> {
 pub fn load_json(path: &Path) -> io::Result<Dataset> {
     let text = std::fs::read_to_string(path)?;
     serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn invalid(e: onoff_store::StoreError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Saves a run's events in the binary columnar store format.
+pub fn save_trace(events: &[TraceEvent], path: &Path) -> io::Result<()> {
+    std::fs::write(path, onoff_store::encode_events(events))
+}
+
+/// Loads a binary trace saved by [`save_trace`]. Under the lossy
+/// policies, corrupt segments become counted skips in the returned
+/// [`StoreStats`]; under `FailFast` they are an `InvalidData` error.
+pub fn load_trace(
+    path: &Path,
+    policy: RecoveryPolicy,
+) -> io::Result<(Vec<TraceEvent>, StoreStats)> {
+    let bytes = std::fs::read(path)?;
+    let reader = StoreReader::new(&bytes).map_err(invalid)?;
+    reader.read_all(policy).map_err(invalid)
+}
+
+/// Re-analyzes a persisted binary trace by replaying it straight into
+/// the streaming core — no text re-parse, no event buffer. Fold the
+/// returned stats into the campaign ledger with [`absorb_store_loss`].
+pub fn reanalyze_trace(
+    path: &Path,
+    policy: RecoveryPolicy,
+) -> io::Result<(RunAnalysis, StoreStats)> {
+    let bytes = std::fs::read(path)?;
+    let reader = StoreReader::new(&bytes).map_err(invalid)?;
+    let mut core = TraceAnalyzer::new();
+    let stats = reader.replay(policy, &mut core).map_err(invalid)?;
+    Ok((core.finish(), stats))
+}
+
+/// Folds binary-store segment loss into the quarantine ledger, mirroring
+/// what the text parser's `ParseStats` contributes on the chaos path.
+pub fn absorb_store_loss(report: &mut QuarantineReport, stats: &StoreStats) {
+    report.records_lost += stats.skipped;
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ use onoff_detect::channel::{ChannelUsage, Merge, ScellModStats};
 use onoff_detect::TraceAnalyzer;
 use onoff_nsglog::parse_str_lossy;
 use onoff_policy::{policy_for, DeviceProfile, Operator, OperatorPolicy, PhoneModel};
+use onoff_predict::OnlineScorer;
 use onoff_radio::noise::hash_words;
 use onoff_radio::RadioTables;
 use onoff_rrc::ids::Rat;
@@ -389,12 +390,26 @@ impl Aggregates {
                 job.seed,
             );
         }
+        // One scorer serves the whole batch: recovered from the finished
+        // core, session-reset, and handed to the next run. `reset_session`
+        // is observationally identical to a fresh scorer (pinned by a
+        // predict-crate test), so the dataset stays bitwise-identical —
+        // but the scorer's measurement maps and per-cell reservoirs are
+        // allocated once per batch instead of once per run.
+        let mut scorer: Option<OnlineScorer> = None;
         for (job, out) in jobs.iter().zip(batch.run()) {
-            let mut core = TraceAnalyzer::with_scoring(scoring.clone());
+            let mut core = match scorer.take() {
+                Some(mut warm) => {
+                    warm.reset_session();
+                    TraceAnalyzer::with_scorer(warm)
+                }
+                None => TraceAnalyzer::with_scoring(scoring.clone()),
+            };
             for ev in &out.events {
                 core.feed(ev);
             }
             let predictions = core.predictions().expect("scoring enabled");
+            scorer = core.take_scorer();
             let analysis = core.finish();
             let record = RunRecord::from_run(
                 area.operator,

@@ -1,0 +1,77 @@
+//! Allocation-budget regression test for the fused campaign path.
+//!
+//! The campaign runner's per-run analysis loop reuses one warmed
+//! [`OnlineScorer`] across the runs of a batch (`reset_session` +
+//! `TraceAnalyzer::with_scorer`) instead of rebuilding the scorer's
+//! measurement tables per run. This test pins that property with a
+//! counting global allocator so an accidental per-run scorer rebuild — or
+//! a new `clone()`/`format!` on the per-event path — fails CI instead of
+//! silently eroding the `fused-campaign` perf-snapshot numbers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use onoff_campaign::{run_campaign, CampaignConfig, ParallelismConfig};
+use onoff_policy::PhoneModel;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The perf-snapshot `fused-campaign` configuration: one run per
+/// location, single worker, so every allocation is billed to the fused
+/// simulate → analyze → score pipeline rather than to thread scaffolding.
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        seed: 0x050FF,
+        runs_a1: 1,
+        runs_other: 1,
+        device: PhoneModel::OnePlus12R,
+        duration_ms: 60_000,
+        parallelism: ParallelismConfig::with_workers(1),
+        chaos: None,
+    }
+}
+
+#[test]
+fn fused_campaign_allocs_per_event_within_budget() {
+    // Warm-up pass so lazily-initialized runtime structures don't bill
+    // their one-time allocations to the measured pass.
+    let warm = run_campaign(&config());
+    assert!(
+        warm.stats.events_processed > 1_000,
+        "campaign must process a meaningful event volume"
+    );
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let ds = run_campaign(&config());
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(ds.stats.events_processed, warm.stats.events_processed);
+
+    let per_event = allocs as f64 / ds.stats.events_processed as f64;
+    // Measured ~6.5 allocs/event with the shared scorer (see
+    // `BENCH_PR8.json`); the per-run scorer rebuild this guards against
+    // costs several hundred table allocations per run, which on this
+    // config pushes the figure past 8. The budget sits between the two so
+    // hot-path regressions trip loudly while allocator noise does not.
+    assert!(
+        per_event <= 7.5,
+        "fused campaign allocated {allocs} times over {} events \
+         ({per_event:.3} allocs/event, budget 7.5)",
+        ds.stats.events_processed
+    );
+}

@@ -115,6 +115,24 @@ impl TraceAnalyzer {
         self.scorer = Some(OnlineScorer::new(config));
     }
 
+    /// A core that adopts an existing scorer — typically one recovered via
+    /// [`take_scorer`](Self::take_scorer) and passed through
+    /// [`OnlineScorer::reset_session`], so batch drivers can reuse the
+    /// scorer's maps and reservoirs across runs instead of reallocating
+    /// them per run. `reset_session` is observationally identical to a
+    /// fresh scorer, so results cannot depend on the reuse.
+    pub fn with_scorer(scorer: OnlineScorer) -> TraceAnalyzer {
+        let mut a = TraceAnalyzer::new();
+        a.scorer = Some(scorer);
+        a
+    }
+
+    /// Removes and returns the scorer (disabling further scoring), so its
+    /// allocations can outlive this core.
+    pub fn take_scorer(&mut self) -> Option<OnlineScorer> {
+        self.scorer.take()
+    }
+
     /// A point-in-time prediction snapshot, when scoring is enabled.
     pub fn predictions(&self) -> Option<PredictionReport> {
         self.scorer.as_ref().map(|s| s.report())
@@ -137,14 +155,25 @@ impl TraceAnalyzer {
             self.episodes.mark_degraded();
             self.feed_in_order(&ev.with_t(self.max_t));
         } else {
-            self.max_t = t;
             self.feed_in_order(ev);
         }
     }
 
     /// Advances the automata with an event already known to be in
-    /// nondecreasing timestamp order.
-    fn feed_in_order(&mut self, ev: &TraceEvent) {
+    /// nondecreasing timestamp order — the fast path [`feed`](Self::feed)
+    /// takes once it has ruled out a backwards timestamp, exposed for
+    /// callers that can prove ordering themselves (the binary trace
+    /// store's segment replay, whose per-segment `ordered` flag certifies
+    /// it at encode time). Feeding an out-of-order event here corrupts
+    /// the quarantine accounting — when in doubt, use `feed`.
+    pub fn feed_in_order(&mut self, ev: &TraceEvent) {
+        debug_assert!(
+            ev.t() >= self.max_t,
+            "feed_in_order given a backwards event ({:?} < {:?})",
+            ev.t(),
+            self.max_t
+        );
+        self.max_t = ev.t();
         self.events_seen += 1;
         if let TraceEvent::Throughput { t, mbps } = ev {
             self.throughput.push((*t, *mbps));

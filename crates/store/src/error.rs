@@ -1,0 +1,191 @@
+//! Store errors and the read-side conservation ledger.
+
+use std::fmt;
+
+/// The seven per-segment columns, in their fixed on-disk order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Column {
+    /// Delta-encoded timestamps (zigzag varints over wrapping diffs).
+    Timestamps,
+    /// One event/message tag byte per record.
+    Tags,
+    /// One head byte per RRC record (RAT, channel, context presence).
+    Meta,
+    /// Dictionary indexes of referenced cells.
+    Cells,
+    /// Varint-packed measurement rows (trigger, cell, RSRP, RSRQ).
+    Meas,
+    /// Miscellaneous numeric payloads (global ids, thresholds, counts).
+    Nums,
+    /// Raw little-endian `f64` bits (throughput samples).
+    Floats,
+}
+
+/// Every column, in on-disk order.
+pub const COLUMNS: [Column; 7] = [
+    Column::Timestamps,
+    Column::Tags,
+    Column::Meta,
+    Column::Cells,
+    Column::Meas,
+    Column::Nums,
+    Column::Floats,
+];
+
+impl Column {
+    /// Short on-disk/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Column::Timestamps => "ts",
+            Column::Tags => "tag",
+            Column::Meta => "meta",
+            Column::Cells => "cells",
+            Column::Meas => "meas",
+            Column::Nums => "nums",
+            Column::Floats => "f64",
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a store (or one of its segments) could not be decoded.
+///
+/// File-level variants (`TooShort` through `BadDirectory`) are returned by
+/// [`StoreReader::new`](crate::StoreReader::new) — without an intact
+/// header there is no record count to conserve against. Segment-level
+/// variants surface per segment: fatal under
+/// [`RecoveryPolicy::FailFast`](onoff_nsglog::RecoveryPolicy), a counted
+/// skip under the lossy policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Fewer bytes than the fixed preamble.
+    TooShort,
+    /// The magic bytes are not `OSTR`.
+    BadMagic,
+    /// The format version byte is not one this reader decodes. Bumping
+    /// [`FORMAT_VERSION`](crate::FORMAT_VERSION) is an explicit, reviewed
+    /// event (see the golden byte-stability tests); old readers must
+    /// refuse newer files rather than misdecode them.
+    UnsupportedVersion {
+        /// Version byte found in the file.
+        found: u8,
+        /// The version this reader supports.
+        supported: u8,
+    },
+    /// The header checksum (directory + dictionaries) does not match.
+    HeaderChecksum {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the header bytes.
+        computed: u64,
+    },
+    /// The header parsed but is internally inconsistent (directory counts
+    /// vs. total records, segment spans vs. file length, bad dictionary).
+    BadDirectory(&'static str),
+    /// A segment's header checksum does not match — its column layout
+    /// (lengths, per-column checksums, timestamp base) cannot be trusted.
+    SegmentHeader {
+        /// Index of the corrupt segment.
+        segment: usize,
+    },
+    /// One column's checksum does not match its payload.
+    ColumnChecksum {
+        /// Index of the corrupt segment.
+        segment: usize,
+        /// Which column failed.
+        column: Column,
+    },
+    /// Checksums passed but a column under-/over-ran during decode — a
+    /// defensive backstop (decode is total) that still counts as a skip.
+    Malformed {
+        /// Index of the malformed segment.
+        segment: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TooShort => write!(f, "store file shorter than its preamble"),
+            StoreError::BadMagic => write!(f, "not a binary trace store (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported store format version {found} (this reader supports {supported})"
+            ),
+            StoreError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            StoreError::BadDirectory(what) => write!(f, "inconsistent store header: {what}"),
+            StoreError::SegmentHeader { segment } => {
+                write!(f, "segment {segment}: header checksum mismatch")
+            }
+            StoreError::ColumnChecksum { segment, column } => {
+                write!(f, "segment {segment}: `{column}` column checksum mismatch")
+            }
+            StoreError::Malformed { segment, what } => {
+                write!(f, "segment {segment}: malformed despite checksums: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The read-side ledger: every record the file claims is either decoded
+/// or skipped with its segment — `decoded + skipped == records` holds for
+/// every outcome of every lossy read, mirroring the parse-side
+/// conservation invariant of
+/// [`ParseStats`](onoff_nsglog::ParseStats).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreStats {
+    /// Records the intact header claims the file holds.
+    pub records: usize,
+    /// Records decoded from intact segments.
+    pub decoded: usize,
+    /// Records lost to skipped (corrupt) segments.
+    pub skipped: usize,
+    /// Segments in the file.
+    pub segments: usize,
+    /// Indexes of the segments that were skipped, in order.
+    pub skipped_segments: Vec<usize>,
+    /// The first checksum/decode error encountered, if any.
+    pub first_error: Option<StoreError>,
+}
+
+impl StoreStats {
+    /// True when nothing was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.skipped == 0 && self.skipped_segments.is_empty() && self.first_error.is_none()
+    }
+
+    /// Fraction of claimed records lost to corruption.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.records as f64
+        }
+    }
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records: {} decoded, {} skipped ({} of {} segments)",
+            self.records,
+            self.decoded,
+            self.skipped,
+            self.skipped_segments.len(),
+            self.segments
+        )
+    }
+}

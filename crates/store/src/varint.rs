@@ -1,0 +1,214 @@
+//! LEB128 varints and zigzag folding — the packing primitives every
+//! column shares.
+//!
+//! All decode paths are **total**: they return `None` on overrun or on a
+//! varint longer than the 10 bytes a `u64` can need, never panicking, so a
+//! corrupt column that somehow slipped past its checksum still degrades
+//! into a counted error instead of UB or an abort.
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` zigzag-folded (small magnitudes of either sign stay short).
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_u64(out, zigzag(v));
+}
+
+/// Folds a signed value into an unsigned one: 0, -1, 1, -2 → 0, 1, 2, 3.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Unfolds [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A checked, forward-only reader over one column's bytes.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Cursor<'a> {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn u8(&mut self) -> Option<u8> {
+        let b = *self.data.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads an LEB128 varint. `None` on overrun or on more than 10 bytes.
+    /// Single-byte values (the overwhelming majority on the hot columns:
+    /// tags, dictionary indices, small counts) take the inlined fast path.
+    #[inline]
+    pub fn u64(&mut self) -> Option<u64> {
+        let b = *self.data.get(self.pos)?;
+        if b & 0x80 == 0 {
+            self.pos += 1;
+            return Some(u64::from(b));
+        }
+        self.u64_multibyte()
+    }
+
+    /// The 2..=10-byte continuation of [`u64`](Self::u64).
+    fn u64_multibyte(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return None; // would overflow u64
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return None;
+            }
+        }
+    }
+
+    /// Reads a zigzag-folded varint.
+    #[inline]
+    pub fn i64(&mut self) -> Option<i64> {
+        self.u64().map(unzigzag)
+    }
+
+    /// Reads a little-endian `i16` (fixed 2 bytes) — the measurement-row
+    /// fast path.
+    #[inline]
+    pub fn i16_le(&mut self) -> Option<i16> {
+        let bytes = self.data.get(self.pos..self.pos.checked_add(2)?)?;
+        self.pos += 2;
+        Some(i16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Peeks the next `N` bytes without consuming them — lets a caller
+    /// validate a whole fixed-width row behind one bounds check, then
+    /// [`advance`](Self::advance) past it.
+    #[inline]
+    pub fn peek<const N: usize>(&self) -> Option<&'a [u8; N]> {
+        self.data.get(self.pos..)?.first_chunk::<N>()
+    }
+
+    /// Consumes `n` bytes previously validated with [`peek`](Self::peek).
+    #[inline]
+    pub fn advance(&mut self, n: usize) {
+        debug_assert!(n <= self.remaining(), "advance past a successful peek");
+        self.pos += n;
+    }
+
+    /// Reads a little-endian `u64` (fixed 8 bytes).
+    pub fn u64_le(&mut self) -> Option<u64> {
+        let bytes = self.data.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let bytes = self.data.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_edges() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.u64(), Some(v));
+            assert!(c.is_done());
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_edges() {
+        for v in [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_i64(&mut buf, v);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.i64(), Some(v));
+            assert!(c.is_done());
+        }
+    }
+
+    #[test]
+    fn zigzag_orders_by_magnitude() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [-1000i64, -3, 17, 123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_none_not_panic() {
+        // A continuation bit with nothing after it.
+        let mut c = Cursor::new(&[0x80]);
+        assert_eq!(c.u64(), None);
+        // An 11-byte varint overruns what u64 can hold.
+        let mut c = Cursor::new(&[0x80; 11]);
+        assert_eq!(c.u64(), None);
+        // A 10th byte with high bits set would overflow.
+        let mut c = Cursor::new(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]);
+        assert_eq!(c.u64(), None);
+    }
+
+    #[test]
+    fn fixed_and_raw_reads_are_checked() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert_eq!(c.u64_le(), None);
+        assert_eq!(c.bytes(4), None);
+        assert_eq!(c.bytes(3), Some(&[1u8, 2, 3][..]));
+        assert!(c.is_done());
+        assert_eq!(c.u8(), None);
+    }
+}
