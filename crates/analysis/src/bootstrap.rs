@@ -14,7 +14,7 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// A two-sided percentile-bootstrap confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ConfidenceInterval {
     /// Point estimate on the original sample.
     pub estimate: f64,

@@ -18,6 +18,9 @@
 //! * `store-replay`   — binary store replayed straight into the streaming
 //!   core (`StoreReader::replay`): the re-analysis path that replaces
 //!   `parse` + `stream-feed` for persisted traces
+//! * `serve-ingest`   — 100k concurrent sessions fed through the serving
+//!   tier's session table (in-process): the fleet daemon's steady-state
+//!   routing + per-session analysis cost
 //!
 //! Every workload is deterministic (fixed seeds, fixed tiling), so the
 //! allocation counts are exactly reproducible and the wall numbers are
@@ -50,6 +53,7 @@ use onoff_detect::{analyze_trace, TraceAnalyzer};
 use onoff_policy::{op_t_policy, PhoneModel};
 use onoff_predict::{OnlineScorer, ScoringConfig};
 use onoff_rrc::trace::TraceEvent;
+use onoff_serve::{ServeConfig, ServeEngine, SessionMeta};
 use onoff_sim::{simulate, SimConfig};
 use onoff_store::StoreReader;
 
@@ -256,6 +260,32 @@ fn measure() -> (Vec<(&'static str, Sample)>, StoreInfo) {
         std::hint::black_box(analysis.loops.len());
         (n, store_bytes.len() as u64)
     });
+    // Fleet ingest fan-out: 100k concurrent sessions, each fed a small
+    // burst through the serving tier's session table (in-process — the
+    // workload measures routing + per-session analyzer cost, not socket
+    // syscalls). The budget is wide open so nothing spills; eviction cost
+    // is the chaos suites' concern, steady-state ingest is the number the
+    // perf floor pins.
+    let serve_ingest = run_workload(2, || {
+        let engine = ServeEngine::new(ServeConfig {
+            global_budget: 16 << 30,
+            session_budget: 64 << 20,
+            shards: 64,
+            ..ServeConfig::default()
+        });
+        let mut fed = 0u64;
+        let window = 12usize;
+        for sid in 0..100_000u64 {
+            let start = (sid as usize * 7) % (base.len() - window);
+            let burst: Vec<TraceEvent> = base[start..start + window].to_vec();
+            fed += engine
+                .table()
+                .ingest(sid, burst, SessionMeta::default())
+                .expect("wide-open budget never sheds");
+        }
+        std::hint::black_box(engine.table().bytes_used());
+        (fed, 0)
+    });
     let campaign = run_workload(2, || {
         let cfg = CampaignConfig {
             seed: 0x050FF,
@@ -285,6 +315,7 @@ fn measure() -> (Vec<(&'static str, Sample)>, StoreInfo) {
             ("fused-campaign", campaign),
             ("store-encode", store_encode),
             ("store-replay", store_replay),
+            ("serve-ingest", serve_ingest),
         ],
         info,
     )
@@ -374,7 +405,7 @@ fn render(
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR8.json");
+    let mut out_path = String::from("BENCH_PR9.json");
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut threshold = 2.0f64;

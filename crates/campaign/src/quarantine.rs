@@ -94,8 +94,21 @@ impl QuarantineReport {
 }
 
 impl Merge for QuarantineReport {
+    /// Merging is commutative and associative: counters sum, and the run
+    /// list is re-canonicalized into (operator, area, location, seed)
+    /// order — the campaign's unique run key, extended to a total order
+    /// over every field so the law holds even for adversarial inputs —
+    /// making the result independent of which shard saw which run first.
     fn merge(&mut self, other: Self) {
         self.runs.extend(other.runs);
+        self.runs.sort_by(|a, b| {
+            (
+                a.operator, &a.area, a.location, a.seed, a.attempts, &a.reason,
+            )
+                .cmp(&(
+                    b.operator, &b.area, b.location, b.seed, b.attempts, &b.reason,
+                ))
+        });
         self.records_lost += other.records_lost;
         self.timestamps_repaired += other.timestamps_repaired;
         self.clamped_events += other.clamped_events;

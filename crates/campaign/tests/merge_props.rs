@@ -1,0 +1,91 @@
+//! Algebraic laws of [`QuarantineReport`] merging.
+//!
+//! Campaign shards fold their quarantine ledgers in whatever order the
+//! scheduler finished them; the persisted dataset must not depend on
+//! that order. `merge` therefore canonicalizes the run list by its
+//! unique (operator, area, location, seed) key, which makes the fold
+//! exactly commutative and associative — stated here as properties.
+
+use onoff_campaign::{QuarantineReport, QuarantinedRun};
+use onoff_detect::channel::Merge;
+use onoff_policy::Operator;
+use proptest::prelude::*;
+
+fn run_strategy() -> impl Strategy<Value = QuarantinedRun> {
+    (
+        prop_oneof![Just(Operator::OpT), Just(Operator::OpV)],
+        prop_oneof![Just("A1".to_string()), Just("B2".to_string())],
+        0usize..4,
+        0u64..50,
+        1u32..5,
+    )
+        .prop_map(
+            |(operator, area, location, seed, attempts)| QuarantinedRun {
+                operator,
+                area,
+                location,
+                seed,
+                attempts,
+                reason: format!("loss ratio exceeded at seed {seed}"),
+            },
+        )
+}
+
+fn report_strategy() -> impl Strategy<Value = QuarantineReport> {
+    (
+        prop::collection::vec(run_strategy(), 0..6),
+        0usize..1000,
+        0usize..1000,
+        0usize..1000,
+    )
+        .prop_map(
+            |(runs, records_lost, timestamps_repaired, clamped_events)| QuarantineReport {
+                runs,
+                records_lost,
+                timestamps_repaired,
+                clamped_events,
+            },
+        )
+}
+
+fn merged(mut a: QuarantineReport, b: QuarantineReport) -> QuarantineReport {
+    a.merge(b);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn quarantine_merge_is_commutative(a in report_strategy(), b in report_strategy()) {
+        prop_assert_eq!(merged(a.clone(), b.clone()), merged(b, a));
+    }
+
+    #[test]
+    fn quarantine_merge_is_associative(
+        a in report_strategy(),
+        b in report_strategy(),
+        c in report_strategy(),
+    ) {
+        prop_assert_eq!(
+            merged(merged(a.clone(), b.clone()), c.clone()),
+            merged(a, merged(b, c))
+        );
+    }
+
+    #[test]
+    fn quarantine_merge_preserves_every_run(a in report_strategy(), b in report_strategy()) {
+        let total = a.runs.len() + b.runs.len();
+        let out = merged(a, b);
+        prop_assert_eq!(out.runs.len(), total);
+        // Canonical order: sorted by the unique run key.
+        let keys: Vec<_> = out
+            .runs
+            .iter()
+            .map(|r| (r.operator, r.area.clone(), r.location, r.seed))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        prop_assert_eq!(keys, sorted);
+    }
+}

@@ -250,6 +250,18 @@ impl TimelineBuilder {
         self.end
     }
 
+    /// Approximate heap footprint of the timeline state, in bytes. Used by
+    /// long-running hosts (the `onoff-serve` session table) to account a
+    /// session against a global memory budget; capacity-based so it tracks
+    /// what the allocator actually holds, not just live length.
+    pub fn mem_hint(&self) -> usize {
+        use std::mem::size_of;
+        self.samples.capacity() * size_of::<CsSample>()
+            + self.interner.sets.capacity() * size_of::<ServingCellSet>()
+            + self.interner.keys.capacity()
+                * size_of::<InlineVec<(CellRole, onoff_rrc::ids::CellId), 8>>()
+    }
+
     /// A point-in-time copy of the timeline built so far.
     pub fn snapshot(&self) -> CsTimeline {
         CsTimeline {

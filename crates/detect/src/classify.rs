@@ -206,6 +206,18 @@ impl OffClassifier {
         }
     }
 
+    /// Approximate heap footprint of the classifier state, in bytes
+    /// (capacity-based; see `TimelineBuilder::mem_hint`). The window and
+    /// row arena are bounded by the evidence horizon, so this converges
+    /// per session; `finalized` grows with the transition count.
+    pub fn mem_hint(&self) -> usize {
+        use std::mem::size_of;
+        self.window.capacity() * size_of::<(Timestamp, Fact<RowRange>)>()
+            + self.rows.capacity() * size_of::<(CellId, Measurement)>()
+            + self.pending.capacity() * size_of::<(Timestamp, ServingCellSet)>()
+            + self.finalized.capacity() * size_of::<OffTransition>()
+    }
+
     /// Observes one trace event (every event — throughput samples advance
     /// the clock even though they carry no RRC evidence).
     pub fn feed_event(&mut self, ev: &TraceEvent) {

@@ -145,6 +145,25 @@ impl EpisodeTracker {
         }
     }
 
+    /// Approximate heap footprint of the episode state, in bytes
+    /// (capacity-based; see `TimelineBuilder::mem_hint`).
+    pub(crate) fn mem_hint(&self) -> usize {
+        use std::mem::size_of;
+        let episodes = self.done.capacity() + 1;
+        let inline: usize = self
+            .done
+            .iter()
+            .chain(self.cur.as_ref())
+            .map(|e| e.ids.capacity() * size_of::<usize>())
+            .sum();
+        episodes * size_of::<Episode>()
+            + inline
+            + self.scratch.counts.capacity() * size_of::<(usize, usize)>()
+            + self.scratch.occurrence.capacity() * size_of::<Option<usize>>()
+            + (self.scratch.repeated.capacity() + self.scratch.span_ids.capacity())
+                * size_of::<usize>()
+    }
+
     /// Flags the episode the current (clamped) event belongs to: the open
     /// one, or — between episodes — the next one to start.
     pub(crate) fn mark_degraded(&mut self) {

@@ -217,6 +217,19 @@ impl TraceAnalyzer {
         self.events_seen
     }
 
+    /// Approximate heap footprint of the analyzer state, in bytes —
+    /// capacity-based, so it reflects what the allocator holds. Long-running
+    /// hosts (the `onoff-serve` session table) charge this against a global
+    /// memory budget when deciding which sessions to evict. The scorer's
+    /// maps and reservoirs are bounded per cell, so they are covered by the
+    /// fixed per-session overhead the host adds on top.
+    pub fn mem_hint(&self) -> usize {
+        self.timeline.mem_hint()
+            + self.episodes.mem_hint()
+            + self.classifier.mem_hint()
+            + self.throughput.capacity() * std::mem::size_of::<(Timestamp, f64)>()
+    }
+
     /// Latest event time seen (`Timestamp(0)` before any event).
     pub fn end(&self) -> Timestamp {
         self.timeline.end()
@@ -303,7 +316,6 @@ impl TraceAnalyzer {
 /// horizon — or older than a query that already flushed past them — are
 /// fed to the core out of order: analysis then matches what batch would
 /// say about the same unsorted slice, and never panics.
-#[derive(Default)]
 pub struct StreamingAnalyzer {
     core: TraceAnalyzer,
     /// Events awaiting release, sorted by timestamp (stable).
@@ -311,15 +323,59 @@ pub struct StreamingAnalyzer {
     /// Newest timestamp ever fed (drives the horizon).
     max_seen: Timestamp,
     events_seen: usize,
-    /// Events released early by [`REORDER_CAP`] overflow (folded into the
-    /// core's [`DegradationReport`] on query).
+    /// This instance's reorder-buffer cap (defaults to [`REORDER_CAP`]).
+    /// Hosts running many sessions (the `onoff-serve` daemon) lower it to
+    /// meet a per-session memory budget.
+    cap: usize,
+    /// Events released early by cap overflow (folded into the core's
+    /// [`DegradationReport`] on query).
     cap_evictions: usize,
+}
+
+impl Default for StreamingAnalyzer {
+    fn default() -> Self {
+        StreamingAnalyzer {
+            core: TraceAnalyzer::new(),
+            pending: VecDeque::new(),
+            max_seen: Timestamp(0),
+            events_seen: 0,
+            cap: REORDER_CAP,
+            cap_evictions: 0,
+        }
+    }
 }
 
 impl StreamingAnalyzer {
     /// New, empty analyzer.
     pub fn new() -> StreamingAnalyzer {
         StreamingAnalyzer::default()
+    }
+
+    /// An analyzer whose reorder buffer holds at most `cap` events (`0`
+    /// degrades to releasing every event immediately, which still never
+    /// panics — each release is counted as a cap eviction when the horizon
+    /// hadn't sealed it). The default is [`REORDER_CAP`].
+    pub fn with_reorder_cap(cap: usize) -> StreamingAnalyzer {
+        StreamingAnalyzer {
+            cap,
+            ..StreamingAnalyzer::default()
+        }
+    }
+
+    /// This instance's reorder-buffer cap.
+    pub fn reorder_cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Approximate heap footprint (core automata plus the reorder buffer),
+    /// capacity-based. See [`TraceAnalyzer::mem_hint`].
+    pub fn mem_hint(&self) -> usize {
+        self.core.mem_hint() + self.pending.capacity() * std::mem::size_of::<TraceEvent>()
+    }
+
+    /// Read access to the wrapped incremental core (no buffer flush).
+    pub fn core(&self) -> &TraceAnalyzer {
+        &self.core
     }
 
     /// An analyzer with the online prediction stage enabled.
@@ -387,7 +443,7 @@ impl StreamingAnalyzer {
     /// late arrival (or that overflow the cap).
     fn release_ready(&mut self) {
         loop {
-            let over_cap = self.pending.len() > REORDER_CAP;
+            let over_cap = self.pending.len() > self.cap;
             let expired = self
                 .pending
                 .front()
@@ -478,6 +534,16 @@ impl StreamingAnalyzer {
             return Some((ty, t));
         }
         None
+    }
+
+    /// A point-in-time [`RunAnalysis`] of everything received so far,
+    /// without consuming the analyzer. Like every query, this drains the
+    /// reorder buffer into the core first.
+    pub fn analysis(&mut self) -> RunAnalysis {
+        self.flush_pending();
+        let mut analysis = self.core.analysis();
+        analysis.degradation.cap_evictions += self.cap_evictions;
+        analysis
     }
 
     /// Consumes the analyzer, returning the analysis of everything seen.
@@ -640,6 +706,36 @@ mod tests {
         // event, so each one is a counted best-effort eviction.
         assert_eq!(analysis.degradation.cap_evictions, 10);
         assert_eq!(analysis.degradation.clamped_events, 0);
+    }
+
+    #[test]
+    fn custom_reorder_cap_bounds_buffer_per_instance() {
+        // Same shape as `cap_releases_oldest_on_overflow`, but with a
+        // per-instance cap of 4: only 4 events may pend, so 6 of the 10
+        // equal-timestamp feeds are counted cap evictions.
+        let mut s = StreamingAnalyzer::with_reorder_cap(4);
+        assert_eq!(s.reorder_cap(), 4);
+        for _ in 0..10 {
+            s.feed(TraceEvent::Throughput {
+                t: Timestamp(1000),
+                mbps: 1.0,
+            });
+        }
+        let analysis = s.finish();
+        assert_eq!(analysis.degradation.cap_evictions, 6);
+        // The default instance still uses the crate-wide constant.
+        assert_eq!(StreamingAnalyzer::new().reorder_cap(), REORDER_CAP);
+    }
+
+    #[test]
+    fn mem_hint_is_positive_and_grows() {
+        let mut s = StreamingAnalyzer::new();
+        let fresh = s.mem_hint();
+        for ev in looping_events() {
+            s.feed(ev);
+        }
+        assert!(s.mem_hint() >= fresh);
+        assert!(s.mem_hint() > 0);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Algebraic laws of [`DegradationReport`] merging.
+//!
+//! Shard folding in the campaign (and session aggregation in the serve
+//! daemon) relies on merge order not mattering: any tree of merges over
+//! the same reports must produce the same total. That is exactly
+//! commutativity + associativity, so we state both as properties.
+
+use onoff_detect::channel::Merge;
+use onoff_detect::DegradationReport;
+use proptest::prelude::*;
+
+fn report_strategy() -> impl Strategy<Value = DegradationReport> {
+    (0usize..1000, 0usize..1000, 0usize..1000, 0usize..1000).prop_map(
+        |(clamped_events, late_events, cap_evictions, degraded_episodes)| DegradationReport {
+            clamped_events,
+            late_events,
+            cap_evictions,
+            degraded_episodes,
+        },
+    )
+}
+
+fn merged(mut a: DegradationReport, b: DegradationReport) -> DegradationReport {
+    a.merge(b);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn degradation_merge_is_commutative(a in report_strategy(), b in report_strategy()) {
+        prop_assert_eq!(merged(a, b), merged(b, a));
+    }
+
+    #[test]
+    fn degradation_merge_is_associative(
+        a in report_strategy(),
+        b in report_strategy(),
+        c in report_strategy(),
+    ) {
+        prop_assert_eq!(merged(merged(a, b), c), merged(a, merged(b, c)));
+    }
+
+    #[test]
+    fn degradation_merge_identity_is_default(a in report_strategy()) {
+        prop_assert_eq!(merged(a, DegradationReport::default()), a);
+        prop_assert_eq!(merged(DegradationReport::default(), a), a);
+    }
+}

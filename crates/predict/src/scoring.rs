@@ -380,7 +380,7 @@ impl Reservoir {
 }
 
 /// One cell's loop-proneness summary.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CellPrediction {
     /// The PCell anchoring the scored combinations.
     pub cell: CellId,
@@ -395,7 +395,7 @@ pub struct CellPrediction {
 
 /// A point-in-time prediction snapshot: per-cell loop-proneness, sorted by
 /// cell, plus the session aggregate.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct PredictionReport {
     /// Per-PCell predictions in ascending cell order.
     pub cells: Vec<CellPrediction>,

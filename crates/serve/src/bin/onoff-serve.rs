@@ -1,0 +1,100 @@
+//! `onoff-serve` — run the fleet ingest daemon from the command line.
+//!
+//! ```text
+//! onoff-serve [--tcp ADDR] [--unix PATH] [--workers N]
+//!             [--budget-mb N] [--session-budget-mb N]
+//!             [--snapshot-dir DIR] [--score]
+//! ```
+//!
+//! Binds the requested listeners (default `--tcp 127.0.0.1:0`), prints
+//! the resolved address as `listening tcp <addr>` on stdout, then serves
+//! until stdin reaches EOF — at which point it drains every live session
+//! to the snapshot directory and exits 0. Exit codes: 0 clean shutdown,
+//! 1 runtime failure (bind error), 2 usage error.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use onoff_detect::ScoringConfig;
+use onoff_serve::{Daemon, DaemonConfig, ServeConfig};
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: onoff-serve [--tcp ADDR] [--unix PATH] [--workers N] \
+         [--budget-mb N] [--session-budget-mb N] [--snapshot-dir DIR] [--score]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = DaemonConfig::default();
+    let mut session = ServeConfig::default();
+    let mut tcp_set = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--tcp" => {
+                cfg.tcp_addr = Some(match value("--tcp") {
+                    Ok(v) => v,
+                    Err(e) => return usage(&e),
+                });
+                tcp_set = true;
+            }
+            "--unix" => {
+                cfg.unix_path = Some(PathBuf::from(match value("--unix") {
+                    Ok(v) => v,
+                    Err(e) => return usage(&e),
+                }));
+                if !tcp_set {
+                    cfg.tcp_addr = None;
+                }
+            }
+            "--workers" => match value("--workers").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => cfg.workers = n,
+                _ => return usage("--workers needs a positive integer"),
+            },
+            "--budget-mb" => match value("--budget-mb").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => session.global_budget = n << 20,
+                _ => return usage("--budget-mb needs a positive integer"),
+            },
+            "--session-budget-mb" => {
+                match value("--session-budget-mb").map(|v| v.parse::<usize>()) {
+                    Ok(Ok(n)) if n > 0 => session.session_budget = n << 20,
+                    _ => return usage("--session-budget-mb needs a positive integer"),
+                }
+            }
+            "--snapshot-dir" => {
+                session.snapshot_dir = Some(PathBuf::from(match value("--snapshot-dir") {
+                    Ok(v) => v,
+                    Err(e) => return usage(&e),
+                }));
+            }
+            "--score" => session.scoring = Some(ScoringConfig::default()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    cfg.session = session;
+
+    let daemon = match Daemon::start(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: failed to start daemon: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Some(addr) = daemon.local_addr() {
+        println!("listening tcp {addr}");
+    }
+
+    // Serve until stdin closes (the conventional "run under a supervisor
+    // or a test harness" lifetime), then drain gracefully.
+    let mut sink = Vec::new();
+    std::io::stdin().read_to_end(&mut sink).ok();
+    let spilled = daemon.shutdown();
+    eprintln!("drained {spilled} sessions");
+    ExitCode::SUCCESS
+}

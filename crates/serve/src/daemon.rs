@@ -1,0 +1,329 @@
+//! The long-running socket daemon: listeners, worker pool, lifecycle.
+//!
+//! Plain blocking `std::net` — no async runtime. Accept loops run on
+//! their own threads and enqueue connections into a shared injector
+//! queue; a fixed pool of workers pops connections and services each for
+//! one **read slice** (a short socket read timeout), then requeues it.
+//! A stalled or malicious client therefore costs the pool at most one
+//! slice per visit — it cannot capture a worker, and it cannot starve
+//! the other connections.
+//!
+//! Failure containment per connection:
+//!
+//! - an undecodable payload in a well-framed request ⇒
+//!   [`Response::Error`], connection stays usable;
+//! - an unframeable length prefix ⇒ the connection is poisoned: one
+//!   final error response, then closed;
+//! - a client that stops reading its responses hits the write timeout
+//!   and is dropped;
+//! - a client idle past the idle timeout is dropped.
+//!
+//! None of these touch any other connection or session. Shutdown stops
+//! the listeners, parks the workers, and drains every live session to
+//! snapshots so a restarted daemon can recover them.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::ServeEngine;
+use crate::protocol::{FrameBuf, Request, Response};
+use crate::session::ServeConfig;
+
+/// Where and how the daemon listens.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// TCP listen address (e.g. `127.0.0.1:0`), if any.
+    pub tcp_addr: Option<String>,
+    /// Unix socket path, if any (removed and rebound on start).
+    pub unix_path: Option<PathBuf>,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Per-visit socket read timeout; the scheduling quantum.
+    pub read_slice: Duration,
+    /// Drop a connection silent for this long.
+    pub idle_timeout: Duration,
+    /// Drop a connection that will not accept responses for this long.
+    pub write_timeout: Duration,
+    /// Session-table limits and layout.
+    pub session: ServeConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            tcp_addr: Some("127.0.0.1:0".to_string()),
+            unix_path: None,
+            workers: 2,
+            read_slice: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            session: ServeConfig::default(),
+        }
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_timeouts(&self, read: Duration, write: Duration) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => {
+                s.set_read_timeout(Some(read))?;
+                s.set_write_timeout(Some(write))
+            }
+            Stream::Unix(s) => {
+                s.set_read_timeout(Some(read))?;
+                s.set_write_timeout(Some(write))
+            }
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.write_all(buf),
+            Stream::Unix(s) => s.write_all(buf),
+        }
+    }
+}
+
+struct Conn {
+    stream: Stream,
+    frames: FrameBuf,
+    last_activity: Instant,
+}
+
+#[derive(Default)]
+struct Injector {
+    queue: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+}
+
+impl Injector {
+    fn push(&self, conn: Conn) {
+        self.queue.lock().expect("injector lock").push_back(conn);
+        self.ready.notify_one();
+    }
+}
+
+/// A running daemon; dropping it without [`shutdown`](Daemon::shutdown)
+/// leaves threads running, so call shutdown.
+pub struct Daemon {
+    engine: Arc<ServeEngine>,
+    shutdown: Arc<AtomicBool>,
+    injector: Arc<Injector>,
+    threads: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Daemon {
+    /// Binds the configured listeners, recovers spilled sessions from the
+    /// snapshot directory, and starts the worker pool.
+    pub fn start(cfg: DaemonConfig) -> std::io::Result<Daemon> {
+        let engine = Arc::new(ServeEngine::new(cfg.session.clone()));
+        engine.recover();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let injector = Arc::new(Injector::default());
+        let mut threads = Vec::new();
+
+        let mut tcp_addr = None;
+        if let Some(addr) = &cfg.tcp_addr {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            threads.push(spawn_acceptor(
+                move || listener.accept().map(|(s, _)| Stream::Tcp(s)),
+                &cfg,
+                &injector,
+                &shutdown,
+            ));
+        }
+        let mut unix_path = None;
+        if let Some(path) = &cfg.unix_path {
+            std::fs::remove_file(path).ok();
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            threads.push(spawn_acceptor(
+                move || listener.accept().map(|(s, _)| Stream::Unix(s)),
+                &cfg,
+                &injector,
+                &shutdown,
+            ));
+        }
+
+        for _ in 0..cfg.workers.max(1) {
+            let engine = Arc::clone(&engine);
+            let injector = Arc::clone(&injector);
+            let shutdown = Arc::clone(&shutdown);
+            let idle = cfg.idle_timeout;
+            threads.push(std::thread::spawn(move || {
+                worker_loop(&engine, &injector, &shutdown, idle)
+            }));
+        }
+
+        Ok(Daemon {
+            engine,
+            shutdown,
+            injector,
+            threads,
+            tcp_addr,
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The request engine, for in-process queries and metrics.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Graceful shutdown: stop accepting, park the workers, drop every
+    /// connection, and drain all live sessions to snapshots. Returns how
+    /// many sessions were spilled.
+    pub fn shutdown(mut self) -> usize {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.injector.ready.notify_all();
+        for t in self.threads.drain(..) {
+            t.join().ok();
+        }
+        self.injector.queue.lock().expect("injector lock").clear();
+        if let Some(path) = &self.unix_path {
+            std::fs::remove_file(path).ok();
+        }
+        self.engine.drain()
+    }
+}
+
+fn spawn_acceptor(
+    mut accept: impl FnMut() -> std::io::Result<Stream> + Send + 'static,
+    cfg: &DaemonConfig,
+    injector: &Arc<Injector>,
+    shutdown: &Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    let injector = Arc::clone(injector);
+    let shutdown = Arc::clone(shutdown);
+    let read_slice = cfg.read_slice;
+    let write_timeout = cfg.write_timeout;
+    std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match accept() {
+                Ok(stream) => {
+                    if stream.set_timeouts(read_slice, write_timeout).is_err() {
+                        continue;
+                    }
+                    injector.push(Conn {
+                        stream,
+                        frames: FrameBuf::new(),
+                        last_activity: Instant::now(),
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    })
+}
+
+fn worker_loop(
+    engine: &ServeEngine,
+    injector: &Injector,
+    shutdown: &AtomicBool,
+    idle_timeout: Duration,
+) {
+    loop {
+        let conn = {
+            let mut queue = injector.queue.lock().expect("injector lock");
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(conn) = queue.pop_front() {
+                    break conn;
+                }
+                let (guard, _) = injector
+                    .ready
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("injector lock");
+                queue = guard;
+            }
+        };
+        let mut conn = conn;
+        if service_slice(engine, &mut conn, idle_timeout) {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            injector.push(conn);
+        }
+        // else: the connection is dropped here (closed, idle, or poisoned).
+    }
+}
+
+/// Services one connection for one read slice. True to keep it.
+fn service_slice(engine: &ServeEngine, conn: &mut Conn, idle_timeout: Duration) -> bool {
+    let mut buf = [0u8; 16 * 1024];
+    match conn.stream.read(&mut buf) {
+        Ok(0) => false, // peer closed
+        Ok(n) => {
+            conn.last_activity = Instant::now();
+            conn.frames.push(&buf[..n]);
+            loop {
+                match conn.frames.next_frame() {
+                    Ok(Some((kind, payload))) => {
+                        let resp = match Request::decode(kind, &payload) {
+                            Ok(req) => engine.handle(req),
+                            Err(e) => {
+                                engine.note_frame_error();
+                                Response::Error {
+                                    msg: format!("bad frame: {e}"),
+                                }
+                            }
+                        };
+                        if conn.stream.write_all(&resp.encode()).is_err() {
+                            return false;
+                        }
+                    }
+                    Ok(None) => return true,
+                    Err(e) => {
+                        // Framing is unrecoverable: one last diagnostic,
+                        // then close. Only this connection suffers.
+                        engine.note_frame_error();
+                        let bye = Response::Error { msg: e.to_string() };
+                        conn.stream.write_all(&bye.encode()).ok();
+                        return false;
+                    }
+                }
+            }
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            conn.last_activity.elapsed() < idle_timeout
+        }
+        Err(_) => false,
+    }
+}

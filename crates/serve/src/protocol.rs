@@ -1,0 +1,410 @@
+//! The daemon's length-prefixed framed wire protocol.
+//!
+//! Every frame is `u32 LE length | u8 kind | payload`, where `length`
+//! counts the kind byte plus the payload (so the minimum frame is 5 bytes
+//! on the wire encoding `length == 1`). Requests that address a session
+//! carry its `u64 LE` session id as the first 8 payload bytes — at byte
+//! offset [`SID_OFFSET`] of the frame, which is what the wire chaos
+//! harness's sid-rewrite mutator targets.
+//!
+//! Decoding is **total** per connection: an unknown request kind is a
+//! recoverable [`Response::Error`] (the frame boundary is still known, so
+//! the stream stays in sync), while an oversized or absurd length prefix
+//! means the framing itself can no longer be trusted — the connection is
+//! poisoned ([`FrameError::Poisoned`]) and closed, and only that
+//! connection suffers.
+
+use std::fmt;
+
+/// Byte offset of the `u64 LE` session id within a sid-bearing frame
+/// (4 length bytes + 1 kind byte).
+pub const SID_OFFSET: usize = 5;
+
+/// Frames whose declared length exceeds this poison the connection.
+pub const MAX_FRAME_LEN: usize = 8 << 20;
+
+/// A client-to-daemon request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Append NSG text lines to session `sid` (UTF-8; parsed under the
+    /// daemon's lossy recovery policy).
+    TextEvents {
+        /// Target session.
+        sid: u64,
+        /// Raw NSG log text.
+        text: String,
+    },
+    /// Append an `onoff-store` binary blob to session `sid`.
+    BinEvents {
+        /// Target session.
+        sid: u64,
+        /// A complete store file image.
+        bytes: Vec<u8>,
+    },
+    /// Point-in-time analysis of session `sid` as JSON.
+    Query {
+        /// Target session.
+        sid: u64,
+    },
+    /// Live fleet metrics as JSON.
+    FleetQuery,
+    /// Finalize session `sid`: returns its full analysis as JSON and
+    /// retires the session.
+    EndSession {
+        /// Target session.
+        sid: u64,
+    },
+    /// Liveness probe; answered with [`Response::Ok`].
+    Ping,
+}
+
+const REQ_TEXT: u8 = 0x01;
+const REQ_BIN: u8 = 0x02;
+const REQ_QUERY: u8 = 0x03;
+const REQ_FLEET: u8 = 0x04;
+const REQ_END: u8 = 0x05;
+const REQ_PING: u8 = 0x06;
+
+/// A daemon-to-client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request was applied; `events` is how many events it ingested
+    /// (0 for ping).
+    Ok {
+        /// Events accepted by this request.
+        events: u64,
+    },
+    /// The request failed; the connection remains usable.
+    Error {
+        /// Human-readable diagnostic.
+        msg: String,
+    },
+    /// Explicit backpressure: the daemon refused the ingest to hold its
+    /// memory budget. Nothing was applied; the client should back off,
+    /// end idle sessions, or retry later.
+    Shed {
+        /// Why the ingest was refused.
+        reason: String,
+    },
+    /// A JSON document (query and metrics answers).
+    Json {
+        /// The serialized payload.
+        payload: String,
+    },
+}
+
+const RESP_OK: u8 = 0x80;
+const RESP_ERROR: u8 = 0x81;
+const RESP_SHED: u8 = 0x82;
+const RESP_JSON: u8 = 0x83;
+
+/// Why a connection's byte stream can no longer be framed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is zero): the
+    /// framing is desynchronized and the connection must be closed.
+    Poisoned {
+        /// The offending declared length.
+        declared: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Poisoned { declared } => {
+                write!(
+                    f,
+                    "unframeable length prefix {declared} (max {MAX_FRAME_LEN}); closing connection"
+                )
+            }
+        }
+    }
+}
+
+/// Why a well-framed payload failed to decode (recoverable per frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The kind byte is not a known request/response.
+    UnknownKind(u8),
+    /// The payload is too short for its kind's fixed fields.
+    Truncated,
+    /// A text payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            DecodeError::Truncated => write!(f, "payload shorter than its fixed fields"),
+            DecodeError::BadUtf8 => write!(f, "text payload is not valid UTF-8"),
+        }
+    }
+}
+
+fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out
+}
+
+fn sid_payload(sid: u64, rest: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + rest.len());
+    p.extend_from_slice(&sid.to_le_bytes());
+    p.extend_from_slice(rest);
+    p
+}
+
+fn split_sid(payload: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
+    if payload.len() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let sid = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    Ok((sid, &payload[8..]))
+}
+
+impl Request {
+    /// Encodes the request as one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::TextEvents { sid, text } => {
+                frame(REQ_TEXT, &sid_payload(*sid, text.as_bytes()))
+            }
+            Request::BinEvents { sid, bytes } => frame(REQ_BIN, &sid_payload(*sid, bytes)),
+            Request::Query { sid } => frame(REQ_QUERY, &sid_payload(*sid, &[])),
+            Request::FleetQuery => frame(REQ_FLEET, &[]),
+            Request::EndSession { sid } => frame(REQ_END, &sid_payload(*sid, &[])),
+            Request::Ping => frame(REQ_PING, &[]),
+        }
+    }
+
+    /// Decodes one frame body (`kind` byte plus payload).
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Request, DecodeError> {
+        match kind {
+            REQ_TEXT => {
+                let (sid, rest) = split_sid(payload)?;
+                let text = String::from_utf8(rest.to_vec()).map_err(|_| DecodeError::BadUtf8)?;
+                Ok(Request::TextEvents { sid, text })
+            }
+            REQ_BIN => {
+                let (sid, rest) = split_sid(payload)?;
+                Ok(Request::BinEvents {
+                    sid,
+                    bytes: rest.to_vec(),
+                })
+            }
+            REQ_QUERY => Ok(Request::Query {
+                sid: split_sid(payload)?.0,
+            }),
+            REQ_FLEET => Ok(Request::FleetQuery),
+            REQ_END => Ok(Request::EndSession {
+                sid: split_sid(payload)?.0,
+            }),
+            REQ_PING => Ok(Request::Ping),
+            k => Err(DecodeError::UnknownKind(k)),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok { events } => frame(RESP_OK, &events.to_le_bytes()),
+            Response::Error { msg } => frame(RESP_ERROR, msg.as_bytes()),
+            Response::Shed { reason } => frame(RESP_SHED, reason.as_bytes()),
+            Response::Json { payload } => frame(RESP_JSON, payload.as_bytes()),
+        }
+    }
+
+    /// Decodes one frame body (`kind` byte plus payload).
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Response, DecodeError> {
+        let text =
+            |payload: &[u8]| String::from_utf8(payload.to_vec()).map_err(|_| DecodeError::BadUtf8);
+        match kind {
+            RESP_OK => {
+                if payload.len() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(Response::Ok {
+                    events: u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")),
+                })
+            }
+            RESP_ERROR => Ok(Response::Error {
+                msg: text(payload)?,
+            }),
+            RESP_SHED => Ok(Response::Shed {
+                reason: text(payload)?,
+            }),
+            RESP_JSON => Ok(Response::Json {
+                payload: text(payload)?,
+            }),
+            k => Err(DecodeError::UnknownKind(k)),
+        }
+    }
+}
+
+/// Incremental frame reassembly over an arbitrary byte stream.
+///
+/// Push whatever the socket produced with [`push`](FrameBuf::push); pop
+/// complete `(kind, payload)` frames with [`next_frame`](FrameBuf::next_frame).
+/// The buffer never holds more than one maximum frame plus a header, so a
+/// client cannot balloon daemon memory by writing an endless frame.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty reassembly buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends raw socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (incomplete frame remainder).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete frame, if one is buffered.
+    ///
+    /// `Ok(Some((kind, payload)))` — a full frame; `Ok(None)` — need more
+    /// bytes; `Err` — the length prefix is unframeable and the connection
+    /// must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if declared == 0 || declared > MAX_FRAME_LEN {
+            return Err(FrameError::Poisoned { declared });
+        }
+        if self.buf.len() < 4 + declared {
+            return Ok(None);
+        }
+        let kind = self.buf[4];
+        let payload = self.buf[5..4 + declared].to_vec();
+        self.buf.drain(..4 + declared);
+        Ok(Some((kind, payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let wire = req.encode();
+        let mut fb = FrameBuf::new();
+        fb.push(&wire);
+        let (kind, payload) = fb.next_frame().unwrap().expect("one frame");
+        assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::TextEvents {
+            sid: 7,
+            text: "00:00:01.000 Throughput = 1.0 Mbps\n".into(),
+        });
+        roundtrip_req(Request::BinEvents {
+            sid: u64::MAX,
+            bytes: vec![1, 2, 3],
+        });
+        roundtrip_req(Request::Query { sid: 0 });
+        roundtrip_req(Request::FleetQuery);
+        roundtrip_req(Request::EndSession { sid: 42 });
+        roundtrip_req(Request::Ping);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Ok { events: 99 },
+            Response::Error { msg: "nope".into() },
+            Response::Shed {
+                reason: "budget".into(),
+            },
+            Response::Json {
+                payload: "{}".into(),
+            },
+        ] {
+            let wire = resp.encode();
+            let mut fb = FrameBuf::new();
+            fb.push(&wire);
+            let (kind, payload) = fb.next_frame().unwrap().expect("one frame");
+            assert_eq!(Response::decode(kind, &payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn sid_sits_at_the_documented_offset() {
+        let wire = Request::Query { sid: 0xDEAD_BEEF }.encode();
+        let sid = u64::from_le_bytes(wire[SID_OFFSET..SID_OFFSET + 8].try_into().unwrap());
+        assert_eq!(sid, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn dribbled_bytes_reassemble() {
+        let wire = Request::TextEvents {
+            sid: 3,
+            text: "line\n".into(),
+        }
+        .encode();
+        let mut fb = FrameBuf::new();
+        for b in &wire[..wire.len() - 1] {
+            fb.push(std::slice::from_ref(b));
+            assert_eq!(fb.next_frame().unwrap(), None);
+        }
+        fb.push(&wire[wire.len() - 1..]);
+        assert!(fb.next_frame().unwrap().is_some());
+    }
+
+    #[test]
+    fn two_frames_in_one_push_both_pop() {
+        let mut fb = FrameBuf::new();
+        let a = Request::Ping.encode();
+        let b = Request::Query { sid: 5 }.encode();
+        fb.push(&[a.as_slice(), b.as_slice()].concat());
+        assert_eq!(fb.next_frame().unwrap().unwrap().0, REQ_PING);
+        assert_eq!(fb.next_frame().unwrap().unwrap().0, REQ_QUERY);
+        assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_poison() {
+        let mut fb = FrameBuf::new();
+        fb.push(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            fb.next_frame(),
+            Err(FrameError::Poisoned { declared }) if declared == MAX_FRAME_LEN + 1
+        ));
+        let mut fb = FrameBuf::new();
+        fb.push(&0u32.to_le_bytes());
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn unknown_kind_is_recoverable_not_poisonous() {
+        let mut fb = FrameBuf::new();
+        fb.push(&frame(0x7F, b"whatever"));
+        fb.push(&Request::Ping.encode());
+        let (kind, payload) = fb.next_frame().unwrap().unwrap();
+        assert_eq!(
+            Request::decode(kind, &payload),
+            Err(DecodeError::UnknownKind(0x7F))
+        );
+        // The stream is still in sync: the next frame decodes fine.
+        let (kind, payload) = fb.next_frame().unwrap().unwrap();
+        assert_eq!(Request::decode(kind, &payload), Ok(Request::Ping));
+    }
+}

@@ -1,0 +1,152 @@
+//! The eviction contract, property-tested: any interleaving of feeds and
+//! evictions produces a final analysis **bitwise identical** to the
+//! uninterrupted session — including predictions when scoring is on —
+//! and a snapshot corrupted at any byte quarantines the session instead
+//! of ever misdecoding.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use onoff_detect::ScoringConfig;
+use onoff_rrc::trace::{Timestamp, TraceEvent};
+use onoff_serve::{snapshot_path, ServeConfig, SessionError, SessionMeta, SessionTable};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "onoff-serve-er-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One ingest: a burst of throughput samples starting at `base` with
+/// per-event jitter, so the reorder buffer and the degradation counters
+/// both see action across interleavings.
+#[derive(Debug, Clone)]
+struct Burst {
+    base: u64,
+    jitters: Vec<(i32, u8)>,
+}
+
+impl Burst {
+    fn events(&self) -> Vec<TraceEvent> {
+        self.jitters
+            .iter()
+            .enumerate()
+            .map(|(k, &(jitter, mbps))| {
+                let t = (self.base + k as u64 * 400).saturating_add_signed(jitter as i64);
+                TraceEvent::Throughput {
+                    t: Timestamp(t),
+                    mbps: mbps as f64 * 0.5,
+                }
+            })
+            .collect()
+    }
+}
+
+fn burst_strategy() -> impl Strategy<Value = Burst> {
+    (
+        0u64..200_000,
+        prop::collection::vec((-2_000i32..2_000, 0u8..40), 1..25),
+    )
+        .prop_map(|(base, jitters)| Burst { base, jitters })
+}
+
+/// A step of the interleaving: feed a burst, or spill the session to its
+/// snapshot (the next touch restores it).
+#[derive(Debug, Clone)]
+enum Op {
+    Feed(Burst),
+    Evict,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    // Feeds outnumber evictions: pair every op with a 0..4 coin and map
+    // one face to Evict (the shim's prop_oneof! has no weighted arms).
+    prop::collection::vec(
+        (burst_strategy(), 0u8..4).prop_map(|(burst, coin)| {
+            if coin == 0 {
+                Op::Evict
+            } else {
+                Op::Feed(burst)
+            }
+        }),
+        1..12,
+    )
+}
+
+fn scored_config(dir: Option<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        snapshot_dir: dir,
+        scoring: Some(ScoringConfig::default()),
+        ..ServeConfig::default()
+    }
+}
+
+proptest! {
+    /// Feeds + evictions in any order ≡ the uninterrupted session,
+    /// bitwise, on both the analysis and the prediction report.
+    #[test]
+    fn any_interleaving_is_bitwise_equivalent(ops in ops_strategy()) {
+        let dir = fresh_dir("interleave");
+        let evicting = SessionTable::new(scored_config(Some(dir.clone())));
+        let straight = SessionTable::new(scored_config(None));
+        let sid = 77;
+        for op in &ops {
+            match op {
+                Op::Feed(burst) => {
+                    let events = burst.events();
+                    evicting.ingest(sid, events.clone(), SessionMeta::default()).unwrap();
+                    straight.ingest(sid, events, SessionMeta::default()).unwrap();
+                }
+                Op::Evict => {
+                    // A no-op before the first feed; true once live.
+                    evicting.evict(sid);
+                }
+            }
+        }
+        let fed_any = ops.iter().any(|op| matches!(op, Op::Feed(_)));
+        if fed_any {
+            let a = evicting.end_session(sid).unwrap();
+            let b = straight.end_session(sid).unwrap();
+            prop_assert_eq!(a, b);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every possible single-byte corruption of a spilled snapshot is
+    /// detected: the session quarantines; it never yields wrong data.
+    #[test]
+    fn corrupt_spill_always_quarantines(
+        burst in burst_strategy(),
+        flip_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let dir = fresh_dir("flip");
+        let table = SessionTable::new(scored_config(Some(dir.clone())));
+        let sid = 3;
+        table.ingest(sid, burst.events(), SessionMeta::default()).unwrap();
+        prop_assert!(table.evict(sid));
+        let path = snapshot_path(&dir, sid);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = flip_seed % bytes.len();
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        match table.query(sid) {
+            Err(SessionError::Quarantined { .. }) => {
+                // Tombstoned for good; later ingests refuse too.
+                prop_assert!(matches!(
+                    table.ingest(sid, burst.events(), SessionMeta::default()),
+                    Err(SessionError::Quarantined { .. })
+                ));
+            }
+            other => prop_assert!(false, "corrupt snapshot leaked through: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,241 @@
+//! End-to-end daemon tests over real sockets: TCP and unix transports,
+//! wire answers vs. offline analysis, backpressure, poisoned framing, and
+//! the drain → recover restart cycle.
+
+use std::time::Duration;
+
+use onoff_detect::analyze_trace;
+use onoff_nsglog::RecoveryPolicy;
+use onoff_serve::{Client, Daemon, DaemonConfig, Request, Response, ServeConfig, SessionReport};
+
+fn line(ms: u64, mbps: f64) -> String {
+    format!(
+        "{:02}:{:02}:{:02}.{:03} Throughput = {mbps:.3} Mbps\n",
+        ms / 3_600_000,
+        ms / 60_000 % 60,
+        ms / 1000 % 60,
+        ms % 1000
+    )
+}
+
+fn text_burst(base_ms: u64, n: u64) -> String {
+    (0..n)
+        .map(|k| line(base_ms + k * 500, 1.0 + k as f64))
+        .collect()
+}
+
+fn fast_daemon(session: ServeConfig) -> DaemonConfig {
+    DaemonConfig {
+        read_slice: Duration::from_millis(5),
+        session,
+        ..DaemonConfig::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("onoff-serve-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn report_of(resp: Response) -> SessionReport {
+    match resp {
+        Response::Json { payload } => serde_json::from_str(&payload).unwrap(),
+        other => panic!("expected Json, got {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_end_to_end_matches_offline_analysis() {
+    let daemon = Daemon::start(fast_daemon(ServeConfig::default())).unwrap();
+    let mut client = Client::connect_tcp(daemon.local_addr().unwrap()).unwrap();
+
+    assert_eq!(
+        client.request(&Request::Ping).unwrap(),
+        Response::Ok { events: 0 }
+    );
+
+    let text = text_burst(0, 40) + &text_burst(40_000, 40);
+    let resp = client
+        .request(&Request::TextEvents {
+            sid: 1,
+            text: text.clone(),
+        })
+        .unwrap();
+    assert_eq!(resp, Response::Ok { events: 80 });
+
+    let report = report_of(client.request(&Request::Query { sid: 1 }).unwrap());
+    let (offline, _) = onoff_nsglog::parse_str_lossy(&text, RecoveryPolicy::SkipAndCount);
+    assert_eq!(report.analysis, analyze_trace(&offline));
+    assert_eq!(report.events, 80);
+    assert!(!report.ended);
+
+    let report = report_of(client.request(&Request::EndSession { sid: 1 }).unwrap());
+    assert!(report.ended);
+    assert_eq!(report.analysis, analyze_trace(&offline));
+
+    // The session is gone now.
+    let resp = client.request(&Request::Query { sid: 1 }).unwrap();
+    assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+    daemon.shutdown();
+}
+
+#[test]
+fn unix_socket_round_trip() {
+    let dir = tmp_dir("unix");
+    let sock = dir.join("serve.sock");
+    let cfg = DaemonConfig {
+        tcp_addr: None,
+        unix_path: Some(sock.clone()),
+        ..fast_daemon(ServeConfig::default())
+    };
+    let daemon = Daemon::start(cfg).unwrap();
+    let mut client = Client::connect_unix(&sock).unwrap();
+    let resp = client
+        .request(&Request::TextEvents {
+            sid: 9,
+            text: text_burst(0, 12),
+        })
+        .unwrap();
+    assert_eq!(resp, Response::Ok { events: 12 });
+    let report = report_of(client.request(&Request::EndSession { sid: 9 }).unwrap());
+    assert_eq!(report.events, 12);
+    daemon.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tiny_budget_sheds_explicitly() {
+    let session = ServeConfig {
+        global_budget: 32 * 1024,
+        snapshot_dir: None,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(fast_daemon(session)).unwrap();
+    let mut client = Client::connect_tcp(daemon.local_addr().unwrap()).unwrap();
+    let mut shed = false;
+    for sid in 0..16 {
+        match client
+            .request(&Request::TextEvents {
+                sid,
+                text: text_burst(0, 40),
+            })
+            .unwrap()
+        {
+            Response::Ok { .. } => {}
+            Response::Shed { reason } => {
+                assert!(reason.contains("budget"), "{reason}");
+                shed = true;
+                break;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(shed, "an unevictable overrun must answer Shed");
+    // Shed is backpressure, not a failure: the connection still works.
+    assert_eq!(
+        client.request(&Request::Ping).unwrap(),
+        Response::Ok { events: 0 }
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn poisoned_framing_closes_only_that_connection() {
+    let daemon = Daemon::start(fast_daemon(ServeConfig::default())).unwrap();
+    let addr = daemon.local_addr().unwrap();
+
+    let mut victim = Client::connect_tcp(addr).unwrap();
+    victim
+        .request(&Request::TextEvents {
+            sid: 3,
+            text: text_burst(0, 5),
+        })
+        .unwrap();
+
+    // A zero length prefix is unframeable: one diagnostic, then EOF.
+    let mut hostile = Client::connect_tcp(addr).unwrap();
+    hostile.send_raw(&0u32.to_le_bytes()).unwrap();
+    match hostile.read_response() {
+        Ok(Response::Error { msg }) => assert!(msg.contains("unframeable"), "{msg}"),
+        Ok(other) => panic!("unexpected {other:?}"),
+        Err(_) => {} // already closed — also acceptable
+    }
+    assert!(
+        hostile.read_response().is_err(),
+        "connection must be closed"
+    );
+
+    // The victim connection and its session are untouched.
+    let report = report_of(victim.request(&Request::Query { sid: 3 }).unwrap());
+    assert_eq!(report.events, 5);
+    assert!(daemon.engine().metrics().frame_errors > 0);
+    daemon.shutdown();
+}
+
+#[test]
+fn drain_then_recover_resumes_sessions() {
+    let dir = tmp_dir("recover");
+    let session = ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(fast_daemon(session.clone())).unwrap();
+    let mut client = Client::connect_tcp(daemon.local_addr().unwrap()).unwrap();
+    let text = text_burst(0, 30);
+    client
+        .request(&Request::TextEvents {
+            sid: 5,
+            text: text.clone(),
+        })
+        .unwrap();
+    drop(client);
+    assert_eq!(daemon.shutdown(), 1, "one live session must spill");
+
+    // A new daemon over the same snapshot directory resumes the session.
+    let daemon = Daemon::start(fast_daemon(session)).unwrap();
+    let mut client = Client::connect_tcp(daemon.local_addr().unwrap()).unwrap();
+    let report = report_of(client.request(&Request::Query { sid: 5 }).unwrap());
+    assert_eq!(report.events, 30);
+    let (offline, _) = onoff_nsglog::parse_str_lossy(&text, RecoveryPolicy::SkipAndCount);
+    assert_eq!(report.analysis, analyze_trace(&offline));
+    daemon.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_sessions_stay_independent() {
+    let daemon = Daemon::start(fast_daemon(ServeConfig::default())).unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let sid = 100 + i;
+                let mut client = Client::connect_tcp(addr).unwrap();
+                let mut all = String::new();
+                for round in 0..5u64 {
+                    let text = text_burst(round * 20_000, 20);
+                    all.push_str(&text);
+                    let resp = client.request(&Request::TextEvents { sid, text }).unwrap();
+                    assert_eq!(resp, Response::Ok { events: 20 });
+                }
+                let Response::Json { payload } =
+                    client.request(&Request::EndSession { sid }).unwrap()
+                else {
+                    panic!("expected json");
+                };
+                let report: SessionReport = serde_json::from_str(&payload).unwrap();
+                let (offline, _) =
+                    onoff_nsglog::parse_str_lossy(&all, RecoveryPolicy::SkipAndCount);
+                assert_eq!(report.analysis, analyze_trace(&offline));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let metrics = daemon.engine().metrics();
+    assert_eq!(metrics.sessions_ended, 4);
+    assert_eq!(metrics.events_total, 400);
+    daemon.shutdown();
+}

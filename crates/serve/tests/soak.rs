@@ -1,0 +1,90 @@
+//! Churn soak: many sessions cycling through connect → ingest →
+//! disconnect (with periodic end-sessions and reconnects) must not grow
+//! the process. The ceiling is asserted on VmRSS, so it catches leaks in
+//! the daemon, the session table, *and* the transport path.
+
+use std::time::Duration;
+
+use onoff_serve::{Client, Daemon, DaemonConfig, Request, Response, ServeConfig};
+
+fn line(ms: u64, mbps: f64) -> String {
+    format!(
+        "{:02}:{:02}:{:02}.{:03} Throughput = {mbps:.3} Mbps\n",
+        ms / 3_600_000,
+        ms / 60_000 % 60,
+        ms / 1000 % 60,
+        ms % 1000
+    )
+}
+
+#[cfg(target_os = "linux")]
+fn rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .expect("VmRSS line")
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn connect_churn_stays_under_the_rss_ceiling() {
+    let session = ServeConfig {
+        global_budget: 32 << 20,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(DaemonConfig {
+        read_slice: Duration::from_millis(2),
+        workers: 2,
+        session,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.local_addr().unwrap();
+
+    const SESSIONS: u64 = 48;
+    const ROUNDS: u64 = 16;
+
+    // Warm up allocator arenas and daemon structures before baselining,
+    // so the ceiling measures steady-state churn, not first-touch cost.
+    for sid in 0..SESSIONS {
+        let mut client = Client::connect_tcp(addr).unwrap();
+        let text: String = (0..30).map(|k| line(k * 500, 1.0)).collect();
+        client.request(&Request::TextEvents { sid, text }).unwrap();
+    }
+    let baseline_kb = rss_kb();
+
+    for round in 1..=ROUNDS {
+        for sid in 0..SESSIONS {
+            // Fresh connection every visit: this is the churn under test.
+            let mut client = Client::connect_tcp(addr).unwrap();
+            let base = round * 20_000;
+            let text: String = (0..30).map(|k| line(base + k * 500, 1.0)).collect();
+            match client.request(&Request::TextEvents { sid, text }).unwrap() {
+                Response::Ok { .. } | Response::Shed { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            // Periodically retire and restart a session, exercising the
+            // end-session and re-create paths under churn too.
+            if (sid + round) % 7 == 0 {
+                client.request(&Request::EndSession { sid }).unwrap();
+            }
+        }
+    }
+
+    let grown_kb = rss_kb().saturating_sub(baseline_kb);
+    // Budget is 32 MiB; steady-state churn may legitimately hold the
+    // budget plus allocator slack. Growth beyond 160 MiB over ~770
+    // connections means a leak, not slack.
+    assert!(
+        grown_kb < 160 * 1024,
+        "RSS grew {grown_kb} KiB over churn (baseline {baseline_kb} KiB)"
+    );
+
+    let metrics = daemon.engine().metrics();
+    assert!(metrics.sessions_ended > 0);
+    assert!(metrics.events_total > 0);
+    daemon.shutdown();
+}

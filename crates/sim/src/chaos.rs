@@ -143,6 +143,34 @@ pub enum InjectionKind {
         /// Displacement, ms.
         ms: u64,
     },
+    /// `len` garbage bytes were injected into the wire stream before a
+    /// frame, desynchronizing the length-prefixed framing.
+    GarbageBytes {
+        /// Injected byte count.
+        len: usize,
+    },
+    /// A frame was cut short on the wire and the connection dropped.
+    TruncatedFrame {
+        /// Bytes actually sent of the frame.
+        sent: usize,
+    },
+    /// The client stalled mid-stream for `ms` before the next write.
+    Stalled {
+        /// Stall duration, ms.
+        ms: u64,
+    },
+    /// The connection was dropped mid-stream with frames still unsent.
+    Disconnected,
+    /// A frame was sent twice back to back.
+    DuplicatedFrame,
+    /// The frame's embedded session id was rewritten to `sid` (drawn from
+    /// the offender's own pool — spoofing *other* tenants is exactly what
+    /// the isolation tests must show to be impossible, so the chaos client
+    /// only ever interleaves ids it legitimately owns).
+    RewrittenSid {
+        /// The substituted session id.
+        sid: u64,
+    },
 }
 
 impl InjectionKind {
@@ -156,6 +184,12 @@ impl InjectionKind {
             InjectionKind::ClockJump { .. } => "clock-jump",
             InjectionKind::ClockRollback { .. } => "clock-rollback",
             InjectionKind::Reordered { .. } => "reordered",
+            InjectionKind::GarbageBytes { .. } => "garbage-bytes",
+            InjectionKind::TruncatedFrame { .. } => "truncated-frame",
+            InjectionKind::Stalled { .. } => "stalled",
+            InjectionKind::Disconnected => "disconnected",
+            InjectionKind::DuplicatedFrame => "duplicated-frame",
+            InjectionKind::RewrittenSid { .. } => "rewritten-sid",
         }
     }
 }
@@ -372,6 +406,172 @@ impl ChaosEngine {
     }
 }
 
+/// Wire-level fault probabilities for a framed client connection.
+///
+/// The third mutation surface: where [`ChaosConfig`] dirties what a
+/// capture *says*, `WireChaosConfig` dirties how it *arrives* — garbage
+/// bytes that desync length-prefixed framing, frames cut short by a
+/// dropped connection, stalls past the server's read timeout, duplicate
+/// frames, and session ids swapped between the streams one client
+/// legitimately interleaves. [`ChaosEngine::corrupt_frames`] compiles a
+/// clean frame sequence into a deterministic [`WireOp`] plan a chaos
+/// client replays verbatim against the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireChaosConfig {
+    /// Probability garbage bytes are injected before a frame.
+    pub garbage_bytes: f64,
+    /// Probability a frame is truncated mid-write and the connection
+    /// dropped (terminates the plan).
+    pub truncate_frame: f64,
+    /// Probability the client stalls before writing a frame.
+    pub stall: f64,
+    /// Probability the connection drops cleanly before a frame, leaving
+    /// the rest unsent (terminates the plan).
+    pub disconnect: f64,
+    /// Probability a frame is sent twice back to back.
+    pub duplicate_frame: f64,
+    /// Probability a frame's embedded session id is rewritten to another
+    /// drawn from `sid_pool`.
+    pub rewrite_sid: f64,
+    /// Stall duration bounds, ms (inclusive).
+    pub stall_ms: (u64, u64),
+    /// Injected garbage length bounds, bytes (inclusive).
+    pub garbage_len: (u64, u64),
+    /// Byte offset of the little-endian `u64` session id within a frame
+    /// (header length in the serve protocol); rewrite only fires on
+    /// frames long enough to hold one.
+    pub sid_offset: usize,
+    /// Session ids the rewrite mutator may substitute — the offender's
+    /// **own** sids, so hostility stays within its tenancy.
+    pub sid_pool: Vec<u64>,
+}
+
+impl Default for WireChaosConfig {
+    /// A hostile-but-plausible client: most frames arrive clean, every
+    /// fault class fires somewhere in a few-hundred-frame stream.
+    fn default() -> WireChaosConfig {
+        WireChaosConfig {
+            garbage_bytes: 0.01,
+            truncate_frame: 0.005,
+            stall: 0.01,
+            disconnect: 0.005,
+            duplicate_frame: 0.01,
+            rewrite_sid: 0.02,
+            stall_ms: (50, 400),
+            garbage_len: (1, 64),
+            sid_offset: 5,
+            sid_pool: Vec::new(),
+        }
+    }
+}
+
+impl WireChaosConfig {
+    /// No wire faults: the plan is exactly one `Send` per input frame.
+    pub fn quiet() -> WireChaosConfig {
+        WireChaosConfig {
+            garbage_bytes: 0.0,
+            truncate_frame: 0.0,
+            stall: 0.0,
+            disconnect: 0.0,
+            duplicate_frame: 0.0,
+            rewrite_sid: 0.0,
+            ..WireChaosConfig::default()
+        }
+    }
+}
+
+/// One step of a wire chaos plan, replayed in order by a chaos client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOp {
+    /// Write these bytes to the socket.
+    Send(Vec<u8>),
+    /// Sleep this long before the next op.
+    StallMs(u64),
+    /// Drop the connection; any remaining plan is abandoned.
+    Disconnect,
+}
+
+impl ChaosEngine {
+    /// Compiles clean protocol `frames` into a deterministic wire plan:
+    /// same `(frames, cfg, seed)`, same plan. Truncation and disconnect
+    /// end the plan early (the frames after them are never sent), exactly
+    /// like the socket they model.
+    pub fn corrupt_frames(&mut self, frames: &[Vec<u8>], cfg: &WireChaosConfig) -> Vec<WireOp> {
+        let mut plan = Vec::with_capacity(frames.len());
+        for (i, frame) in frames.iter().enumerate() {
+            if self.draw(cfg.stall) {
+                let ms = self.range(cfg.stall_ms);
+                plan.push(WireOp::StallMs(ms));
+                self.injections.push(Injection {
+                    at: i,
+                    kind: InjectionKind::Stalled { ms },
+                });
+            }
+            if self.draw(cfg.garbage_bytes) {
+                let len = self.range(cfg.garbage_len) as usize;
+                let bytes: Vec<u8> = (0..len).map(|_| self.rng.random_range(0..=255)).collect();
+                plan.push(WireOp::Send(bytes));
+                self.injections.push(Injection {
+                    at: i,
+                    kind: InjectionKind::GarbageBytes { len },
+                });
+            }
+            if self.draw(cfg.disconnect) {
+                plan.push(WireOp::Disconnect);
+                self.injections.push(Injection {
+                    at: i,
+                    kind: InjectionKind::Disconnected,
+                });
+                return plan;
+            }
+            let mut frame = frame.clone();
+            if !cfg.sid_pool.is_empty()
+                && frame.len() >= cfg.sid_offset + 8
+                && self.draw(cfg.rewrite_sid)
+            {
+                let pick = self.rng.random_range(0..cfg.sid_pool.len());
+                let sid = cfg.sid_pool[pick];
+                frame[cfg.sid_offset..cfg.sid_offset + 8].copy_from_slice(&sid.to_le_bytes());
+                self.injections.push(Injection {
+                    at: i,
+                    kind: InjectionKind::RewrittenSid { sid },
+                });
+            }
+            if !frame.is_empty() && self.draw(cfg.truncate_frame) {
+                let sent = self.rng.random_range(0..frame.len());
+                frame.truncate(sent);
+                plan.push(WireOp::Send(frame));
+                plan.push(WireOp::Disconnect);
+                self.injections.push(Injection {
+                    at: i,
+                    kind: InjectionKind::TruncatedFrame { sent },
+                });
+                return plan;
+            }
+            if self.draw(cfg.duplicate_frame) {
+                plan.push(WireOp::Send(frame.clone()));
+                self.injections.push(Injection {
+                    at: i,
+                    kind: InjectionKind::DuplicatedFrame,
+                });
+            }
+            plan.push(WireOp::Send(frame));
+        }
+        plan
+    }
+}
+
+/// One-shot wire-plan compilation: `(plan, manifest)`.
+pub fn chaos_frames(
+    frames: &[Vec<u8>],
+    cfg: &WireChaosConfig,
+    seed: u64,
+) -> (Vec<WireOp>, InjectionManifest) {
+    let mut engine = ChaosEngine::new(ChaosConfig::quiet(), seed);
+    let plan = engine.corrupt_frames(frames, cfg);
+    (plan, engine.into_manifest())
+}
+
 /// One-shot text corruption: `(dirty text, manifest)`.
 pub fn chaos_text(text: &str, cfg: &ChaosConfig, seed: u64) -> (String, InjectionManifest) {
     let mut engine = ChaosEngine::new(cfg.clone(), seed);
@@ -497,6 +697,119 @@ mod tests {
         assert_eq!(a.lines().count(), 2 * text.lines().count());
         assert_eq!(ma.summary()["garbage-line"], 3);
         assert_eq!(ma.summary()["truncated-line"], 3);
+    }
+
+    fn sample_frames() -> Vec<Vec<u8>> {
+        // Shaped like the serve protocol: u32 LE len | kind | u64 LE sid
+        // | payload, so the sid-rewrite offset (5) lands on real bytes.
+        (0..40u64)
+            .map(|i| {
+                let payload = [i.to_le_bytes().as_slice(), b"event line\n"].concat();
+                let mut f = (payload.len() as u32 + 1).to_le_bytes().to_vec();
+                f.push(0x01);
+                f.extend_from_slice(&payload);
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quiet_wire_config_is_identity_plan() {
+        let frames = sample_frames();
+        let (plan, manifest) = chaos_frames(&frames, &WireChaosConfig::quiet(), 17);
+        assert!(manifest.injections.is_empty());
+        let expected: Vec<WireOp> = frames.iter().cloned().map(WireOp::Send).collect();
+        assert_eq!(plan, expected);
+    }
+
+    #[test]
+    fn wire_plan_is_seed_stable() {
+        let frames = sample_frames();
+        let cfg = WireChaosConfig {
+            sid_pool: vec![3, 9],
+            ..WireChaosConfig::default()
+        };
+        let (a, ma) = chaos_frames(&frames, &cfg, 42);
+        let (b, mb) = chaos_frames(&frames, &cfg, 42);
+        assert_eq!(a, b);
+        assert_eq!(ma, mb);
+        let (c, mc) = chaos_frames(&frames, &cfg, 43);
+        assert!(c != a || mc != ma, "different seeds must diverge");
+    }
+
+    #[test]
+    fn disconnect_and_truncation_terminate_the_plan() {
+        let frames = sample_frames();
+        let cfg = WireChaosConfig {
+            disconnect: 1.0,
+            ..WireChaosConfig::quiet()
+        };
+        let (plan, m) = chaos_frames(&frames, &cfg, 1);
+        assert_eq!(plan, vec![WireOp::Disconnect]);
+        assert_eq!(m.summary()["disconnected"], 1);
+
+        let cfg = WireChaosConfig {
+            truncate_frame: 1.0,
+            ..WireChaosConfig::quiet()
+        };
+        let (plan, m) = chaos_frames(&frames, &cfg, 1);
+        assert_eq!(plan.len(), 2, "one partial send then drop");
+        assert!(matches!(&plan[0], WireOp::Send(b) if b.len() < frames[0].len()));
+        assert_eq!(plan[1], WireOp::Disconnect);
+        assert_eq!(m.summary()["truncated-frame"], 1);
+    }
+
+    #[test]
+    fn sid_rewrite_draws_only_from_the_pool() {
+        let frames = sample_frames();
+        let pool = vec![77u64, 88, 99];
+        let cfg = WireChaosConfig {
+            rewrite_sid: 1.0,
+            ..WireChaosConfig::quiet()
+        };
+        let cfg = WireChaosConfig {
+            sid_pool: pool.clone(),
+            ..cfg
+        };
+        let (plan, m) = chaos_frames(&frames, &cfg, 6);
+        assert_eq!(m.summary()["rewritten-sid"], frames.len());
+        for op in &plan {
+            let WireOp::Send(bytes) = op else {
+                panic!("rewrite-only plan has no stalls/drops")
+            };
+            let sid = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+            assert!(pool.contains(&sid), "sid {sid} escaped the pool");
+        }
+        // Without a pool the mutator never fires, even at p = 1.
+        let no_pool = WireChaosConfig {
+            sid_pool: Vec::new(),
+            rewrite_sid: 1.0,
+            ..WireChaosConfig::quiet()
+        };
+        let (_, m) = chaos_frames(&frames, &no_pool, 6);
+        assert!(m.injections.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_garbage_mutators_fire_and_count() {
+        let frames = sample_frames();
+        let cfg = WireChaosConfig {
+            duplicate_frame: 1.0,
+            garbage_bytes: 1.0,
+            stall: 1.0,
+            ..WireChaosConfig::quiet()
+        };
+        let (plan, m) = chaos_frames(&frames, &cfg, 9);
+        // Per frame: stall, garbage send, duplicate send, real send.
+        assert_eq!(plan.len(), frames.len() * 4);
+        assert_eq!(m.summary()["duplicated-frame"], frames.len());
+        assert_eq!(m.summary()["garbage-bytes"], frames.len());
+        assert_eq!(m.summary()["stalled"], frames.len());
+        for inj in &m.injections {
+            if let InjectionKind::Stalled { ms } = inj.kind {
+                assert!((50..=400).contains(&ms));
+            }
+        }
     }
 
     #[test]

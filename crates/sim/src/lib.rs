@@ -33,7 +33,8 @@ pub mod throughput;
 
 pub use batch::UeBatch;
 pub use chaos::{
-    chaos_text, chaos_trace, ChaosConfig, ChaosEngine, Injection, InjectionKind, InjectionManifest,
+    chaos_frames, chaos_text, chaos_trace, ChaosConfig, ChaosEngine, Injection, InjectionKind,
+    InjectionManifest, WireChaosConfig, WireOp,
 };
 pub use config::{MovementPath, SimConfig};
 pub use output::{GroundTruth, InjectedCause, SimOutput};

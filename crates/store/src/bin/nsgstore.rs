@@ -10,6 +10,13 @@
 //! dropped with a count on stderr, matching the campaign quarantine path.
 //! `decode` and `info` skip corrupt segments the same way; pass
 //! `--fail-fast` to turn either kind of damage into a hard error.
+//!
+//! Exit codes are script-safe: `0` success (possibly with loss warnings on
+//! stderr), `1` refused input — unreadable files, any damage under
+//! `--fail-fast`, or **total** loss under the lenient policies (a capture
+//! where every record is lost produces no output file, a diagnostic on
+//! stderr, and a nonzero exit instead of silently succeeding empty) —
+//! and `2` usage errors.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -56,6 +63,19 @@ fn encode(input: &str, output: &str, policy: RecoveryPolicy) -> ExitCode {
         }
     }
     let (events, stats) = onoff_nsglog::parse_str_lossy(&text, policy);
+    if stats.parsed == 0 && stats.records > 0 {
+        // Total loss is a refusal, not a warning: a script piping a
+        // hopeless capture through `encode` must not see success and an
+        // empty store file.
+        return fail(&format!(
+            "{input}: all {} text records are malformed ({})",
+            stats.records,
+            stats
+                .first_error
+                .as_ref()
+                .map_or_else(|| "no first error recorded".to_string(), |e| e.to_string())
+        ));
+    }
     if stats.skipped > 0 {
         eprintln!(
             "warning: {} of {} text records skipped as malformed",
@@ -89,6 +109,18 @@ fn decode(input: &str, output: &str, policy: RecoveryPolicy) -> ExitCode {
         Ok(out) => out,
         Err(e) => return fail(&format!("{input}: {e}")),
     };
+    if stats.decoded == 0 && stats.records > 0 {
+        // Same refusal as `encode`: every segment lost means there is
+        // nothing to emit, and exit 0 plus an empty file would hide it.
+        return fail(&format!(
+            "{input}: all {} records lost to corruption ({})",
+            stats.records,
+            stats
+                .first_error
+                .as_ref()
+                .map_or_else(|| "no first error recorded".to_string(), |e| e.to_string())
+        ));
+    }
     if !stats.is_clean() {
         eprintln!("warning: {stats}");
     }

@@ -71,6 +71,7 @@ mod encode;
 mod error;
 mod varint;
 
+pub use checksum::checksum;
 pub use decode::StoreReader;
 pub use encode::{encode_events, encode_events_with, EncodeOptions, DEFAULT_SEGMENT_RECORDS};
 pub use error::{Column, StoreError, StoreStats, COLUMNS};
