@@ -83,9 +83,14 @@ impl Client {
         }
     }
 
-    /// Sends one request and waits for its response.
+    /// Sends one request and waits for its response. An unframeably
+    /// large request fails client-side with `InvalidInput` — chunk it
+    /// instead of letting the daemon poison the connection.
     pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
-        self.send_raw(&req.encode())?;
+        let wire = req
+            .encode()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.send_raw(&wire)?;
         self.read_response()
     }
 }

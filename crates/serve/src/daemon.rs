@@ -16,7 +16,11 @@
 //!   final error response, then closed;
 //! - a client that stops reading its responses hits the write timeout
 //!   and is dropped;
-//! - a client idle past the idle timeout is dropped.
+//! - a client idle past the idle timeout is dropped;
+//! - connections past [`DaemonConfig::max_connections`] are answered
+//!   with one [`Response::Shed`] and closed at accept time, bounding the
+//!   fleet's per-connection buffering (each connection can hold up to
+//!   one maximum frame) independently of the session-table budget.
 //!
 //! None of these touch any other connection or session. Shutdown stops
 //! the listeners, parks the workers, and drains every live session to
@@ -27,7 +31,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -51,6 +55,11 @@ pub struct DaemonConfig {
     pub idle_timeout: Duration,
     /// Drop a connection that will not accept responses for this long.
     pub write_timeout: Duration,
+    /// Concurrent-connection cap across all listeners. Each connection's
+    /// reassembly buffer can hold up to one maximum frame, so this bounds
+    /// worst-case connection memory at `max_connections * MAX_FRAME_LEN`;
+    /// excess clients are answered with a shed and closed at accept.
+    pub max_connections: usize,
     /// Session-table limits and layout.
     pub session: ServeConfig,
 }
@@ -64,6 +73,7 @@ impl Default for DaemonConfig {
             read_slice: Duration::from_millis(25),
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(5),
+            max_connections: 256,
             session: ServeConfig::default(),
         }
     }
@@ -103,10 +113,23 @@ impl Stream {
     }
 }
 
+/// One occupied slot under the connection cap; freed on drop, whichever
+/// path (close, idle, poison, shutdown queue clear) drops the [`Conn`].
+struct ConnSlot {
+    count: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.count.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 struct Conn {
     stream: Stream,
     frames: FrameBuf,
     last_activity: Instant,
+    _slot: ConnSlot,
 }
 
 #[derive(Default)]
@@ -141,6 +164,7 @@ impl Daemon {
         engine.recover();
         let shutdown = Arc::new(AtomicBool::new(false));
         let injector = Arc::new(Injector::default());
+        let conn_count = Arc::new(AtomicUsize::new(0));
         let mut threads = Vec::new();
 
         let mut tcp_addr = None;
@@ -153,6 +177,7 @@ impl Daemon {
                 &cfg,
                 &injector,
                 &shutdown,
+                &conn_count,
             ));
         }
         let mut unix_path = None;
@@ -166,6 +191,7 @@ impl Daemon {
                 &cfg,
                 &injector,
                 &shutdown,
+                &conn_count,
             ));
         }
 
@@ -221,22 +247,38 @@ fn spawn_acceptor(
     cfg: &DaemonConfig,
     injector: &Arc<Injector>,
     shutdown: &Arc<AtomicBool>,
+    conn_count: &Arc<AtomicUsize>,
 ) -> JoinHandle<()> {
     let injector = Arc::clone(injector);
     let shutdown = Arc::clone(shutdown);
+    let conn_count = Arc::clone(conn_count);
     let read_slice = cfg.read_slice;
     let write_timeout = cfg.write_timeout;
+    let max_connections = cfg.max_connections.max(1);
     std::thread::spawn(move || {
         while !shutdown.load(Ordering::SeqCst) {
             match accept() {
-                Ok(stream) => {
+                Ok(mut stream) => {
                     if stream.set_timeouts(read_slice, write_timeout).is_err() {
+                        continue;
+                    }
+                    let slot = ConnSlot {
+                        count: Arc::clone(&conn_count),
+                    };
+                    if conn_count.fetch_add(1, Ordering::Relaxed) >= max_connections {
+                        // At capacity: one explicit shed, then close.
+                        // The slot guard rolls the count back on drop.
+                        let bye = Response::Shed {
+                            reason: format!("connection limit {max_connections} reached"),
+                        };
+                        stream.write_all(&bye.encode()).ok();
                         continue;
                     }
                     injector.push(Conn {
                         stream,
                         frames: FrameBuf::new(),
                         last_activity: Instant::now(),
+                        _slot: slot,
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

@@ -27,14 +27,17 @@ pub const MAX_FRAME_LEN: usize = 8 << 20;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Append NSG text lines to session `sid` (UTF-8; parsed under the
-    /// daemon's lossy recovery policy).
+    /// daemon's lossy recovery policy). Payloads larger than one frame
+    /// ([`MAX_FRAME_LEN`]) must be chunked across multiple requests.
     TextEvents {
         /// Target session.
         sid: u64,
         /// Raw NSG log text.
         text: String,
     },
-    /// Append an `onoff-store` binary blob to session `sid`.
+    /// Append an `onoff-store` binary blob to session `sid`. Blobs
+    /// larger than one frame ([`MAX_FRAME_LEN`]) must be split into
+    /// multiple complete store images sent as separate requests.
     BinEvents {
         /// Target session.
         sid: u64,
@@ -107,6 +110,13 @@ pub enum FrameError {
         /// The offending declared length.
         declared: usize,
     },
+    /// The payload is too large to frame at all ([`Request::encode`]
+    /// refuses rather than emit a frame the daemon would poison the
+    /// connection for): chunk it across multiple requests.
+    TooLarge {
+        /// The would-be frame body length (kind byte + payload).
+        len: usize,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -116,6 +126,13 @@ impl fmt::Display for FrameError {
                 write!(
                     f,
                     "unframeable length prefix {declared} (max {MAX_FRAME_LEN}); closing connection"
+                )
+            }
+            FrameError::TooLarge { len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit; \
+                     chunk it across multiple requests"
                 )
             }
         }
@@ -144,6 +161,10 @@ impl fmt::Display for DecodeError {
 }
 
 fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    // Request::encode rejects oversized payloads before reaching here;
+    // responses are bounded by the budgets upstream. The assert guards
+    // the u32 cast below from ever silently wrapping at 4 GiB.
+    debug_assert!(payload.len() < MAX_FRAME_LEN);
     let mut out = Vec::with_capacity(5 + payload.len());
     out.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
     out.push(kind);
@@ -168,17 +189,26 @@ fn split_sid(payload: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
 
 impl Request {
     /// Encodes the request as one wire frame.
-    pub fn encode(&self) -> Vec<u8> {
-        match self {
-            Request::TextEvents { sid, text } => {
-                frame(REQ_TEXT, &sid_payload(*sid, text.as_bytes()))
-            }
-            Request::BinEvents { sid, bytes } => frame(REQ_BIN, &sid_payload(*sid, bytes)),
-            Request::Query { sid } => frame(REQ_QUERY, &sid_payload(*sid, &[])),
-            Request::FleetQuery => frame(REQ_FLEET, &[]),
-            Request::EndSession { sid } => frame(REQ_END, &sid_payload(*sid, &[])),
-            Request::Ping => frame(REQ_PING, &[]),
+    ///
+    /// Fails with [`FrameError::TooLarge`] when the payload cannot fit a
+    /// single frame — sending such bytes would make the daemon poison the
+    /// connection. Large ingests must be chunked across multiple
+    /// `TextEvents`/`BinEvents` requests; analyzer state is cumulative
+    /// per session, so chunking does not change the analysis.
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let (kind, payload) = match self {
+            Request::TextEvents { sid, text } => (REQ_TEXT, sid_payload(*sid, text.as_bytes())),
+            Request::BinEvents { sid, bytes } => (REQ_BIN, sid_payload(*sid, bytes)),
+            Request::Query { sid } => (REQ_QUERY, sid_payload(*sid, &[])),
+            Request::FleetQuery => (REQ_FLEET, Vec::new()),
+            Request::EndSession { sid } => (REQ_END, sid_payload(*sid, &[])),
+            Request::Ping => (REQ_PING, Vec::new()),
+        };
+        let len = payload.len() + 1;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge { len });
         }
+        Ok(frame(kind, &payload))
     }
 
     /// Decodes one frame body (`kind` byte plus payload).
@@ -302,7 +332,7 @@ mod tests {
     use super::*;
 
     fn roundtrip_req(req: Request) {
-        let wire = req.encode();
+        let wire = req.encode().unwrap();
         let mut fb = FrameBuf::new();
         fb.push(&wire);
         let (kind, payload) = fb.next_frame().unwrap().expect("one frame");
@@ -348,7 +378,7 @@ mod tests {
 
     #[test]
     fn sid_sits_at_the_documented_offset() {
-        let wire = Request::Query { sid: 0xDEAD_BEEF }.encode();
+        let wire = Request::Query { sid: 0xDEAD_BEEF }.encode().unwrap();
         let sid = u64::from_le_bytes(wire[SID_OFFSET..SID_OFFSET + 8].try_into().unwrap());
         assert_eq!(sid, 0xDEAD_BEEF);
     }
@@ -359,7 +389,8 @@ mod tests {
             sid: 3,
             text: "line\n".into(),
         }
-        .encode();
+        .encode()
+        .unwrap();
         let mut fb = FrameBuf::new();
         for b in &wire[..wire.len() - 1] {
             fb.push(std::slice::from_ref(b));
@@ -372,8 +403,8 @@ mod tests {
     #[test]
     fn two_frames_in_one_push_both_pop() {
         let mut fb = FrameBuf::new();
-        let a = Request::Ping.encode();
-        let b = Request::Query { sid: 5 }.encode();
+        let a = Request::Ping.encode().unwrap();
+        let b = Request::Query { sid: 5 }.encode().unwrap();
         fb.push(&[a.as_slice(), b.as_slice()].concat());
         assert_eq!(fb.next_frame().unwrap().unwrap().0, REQ_PING);
         assert_eq!(fb.next_frame().unwrap().unwrap().0, REQ_QUERY);
@@ -394,10 +425,31 @@ mod tests {
     }
 
     #[test]
+    fn oversized_requests_refuse_to_encode() {
+        let req = Request::BinEvents {
+            sid: 1,
+            bytes: vec![0u8; MAX_FRAME_LEN],
+        };
+        assert!(
+            matches!(req.encode(), Err(FrameError::TooLarge { .. })),
+            "an unframeable payload must not encode"
+        );
+        // One byte under the limit (minus kind + sid) still frames.
+        let req = Request::BinEvents {
+            sid: 1,
+            bytes: vec![0u8; MAX_FRAME_LEN - 9],
+        };
+        let wire = req.encode().unwrap();
+        let mut fb = FrameBuf::new();
+        fb.push(&wire);
+        assert!(fb.next_frame().unwrap().is_some());
+    }
+
+    #[test]
     fn unknown_kind_is_recoverable_not_poisonous() {
         let mut fb = FrameBuf::new();
         fb.push(&frame(0x7F, b"whatever"));
-        fb.push(&Request::Ping.encode());
+        fb.push(&Request::Ping.encode().unwrap());
         let (kind, payload) = fb.next_frame().unwrap().unwrap();
         assert_eq!(
             Request::decode(kind, &payload),

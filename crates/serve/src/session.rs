@@ -16,17 +16,26 @@
 //! log's capacity. The global ledger is an atomic sum over all live
 //! sessions. Ingest enforces, in order:
 //!
-//! 1. **Per-session budget** — a single session projected past
-//!    [`ServeConfig::session_budget`] is refused with a shed (one noisy
-//!    tenant cannot grow without bound).
-//! 2. **Global budget** — a projected overrun first evicts
+//! 1. **Global budget** — a projected overrun first evicts
 //!    least-recently-used sessions (other than the target) to snapshots;
 //!    if nothing is evictable (no snapshot dir, or everything else is
 //!    already spilled) the ingest is refused with a shed.
-//! 3. **Post-ingest settlement** — projections are estimates, so after
-//!    feeding, the ledger is re-enforced; with a snapshot directory the
-//!    table may spill even the session just fed, guaranteeing
-//!    `bytes_used <= global_budget` after every completed ingest.
+//! 2. **Per-session budget** — checked under the shard lock, against the
+//!    session's live (possibly just-restored) size, immediately before
+//!    the feed is applied, so concurrent ingests to one sid cannot both
+//!    slip under [`ServeConfig::session_budget`] (one noisy tenant
+//!    cannot grow without bound).
+//! 3. **Post-op settlement** — projections are estimates, so after any
+//!    operation that can grow the ledger (an ingest, or a restore
+//!    triggered by a query), the ledger is re-enforced; with a snapshot
+//!    directory the table may spill even the session just touched,
+//!    guaranteeing `bytes_used <= global_budget` after every completed
+//!    operation.
+//!
+//! A failed spill (snapshot directory unwritable, disk full) is treated
+//! as *unevictable*: the victim is restored live — never lost — and the
+//! in-flight operation sheds instead of retrying, so a broken spill path
+//! degrades into backpressure rather than a busy loop.
 //!
 //! A snapshot that fails verification on restore **quarantines** the
 //! session: the sid becomes a tombstone answering every request with an
@@ -126,6 +135,19 @@ impl Session {
             + self.analyzer.mem_hint()
             + self.log.capacity() * std::mem::size_of::<TraceEvent>()
     }
+}
+
+/// What one eviction attempt did.
+enum EvictOutcome {
+    /// A victim was spilled and its accounted bytes freed.
+    Evicted,
+    /// Nothing evictable: no snapshot dir, an empty LRU, or only exempt
+    /// sessions in this shard.
+    NoVictim,
+    /// A victim exists but its snapshot write failed; it was restored
+    /// live (never lost). Eviction cannot currently make progress, so
+    /// the caller must shed rather than retry.
+    SpillFailed,
 }
 
 /// Fleet-metrics residue of a spilled session.
@@ -302,22 +324,24 @@ impl SessionTable {
     }
 
     /// Spills one session out of `shard` (its LRU victim, skipping
-    /// `exempt`). Returns freed bytes, or `None` if the shard has no
-    /// evictable session or the spill failed (the session then stays
-    /// live — never lost).
-    fn evict_one_locked(&self, shard: &mut Shard, exempt: Option<u64>) -> Option<usize> {
-        let dir = self.cfg.snapshot_dir.as_ref()?;
-        let victim = shard
+    /// `exempt`).
+    fn evict_one_locked(&self, shard: &mut Shard, exempt: Option<u64>) -> EvictOutcome {
+        let Some(dir) = self.cfg.snapshot_dir.as_ref() else {
+            return EvictOutcome::NoVictim;
+        };
+        let Some(victim) = shard
             .lru
             .iter()
             .map(|(_, &sid)| sid)
-            .find(|&sid| Some(sid) != exempt)?;
+            .find(|&sid| Some(sid) != exempt)
+        else {
+            return EvictOutcome::NoVictim;
+        };
         let mut session = shard.live.remove(&victim).expect("lru tracks live");
         shard.lru.remove(&session.stamp);
         match write_snapshot(dir, victim, &session.meta, &session.log) {
             Ok(path) => {
-                let freed = session.mem;
-                self.used.fetch_sub(freed, Ordering::Relaxed);
+                self.used.fetch_sub(session.mem, Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 let events = session.log.len();
                 let degradation = session.analyzer.degradation();
@@ -329,12 +353,12 @@ impl SessionTable {
                         events,
                     },
                 );
-                Some(freed)
+                EvictOutcome::Evicted
             }
             Err(_) => {
                 shard.lru.insert(session.stamp, victim);
                 shard.live.insert(victim, session);
-                None
+                EvictOutcome::SpillFailed
             }
         }
     }
@@ -367,8 +391,14 @@ impl SessionTable {
             let mut shard = self.shards[idx].lock().expect("shard lock");
             // The victim may have moved between the peek and this lock;
             // evicting whatever is oldest *now* is just as correct.
-            if self.evict_one_locked(&mut shard, exempt).is_none() && shard.lru.is_empty() {
-                return false;
+            match self.evict_one_locked(&mut shard, exempt) {
+                EvictOutcome::Evicted => {}
+                // Raced away between the peek and the lock; rescan.
+                EvictOutcome::NoVictim => {}
+                // The spill path is broken (disk full, dir unwritable).
+                // Every retry would fail the same way — shed instead of
+                // spinning the worker at 100% CPU.
+                EvictOutcome::SpillFailed => return false,
             }
         }
     }
@@ -412,12 +442,15 @@ impl SessionTable {
     }
 
     /// Runs `f` on the live session `sid`, restoring or creating it
-    /// first, updating LRU and the memory ledger after.
+    /// first, updating LRU and the memory ledger after. `f` runs under
+    /// the shard lock and may refuse (e.g. a per-session budget check);
+    /// a refusal tears down a session this call created, so a shed
+    /// leaves no empty residue behind.
     fn with_session<R>(
         &self,
         sid: u64,
         create: bool,
-        f: impl FnOnce(&mut Session) -> R,
+        f: impl FnOnce(&mut Session) -> Result<R, SessionError>,
     ) -> Result<R, SessionError> {
         let mut guard = self.shard_of(sid).lock().expect("shard lock");
         let shard = &mut *guard;
@@ -426,6 +459,7 @@ impl SessionTable {
                 reason: reason.clone(),
             });
         }
+        let mut created = false;
         if shard.spilled.contains_key(&sid) {
             self.restore_locked(shard, sid)?;
         } else if !shard.live.contains_key(&sid) {
@@ -437,6 +471,7 @@ impl SessionTable {
             self.used.fetch_add(session.mem, Ordering::Relaxed);
             shard.lru.insert(stamp, sid);
             shard.live.insert(sid, session);
+            created = true;
         }
         let session = shard.live.get_mut(&sid).expect("ensured above");
         // Touch LRU.
@@ -444,7 +479,15 @@ impl SessionTable {
         session.stamp = self.stamp();
         shard.lru.insert(session.stamp, sid);
         let out = f(session);
+        if out.is_err() && created {
+            // Nothing was applied; do not leave an empty session behind.
+            let session = shard.live.remove(&sid).expect("created above");
+            shard.lru.remove(&session.stamp);
+            self.used.fetch_sub(session.mem, Ordering::Relaxed);
+            return out;
+        }
         // Settle the ledger against actual post-op capacities.
+        let session = shard.live.get_mut(&sid).expect("still live");
         let now = session.mem_now();
         if now >= session.mem {
             self.used.fetch_add(now - session.mem, Ordering::Relaxed);
@@ -452,13 +495,7 @@ impl SessionTable {
             self.used.fetch_sub(session.mem - now, Ordering::Relaxed);
         }
         session.mem = now;
-        Ok(out)
-    }
-
-    /// Current accounted size of `sid` if it is live (0 when spilled).
-    fn live_mem(&self, sid: u64) -> usize {
-        let shard = self.shard_of(sid).lock().expect("shard lock");
-        shard.live.get(&sid).map_or(0, |s| s.mem)
+        out
     }
 
     /// Feeds `events` (already parsed) into session `sid`, creating or
@@ -471,17 +508,6 @@ impl SessionTable {
         meta_delta: SessionMeta,
     ) -> Result<u64, SessionError> {
         let incoming = events.len() * std::mem::size_of::<TraceEvent>();
-        // Per-session projection. A spilled session's restore cost is
-        // unknown until replay; the post-op settlement trues it up.
-        let projected = self.live_mem(sid).max(SESSION_OVERHEAD) + incoming;
-        if projected > self.cfg.session_budget {
-            return Err(SessionError::Shed {
-                reason: format!(
-                    "session budget: {projected} projected bytes exceed {}",
-                    self.cfg.session_budget
-                ),
-            });
-        }
         // Global projection: evict others, else shed.
         if !self.make_room(incoming, Some(sid)) {
             return Err(SessionError::Shed {
@@ -493,7 +519,20 @@ impl SessionTable {
             });
         }
         let n = events.len() as u64;
+        let session_budget = self.cfg.session_budget;
         self.with_session(sid, true, move |session| {
+            // Per-session projection, checked under the shard lock
+            // against the live (possibly just-restored) size so two
+            // concurrent ingests to one sid cannot both slip under the
+            // budget.
+            let projected = session.mem + incoming;
+            if projected > session_budget {
+                return Err(SessionError::Shed {
+                    reason: format!(
+                        "session budget: {projected} projected bytes exceed {session_budget}"
+                    ),
+                });
+            }
             session.meta.records += meta_delta.records;
             session.meta.parsed += meta_delta.parsed;
             session.meta.skipped += meta_delta.skipped;
@@ -502,6 +541,7 @@ impl SessionTable {
                 session.log.push(ev.clone());
                 session.analyzer.feed(ev);
             }
+            Ok(())
         })?;
         self.events.fetch_add(n, Ordering::Relaxed);
         // Settlement: projections can undershoot analyzer growth. With a
@@ -517,21 +557,26 @@ impl SessionTable {
         &self,
         sid: u64,
     ) -> Result<(RunAnalysis, Option<PredictionReport>, SessionMeta, usize), SessionError> {
-        self.with_session(sid, false, |session| {
-            (
+        let out = self.with_session(sid, false, |session| {
+            Ok((
                 session.analyzer.analysis(),
                 session.analyzer.predictions(),
                 session.meta,
                 session.log.len(),
-            )
-        })
+            ))
+        })?;
+        // A restore may have pushed the ledger past the global budget;
+        // settle exactly like ingest does (which may spill the session
+        // just queried — the answer is already extracted).
+        self.make_room(0, None);
+        Ok(out)
     }
 
     /// Finalizes session `sid`: removes it and returns its full report.
     /// Its degradation and parse counters fold into the retired totals.
     pub fn end_session(&self, sid: u64) -> Result<FinalReport, SessionError> {
         // Restore first (if spilled) via the common path, then take it.
-        self.with_session(sid, false, |_| ())?;
+        self.with_session(sid, false, |_| Ok(()))?;
         let mut guard = self.shard_of(sid).lock().expect("shard lock");
         let shard = &mut *guard;
         let Some(session) = shard.live.remove(&sid) else {
@@ -559,6 +604,10 @@ impl SessionTable {
         if let Some(dir) = &self.cfg.snapshot_dir {
             std::fs::remove_file(snapshot_path(dir, sid)).ok();
         }
+        // Removing the session reverses its restore's ledger charge, but
+        // a racing restore elsewhere may still have us past the budget;
+        // settle before answering.
+        self.make_room(0, None);
         Ok(FinalReport {
             analysis,
             predictions,
@@ -588,7 +637,7 @@ impl SessionTable {
             .map(|(&k, &v)| (k, v))
             .collect();
         shard.lru.retain(|_, &mut s| s == sid);
-        let ok = self.evict_one_locked(shard, None).is_some();
+        let ok = matches!(self.evict_one_locked(shard, None), EvictOutcome::Evicted);
         for (k, v) in rest {
             shard.lru.insert(k, v);
         }
@@ -608,7 +657,10 @@ impl SessionTable {
         let mut spilled = 0;
         for shard in &self.shards {
             let mut shard = shard.lock().expect("shard lock");
-            while self.evict_one_locked(&mut shard, None).is_some() {
+            while matches!(
+                self.evict_one_locked(&mut shard, None),
+                EvictOutcome::Evicted
+            ) {
                 spilled += 1;
             }
         }
@@ -825,6 +877,118 @@ mod tests {
         assert_eq!(events, 35);
         let report = reborn.end_session(10).unwrap();
         assert_eq!(report.events, 25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_failure_sheds_instead_of_spinning() {
+        // The snapshot "dir" is a plain file, so every write_snapshot
+        // fails. Budget pressure must then shed — before the SpillFailed
+        // exit, make_room busy-looped here forever.
+        let dir = tmp_dir("spillfail");
+        let blocker = dir.join("not-a-dir");
+        std::fs::write(&blocker, b"x").unwrap();
+        let cfg = ServeConfig {
+            global_budget: 48 * 1024,
+            snapshot_dir: Some(blocker),
+            ..ServeConfig::default()
+        };
+        let table = SessionTable::new(cfg);
+        let mut shed = false;
+        for sid in 0..64 {
+            match table.ingest(sid, burst(0, 10), SessionMeta::default()) {
+                Ok(_) => {}
+                Err(SessionError::Shed { .. }) => {
+                    shed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(shed, "a broken spill path must shed, not spin");
+        let stats = table.stats();
+        assert_eq!(stats.evictions, 0, "no eviction can have succeeded");
+        assert!(stats.live > 0, "failed victims stay live, never lost");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_budget_sees_restored_size_not_spilled_zero() {
+        let dir = tmp_dir("sbudget");
+        let cfg = ServeConfig {
+            session_budget: 32 * 1024,
+            snapshot_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let table = SessionTable::new(cfg);
+        // Grow the session up to its budget.
+        let mut base = 0u64;
+        loop {
+            match table.ingest(3, burst(base, 100), SessionMeta::default()) {
+                Ok(_) => base += 100_000,
+                Err(SessionError::Shed { .. }) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        // Spill it, restore it via query, and read back its true live
+        // size; an ingest projected just past the budget from *that*
+        // size must shed even though the session was on disk a moment
+        // ago (a pre-lock projection would have seen zero and let the
+        // session grow without bound across evict/restore cycles).
+        assert!(table.evict(3));
+        table.query(3).unwrap();
+        let mem = {
+            let shard = table.shard_of(3).lock().unwrap();
+            shard.live.get(&3).expect("query restored it").mem
+        };
+        let overflow = (32 * 1024 - mem) / std::mem::size_of::<TraceEvent>() + 1;
+        let err = table.ingest(3, burst(base, overflow as u64), SessionMeta::default());
+        assert!(matches!(err, Err(SessionError::Shed { .. })), "{err:?}");
+        // The same burst into a fresh session fits: the shed above came
+        // from the restored accounting, not sheer burst size.
+        table
+            .ingest(4, burst(0, overflow as u64), SessionMeta::default())
+            .unwrap();
+        // And the shed restored session 3 without destroying it.
+        let (_, _, _, events) = table.query(3).unwrap();
+        assert!(events > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_restore_settles_the_global_ledger() {
+        let dir = tmp_dir("qsettle");
+        let budget = 24 * 1024;
+        let cfg = ServeConfig {
+            global_budget: budget,
+            snapshot_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let table = SessionTable::new(cfg);
+        // Two sessions that together exceed the global budget.
+        for sid in [1, 2] {
+            for k in 0..4u64 {
+                table
+                    .ingest(sid, burst(k * 100_000, 100), SessionMeta::default())
+                    .unwrap();
+            }
+        }
+        assert!(table.bytes_used() <= budget);
+        // Queries restore spilled sessions; each restore must settle the
+        // ledger exactly like an ingest, never parking it past budget
+        // until "a later ingest" happens to run.
+        for _ in 0..4 {
+            for sid in [1, 2] {
+                let (_, _, _, events) = table.query(sid).unwrap();
+                assert_eq!(events, 400);
+                assert!(
+                    table.bytes_used() <= budget,
+                    "ledger {} past budget after a query restore",
+                    table.bytes_used()
+                );
+            }
+        }
+        assert!(table.stats().restores > 0, "queries must have restored");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -44,7 +44,8 @@ fn hostile_frames(sid_a: u64, sid_b: u64) -> Vec<Vec<u8>> {
                 sid: sid_a,
                 text: text_burst(round * 10_000, 8),
             }
-            .encode(),
+            .encode()
+            .unwrap(),
         );
         frames.push(
             Request::TextEvents {
@@ -53,10 +54,11 @@ fn hostile_frames(sid_a: u64, sid_b: u64) -> Vec<Vec<u8>> {
                 // sessions' DegradationReport/parse counters.
                 text: format!("garbage line {round}\n") + &text_burst(round * 10_000, 4),
             }
-            .encode(),
+            .encode()
+            .unwrap(),
         );
         if round % 3 == 0 {
-            frames.push(Request::Query { sid: sid_a }.encode());
+            frames.push(Request::Query { sid: sid_a }.encode().unwrap());
         }
     }
     frames

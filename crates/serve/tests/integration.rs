@@ -141,6 +141,54 @@ fn tiny_budget_sheds_explicitly() {
 }
 
 #[test]
+fn connection_cap_sheds_excess_clients_then_recovers() {
+    let cfg = DaemonConfig {
+        max_connections: 2,
+        ..fast_daemon(ServeConfig::default())
+    };
+    let daemon = Daemon::start(cfg).unwrap();
+    let addr = daemon.local_addr().unwrap();
+
+    let mut a = Client::connect_tcp(addr).unwrap();
+    let mut b = Client::connect_tcp(addr).unwrap();
+    // Both slots occupied (a ping proves each was accepted, not queued).
+    assert_eq!(
+        a.request(&Request::Ping).unwrap(),
+        Response::Ok { events: 0 }
+    );
+    assert_eq!(
+        b.request(&Request::Ping).unwrap(),
+        Response::Ok { events: 0 }
+    );
+
+    // A third client is shed at accept time and closed.
+    let mut c = Client::connect_tcp(addr).unwrap();
+    match c.read_response() {
+        Ok(Response::Shed { reason }) => assert!(reason.contains("connection limit"), "{reason}"),
+        Ok(other) => panic!("unexpected {other:?}"),
+        Err(_) => {} // already closed — also acceptable
+    }
+    assert!(c.read_response().is_err(), "excess connection must close");
+
+    // Freed slots become usable again once the drops are noticed.
+    drop(a);
+    drop(b);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut d = Client::connect_tcp(addr).unwrap();
+        if let Ok(Response::Ok { events: 0 }) = d.request(&Request::Ping) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slots never freed after clients disconnected"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    daemon.shutdown();
+}
+
+#[test]
 fn poisoned_framing_closes_only_that_connection() {
     let daemon = Daemon::start(fast_daemon(ServeConfig::default())).unwrap();
     let addr = daemon.local_addr().unwrap();
