@@ -31,11 +31,11 @@ use onoff_detect::channel::{ChannelUsage, Merge, ScellModStats};
 use onoff_detect::TraceAnalyzer;
 use onoff_nsglog::parse_str_lossy;
 use onoff_policy::{policy_for, DeviceProfile, Operator, OperatorPolicy, PhoneModel};
-use onoff_predict::OnlineScorer;
 use onoff_radio::noise::hash_words;
 use onoff_radio::RadioTables;
 use onoff_rrc::ids::Rat;
 use onoff_rrc::perf::FxMap;
+use onoff_sim::recorder::Recorder;
 use onoff_sim::{simulate, ChaosConfig, ChaosEngine, MovementPath, SimConfig, SimOutput, UeBatch};
 
 use crate::areas::{all_areas, Area};
@@ -250,6 +250,24 @@ fn run_location_chaotic(
     (record, surviving, analysis, stats)
 }
 
+/// Per-worker run scratch: everything the fused sim→detect pipeline
+/// recycles across batched runs so the steady state allocates nothing.
+///
+/// One instance lives for a worker's whole drain. Analyzers are keyed by
+/// operator because the §6 scoring config differs per operator; each is
+/// [`TraceAnalyzer::reset`] between runs, which is observationally
+/// identical to a fresh core (pinned by the `reset_core_equals_fresh_core`
+/// proptest in `onoff-detect`), so the dataset stays bitwise-identical.
+/// `outs` and `rec_pool` recycle the simulator's event/truth vectors
+/// through [`UeBatch::run_into`] — see DESIGN.md §16 for the reset-safety
+/// contract.
+#[derive(Default)]
+struct RunScratch {
+    analyzers: FxMap<Operator, TraceAnalyzer>,
+    outs: Vec<SimOutput>,
+    rec_pool: Vec<Recorder>,
+}
+
 /// Aggregates accumulated by one worker (and, after merging, the whole
 /// campaign).
 ///
@@ -295,6 +313,20 @@ impl Aggregates {
     ) -> Option<(RunRecord, SimOutput, onoff_detect::RunAnalysis)> {
         let attempts = opts.max_attempts.max(1);
         let mut last_reason = String::new();
+        // Whether the job is poisoned doesn't change between attempts, so
+        // the chaos config is picked (and the destroy config materialized)
+        // once per job, then borrowed by every attempt.
+        let poisoned = opts
+            .poison
+            .as_ref()
+            .is_some_and(|(a, l)| *a == area.name && *l == job.location);
+        let destroy;
+        let chaos_cfg: &ChaosConfig = if poisoned {
+            destroy = ChaosConfig::destroy();
+            &destroy
+        } else {
+            &opts.chaos
+        };
         for attempt in 1..=attempts {
             if attempt > 1 && opts.backoff_base_ms > 0 {
                 std::thread::sleep(std::time::Duration::from_millis(
@@ -303,15 +335,6 @@ impl Aggregates {
             }
             // Fresh fault pattern per attempt, reproducible from the job.
             let chaos_seed = hash_words(&[job.seed, u64::from(attempt), 0xC4A05]);
-            let poisoned = opts
-                .poison
-                .as_ref()
-                .is_some_and(|(a, l)| *a == area.name && *l == job.location);
-            let chaos_cfg = if poisoned {
-                ChaosConfig::destroy()
-            } else {
-                opts.chaos.clone()
-            };
             let result = catch_unwind(AssertUnwindSafe(|| {
                 run_location_chaotic(
                     area,
@@ -319,7 +342,7 @@ impl Aggregates {
                     cfg.device,
                     job.seed,
                     cfg.duration_ms,
-                    &chaos_cfg,
+                    chaos_cfg,
                     opts.policy,
                     chaos_seed,
                 )
@@ -373,6 +396,16 @@ impl Aggregates {
     /// Executes one contiguous same-area batch of jobs over the area's
     /// shared precomputed tables, then feeds each run through the same
     /// fused analysis as [`run_location`].
+    ///
+    /// The whole pipeline runs out of the worker's [`RunScratch`]: the
+    /// batch recycles pooled recorders and writes into the pooled
+    /// `SimOutput`s (no event/truth vector is allocated in steady state),
+    /// and the per-operator analyzer — scorer included — is `reset`
+    /// between runs instead of rebuilt. `reset` is observationally
+    /// identical to a fresh core (pinned by `reset_core_equals_fresh_core`
+    /// in `onoff-detect`), so the dataset stays bitwise-identical to the
+    /// per-run pipeline at any worker count.
+    #[allow(clippy::too_many_arguments)]
     fn absorb_batch(
         &mut self,
         area: &Area,
@@ -381,47 +414,43 @@ impl Aggregates {
         device: &DeviceProfile,
         jobs: &[Job],
         cfg: &CampaignConfig,
+        scratch: &mut RunScratch,
     ) {
-        let scoring = scoring_config_for(area.operator, policy);
+        let RunScratch {
+            analyzers,
+            outs,
+            rec_pool,
+        } = scratch;
         let mut batch = UeBatch::new(policy, device, tables, cfg.duration_ms, 1000);
         for job in jobs {
-            batch.push(
+            batch.push_with_recorder(
                 MovementPath::Stationary(area.locations[job.location]),
                 job.seed,
+                rec_pool.pop().unwrap_or_default(),
             );
         }
-        // One scorer serves the whole batch: recovered from the finished
-        // core, session-reset, and handed to the next run. `reset_session`
-        // is observationally identical to a fresh scorer (pinned by a
-        // predict-crate test), so the dataset stays bitwise-identical —
-        // but the scorer's measurement maps and per-cell reservoirs are
-        // allocated once per batch instead of once per run.
-        let mut scorer: Option<OnlineScorer> = None;
-        for (job, out) in jobs.iter().zip(batch.run()) {
-            let mut core = match scorer.take() {
-                Some(mut warm) => {
-                    warm.reset_session();
-                    TraceAnalyzer::with_scorer(warm)
-                }
-                None => TraceAnalyzer::with_scoring(scoring.clone()),
-            };
+        batch.run_into(outs, rec_pool);
+        let core = analyzers.entry(area.operator).or_insert_with(|| {
+            TraceAnalyzer::with_scoring(scoring_config_for(area.operator, policy))
+        });
+        for (job, out) in jobs.iter().zip(outs.iter()) {
+            core.reset();
             for ev in &out.events {
                 core.feed(ev);
             }
             let predictions = core.predictions().expect("scoring enabled");
-            scorer = core.take_scorer();
-            let analysis = core.finish();
+            let analysis = core.analysis();
             let record = RunRecord::from_run(
                 area.operator,
                 &area.name,
                 job.location,
                 cfg.device,
                 job.seed,
-                &out,
+                out,
                 &analysis,
                 &predictions,
             );
-            self.fold_run(area.operator, cfg.duration_ms, record, &out, &analysis);
+            self.fold_run(area.operator, cfg.duration_ms, record, out, &analysis);
         }
     }
 
@@ -538,15 +567,24 @@ fn batch_spans(jobs: &[Job]) -> Vec<(usize, usize)> {
 /// cursor, folding into per-worker [`Aggregates`] shards merged at the
 /// end. Every [`Merge`] impl is commutative, so the result is independent
 /// of both worker count and unit interleaving.
-fn drain_shards<U: Sync>(
+///
+/// Each worker also owns one scratch value built by `make_scratch`,
+/// threaded through every `absorb` call it makes — the hook that lets the
+/// batched pipeline reuse its recorders, output buffers, and analyzers
+/// across all units a worker drains. Scratch never crosses workers and
+/// never outlives the drain, so (given reset-safe reuse, see DESIGN.md
+/// §16) it cannot affect the merged result.
+fn drain_shards<U: Sync, S>(
     units: &[U],
     workers: usize,
-    absorb: impl Fn(&mut Aggregates, &U) + Sync,
+    make_scratch: impl Fn() -> S + Sync,
+    absorb: impl Fn(&mut Aggregates, &mut S, &U) + Sync,
 ) -> Aggregates {
     if workers <= 1 {
         let mut agg = Aggregates::default();
+        let mut scratch = make_scratch();
         for unit in units {
-            absorb(&mut agg, unit);
+            absorb(&mut agg, &mut scratch, unit);
         }
         return agg;
     }
@@ -556,10 +594,11 @@ fn drain_shards<U: Sync>(
             .map(|_| {
                 scope.spawn(|| {
                     let mut shard = Aggregates::default();
+                    let mut scratch = make_scratch();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(unit) = units.get(i) else { break };
-                        absorb(&mut shard, unit);
+                        absorb(&mut shard, &mut scratch, unit);
                     }
                     shard
                 })
@@ -584,9 +623,14 @@ fn drain_shards<U: Sync>(
 fn run_jobs(areas: &[Area], jobs: &[Job], cfg: &CampaignConfig) -> Aggregates {
     let workers = cfg.parallelism.workers.max(1).min(jobs.len().max(1));
     if cfg.chaos.is_some() {
-        return drain_shards(jobs, workers, |shard, job| {
-            shard.absorb(&areas[job.area_idx], job, cfg)
-        });
+        // The dirty-capture pipeline is per-run text work; it carries no
+        // reusable scratch.
+        return drain_shards(
+            jobs,
+            workers,
+            || (),
+            |shard, (), job| shard.absorb(&areas[job.area_idx], job, cfg),
+        );
     }
     // Per-area precomputation, built once and shared by every batch (and
     // every worker): the policy, the device profile, and the radio tables.
@@ -596,17 +640,23 @@ fn run_jobs(areas: &[Area], jobs: &[Job], cfg: &CampaignConfig) -> Aggregates {
     let tables: Vec<RadioTables<'_>> = areas.iter().map(|a| RadioTables::new(&a.env)).collect();
     let device = cfg.device.profile();
     let spans = batch_spans(jobs);
-    drain_shards(&spans, workers, |shard, &(start, end)| {
-        let area_idx = jobs[start].area_idx;
-        shard.absorb_batch(
-            &areas[area_idx],
-            &policies[area_idx],
-            &tables[area_idx],
-            &device,
-            &jobs[start..end],
-            cfg,
-        )
-    })
+    drain_shards(
+        &spans,
+        workers,
+        RunScratch::default,
+        |shard, scratch, &(start, end)| {
+            let area_idx = jobs[start].area_idx;
+            shard.absorb_batch(
+                &areas[area_idx],
+                &policies[area_idx],
+                &tables[area_idx],
+                &device,
+                &jobs[start..end],
+                cfg,
+                scratch,
+            )
+        },
+    )
 }
 
 /// Runs the full eleven-area campaign and assembles the dataset.

@@ -1,11 +1,12 @@
 //! Allocation-budget regression test for the fused campaign path.
 //!
-//! The campaign runner's per-run analysis loop reuses one warmed
-//! [`OnlineScorer`] across the runs of a batch (`reset_session` +
-//! `TraceAnalyzer::with_scorer`) instead of rebuilding the scorer's
-//! measurement tables per run. This test pins that property with a
-//! counting global allocator so an accidental per-run scorer rebuild — or
-//! a new `clone()`/`format!` on the per-event path — fails CI instead of
+//! The campaign runner drains every batch out of a per-worker
+//! `RunScratch` (DESIGN.md §16): recorders and `SimOutput` event/truth
+//! vectors are recycled through `UeBatch::run_into`, and one
+//! per-operator `TraceAnalyzer` — warmed scorer included — is `reset`
+//! between runs instead of rebuilt. This test pins that property with a
+//! counting global allocator so an accidental per-run rebuild — or a new
+//! `clone()`/`format!` on the per-event path — fails CI instead of
 //! silently eroding the `fused-campaign` perf-snapshot numbers.
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -63,15 +64,16 @@ fn fused_campaign_allocs_per_event_within_budget() {
     assert_eq!(ds.stats.events_processed, warm.stats.events_processed);
 
     let per_event = allocs as f64 / ds.stats.events_processed as f64;
-    // Measured ~6.5 allocs/event with the shared scorer (see
-    // `BENCH_PR8.json`); the per-run scorer rebuild this guards against
-    // costs several hundred table allocations per run, which on this
-    // config pushes the figure past 8. The budget sits between the two so
-    // hot-path regressions trip loudly while allocator noise does not.
+    // Steady state is pooled: what remains is per-run O(1) bookkeeping
+    // (the record's area string, analysis snapshot clones, connection
+    // boxes) amortized over thousands of events. Pre-pooling this path
+    // measured ~6.5 allocs/event (`BENCH_PR9.json`); the budget of 1.0
+    // keeps any per-event allocation — or per-run vector rebuild — a loud
+    // CI failure while tolerating the O(1)-per-run remainder.
     assert!(
-        per_event <= 7.5,
+        per_event <= 1.0,
         "fused campaign allocated {allocs} times over {} events \
-         ({per_event:.3} allocs/event, budget 7.5)",
+         ({per_event:.3} allocs/event, budget 1.0)",
         ds.stats.events_processed
     );
 }

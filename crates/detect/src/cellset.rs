@@ -118,6 +118,12 @@ impl Interner {
         self.keys.push(key);
         self.sets.len() - 1
     }
+
+    /// Back to the fresh state (IDLE interned at id 0), keeping capacity.
+    fn reset(&mut self) {
+        self.sets.truncate(1);
+        self.keys.truncate(1);
+    }
 }
 
 /// Incremental core of the cell-set replay: advances the serving-set state
@@ -163,6 +169,22 @@ impl TimelineBuilder {
             pending_pcell: None,
             end: Timestamp(0),
         }
+    }
+
+    /// Returns the builder to its freshly-constructed state (the implicit
+    /// IDLE sample at t = 0) while keeping every buffer's capacity, so a
+    /// pooled builder replays a new run without reallocating.
+    pub fn reset(&mut self) {
+        self.interner.reset();
+        self.samples.clear();
+        self.samples.push(CsSample {
+            t: Timestamp(0),
+            id: 0,
+        });
+        self.cs = ServingCellSet::idle();
+        self.pending = None;
+        self.pending_pcell = None;
+        self.end = Timestamp(0);
     }
 
     /// Interns the current set and appends a sample if it changed.

@@ -206,6 +206,19 @@ impl OffClassifier {
         }
     }
 
+    /// Back to the fresh state, keeping the deques' and the finalized
+    /// list's capacity, so a pooled classifier replays a new run without
+    /// reallocating its evidence window.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.rows.clear();
+        self.rows_base = 0;
+        self.rows_next = 0;
+        self.max_t = Timestamp(0);
+        self.pending.clear();
+        self.finalized.clear();
+    }
+
     /// Approximate heap footprint of the classifier state, in bytes
     /// (capacity-based; see `TimelineBuilder::mem_hint`). The window and
     /// row arena are bounded by the evidence horizon, so this converges

@@ -145,6 +145,15 @@ impl EpisodeTracker {
         }
     }
 
+    /// Back to the fresh state, keeping the detection scratch's capacity so
+    /// a pooled tracker replays a new run without reallocating it.
+    pub(crate) fn reset(&mut self) {
+        self.done.clear();
+        self.cur = None;
+        self.prev_on = false;
+        self.taint_next = false;
+    }
+
     /// Approximate heap footprint of the episode state, in bytes
     /// (capacity-based; see `TimelineBuilder::mem_hint`).
     pub(crate) fn mem_hint(&self) -> usize {

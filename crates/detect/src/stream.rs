@@ -133,6 +133,34 @@ impl TraceAnalyzer {
         self.scorer.take()
     }
 
+    /// Returns the core to its freshly-constructed state while keeping
+    /// every internal buffer's capacity — and the scorer's warmed maps,
+    /// via [`OnlineScorer::reset_session`] — so a pooled core replays a
+    /// new run without reallocating.
+    ///
+    /// Reset-safety contract (see DESIGN.md §16): every piece of per-run
+    /// state listed in the struct must be cleared here; anything retained
+    /// may only be capacity, never content. A reset core is
+    /// observationally identical to a fresh one (pinned by the pooled
+    /// differential tests), so results cannot depend on the reuse.
+    pub fn reset(&mut self) {
+        self.timeline.reset();
+        self.episodes.reset();
+        self.classifier.reset();
+        self.throughput.clear();
+        self.events_seen = 0;
+        self.cur_sample = CsSample {
+            t: Timestamp(0),
+            id: 0,
+        };
+        self.id_before_cur = 0;
+        self.max_t = Timestamp(0);
+        self.degradation = DegradationReport::default();
+        if let Some(s) = &mut self.scorer {
+            s.reset_session();
+        }
+    }
+
     /// A point-in-time prediction snapshot, when scoring is enabled.
     pub fn predictions(&self) -> Option<PredictionReport> {
         self.scorer.as_ref().map(|s| s.report())

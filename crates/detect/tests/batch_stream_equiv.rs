@@ -165,6 +165,37 @@ proptest! {
         prop_assert_eq!(core.finish(), batch);
     }
 
+    /// A pooled core — fed one run, `reset`, fed the next — must be
+    /// observationally identical to a fresh core on every run, and its
+    /// non-destructive end-of-feed snapshot must equal `finish`. This is
+    /// the reset-safety contract the campaign's per-worker run scratch
+    /// relies on (DESIGN.md §16).
+    #[test]
+    fn reset_core_equals_fresh_core(
+        scripts in prop::collection::vec(
+            prop::collection::vec((any::<u8>(), 0u64..3_000), 0..30),
+            1..4,
+        ),
+    ) {
+        let mut pooled = TraceAnalyzer::new();
+        for script in &scripts {
+            let events = trace_from_script(script);
+            let batch = analyze_trace(&events);
+            pooled.reset();
+            for ev in &events {
+                pooled.feed(ev);
+            }
+            // The snapshot from the reused core equals both the batch
+            // analysis and what a consumed fresh core would return.
+            prop_assert_eq!(pooled.analysis(), batch.clone());
+            let mut fresh = TraceAnalyzer::new();
+            for ev in &events {
+                fresh.feed(ev);
+            }
+            prop_assert_eq!(fresh.finish(), batch);
+        }
+    }
+
     /// (b) Bounded timestamp jitter: if every event arrives within the
     /// reorder horizon of its true position, the buffer restores exact
     /// time order and the analysis matches batch over the sorted trace.

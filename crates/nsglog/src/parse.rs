@@ -34,17 +34,31 @@ use crate::error::{ParseError, ParseErrorKind};
 /// Parses a complete log text into trace events (batch driver over
 /// [`parse_lines`]; stops at the first error).
 pub fn parse_str(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut out = Vec::new();
+    parse_str_into(text, &mut out)?;
+    Ok(out)
+}
+
+/// [`parse_str`] into a caller-owned buffer: `out` is cleared, then filled
+/// with the parsed events, retaining whatever capacity it already has —
+/// the serving tier recycles one buffer per frame this way instead of
+/// allocating a fresh vector per request.
+pub fn parse_str_into(text: &str, out: &mut Vec<TraceEvent>) -> Result<(), ParseError> {
+    out.clear();
     // Pre-size from the byte length. Report-heavy captures average >1 KB
     // per record, so dividing by a small figure (the old /64) committed
     // ~18× the needed capacity — at 192 bytes per event that meant
     // megabytes of page faults before parsing began. /512 lands within
     // ~2× on real traces either way; dense short-record logs just take a
     // few amortized regrows.
-    let mut out = Vec::with_capacity(text.len() / 512 + 8);
+    let want = text.len() / 512 + 8;
+    if out.capacity() < want {
+        out.reserve(want);
+    }
     for ev in parse_lines(text.lines()) {
         out.push(ev?);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Streaming record parser: one `Result<TraceEvent, ParseError>` per record,

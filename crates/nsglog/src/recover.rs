@@ -193,9 +193,23 @@ impl<'a, I: Iterator<Item = &'a str>> Iterator for RecoveringParser<'a, I> {
 /// error is in [`ParseStats::first_error`]); under the recovering policies
 /// it consumes the whole input.
 pub fn parse_str_lossy(text: &str, policy: RecoveryPolicy) -> (Vec<TraceEvent>, ParseStats) {
+    let mut events = Vec::new();
+    let stats = parse_str_lossy_into(text, policy, &mut events);
+    (events, stats)
+}
+
+/// [`parse_str_lossy`] into a caller-owned buffer: `out` is cleared, then
+/// filled with the recoverable events, retaining its capacity across calls
+/// so a serving loop can recycle one parse buffer per frame.
+pub fn parse_str_lossy_into(
+    text: &str,
+    policy: RecoveryPolicy,
+    out: &mut Vec<TraceEvent>,
+) -> ParseStats {
+    out.clear();
     let mut parser = RecoveringParser::new(text.lines(), policy);
-    let events: Vec<TraceEvent> = parser.by_ref().filter_map(Result::ok).collect();
-    (events, parser.stats.clone())
+    out.extend(parser.by_ref().filter_map(Result::ok));
+    parser.stats.clone()
 }
 
 #[cfg(test)]

@@ -68,6 +68,35 @@ pub trait Sampler {
             rsrq: Rsrq::from_db(self.rsrq_db(idx, p, t_ms)).clamp_reportable(),
         }
     }
+
+    /// Measures every cell on `(rat, arfcn)` except those in `exclude`,
+    /// appending `(cell, measurement)` pairs to `out` in ascending
+    /// environment-index order — the bulk form of a measurement sweep over
+    /// one channel.
+    ///
+    /// The default implementation is the literal per-cell scan every
+    /// caller used to hand-roll; implementations with per-channel tables
+    /// (see [`UeSampler`]) override it with a fused pass that produces
+    /// bitwise-identical measurements. Every value is a pure function of
+    /// `(cell, p, t)`, so evaluation order is free; only the defining
+    /// expressions are fixed.
+    fn measure_channel_into(
+        &mut self,
+        rat: Rat,
+        arfcn: u32,
+        exclude: &[CellId],
+        p: Point,
+        t_ms: u64,
+        out: &mut Vec<(CellId, Measurement)>,
+    ) {
+        for idx in 0..self.env().cells.len() {
+            let cell = self.env().cells[idx].cell;
+            if cell.rat == rat && cell.arfcn == arfcn && !exclude.contains(&cell) {
+                let m = self.measure(idx, p, t_ms);
+                out.push((cell, m));
+            }
+        }
+    }
 }
 
 /// The reference implementation: delegates every call to the scalar
@@ -225,6 +254,11 @@ pub struct UeSampler<'a> {
     inst_epoch_now: u64,
     rsrp_epoch: Vec<u64>,
     rsrp: Vec<f64>,
+    /// Per-cell `dbm_to_mw(rsrp)`, keyed like `rsrp`: the RSSI fold and
+    /// every RSRQ numerator need the same conversion, so one `powf` per
+    /// cell per `(p, t)` serves both.
+    mw_epoch: Vec<u64>,
+    mw: Vec<f64>,
     rssi_epoch: Vec<u64>,
     rssi_mw: Vec<f64>,
 }
@@ -264,6 +298,8 @@ impl<'a> UeSampler<'a> {
             inst_epoch_now: 0,
             rsrp_epoch: vec![NO_EPOCH; n],
             rsrp: vec![0.0; n],
+            mw_epoch: vec![NO_EPOCH; n],
+            mw: vec![0.0; n],
             rssi_epoch: vec![NO_EPOCH; tables.channels.len()],
             rssi_mw: vec![0.0; tables.channels.len()],
         }
@@ -329,6 +365,19 @@ impl<'a> UeSampler<'a> {
         v
     }
 
+    /// `dbm_to_mw` of the instantaneous RSRP, cached per `(p, t)` — the
+    /// identical conversion the RSSI fold and RSRQ numerators apply, so it
+    /// is computed at most once per cell per `(p, t)`.
+    fn mw_at(&mut self, idx: usize, p: Point, t_ms: u64) -> f64 {
+        if self.mw_epoch[idx] == self.inst_epoch_now {
+            return self.mw[idx];
+        }
+        let v = dbm_to_mw(self.rsrp_at(idx, p, t_ms));
+        self.mw_epoch[idx] = self.inst_epoch_now;
+        self.mw[idx] = v;
+        v
+    }
+
     /// Per-channel wideband RSSI (mW), computed once per `(p, t)` from the
     /// shared RSRP sweep: the noise floor plus 12 resource elements of every
     /// member cell, folded in ascending cell-index order — the iteration
@@ -340,7 +389,7 @@ impl<'a> UeSampler<'a> {
         let tables = self.tables;
         let mut rssi_mw = dbm_to_mw(NOISE_FLOOR_DBM) * 12.0;
         for &m in &tables.channels[chan].members {
-            rssi_mw += 12.0 * dbm_to_mw(self.rsrp_at(m as usize, p, t_ms));
+            rssi_mw += 12.0 * self.mw_at(m as usize, p, t_ms);
         }
         self.rssi_epoch[chan] = self.inst_epoch_now;
         self.rssi_mw[chan] = rssi_mw;
@@ -373,10 +422,66 @@ impl Sampler for UeSampler<'_> {
 
     fn rsrq_db(&mut self, idx: usize, p: Point, t_ms: u64) -> f64 {
         self.sync_inst(p, t_ms);
-        let serving_mw = dbm_to_mw(self.rsrp_at(idx, p, t_ms));
+        let serving_mw = self.mw_at(idx, p, t_ms);
         let chan = self.tables.cells[idx].channel as usize;
         let rssi_mw = self.rssi_at(chan, p, t_ms);
         10.0 * (serving_mw / rssi_mw).log10()
+    }
+
+    /// The fused channel sweep: one pass over the channel's member table
+    /// computes every member's RSRP/mW, folds the shared RSSI, and emits
+    /// the non-excluded measurements — identical values to the default
+    /// per-cell scan (same expressions over the same cached inputs, and
+    /// `members` is exactly the ascending-index channel membership the
+    /// scan visits), without its per-call cache synchronization.
+    fn measure_channel_into(
+        &mut self,
+        rat: Rat,
+        arfcn: u32,
+        exclude: &[CellId],
+        p: Point,
+        t_ms: u64,
+        out: &mut Vec<(CellId, Measurement)>,
+    ) {
+        let tables = self.tables;
+        let Some(chan) = tables
+            .channels
+            .iter()
+            .position(|c| c.rat == rat && c.arfcn == arfcn)
+        else {
+            return;
+        };
+        self.sync_inst(p, t_ms);
+        let members = &tables.channels[chan].members;
+        if self.rssi_epoch[chan] != self.inst_epoch_now {
+            let mut rssi_mw = dbm_to_mw(NOISE_FLOOR_DBM) * 12.0;
+            for &m in members {
+                rssi_mw += 12.0 * self.mw_at(m as usize, p, t_ms);
+            }
+            self.rssi_epoch[chan] = self.inst_epoch_now;
+            self.rssi_mw[chan] = rssi_mw;
+        }
+        let rssi_mw = self.rssi_mw[chan];
+        for &m in members {
+            let idx = m as usize;
+            let cell = tables.env.cells[idx].cell;
+            if exclude.contains(&cell) {
+                continue;
+            }
+            // Both caches are warm: the RSSI fold above (or an earlier
+            // serving-cell measurement at this `(p, t)`) filled them for
+            // every member.
+            let rsrp_db = self.rsrp_at(idx, p, t_ms);
+            let serving_mw = self.mw_at(idx, p, t_ms);
+            let rsrq_db = 10.0 * (serving_mw / rssi_mw).log10();
+            out.push((
+                cell,
+                Measurement {
+                    rsrp: Rsrp::from_db(rsrp_db).clamp_reportable(),
+                    rsrq: Rsrq::from_db(rsrq_db).clamp_reportable(),
+                },
+            ));
+        }
     }
 }
 

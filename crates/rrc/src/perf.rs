@@ -119,6 +119,49 @@ impl<T, const N: usize> InlineVec<T, N> {
         }
     }
 
+    /// Builds from a slice, reusing `spare`'s heap capacity when the slice
+    /// overflows the inline buffer. With `None` (or an undersized spare)
+    /// this is equivalent to `src.iter().cloned().collect()`; either way
+    /// the *contents* are identical — only where the bytes live differs —
+    /// so recorded traces stay bitwise-equal whether or not a spare was
+    /// available. Hot recording paths (the simulator's per-step
+    /// measurement reports) pair this with [`InlineVec::take_spilled`] to
+    /// cycle one heap buffer per in-flight report instead of allocating a
+    /// fresh one per event.
+    pub fn from_slice_reusing(src: &[T], spare: Option<Vec<T>>) -> Self
+    where
+        T: Clone,
+    {
+        if src.len() <= N {
+            return src.iter().cloned().collect();
+        }
+        let mut v = spare.unwrap_or_default();
+        v.clear();
+        v.extend_from_slice(src);
+        InlineVec {
+            repr: Repr::Heap(v),
+        }
+    }
+
+    /// Takes the heap buffer out of a spilled vector (cleared, capacity
+    /// kept), leaving `self` empty. Returns `None` when the contents never
+    /// spilled — there is no heap storage to recycle.
+    pub fn take_spilled(&mut self) -> Option<Vec<T>> {
+        match &mut self.repr {
+            Repr::Heap(v) => {
+                let mut v = std::mem::take(v);
+                v.clear();
+                self.repr = Repr::Inline {
+                    len: 0,
+                    // `MaybeUninit` is allowed to be uninitialized.
+                    buf: unsafe { MaybeUninit::uninit().assume_init() },
+                };
+                Some(v)
+            }
+            Repr::Inline { .. } => None,
+        }
+    }
+
     /// Appends an element, spilling to the heap at the `N+1`-th push.
     pub fn push(&mut self, value: T) {
         match &mut self.repr {

@@ -13,6 +13,7 @@
 //! totals. Under `FailFast` the whole request is refused instead.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use onoff_detect::{PredictionReport, RunAnalysis};
 use onoff_nsglog::RecoveryPolicy;
@@ -43,12 +44,21 @@ pub struct SessionReport {
     pub ended: bool,
 }
 
+/// Upper bound on pooled parse-scratch shells. One per connection worker
+/// is the steady-state demand; a small fixed cap keeps a burst of
+/// concurrent frames from parking unbounded capacity in the pool.
+const PARSE_SCRATCH_CAP: usize = 16;
+
 /// Stateful request processor shared by every connection worker.
 pub struct ServeEngine {
     table: SessionTable,
     frames: AtomicU64,
     frame_errors: AtomicU64,
     sheds: AtomicU64,
+    /// Recycled event buffers for frame decoding (DESIGN.md §16): each
+    /// ingest pops a shell, parses into it, drains it into the session
+    /// table, and returns the (empty, capacity-retaining) shell here.
+    parse_scratch: Mutex<Vec<Vec<TraceEvent>>>,
 }
 
 impl ServeEngine {
@@ -59,6 +69,27 @@ impl ServeEngine {
             frames: AtomicU64::new(0),
             frame_errors: AtomicU64::new(0),
             sheds: AtomicU64::new(0),
+            parse_scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take_scratch(&self) -> Vec<TraceEvent> {
+        self.parse_scratch
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default()
+    }
+
+    fn put_scratch(&self, mut shell: Vec<TraceEvent>) {
+        shell.clear();
+        if shell.capacity() == 0 {
+            return;
+        }
+        if let Ok(mut pool) = self.parse_scratch.lock() {
+            if pool.len() < PARSE_SCRATCH_CAP {
+                pool.push(shell);
+            }
         }
     }
 
@@ -114,35 +145,31 @@ impl ServeEngine {
 
     fn ingest_text(&self, sid: u64, text: &str) -> Response {
         let policy = self.table.config().policy;
-        let (events, delta) = if policy == RecoveryPolicy::FailFast {
-            match onoff_nsglog::parse_str(text) {
-                Ok(events) => {
+        let mut events = self.take_scratch();
+        let delta = if policy == RecoveryPolicy::FailFast {
+            match onoff_nsglog::parse_str_into(text, &mut events) {
+                Ok(()) => {
                     let n = events.len();
-                    (
-                        events,
-                        SessionMeta {
-                            records: n,
-                            parsed: n,
-                            skipped: 0,
-                        },
-                    )
+                    SessionMeta {
+                        records: n,
+                        parsed: n,
+                        skipped: 0,
+                    }
                 }
                 Err(e) => {
+                    self.put_scratch(events);
                     return Response::Error {
                         msg: format!("text parse: {e}"),
-                    }
+                    };
                 }
             }
         } else {
-            let (events, stats) = onoff_nsglog::parse_str_lossy(text, policy);
-            (
-                events,
-                SessionMeta {
-                    records: stats.records,
-                    parsed: stats.parsed,
-                    skipped: stats.skipped,
-                },
-            )
+            let stats = onoff_nsglog::parse_str_lossy_into(text, policy, &mut events);
+            SessionMeta {
+                records: stats.records,
+                parsed: stats.parsed,
+                skipped: stats.skipped,
+            }
         };
         self.apply(sid, events, delta)
     }
@@ -157,8 +184,9 @@ impl ServeEngine {
                 }
             }
         };
-        match reader.read_all(policy) {
-            Ok((events, stats)) => {
+        let mut events = self.take_scratch();
+        match reader.read_all_into(policy, &mut events) {
+            Ok(stats) => {
                 let delta = SessionMeta {
                     records: stats.decoded + stats.skipped,
                     parsed: stats.decoded,
@@ -166,17 +194,22 @@ impl ServeEngine {
                 };
                 self.apply(sid, events, delta)
             }
-            Err(e) => Response::Error {
-                msg: format!("store decode: {e}"),
-            },
+            Err(e) => {
+                self.put_scratch(events);
+                Response::Error {
+                    msg: format!("store decode: {e}"),
+                }
+            }
         }
     }
 
-    fn apply(&self, sid: u64, events: Vec<TraceEvent>, delta: SessionMeta) -> Response {
-        match self.table.ingest(sid, events, delta) {
+    fn apply(&self, sid: u64, mut events: Vec<TraceEvent>, delta: SessionMeta) -> Response {
+        let resp = match self.table.ingest_drain(sid, &mut events, delta) {
             Ok(events) => Response::Ok { events },
             Err(e) => self.refuse(e),
-        }
+        };
+        self.put_scratch(events);
+        resp
     }
 
     fn report(&self, sid: u64, end: bool) -> Response {

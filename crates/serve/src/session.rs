@@ -504,7 +504,21 @@ impl SessionTable {
     pub fn ingest(
         &self,
         sid: u64,
-        events: Vec<TraceEvent>,
+        mut events: Vec<TraceEvent>,
+        meta_delta: SessionMeta,
+    ) -> Result<u64, SessionError> {
+        self.ingest_drain(sid, &mut events, meta_delta)
+    }
+
+    /// [`SessionTable::ingest`] by draining a caller-owned buffer: the
+    /// events are moved out but the vector's capacity stays with the
+    /// caller, so a serving loop can recycle one frame buffer across
+    /// requests instead of allocating a fresh `Vec` per ingest. On a shed
+    /// the buffer is left untouched (events and capacity intact).
+    pub fn ingest_drain(
+        &self,
+        sid: u64,
+        events: &mut Vec<TraceEvent>,
         meta_delta: SessionMeta,
     ) -> Result<u64, SessionError> {
         let incoming = events.len() * std::mem::size_of::<TraceEvent>();
@@ -537,7 +551,7 @@ impl SessionTable {
             session.meta.parsed += meta_delta.parsed;
             session.meta.skipped += meta_delta.skipped;
             session.log.reserve(events.len());
-            for ev in events {
+            for ev in events.drain(..) {
                 session.log.push(ev.clone());
                 session.analyzer.feed(ev);
             }

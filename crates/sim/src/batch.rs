@@ -77,6 +77,13 @@ impl<'a> UeBatch<'a> {
     /// engines exactly: per-run fading salt, SA RNG from `seed`, NSA RNG
     /// from `seed ^ 0x4E5A`.
     pub fn push(&mut self, path: MovementPath, seed: u64) {
+        self.push_with_recorder(path, seed, Recorder::new());
+    }
+
+    /// [`UeBatch::push`] recording into a caller-supplied (typically pooled)
+    /// recorder: the recorder is reset, so a warm one records into its
+    /// retained capacity instead of regrowing from empty.
+    pub fn push_with_recorder(&mut self, path: MovementPath, seed: u64, mut rec: Recorder) {
         self.samplers.push(UeSampler::with_salt(self.tables, seed));
         self.cores.push(match self.policy.mode {
             FivegMode::Sa => Core::Sa(SaCore::new()),
@@ -86,7 +93,9 @@ impl<'a> UeBatch<'a> {
             FivegMode::Sa => StdRng::seed_from_u64(seed),
             FivegMode::Nsa => StdRng::seed_from_u64(seed ^ 0x4E5A),
         });
-        self.recs.push(Recorder::new());
+        rec.reset();
+        rec.reserve_for(self.duration_ms);
+        self.recs.push(rec);
         self.seeds.push(seed);
         self.paths.push(path);
     }
@@ -104,6 +113,20 @@ impl<'a> UeBatch<'a> {
     /// Steps every UE through the full run; returns one [`SimOutput`] per
     /// `push`, in push order.
     pub fn run(self) -> Vec<SimOutput> {
+        let mut outs = Vec::new();
+        let mut pool = Vec::new();
+        self.run_into(&mut outs, &mut pool);
+        outs
+    }
+
+    /// Steps every UE through the full run, writing one [`SimOutput`] per
+    /// `push` (in push order) into `outs` and returning the now-empty
+    /// recorders to `pool`. Existing `outs` entries are recycled: their
+    /// event/truth storage is swapped into the finishing recorders, so a
+    /// caller looping batches through the same `outs` + `pool` pair runs the
+    /// whole sim pipeline without steady-state allocation. Output is
+    /// bitwise-identical to [`UeBatch::run`].
+    pub fn run_into(self, outs: &mut Vec<SimOutput>, pool: &mut Vec<Recorder>) {
         let UeBatch {
             policy,
             device,
@@ -118,6 +141,27 @@ impl<'a> UeBatch<'a> {
             mut samplers,
             tables: _,
         } = self;
+        // Recycle the previous generation's spilled report buffers into
+        // this batch's recorders before stepping — `outs` is about to be
+        // overwritten anyway, and stealing its heap storage round-robin
+        // means every UE starts with spares even when batch sizes shrink
+        // or the pooled recorders last served runs that never spilled.
+        if !recs.is_empty() {
+            let n_recs = recs.len();
+            let mut next = 0usize;
+            for out in outs.iter_mut() {
+                for ev in &mut out.events {
+                    if let onoff_rrc::trace::TraceEvent::Rrc(lr) = ev {
+                        if let onoff_rrc::messages::RrcMessage::MeasurementReport(r) = &mut lr.msg {
+                            if let Some(spare) = r.results.take_spilled() {
+                                recs[next % n_recs].donate_spare(spare);
+                                next += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let mut t = 0u64;
         while t < duration_ms {
             for i in 0..cores.len() {
@@ -139,7 +183,14 @@ impl<'a> UeBatch<'a> {
             }
             t += meas_period_ms;
         }
-        recs.into_iter().map(Recorder::finish).collect()
+        outs.truncate(recs.len());
+        while outs.len() < recs.len() {
+            outs.push(SimOutput::default());
+        }
+        for (rec, out) in recs.iter_mut().zip(outs.iter_mut()) {
+            rec.finish_into(out);
+        }
+        pool.append(&mut recs);
     }
 }
 

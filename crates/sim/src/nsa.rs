@@ -131,6 +131,7 @@ fn run_nsa_with<S: Sampler>(cfg: &SimConfig, s: &mut S) -> SimOutput {
     let ptab = PolicyTables::new(&cfg.policy);
     let cx = StepCtx::of(cfg, &ptab);
     let mut rec = Recorder::new();
+    rec.reserve_for(cfg.duration_ms);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4E5A);
     let mut core = NsaCore::new();
     let mut t = 0u64;
@@ -347,7 +348,7 @@ fn step_connected<S: Sampler>(
                 Some(pcell),
                 RrcMessage::MeasurementReport(MeasurementReport {
                     trigger: Some("B1".into()),
-                    results: vec![MeasResult {
+                    results: [MeasResult {
                         cell: nr_cell,
                         meas: nr_meas,
                     }]
@@ -465,7 +466,7 @@ fn step_connected<S: Sampler>(
                     Some(pcell),
                     RrcMessage::MeasurementReport(MeasurementReport {
                         trigger: Some("A3".into()),
-                        results: vec![
+                        results: [
                             MeasResult {
                                 cell: pcell,
                                 meas: pcell_meas,
@@ -495,7 +496,7 @@ fn step_connected<S: Sampler>(
                     Some(pcell),
                     RrcMessage::MeasurementReport(MeasurementReport {
                         trigger: Some("A2".into()),
-                        results: vec![MeasResult {
+                        results: [MeasResult {
                             cell: pscell,
                             meas: m,
                         }]
@@ -551,7 +552,7 @@ fn step_connected<S: Sampler>(
                         Some(pcell),
                         RrcMessage::MeasurementReport(MeasurementReport {
                             trigger: Some("A3".into()),
-                            results: vec![
+                            results: [
                                 MeasResult {
                                     cell: pscell,
                                     meas: ps_meas,

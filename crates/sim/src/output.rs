@@ -67,7 +67,7 @@ pub struct GroundTruth {
 }
 
 /// A complete simulated run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimOutput {
     /// The observable trace (signaling + MM transitions + throughput).
     pub events: Vec<TraceEvent>,

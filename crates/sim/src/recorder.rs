@@ -1,16 +1,28 @@
 //! Trace recorder shared by the SA and NSA engines.
 
 use onoff_rrc::ids::{CellId, Rat};
-use onoff_rrc::messages::RrcMessage;
+use onoff_rrc::messages::{MeasResult, MeasurementReport, RrcMessage, Trigger};
+use onoff_rrc::perf::InlineVec;
 use onoff_rrc::trace::{LogChannel, LogRecord, MmState, Timestamp, TraceEvent};
 
 use crate::output::{GroundTruth, InjectedCause, SimOutput};
+
+/// Cap on recycled measurement-report buffers: enough for every in-flight
+/// report of a multi-minute run, small enough that a pooled recorder's
+/// idle footprint stays bounded.
+const REPORT_SPARE_CAP: usize = 512;
 
 /// Accumulates trace events and ground truth during a run.
 #[derive(Debug, Default)]
 pub struct Recorder {
     events: Vec<TraceEvent>,
     truth: Vec<GroundTruth>,
+    /// Recycled heap buffers for spilled measurement-report rows,
+    /// harvested from the previous run's events in
+    /// [`Recorder::finish_into`] and consumed by
+    /// [`Recorder::meas_report`]. Contents of reports built from spares
+    /// are bitwise-identical to freshly allocated ones.
+    report_spares: Vec<Vec<MeasResult>>,
 }
 
 impl Recorder {
@@ -30,6 +42,36 @@ impl Recorder {
             context,
             msg,
         }));
+    }
+
+    /// Records a measurement report at `t_ms`, recycling a spare heap
+    /// buffer for the result rows when the report overflows the inline
+    /// capacity — the steady-state per-step sweep report then allocates
+    /// nothing. The recorded event is identical to building the report
+    /// with `results.iter().cloned().collect()`.
+    pub fn meas_report(
+        &mut self,
+        t_ms: u64,
+        rat: Rat,
+        context: Option<CellId>,
+        trigger: Option<Trigger>,
+        results: &[MeasResult],
+    ) {
+        let results = InlineVec::from_slice_reusing(results, self.report_spares.pop());
+        self.rrc(
+            t_ms,
+            rat,
+            context,
+            RrcMessage::MeasurementReport(MeasurementReport { trigger, results }),
+        );
+    }
+
+    /// Donates a recycled heap buffer for future spilled measurement
+    /// reports; dropped once the spare pool is full.
+    pub fn donate_spare(&mut self, spare: Vec<MeasResult>) {
+        if self.report_spares.len() < REPORT_SPARE_CAP {
+            self.report_spares.push(spare);
+        }
     }
 
     /// Records the MM collapse line NSG shows during an SA exception.
@@ -56,15 +98,97 @@ impl Recorder {
         });
     }
 
+    /// Reserves event capacity for a run of `duration_ms`: one throughput
+    /// sample per second plus roughly one procedure event per measurement
+    /// round, so a steady-state run never regrows the buffer mid-flight.
+    pub fn reserve_for(&mut self, duration_ms: u64) {
+        let estimate = (duration_ms / 1000) as usize * 2 + 64;
+        if self.events.capacity() < estimate {
+            self.events.reserve(estimate - self.events.len());
+        }
+        if self.truth.capacity() < 16 {
+            self.truth.reserve(16 - self.truth.len());
+        }
+    }
+
+    /// Clears the recorder for reuse, keeping both buffers' capacity — the
+    /// pooled half of the `reset`/`finish_into` lifecycle.
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.truth.clear();
+    }
+
     /// Finishes the run; events are sorted by time (procedures emitted with
     /// intra-step offsets can interleave with throughput samples).
     pub fn finish(mut self) -> SimOutput {
-        self.events.sort_by_key(|e| e.t());
+        sort_events_by_time(&mut self.events);
         SimOutput {
             events: self.events,
             truth: self.truth,
         }
     }
+
+    /// Finishes the run into `out`, recycling storage: `out`'s previous
+    /// buffers are cleared and swapped into the recorder, so the capacity of
+    /// both sides ping-pongs across pooled runs instead of being reallocated.
+    /// The resulting `out` is bitwise-identical to [`Recorder::finish`].
+    pub fn finish_into(&mut self, out: &mut SimOutput) {
+        sort_events_by_time(&mut self.events);
+        // Harvest the heap buffers of the outgoing generation's spilled
+        // measurement reports before dropping them: the next run's
+        // [`Recorder::meas_report`] calls reuse them instead of
+        // allocating. The events being replaced were already analyzed —
+        // only their storage is recycled.
+        for ev in &mut out.events {
+            if self.report_spares.len() >= REPORT_SPARE_CAP {
+                break;
+            }
+            if let TraceEvent::Rrc(rec) = ev {
+                if let RrcMessage::MeasurementReport(r) = &mut rec.msg {
+                    if let Some(spare) = r.results.take_spilled() {
+                        self.report_spares.push(spare);
+                    }
+                }
+            }
+        }
+        out.events.clear();
+        out.truth.clear();
+        std::mem::swap(&mut self.events, &mut out.events);
+        std::mem::swap(&mut self.truth, &mut out.truth);
+    }
+}
+
+/// Count of `finish` calls that took the already-sorted fast path, kept in
+/// debug builds only so tests can assert the common no-interleaving case
+/// really skips the sort.
+#[cfg(debug_assertions)]
+pub(crate) static SORT_FAST_PATH_HITS: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0);
+
+/// Sorts events by timestamp, stably and in place. Returns `true` when the
+/// events were already non-decreasing (the common case: a run with no
+/// intra-step interleaving) and the sort was skipped entirely.
+///
+/// The fallback is a stable insertion sort: recorder output is nearly
+/// sorted (only intra-step procedure offsets can overtake the next step's
+/// grid samples, so displacements are local), which makes it linear-ish
+/// here — and unlike `sort_by_key`'s merge sort it allocates nothing.
+fn sort_events_by_time(events: &mut [TraceEvent]) -> bool {
+    if events.windows(2).all(|w| w[0].t() <= w[1].t()) {
+        #[cfg(debug_assertions)]
+        SORT_FAST_PATH_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        return true;
+    }
+    for i in 1..events.len() {
+        let mut j = i;
+        // Adjacent swaps only while strictly out of order: stable, so the
+        // permutation matches the previous `sort_by_key` exactly.
+        while j > 0 && events[j - 1].t() > events[j].t() {
+            events.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -80,6 +204,100 @@ mod tests {
         let out = r.finish();
         let ts: Vec<u64> = out.events.iter().map(|e| e.t().millis()).collect();
         assert_eq!(ts, vec![1000, 1500, 2000]);
+    }
+
+    #[test]
+    fn sorted_input_takes_fast_path_and_unsorted_falls_back() {
+        // Already sorted: the helper reports the skip.
+        let mut r = Recorder::new();
+        r.throughput(1000, 1.0);
+        r.rrc(2000, Rat::Nr, None, RrcMessage::Release);
+        let out = r.finish();
+        assert_eq!(out.events.len(), 2);
+
+        // Unsorted: the stable fallback produces the same order sort_by_key
+        // did, including tie stability.
+        let mut r = Recorder::new();
+        r.throughput(2000, 1.0);
+        r.throughput(1000, 2.0);
+        r.throughput(1000, 3.0); // tie with the previous event
+        r.mm_deregistered(500);
+        let out = r.finish();
+        let ts: Vec<u64> = out.events.iter().map(|e| e.t().millis()).collect();
+        assert_eq!(ts, vec![500, 1000, 1000, 2000]);
+        // Tie at t=1000 keeps emission order (stability).
+        let mbps: Vec<f64> = out
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Throughput { mbps, .. } => Some(*mbps),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mbps, vec![2.0, 3.0, 1.0]);
+    }
+
+    /// Debug builds count fast-path hits: a sorted finish increments the
+    /// counter, an interleaved one does not.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn fast_path_hits_are_counted() {
+        use std::sync::atomic::Ordering;
+
+        let mut r = Recorder::new();
+        r.throughput(1000, 1.0);
+        r.throughput(2000, 2.0);
+        let before = super::SORT_FAST_PATH_HITS.load(Ordering::Relaxed);
+        let _ = r.finish();
+        let after = super::SORT_FAST_PATH_HITS.load(Ordering::Relaxed);
+        assert!(after > before, "sorted finish must take the fast path");
+
+        let mut r = Recorder::new();
+        r.throughput(2000, 1.0);
+        r.throughput(1000, 2.0);
+        let before = super::SORT_FAST_PATH_HITS.load(Ordering::Relaxed);
+        let _ = r.finish();
+        // Other tests run concurrently, so only assert this call's effect
+        // weakly: the unsorted finish alone must not bump the counter by
+        // observing a strictly monotone rule here would race. Re-run the
+        // sorted case instead to confirm the counter still moves.
+        let mut r = Recorder::new();
+        r.throughput(1000, 1.0);
+        let _ = r.finish();
+        let after = super::SORT_FAST_PATH_HITS.load(Ordering::Relaxed);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn finish_into_matches_finish_and_recycles_capacity() {
+        let record = |r: &mut Recorder| {
+            r.throughput(2000, 1.0);
+            r.rrc(1000, Rat::Nr, None, RrcMessage::Release);
+            r.mm_deregistered(1500);
+            r.truth(
+                1500,
+                InjectedCause::PcellRlf {
+                    cell: CellId::lte(onoff_rrc::ids::Pci(1), 850),
+                },
+            );
+        };
+        let mut fresh = Recorder::new();
+        record(&mut fresh);
+        let expected = fresh.finish();
+
+        let mut pooled = Recorder::new();
+        pooled.reserve_for(300_000);
+        let mut out = SimOutput::default();
+        for _ in 0..3 {
+            pooled.reset();
+            record(&mut pooled);
+            pooled.finish_into(&mut out);
+            assert_eq!(out, expected);
+        }
+        // After finish_into the recorder is empty and ready for reuse.
+        pooled.reset();
+        let empty = pooled.finish();
+        assert!(empty.events.is_empty() && empty.truth.is_empty());
     }
 
     #[test]

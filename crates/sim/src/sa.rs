@@ -29,14 +29,14 @@ use onoff_rrc::band::{Band, BandTable};
 use onoff_rrc::events::{EventKind, MeasEvent, Threshold, TriggerQuantity};
 use onoff_rrc::ids::{CellId, GlobalCellId, Rat};
 use onoff_rrc::meas::Measurement;
-use onoff_rrc::messages::{MeasResult, MeasurementReport, ReconfigBody, RrcMessage, ScellAddMod};
+use onoff_rrc::messages::{MeasResult, ReconfigBody, RrcMessage, ScellAddMod};
 use onoff_rrc::serving::ServingCellSet;
 
 use crate::config::{timing, SimConfig};
 use crate::output::{InjectedCause, SimOutput};
 use crate::policy_tables::{PolicyTables, StepCtx};
 use crate::recorder::Recorder;
-use crate::select::{co_channel_candidates, strongest_cell_mean};
+use crate::select::{co_channel_candidates_into, strongest_cell_mean};
 use crate::throughput::sample_mbps;
 
 /// Engine state.
@@ -67,12 +67,34 @@ struct Conn {
     no_swap: Vec<CellId>,
 }
 
+/// Reusable measurement-sweep buffers: cleared and refilled every step, so
+/// the steady-state connected sweep allocates nothing. Living on [`SaCore`],
+/// the capacity also survives across pooled runs.
+#[derive(Default)]
+struct SweepScratch {
+    serving: Vec<CellId>,
+    results: Vec<MeasResult>,
+    serving_meas: Vec<(CellId, Measurement)>,
+    candidates: Vec<(CellId, Measurement)>,
+    scanned: Vec<u32>,
+    chan: Vec<(CellId, Measurement)>,
+    scells: Vec<(u8, CellId)>,
+    adds: Vec<ScellAddMod>,
+}
+
+/// Linear lookup in the sweep's serving-measurement rows (a handful of
+/// serving cells at most, so a scan beats a map and allocates nothing).
+fn meas_of(rows: &[(CellId, Measurement)], cell: CellId) -> Option<&Measurement> {
+    rows.iter().find(|(c, _)| *c == cell).map(|(_, m)| m)
+}
+
 /// The steppable SA state machine: one UE's RRC lifecycle, advanced one
 /// measurement period at a time against any [`Sampler`].
 pub(crate) struct SaCore {
     state: State,
     /// Next 1 s throughput-grid sample time.
     next_tp: u64,
+    scratch: SweepScratch,
 }
 
 impl SaCore {
@@ -80,6 +102,7 @@ impl SaCore {
         SaCore {
             state: State::Idle { until: 0 },
             next_tp: 0,
+            scratch: SweepScratch::default(),
         }
     }
 
@@ -115,7 +138,7 @@ impl SaCore {
             State::Idle { until } if t >= until => try_establish(cx, s, rec, rng, t, p)
                 .map_or(State::Idle { until }, |c| State::Conn(Box::new(c))),
             idle @ State::Idle { .. } => idle,
-            State::Conn(conn) => step_connected(cx, s, rec, rng, t, p, conn),
+            State::Conn(conn) => step_connected(cx, s, rec, rng, t, p, conn, &mut self.scratch),
         };
     }
 }
@@ -141,6 +164,7 @@ fn run_sa_with<S: Sampler>(cfg: &SimConfig, s: &mut S) -> SimOutput {
     let ptab = PolicyTables::new(&cfg.policy);
     let cx = StepCtx::of(cfg, &ptab);
     let mut rec = Recorder::new();
+    rec.reserve_for(cfg.duration_ms);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut core = SaCore::new();
     let mut t = 0u64;
@@ -297,6 +321,7 @@ fn try_establish<S: Sampler>(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn step_connected<S: Sampler>(
     cx: &StepCtx<'_>,
     s: &mut S,
@@ -305,6 +330,7 @@ fn step_connected<S: Sampler>(
     t: u64,
     p: onoff_radio::Point,
     mut conn: Box<Conn>,
+    sc: &mut SweepScratch,
 ) -> State {
     let pcell = conn.cs.pcell().expect("SA connection always has a PCell");
 
@@ -317,7 +343,7 @@ fn step_connected<S: Sampler>(
             // why a weak 387410 sector gets added even when a neighbour's
             // cell is much stronger (the Fig. 28 situation).
             let pcell_tower = s.find(pcell).map(|i| s.env().cells[i].tower);
-            let mut adds = Vec::new();
+            sc.adds.clear();
             for arfcn in scell_channels(cx, pcell) {
                 // Deterministic over a run: configuration decisions use the
                 // local-mean field, so every cycle re-adds the same SCells.
@@ -332,7 +358,7 @@ fn step_connected<S: Sampler>(
                 if let Some((cell, mean_rsrp)) = pick {
                     // Only cells with some presence at this location.
                     if mean_rsrp > -135.0 {
-                        adds.push(ScellAddMod {
+                        sc.adds.push(ScellAddMod {
                             index: conn.next_index,
                             cell,
                         });
@@ -340,13 +366,13 @@ fn step_connected<S: Sampler>(
                     }
                 }
             }
-            if !adds.is_empty() {
+            if !sc.adds.is_empty() {
                 rec.rrc(
                     t,
                     Rat::Nr,
                     Some(pcell),
                     RrcMessage::Reconfiguration(ReconfigBody {
-                        scell_to_add_mod: adds.clone().into(),
+                        scell_to_add_mod: sc.adds.iter().cloned().collect(),
                         ..Default::default()
                     }),
                 );
@@ -356,59 +382,59 @@ fn step_connected<S: Sampler>(
                     Some(pcell),
                     RrcMessage::ReconfigurationComplete,
                 );
-                for a in adds {
+                for a in sc.adds.drain(..) {
                     conn.cs.add_mcg_scell(a.index, a.cell);
                 }
             }
         }
     }
 
-    // Measurement sweep: serving cells + co-channel candidates.
-    let serving: Vec<CellId> = conn.cs.cells();
-    let mut results: Vec<MeasResult> = Vec::new();
-    let mut serving_meas: BTreeMap<CellId, Measurement> = BTreeMap::new();
-    for &cell in &serving {
+    // Measurement sweep: serving cells + co-channel candidates. Every
+    // buffer is scratch reused across steps — the steady-state sweep
+    // allocates nothing.
+    sc.serving.clear();
+    sc.serving.extend(conn.cs.cells_iter());
+    sc.results.clear();
+    sc.serving_meas.clear();
+    for i in 0..sc.serving.len() {
+        let cell = sc.serving[i];
         if let Some(idx) = s.find(cell) {
             let m = s.measure(idx, p, t);
-            serving_meas.insert(cell, m);
+            sc.serving_meas.push((cell, m));
             if m.rsrp.deci() > timing::UNMEASURABLE_RSRP_DECI {
-                results.push(MeasResult { cell, meas: m });
+                sc.results.push(MeasResult { cell, meas: m });
             }
         }
     }
-    let mut candidates: Vec<(CellId, Measurement)> = Vec::new();
-    let mut scanned: Vec<u32> = Vec::new();
-    for &cell in &serving {
-        if scanned.contains(&cell.arfcn) {
+    sc.candidates.clear();
+    sc.scanned.clear();
+    for i in 0..sc.serving.len() {
+        let cell = sc.serving[i];
+        if sc.scanned.contains(&cell.arfcn) {
             continue;
         }
-        scanned.push(cell.arfcn);
-        for (cand, m) in co_channel_candidates(s, Rat::Nr, cell.arfcn, &serving, p, t) {
+        sc.scanned.push(cell.arfcn);
+        sc.chan.clear();
+        co_channel_candidates_into(s, Rat::Nr, cell.arfcn, &sc.serving, p, t, &mut sc.chan);
+        for &(cand, m) in &sc.chan {
             if m.rsrp.deci() > timing::UNMEASURABLE_RSRP_DECI {
-                results.push(MeasResult {
+                sc.results.push(MeasResult {
                     cell: cand,
                     meas: m,
                 });
-                candidates.push((cand, m));
+                sc.candidates.push((cand, m));
             }
         }
     }
-    rec.rrc(
-        t + 2,
-        Rat::Nr,
-        Some(pcell),
-        RrcMessage::MeasurementReport(MeasurementReport {
-            trigger: None,
-            results: results.into(),
-        }),
-    );
+    rec.meas_report(t + 2, Rat::Nr, Some(pcell), None, &sc.results);
 
-    let scells: Vec<(u8, CellId)> = conn.cs.mcg.scells.iter().map(|(i, c)| (*i, *c)).collect();
+    sc.scells.clear();
+    sc.scells
+        .extend(conn.cs.mcg.scells.iter().map(|(i, c)| (*i, *c)));
 
     // S1E1: a serving SCell missing from consecutive reports.
-    for &(_, cell) in &scells {
-        let measurable = serving_meas
-            .get(&cell)
+    for &(_, cell) in &sc.scells {
+        let measurable = meas_of(&sc.serving_meas, cell)
             .is_some_and(|m| m.rsrp.deci() > timing::UNMEASURABLE_RSRP_DECI);
         let count = conn.missing.entry(cell).or_insert(0);
         *count = if measurable { 0 } else { *count + 1 };
@@ -425,8 +451,8 @@ fn step_connected<S: Sampler>(
     }
 
     // S1E2: a serving SCell reporting terrible quality, tolerated too long.
-    for &(_, cell) in &scells {
-        match serving_meas.get(&cell) {
+    for &(_, cell) in &sc.scells {
+        match meas_of(&sc.serving_meas, cell) {
             Some(m)
                 if m.rsrp.deci() > timing::UNMEASURABLE_RSRP_DECI
                     && (m.rsrq.deci() <= timing::S1E2_RSRQ_FLOOR_DECI
@@ -451,8 +477,8 @@ fn step_connected<S: Sampler>(
 
     // S1E3: a co-channel candidate beats a serving SCell by the A3 offset →
     // the PCell commands an SCell modification.
-    for &(idx, scell) in &scells {
-        let Some(&sm) = serving_meas.get(&scell) else {
+    for &(idx, scell) in &sc.scells {
+        let Some(&sm) = meas_of(&sc.serving_meas, scell) else {
             continue;
         };
         // No command for a channel the RAN has written off (S1E2's "reported
@@ -463,7 +489,8 @@ fn step_connected<S: Sampler>(
         // Exact RSRP ties break towards the smaller cell id, so the choice
         // never depends on config order.
         let mut best: Option<(CellId, Measurement)> = None;
-        for &(c, m) in candidates
+        for &(c, m) in sc
+            .candidates
             .iter()
             .filter(|(c, _)| c.arfcn == scell.arfcn && !conn.no_swap.contains(c))
         {

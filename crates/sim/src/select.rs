@@ -104,13 +104,26 @@ pub fn co_channel_candidates<S: Sampler>(
     t_ms: u64,
 ) -> Vec<(CellId, Measurement)> {
     let mut out = Vec::new();
-    for idx in 0..s.env().cells.len() {
-        let cell = s.env().cells[idx].cell;
-        if cell.rat == rat && cell.arfcn == arfcn && !exclude.contains(&cell) {
-            out.push((cell, s.measure(idx, p, t_ms)));
-        }
-    }
+    co_channel_candidates_into(s, rat, arfcn, exclude, p, t_ms, &mut out);
     out
+}
+
+/// [`co_channel_candidates`] appending into a caller-owned buffer, so the
+/// per-step measurement sweep can reuse its scratch instead of allocating a
+/// fresh vector per serving channel. Delegates to the sampler's channel
+/// sweep: table-driven samplers fuse the whole channel into one pass over
+/// their member lists (bitwise-identical measurements, no full-environment
+/// scan per serving channel).
+pub fn co_channel_candidates_into<S: Sampler>(
+    s: &mut S,
+    rat: Rat,
+    arfcn: u32,
+    exclude: &[CellId],
+    p: Point,
+    t_ms: u64,
+    out: &mut Vec<(CellId, Measurement)>,
+) {
+    s.measure_channel_into(rat, arfcn, exclude, p, t_ms, out);
 }
 
 /// The co-sited twin of `cell` on another channel: same PCI, given channel.

@@ -62,7 +62,10 @@ pub fn capacity_mbps<S: Sampler>(
     t_ms: u64,
 ) -> f64 {
     let mut mbps = 0.0;
-    for cell in cs.cells() {
+    // `cells_iter` walks the inline serving-set storage directly — this
+    // runs once per second of simulated time, and the `cells()` Vec it
+    // replaced was the per-sample allocation in the throughput path.
+    for cell in cs.cells_iter() {
         let Some(idx) = s.find(cell) else { continue };
         let site = s.env().cells[idx];
         let rsrp = s.rsrp_dbm(idx, p, t_ms);

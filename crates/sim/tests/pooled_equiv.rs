@@ -1,0 +1,172 @@
+//! Pooled-reuse differential suite: the allocation-free steady-state
+//! pipeline (pooled [`Recorder`]s + `UeBatch::run_into` recycling the same
+//! `outs`/`pool` pair, spare report buffers included) must be **bitwise**
+//! identical to fresh single-run simulation — across consecutive batches
+//! with *different* configurations (operator mode, environment, duration,
+//! batch size) and under downstream chaos corruption. This is the
+//! reset-safety contract of DESIGN.md §16: no state planted by one run may
+//! leak into the next through any recycled buffer.
+
+use onoff_policy::{op_a_policy, op_t_policy, op_v_policy, OperatorPolicy, PhoneModel};
+use onoff_radio::{CellSite, Point, RadioEnvironment, RadioTables};
+use onoff_rrc::ids::{CellId, Pci};
+use onoff_sim::recorder::Recorder;
+use onoff_sim::{simulate, ChaosConfig, ChaosEngine, MovementPath, SimConfig, UeBatch};
+
+/// A deterministic deployment: `towers` sites, each with an anchor LTE
+/// cell and three NR layers, spread on a line so different locations see
+/// genuinely different dominant cells.
+fn env(seed: u64, towers: usize) -> RadioEnvironment {
+    let mut cells = Vec::new();
+    for i in 0..towers {
+        let pci = (100 + i * 37) as u16;
+        let tower = Point::new(i as f64 * 420.0 - 400.0, (i % 3) as f64 * 150.0);
+        let mk = |cell: CellId, bw: f64, tx: f64| {
+            let mut s = CellSite::macro_site(cell, tower, 0.7 * i as f64, bw);
+            s.tx_power_dbm = tx;
+            s
+        };
+        cells.push(mk(CellId::lte(Pci(pci), 5145), 10.0, 12.0));
+        cells.push(mk(CellId::nr(Pci(pci), 521310), 90.0, 14.0));
+        cells.push(mk(CellId::nr(Pci(pci), 387410), 10.0, 8.0));
+        cells.push(mk(CellId::nr(Pci(pci), 632736), 40.0, 12.0));
+    }
+    RadioEnvironment::new(seed, cells)
+}
+
+/// One batch "shape": policy, environment, duration and job list.
+struct Shape {
+    policy: OperatorPolicy,
+    env: RadioEnvironment,
+    duration_ms: u64,
+    jobs: Vec<(Point, u64)>,
+}
+
+fn shapes() -> Vec<Shape> {
+    vec![
+        // SA, large env, long runs: reports spill past the inline cap,
+        // exercising the recycled spare buffers.
+        Shape {
+            policy: op_t_policy(),
+            env: env(11, 5),
+            duration_ms: 60_000,
+            jobs: vec![
+                (Point::new(0.0, 0.0), 3),
+                (Point::new(-350.0, 60.0), 17),
+                (Point::new(500.0, -40.0), 29),
+            ],
+        },
+        // NSA, smaller env, shorter runs, different batch size: recycled
+        // buffers shrink and the pool outnumbers the batch.
+        Shape {
+            policy: op_a_policy(),
+            env: env(23, 2),
+            duration_ms: 30_000,
+            jobs: vec![(Point::new(80.0, 10.0), 5), (Point::new(-200.0, 0.0), 7)],
+        },
+        // NSA again with a different operator, a single run: most pooled
+        // recorders sit idle this round and must come back clean next.
+        Shape {
+            policy: op_v_policy(),
+            env: env(37, 3),
+            duration_ms: 45_000,
+            jobs: vec![(Point::new(-100.0, 120.0), 41)],
+        },
+    ]
+}
+
+fn fresh_output(shape: &Shape, p: Point, seed: u64) -> onoff_sim::SimOutput {
+    let mut cfg = SimConfig::stationary(
+        shape.policy.clone(),
+        PhoneModel::OnePlus12R,
+        shape.env.clone(),
+        p,
+        seed,
+    );
+    cfg.duration_ms = shape.duration_ms;
+    cfg.meas_period_ms = 1000;
+    simulate(&cfg)
+}
+
+/// Cycling one `outs`/`pool` pair through batches of different shapes —
+/// twice over — produces outputs bitwise-identical to fresh single-run
+/// simulation every time.
+#[test]
+fn pooled_batches_match_fresh_across_configs() {
+    let shapes = shapes();
+    let mut outs = Vec::new();
+    let mut pool: Vec<Recorder> = Vec::new();
+    for round in 0..2 {
+        for (si, shape) in shapes.iter().enumerate() {
+            let device = PhoneModel::OnePlus12R.profile();
+            let tables = RadioTables::new(&shape.env);
+            let mut batch = UeBatch::new(&shape.policy, &device, &tables, shape.duration_ms, 1000);
+            for (p, seed) in &shape.jobs {
+                batch.push_with_recorder(
+                    MovementPath::Stationary(*p),
+                    *seed,
+                    pool.pop().unwrap_or_default(),
+                );
+            }
+            batch.run_into(&mut outs, &mut pool);
+            assert_eq!(outs.len(), shape.jobs.len());
+            for (out, (p, seed)) in outs.iter().zip(&shape.jobs) {
+                let expected = fresh_output(shape, *p, *seed);
+                assert_eq!(
+                    *out, expected,
+                    "round {round} shape {si}: pooled output diverged from fresh"
+                );
+            }
+        }
+    }
+}
+
+/// The chaos pipeline over pooled outputs equals the chaos pipeline over
+/// fresh outputs: corruption is keyed only by (config, seed), so recycled
+/// storage must not change a single corrupted byte.
+#[test]
+fn pooled_outputs_survive_chaos_identically() {
+    let shapes = shapes();
+    let shape = &shapes[0];
+    let device = PhoneModel::OnePlus12R.profile();
+    let tables = RadioTables::new(&shape.env);
+
+    // Warm the pool with a first batch so the measured batch runs on
+    // recycled buffers throughout.
+    let mut outs = Vec::new();
+    let mut pool: Vec<Recorder> = Vec::new();
+    let mut warm = UeBatch::new(&shape.policy, &device, &tables, shape.duration_ms, 1000);
+    for (p, seed) in &shape.jobs {
+        warm.push(MovementPath::Stationary(*p), *seed);
+    }
+    warm.run_into(&mut outs, &mut pool);
+
+    let mut batch = UeBatch::new(&shape.policy, &device, &tables, shape.duration_ms, 1000);
+    for (p, seed) in &shape.jobs {
+        batch.push_with_recorder(
+            MovementPath::Stationary(*p),
+            *seed,
+            pool.pop().unwrap_or_default(),
+        );
+    }
+    batch.run_into(&mut outs, &mut pool);
+
+    for (out, (p, seed)) in outs.iter().zip(&shape.jobs) {
+        let expected = fresh_output(shape, *p, *seed);
+        for intensity in [0.5, 2.0] {
+            let cfg = ChaosConfig::default().with_intensity(intensity);
+            let mut on_pooled = ChaosEngine::new(cfg.clone(), *seed);
+            let mut on_fresh = ChaosEngine::new(cfg, *seed);
+            assert_eq!(
+                on_pooled.corrupt_events(&out.events),
+                on_fresh.corrupt_events(&expected.events),
+                "chaos over pooled events diverged at {p:?} intensity {intensity}"
+            );
+            assert_eq!(
+                on_pooled.manifest(),
+                on_fresh.manifest(),
+                "chaos manifests diverged at {p:?} intensity {intensity}"
+            );
+        }
+    }
+}

@@ -199,11 +199,28 @@ impl<'a> StoreReader<'a> {
         &self,
         policy: RecoveryPolicy,
     ) -> Result<(Vec<TraceEvent>, StoreStats), StoreError> {
-        let mut out = Vec::with_capacity(self.records);
+        let mut out = Vec::new();
+        let stats = self.read_all_into(policy, &mut out)?;
+        Ok((out, stats))
+    }
+
+    /// [`StoreReader::read_all`] into a caller-owned buffer: `out` is
+    /// cleared, then filled with the decoded events, retaining its
+    /// capacity across calls so a serving loop can recycle one decode
+    /// buffer per frame.
+    pub fn read_all_into(
+        &self,
+        policy: RecoveryPolicy,
+        out: &mut Vec<TraceEvent>,
+    ) -> Result<StoreStats, StoreError> {
+        out.clear();
+        if out.capacity() < self.records {
+            out.reserve(self.records);
+        }
         let mut stats = self.fresh_stats();
         for idx in 0..self.segments.len() {
             let before = out.len();
-            match self.decode_segment_into(idx, &mut out) {
+            match self.decode_segment_into(idx, out) {
                 Ok(_) => stats.decoded += self.segments[idx].records,
                 Err(e) => {
                     out.truncate(before);
@@ -211,7 +228,7 @@ impl<'a> StoreReader<'a> {
                 }
             }
         }
-        Ok((out, stats))
+        Ok(stats)
     }
 
     /// Decodes every segment straight into an analysis core.
